@@ -1,0 +1,70 @@
+//! Fig. 1 — an example Monte-Carlo timeline for a RAID5 (3+1) array in the
+//! presence of human errors, printed as an event log (the paper draws the
+//! same information as a per-disk Gantt chart).
+//!
+//! The benchmark then times trace-enabled vs trace-free missions to show
+//! the tracing overhead.
+
+use availsim_bench::raid5_params;
+use availsim_core::mc::ConventionalMc;
+use availsim_sim::rng::SimRng;
+use availsim_storage::EventTrace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn print_figure() {
+    println!("\n=== Fig. 1: example MC timeline, RAID5(3+1), wrong replacements visible ===");
+    // Rates scaled up so a single mission shows several incidents, like the
+    // paper's illustrative 1000-hour window.
+    let params = raid5_params(2e-3, 0.15);
+    let mc = ConventionalMc::new(params).unwrap();
+    // A seed chosen so the printed window contains DU and DL events.
+    let mut rng = SimRng::seed_from(2017);
+    let mut trace = EventTrace::new();
+    let outcome = mc.simulate_once(2_000.0, &mut rng, Some(&mut trace));
+    println!("{}", trace.render());
+    println!(
+        "downtime: {:.1} h (human-error share {:.0}%), DU events: {}, DL events: {}\n",
+        outcome.downtime_hours,
+        100.0 * outcome.du_downtime_hours / outcome.downtime_hours.max(1e-12),
+        outcome.du_events,
+        outcome.dl_events
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let params = raid5_params(2e-3, 0.15);
+    let mc = ConventionalMc::new(params).unwrap();
+
+    c.bench_function("fig1/mission_with_trace", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = SimRng::substream(7, i);
+            let mut trace = EventTrace::new();
+            black_box(mc.simulate_once(2_000.0, &mut rng, Some(&mut trace)));
+            black_box(trace.len())
+        });
+    });
+
+    c.bench_function("fig1/mission_without_trace", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = SimRng::substream(7, i);
+            black_box(mc.simulate_once(2_000.0, &mut rng, None))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

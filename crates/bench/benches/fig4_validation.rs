@@ -1,0 +1,54 @@
+//! Fig. 4 — validation of the Markov model against the Monte-Carlo
+//! reference: availability (nines) vs λ for hep ∈ {0.001, 0.01}.
+//!
+//! Prints the four series of the figure, then times the two kernels
+//! (steady-state solve, one MC mission).
+
+use availsim_bench::{fig4_series, mc_iterations, raid5_params};
+use availsim_core::markov::Raid5Conventional;
+use availsim_core::mc::ConventionalMc;
+use availsim_sim::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn print_figure() {
+    // 50k missions/point by default; AVAILSIM_BENCH_SCALE=20 reproduces the
+    // paper's 10⁶-iteration setting.
+    let iters = mc_iterations(50_000);
+    println!("\n=== Fig. 4: MC vs Markov, RAID5(3+1), availability in nines ===");
+    println!("(MC: {iters} missions/point, 10-year missions, 99% CI)\n");
+    for series in fig4_series(iters) {
+        println!("{}", series.render());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+
+    let params = raid5_params(1e-6, 0.01);
+    c.bench_function("fig4/markov_solve_raid5", |b| {
+        let model = Raid5Conventional::new(params).unwrap();
+        b.iter(|| black_box(model.solve().unwrap().unavailability()));
+    });
+
+    c.bench_function("fig4/mc_single_mission_10y", |b| {
+        let mc = ConventionalMc::new(params).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = SimRng::substream(42, i);
+            black_box(mc.simulate_once(87_600.0, &mut rng, None))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig. 5 — availability of a RAID5(3+1) array vs human-error probability
+//! for the four Weibull field fits (Schroeder–Gibson FAST'07 parameters):
+//! (1.25e-6, 1.09), (2.17e-6, 1.12), (7.96e-6, 1.21), (2.00e-5, 1.48).
+//!
+//! Weibull lifetimes are outside the Markov model's reach, so this figure is
+//! Monte-Carlo only — exactly as in the paper.
+
+use availsim_bench::{fig5_table, mc_iterations, raid5_params};
+use availsim_core::mc::ConventionalMc;
+use availsim_sim::rng::SimRng;
+use availsim_storage::FailureModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn print_figure() {
+    let iters = mc_iterations(50_000);
+    println!("\n=== Fig. 5: Weibull field fits, RAID5(3+1), availability in nines ===");
+    println!("(MC: {iters} missions/cell, 10-year missions)\n");
+    println!("{}", fig5_table(iters).render());
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+
+    // Kernel: one Weibull mission (the β=1.48 fit has the most events).
+    let params = raid5_params(2e-5, 0.01);
+    let failures = FailureModel::weibull(2e-5, 1.48).unwrap();
+    let mc = ConventionalMc::with_failure_model(params, failures).unwrap();
+    c.bench_function("fig5/weibull_mission_10y", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = SimRng::substream(5, i);
+            black_box(mc.simulate_once(87_600.0, &mut rng, None))
+        });
+    });
+
+    // Sampler kernel for reference.
+    c.bench_function("fig5/weibull_sampling", |b| {
+        let f = FailureModel::weibull(2e-5, 1.48).unwrap();
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| black_box(f.sample_ttf(&mut rng)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 6 — availability of RAID1(1+1), RAID5(3+1), RAID5(7+1) volumes of
+//! *equivalent usable capacity* (21 disk units), for λ ∈ {1e-5, 1e-6, 1e-7}
+//! and hep ∈ {0, 0.001, 0.01}.
+//!
+//! The paper's observation: without human error RAID1 wins; with hep > 0
+//! its higher effective replication factor (more disks to touch) erodes and
+//! then inverts the ranking.
+
+use availsim_bench::fig6_table;
+use availsim_core::volume::{compare_equal_capacity, FIG6_USABLE_CAPACITY};
+use availsim_hra::Hep;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn print_figure() {
+    println!("\n=== Fig. 6: equal-usable-capacity comparison (volume availability, nines) ===\n");
+    for &lambda in &[1e-5, 1e-6, 1e-7] {
+        println!("{}", fig6_table(lambda).render());
+    }
+    println!(
+        "note: volume = series system over arrays; usable capacity {} disk units\n",
+        FIG6_USABLE_CAPACITY
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+
+    c.bench_function("fig6/three_way_comparison", |b| {
+        let hep = Hep::new(0.01).unwrap();
+        b.iter(|| {
+            black_box(
+                compare_equal_capacity(FIG6_USABLE_CAPACITY, 1e-5, hep)
+                    .expect("valid comparison"),
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

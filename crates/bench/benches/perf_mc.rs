@@ -1,0 +1,65 @@
+//! Performance of the Monte-Carlo engines: missions per second for both
+//! policies, single- and multi-threaded batch throughput.
+
+use availsim_bench::raid5_params;
+use availsim_core::mc::{ConventionalMc, FailOverMc, McConfig};
+use availsim_sim::rng::SimRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let params = raid5_params(1e-4, 0.01);
+
+    let mut group = c.benchmark_group("mc_single_mission");
+    group.bench_function("conventional_10y", |b| {
+        let mc = ConventionalMc::new(params).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = SimRng::substream(1, i);
+            black_box(mc.simulate_once(87_600.0, &mut rng, None))
+        });
+    });
+    group.bench_function("failover_10y", |b| {
+        let mc = FailOverMc::new(params).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = SimRng::substream(1, i);
+            black_box(mc.simulate_once(87_600.0, &mut rng))
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("mc_batch_2000_missions");
+    group.sample_size(10);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("conventional", threads),
+            &threads,
+            |b, &threads| {
+                let mc = ConventionalMc::new(params).unwrap();
+                let config = McConfig {
+                    iterations: 2_000,
+                    horizon_hours: 87_600.0,
+                    seed: 3,
+                    confidence: 0.99,
+                    threads,
+                };
+                b.iter(|| black_box(mc.run(&config).unwrap().overall_availability));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

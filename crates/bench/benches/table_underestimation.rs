@@ -1,0 +1,36 @@
+//! Headline table (§I / §V-B) — how much the traditional hep = 0 model
+//! underestimates downtime: `U(hep = 0.01) / U(0)` over the Fig. 4 λ grid.
+//! The paper reports "up to 263X"; the maximum of this sweep lands in that
+//! band at the λ = 5e-7 end of the grid.
+
+use availsim_bench::{raid5_params, underestimation_table};
+use availsim_core::analysis::underestimation;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn print_table() {
+    let (table, max) = underestimation_table();
+    println!("\n=== Headline: downtime underestimation when human error is ignored ===\n");
+    println!("{}", table.render());
+    println!("maximum underestimation over the sweep: {max:.0}x (paper: up to 263X)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    c.bench_function("underestimation/single_point", |b| {
+        let params = raid5_params(5e-7, 0.01);
+        b.iter(|| black_box(underestimation(params).unwrap().factor()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Unified error type for the availability models.
+
+use availsim_ctmc::CtmcError;
+use availsim_hra::HraError;
+use availsim_sim::SimError;
+use availsim_storage::StorageError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A model parameter was invalid.
+    InvalidParameter(String),
+    /// The underlying Markov engine failed.
+    Ctmc(CtmcError),
+    /// The underlying simulator failed.
+    Sim(SimError),
+    /// The storage substrate rejected an operation.
+    Storage(StorageError),
+    /// The HRA substrate rejected a quantity.
+    Hra(HraError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CoreError::Ctmc(e) => write!(f, "markov engine: {e}"),
+            CoreError::Sim(e) => write!(f, "simulator: {e}"),
+            CoreError::Storage(e) => write!(f, "storage model: {e}"),
+            CoreError::Hra(e) => write!(f, "hra model: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::InvalidParameter(_) => None,
+            CoreError::Ctmc(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::Storage(e) => Some(e),
+            CoreError::Hra(e) => Some(e),
+        }
+    }
+}
+
+impl From<CtmcError> for CoreError {
+    fn from(e: CtmcError) -> Self {
+        CoreError::Ctmc(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<HraError> for CoreError {
+    fn from(e: HraError) -> Self {
+        CoreError::Hra(e)
+    }
+}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sub_errors_with_source() {
+        let e: CoreError = CtmcError::EmptyChain.into();
+        assert!(e.to_string().contains("markov"));
+        assert!(e.source().is_some());
+
+        let e: CoreError = SimError::InvalidProbability(2.0).into();
+        assert!(e.to_string().contains("simulator"));
+
+        let e: CoreError = HraError::InvalidProbability(2.0).into();
+        assert!(matches!(e, CoreError::Hra(_)));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

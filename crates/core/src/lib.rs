@@ -1,0 +1,65 @@
+//! # availsim-core
+//!
+//! Availability models for data storage systems under disk failures *and*
+//! human errors — a full reproduction of Kishani, Eftekhari & Asadi,
+//! "Evaluating Impact of Human Errors on the Availability of Data Storage
+//! Systems" (DATE 2017).
+//!
+//! ## Models
+//!
+//! * [`markov::Raid5Conventional`] — the paper's Fig. 2 CTMC (conventional
+//!   disk replacement; also RAID1 with `n = 2`), solved with
+//!   cancellation-free GTH elimination.
+//! * [`markov::Raid5FailOver`] — the paper's Fig. 3 twelve-state CTMC
+//!   (automatic fail-over with hot spares).
+//! * [`markov::GenericKofN`] — a `(failed, wrongly-removed)` chain
+//!   generator that reduces exactly to Fig. 2 at `m = 1` and extends the
+//!   paper to RAID6.
+//! * [`mc::ConventionalMc`] / [`mc::FailOverMc`] — the Monte-Carlo
+//!   reference models (per-disk Weibull clocks for the conventional policy).
+//!
+//! ## Analyses
+//!
+//! * [`analysis`] — downtime-underestimation factors (the paper's "up to
+//!   263X") and the conventional-vs-fail-over comparison (Fig. 7).
+//! * [`volume`] — equivalent-usable-capacity RAID comparison (Fig. 6).
+//! * [`validate`] — MC-vs-Markov cross validation (Fig. 4).
+//! * [`sensitivity`] — parameter elasticities of the unavailability.
+//! * [`nines`] — availability ↔ nines ↔ downtime conversions.
+//!
+//! # Examples
+//!
+//! The headline effect — ignoring human error underestimates downtime by
+//! orders of magnitude:
+//!
+//! ```
+//! use availsim_core::analysis::underestimation;
+//! use availsim_core::ModelParams;
+//! use availsim_hra::Hep;
+//!
+//! # fn main() -> Result<(), availsim_core::CoreError> {
+//! let params = ModelParams::raid5_3plus1(5e-7, Hep::new(0.01)?)?;
+//! let u = underestimation(params)?;
+//! assert!(u.factor() > 100.0); // the paper reports "up to 263X"
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod error;
+pub mod markov;
+pub mod mc;
+pub mod nines;
+mod params;
+pub mod reliability;
+pub mod report;
+pub mod sensitivity;
+pub mod transient;
+pub mod validate;
+pub mod volume;
+
+pub use error::{CoreError, Result};
+pub use params::ModelParams;

@@ -1,0 +1,304 @@
+//! The paper's Fig. 3 Markov model: RAID5 with automatic disk fail-over
+//! (delayed replacement) and a hot spare.
+//!
+//! Twelve states; `ns` marks "no spare available". Up states serve I/O
+//! (possibly degraded); `DU*` are human-error outages; `DL*` are data-loss
+//! outages.
+//!
+//! | state | meaning |
+//! |-------|---------|
+//! | `OP` | all disks fine, spare present |
+//! | `EXP1` | one failed disk, automatic rebuild into the spare running |
+//! | `OPns` | all disks fine, spare consumed, dead disk awaiting change |
+//! | `EXPns1` | one failed disk, no spare |
+//! | `EXPns2` | wrong replacement pulled a live disk (no failure), no spare |
+//! | `EXP2` | like `EXPns2` with a spare present |
+//! | `DU1` | failed + wrongly removed disk, spare present (down) |
+//! | `DU2` | two wrongly removed disks, spare present (down) |
+//! | `DUns1` | failed + wrongly removed disk, no spare (down) |
+//! | `DUns2` | two wrongly removed disks, no spare (down) |
+//! | `DL` | double disk failure, spare present (down) |
+//! | `DLns` | double disk failure, no spare (down) |
+//!
+//! The scanned figure in the paper is partially garbled; DESIGN.md §3.2
+//! documents the reconstruction. Every transition stated in the paper's
+//! prose is present; the two analogy-derived edges (`DU1 → OP` at `μ_DDF`
+//! and `DU1 → DU2` at `hep·μ_he`) are marked in DESIGN.md and carry
+//! negligible probability mass.
+
+use super::SolvedChain;
+use crate::error::{CoreError, Result};
+use crate::params::ModelParams;
+use availsim_ctmc::{Ctmc, CtmcBuilder};
+
+/// Down-state labels of the fail-over model.
+pub const DOWN_STATES: [&str; 6] = ["DU1", "DU2", "DUns1", "DUns2", "DL", "DLns"];
+
+/// The Fig. 3 model.
+///
+/// # Examples
+///
+/// ```
+/// use availsim_core::markov::{Raid5Conventional, Raid5FailOver};
+/// use availsim_core::ModelParams;
+/// use availsim_hra::Hep;
+///
+/// # fn main() -> Result<(), availsim_core::CoreError> {
+/// let params = ModelParams::raid5_3plus1(1e-6, Hep::new(0.01)?)?;
+/// let conventional = Raid5Conventional::new(params)?.solve()?;
+/// let failover = Raid5FailOver::new(params)?.solve()?;
+/// // Automatic fail-over shields the exposed window from human error:
+/// assert!(failover.unavailability() < conventional.unavailability());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Raid5FailOver {
+    params: ModelParams,
+}
+
+impl Raid5FailOver {
+    /// Creates the model.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] for geometries that are not
+    /// single-fault-tolerant, `hep = 1`, or invalid rates.
+    pub fn new(params: ModelParams) -> Result<Self> {
+        params.validate()?;
+        if params.geometry.fault_tolerance() != 1 {
+            return Err(CoreError::InvalidParameter(format!(
+                "the Fig. 3 model applies to single-fault-tolerant arrays; {} tolerates {}",
+                params.geometry.label(),
+                params.geometry.fault_tolerance()
+            )));
+        }
+        if params.hep.value() >= 1.0 {
+            return Err(CoreError::InvalidParameter(
+                "hep must be below 1 for a repairable model".into(),
+            ));
+        }
+        Ok(Raid5FailOver { params })
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// Builds the twelve-state chain (transition table in DESIGN.md §3.2).
+    ///
+    /// # Errors
+    /// Propagates chain-construction errors (none occur for validated
+    /// parameters).
+    pub fn build_chain(&self) -> Result<Ctmc> {
+        let p = &self.params;
+        let n = f64::from(p.disks());
+        let hep = p.hep.value();
+        let lam = p.disk_failure_rate;
+        let mu_df = p.disk_repair_rate;
+        let mu_ddf = p.ddf_recovery_rate;
+        let mu_he = p.human_recovery_rate;
+        let mu_ch = p.disk_change_rate;
+        let crash = p.removed_crash_rate;
+
+        let mut b = CtmcBuilder::new();
+        let op = b.state("OP")?;
+        let exp1 = b.state("EXP1")?;
+        let opns = b.state("OPns")?;
+        let expns1 = b.state("EXPns1")?;
+        let expns2 = b.state("EXPns2")?;
+        let exp2 = b.state("EXP2")?;
+        let du1 = b.state("DU1")?;
+        let du2 = b.state("DU2")?;
+        let duns1 = b.state("DUns1")?;
+        let duns2 = b.state("DUns2")?;
+        let dl = b.state("DL")?;
+        let dlns = b.state("DLns")?;
+
+        // OP: failure starts the automatic fail-over.
+        b.transition(op, exp1, n * lam)?;
+        // EXP1: second failure loses data; rebuild completes hands-free.
+        b.transition(exp1, dl, (n - 1.0) * lam)?;
+        b.transition(exp1, opns, mu_df)?;
+        // OPns: replace the dead disk to restore the spare (human action).
+        b.transition(opns, expns1, n * lam)?;
+        b.transition(opns, op, (1.0 - hep) * mu_ch)?;
+        b.transition(opns, expns2, hep * mu_ch)?;
+        // EXPns1: fail-over and replacement race; either can err.
+        b.transition(expns1, opns, (1.0 - hep) * mu_df)?;
+        b.transition(expns1, exp1, (1.0 - hep) * mu_ch)?;
+        b.transition(expns1, duns1, hep * (mu_df + mu_ch))?;
+        b.transition(expns1, dlns, (n - 1.0) * lam)?;
+        // EXPns2: undo the wrong replacement (completes the swap on success).
+        b.transition(expns2, op, (1.0 - hep) * mu_he)?;
+        b.transition(expns2, duns2, hep * mu_he)?;
+        b.transition(expns2, expns1, crash)?;
+        b.transition(expns2, duns1, (n - 1.0) * lam)?;
+        // DUns1: four competing recoveries (undo, crash, give-up restore,
+        // replacement of the failed disk).
+        b.transition(duns1, expns1, (1.0 - hep) * mu_he)?;
+        b.transition(duns1, dlns, crash)?;
+        b.transition(duns1, opns, mu_ddf)?;
+        b.transition(duns1, du1, (1.0 - hep) * mu_ch)?;
+        // DUns2: undo one of the two wrong removals, or one crashes.
+        b.transition(duns2, expns2, (1.0 - hep) * mu_he)?;
+        b.transition(duns2, duns1, 2.0 * crash)?;
+        // DLns: restore, or replace a failed disk to regain a spare.
+        b.transition(dlns, opns, mu_ddf)?;
+        b.transition(dlns, dl, (1.0 - hep) * mu_ch)?;
+        // DL: restore from backup with the spare already present.
+        b.transition(dl, op, mu_ddf)?;
+        // DU1 cluster (spare present) — analogous to DUns1/DUns2/EXPns2.
+        b.transition(du1, exp1, (1.0 - hep) * mu_he)?;
+        b.transition(du1, dl, crash)?;
+        b.transition(du1, op, mu_ddf)?;
+        b.transition(du1, du2, hep * mu_he)?;
+        b.transition(du2, exp2, (1.0 - hep) * mu_he)?;
+        b.transition(du2, du1, 2.0 * crash)?;
+        b.transition(exp2, op, (1.0 - hep) * mu_he)?;
+        b.transition(exp2, du2, hep * mu_he)?;
+        b.transition(exp2, exp1, crash)?;
+        b.transition(exp2, du1, (n - 1.0) * lam)?;
+
+        Ok(b.build()?)
+    }
+
+    /// Solves for the stationary distribution with the `DU*`/`DL*` states
+    /// down.
+    ///
+    /// # Errors
+    /// Propagates solver errors.
+    pub fn solve(&self) -> Result<SolvedChain> {
+        SolvedChain::solve(self.build_chain()?, &DOWN_STATES)
+    }
+
+    /// Mean time to data loss (hours): first passage from `OP` into either
+    /// `DL` or `DLns`.
+    ///
+    /// # Errors
+    /// Propagates absorbing-analysis errors.
+    pub fn mttdl_hours(&self) -> Result<f64> {
+        let chain = self.build_chain()?;
+        let dl = chain.find_state("DL").expect("state exists");
+        let dlns = chain.find_state("DLns").expect("state exists");
+        let mut p0 = vec![0.0; chain.num_states()];
+        p0[chain.find_state("OP").expect("state exists").index()] = 1.0;
+        Ok(chain.absorption(&p0, &[dl, dlns])?.mean_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::Raid5Conventional;
+    use availsim_hra::Hep;
+
+    fn model(lambda: f64, hep: f64) -> Raid5FailOver {
+        let params = ModelParams::raid5_3plus1(lambda, Hep::new(hep).unwrap()).unwrap();
+        Raid5FailOver::new(params).unwrap()
+    }
+
+    #[test]
+    fn chain_has_twelve_states() {
+        let chain = model(1e-6, 0.01).build_chain().unwrap();
+        assert_eq!(chain.num_states(), 12);
+        for label in DOWN_STATES {
+            assert!(chain.find_state(label).is_some(), "{label} missing");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let s = model(1e-6, 0.01).solve().unwrap();
+        let total: f64 = s.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hep_zero_leaves_error_states_empty() {
+        let s = model(1e-6, 0.0).solve().unwrap();
+        for label in ["EXPns2", "EXP2", "DU1", "DU2", "DUns1", "DUns2"] {
+            assert_eq!(s.probability(label).unwrap(), 0.0, "{label} should be unreachable");
+        }
+        assert!(s.probability("OPns").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn failover_beats_conventional_at_high_hep() {
+        // §V-D: automatic fail-over moderates the human-error impact.
+        for &hep in &[0.001, 0.01] {
+            let params = ModelParams::raid5_3plus1(1e-6, Hep::new(hep).unwrap()).unwrap();
+            let conv = Raid5Conventional::new(params).unwrap().solve().unwrap();
+            let fo = Raid5FailOver::new(params).unwrap().solve().unwrap();
+            assert!(
+                fo.unavailability() < conv.unavailability(),
+                "hep={hep}: fo={:.3e} conv={:.3e}",
+                fo.unavailability(),
+                conv.unavailability()
+            );
+        }
+    }
+
+    #[test]
+    fn failover_gain_grows_with_hep() {
+        // The paper: "delayed replacement shows higher availability
+        // improvement when hep has greater values".
+        let gain = |hep: f64| {
+            let params = ModelParams::raid5_3plus1(1e-6, Hep::new(hep).unwrap()).unwrap();
+            let conv = Raid5Conventional::new(params).unwrap().solve().unwrap();
+            let fo = Raid5FailOver::new(params).unwrap().solve().unwrap();
+            conv.unavailability() / fo.unavailability()
+        };
+        let g_low = gain(0.001);
+        let g_high = gain(0.01);
+        assert!(g_high > g_low, "gains {g_low} vs {g_high}");
+        assert!(g_high > 5.0, "expected a large gain at hep=0.01, got {g_high}");
+    }
+
+    #[test]
+    fn du_mass_is_suppressed_versus_conventional() {
+        // The whole point of delayed replacement: P(DU-class) collapses.
+        let params = ModelParams::raid5_3plus1(1e-6, Hep::new(0.01).unwrap()).unwrap();
+        let conv = Raid5Conventional::new(params).unwrap().solve().unwrap();
+        let fo = Raid5FailOver::new(params).unwrap().solve().unwrap();
+        let conv_du = conv.probability("DU").unwrap();
+        let fo_du: f64 = ["DU1", "DU2", "DUns1", "DUns2"]
+            .iter()
+            .map(|l| fo.probability(l).unwrap())
+            .sum();
+        assert!(fo_du < conv_du / 10.0, "fo_du={fo_du:.3e} conv_du={conv_du:.3e}");
+    }
+
+    #[test]
+    fn mttdl_positive_and_shrinks_with_hep() {
+        let m0 = model(1e-5, 0.0).mttdl_hours().unwrap();
+        let m1 = model(1e-5, 0.01).mttdl_hours().unwrap();
+        assert!(m0 > 0.0 && m1 > 0.0);
+        assert!(m1 < m0, "hep should not extend MTTDL: {m1} vs {m0}");
+    }
+
+    #[test]
+    fn invalid_geometry_and_hep_rejected() {
+        use availsim_storage::RaidGeometry;
+        let p6 = ModelParams::paper_defaults(
+            RaidGeometry::raid6(4).unwrap(),
+            1e-6,
+            Hep::ZERO,
+        )
+        .unwrap();
+        assert!(Raid5FailOver::new(p6).is_err());
+        let p1 = ModelParams::raid5_3plus1(1e-6, Hep::new(1.0).unwrap()).unwrap();
+        assert!(Raid5FailOver::new(p1).is_err());
+    }
+
+    #[test]
+    fn balance_equations_hold() {
+        let m = model(2e-6, 0.005);
+        let chain = m.build_chain().unwrap();
+        let pi = chain.steady_state().unwrap();
+        let q = chain.generator();
+        let residual = q.vec_mul(&pi).unwrap();
+        let max: f64 = residual.iter().fold(0.0f64, |a, b| a.max(b.abs()));
+        assert!(max < 1e-12, "residual {max}");
+    }
+}

@@ -1,0 +1,440 @@
+//! Monte-Carlo model of a single-fault-tolerant array under conventional
+//! replacement — the simulation behind the paper's Fig. 1, Fig. 4, Fig. 5.
+//!
+//! Failures use **per-disk clocks** drawn from any [`FailureModel`]
+//! (exponential or the paper's Weibull field fits), so the simulator covers
+//! the non-Markovian regime the analytical model cannot. Service processes
+//! (replacement, human-error recovery, tape restore) are exponential with
+//! the paper's rates; disks are treated as renewed after every service
+//! action (regenerative assumption, standard for repair simulations).
+//!
+//! With exponential failures the simulator is distribution-equivalent to the
+//! Fig. 2 CTMC, which the Fig. 4 validation exercises.
+
+use super::{AvailabilityEstimate, IterationOutcome, McConfig};
+use crate::error::Result;
+use crate::markov::WrongReplacementTiming;
+use crate::params::ModelParams;
+use availsim_sim::engine::EventQueue;
+use availsim_sim::rng::SimRng;
+use availsim_storage::{DowntimeLog, EventTrace, FailureModel, OutageCause, TraceKind};
+
+/// Operating mode of the simulated array (mirrors the Fig. 2 states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// All disks operational.
+    Op,
+    /// One failed disk, service in progress.
+    Exp,
+    /// Down: wrong replacement pulled a live disk.
+    Du,
+    /// Down: data lost, restoring from backup.
+    Dl,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Failure of a disk slot; `gen` guards against stale clocks.
+    Fail { slot: usize, gen: u64 },
+    /// A service transition; `epoch` guards against stale service events.
+    Service { kind: Service, epoch: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Service {
+    /// EXP → OP at (1−hep)·μ_DF.
+    RepairOk,
+    /// EXP → DU at hep·μ_s (or hep·μ_DF under the as-labeled reading).
+    WrongPull,
+    /// DU → OP at (1−hep)·μ_he.
+    RecoveryOk,
+    /// DU → DL at λ_crash.
+    RemovedCrash,
+    /// DL → OP at μ_DDF.
+    Restore,
+}
+
+/// The conventional-replacement Monte-Carlo model.
+#[derive(Debug)]
+pub struct ConventionalMc {
+    params: ModelParams,
+    failures: FailureModel,
+    timing: WrongReplacementTiming,
+}
+
+impl ConventionalMc {
+    /// Creates the model with exponential failures at the params' rate.
+    ///
+    /// # Errors
+    /// Propagates parameter validation errors.
+    pub fn new(params: ModelParams) -> Result<Self> {
+        params.validate()?;
+        let failures = FailureModel::exponential(params.disk_failure_rate)?;
+        Ok(ConventionalMc { params, failures, timing: WrongReplacementTiming::default() })
+    }
+
+    /// Creates the model with an explicit failure distribution (e.g. a
+    /// Weibull field fit); the params' `disk_failure_rate` is ignored for
+    /// sampling.
+    ///
+    /// # Errors
+    /// Propagates parameter validation errors.
+    pub fn with_failure_model(params: ModelParams, failures: FailureModel) -> Result<Self> {
+        params.validate()?;
+        Ok(ConventionalMc { params, failures, timing: WrongReplacementTiming::default() })
+    }
+
+    /// Selects the wrong-replacement timing reading (must match the Markov
+    /// model being validated against).
+    pub fn with_timing(mut self, timing: WrongReplacementTiming) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    fn wrong_pull_rate(&self) -> f64 {
+        let base = match self.timing {
+            WrongReplacementTiming::ChangeAction => self.params.disk_change_rate,
+            WrongReplacementTiming::RepairCompletion => self.params.disk_repair_rate,
+        };
+        self.params.hep.value() * base
+    }
+
+    /// Runs the full Monte-Carlo estimation.
+    ///
+    /// # Errors
+    /// Propagates configuration errors.
+    pub fn run(&self, config: &McConfig) -> Result<AvailabilityEstimate> {
+        super::run_iterations(config, |i| {
+            let mut rng = SimRng::substream(config.seed, i);
+            self.simulate_once(config.horizon_hours, &mut rng, None)
+        })
+    }
+
+    /// Runs batches of missions, growing the sample until the availability
+    /// confidence interval's half-width drops below `target_half_width`
+    /// (or `max_iterations` missions have been spent). `config.iterations`
+    /// seeds the pilot batch size.
+    ///
+    /// # Errors
+    /// Propagates configuration errors; the target must be positive.
+    pub fn run_to_precision(
+        &self,
+        config: &McConfig,
+        target_half_width: f64,
+        max_iterations: u64,
+    ) -> Result<AvailabilityEstimate> {
+        super::run_to_precision(config, target_half_width, max_iterations, |i| {
+            let mut rng = SimRng::substream(config.seed, i);
+            self.simulate_once(config.horizon_hours, &mut rng, None)
+        })
+    }
+
+    /// Simulates a single mission, optionally recording a Fig. 1-style
+    /// event trace (used by the `mc_trace` example).
+    pub fn simulate_once(
+        &self,
+        horizon: f64,
+        rng: &mut SimRng,
+        mut trace: Option<&mut EventTrace>,
+    ) -> IterationOutcome {
+        let n = self.params.disks() as usize;
+        let p = &self.params;
+        let hep = p.hep.value();
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut log = DowntimeLog::new();
+        let mut mode = Mode::Op;
+        let mut epoch: u64 = 0;
+        let mut slot_gen = vec![0u64; n];
+        let mut failed_slot: Option<usize> = None;
+        let (mut du_events, mut dl_events) = (0u64, 0u64);
+
+        let exp_sample = |rng: &mut SimRng, rate: f64| -> Option<f64> {
+            (rate > 0.0).then(|| -rng.next_open_f64().ln() / rate)
+        };
+
+        // Seed all disk clocks.
+        for slot in 0..n {
+            let t = self.failures.sample_ttf(rng);
+            let _ = queue.schedule(t, Ev::Fail { slot, gen: 0 });
+        }
+
+        macro_rules! schedule_service {
+            ($rng:expr, $q:expr, $ep:expr, $kind:expr, $rate:expr) => {
+                if let Some(dt) = exp_sample($rng, $rate) {
+                    let _ = $q.schedule(dt, Ev::Service { kind: $kind, epoch: $ep });
+                }
+            };
+        }
+
+        while let Some(t) = {
+            let next = queue.peek_time();
+            match next {
+                Some(t) if t <= horizon => Some(t),
+                _ => None,
+            }
+        } {
+            let (_, ev) = queue.pop().expect("peeked event exists");
+            match ev {
+                Ev::Fail { slot, gen } => {
+                    if gen != slot_gen[slot] {
+                        continue; // stale clock
+                    }
+                    slot_gen[slot] += 1; // the slot is no longer ticking
+                    match mode {
+                        Mode::Op => {
+                            mode = Mode::Exp;
+                            failed_slot = Some(slot);
+                            epoch += 1;
+                            if let Some(tr) = trace.as_deref_mut() {
+                                tr.record(t, TraceKind::DiskFailure { disk: slot as u32 });
+                            }
+                            schedule_service!(rng, queue, epoch, Service::RepairOk,
+                                (1.0 - hep) * p.disk_repair_rate);
+                            schedule_service!(rng, queue, epoch, Service::WrongPull,
+                                self.wrong_pull_rate());
+                        }
+                        Mode::Exp => {
+                            // Second failure: data loss.
+                            mode = Mode::Dl;
+                            dl_events += 1;
+                            epoch += 1;
+                            log.begin(t, OutageCause::DataLoss);
+                            if let Some(tr) = trace.as_deref_mut() {
+                                tr.record(t, TraceKind::DiskFailure { disk: slot as u32 });
+                                tr.record(t, TraceKind::DataLoss);
+                            }
+                            schedule_service!(rng, queue, epoch, Service::Restore,
+                                p.ddf_recovery_rate);
+                        }
+                        // Quiesced while down; the slot is resampled on
+                        // the next return to OP.
+                        Mode::Du | Mode::Dl => {}
+                    }
+                }
+                Ev::Service { kind, epoch: ev_epoch } => {
+                    if ev_epoch != epoch {
+                        continue; // stale service event
+                    }
+                    match (mode, kind) {
+                        (Mode::Exp, Service::RepairOk) => {
+                            // Replacement + rebuild done: back to OP.
+                            mode = Mode::Op;
+                            epoch += 1;
+                            let slot = failed_slot.take().expect("exp implies a failed slot");
+                            slot_gen[slot] += 1;
+                            let tt = self.failures.sample_ttf(rng);
+                            let _ = queue.schedule(tt, Ev::Fail { slot, gen: slot_gen[slot] });
+                            if let Some(tr) = trace.as_deref_mut() {
+                                tr.record(t, TraceKind::RepairComplete { disk: slot as u32 });
+                            }
+                        }
+                        (Mode::Exp, Service::WrongPull) => {
+                            mode = Mode::Du;
+                            du_events += 1;
+                            epoch += 1;
+                            log.begin(t, OutageCause::HumanError);
+                            if let Some(tr) = trace.as_deref_mut() {
+                                tr.record(t, TraceKind::WrongReplacement { removed_disk: 0 });
+                                tr.record(t, TraceKind::DataUnavailable);
+                            }
+                            schedule_service!(rng, queue, epoch, Service::RecoveryOk,
+                                (1.0 - hep) * p.human_recovery_rate);
+                            schedule_service!(rng, queue, epoch, Service::RemovedCrash,
+                                p.removed_crash_rate);
+                        }
+                        (Mode::Du, Service::RecoveryOk) => {
+                            // Error undone and repair completed (Fig. 2's
+                            // DU → OP edge): full return to OP.
+                            mode = Mode::Op;
+                            epoch += 1;
+                            failed_slot = None;
+                            log.end(t);
+                            if let Some(tr) = trace.as_deref_mut() {
+                                tr.record(t, TraceKind::WrongReplacementUndone);
+                            }
+                            for (slot, gen) in slot_gen.iter_mut().enumerate() {
+                                *gen += 1;
+                                let tt = self.failures.sample_ttf(rng);
+                                let _ = queue.schedule(tt, Ev::Fail { slot, gen: *gen });
+                            }
+                        }
+                        (Mode::Du, Service::RemovedCrash) => {
+                            mode = Mode::Dl;
+                            dl_events += 1;
+                            epoch += 1;
+                            // Re-attribute the remaining outage to data loss.
+                            log.end(t);
+                            log.begin(t, OutageCause::DataLoss);
+                            if let Some(tr) = trace.as_deref_mut() {
+                                tr.record(t, TraceKind::RemovedDiskCrashed);
+                                tr.record(t, TraceKind::DataLoss);
+                            }
+                            schedule_service!(rng, queue, epoch, Service::Restore,
+                                p.ddf_recovery_rate);
+                        }
+                        (Mode::Dl, Service::Restore) => {
+                            mode = Mode::Op;
+                            epoch += 1;
+                            failed_slot = None;
+                            log.end(t);
+                            if let Some(tr) = trace.as_deref_mut() {
+                                tr.record(t, TraceKind::BackupRestoreComplete);
+                            }
+                            for (slot, gen) in slot_gen.iter_mut().enumerate() {
+                                *gen += 1;
+                                let tt = self.failures.sample_ttf(rng);
+                                let _ = queue.schedule(tt, Ev::Fail { slot, gen: *gen });
+                            }
+                        }
+                        // Any other combination is a stale/impossible pair.
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        log.finalize(horizon);
+        IterationOutcome {
+            downtime_hours: log.total_downtime(),
+            du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
+            dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
+            du_events,
+            dl_events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use availsim_hra::Hep;
+
+    fn params(lambda: f64, hep: f64) -> ModelParams {
+        ModelParams::raid5_3plus1(lambda, Hep::new(hep).unwrap()).unwrap()
+    }
+
+    fn quick_config(iterations: u64) -> McConfig {
+        McConfig {
+            iterations,
+            horizon_hours: 10_000.0,
+            seed: 7,
+            confidence: 0.99,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn no_failures_means_full_availability() {
+        // Absurdly small λ: no events within the horizon.
+        let mc = ConventionalMc::new(params(1e-15, 0.01)).unwrap();
+        let est = mc.run(&quick_config(10)).unwrap();
+        assert_eq!(est.overall_availability, 1.0);
+        assert_eq!(est.du_events + est.dl_events, 0);
+    }
+
+    #[test]
+    fn hep_zero_produces_no_du_events() {
+        let mc = ConventionalMc::new(params(1e-3, 0.0)).unwrap();
+        let est = mc.run(&quick_config(200)).unwrap();
+        assert_eq!(est.du_events, 0);
+        assert!(est.dl_events > 0, "with λ=1e-3 double failures must occur");
+        assert!(est.overall_availability < 1.0);
+    }
+
+    #[test]
+    fn human_errors_add_du_outages() {
+        let mc = ConventionalMc::new(params(1e-3, 0.05)).unwrap();
+        let est = mc.run(&quick_config(200)).unwrap();
+        assert!(est.du_events > 0);
+        assert!(est.du_downtime_share > 0.0);
+    }
+
+    #[test]
+    fn availability_decreases_with_hep() {
+        let lo = ConventionalMc::new(params(5e-4, 0.0)).unwrap();
+        let hi = ConventionalMc::new(params(5e-4, 0.05)).unwrap();
+        let cfg = quick_config(400);
+        let a_lo = lo.run(&cfg).unwrap().overall_availability;
+        let a_hi = hi.run(&cfg).unwrap().overall_availability;
+        assert!(a_hi < a_lo, "{a_hi} !< {a_lo}");
+    }
+
+    #[test]
+    fn matches_markov_at_high_rates() {
+        // λ large enough that 400 × 10kh missions resolve the unavailability
+        // to a few percent.
+        use crate::markov::Raid5Conventional;
+        let p = params(1e-3, 0.01);
+        let mc = ConventionalMc::new(p).unwrap();
+        let est = mc.run(&quick_config(600)).unwrap();
+        let markov = Raid5Conventional::new(p).unwrap().solve().unwrap();
+        assert!(
+            est.is_consistent_with(markov.availability()),
+            "markov {} outside CI {}",
+            markov.availability(),
+            est.availability
+        );
+    }
+
+    #[test]
+    fn weibull_failures_are_supported() {
+        let p = params(1e-4, 0.01);
+        let weibull = FailureModel::weibull(1e-3, 1.48).unwrap();
+        let mc = ConventionalMc::with_failure_model(p, weibull).unwrap();
+        let est = mc.run(&quick_config(100)).unwrap();
+        assert!(est.overall_availability < 1.0);
+        assert!(est.overall_availability > 0.5);
+    }
+
+    #[test]
+    fn trace_records_the_story() {
+        let p = params(2e-3, 0.2);
+        let mc = ConventionalMc::new(p).unwrap();
+        let mut rng = SimRng::seed_from(123);
+        let mut trace = EventTrace::new();
+        let _ = mc.simulate_once(50_000.0, &mut rng, Some(&mut trace));
+        assert!(!trace.is_empty());
+        let failures = trace.count_where(|k| matches!(k, TraceKind::DiskFailure { .. }));
+        assert!(failures > 0);
+    }
+
+    #[test]
+    fn precision_run_tightens_the_interval() {
+        let mc = ConventionalMc::new(params(1e-3, 0.01)).unwrap();
+        let cfg = McConfig { iterations: 50, ..quick_config(50) };
+        let pilot = mc.run(&cfg).unwrap();
+        let target = pilot.availability.half_width / 3.0;
+        let refined = mc.run_to_precision(&cfg, target, 200_000).unwrap();
+        assert!(refined.availability.half_width <= target,
+            "refined hw {} vs target {target}", refined.availability.half_width);
+        assert!(refined.iterations > pilot.iterations);
+    }
+
+    #[test]
+    fn precision_run_respects_iteration_cap() {
+        let mc = ConventionalMc::new(params(1e-3, 0.01)).unwrap();
+        let cfg = quick_config(50);
+        // Impossible target, tiny cap: must stop at the cap.
+        let est = mc.run_to_precision(&cfg, 1e-15, 200).unwrap();
+        assert!(est.iterations <= 200);
+        assert!(mc.run_to_precision(&cfg, 0.0, 100).is_err());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let p = params(1e-3, 0.01);
+        let mc = ConventionalMc::new(p).unwrap();
+        let mut cfg = quick_config(100);
+        cfg.threads = 1;
+        let a = mc.run(&cfg).unwrap();
+        cfg.threads = 4;
+        let b = mc.run(&cfg).unwrap();
+        assert_eq!(a.overall_availability.to_bits(), b.overall_availability.to_bits());
+    }
+}

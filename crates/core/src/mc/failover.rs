@@ -1,0 +1,343 @@
+//! Monte-Carlo model of the automatic fail-over policy — an event-driven
+//! replay of the Fig. 3 chain, used to cross-validate the analytical model.
+//!
+//! All transitions (failures included) are exponential races, so this
+//! simulator is distribution-equivalent to the twelve-state CTMC; its value
+//! is methodological: agreement between two independently coded artifacts —
+//! a generator-matrix solve and an event-driven simulation — catches
+//! transcription mistakes in either.
+
+use super::{AvailabilityEstimate, IterationOutcome, McConfig};
+use crate::error::Result;
+use crate::params::ModelParams;
+use availsim_core_states::Mode;
+use availsim_sim::engine::EventQueue;
+use availsim_sim::rng::SimRng;
+use availsim_storage::{DowntimeLog, OutageCause};
+
+mod availsim_core_states {
+    /// The twelve Fig. 3 states.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Mode {
+        Op,
+        Exp1,
+        OpNs,
+        ExpNs1,
+        ExpNs2,
+        Exp2,
+        Du1,
+        Du2,
+        DuNs1,
+        DuNs2,
+        Dl,
+        DlNs,
+    }
+
+    impl Mode {
+        /// Whether the array serves I/O in this state.
+        pub fn is_up(self) -> bool {
+            matches!(
+                self,
+                Mode::Op | Mode::Exp1 | Mode::OpNs | Mode::ExpNs1 | Mode::ExpNs2 | Mode::Exp2
+            )
+        }
+
+        /// Whether the state is a data-loss state (vs. human-error DU).
+        pub fn is_data_loss(self) -> bool {
+            matches!(self, Mode::Dl | Mode::DlNs)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Jump {
+    to: Mode,
+    epoch: u64,
+    counts_as_du: bool,
+    counts_as_dl: bool,
+}
+
+/// The automatic fail-over Monte-Carlo model.
+#[derive(Debug, Clone, Copy)]
+pub struct FailOverMc {
+    params: ModelParams,
+}
+
+impl FailOverMc {
+    /// Creates the model.
+    ///
+    /// # Errors
+    /// Propagates parameter validation errors.
+    pub fn new(params: ModelParams) -> Result<Self> {
+        params.validate()?;
+        Ok(FailOverMc { params })
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// Outgoing transitions of a state as `(rate, target)` pairs —
+    /// the DESIGN.md §3.2 table, shared verbatim with the Markov model's
+    /// builder through the tests that compare both.
+    fn exits(&self, mode: Mode) -> Vec<(f64, Mode)> {
+        let p = &self.params;
+        let n = f64::from(p.disks());
+        let hep = p.hep.value();
+        let lam = p.disk_failure_rate;
+        let (mu_df, mu_ddf) = (p.disk_repair_rate, p.ddf_recovery_rate);
+        let (mu_he, mu_ch) = (p.human_recovery_rate, p.disk_change_rate);
+        let crash = p.removed_crash_rate;
+        use Mode::*;
+        match mode {
+            Op => vec![(n * lam, Exp1)],
+            Exp1 => vec![((n - 1.0) * lam, Dl), (mu_df, OpNs)],
+            OpNs => vec![
+                (n * lam, ExpNs1),
+                ((1.0 - hep) * mu_ch, Op),
+                (hep * mu_ch, ExpNs2),
+            ],
+            ExpNs1 => vec![
+                ((1.0 - hep) * mu_df, OpNs),
+                ((1.0 - hep) * mu_ch, Exp1),
+                (hep * (mu_df + mu_ch), DuNs1),
+                ((n - 1.0) * lam, DlNs),
+            ],
+            ExpNs2 => vec![
+                ((1.0 - hep) * mu_he, Op),
+                (hep * mu_he, DuNs2),
+                (crash, ExpNs1),
+                ((n - 1.0) * lam, DuNs1),
+            ],
+            Exp2 => vec![
+                ((1.0 - hep) * mu_he, Op),
+                (hep * mu_he, Du2),
+                (crash, Exp1),
+                ((n - 1.0) * lam, Du1),
+            ],
+            Du1 => vec![
+                ((1.0 - hep) * mu_he, Exp1),
+                (crash, Dl),
+                (mu_ddf, Op),
+                (hep * mu_he, Du2),
+            ],
+            Du2 => vec![((1.0 - hep) * mu_he, Exp2), (2.0 * crash, Du1)],
+            DuNs1 => vec![
+                ((1.0 - hep) * mu_he, ExpNs1),
+                (crash, DlNs),
+                (mu_ddf, OpNs),
+                ((1.0 - hep) * mu_ch, Du1),
+            ],
+            DuNs2 => vec![((1.0 - hep) * mu_he, ExpNs2), (2.0 * crash, DuNs1)],
+            Dl => vec![(mu_ddf, Op)],
+            DlNs => vec![(mu_ddf, OpNs), ((1.0 - hep) * mu_ch, Dl)],
+        }
+    }
+
+    /// Runs the full Monte-Carlo estimation.
+    ///
+    /// # Errors
+    /// Propagates configuration errors.
+    pub fn run(&self, config: &McConfig) -> Result<AvailabilityEstimate> {
+        super::run_iterations(config, |i| {
+            let mut rng = SimRng::substream(config.seed, i);
+            self.simulate_once(config.horizon_hours, &mut rng)
+        })
+    }
+
+    /// Simulates one mission.
+    pub fn simulate_once(&self, horizon: f64, rng: &mut SimRng) -> IterationOutcome {
+        let mut queue: EventQueue<Jump> = EventQueue::new();
+        let mut log = DowntimeLog::new();
+        let mut mode = Mode::Op;
+        let mut epoch = 0u64;
+        let (mut du_events, mut dl_events) = (0u64, 0u64);
+
+        let arm = |mode: Mode, epoch: u64, queue: &mut EventQueue<Jump>, rng: &mut SimRng| {
+            for (rate, to) in self.exits(mode) {
+                if rate > 0.0 {
+                    let dt = -rng.next_open_f64().ln() / rate;
+                    let _ = queue.schedule(
+                        dt,
+                        Jump {
+                            to,
+                            epoch,
+                            counts_as_du: !to.is_up() && !to.is_data_loss(),
+                            counts_as_dl: to.is_data_loss(),
+                        },
+                    );
+                }
+            }
+        };
+
+        arm(mode, epoch, &mut queue, rng);
+        while let Some(t) = queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (_, jump) = queue.pop().expect("peeked event exists");
+            if jump.epoch != epoch {
+                continue;
+            }
+            let was_up = mode.is_up();
+            let was_dl = mode.is_data_loss();
+            mode = jump.to;
+            epoch += 1;
+            let now_up = mode.is_up();
+            match (was_up, now_up) {
+                (true, false) => {
+                    if jump.counts_as_dl {
+                        dl_events += 1;
+                        log.begin(t, OutageCause::DataLoss);
+                    } else {
+                        debug_assert!(jump.counts_as_du);
+                        du_events += 1;
+                        log.begin(t, OutageCause::HumanError);
+                    }
+                }
+                (false, true) => log.end(t),
+                (false, false) => {
+                    // Down-to-down: re-attribute if the class changed
+                    // (e.g. DUns1 → DLns counts as a fresh DL event).
+                    if !was_dl && mode.is_data_loss() {
+                        dl_events += 1;
+                        log.end(t);
+                        log.begin(t, OutageCause::DataLoss);
+                    } else if was_dl && !mode.is_data_loss() {
+                        du_events += 1;
+                        log.end(t);
+                        log.begin(t, OutageCause::HumanError);
+                    }
+                }
+                (true, true) => {}
+            }
+            arm(mode, epoch, &mut queue, rng);
+        }
+
+        log.finalize(horizon);
+        IterationOutcome {
+            downtime_hours: log.total_downtime(),
+            du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
+            dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
+            du_events,
+            dl_events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::Raid5FailOver;
+    use availsim_hra::Hep;
+
+    fn params(lambda: f64, hep: f64) -> ModelParams {
+        ModelParams::raid5_3plus1(lambda, Hep::new(hep).unwrap()).unwrap()
+    }
+
+    fn quick_config(iterations: u64) -> McConfig {
+        McConfig {
+            iterations,
+            horizon_hours: 10_000.0,
+            seed: 11,
+            confidence: 0.99,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn exit_rates_match_the_markov_chain() {
+        // Every (rate, target) pair of the simulator must equal the chain's
+        // generator entry — the two artifacts encode one table.
+        let p = params(1e-4, 0.01);
+        let mc = FailOverMc::new(p).unwrap();
+        let chain = Raid5FailOver::new(p).unwrap().build_chain().unwrap();
+        use super::availsim_core_states::Mode::*;
+        let label = |m| match m {
+            Op => "OP",
+            Exp1 => "EXP1",
+            OpNs => "OPns",
+            ExpNs1 => "EXPns1",
+            ExpNs2 => "EXPns2",
+            Exp2 => "EXP2",
+            Du1 => "DU1",
+            Du2 => "DU2",
+            DuNs1 => "DUns1",
+            DuNs2 => "DUns2",
+            Dl => "DL",
+            DlNs => "DLns",
+        };
+        for mode in [Op, Exp1, OpNs, ExpNs1, ExpNs2, Exp2, Du1, Du2, DuNs1, DuNs2, Dl, DlNs] {
+            let from = chain.find_state(label(mode)).expect("state exists");
+            let mut total = 0.0;
+            for (rate, to) in mc.exits(mode) {
+                let to_id = chain.find_state(label(to)).expect("state exists");
+                let chain_rate = chain.rate(from, to_id);
+                assert!(
+                    (rate - chain_rate).abs() < 1e-15,
+                    "{} -> {}: mc {rate} vs chain {chain_rate}",
+                    label(mode),
+                    label(to)
+                );
+                total += rate;
+            }
+            assert!((total - chain.exit_rate(from)).abs() < 1e-15, "{}", label(mode));
+        }
+    }
+
+    #[test]
+    fn no_downtime_without_events() {
+        let mc = FailOverMc::new(params(1e-15, 0.01)).unwrap();
+        let est = mc.run(&quick_config(10)).unwrap();
+        assert_eq!(est.overall_availability, 1.0);
+    }
+
+    #[test]
+    fn agrees_with_markov_at_high_rates() {
+        let p = params(1e-3, 0.01);
+        let mc = FailOverMc::new(p).unwrap();
+        let est = mc.run(&quick_config(600)).unwrap();
+        let markov = Raid5FailOver::new(p).unwrap().solve().unwrap();
+        assert!(
+            est.is_consistent_with(markov.availability()),
+            "markov {} outside CI {}",
+            markov.availability(),
+            est.availability
+        );
+    }
+
+    #[test]
+    fn beats_conventional_mc_under_human_error() {
+        use crate::mc::ConventionalMc;
+        let p = params(1e-3, 0.05);
+        let cfg = quick_config(400);
+        let fo = FailOverMc::new(p).unwrap().run(&cfg).unwrap();
+        let conv = ConventionalMc::new(p).unwrap().run(&cfg).unwrap();
+        assert!(
+            fo.overall_availability > conv.overall_availability,
+            "fo {} conv {}",
+            fo.overall_availability,
+            conv.overall_availability
+        );
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let p = params(1e-3, 0.01);
+        let mc = FailOverMc::new(p).unwrap();
+        let mut cfg = quick_config(64);
+        cfg.threads = 1;
+        let a = mc.run(&cfg).unwrap();
+        cfg.threads = 8;
+        let b = mc.run(&cfg).unwrap();
+        assert_eq!(a.overall_availability.to_bits(), b.overall_availability.to_bits());
+    }
+
+    #[test]
+    fn hep_zero_never_enters_du() {
+        let mc = FailOverMc::new(params(2e-3, 0.0)).unwrap();
+        let est = mc.run(&quick_config(300)).unwrap();
+        assert_eq!(est.du_events, 0);
+    }
+}

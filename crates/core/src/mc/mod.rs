@@ -1,0 +1,333 @@
+//! Monte-Carlo availability models (the paper's reference models).
+//!
+//! Both simulators replay the semantics of the Markov chains as
+//! discrete-event simulations:
+//!
+//! * [`ConventionalMc`] — conventional replacement with *per-disk* failure
+//!   clocks, so non-exponential (Weibull) lifetimes are supported; this is
+//!   the model behind the paper's Fig. 1, Fig. 4, and Fig. 5.
+//! * [`FailOverMc`] — automatic fail-over; an event-driven replay of the
+//!   Fig. 3 chain used to cross-validate it.
+//!
+//! The availability estimator follows the paper: total uptime over total
+//! simulated time, with a Student-t confidence interval over per-iteration
+//! availabilities ("the error of MC simulations is inversely proportional to
+//! the root square of the number of iterations and the t-student coefficient
+//! for a target confidence level").
+
+mod conventional;
+mod failover;
+
+pub use conventional::ConventionalMc;
+pub use failover::FailOverMc;
+
+use crate::error::{CoreError, Result};
+use crate::nines;
+use availsim_sim::stats::{t_interval, ConfidenceInterval, RunningStats};
+use std::num::NonZeroUsize;
+
+/// Configuration of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McConfig {
+    /// Number of independent iterations (missions).
+    pub iterations: u64,
+    /// Mission time per iteration, hours.
+    pub horizon_hours: f64,
+    /// Base seed; iteration `i` always uses substream `i`, so results do not
+    /// depend on the number of worker threads.
+    pub seed: u64,
+    /// Confidence level for the availability interval (e.g. `0.99`).
+    pub confidence: f64,
+    /// Worker threads; `0` means use the machine's available parallelism.
+    pub threads: usize,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            iterations: 10_000,
+            horizon_hours: 87_600.0, // ten years
+            seed: 0x5EED_DA7A,
+            confidence: 0.99,
+            threads: 0,
+        }
+    }
+}
+
+impl McConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] for zero iterations, a
+    /// non-positive horizon, or a confidence outside `(0, 1)`.
+    pub fn validate(&self) -> Result<()> {
+        if self.iterations < 2 {
+            return Err(CoreError::InvalidParameter(
+                "at least two iterations are needed for a confidence interval".into(),
+            ));
+        }
+        if !(self.horizon_hours.is_finite() && self.horizon_hours > 0.0) {
+            return Err(CoreError::InvalidParameter(format!(
+                "horizon must be positive, got {}",
+                self.horizon_hours
+            )));
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(CoreError::InvalidParameter(format!(
+                "confidence must be in (0,1), got {}",
+                self.confidence
+            )));
+        }
+        Ok(())
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        }
+    }
+}
+
+/// Outcome of one simulated mission.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IterationOutcome {
+    /// Total downtime within the mission, hours.
+    pub downtime_hours: f64,
+    /// Downtime caused by human errors (DU class), hours.
+    pub du_downtime_hours: f64,
+    /// Downtime caused by data loss (DL class), hours.
+    pub dl_downtime_hours: f64,
+    /// Number of data-unavailability events.
+    pub du_events: u64,
+    /// Number of data-loss events.
+    pub dl_events: u64,
+}
+
+/// Aggregate result of a Monte-Carlo availability run.
+#[derive(Debug, Clone)]
+pub struct AvailabilityEstimate {
+    /// Per-iteration availability interval (Student-t).
+    pub availability: ConfidenceInterval,
+    /// Total uptime over total time — the paper's point estimator.
+    pub overall_availability: f64,
+    /// Mean downtime per mission, hours.
+    pub mean_downtime_hours: f64,
+    /// Share of downtime caused by human error (`DU`), in `[0, 1]`.
+    pub du_downtime_share: f64,
+    /// Total DU events across all iterations.
+    pub du_events: u64,
+    /// Total DL events across all iterations.
+    pub dl_events: u64,
+    /// Number of iterations.
+    pub iterations: u64,
+    /// Mission time per iteration, hours.
+    pub horizon_hours: f64,
+}
+
+impl AvailabilityEstimate {
+    /// Unavailability of the point estimator.
+    pub fn unavailability(&self) -> f64 {
+        1.0 - self.overall_availability
+    }
+
+    /// Availability in nines (from the overall estimator).
+    pub fn nines(&self) -> f64 {
+        nines::nines(self.overall_availability)
+    }
+
+    /// Whether an external availability value (e.g. from a Markov model)
+    /// falls inside this run's confidence interval.
+    pub fn is_consistent_with(&self, availability: f64) -> bool {
+        self.availability.contains(availability)
+    }
+}
+
+/// Runs batches of missions until the availability interval's half-width
+/// falls below `target_half_width` (absolute, on availability) or
+/// `max_iterations` is reached — the sequential version of the paper's
+/// "iterations vs error" relationship.
+///
+/// The iteration indices (and therefore RNG substreams) continue across
+/// batches, so the sequential run is exactly a prefix-extension of a fixed
+/// run with the same seed.
+pub(crate) fn run_to_precision<F>(
+    config: &McConfig,
+    target_half_width: f64,
+    max_iterations: u64,
+    sim: F,
+) -> Result<AvailabilityEstimate>
+where
+    F: Fn(u64) -> IterationOutcome + Sync,
+{
+    if !(target_half_width > 0.0) {
+        return Err(CoreError::InvalidParameter(format!(
+            "target half-width must be positive, got {target_half_width}"
+        )));
+    }
+    let mut total = config.iterations.max(2);
+    loop {
+        let cfg = McConfig { iterations: total, ..*config };
+        let est = run_iterations(&cfg, &sim)?;
+        if est.availability.half_width <= target_half_width || total >= max_iterations {
+            return Ok(est);
+        }
+        // Quadratic growth rule: required n scales with (hw/target)².
+        let ratio = (est.availability.half_width / target_half_width).powi(2);
+        let next = ((total as f64) * ratio * 1.2).ceil() as u64;
+        total = next.clamp(total + 1, max_iterations);
+    }
+}
+
+/// Runs `config.iterations` missions of `sim` in parallel and aggregates.
+///
+/// `sim` is called with `(iteration_index, &mut outcome_rng_substream)` and
+/// must be deterministic given the substream.
+pub(crate) fn run_iterations<F>(config: &McConfig, sim: F) -> Result<AvailabilityEstimate>
+where
+    F: Fn(u64) -> IterationOutcome + Sync,
+{
+    config.validate()?;
+    let threads = config.effective_threads().max(1);
+    let iterations = config.iterations;
+
+    let chunks: Vec<(u64, u64)> = {
+        let per = iterations / threads as u64;
+        let extra = iterations % threads as u64;
+        let mut start = 0;
+        let mut v = Vec::new();
+        for t in 0..threads as u64 {
+            let len = per + u64::from(t < extra);
+            if len > 0 {
+                v.push((start, start + len));
+            }
+            start += len;
+        }
+        v
+    };
+
+    struct Partial {
+        stats: RunningStats,
+        downtime: f64,
+        du_downtime: f64,
+        du_events: u64,
+        dl_events: u64,
+    }
+
+    let partials: Vec<Partial> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(lo, hi)| {
+                let sim = &sim;
+                scope.spawn(move || {
+                    let mut p = Partial {
+                        stats: RunningStats::new(),
+                        downtime: 0.0,
+                        du_downtime: 0.0,
+                        du_events: 0,
+                        dl_events: 0,
+                    };
+                    for i in lo..hi {
+                        let out = sim(i);
+                        p.stats.push(1.0 - out.downtime_hours / config.horizon_hours);
+                        p.downtime += out.downtime_hours;
+                        p.du_downtime += out.du_downtime_hours;
+                        p.du_events += out.du_events;
+                        p.dl_events += out.dl_events;
+                    }
+                    p
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut stats = RunningStats::new();
+    let (mut downtime, mut du_dt, mut du_ev, mut dl_ev) = (0.0, 0.0, 0u64, 0u64);
+    for p in partials {
+        stats.merge(&p.stats);
+        downtime += p.downtime;
+        du_dt += p.du_downtime;
+        du_ev += p.du_events;
+        dl_ev += p.dl_events;
+    }
+
+    let availability = t_interval(&stats, config.confidence).map_err(CoreError::from)?;
+    let total_time = config.horizon_hours * iterations as f64;
+    Ok(AvailabilityEstimate {
+        availability,
+        overall_availability: 1.0 - downtime / total_time,
+        mean_downtime_hours: downtime / iterations as f64,
+        du_downtime_share: if downtime > 0.0 { du_dt / downtime } else { 0.0 },
+        du_events: du_ev,
+        dl_events: dl_ev,
+        iterations,
+        horizon_hours: config.horizon_hours,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        let mut c = McConfig::default();
+        assert!(c.validate().is_ok());
+        c.iterations = 1;
+        assert!(c.validate().is_err());
+        c = McConfig { horizon_hours: 0.0, ..McConfig::default() };
+        assert!(c.validate().is_err());
+        c = McConfig { confidence: 1.0, ..McConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn runner_aggregates_deterministically_across_thread_counts() {
+        let sim = |i: u64| IterationOutcome {
+            downtime_hours: (i % 10) as f64,
+            du_downtime_hours: (i % 10) as f64 / 2.0,
+            dl_downtime_hours: (i % 10) as f64 / 2.0,
+            du_events: i % 3,
+            dl_events: i % 2,
+        };
+        let mk = |threads| McConfig {
+            iterations: 1000,
+            horizon_hours: 100.0,
+            seed: 1,
+            confidence: 0.95,
+            threads,
+        };
+        let one = run_iterations(&mk(1), sim).unwrap();
+        let many = run_iterations(&mk(4), sim).unwrap();
+        assert_eq!(one.overall_availability.to_bits(), many.overall_availability.to_bits());
+        assert_eq!(one.du_events, many.du_events);
+        assert!((one.availability.mean - many.availability.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_arithmetic() {
+        let sim = |_i: u64| IterationOutcome {
+            downtime_hours: 1.0,
+            du_downtime_hours: 1.0,
+            dl_downtime_hours: 0.0,
+            du_events: 1,
+            dl_events: 0,
+        };
+        let cfg = McConfig {
+            iterations: 100,
+            horizon_hours: 100.0,
+            seed: 0,
+            confidence: 0.95,
+            threads: 2,
+        };
+        let est = run_iterations(&cfg, sim).unwrap();
+        assert!((est.overall_availability - 0.99).abs() < 1e-12);
+        assert!((est.mean_downtime_hours - 1.0).abs() < 1e-12);
+        assert!((est.du_downtime_share - 1.0).abs() < 1e-12);
+        assert_eq!(est.du_events, 100);
+        assert!((est.nines() - 2.0).abs() < 1e-9);
+        assert!(est.is_consistent_with(0.99));
+    }
+}

@@ -1,0 +1,181 @@
+//! Model parameters, matching the paper's notation (Section V).
+
+use crate::error::{CoreError, Result};
+use availsim_hra::Hep;
+use availsim_storage::{RaidGeometry, ServiceRates};
+
+/// Parameters of an availability model for one RAID array.
+///
+/// All rates are per hour, following the paper:
+///
+/// | field | paper symbol | paper default |
+/// |-------|--------------|---------------|
+/// | `disk_failure_rate` | λ | swept (1e-7 … 2e-5) |
+/// | `disk_repair_rate` | μ_DF | 0.1 |
+/// | `ddf_recovery_rate` | μ_DDF | 0.03 |
+/// | `human_recovery_rate` | μ_he | 1.0 |
+/// | `disk_change_rate` | μ_ch (μ_s) | 1.0 |
+/// | `removed_crash_rate` | λ_crash | 0.01 |
+/// | `hep` | hep | 0, 0.001, 0.01 |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Array geometry (disk counts and fault tolerance).
+    pub geometry: RaidGeometry,
+    /// Per-disk failure rate λ.
+    pub disk_failure_rate: f64,
+    /// Disk repair (replacement + rebuild) rate μ_DF.
+    pub disk_repair_rate: f64,
+    /// Double-disk-failure (backup restore) recovery rate μ_DDF.
+    pub ddf_recovery_rate: f64,
+    /// Human-error recovery rate μ_he.
+    pub human_recovery_rate: f64,
+    /// Physical disk change rate μ_ch (the paper's μ_s), used by the
+    /// automatic fail-over model.
+    pub disk_change_rate: f64,
+    /// Crash rate λ_crash of a wrongly removed disk.
+    pub removed_crash_rate: f64,
+    /// Human-error probability per service action.
+    pub hep: Hep,
+}
+
+impl ModelParams {
+    /// Parameters with the paper's service rates for a given geometry,
+    /// failure rate, and hep.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] for a non-positive failure
+    /// rate.
+    pub fn paper_defaults(geometry: RaidGeometry, disk_failure_rate: f64, hep: Hep) -> Result<Self> {
+        let rates = ServiceRates::paper_defaults();
+        let p = ModelParams {
+            geometry,
+            disk_failure_rate,
+            disk_repair_rate: rates.disk_repair,
+            ddf_recovery_rate: rates.backup_restore,
+            human_recovery_rate: rates.human_error_recovery,
+            disk_change_rate: rates.disk_change,
+            removed_crash_rate: rates.removed_disk_crash,
+            hep,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// The paper's baseline array: RAID5 (3+1).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] for a non-positive failure
+    /// rate.
+    pub fn raid5_3plus1(disk_failure_rate: f64, hep: Hep) -> Result<Self> {
+        ModelParams::paper_defaults(
+            RaidGeometry::raid5(3).map_err(CoreError::from)?,
+            disk_failure_rate,
+            hep,
+        )
+    }
+
+    /// Number of disks `n` in the array.
+    pub fn disks(&self) -> u32 {
+        self.geometry.total_disks()
+    }
+
+    /// Returns a copy with a different hep.
+    pub fn with_hep(mut self, hep: Hep) -> Self {
+        self.hep = hep;
+        self
+    }
+
+    /// Returns a copy with a different failure rate.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] for a non-positive rate.
+    pub fn with_failure_rate(mut self, rate: f64) -> Result<Self> {
+        self.disk_failure_rate = rate;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Validates all rates.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        let fields = [
+            ("disk_failure_rate", self.disk_failure_rate),
+            ("disk_repair_rate", self.disk_repair_rate),
+            ("ddf_recovery_rate", self.ddf_recovery_rate),
+            ("human_recovery_rate", self.human_recovery_rate),
+            ("disk_change_rate", self.disk_change_rate),
+        ];
+        for (name, v) in fields {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(CoreError::InvalidParameter(format!(
+                    "`{name}` must be positive and finite, got {v}"
+                )));
+            }
+        }
+        if !(self.removed_crash_rate.is_finite() && self.removed_crash_rate >= 0.0) {
+            return Err(CoreError::InvalidParameter(format!(
+                "`removed_crash_rate` must be nonnegative and finite, got {}",
+                self.removed_crash_rate
+            )));
+        }
+        if self.disks() < 2 {
+            return Err(CoreError::InvalidParameter(format!(
+                "array must have at least 2 disks, got {}",
+                self.disks()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_v() {
+        let p = ModelParams::raid5_3plus1(1e-6, Hep::new(0.01).unwrap()).unwrap();
+        assert_eq!(p.disks(), 4);
+        assert_eq!(p.disk_repair_rate, 0.1);
+        assert_eq!(p.ddf_recovery_rate, 0.03);
+        assert_eq!(p.human_recovery_rate, 1.0);
+        assert_eq!(p.disk_change_rate, 1.0);
+        assert_eq!(p.removed_crash_rate, 0.01);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates() {
+        assert!(ModelParams::raid5_3plus1(0.0, Hep::ZERO).is_err());
+        assert!(ModelParams::raid5_3plus1(-1e-6, Hep::ZERO).is_err());
+        let p = ModelParams::raid5_3plus1(1e-6, Hep::ZERO).unwrap();
+        assert!(p.with_failure_rate(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn with_hep_preserves_other_fields() {
+        let p = ModelParams::raid5_3plus1(1e-6, Hep::ZERO).unwrap();
+        let q = p.with_hep(Hep::new(0.01).unwrap());
+        assert_eq!(q.disk_failure_rate, 1e-6);
+        assert!((q.hep.value() - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn geometry_variants() {
+        let r1 = ModelParams::paper_defaults(
+            RaidGeometry::raid1_pair(),
+            1e-5,
+            Hep::new(0.001).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(r1.disks(), 2);
+        let r5b = ModelParams::paper_defaults(
+            RaidGeometry::raid5(7).unwrap(),
+            1e-5,
+            Hep::ZERO,
+        )
+        .unwrap();
+        assert_eq!(r5b.disks(), 8);
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-validation of the Markov models against the Monte-Carlo reference
+//! (the methodology behind the paper's Fig. 4).
+
+use crate::error::Result;
+use crate::markov::{Raid5Conventional, Raid5FailOver};
+use crate::mc::{ConventionalMc, FailOverMc, McConfig};
+use crate::params::ModelParams;
+use crate::sensitivity::PolicyModel;
+
+/// Result of one validation point.
+#[derive(Debug, Clone)]
+pub struct ValidationPoint {
+    /// Disk failure rate λ.
+    pub disk_failure_rate: f64,
+    /// Human error probability.
+    pub hep: f64,
+    /// Availability from the Markov model.
+    pub markov_availability: f64,
+    /// Availability point estimate from the Monte-Carlo run.
+    pub mc_availability: f64,
+    /// Half-width of the Monte-Carlo confidence interval.
+    pub mc_half_width: f64,
+    /// Whether the Markov value falls inside the Monte-Carlo interval.
+    pub consistent: bool,
+}
+
+/// Validates one operating point: runs the Monte-Carlo model and checks the
+/// Markov availability against its confidence interval.
+///
+/// # Errors
+/// Propagates model and configuration errors.
+pub fn validate_point(
+    model: PolicyModel,
+    params: ModelParams,
+    config: &McConfig,
+) -> Result<ValidationPoint> {
+    let (markov_availability, estimate) = match model {
+        PolicyModel::Conventional => {
+            let markov = Raid5Conventional::new(params)?.solve()?;
+            let mc = ConventionalMc::new(params)?.run(config)?;
+            (markov.availability(), mc)
+        }
+        PolicyModel::FailOver => {
+            let markov = Raid5FailOver::new(params)?.solve()?;
+            let mc = FailOverMc::new(params)?.run(config)?;
+            (markov.availability(), mc)
+        }
+    };
+    Ok(ValidationPoint {
+        disk_failure_rate: params.disk_failure_rate,
+        hep: params.hep.value(),
+        markov_availability,
+        mc_availability: estimate.availability.mean,
+        mc_half_width: estimate.availability.half_width,
+        consistent: estimate.is_consistent_with(markov_availability),
+    })
+}
+
+/// Validates a sweep of failure rates (the Fig. 4 grid) for one hep.
+///
+/// # Errors
+/// Propagates model and configuration errors.
+pub fn validate_sweep(
+    model: PolicyModel,
+    base: ModelParams,
+    failure_rates: &[f64],
+    config: &McConfig,
+) -> Result<Vec<ValidationPoint>> {
+    failure_rates
+        .iter()
+        .map(|&lam| validate_point(model, base.with_failure_rate(lam)?, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use availsim_hra::Hep;
+
+    fn config() -> McConfig {
+        McConfig {
+            iterations: 400,
+            horizon_hours: 20_000.0,
+            seed: 99,
+            confidence: 0.99,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn conventional_point_validates() {
+        // High rates so the MC resolves the unavailability quickly.
+        let params = ModelParams::raid5_3plus1(1e-3, Hep::new(0.01).unwrap()).unwrap();
+        let v = validate_point(PolicyModel::Conventional, params, &config()).unwrap();
+        assert!(v.consistent, "markov {} vs mc {} ± {}", v.markov_availability,
+            v.mc_availability, v.mc_half_width);
+    }
+
+    #[test]
+    fn failover_point_validates() {
+        let params = ModelParams::raid5_3plus1(1e-3, Hep::new(0.01).unwrap()).unwrap();
+        let v = validate_point(PolicyModel::FailOver, params, &config()).unwrap();
+        assert!(v.consistent, "markov {} vs mc {} ± {}", v.markov_availability,
+            v.mc_availability, v.mc_half_width);
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_rate() {
+        let params = ModelParams::raid5_3plus1(1e-3, Hep::new(0.001).unwrap()).unwrap();
+        let rates = [5e-4, 1e-3, 2e-3];
+        let points =
+            validate_sweep(PolicyModel::Conventional, params, &rates, &config()).unwrap();
+        assert_eq!(points.len(), 3);
+        let consistent = points.iter().filter(|p| p.consistent).count();
+        assert!(consistent >= 2, "at 99% confidence at most ~1 in 100 may fail");
+    }
+}

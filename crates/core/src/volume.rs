@@ -1,0 +1,162 @@
+//! Equivalent-usable-capacity comparison of RAID organizations (Fig. 6).
+//!
+//! Each organization is provisioned to the same logical capacity; the
+//! volume is a series system of independent arrays, each solved with the
+//! Fig. 2 chain. RAID1's higher effective replication factor means more
+//! disks, hence more failures and more human-touch opportunities — the
+//! mechanism behind the paper's ranking inversion.
+
+use crate::error::Result;
+use crate::markov::Raid5Conventional;
+use crate::nines;
+use crate::params::ModelParams;
+use availsim_hra::Hep;
+use availsim_storage::{RaidGeometry, Volume};
+
+/// Availability of one volume option at equivalent capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VolumeAvailability {
+    /// Geometry label, e.g. `RAID5(3+1)`.
+    pub label: String,
+    /// Number of member arrays.
+    pub arrays: u64,
+    /// Total physical disks.
+    pub total_disks: u64,
+    /// Effective replication factor of the geometry.
+    pub erf: f64,
+    /// Unavailability of one member array.
+    pub per_array_unavailability: f64,
+    /// Unavailability of the whole volume (series system).
+    pub volume_unavailability: f64,
+}
+
+impl VolumeAvailability {
+    /// Volume availability.
+    pub fn availability(&self) -> f64 {
+        1.0 - self.volume_unavailability
+    }
+
+    /// Volume availability in nines.
+    pub fn nines(&self) -> f64 {
+        nines::nines_from_unavailability(self.volume_unavailability)
+    }
+}
+
+/// Solves one geometry at the given usable capacity.
+///
+/// # Errors
+/// Propagates capacity-mismatch and model errors.
+pub fn volume_availability(
+    geometry: RaidGeometry,
+    usable_capacity: u64,
+    disk_failure_rate: f64,
+    hep: Hep,
+) -> Result<VolumeAvailability> {
+    let volume = Volume::with_usable_capacity(geometry, usable_capacity)?;
+    let params = ModelParams::paper_defaults(geometry, disk_failure_rate, hep)?;
+    let solved = Raid5Conventional::new(params)?.solve()?;
+    let per_array = solved.unavailability();
+    Ok(VolumeAvailability {
+        label: geometry.label(),
+        arrays: volume.arrays(),
+        total_disks: volume.total_disks(),
+        erf: geometry.effective_replication_factor(),
+        per_array_unavailability: per_array,
+        volume_unavailability: volume.series_unavailability(per_array),
+    })
+}
+
+/// The paper's Fig. 6 comparison set: RAID1(1+1), RAID5(3+1), RAID5(7+1) at
+/// equivalent usable capacity (21 disk units by default — the least common
+/// multiple of the three usable sizes).
+///
+/// # Errors
+/// Propagates model errors.
+pub fn compare_equal_capacity(
+    usable_capacity: u64,
+    disk_failure_rate: f64,
+    hep: Hep,
+) -> Result<Vec<VolumeAvailability>> {
+    let geometries = [
+        RaidGeometry::raid1_pair(),
+        RaidGeometry::raid5(3)?,
+        RaidGeometry::raid5(7)?,
+    ];
+    geometries
+        .iter()
+        .map(|&g| volume_availability(g, usable_capacity, disk_failure_rate, hep))
+        .collect()
+}
+
+/// Default usable capacity for the Fig. 6 comparison.
+pub const FIG6_USABLE_CAPACITY: u64 = 21;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hep(v: f64) -> Hep {
+        Hep::new(v).unwrap()
+    }
+
+    #[test]
+    fn comparison_has_three_options_with_equal_capacity() {
+        let rows = compare_equal_capacity(21, 1e-5, hep(0.0)).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].arrays, 21); // RAID1 pairs
+        assert_eq!(rows[1].arrays, 7); // RAID5(3+1)
+        assert_eq!(rows[2].arrays, 3); // RAID5(7+1)
+        assert_eq!(rows[0].total_disks, 42);
+        assert_eq!(rows[1].total_disks, 28);
+        assert_eq!(rows[2].total_disks, 24);
+    }
+
+    #[test]
+    fn without_human_error_raid1_wins() {
+        // Paper Fig. 6: at hep = 0, RAID1(1+1) has the highest availability.
+        let rows = compare_equal_capacity(21, 1e-5, hep(0.0)).unwrap();
+        let r1 = rows[0].nines();
+        let r5a = rows[1].nines();
+        let r5b = rows[2].nines();
+        assert!(r1 > r5a && r5a > r5b, "expected R1 > R5(3+1) > R5(7+1): {r1} {r5a} {r5b}");
+    }
+
+    #[test]
+    fn with_human_error_the_ranking_inverts() {
+        // Paper Fig. 6: at hep = 0.01 the ERF effect dominates and
+        // RAID5(7+1) overtakes; RAID1 loses its lead.
+        let rows = compare_equal_capacity(21, 1e-5, hep(0.01)).unwrap();
+        let r1 = rows[0].nines();
+        let r5b = rows[2].nines();
+        assert!(
+            r5b > r1,
+            "RAID5(7+1) should beat RAID1 at hep=0.01: {r5b} vs {r1}"
+        );
+    }
+
+    #[test]
+    fn raid1_lead_shrinks_monotonically_with_hep() {
+        let lead = |h: f64| {
+            let rows = compare_equal_capacity(21, 1e-5, hep(h)).unwrap();
+            rows[0].nines() - rows[2].nines() // RAID1 minus RAID5(7+1)
+        };
+        let l0 = lead(0.0);
+        let l1 = lead(0.001);
+        let l2 = lead(0.01);
+        assert!(l0 > l1 && l1 > l2, "leads {l0} {l1} {l2}");
+    }
+
+    #[test]
+    fn erf_explains_disk_counts() {
+        let rows = compare_equal_capacity(21, 1e-6, hep(0.001)).unwrap();
+        for row in &rows {
+            let implied = row.erf * 21.0;
+            assert!((implied - row.total_disks as f64).abs() < 1e-9, "{}", row.label);
+        }
+    }
+
+    #[test]
+    fn capacity_mismatch_rejected() {
+        assert!(volume_availability(RaidGeometry::raid5(3).unwrap(), 20, 1e-6, hep(0.0)).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Absorbing-chain analysis: mean time to absorption and absorption
+//! probabilities.
+//!
+//! In storage-reliability terms, making the data-loss state absorbing turns
+//! the availability chain into a lifetime model whose mean time to absorption
+//! is the MTTDL (mean time to data loss) — the quantity that Markov-model
+//! critiques such as Greenan et al., "Mean time to meaningless" (HotStorage
+//! 2010), discuss.
+
+use crate::dense::DenseMatrix;
+use crate::error::{CtmcError, Result};
+use crate::lu::LuFactors;
+use crate::state::StateId;
+use crate::{validate_distribution, Ctmc};
+
+/// Result of an absorbing-chain analysis.
+#[derive(Debug, Clone)]
+pub struct AbsorptionAnalysis {
+    /// Expected time until one of the absorbing states is entered.
+    pub mean_time: f64,
+    /// Expected total time spent in each state before absorption, indexed by
+    /// [`StateId::index`]; absorbing states have zero sojourn.
+    pub expected_sojourn: Vec<f64>,
+    /// Probability of being absorbed in each requested absorbing state,
+    /// in the order the absorbing states were passed.
+    pub absorption_probabilities: Vec<f64>,
+}
+
+pub(crate) fn absorption(
+    chain: &Ctmc,
+    initial: &[f64],
+    absorbing: &[StateId],
+) -> Result<AbsorptionAnalysis> {
+    let n = chain.num_states();
+    validate_distribution(initial, n)?;
+    if absorbing.is_empty() {
+        return Err(CtmcError::InvalidAbsorbingSet("no absorbing states given".into()));
+    }
+    let mut is_absorbing = vec![false; n];
+    for s in absorbing {
+        if s.index() >= n {
+            return Err(CtmcError::InvalidAbsorbingSet(format!(
+                "state index {} out of range",
+                s.index()
+            )));
+        }
+        is_absorbing[s.index()] = true;
+    }
+    let transient: Vec<usize> = (0..n).filter(|&i| !is_absorbing[i]).collect();
+    if transient.is_empty() {
+        return Err(CtmcError::InvalidAbsorbingSet("every state is absorbing".into()));
+    }
+    let pos: Vec<Option<usize>> = {
+        let mut p = vec![None; n];
+        for (k, &i) in transient.iter().enumerate() {
+            p[i] = Some(k);
+        }
+        p
+    };
+
+    // Build B = Q restricted to transient states. Note the diagonal uses the
+    // *full* exit rate (including transitions into absorbing states).
+    let m = transient.len();
+    let mut b = DenseMatrix::zeros(m, m);
+    for (k, &i) in transient.iter().enumerate() {
+        b[(k, k)] = -chain.exit_rate(StateId(i));
+        for &(j, r) in &chain.adjacency()[i] {
+            if let Some(kj) = pos[j] {
+                b[(k, kj)] += r;
+            }
+        }
+    }
+
+    // Expected sojourn τ solves τᵀ B = -α_Tᵀ  (τ = -B⁻ᵀ α_T).
+    let alpha: Vec<f64> = transient.iter().map(|&i| -initial[i]).collect();
+    let factors = LuFactors::new(&b)?;
+    let tau = factors.solve_transposed(&alpha)?;
+    if tau.iter().any(|v| !v.is_finite() || *v < -1e-9) {
+        return Err(CtmcError::SingularSystem);
+    }
+
+    let mut expected_sojourn = vec![0.0; n];
+    for (k, &i) in transient.iter().enumerate() {
+        expected_sojourn[i] = tau[k].max(0.0);
+    }
+    let mean_time: f64 = expected_sojourn.iter().sum();
+
+    // Absorption probabilities: mass already on an absorbing state at t=0
+    // counts as instant absorption there.
+    let absorption_probabilities: Vec<f64> = absorbing
+        .iter()
+        .map(|a| {
+            let mut p = initial[a.index()];
+            for (k, &i) in transient.iter().enumerate() {
+                let rate = chain.rate(StateId(i), *a);
+                if rate > 0.0 {
+                    p += tau[k] * rate;
+                }
+            }
+            p
+        })
+        .collect();
+
+    Ok(AbsorptionAnalysis { mean_time, expected_sojourn, absorption_probabilities })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    #[test]
+    fn single_transient_state_mtta_is_inverse_rate() {
+        let mut b = CtmcBuilder::new();
+        let s = b.state("alive").unwrap();
+        let dead = b.state("dead").unwrap();
+        b.transition(s, dead, 0.2).unwrap();
+        let chain = b.build().unwrap();
+        let mut p0 = vec![0.0; 2];
+        p0[s.index()] = 1.0;
+        let a = chain.absorption(&p0, &[dead]).unwrap();
+        assert!((a.mean_time - 5.0).abs() < 1e-12);
+        assert!((a.absorption_probabilities[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_of_stages_adds_means() {
+        // a -> b -> dead: MTTA = 1/ra + 1/rb.
+        let mut bld = CtmcBuilder::new();
+        let a = bld.state("a").unwrap();
+        let b = bld.state("b").unwrap();
+        let dead = bld.state("dead").unwrap();
+        bld.transition(a, b, 0.5).unwrap();
+        bld.transition(b, dead, 0.25).unwrap();
+        let chain = bld.build().unwrap();
+        let res = chain.absorption(&[1.0, 0.0, 0.0], &[dead]).unwrap();
+        assert!((res.mean_time - 6.0).abs() < 1e-12);
+        assert!((res.expected_sojourn[0] - 2.0).abs() < 1e-12);
+        assert!((res.expected_sojourn[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn competing_absorbing_states_split_probability() {
+        let mut bld = CtmcBuilder::new();
+        let s = bld.state("s").unwrap();
+        let win = bld.state("win").unwrap();
+        let lose = bld.state("lose").unwrap();
+        bld.transition(s, win, 3.0).unwrap();
+        bld.transition(s, lose, 1.0).unwrap();
+        let chain = bld.build().unwrap();
+        let res = chain.absorption(&[1.0, 0.0, 0.0], &[win, lose]).unwrap();
+        assert!((res.absorption_probabilities[0] - 0.75).abs() < 1e-12);
+        assert!((res.absorption_probabilities[1] - 0.25).abs() < 1e-12);
+        assert!((res.mean_time - 0.25).abs() < 1e-12);
+        let p_sum: f64 = res.absorption_probabilities.iter().sum();
+        assert!((p_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repairable_system_mttdl() {
+        // OP -> EXP (nλ), EXP -> OP (μ), EXP -> DL (n-1)λ absorbing.
+        // Standard RAID5 MTTDL ≈ μ/(nλ·(n−1)λ) for μ >> λ; use exact formula:
+        // MTTDL = (μ + nλ + (n−1)λ) / (nλ·(n−1)λ)  [classic 2-state result]
+        let (n, lam, mu) = (4.0, 1e-4, 0.1);
+        let mut bld = CtmcBuilder::new();
+        let op = bld.state("op").unwrap();
+        let exp = bld.state("exp").unwrap();
+        let dl = bld.state("dl").unwrap();
+        bld.transition(op, exp, n * lam).unwrap();
+        bld.transition(exp, op, mu).unwrap();
+        bld.transition(exp, dl, (n - 1.0) * lam).unwrap();
+        let chain = bld.build().unwrap();
+        let res = chain.absorption(&[1.0, 0.0, 0.0], &[dl]).unwrap();
+        let expect = (mu + n * lam + (n - 1.0) * lam) / (n * lam * (n - 1.0) * lam);
+        let rel = (res.mean_time - expect).abs() / expect;
+        assert!(rel < 1e-10, "mean {} expected {expect}", res.mean_time);
+    }
+
+    #[test]
+    fn initial_mass_on_absorbing_state_counts() {
+        let mut bld = CtmcBuilder::new();
+        let s = bld.state("s").unwrap();
+        let dead = bld.state("dead").unwrap();
+        bld.transition(s, dead, 1.0).unwrap();
+        let chain = bld.build().unwrap();
+        let res = chain.absorption(&[0.5, 0.5], &[dead]).unwrap();
+        assert!((res.mean_time - 0.5).abs() < 1e-12);
+        assert!((res.absorption_probabilities[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_sets_rejected() {
+        let mut bld = CtmcBuilder::new();
+        let s = bld.state("s").unwrap();
+        let dead = bld.state("dead").unwrap();
+        bld.transition(s, dead, 1.0).unwrap();
+        let chain = bld.build().unwrap();
+        assert!(chain.absorption(&[1.0, 0.0], &[]).is_err());
+        assert!(chain.absorption(&[1.0, 0.0], &[s, dead]).is_err());
+    }
+
+    #[test]
+    fn unreachable_absorption_is_singular() {
+        // Two transient states that only talk to each other, plus an
+        // unreachable absorbing state: B is nonsingular only if absorption is
+        // certain, so this must error.
+        let mut bld = CtmcBuilder::new();
+        let a = bld.state("a").unwrap();
+        let b = bld.state("b").unwrap();
+        let dead = bld.state("dead").unwrap();
+        bld.transition(a, b, 1.0).unwrap();
+        bld.transition(b, a, 1.0).unwrap();
+        let chain = bld.build().unwrap();
+        let _ = dead;
+        let err = chain.absorption(&[1.0, 0.0, 0.0], &[dead]).unwrap_err();
+        assert!(matches!(err, CtmcError::SingularSystem));
+    }
+}

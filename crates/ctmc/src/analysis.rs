@@ -1,0 +1,206 @@
+//! Structural diagnostics for chains: reachability, communicating classes,
+//! and absorbing-state detection.
+//!
+//! Availability models are easy to mistype — a missing repair edge turns a
+//! repairable chain into one with an absorbing failure state, and the
+//! steady-state solver then fails with a generic "not irreducible" error.
+//! These diagnostics point at the states responsible *before* solving.
+
+use crate::state::StateId;
+use crate::Ctmc;
+
+/// Structural classification of a chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureReport {
+    /// Strongly connected components in reverse topological order (every
+    /// edge between components points to an *earlier* entry), each listing
+    /// its member states.
+    pub components: Vec<Vec<StateId>>,
+    /// States with no outgoing transitions at all.
+    pub absorbing_states: Vec<StateId>,
+    /// Whether the chain is irreducible (one component covering all states).
+    pub irreducible: bool,
+    /// States unreachable from state 0 (the conventional initial state).
+    pub unreachable_from_start: Vec<StateId>,
+}
+
+impl Ctmc {
+    /// Computes the structural diagnostics of this chain.
+    pub fn structure(&self) -> StructureReport {
+        let n = self.num_states();
+        let components = tarjan_scc(self);
+        let absorbing_states: Vec<StateId> = (0..n)
+            .filter(|&i| self.adjacency()[i].is_empty())
+            .map(StateId)
+            .collect();
+        let irreducible = components.len() == 1;
+
+        // BFS from state 0.
+        let mut seen = vec![false; n];
+        if n > 0 {
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(i) = stack.pop() {
+                for &(j, _) in &self.adjacency()[i] {
+                    if !seen[j] {
+                        seen[j] = true;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+        let unreachable_from_start =
+            (0..n).filter(|&i| !seen[i]).map(StateId).collect();
+
+        StructureReport { components, absorbing_states, irreducible, unreachable_from_start }
+    }
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative).
+fn tarjan_scc(chain: &Ctmc) -> Vec<Vec<StateId>> {
+    let n = chain.num_states();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<StateId>> = Vec::new();
+
+    // Explicit DFS stack of (node, edge cursor).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut cursor)) = dfs.last_mut() {
+            if *cursor == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let edges = &chain.adjacency()[v];
+            if *cursor < edges.len() {
+                let (w, _) = edges[*cursor];
+                *cursor += 1;
+                if index[w] == usize::MAX {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // v is finished.
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w] = false;
+                        component.push(StateId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort();
+                    components.push(component);
+                }
+                dfs.pop();
+                if let Some(&mut (parent, _)) = dfs.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::CtmcBuilder;
+
+    #[test]
+    fn irreducible_chain_is_one_component() {
+        let mut b = CtmcBuilder::new();
+        let a = b.state("a").unwrap();
+        let c = b.state("b").unwrap();
+        b.transition(a, c, 1.0).unwrap();
+        b.transition(c, a, 1.0).unwrap();
+        let report = b.build().unwrap().structure();
+        assert!(report.irreducible);
+        assert_eq!(report.components.len(), 1);
+        assert!(report.absorbing_states.is_empty());
+        assert!(report.unreachable_from_start.is_empty());
+    }
+
+    #[test]
+    fn absorbing_state_detected() {
+        let mut b = CtmcBuilder::new();
+        let a = b.state("alive").unwrap();
+        let dead = b.state("dead").unwrap();
+        b.transition(a, dead, 0.1).unwrap();
+        let chain = b.build().unwrap();
+        let report = chain.structure();
+        assert!(!report.irreducible);
+        assert_eq!(report.absorbing_states, vec![dead]);
+        assert_eq!(report.components.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_state_detected() {
+        let mut b = CtmcBuilder::new();
+        let a = b.state("a").unwrap();
+        let c = b.state("b").unwrap();
+        let island = b.state("island").unwrap();
+        b.transition(a, c, 1.0).unwrap();
+        b.transition(c, a, 1.0).unwrap();
+        b.transition(island, a, 1.0).unwrap(); // island reaches us, not vice versa
+        let report = b.build().unwrap().structure();
+        assert!(!report.irreducible);
+        assert_eq!(report.unreachable_from_start, vec![island]);
+    }
+
+    #[test]
+    fn two_cycles_with_bridge_are_two_components() {
+        let mut b = CtmcBuilder::new();
+        let ids: Vec<_> = (0..4).map(|i| b.state(format!("s{i}")).unwrap()).collect();
+        b.transition(ids[0], ids[1], 1.0).unwrap();
+        b.transition(ids[1], ids[0], 1.0).unwrap();
+        b.transition(ids[2], ids[3], 1.0).unwrap();
+        b.transition(ids[3], ids[2], 1.0).unwrap();
+        b.transition(ids[0], ids[2], 0.5).unwrap(); // one-way bridge
+        let report = b.build().unwrap().structure();
+        assert_eq!(report.components.len(), 2);
+        assert!(!report.irreducible);
+        // Reverse topological order: the sink component {2,3} first.
+        assert_eq!(report.components[0], vec![ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn paper_chain_is_irreducible() {
+        // The Fig. 2 structure must classify as one component.
+        let mut b = CtmcBuilder::new();
+        let op = b.state("OP").unwrap();
+        let exp = b.state("EXP").unwrap();
+        let du = b.state("DU").unwrap();
+        let dl = b.state("DL").unwrap();
+        b.transition(op, exp, 4e-6).unwrap();
+        b.transition(exp, op, 0.099).unwrap();
+        b.transition(exp, du, 0.01).unwrap();
+        b.transition(exp, dl, 3e-6).unwrap();
+        b.transition(du, op, 0.99).unwrap();
+        b.transition(du, dl, 0.01).unwrap();
+        b.transition(dl, op, 0.03).unwrap();
+        let report = b.build().unwrap().structure();
+        assert!(report.irreducible);
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let mut b = CtmcBuilder::new();
+        b.state("only").unwrap();
+        let report = b.build().unwrap().structure();
+        assert_eq!(report.components.len(), 1);
+        assert_eq!(report.absorbing_states.len(), 1);
+    }
+}

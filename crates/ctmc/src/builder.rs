@@ -1,0 +1,150 @@
+//! Fluent construction of continuous-time Markov chains.
+
+use crate::error::{CtmcError, Result};
+use crate::state::{StateId, StateSpace};
+use crate::Ctmc;
+
+/// Builder for [`Ctmc`] values.
+///
+/// # Examples
+///
+/// ```
+/// use availsim_ctmc::CtmcBuilder;
+///
+/// # fn main() -> Result<(), availsim_ctmc::CtmcError> {
+/// let mut b = CtmcBuilder::new();
+/// let up = b.state("up")?;
+/// let down = b.state("down")?;
+/// b.transition(up, down, 1e-3)?;
+/// b.transition(down, up, 0.1)?;
+/// let chain = b.build()?;
+/// let pi = chain.steady_state()?;
+/// assert!((pi[up.index()] - 0.1 / 0.101).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CtmcBuilder {
+    states: StateSpace,
+    transitions: Vec<(StateId, StateId, f64)>,
+}
+
+impl CtmcBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a new state.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::DuplicateState`] if the label was already used.
+    pub fn state(&mut self, label: impl Into<String>) -> Result<StateId> {
+        self.states.add(label)
+    }
+
+    /// Adds a transition with the given rate (per unit time).
+    ///
+    /// Zero-rate transitions are accepted and silently dropped, which lets
+    /// model generators pass `hep = 0` without special-casing. Self-loops are
+    /// rejected: they have no meaning in a CTMC (the paper's diagrams draw
+    /// "failed retry" self-loops, which simply reduce the effective exit rate;
+    /// encode them by scaling the competing rates instead).
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::InvalidRate`] if `rate` is negative or not finite,
+    /// or if `from == to`.
+    pub fn transition(&mut self, from: StateId, to: StateId, rate: f64) -> Result<&mut Self> {
+        if !rate.is_finite() || rate < 0.0 || from == to {
+            return Err(CtmcError::InvalidRate {
+                from: self.states.label(from).to_string(),
+                to: self.states.label(to).to_string(),
+                rate,
+            });
+        }
+        if rate > 0.0 {
+            self.transitions.push((from, to, rate));
+        }
+        Ok(self)
+    }
+
+    /// Number of states declared so far.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Finalizes the chain.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::EmptyChain`] if no states were declared.
+    pub fn build(self) -> Result<Ctmc> {
+        if self.states.is_empty() {
+            return Err(CtmcError::EmptyChain);
+        }
+        let n = self.states.len();
+        let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (from, to, rate) in self.transitions {
+            // Merge parallel edges so exit rates stay exact.
+            let row = &mut adjacency[from.0];
+            match row.iter_mut().find(|(c, _)| *c == to.0) {
+                Some((_, r)) => *r += rate,
+                None => row.push((to.0, rate)),
+            }
+        }
+        for row in &mut adjacency {
+            row.sort_by_key(|&(c, _)| c);
+        }
+        Ok(Ctmc::from_parts(self.states, adjacency))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_negative_and_non_finite_rates() {
+        let mut b = CtmcBuilder::new();
+        let a = b.state("a").unwrap();
+        let c = b.state("b").unwrap();
+        assert!(b.transition(a, c, -1.0).is_err());
+        assert!(b.transition(a, c, f64::NAN).is_err());
+        assert!(b.transition(a, c, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn rejects_self_loops() {
+        let mut b = CtmcBuilder::new();
+        let a = b.state("a").unwrap();
+        assert!(b.transition(a, a, 1.0).is_err());
+    }
+
+    #[test]
+    fn zero_rates_are_dropped() {
+        let mut b = CtmcBuilder::new();
+        let a = b.state("a").unwrap();
+        let c = b.state("b").unwrap();
+        b.transition(a, c, 0.0).unwrap();
+        b.transition(c, a, 1.0).unwrap();
+        let chain = b.build().unwrap();
+        assert_eq!(chain.num_transitions(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let mut b = CtmcBuilder::new();
+        let a = b.state("a").unwrap();
+        let c = b.state("b").unwrap();
+        b.transition(a, c, 1.0).unwrap();
+        b.transition(a, c, 2.0).unwrap();
+        b.transition(c, a, 1.0).unwrap();
+        let chain = b.build().unwrap();
+        assert_eq!(chain.num_transitions(), 2);
+        assert!((chain.exit_rate(a) - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert_eq!(CtmcBuilder::new().build().unwrap_err(), CtmcError::EmptyChain);
+    }
+}

@@ -1,0 +1,198 @@
+//! Embedded (jump) discrete-time Markov chain of a CTMC.
+
+use crate::error::{CtmcError, Result};
+use crate::sparse::CsrMatrix;
+use crate::state::StateSpace;
+use crate::Ctmc;
+
+/// A discrete-time Markov chain over the same labeled states as the CTMC it
+/// was derived from.
+#[derive(Debug, Clone)]
+pub struct Dtmc {
+    states: StateSpace,
+    p: CsrMatrix,
+    /// Exit rate of each CTMC state, kept to convert stationary vectors back.
+    exit_rates: Vec<f64>,
+}
+
+pub(crate) fn embedded(chain: &Ctmc) -> Result<Dtmc> {
+    let n = chain.num_states();
+    let mut triplets = Vec::with_capacity(chain.num_transitions());
+    for (i, row) in chain.adjacency().iter().enumerate() {
+        let exit: f64 = row.iter().map(|&(_, r)| r).sum();
+        if exit <= 0.0 {
+            return Err(CtmcError::NotIrreducible { state: i });
+        }
+        for &(j, r) in row {
+            triplets.push((i, j, r / exit));
+        }
+    }
+    let p = CsrMatrix::from_triplets(n, n, &triplets)?;
+    let exit_rates = (0..n)
+        .map(|i| chain.exit_rate(crate::StateId(i)))
+        .collect();
+    Ok(Dtmc { states: chain.states().clone(), p, exit_rates })
+}
+
+impl Dtmc {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The labeled state space.
+    pub fn states(&self) -> &StateSpace {
+        &self.states
+    }
+
+    /// One-step transition probability matrix (CSR).
+    pub fn transition_matrix(&self) -> &CsrMatrix {
+        &self.p
+    }
+
+    /// Propagates a distribution one step: `π ← πP`.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::DimensionMismatch`] on a wrong-length vector.
+    pub fn step(&self, pi: &[f64]) -> Result<Vec<f64>> {
+        self.p.vec_mul(pi)
+    }
+
+    /// Stationary distribution of the jump chain by damped power iteration.
+    ///
+    /// A small damping factor guarantees convergence even for periodic jump
+    /// chains (the undamped jump chain of a 2-state CTMC alternates forever).
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::NoConvergence`] if the iteration fails to reach
+    /// `tolerance` within `max_iterations`.
+    pub fn stationary(&self, max_iterations: usize, tolerance: f64) -> Result<Vec<f64>> {
+        let n = self.num_states();
+        let damping = 0.5;
+        let mut pi = vec![1.0 / n as f64; n];
+        let mut residual = f64::INFINITY;
+        for _ in 0..max_iterations {
+            let stepped = self.step(&pi)?;
+            let next: Vec<f64> = pi
+                .iter()
+                .zip(&stepped)
+                .map(|(a, b)| damping * a + (1.0 - damping) * b)
+                .collect();
+            residual = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            pi = next;
+            if residual < tolerance {
+                let total: f64 = pi.iter().sum();
+                for v in &mut pi {
+                    *v /= total;
+                }
+                return Ok(pi);
+            }
+        }
+        Err(CtmcError::NoConvergence { iterations: max_iterations, residual })
+    }
+
+    /// Converts a stationary distribution of the jump chain into the
+    /// stationary distribution of the originating CTMC:
+    /// `π_ctmc(i) ∝ π_jump(i) / exit_rate(i)`.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::DimensionMismatch`] on a wrong-length vector.
+    pub fn to_ctmc_stationary(&self, pi_jump: &[f64]) -> Result<Vec<f64>> {
+        if pi_jump.len() != self.num_states() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_states(),
+                actual: pi_jump.len(),
+            });
+        }
+        let mut pi: Vec<f64> = pi_jump
+            .iter()
+            .zip(&self.exit_rates)
+            .map(|(p, r)| p / r)
+            .collect();
+        let total: f64 = pi.iter().sum();
+        for v in &mut pi {
+            *v /= total;
+        }
+        Ok(pi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    fn chain() -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let s0 = b.state("a").unwrap();
+        let s1 = b.state("b").unwrap();
+        let s2 = b.state("c").unwrap();
+        b.transition(s0, s1, 2.0).unwrap();
+        b.transition(s1, s0, 1.0).unwrap();
+        b.transition(s1, s2, 1.0).unwrap();
+        b.transition(s2, s0, 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rows_are_stochastic() {
+        let d = chain().embedded().unwrap();
+        let p = d.transition_matrix();
+        for r in 0..d.num_states() {
+            let sum: f64 = p.row(r).map(|(_, v)| v).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jump_probabilities_are_rate_ratios() {
+        let c = chain();
+        let d = c.embedded().unwrap();
+        let b = c.find_state("b").unwrap();
+        let a = c.find_state("a").unwrap();
+        // b exits at 2.0 total, half to a.
+        let p_ba = d
+            .transition_matrix()
+            .row(b.index())
+            .find(|&(col, _)| col == a.index())
+            .map(|(_, v)| v)
+            .unwrap();
+        assert!((p_ba - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_roundtrip_matches_gth() {
+        let c = chain();
+        let d = c.embedded().unwrap();
+        let pi_jump = d.stationary(200_000, 1e-14).unwrap();
+        let pi = d.to_ctmc_stationary(&pi_jump).unwrap();
+        let gth = c.steady_state().unwrap();
+        for (x, y) in pi.iter().zip(&gth) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn two_state_periodic_jump_chain_converges_with_damping() {
+        let mut b = CtmcBuilder::new();
+        let s0 = b.state("u").unwrap();
+        let s1 = b.state("d").unwrap();
+        b.transition(s0, s1, 1.0).unwrap();
+        b.transition(s1, s0, 5.0).unwrap();
+        let d = b.build().unwrap().embedded().unwrap();
+        let pi = d.stationary(100_000, 1e-13).unwrap();
+        // Jump chain alternates: stationary = (1/2, 1/2).
+        assert!((pi[0] - 0.5).abs() < 1e-6);
+        assert!((pi[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn absorbing_state_rejected() {
+        let mut b = CtmcBuilder::new();
+        let s0 = b.state("u").unwrap();
+        let s1 = b.state("trap").unwrap();
+        b.transition(s0, s1, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert!(matches!(c.embedded().unwrap_err(), CtmcError::NotIrreducible { state: 1 }));
+    }
+}

@@ -1,0 +1,419 @@
+//! # availsim-ctmc
+//!
+//! A small, self-contained continuous-time Markov chain (CTMC) engine built
+//! for dependability and availability models.
+//!
+//! Chains are built with [`CtmcBuilder`], then analyzed:
+//!
+//! * **Steady state** — [`Ctmc::steady_state`] uses the cancellation-free
+//!   GTH elimination (see [`steady_state_gth`]), which keeps componentwise relative
+//!   accuracy even when stationary probabilities span many orders of
+//!   magnitude, as they do in availability chains. LU and power-iteration
+//!   solvers are available through [`Ctmc::steady_state_with`] for
+//!   cross-checking.
+//! * **Transient analysis** — [`Ctmc::transient`] implements uniformization
+//!   (Jensen's method) with numerically stable Poisson weights, and
+//!   [`Ctmc::cumulative_occupancy`] integrates state probabilities over a
+//!   mission window (interval availability).
+//! * **Absorbing analysis** — [`Ctmc::absorption`] computes mean time to
+//!   absorption (MTTF / MTTDL) and absorption probabilities.
+//!
+//! # Examples
+//!
+//! A repairable two-state system with failure rate λ and repair rate μ has
+//! steady-state availability μ/(λ+μ):
+//!
+//! ```
+//! use availsim_ctmc::CtmcBuilder;
+//!
+//! # fn main() -> Result<(), availsim_ctmc::CtmcError> {
+//! let mut b = CtmcBuilder::new();
+//! let up = b.state("up")?;
+//! let down = b.state("down")?;
+//! b.transition(up, down, 1e-4)?; // λ
+//! b.transition(down, up, 1e-1)?; // μ
+//! let chain = b.build()?;
+//! let a = chain.steady_state_reward(&chain.indicator(&[up]))?;
+//! assert!((a - 0.1 / (0.1 + 1e-4)).abs() < 1e-15);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod absorbing;
+mod analysis;
+mod builder;
+mod dense;
+mod dtmc;
+mod error;
+mod gth;
+mod lu;
+mod rewards;
+mod sparse;
+mod state;
+mod steady_state;
+mod transient;
+
+pub use absorbing::AbsorptionAnalysis;
+pub use analysis::StructureReport;
+pub use builder::CtmcBuilder;
+pub use dense::DenseMatrix;
+pub use dtmc::Dtmc;
+pub use error::{CtmcError, Result};
+pub use gth::{steady_state_gth, steady_state_gth_rates};
+pub use lu::{solve as lu_solve, LuFactors};
+pub use rewards::RewardModel;
+pub use sparse::CsrMatrix;
+pub use state::{StateId, StateSpace};
+pub use steady_state::SteadyStateMethod;
+
+/// A continuous-time Markov chain with labeled states.
+///
+/// Construct with [`CtmcBuilder`]. All probability vectors returned by the
+/// analyses are indexed by [`StateId::index`].
+#[derive(Debug, Clone)]
+pub struct Ctmc {
+    states: StateSpace,
+    /// Outgoing adjacency per state: sorted `(dst, rate)` with `rate > 0`.
+    adjacency: Vec<Vec<(usize, f64)>>,
+    exit_rates: Vec<f64>,
+}
+
+impl Ctmc {
+    pub(crate) fn from_parts(states: StateSpace, adjacency: Vec<Vec<(usize, f64)>>) -> Self {
+        let exit_rates = adjacency
+            .iter()
+            .map(|row| row.iter().map(|&(_, r)| r).sum())
+            .collect();
+        Ctmc { states, adjacency, exit_rates }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of distinct transitions with positive rate.
+    pub fn num_transitions(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+
+    /// The labeled state space.
+    pub fn states(&self) -> &StateSpace {
+        &self.states
+    }
+
+    /// Looks a state up by label.
+    pub fn find_state(&self, label: &str) -> Option<StateId> {
+        self.states.find(label)
+    }
+
+    /// Iterates over all transitions as `(from, to, rate)`.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, StateId, f64)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(i, row)| {
+            row.iter().map(move |&(j, r)| (StateId(i), StateId(j), r))
+        })
+    }
+
+    /// Total outgoing rate of a state.
+    ///
+    /// # Panics
+    /// Panics if `s` does not belong to this chain.
+    pub fn exit_rate(&self, s: StateId) -> f64 {
+        self.exit_rates[s.0]
+    }
+
+    /// Rate of the transition `from -> to` (zero if absent).
+    pub fn rate(&self, from: StateId, to: StateId) -> f64 {
+        self.adjacency[from.0]
+            .iter()
+            .find(|&&(c, _)| c == to.0)
+            .map_or(0.0, |&(_, r)| r)
+    }
+
+    /// The infinitesimal generator `Q` as a dense matrix (rows sum to zero).
+    pub fn generator(&self) -> DenseMatrix {
+        let n = self.num_states();
+        let mut q = DenseMatrix::zeros(n, n);
+        for (i, row) in self.adjacency.iter().enumerate() {
+            for &(j, r) in row {
+                q[(i, j)] += r;
+            }
+            q[(i, i)] = -self.exit_rates[i];
+        }
+        q
+    }
+
+    /// The uniformization rate `Λ = 1.02 · max_i exit_rate(i)`,
+    /// with the margin ensuring the uniformized DTMC is aperiodic.
+    pub fn uniformization_rate(&self) -> f64 {
+        let max = self.exit_rates.iter().fold(0.0f64, |m, &r| m.max(r));
+        if max == 0.0 {
+            1.0
+        } else {
+            max * 1.02
+        }
+    }
+
+    /// The uniformized probability matrix `P = I + Q/Λ` (CSR) and `Λ`.
+    pub fn uniformized(&self) -> (CsrMatrix, f64) {
+        let lambda = self.uniformization_rate();
+        let n = self.num_states();
+        let mut triplets = Vec::with_capacity(self.num_transitions() + n);
+        for (i, row) in self.adjacency.iter().enumerate() {
+            for &(j, r) in row {
+                triplets.push((i, j, r / lambda));
+            }
+            triplets.push((i, i, 1.0 - self.exit_rates[i] / lambda));
+        }
+        let p = CsrMatrix::from_triplets(n, n, &triplets)
+            .expect("uniformized matrix indices are in range by construction");
+        (p, lambda)
+    }
+
+    /// Builds a 0/1 reward (indicator) vector over the given states.
+    pub fn indicator(&self, states: &[StateId]) -> Vec<f64> {
+        let mut v = vec![0.0; self.num_states()];
+        for s in states {
+            v[s.0] = 1.0;
+        }
+        v
+    }
+
+    /// Stationary distribution via GTH elimination (the recommended solver).
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::NotIrreducible`] for reducible chains.
+    pub fn steady_state(&self) -> Result<Vec<f64>> {
+        gth::steady_state_gth(self)
+    }
+
+    /// Stationary distribution using an explicitly chosen method.
+    ///
+    /// # Errors
+    /// Propagates the chosen solver's errors; see [`SteadyStateMethod`].
+    pub fn steady_state_with(&self, method: SteadyStateMethod) -> Result<Vec<f64>> {
+        steady_state::solve(self, method)
+    }
+
+    /// Expected steady-state reward `Σ_i π_i · reward_i`.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::DimensionMismatch`] if the reward vector has the
+    /// wrong length, and propagates steady-state errors.
+    pub fn steady_state_reward(&self, rewards: &[f64]) -> Result<f64> {
+        if rewards.len() != self.num_states() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_states(),
+                actual: rewards.len(),
+            });
+        }
+        let pi = self.steady_state()?;
+        Ok(pi.iter().zip(rewards).map(|(p, r)| p * r).sum())
+    }
+
+    /// State distribution at time `t` starting from `p0`, via uniformization
+    /// with truncation error below `tol`.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::InvalidDistribution`] if `p0` is not a probability
+    /// vector over the chain's states.
+    pub fn transient(&self, p0: &[f64], t: f64, tol: f64) -> Result<Vec<f64>> {
+        transient::transient(self, p0, t, tol)
+    }
+
+    /// Expected time spent in each state during `[0, t]`, starting from `p0`.
+    ///
+    /// The entries sum to `t`. Dividing by `t` gives interval availability
+    /// when dotted with an up-state indicator.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::InvalidDistribution`] if `p0` is invalid.
+    pub fn cumulative_occupancy(&self, p0: &[f64], t: f64, tol: f64) -> Result<Vec<f64>> {
+        transient::cumulative_occupancy(self, p0, t, tol)
+    }
+
+    /// Mean time to absorption and related quantities.
+    ///
+    /// # Errors
+    /// See the [`AbsorptionAnalysis`] documentation: invalid absorbing sets
+    /// and unreachable absorbing states produce errors.
+    pub fn absorption(&self, initial: &[f64], absorbing: &[StateId]) -> Result<AbsorptionAnalysis> {
+        absorbing::absorption(self, initial, absorbing)
+    }
+
+    /// The embedded (jump) DTMC of this chain.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::NotIrreducible`] if some state has no outgoing
+    /// transition (jump probabilities undefined).
+    pub fn embedded(&self) -> Result<Dtmc> {
+        dtmc::embedded(self)
+    }
+
+    /// A copy of this chain with the outgoing transitions of the given
+    /// states removed, making them absorbing — the transformation behind
+    /// reliability (first-passage) analyses on availability chains.
+    pub fn absorbing_variant(&self, absorbing: &[StateId]) -> Ctmc {
+        let mut adjacency = self.adjacency.clone();
+        for s in absorbing {
+            adjacency[s.0].clear();
+        }
+        Ctmc::from_parts(self.states.clone(), adjacency)
+    }
+
+    /// Probability that the chain has **not** entered any of the `absorbing`
+    /// states by time `t`, starting from `p0` — the mission reliability when
+    /// the absorbing set is "data loss".
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::InvalidDistribution`] for an invalid `p0` and
+    /// propagates transient-solver errors.
+    pub fn survival_probability(
+        &self,
+        p0: &[f64],
+        absorbing: &[StateId],
+        t: f64,
+        tol: f64,
+    ) -> Result<f64> {
+        let trapped = self.absorbing_variant(absorbing);
+        let p = trapped.transient(p0, t, tol)?;
+        let dead: f64 = absorbing.iter().map(|s| p[s.0]).sum();
+        Ok((1.0 - dead).clamp(0.0, 1.0))
+    }
+
+    pub(crate) fn adjacency(&self) -> &[Vec<(usize, f64)>] {
+        &self.adjacency
+    }
+}
+
+/// Validates that `p` is a probability distribution of length `n`.
+pub(crate) fn validate_distribution(p: &[f64], n: usize) -> Result<()> {
+    if p.len() != n {
+        return Err(CtmcError::InvalidDistribution(format!(
+            "length {} does not match state count {n}",
+            p.len()
+        )));
+    }
+    let mut total = 0.0;
+    for &v in p {
+        if !v.is_finite() || v < 0.0 {
+            return Err(CtmcError::InvalidDistribution(format!("entry {v} is not a probability")));
+        }
+        total += v;
+    }
+    if (total - 1.0).abs() > 1e-9 {
+        return Err(CtmcError::InvalidDistribution(format!("entries sum to {total}, expected 1")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repairable_pair() -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up").unwrap();
+        let down = b.state("down").unwrap();
+        b.transition(up, down, 0.25).unwrap();
+        b.transition(down, up, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn generator_rows_sum_to_zero() {
+        let chain = repairable_pair();
+        let q = chain.generator();
+        for i in 0..q.rows() {
+            let sum: f64 = (0..q.cols()).map(|j| q[(i, j)]).sum();
+            assert!(sum.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rate_lookup() {
+        let chain = repairable_pair();
+        let up = chain.find_state("up").unwrap();
+        let down = chain.find_state("down").unwrap();
+        assert_eq!(chain.rate(up, down), 0.25);
+        assert_eq!(chain.rate(down, up), 1.0);
+        assert_eq!(chain.rate(up, up), 0.0);
+        assert_eq!(chain.exit_rate(up), 0.25);
+    }
+
+    #[test]
+    fn uniformized_rows_are_stochastic() {
+        let chain = repairable_pair();
+        let (p, lambda) = chain.uniformized();
+        assert!(lambda >= 1.0);
+        for r in 0..p.rows() {
+            let sum: f64 = p.row(r).map(|(_, v)| v).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn steady_state_reward_is_availability() {
+        let chain = repairable_pair();
+        let up = chain.find_state("up").unwrap();
+        let a = chain.steady_state_reward(&chain.indicator(&[up])).unwrap();
+        assert!((a - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reward_vector_length_checked() {
+        let chain = repairable_pair();
+        assert!(chain.steady_state_reward(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn absorbing_variant_truly_absorbs() {
+        let chain = repairable_pair();
+        let down = chain.find_state("down").unwrap();
+        let trapped = chain.absorbing_variant(&[down]);
+        assert_eq!(trapped.exit_rate(down), 0.0);
+        assert_eq!(trapped.num_transitions(), 1);
+        // The original is untouched.
+        assert_eq!(chain.num_transitions(), 2);
+    }
+
+    #[test]
+    fn survival_matches_exponential_law() {
+        // up -> down at rate λ with no repair: survival = e^{-λt}.
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up").unwrap();
+        let down = b.state("down").unwrap();
+        b.transition(up, down, 0.02).unwrap();
+        b.transition(down, up, 5.0).unwrap(); // removed by the variant
+        let chain = b.build().unwrap();
+        for &t in &[1.0, 10.0, 100.0] {
+            let s = chain.survival_probability(&[1.0, 0.0], &[down], t, 1e-12).unwrap();
+            let expect = (-0.02 * t).exp();
+            assert!((s - expect).abs() < 1e-9, "t={t}: {s} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn survival_is_monotone_in_time() {
+        let chain = repairable_pair();
+        let down = chain.find_state("down").unwrap();
+        let mut prev = 1.0;
+        for &t in &[0.5, 1.0, 5.0, 20.0] {
+            let s = chain.survival_probability(&[1.0, 0.0], &[down], t, 1e-12).unwrap();
+            assert!(s <= prev + 1e-12);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn distribution_validation() {
+        assert!(validate_distribution(&[0.5, 0.5], 2).is_ok());
+        assert!(validate_distribution(&[0.5], 2).is_err());
+        assert!(validate_distribution(&[1.5, -0.5], 2).is_err());
+        assert!(validate_distribution(&[0.2, 0.2], 2).is_err());
+        assert!(validate_distribution(&[f64::NAN, 1.0], 2).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used for general linear solves (mean time to absorption, expected
+//! accumulated rewards). Steady-state vectors are computed by the
+//! cancellation-free GTH elimination in [`crate::gth`] instead, because LU can
+//! lose relative accuracy on probabilities many orders of magnitude below one.
+
+use crate::dense::DenseMatrix;
+use crate::error::{CtmcError, Result};
+
+/// An LU factorization `P * A = L * U` of a square matrix.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Combined storage: strictly-lower part holds L (unit diagonal implied),
+    /// upper triangle holds U.
+    lu: DenseMatrix,
+    /// Row permutation: `perm[i]` is the original row moved to position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used for determinants.
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::DimensionMismatch`] for non-square input and
+    /// [`CtmcError::SingularSystem`] when a pivot underflows to zero.
+    pub fn new(a: &DenseMatrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(CtmcError::DimensionMismatch { expected: a.rows(), actual: a.cols() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val == 0.0 || !pivot_val.is_finite() {
+                return Err(CtmcError::SingularSystem);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let upd = factor * lu[(k, j)];
+                        lu[(i, j)] -= upd;
+                    }
+                }
+            }
+        }
+        Ok(LuFactors { lu, perm, sign })
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(CtmcError::DimensionMismatch { expected: n, actual: b.len() });
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `x A = b` (equivalently `Aᵀ xᵀ = bᵀ`) by solving with the
+    /// transposed factors.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(CtmcError::DimensionMismatch { expected: n, actual: b.len() });
+        }
+        // Solve Uᵀ y = b (forward substitution, U upper → Uᵀ lower).
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = acc / self.lu[(i, i)];
+        }
+        // Solve Lᵀ z = y (back substitution, unit diagonal).
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Undo the permutation: x[perm[i]] = z[i].
+        let mut x = vec![0.0; n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            x[p] = y[i];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn determinant(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut det = self.sign;
+        for i in 0..n {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// An estimate of how close the matrix is to singular: the ratio of the
+    /// smallest to largest pivot magnitude (1 = perfectly conditioned,
+    /// 0 = singular).
+    pub fn pivot_ratio(&self) -> f64 {
+        let n = self.lu.rows();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for i in 0..n {
+            let p = self.lu[(i, i)].abs();
+            min = min.min(p);
+            max = max.max(p);
+        }
+        if max == 0.0 {
+            0.0
+        } else {
+            min / max
+        }
+    }
+}
+
+/// One-shot convenience: solves `A x = b`.
+///
+/// # Errors
+/// Propagates factorization and dimension errors from [`LuFactors`].
+pub fn solve(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    LuFactors::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &DenseMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.mul_vec(x).unwrap();
+        ax.iter().zip(b).fold(0.0f64, |m, (p, q)| m.max((p - q).abs()))
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let b = [8.0, -11.0, -3.0];
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] - -1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(LuFactors::new(&a).unwrap_err(), CtmcError::SingularSystem);
+    }
+
+    #[test]
+    fn determinant_of_permutation_and_scale() {
+        let a = DenseMatrix::from_rows(&[vec![0.0, 2.0], vec![3.0, 0.0]]).unwrap();
+        let f = LuFactors::new(&a).unwrap();
+        assert!((f.determinant() - -6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transposed_solve_matches_direct_transpose() {
+        let a = DenseMatrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![2.0, 5.0, 1.0],
+            vec![0.5, 1.0, 3.0],
+        ])
+        .unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let f = LuFactors::new(&a).unwrap();
+        let x = f.solve_transposed(&b).unwrap();
+        // x A = b  <=>  Aᵀ x = b
+        let xt = solve(&a.transpose(), &b).unwrap();
+        for (p, q) in x.iter().zip(&xt) {
+            assert!((p - q).abs() < 1e-12, "{p} vs {q}");
+        }
+        assert!(residual(&a.transpose(), &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn badly_scaled_system_still_solves() {
+        // Rates spanning many orders of magnitude, as in availability chains.
+        // (Not a generator matrix: rows deliberately do not sum to zero,
+        // otherwise the system would be singular.)
+        let a = DenseMatrix::from_rows(&[
+            vec![-1e-6, 1e-6, 1e-7],
+            vec![0.1, -0.1003, 3e-4],
+            vec![0.03, 0.0, -0.031],
+        ])
+        .unwrap();
+        // Solve A x = b for an arbitrary b; check the relative residual.
+        let b = [1.0, 0.5, 0.25];
+        let x = solve(&a, &b).unwrap();
+        let scale = x.iter().fold(1.0f64, |m, v| m.max(v.abs())) * a.max_abs();
+        assert!(residual(&a, &x, &b) / scale < 1e-12);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(LuFactors::new(&a).is_err());
+    }
+}

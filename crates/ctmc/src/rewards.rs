@@ -1,0 +1,240 @@
+//! Markov reward models: rate rewards on states, impulse rewards on
+//! transitions, long-run rates and finite-horizon accumulation.
+//!
+//! This is the standard dependability-tool layer (SHARPE-style) on top of a
+//! CTMC: attach €/h penalties to down states (rate rewards) and per-event
+//! costs to transitions (impulse rewards — e.g. a truck roll per disk
+//! replacement), then ask for the long-run cost rate or the expected cost
+//! of a mission.
+
+use crate::error::{CtmcError, Result};
+use crate::state::StateId;
+use crate::Ctmc;
+
+/// A reward structure over a chain: per-time-unit rewards on states plus
+/// per-occurrence rewards on transitions.
+#[derive(Debug, Clone)]
+pub struct RewardModel {
+    rate_rewards: Vec<f64>,
+    /// Impulse rewards, parallel to the chain's adjacency layout.
+    impulse: Vec<Vec<(usize, f64)>>,
+}
+
+impl RewardModel {
+    /// Creates an all-zero reward structure for `chain`.
+    pub fn zero(chain: &Ctmc) -> Self {
+        RewardModel {
+            rate_rewards: vec![0.0; chain.num_states()],
+            impulse: chain.adjacency().iter().map(|row| {
+                row.iter().map(|&(j, _)| (j, 0.0)).collect()
+            }).collect(),
+        }
+    }
+
+    /// Sets the per-time-unit reward of a state.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::DimensionMismatch`] for an out-of-range state
+    /// and [`CtmcError::InvalidRate`] for a non-finite reward.
+    pub fn rate_reward(&mut self, state: StateId, reward: f64) -> Result<&mut Self> {
+        if state.index() >= self.rate_rewards.len() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.rate_rewards.len(),
+                actual: state.index(),
+            });
+        }
+        if !reward.is_finite() {
+            return Err(CtmcError::InvalidRate {
+                from: format!("state {}", state.index()),
+                to: "rate reward".into(),
+                rate: reward,
+            });
+        }
+        self.rate_rewards[state.index()] = reward;
+        Ok(self)
+    }
+
+    /// Sets the per-occurrence reward of the transition `from -> to`.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::UnknownState`] if the transition does not exist
+    /// in the chain and [`CtmcError::InvalidRate`] for non-finite rewards.
+    pub fn impulse_reward(&mut self, from: StateId, to: StateId, reward: f64) -> Result<&mut Self> {
+        if !reward.is_finite() {
+            return Err(CtmcError::InvalidRate {
+                from: format!("state {}", from.index()),
+                to: format!("state {}", to.index()),
+                rate: reward,
+            });
+        }
+        let row = self.impulse.get_mut(from.index()).ok_or(CtmcError::DimensionMismatch {
+            expected: self.rate_rewards.len(),
+            actual: from.index(),
+        })?;
+        match row.iter_mut().find(|(j, _)| *j == to.index()) {
+            Some((_, r)) => {
+                *r = reward;
+                Ok(self)
+            }
+            None => Err(CtmcError::UnknownState(format!(
+                "transition s{} -> s{} does not exist",
+                from.index(),
+                to.index()
+            ))),
+        }
+    }
+
+    /// The rate-reward vector.
+    pub fn rate_rewards(&self) -> &[f64] {
+        &self.rate_rewards
+    }
+}
+
+impl Ctmc {
+    /// Long-run reward rate: `Σ_i π_i · r_i + Σ_{i→j} π_i · q_{ij} · c_{ij}`
+    /// (time-average of rate rewards plus impulse rewards weighted by their
+    /// long-run occurrence frequencies).
+    ///
+    /// # Errors
+    /// Propagates steady-state solver errors; the reward model must belong
+    /// to a chain with the same number of states.
+    pub fn long_run_reward_rate(&self, rewards: &RewardModel) -> Result<f64> {
+        if rewards.rate_rewards.len() != self.num_states() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_states(),
+                actual: rewards.rate_rewards.len(),
+            });
+        }
+        let pi = self.steady_state()?;
+        let mut total = 0.0;
+        for (i, &p) in pi.iter().enumerate() {
+            total += p * rewards.rate_rewards[i];
+            for (&(j, rate), &(j2, cost)) in
+                self.adjacency()[i].iter().zip(&rewards.impulse[i])
+            {
+                debug_assert_eq!(j, j2, "impulse layout mirrors adjacency");
+                total += p * rate * cost;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Expected accumulated reward over `[0, t]` starting from `p0`:
+    /// rate rewards integrate over the expected occupancy, impulse rewards
+    /// accumulate with the expected number of transition firings.
+    ///
+    /// # Errors
+    /// Propagates occupancy-solver errors and dimension mismatches.
+    pub fn accumulated_reward(&self, rewards: &RewardModel, p0: &[f64], t: f64) -> Result<f64> {
+        if rewards.rate_rewards.len() != self.num_states() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.num_states(),
+                actual: rewards.rate_rewards.len(),
+            });
+        }
+        let occ = self.cumulative_occupancy(p0, t, 1e-12)?;
+        let mut total = 0.0;
+        for (i, &time_in_i) in occ.iter().enumerate() {
+            total += time_in_i * rewards.rate_rewards[i];
+            // Expected firings of i -> j in [0, t] = E[time in i] · q_ij.
+            for (&(j, rate), &(j2, cost)) in
+                self.adjacency()[i].iter().zip(&rewards.impulse[i])
+            {
+                debug_assert_eq!(j, j2, "impulse layout mirrors adjacency");
+                total += time_in_i * rate * cost;
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    fn pair(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up").unwrap();
+        let down = b.state("down").unwrap();
+        b.transition(up, down, lambda).unwrap();
+        b.transition(down, up, mu).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn long_run_rate_reward_is_weighted_average() {
+        let chain = pair(1.0, 3.0);
+        let down = chain.find_state("down").unwrap();
+        let mut r = RewardModel::zero(&chain);
+        r.rate_reward(down, 100.0).unwrap(); // €100/h while down
+        // π(down) = 1/4 -> 25 €/h.
+        let rate = chain.long_run_reward_rate(&r).unwrap();
+        assert!((rate - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_run_impulse_counts_event_frequency() {
+        let chain = pair(0.5, 2.0);
+        let up = chain.find_state("up").unwrap();
+        let down = chain.find_state("down").unwrap();
+        let mut r = RewardModel::zero(&chain);
+        r.impulse_reward(up, down, 10.0).unwrap(); // €10 per failure
+        // Failure frequency = π(up)·λ = (2/2.5)·0.5 = 0.4/h -> €4/h.
+        let rate = chain.long_run_reward_rate(&r).unwrap();
+        assert!((rate - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulated_reward_matches_occupancy_integral() {
+        let chain = pair(0.2, 1.0);
+        let down = chain.find_state("down").unwrap();
+        let mut r = RewardModel::zero(&chain);
+        r.rate_reward(down, 1.0).unwrap(); // reward = downtime hours
+        let t = 50.0;
+        let acc = chain.accumulated_reward(&r, &[1.0, 0.0], t).unwrap();
+        let occ = chain.cumulative_occupancy(&[1.0, 0.0], t, 1e-12).unwrap();
+        assert!((acc - occ[down.index()]).abs() < 1e-9);
+        // Sanity: below the steady-state bound π(down)·t.
+        assert!(acc < 0.2 / 1.2 * t);
+    }
+
+    #[test]
+    fn accumulated_reward_converges_to_long_run_rate() {
+        let chain = pair(0.4, 1.6);
+        let up = chain.find_state("up").unwrap();
+        let down = chain.find_state("down").unwrap();
+        let mut r = RewardModel::zero(&chain);
+        r.rate_reward(down, 7.0).unwrap();
+        r.impulse_reward(down, up, 2.0).unwrap();
+        let t = 5_000.0;
+        let acc = chain.accumulated_reward(&r, &[1.0, 0.0], t).unwrap();
+        let rate = chain.long_run_reward_rate(&r).unwrap();
+        assert!((acc / t - rate).abs() / rate < 1e-3, "{} vs {rate}", acc / t);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let chain = pair(1.0, 1.0);
+        let up = chain.find_state("up").unwrap();
+        let down = chain.find_state("down").unwrap();
+        let mut r = RewardModel::zero(&chain);
+        assert!(r.rate_reward(up, f64::NAN).is_err());
+        assert!(r.impulse_reward(down, down, 1.0).is_err()); // no self loop edge
+        assert!(r.impulse_reward(up, down, f64::INFINITY).is_err());
+
+        // Mismatched model (built for a different chain size).
+        let other = pair(1.0, 1.0);
+        let mut bigger = CtmcBuilder::new();
+        let a = bigger.state("a").unwrap();
+        let b2 = bigger.state("b").unwrap();
+        let c = bigger.state("c").unwrap();
+        bigger.transition(a, b2, 1.0).unwrap();
+        bigger.transition(b2, c, 1.0).unwrap();
+        bigger.transition(c, a, 1.0).unwrap();
+        let big_chain = bigger.build().unwrap();
+        let r_small = RewardModel::zero(&other);
+        assert!(big_chain.long_run_reward_rate(&r_small).is_err());
+        assert!(big_chain.accumulated_reward(&r_small, &[1.0, 0.0, 0.0], 1.0).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Compressed sparse row (CSR) matrix for iterative methods.
+//!
+//! Uniformization and power iteration only need matrix-vector products; CSR
+//! keeps those O(nnz) even for chains with hundreds of states.
+
+use crate::error::{CtmcError, Result};
+
+/// A CSR sparse matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes the entries of row `i`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from (row, col, value) triplets. Duplicate
+    /// coordinates are summed; explicit zeros are dropped.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::DimensionMismatch`] if any coordinate is out of
+    /// bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= rows {
+                return Err(CtmcError::DimensionMismatch { expected: rows, actual: r });
+            }
+            if c >= cols {
+                return Err(CtmcError::DimensionMismatch { expected: cols, actual: c });
+            }
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_by_key(|a| (a.0, a.1));
+
+        // Merge duplicate coordinates, then drop entries that summed to zero.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        merged.retain(|e| e.2 != 0.0);
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let col_idx = merged.iter().map(|e| e.1).collect();
+        let values = merged.iter().map(|e| e.2).collect();
+        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the entries of one row as `(col, value)` pairs.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Computes `y = self * x`.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(CtmcError::DimensionMismatch { expected: self.cols, actual: x.len() });
+        }
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for (c, v) in self.row(r) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Computes the row-vector product `y = x * self` (used for distribution
+    /// propagation, where `x` is a probability row vector).
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::DimensionMismatch`] if `x.len() != rows`.
+    pub fn vec_mul(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(CtmcError::DimensionMismatch { expected: self.rows, actual: x.len() });
+        }
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row(r) {
+                y[c] += xr * v;
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_multiplies() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        assert_eq!(m.nnz(), 3);
+        let y = m.mul_vec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, 2.5)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.mul_vec(&[2.0]).unwrap(), vec![7.0]);
+    }
+
+    #[test]
+    fn explicit_zeros_are_dropped() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 0.0), (1, 0, 4.0)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn vec_mul_is_left_product() {
+        // [1 2; 3 4] as sparse; x * M with x = [1, 1] -> [4, 6]
+        let m = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)],
+        )
+        .unwrap();
+        assert_eq!(m.vec_mul(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        assert!(CsrMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(1, 1, &[(0, 3, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn empty_rows_have_empty_iterators() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(2, 0, 1.0)]).unwrap();
+        assert_eq!(m.row(0).count(), 0);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(2).count(), 1);
+    }
+
+    #[test]
+    fn dimension_checks_on_products() {
+        let m = CsrMatrix::from_triplets(2, 3, &[]).unwrap();
+        assert!(m.mul_vec(&[0.0; 2]).is_err());
+        assert!(m.vec_mul(&[0.0; 3]).is_err());
+    }
+}

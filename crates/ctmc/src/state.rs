@@ -1,0 +1,129 @@
+//! State identifiers and labeled state spaces.
+
+use crate::error::{CtmcError, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An opaque handle to a state of a chain.
+///
+/// Handles are only meaningful for the chain (or builder) that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) usize);
+
+impl StateId {
+    /// The dense index of this state inside its chain, usable to index the
+    /// probability vectors returned by the solvers.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An ordered collection of uniquely labeled states.
+#[derive(Debug, Clone, Default)]
+pub struct StateSpace {
+    labels: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl StateSpace {
+    /// Creates an empty state space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a state with the given label and returns its handle.
+    ///
+    /// # Errors
+    /// Returns [`CtmcError::DuplicateState`] if the label already exists.
+    pub fn add(&mut self, label: impl Into<String>) -> Result<StateId> {
+        let label = label.into();
+        if self.index.contains_key(&label) {
+            return Err(CtmcError::DuplicateState(label));
+        }
+        let id = self.labels.len();
+        self.index.insert(label.clone(), id);
+        self.labels.push(label);
+        Ok(StateId(id))
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the space has no states.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Label of a state.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this space.
+    pub fn label(&self, id: StateId) -> &str {
+        &self.labels[id.0]
+    }
+
+    /// Looks a state up by label.
+    pub fn find(&self, label: &str) -> Option<StateId> {
+        self.index.get(label).copied().map(StateId)
+    }
+
+    /// Returns the handle of the state at a dense index, if it exists.
+    pub fn nth(&self, index: usize) -> Option<StateId> {
+        (index < self.labels.len()).then_some(StateId(index))
+    }
+
+    /// Iterates over `(StateId, label)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (StateId, &str)> {
+        self.labels.iter().enumerate().map(|(i, l)| (StateId(i), l.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = StateSpace::new();
+        let op = s.add("OP").unwrap();
+        let exp = s.add("EXP").unwrap();
+        assert_eq!(op.index(), 0);
+        assert_eq!(exp.index(), 1);
+        assert_eq!(s.find("OP"), Some(op));
+        assert_eq!(s.find("missing"), None);
+        assert_eq!(s.label(exp), "EXP");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let mut s = StateSpace::new();
+        s.add("OP").unwrap();
+        assert_eq!(s.add("OP").unwrap_err(), CtmcError::DuplicateState("OP".into()));
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut s = StateSpace::new();
+        for label in ["a", "b", "c"] {
+            s.add(label).unwrap();
+        }
+        let labels: Vec<&str> = s.iter().map(|(_, l)| l).collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn state_id_displays_with_index() {
+        let mut s = StateSpace::new();
+        let id = s.add("x").unwrap();
+        assert_eq!(id.to_string(), "s0");
+    }
+}

@@ -1,0 +1,150 @@
+//! Alternative steady-state solvers used for cross-validation of GTH.
+
+use crate::dense::DenseMatrix;
+use crate::error::{CtmcError, Result};
+use crate::gth;
+use crate::lu::LuFactors;
+use crate::Ctmc;
+
+/// Choice of stationary-distribution algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum SteadyStateMethod {
+    /// Grassmann–Taksar–Heyman elimination (default; cancellation-free).
+    #[default]
+    Gth,
+    /// Direct LU solve of `πQ = 0` with the normalization `Σπ = 1` replacing
+    /// one equation. Accurate for the dominant components; small components
+    /// may lose relative accuracy.
+    DirectLu,
+    /// Power iteration on the uniformized DTMC `P = I + Q/Λ`.
+    Power {
+        /// Maximum iterations before giving up.
+        max_iterations: usize,
+        /// Convergence threshold on the L1 change per iteration.
+        tolerance: f64,
+    },
+}
+
+
+pub(crate) fn solve(chain: &Ctmc, method: SteadyStateMethod) -> Result<Vec<f64>> {
+    match method {
+        SteadyStateMethod::Gth => gth::steady_state_gth(chain),
+        SteadyStateMethod::DirectLu => direct_lu(chain),
+        SteadyStateMethod::Power { max_iterations, tolerance } => {
+            power(chain, max_iterations, tolerance)
+        }
+    }
+}
+
+/// Solves `Qᵀ πᵀ = 0` with the last equation replaced by `Σπ = 1`.
+fn direct_lu(chain: &Ctmc) -> Result<Vec<f64>> {
+    let n = chain.num_states();
+    if n == 0 {
+        return Err(CtmcError::EmptyChain);
+    }
+    let q = chain.generator();
+    let mut a = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = q[(j, i)]; // transpose
+        }
+    }
+    // Replace the last row with the normalization constraint.
+    for j in 0..n {
+        a[(n - 1, j)] = 1.0;
+    }
+    let mut b = vec![0.0; n];
+    b[n - 1] = 1.0;
+    let pi = LuFactors::new(&a)?.solve(&b)?;
+    // Clamp tiny negative round-off and renormalize.
+    let mut pi: Vec<f64> = pi.into_iter().map(|p| p.max(0.0)).collect();
+    let total: f64 = pi.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return Err(CtmcError::SingularSystem);
+    }
+    for p in &mut pi {
+        *p /= total;
+    }
+    Ok(pi)
+}
+
+/// Power iteration `π ← πP` on the uniformized chain.
+fn power(chain: &Ctmc, max_iterations: usize, tolerance: f64) -> Result<Vec<f64>> {
+    let n = chain.num_states();
+    if n == 0 {
+        return Err(CtmcError::EmptyChain);
+    }
+    let (p, _) = chain.uniformized();
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut residual = f64::INFINITY;
+    for _ in 0..max_iterations {
+        let next = p.vec_mul(&pi)?;
+        residual = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        pi = next;
+        if residual < tolerance {
+            // One extra normalization pass to shed accumulated round-off.
+            let total: f64 = pi.iter().sum();
+            for v in &mut pi {
+                *v /= total;
+            }
+            return Ok(pi);
+        }
+    }
+    Err(CtmcError::NoConvergence { iterations: max_iterations, residual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    fn three_state() -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let s0 = b.state("op").unwrap();
+        let s1 = b.state("exp").unwrap();
+        let s2 = b.state("dl").unwrap();
+        b.transition(s0, s1, 4e-3).unwrap();
+        b.transition(s1, s0, 0.1).unwrap();
+        b.transition(s1, s2, 3e-3).unwrap();
+        b.transition(s2, s0, 0.03).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_methods_agree_on_dominant_components() {
+        let chain = three_state();
+        let gth = chain.steady_state().unwrap();
+        let lu = chain.steady_state_with(SteadyStateMethod::DirectLu).unwrap();
+        let pow = chain
+            .steady_state_with(SteadyStateMethod::Power { max_iterations: 2_000_000, tolerance: 1e-14 })
+            .unwrap();
+        for i in 0..3 {
+            assert!((gth[i] - lu[i]).abs() < 1e-10, "gth vs lu at {i}");
+            assert!((gth[i] - pow[i]).abs() < 1e-8, "gth vs power at {i}");
+        }
+    }
+
+    #[test]
+    fn lu_distribution_is_normalized() {
+        let chain = three_state();
+        let pi = chain.steady_state_with(SteadyStateMethod::DirectLu).unwrap();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn power_reports_non_convergence() {
+        let chain = three_state();
+        let err = chain
+            .steady_state_with(SteadyStateMethod::Power { max_iterations: 1, tolerance: 1e-30 })
+            .unwrap_err();
+        assert!(matches!(err, CtmcError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn default_method_is_gth() {
+        assert_eq!(SteadyStateMethod::default(), SteadyStateMethod::Gth);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the CTMC engine.
+//!
+//! Chains are generated as a ring (guaranteeing irreducibility) plus random
+//! chords, with rates spanning several orders of magnitude — the regime
+//! availability models live in.
+
+use availsim_ctmc::{Ctmc, CtmcBuilder, StateId, SteadyStateMethod};
+use proptest::prelude::*;
+
+/// Strategy: an irreducible CTMC with `n` states and extra random edges.
+fn arb_chain(max_states: usize) -> impl Strategy<Value = Ctmc> {
+    (2usize..=max_states)
+        .prop_flat_map(|n| {
+            // Ring rates are kept >= 0.1 so every generated chain mixes fast;
+            // slow dynamics would force uniformization horizons of 1e6+ steps
+            // and turn the suite into a benchmark. Chord rates still span
+            // five orders of magnitude to exercise the rare-event regime.
+            let ring_rates = proptest::collection::vec(0.1f64..10.0, n);
+            let chords = proptest::collection::vec(
+                ((0..n), (0..n), 1e-5f64..10.0),
+                0..(2 * n),
+            );
+            (Just(n), ring_rates, chords)
+        })
+        .prop_map(|(n, ring, chords)| {
+            let mut b = CtmcBuilder::new();
+            let ids: Vec<StateId> = (0..n).map(|i| b.state(format!("s{i}")).unwrap()).collect();
+            for (i, &r) in ring.iter().enumerate() {
+                b.transition(ids[i], ids[(i + 1) % n], r).unwrap();
+            }
+            for (i, j, r) in chords {
+                if i != j {
+                    b.transition(ids[i], ids[j], r).unwrap();
+                }
+            }
+            b.build().unwrap()
+        })
+}
+
+fn l1(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn steady_state_is_a_distribution(chain in arb_chain(12)) {
+        let pi = chain.steady_state().unwrap();
+        prop_assert!(pi.iter().all(|&p| p >= 0.0 && p.is_finite()));
+        let total: f64 = pi.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_state_satisfies_balance_equations(chain in arb_chain(10)) {
+        let pi = chain.steady_state().unwrap();
+        let q = chain.generator();
+        let residual = q.vec_mul(&pi).unwrap();
+        // Scale-aware residual check.
+        let scale = q.max_abs().max(1.0);
+        prop_assert!(l1(&residual) / scale < 1e-10, "residual {}", l1(&residual));
+    }
+
+    #[test]
+    fn gth_and_lu_agree(chain in arb_chain(10)) {
+        let gth = chain.steady_state().unwrap();
+        let lu = chain.steady_state_with(SteadyStateMethod::DirectLu).unwrap();
+        for (a, b) in gth.iter().zip(&lu) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn transient_preserves_probability(chain in arb_chain(8), t in 0.0f64..50.0) {
+        let n = chain.num_states();
+        let mut p0 = vec![0.0; n];
+        p0[0] = 1.0;
+        let p = chain.transient(&p0, t, 1e-12).unwrap();
+        prop_assert!(p.iter().all(|&x| x >= -1e-12));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_at_large_time_reaches_steady_state(chain in arb_chain(6)) {
+        let n = chain.num_states();
+        let mut p0 = vec![0.0; n];
+        p0[n - 1] = 1.0;
+        // The ring keeps every state connected at rates >= 0.1, so the chain
+        // mixes well within a horizon of 1e3.
+        let p = chain.transient(&p0, 1e3, 1e-12).unwrap();
+        let pi = chain.steady_state().unwrap();
+        for (a, b) in p.iter().zip(&pi) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn occupancy_sums_to_horizon(chain in arb_chain(8), t in 0.01f64..100.0) {
+        let n = chain.num_states();
+        let mut p0 = vec![0.0; n];
+        p0[0] = 1.0;
+        let occ = chain.cumulative_occupancy(&p0, t, 1e-12).unwrap();
+        prop_assert!(occ.iter().all(|&x| x >= -1e-12));
+        let total: f64 = occ.iter().sum();
+        prop_assert!((total - t).abs() < 1e-5 * t.max(1.0), "total {total} vs t {t}");
+    }
+
+    #[test]
+    fn absorption_probabilities_sum_to_one(chain in arb_chain(8)) {
+        // Make the last state absorbing by analysis (the chain itself remains
+        // irreducible; `absorption` treats the target set as absorbing).
+        let n = chain.num_states();
+        let target = chain.states().nth(n - 1).unwrap();
+        let mut p0 = vec![0.0; n];
+        p0[0] = 1.0;
+        let res = chain.absorption(&p0, &[target]).unwrap();
+        prop_assert!(res.mean_time.is_finite() && res.mean_time >= 0.0);
+        let total: f64 = res.absorption_probabilities.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "total {total}");
+    }
+
+    #[test]
+    fn uniformized_matrix_is_stochastic(chain in arb_chain(12)) {
+        let (p, lambda) = chain.uniformized();
+        prop_assert!(lambda > 0.0);
+        for r in 0..p.rows() {
+            let sum: f64 = p.row(r).map(|(_, v)| v).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-12);
+            prop_assert!(p.row(r).all(|(_, v)| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn embedded_chain_roundtrip(chain in arb_chain(8)) {
+        let d = chain.embedded().unwrap();
+        let pi_jump = d.stationary(500_000, 1e-13).unwrap();
+        let pi = d.to_ctmc_stationary(&pi_jump).unwrap();
+        let gth = chain.steady_state().unwrap();
+        for (a, b) in pi.iter().zip(&gth) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! THERP dependence model (Swain & Guttmann, NUREG/CR-1278, ch. 10).
+//!
+//! Consecutive actions by the same person are not independent: having just
+//! erred, an operator is *more* likely to err again (stress, shared
+//! misunderstanding). THERP grades this as five dependence levels and gives
+//! the conditional error probability for each:
+//!
+//! | level | conditional hep |
+//! |-------|-----------------|
+//! | zero (ZD) | `p` |
+//! | low (LD) | `(1 + 19p)/20` |
+//! | moderate (MD) | `(1 + 6p)/7` |
+//! | high (HD) | `(1 + p)/2` |
+//! | complete (CD) | `1` |
+//!
+//! This matters directly for the paper's fail-over chain: the
+//! `EXPns2 → DUns2` edge is a *second* error during recovery from a first
+//! one — THERP says its probability should exceed the base hep.
+
+use crate::error::Result;
+use crate::hep::Hep;
+
+/// THERP dependence level between two consecutive actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DependenceLevel {
+    /// Independent actions.
+    #[default]
+    Zero,
+    /// Weak coupling (different subtask, same session).
+    Low,
+    /// Moderate coupling (same subtask, short gap).
+    Moderate,
+    /// Strong coupling (immediately repeated action under stress).
+    High,
+    /// Deterministic repetition (same mistaken mental model).
+    Complete,
+}
+
+impl DependenceLevel {
+    /// Conditional error probability given the previous action erred.
+    pub fn conditional_hep(self, base: Hep) -> Hep {
+        let p = base.value();
+        let cond = match self {
+            DependenceLevel::Zero => p,
+            DependenceLevel::Low => (1.0 + 19.0 * p) / 20.0,
+            DependenceLevel::Moderate => (1.0 + 6.0 * p) / 7.0,
+            DependenceLevel::High => (1.0 + p) / 2.0,
+            DependenceLevel::Complete => 1.0,
+        };
+        Hep::new(cond.clamp(0.0, 1.0)).expect("conditional hep stays in [0,1]")
+    }
+
+    /// All levels, weakest to strongest.
+    pub fn all() -> [DependenceLevel; 5] {
+        [
+            DependenceLevel::Zero,
+            DependenceLevel::Low,
+            DependenceLevel::Moderate,
+            DependenceLevel::High,
+            DependenceLevel::Complete,
+        ]
+    }
+}
+
+/// Probability that a sequence of `n` same-operator attempts *all* err,
+/// with the given dependence between consecutive attempts — the quantity
+/// that decides how long a DU outage persists under repeated recovery
+/// attempts.
+///
+/// # Errors
+/// Never fails for valid `Hep` inputs; result is a valid probability.
+pub fn all_attempts_fail(base: Hep, level: DependenceLevel, attempts: u32) -> Result<Hep> {
+    if attempts == 0 {
+        return Hep::new(0.0);
+    }
+    let mut p = base.value();
+    let cond = level.conditional_hep(base).value();
+    for _ in 1..attempts {
+        p *= cond;
+    }
+    Hep::new(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_dependence_is_identity() {
+        let base = Hep::new(0.01).unwrap();
+        assert_eq!(DependenceLevel::Zero.conditional_hep(base).value(), 0.01);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        let base = Hep::new(0.01).unwrap();
+        let values: Vec<f64> = DependenceLevel::all()
+            .iter()
+            .map(|l| l.conditional_hep(base).value())
+            .collect();
+        for w in values.windows(2) {
+            assert!(w[0] < w[1], "{w:?}");
+        }
+        assert_eq!(values[4], 1.0);
+    }
+
+    #[test]
+    fn therp_table_values() {
+        // NUREG/CR-1278 table 10-2 at p = 0.01.
+        let base = Hep::new(0.01).unwrap();
+        let ld = DependenceLevel::Low.conditional_hep(base).value();
+        let md = DependenceLevel::Moderate.conditional_hep(base).value();
+        let hd = DependenceLevel::High.conditional_hep(base).value();
+        assert!((ld - 0.0595).abs() < 1e-4);
+        assert!((md - 0.1514).abs() < 1e-3);
+        assert!((hd - 0.505).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dependence_inflates_repeated_failure() {
+        let base = Hep::new(0.01).unwrap();
+        let independent = all_attempts_fail(base, DependenceLevel::Zero, 3).unwrap();
+        let coupled = all_attempts_fail(base, DependenceLevel::High, 3).unwrap();
+        // Independent: 1e-6; high dependence: 0.01 · 0.505² ≈ 2.6e-3.
+        assert!((independent.value() - 1e-6).abs() < 1e-12);
+        assert!(coupled.value() > 1e-3);
+        assert!(coupled.value() / independent.value() > 1_000.0);
+    }
+
+    #[test]
+    fn zero_attempts_cannot_fail() {
+        let base = Hep::new(0.5).unwrap();
+        assert_eq!(all_attempts_fail(base, DependenceLevel::Complete, 0).unwrap().value(), 0.0);
+    }
+
+    #[test]
+    fn complete_dependence_repeats_forever() {
+        let base = Hep::new(0.25).unwrap();
+        let p = all_attempts_fail(base, DependenceLevel::Complete, 10).unwrap();
+        assert_eq!(p.value(), 0.25);
+    }
+}

@@ -1,0 +1,206 @@
+//! HEART (Human Error Assessment and Reduction Technique) quantification.
+//!
+//! HEART computes a task hep as a *generic task type* base probability
+//! multiplied by each applicable *error-producing condition* (EPC), scaled by
+//! the assessed proportion of the condition's effect:
+//!
+//! `hep = base · Π_i (1 + (EPC_i − 1) · proportion_i)`, capped at 1.
+//!
+//! Reference: J.C. Williams, "A data-based method for assessing and reducing
+//! human error to improve operational performance", IEEE HFPP 1988.
+
+use crate::error::{HraError, Result};
+use crate::hep::Hep;
+
+/// HEART generic task types with their nominal error probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GenericTask {
+    /// A: Totally unfamiliar task, performed at speed, no idea of outcome.
+    TotallyUnfamiliar,
+    /// C: Complex task requiring a high level of comprehension and skill.
+    Complex,
+    /// E: Routine, highly-practised, rapid task involving a relatively low
+    /// level of skill.
+    RoutinePractised,
+    /// F: Restore or shift a system to original or new state following
+    /// procedures, with some checking — the disk-replacement task class.
+    RestoreByProcedure,
+    /// G: Completely familiar, well-designed, highly practised routine task.
+    FamiliarRoutine,
+}
+
+impl GenericTask {
+    /// The nominal hep for the task class (HEART table, point estimates).
+    pub fn nominal_hep(self) -> f64 {
+        match self {
+            GenericTask::TotallyUnfamiliar => 0.55,
+            GenericTask::Complex => 0.16,
+            GenericTask::RoutinePractised => 0.02,
+            GenericTask::RestoreByProcedure => 0.003,
+            GenericTask::FamiliarRoutine => 0.0004,
+        }
+    }
+}
+
+/// An error-producing condition with its maximum multiplier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorProducingCondition {
+    /// Short description.
+    pub name: String,
+    /// Maximum multiplier when the condition fully applies (HEART table).
+    pub max_multiplier: f64,
+    /// Assessed proportion of the effect in `[0, 1]`.
+    pub assessed_proportion: f64,
+}
+
+impl ErrorProducingCondition {
+    /// Creates a condition with a validated proportion.
+    ///
+    /// # Errors
+    /// Returns [`HraError::InvalidProportion`] for proportions outside
+    /// `[0, 1]` or non-positive multipliers.
+    pub fn new(name: impl Into<String>, max_multiplier: f64, assessed_proportion: f64) -> Result<Self> {
+        let name = name.into();
+        if !(0.0..=1.0).contains(&assessed_proportion) || !assessed_proportion.is_finite() {
+            return Err(HraError::InvalidProportion { condition: name, value: assessed_proportion });
+        }
+        if !(max_multiplier.is_finite() && max_multiplier >= 1.0) {
+            return Err(HraError::InvalidProportion { condition: name, value: max_multiplier });
+        }
+        Ok(ErrorProducingCondition { name, max_multiplier, assessed_proportion })
+    }
+
+    /// The effective multiplier `1 + (max − 1) · proportion`.
+    pub fn effective_multiplier(&self) -> f64 {
+        1.0 + (self.max_multiplier - 1.0) * self.assessed_proportion
+    }
+}
+
+/// A HEART assessment: a generic task plus its conditions.
+#[derive(Debug, Clone, Default)]
+pub struct HeartAssessment {
+    task: Option<GenericTask>,
+    conditions: Vec<ErrorProducingCondition>,
+}
+
+impl HeartAssessment {
+    /// Starts an assessment for a generic task class.
+    pub fn new(task: GenericTask) -> Self {
+        HeartAssessment { task: Some(task), conditions: Vec::new() }
+    }
+
+    /// Adds an error-producing condition.
+    ///
+    /// # Errors
+    /// Propagates validation errors from [`ErrorProducingCondition::new`].
+    pub fn condition(
+        &mut self,
+        name: impl Into<String>,
+        max_multiplier: f64,
+        assessed_proportion: f64,
+    ) -> Result<&mut Self> {
+        self.conditions.push(ErrorProducingCondition::new(name, max_multiplier, assessed_proportion)?);
+        Ok(self)
+    }
+
+    /// Computes the assessed hep, capped at 1.
+    ///
+    /// # Errors
+    /// Returns [`HraError::EmptyModel`] if no task class was set.
+    pub fn hep(&self) -> Result<Hep> {
+        let task = self.task.ok_or(HraError::EmptyModel("no generic task selected"))?;
+        let mut p = task.nominal_hep();
+        for c in &self.conditions {
+            p *= c.effective_multiplier();
+        }
+        Hep::new(p.min(1.0))
+    }
+
+    /// The conditions applied so far.
+    pub fn conditions(&self) -> &[ErrorProducingCondition] {
+        &self.conditions
+    }
+}
+
+/// The worked example for the paper's scenario: a trained technician
+/// replacing a failed disk by procedure, under time pressure, with
+/// similar-looking disk slots.
+///
+/// The resulting hep lands in the enterprise band `[0.001, 0.01]` the paper
+/// uses, providing a bottom-up justification for its sweep values.
+pub fn disk_replacement_example() -> HeartAssessment {
+    let mut a = HeartAssessment::new(GenericTask::RestoreByProcedure);
+    a.condition("similar-looking slots (poor discriminability)", 8.0, 0.1)
+        .expect("valid proportion")
+        .condition("time pressure from degraded array", 11.0, 0.05)
+        .expect("valid proportion");
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_task_without_conditions_is_nominal() {
+        let a = HeartAssessment::new(GenericTask::RestoreByProcedure);
+        assert!((a.hep().unwrap().value() - 0.003).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conditions_multiply() {
+        let mut a = HeartAssessment::new(GenericTask::RoutinePractised);
+        a.condition("full effect x3", 3.0, 1.0).unwrap();
+        // 0.02 * 3 = 0.06
+        assert!((a.hep().unwrap().value() - 0.06).abs() < 1e-12);
+        a.condition("half effect of x11", 11.0, 0.5).unwrap();
+        // 0.06 * (1 + 10*0.5) = 0.06 * 6 = 0.36
+        assert!((a.hep().unwrap().value() - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hep_is_capped_at_one() {
+        let mut a = HeartAssessment::new(GenericTask::TotallyUnfamiliar);
+        a.condition("x17", 17.0, 1.0).unwrap();
+        assert_eq!(a.hep().unwrap().value(), 1.0);
+    }
+
+    #[test]
+    fn zero_proportion_is_neutral() {
+        let c = ErrorProducingCondition::new("irrelevant", 10.0, 0.0).unwrap();
+        assert_eq!(c.effective_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(ErrorProducingCondition::new("bad", 10.0, 1.5).is_err());
+        assert!(ErrorProducingCondition::new("bad", 10.0, -0.1).is_err());
+        assert!(ErrorProducingCondition::new("bad", 0.5, 0.5).is_err());
+        assert!(HeartAssessment::default().hep().is_err());
+    }
+
+    #[test]
+    fn disk_replacement_example_lands_in_enterprise_band() {
+        let hep = disk_replacement_example().hep().unwrap();
+        assert!(
+            hep.is_within_enterprise_band(),
+            "disk replacement hep {} outside [0.001, 0.01]",
+            hep.value()
+        );
+    }
+
+    #[test]
+    fn task_ordering_is_sane() {
+        // Unfamiliar > complex > routine > procedural > familiar.
+        let order = [
+            GenericTask::TotallyUnfamiliar,
+            GenericTask::Complex,
+            GenericTask::RoutinePractised,
+            GenericTask::RestoreByProcedure,
+            GenericTask::FamiliarRoutine,
+        ];
+        for w in order.windows(2) {
+            assert!(w[0].nominal_hep() > w[1].nominal_hep());
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Human-error recovery model: how long it takes to detect and undo a wrong
+//! replacement, and the chance of compounding the error while trying.
+//!
+//! This mirrors the paper's `DU` dynamics: recovery completes at rate
+//! `μ_he`, succeeds with probability `1 − hep` (another error leaves the
+//! system down), and while the wrongly pulled disk sits outside the chassis
+//! it may crash at rate `λ_crash`, escalating the outage into data loss.
+
+use crate::error::{HraError, Result};
+use crate::hep::Hep;
+
+/// Parameters of the recovery process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryModel {
+    /// Rate (per hour) of completing a recovery attempt (`μ_he`).
+    pub attempt_rate: f64,
+    /// Probability that an attempt itself errs (same `hep` as the original
+    /// action, in the paper's model).
+    pub hep: Hep,
+    /// Crash rate of the removed disk while it waits outside (`λ_crash`).
+    pub removed_disk_crash_rate: f64,
+}
+
+impl RecoveryModel {
+    /// Creates a validated model.
+    ///
+    /// # Errors
+    /// Returns [`HraError::InvalidProbability`] for non-positive or non-finite
+    /// rates.
+    pub fn new(attempt_rate: f64, hep: Hep, removed_disk_crash_rate: f64) -> Result<Self> {
+        if !(attempt_rate.is_finite() && attempt_rate > 0.0) {
+            return Err(HraError::InvalidProbability(attempt_rate));
+        }
+        if !(removed_disk_crash_rate.is_finite() && removed_disk_crash_rate >= 0.0) {
+            return Err(HraError::InvalidProbability(removed_disk_crash_rate));
+        }
+        Ok(RecoveryModel { attempt_rate, hep, removed_disk_crash_rate })
+    }
+
+    /// The paper's defaults: `μ_he = 1`, `λ_crash = 0.01`.
+    ///
+    /// # Errors
+    /// Never fails for the fixed defaults; propagates the signature of
+    /// [`RecoveryModel::new`].
+    pub fn paper_defaults(hep: Hep) -> Result<Self> {
+        RecoveryModel::new(1.0, hep, 0.01)
+    }
+
+    /// Effective rate of *successful* recovery: `(1 − hep) · μ_he`.
+    /// Failed attempts leave the system in the same down state, which in a
+    /// CTMC is exactly a thinning of the recovery rate.
+    pub fn effective_recovery_rate(&self) -> f64 {
+        self.hep.complement() * self.attempt_rate
+    }
+
+    /// Mean outage duration (hours) of a human-error outage, ignoring
+    /// crash escalation: `1 / ((1−hep)·μ_he)`.
+    pub fn mean_outage_hours(&self) -> f64 {
+        1.0 / self.effective_recovery_rate()
+    }
+
+    /// Probability the outage escalates to data loss (the removed disk
+    /// crashes before recovery succeeds): a race of two exponential clocks,
+    /// `λ_crash / (λ_crash + (1−hep)·μ_he)`.
+    pub fn escalation_probability(&self) -> f64 {
+        let r = self.effective_recovery_rate();
+        self.removed_disk_crash_rate / (self.removed_disk_crash_rate + r)
+    }
+
+    /// Expected number of attempts until success (geometric distribution):
+    /// `1 / (1 − hep)`.
+    pub fn expected_attempts(&self) -> f64 {
+        1.0 / self.hep.complement()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_values() {
+        let m = RecoveryModel::paper_defaults(Hep::new(0.01).unwrap()).unwrap();
+        assert_eq!(m.attempt_rate, 1.0);
+        assert_eq!(m.removed_disk_crash_rate, 0.01);
+        assert!((m.effective_recovery_rate() - 0.99).abs() < 1e-12);
+        assert!((m.mean_outage_hours() - 1.0 / 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn escalation_probability_is_a_rate_race() {
+        let m = RecoveryModel::paper_defaults(Hep::new(0.01).unwrap()).unwrap();
+        let expect = 0.01 / (0.01 + 0.99);
+        assert!((m.escalation_probability() - expect).abs() < 1e-12);
+        // Faster recovery -> less escalation.
+        let fast = RecoveryModel::new(10.0, Hep::new(0.01).unwrap(), 0.01).unwrap();
+        assert!(fast.escalation_probability() < m.escalation_probability());
+    }
+
+    #[test]
+    fn expected_attempts_grows_with_hep() {
+        let low = RecoveryModel::paper_defaults(Hep::new(0.001).unwrap()).unwrap();
+        let high = RecoveryModel::paper_defaults(Hep::new(0.5).unwrap()).unwrap();
+        assert!(low.expected_attempts() < high.expected_attempts());
+        assert!((high.expected_attempts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_hep_recovers_at_full_rate() {
+        let m = RecoveryModel::paper_defaults(Hep::ZERO).unwrap();
+        assert_eq!(m.effective_recovery_rate(), 1.0);
+        assert_eq!(m.expected_attempts(), 1.0);
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        assert!(RecoveryModel::new(0.0, Hep::ZERO, 0.01).is_err());
+        assert!(RecoveryModel::new(1.0, Hep::ZERO, -1.0).is_err());
+        assert!(RecoveryModel::new(f64::NAN, Hep::ZERO, 0.0).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! THERP-style event trees (Swain & Guttmann, NUREG/CR-1278).
+//!
+//! A maintenance procedure is a sequence of steps; each step either succeeds
+//! or errs with its own hep, and an erring step may still be *recovered* by a
+//! later check. The tree evaluates the overall probability that the
+//! procedure ends in an unrecovered error — the quantity that feeds the
+//! availability models as the effective `hep`.
+
+use crate::error::{HraError, Result};
+use crate::hep::Hep;
+
+/// One step of a procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcedureStep {
+    /// Description, e.g. "identify failed disk by LED".
+    pub name: String,
+    /// Probability the step is performed incorrectly.
+    pub hep: Hep,
+    /// Probability that an error in this step is caught and corrected by a
+    /// later check (0 = never recovered).
+    pub recovery_probability: f64,
+}
+
+impl ProcedureStep {
+    /// Creates a step.
+    ///
+    /// # Errors
+    /// Returns [`HraError::InvalidProbability`] if the recovery probability
+    /// is outside `[0, 1]`.
+    pub fn new(name: impl Into<String>, hep: Hep, recovery_probability: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&recovery_probability) || !recovery_probability.is_finite() {
+            return Err(HraError::InvalidProbability(recovery_probability));
+        }
+        Ok(ProcedureStep { name: name.into(), hep, recovery_probability })
+    }
+
+    /// Probability this step produces an *unrecovered* error.
+    pub fn unrecovered_error_probability(&self) -> f64 {
+        self.hep.value() * (1.0 - self.recovery_probability)
+    }
+}
+
+/// A linear THERP event tree: steps in sequence, any unrecovered error fails
+/// the procedure.
+#[derive(Debug, Clone, Default)]
+pub struct EventTree {
+    steps: Vec<ProcedureStep>,
+}
+
+impl EventTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: ProcedureStep) -> &mut Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// The steps in order.
+    pub fn steps(&self) -> &[ProcedureStep] {
+        &self.steps
+    }
+
+    /// Probability the whole procedure completes without an unrecovered
+    /// error.
+    ///
+    /// # Errors
+    /// Returns [`HraError::EmptyModel`] for a tree with no steps.
+    pub fn success_probability(&self) -> Result<f64> {
+        if self.steps.is_empty() {
+            return Err(HraError::EmptyModel("event tree has no steps"));
+        }
+        let p = self
+            .steps
+            .iter()
+            .map(|s| 1.0 - s.unrecovered_error_probability())
+            .product();
+        Ok(p)
+    }
+
+    /// The procedure-level hep: `1 − success_probability`.
+    ///
+    /// # Errors
+    /// Returns [`HraError::EmptyModel`] for a tree with no steps.
+    pub fn overall_hep(&self) -> Result<Hep> {
+        Hep::new(1.0 - self.success_probability()?)
+    }
+
+    /// The step contributing the most unrecovered error probability — where
+    /// an extra check buys the most reliability.
+    ///
+    /// # Errors
+    /// Returns [`HraError::EmptyModel`] for a tree with no steps.
+    pub fn dominant_step(&self) -> Result<&ProcedureStep> {
+        self.steps
+            .iter()
+            .max_by(|a, b| {
+                a.unrecovered_error_probability()
+                    .partial_cmp(&b.unrecovered_error_probability())
+                    .expect("probabilities are finite")
+            })
+            .ok_or(HraError::EmptyModel("event tree has no steps"))
+    }
+}
+
+/// The paper's disk-replacement procedure as a THERP tree: identify the
+/// failed disk, pull it, insert the new disk, start the rebuild script.
+///
+/// # Errors
+/// Never fails in practice; signature matches the fallible constructors.
+pub fn disk_replacement_tree(base_hep: Hep) -> Result<EventTree> {
+    let mut tree = EventTree::new();
+    // Identification is the step the paper's "wrong disk replacement"
+    // stems from; a second look at the slot LED recovers some errors.
+    tree.push(ProcedureStep::new("identify failed disk", base_hep, 0.2)?);
+    tree.push(ProcedureStep::new("pull identified disk", Hep::new(base_hep.value() / 2.0)?, 0.0)?);
+    tree.push(ProcedureStep::new("insert replacement disk", Hep::new(base_hep.value() / 5.0)?, 0.5)?);
+    tree.push(ProcedureStep::new("run rebuild script", Hep::new(base_hep.value() / 2.0)?, 0.3)?);
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_step_tree() {
+        let mut t = EventTree::new();
+        t.push(ProcedureStep::new("only", Hep::new(0.01).unwrap(), 0.0).unwrap());
+        assert!((t.overall_hep().unwrap().value() - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recovery_reduces_effective_hep() {
+        let raw = ProcedureStep::new("raw", Hep::new(0.01).unwrap(), 0.0).unwrap();
+        let checked = ProcedureStep::new("checked", Hep::new(0.01).unwrap(), 0.9).unwrap();
+        assert!(checked.unrecovered_error_probability() < raw.unrecovered_error_probability());
+        assert!((checked.unrecovered_error_probability() - 0.001).abs() < 1e-15);
+    }
+
+    #[test]
+    fn steps_compound() {
+        let mut t = EventTree::new();
+        for _ in 0..3 {
+            t.push(ProcedureStep::new("s", Hep::new(0.01).unwrap(), 0.0).unwrap());
+        }
+        // 1 - 0.99^3
+        let expect = 1.0 - 0.99f64.powi(3);
+        assert!((t.overall_hep().unwrap().value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tree_errors() {
+        assert!(EventTree::new().overall_hep().is_err());
+        assert!(EventTree::new().dominant_step().is_err());
+    }
+
+    #[test]
+    fn dominant_step_found() {
+        let mut t = EventTree::new();
+        t.push(ProcedureStep::new("minor", Hep::new(0.001).unwrap(), 0.0).unwrap());
+        t.push(ProcedureStep::new("major", Hep::new(0.05).unwrap(), 0.1).unwrap());
+        assert_eq!(t.dominant_step().unwrap().name, "major");
+    }
+
+    #[test]
+    fn disk_replacement_tree_is_dominated_by_identification() {
+        let t = disk_replacement_tree(Hep::new(0.01).unwrap()).unwrap();
+        assert_eq!(t.steps().len(), 4);
+        assert_eq!(t.dominant_step().unwrap().name, "identify failed disk");
+        // Overall hep stays the same order of magnitude as the base.
+        let overall = t.overall_hep().unwrap().value();
+        assert!(overall > 0.005 && overall < 0.05, "overall {overall}");
+    }
+
+    #[test]
+    fn invalid_recovery_rejected() {
+        assert!(ProcedureStep::new("bad", Hep::new(0.01).unwrap(), 1.5).is_err());
+        assert!(ProcedureStep::new("bad", Hep::new(0.01).unwrap(), -0.5).is_err());
+    }
+}

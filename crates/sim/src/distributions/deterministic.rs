@@ -1,0 +1,99 @@
+//! Degenerate (point-mass) distribution, useful for fixed rebuild times.
+
+use super::Lifetime;
+use crate::error::{Result, SimError};
+use crate::rng::SimRng;
+
+/// A distribution that always returns the same value (e.g. a contractual
+/// 10-hour rebuild).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates the point mass at `value`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidParameter`] unless `value` is finite and
+    /// nonnegative.
+    pub fn new(value: f64) -> Result<Self> {
+        if !(value.is_finite() && value >= 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "value",
+                value,
+                constraint: "value must be finite and nonnegative",
+            });
+        }
+        Ok(Deterministic { value })
+    }
+
+    /// The constant value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl Lifetime for Deterministic {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if p <= 0.0 || p >= 1.0 {
+            return Err(SimError::InvalidProbability(p));
+        }
+        Ok(self.value)
+    }
+
+    fn name(&self) -> String {
+        format!("Deterministic({})", self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_returns_value() {
+        let d = Deterministic::new(10.0).unwrap();
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 10.0);
+        }
+        assert_eq!(d.mean(), 10.0);
+        assert_eq!(d.variance(), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_step_function() {
+        let d = Deterministic::new(5.0).unwrap();
+        assert_eq!(d.cdf(4.999), 0.0);
+        assert_eq!(d.cdf(5.0), 1.0);
+        assert_eq!(d.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn zero_is_allowed_but_negative_is_not() {
+        assert!(Deterministic::new(0.0).is_ok());
+        assert!(Deterministic::new(-1.0).is_err());
+        assert!(Deterministic::new(f64::NAN).is_err());
+    }
+}

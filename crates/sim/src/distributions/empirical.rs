@@ -1,0 +1,152 @@
+//! Empirical distribution built from observed samples (e.g. field traces of
+//! repair times), sampled by inverse transform on the empirical CDF.
+
+use super::Lifetime;
+use crate::error::{Result, SimError};
+use crate::rng::SimRng;
+
+/// Empirical distribution over a set of observed nonnegative values.
+///
+/// Sampling draws uniformly among the stored observations (with linear
+/// interpolation between order statistics for the quantile function).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl Empirical {
+    /// Builds the distribution from observations.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InsufficientData`] for an empty input and
+    /// [`SimError::InvalidParameter`] if any observation is negative or not
+    /// finite.
+    pub fn from_samples(samples: &[f64]) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(SimError::InsufficientData { needed: 1, available: 0 });
+        }
+        for &s in samples {
+            if !(s.is_finite() && s >= 0.0) {
+                return Err(SimError::InvalidParameter {
+                    name: "sample",
+                    value: s,
+                    constraint: "samples must be finite and nonnegative",
+                });
+            }
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let variance = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Ok(Empirical { sorted, mean, variance })
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the distribution holds no observations (never true after
+    /// construction succeeds).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+impl Lifetime for Empirical {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let i = rng.next_bounded(self.sorted.len() as u64) as usize;
+        self.sorted[i]
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        // Right-continuous step ECDF.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if p <= 0.0 || p >= 1.0 {
+            return Err(SimError::InvalidProbability(p));
+        }
+        let n = self.sorted.len();
+        if n == 1 {
+            return Ok(self.sorted[0]);
+        }
+        // Linear interpolation between order statistics (type-7 quantile).
+        let h = p * (n - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = (lo + 1).min(n - 1);
+        let frac = h - lo as f64;
+        Ok(self.sorted[lo] + frac * (self.sorted[hi] - self.sorted[lo]))
+    }
+
+    fn name(&self) -> String {
+        format!("Empirical(n={})", self.sorted.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_invalid() {
+        assert!(Empirical::from_samples(&[]).is_err());
+        assert!(Empirical::from_samples(&[1.0, -2.0]).is_err());
+        assert!(Empirical::from_samples(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn mean_and_variance_match_input() {
+        let d = Empirical::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((d.mean() - 2.5).abs() < 1e-12);
+        assert!((d.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn samples_come_from_input_set() {
+        let vals = [2.0, 7.0, 11.0];
+        let d = Empirical::from_samples(&vals).unwrap();
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!(vals.contains(&x));
+        }
+    }
+
+    #[test]
+    fn ecdf_steps() {
+        let d = Empirical::from_samples(&[1.0, 2.0, 2.0, 5.0]).unwrap();
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert_eq!(d.cdf(1.0), 0.25);
+        assert_eq!(d.cdf(2.0), 0.75);
+        assert_eq!(d.cdf(4.9), 0.75);
+        assert_eq!(d.cdf(5.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let d = Empirical::from_samples(&[0.0, 10.0]).unwrap();
+        assert!((d.quantile(0.5).unwrap() - 5.0).abs() < 1e-12);
+        assert!((d.quantile(0.25).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_quantile() {
+        let d = Empirical::from_samples(&[3.0]).unwrap();
+        assert_eq!(d.quantile(0.9).unwrap(), 3.0);
+    }
+}

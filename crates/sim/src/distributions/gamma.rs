@@ -1,0 +1,188 @@
+//! Gamma distribution, sampled with the Marsaglia–Tsang squeeze method.
+
+use super::Lifetime;
+use crate::error::{Result, SimError};
+use crate::rng::SimRng;
+use crate::stats::special::{reg_gamma_lower};
+
+/// Gamma distribution with shape `k` and rate `θ⁻¹` (mean `k/rate`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    rate: f64,
+}
+
+impl Gamma {
+    /// Creates the distribution from shape and rate.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidParameter`] unless both are positive and
+    /// finite.
+    pub fn new(shape: f64, rate: f64) -> Result<Self> {
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "shape",
+                value: shape,
+                constraint: "shape must be positive and finite",
+            });
+        }
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                constraint: "rate must be positive and finite",
+            });
+        }
+        Ok(Gamma { shape, rate })
+    }
+
+    /// An Erlang distribution: sum of `stages` exponentials of rate `rate`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidParameter`] for zero stages or non-positive
+    /// rate.
+    pub fn erlang(stages: u32, rate: f64) -> Result<Self> {
+        if stages == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "stages",
+                value: 0.0,
+                constraint: "stages must be at least 1",
+            });
+        }
+        Gamma::new(stages as f64, rate)
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn sample_standard(&self, rng: &mut SimRng, shape: f64) -> f64 {
+        // Marsaglia & Tsang (2000) for shape >= 1.
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = rng.next_standard_normal();
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = rng.next_open_f64();
+            if u < 1.0 - 0.0331 * x * x * x * x {
+                return d * v3;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl Lifetime for Gamma {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        if self.shape >= 1.0 {
+            self.sample_standard(rng, self.shape) / self.rate
+        } else {
+            // Boost: X(k) = X(k+1) · U^{1/k}.
+            let g = self.sample_standard(rng, self.shape + 1.0);
+            let u = rng.next_open_f64();
+            g * u.powf(1.0 / self.shape) / self.rate
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape / (self.rate * self.rate)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            reg_gamma_lower(self.shape, self.rate * x).unwrap_or(1.0)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if p <= 0.0 || p >= 1.0 {
+            return Err(SimError::InvalidProbability(p));
+        }
+        // Bisection on the CDF (monotone, robust; speed is irrelevant here).
+        let mut lo = 0.0f64;
+        let mut hi = self.mean() + 10.0 * self.variance().sqrt() + 1.0;
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            if !hi.is_finite() {
+                return Err(SimError::NoConvergence("gamma quantile bracketing"));
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) < 1e-12 * hi.max(1.0) {
+                break;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    fn name(&self) -> String {
+        format!("Gamma(shape={}, rate={})", self.shape, self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::check_distribution;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-2.0, 1.0).is_err());
+        assert!(Gamma::erlang(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let g = Gamma::new(1.0, 0.5).unwrap();
+        for &x in &[0.5, 2.0, 10.0] {
+            let expect = 1.0 - (-0.5 * x as f64).exp();
+            assert!((g.cdf(x) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moments_and_quantiles_shape_above_one() {
+        let g = Gamma::new(3.0, 2.0).unwrap();
+        check_distribution(&g, 31, 200_000, 0.02);
+    }
+
+    #[test]
+    fn moments_and_quantiles_shape_below_one() {
+        let g = Gamma::new(0.5, 1.0).unwrap();
+        check_distribution(&g, 37, 200_000, 0.03);
+    }
+
+    #[test]
+    fn erlang_is_sum_of_exponentials() {
+        // Mean of Erlang(3, 0.1) = 30.
+        let g = Gamma::erlang(3, 0.1).unwrap();
+        assert!((g.mean() - 30.0).abs() < 1e-12);
+        assert!((g.variance() - 300.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! Lognormal distribution — a common model for repair and service times.
+
+use super::Lifetime;
+use crate::error::{Result, SimError};
+use crate::rng::SimRng;
+use crate::stats::special::{normal_cdf, normal_quantile};
+
+/// Lognormal distribution: `ln X ~ N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution from the location and scale of `ln X`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidParameter`] unless `sigma > 0` and both
+    /// parameters are finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(SimError::InvalidParameter {
+                name: "mu",
+                value: mu,
+                constraint: "mu must be finite",
+            });
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+                constraint: "sigma must be positive and finite",
+            });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Creates the distribution matching a target mean and coefficient of
+    /// variation (`cv = std/mean`), a convenient parameterization for repair
+    /// times quoted as "10 hours ± 50%".
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidParameter`] for non-positive inputs.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Result<Self> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "mean must be positive and finite",
+            });
+        }
+        if !(cv.is_finite() && cv > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "cv",
+                value: cv,
+                constraint: "cv must be positive and finite",
+            });
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal::new(mu, sigma2.sqrt())
+    }
+
+    /// Location of `ln X`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale of `ln X`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Lifetime for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * rng.next_standard_normal()).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if p <= 0.0 || p >= 1.0 {
+            return Err(SimError::InvalidProbability(p));
+        }
+        Ok((self.mu + self.sigma * normal_quantile(p)?).exp())
+    }
+
+    fn name(&self) -> String {
+        format!("LogNormal(mu={}, sigma={})", self.mu, self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::check_distribution;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::from_mean_cv(0.0, 1.0).is_err());
+        assert!(LogNormal::from_mean_cv(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn moments_and_quantiles() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        check_distribution(&d, 777, 200_000, 0.02);
+    }
+
+    #[test]
+    fn from_mean_cv_matches_target() {
+        let d = LogNormal::from_mean_cv(10.0, 0.5).unwrap();
+        assert!((d.mean() - 10.0).abs() < 1e-10);
+        let cv = d.variance().sqrt() / d.mean();
+        assert!((cv - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = LogNormal::new(2.0, 0.8).unwrap();
+        assert!((d.quantile(0.5).unwrap() - 2.0f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_zero_below_support() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.cdf(-5.0), 0.0);
+    }
+}

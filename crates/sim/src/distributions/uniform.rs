@@ -1,0 +1,113 @@
+//! Uniform distribution over a nonnegative interval.
+
+use super::Lifetime;
+use crate::error::{Result, SimError};
+use crate::rng::SimRng;
+
+/// Uniform distribution on `[lo, hi)` with `0 <= lo < hi`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformDist {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformDist {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidParameter`] unless `0 <= lo < hi` and both
+    /// are finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !(lo.is_finite() && lo >= 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "lo",
+                value: lo,
+                constraint: "lo must be finite and nonnegative",
+            });
+        }
+        if !(hi.is_finite() && hi > lo) {
+            return Err(SimError::InvalidParameter {
+                name: "hi",
+                value: hi,
+                constraint: "hi must be finite and greater than lo",
+            });
+        }
+        Ok(UniformDist { lo, hi })
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Lifetime for UniformDist {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.next_f64()
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if p <= 0.0 || p >= 1.0 {
+            return Err(SimError::InvalidProbability(p));
+        }
+        Ok(self.lo + p * (self.hi - self.lo))
+    }
+
+    fn name(&self) -> String {
+        format!("Uniform([{}, {}))", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::check_distribution;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(UniformDist::new(-1.0, 1.0).is_err());
+        assert!(UniformDist::new(1.0, 1.0).is_err());
+        assert!(UniformDist::new(2.0, 1.0).is_err());
+        assert!(UniformDist::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn moments_and_quantiles() {
+        let d = UniformDist::new(2.0, 8.0).unwrap();
+        check_distribution(&d, 5, 100_000, 0.01);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let d = UniformDist::new(1.0, 3.0).unwrap();
+        let mut rng = SimRng::seed_from(8);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..3.0).contains(&x));
+        }
+    }
+}

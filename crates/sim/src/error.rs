@@ -1,0 +1,74 @@
+//! Error types for the simulation crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing distributions or running analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A distribution parameter was out of its domain.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// The constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A statistical routine was asked for a result it cannot produce
+    /// (e.g. a confidence interval from fewer than two samples).
+    InsufficientData {
+        /// How many observations are required.
+        needed: usize,
+        /// How many were available.
+        available: usize,
+    },
+    /// A numeric routine failed to converge.
+    NoConvergence(&'static str),
+    /// A probability argument was outside `(0, 1)`.
+    InvalidProbability(f64),
+    /// The simulation horizon or configuration was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { name, value, constraint } => {
+                write!(f, "parameter `{name}` = {value} violates: {constraint}")
+            }
+            SimError::InsufficientData { needed, available } => {
+                write!(f, "insufficient data: need {needed} observations, have {available}")
+            }
+            SimError::NoConvergence(what) => write!(f, "no convergence in {what}"),
+            SimError::InvalidProbability(p) => {
+                write!(f, "probability {p} outside the open interval (0, 1)")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SimError::InvalidParameter { name: "shape", value: -1.0, constraint: "shape > 0" };
+        assert!(e.to_string().contains("shape"));
+        let e = SimError::InsufficientData { needed: 2, available: 1 };
+        assert!(e.to_string().contains("need 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<SimError>();
+    }
+}

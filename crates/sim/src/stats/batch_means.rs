@@ -1,0 +1,168 @@
+//! Batch-means analysis for steady-state (non-terminating) simulation output.
+//!
+//! Observations from a single long run are autocorrelated, so the plain
+//! sample variance understates the estimator's error. Batch means groups
+//! consecutive observations into batches whose means are approximately
+//! independent, then applies the usual t machinery to the batch means.
+
+use crate::error::{Result, SimError};
+use crate::stats::ci::{t_interval, ConfidenceInterval};
+use crate::stats::welford::RunningStats;
+
+/// Accumulates a stream of observations into fixed-size batches.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: usize,
+    current: RunningStats,
+    batch_stats: RunningStats,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given batch size.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] for a zero batch size.
+    pub fn new(batch_size: usize) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(SimError::InvalidConfig("batch size must be positive".into()));
+        }
+        Ok(BatchMeans {
+            batch_size,
+            current: RunningStats::new(),
+            batch_stats: RunningStats::new(),
+            batch_means: Vec::new(),
+        })
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.current.push(x);
+        if self.current.count() as usize == self.batch_size {
+            let m = self.current.mean();
+            self.batch_means.push(m);
+            self.batch_stats.push(m);
+            self.current = RunningStats::new();
+        }
+    }
+
+    /// Number of complete batches.
+    pub fn num_batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// The batch means collected so far.
+    pub fn batch_means(&self) -> &[f64] {
+        &self.batch_means
+    }
+
+    /// Point estimate: mean of the complete batches.
+    pub fn mean(&self) -> f64 {
+        self.batch_stats.mean()
+    }
+
+    /// Confidence interval over batch means.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InsufficientData`] with fewer than two complete
+    /// batches.
+    pub fn interval(&self, confidence: f64) -> Result<ConfidenceInterval> {
+        t_interval(&self.batch_stats, confidence)
+    }
+
+    /// Lag-1 autocorrelation of the batch means — a diagnostic for whether
+    /// the batch size is large enough (values near zero are good).
+    ///
+    /// # Errors
+    /// Returns [`SimError::InsufficientData`] with fewer than three batches.
+    pub fn lag1_autocorrelation(&self) -> Result<f64> {
+        let n = self.batch_means.len();
+        if n < 3 {
+            return Err(SimError::InsufficientData { needed: 3, available: n });
+        }
+        let mean = self.mean();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..n {
+            let d = self.batch_means[i] - mean;
+            den += d * d;
+            if i + 1 < n {
+                num += d * (self.batch_means[i + 1] - mean);
+            }
+        }
+        if den == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn rejects_zero_batch_size() {
+        assert!(BatchMeans::new(0).is_err());
+    }
+
+    #[test]
+    fn batches_form_at_boundaries() {
+        let mut bm = BatchMeans::new(3).unwrap();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] {
+            bm.push(x);
+        }
+        assert_eq!(bm.num_batches(), 2);
+        assert_eq!(bm.batch_means(), &[2.0, 5.0]);
+        assert!((bm.mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_needs_two_batches() {
+        let mut bm = BatchMeans::new(2).unwrap();
+        bm.push(1.0);
+        bm.push(2.0);
+        assert!(bm.interval(0.95).is_err());
+        bm.push(3.0);
+        bm.push(4.0);
+        assert!(bm.interval(0.95).is_ok());
+    }
+
+    #[test]
+    fn iid_input_gives_near_zero_autocorrelation() {
+        let mut bm = BatchMeans::new(10).unwrap();
+        let mut rng = SimRng::seed_from(77);
+        for _ in 0..10_000 {
+            bm.push(rng.next_f64());
+        }
+        let rho = bm.lag1_autocorrelation().unwrap();
+        assert!(rho.abs() < 0.1, "rho {rho}");
+    }
+
+    #[test]
+    fn correlated_input_flags_small_batches() {
+        // A slow AR(1) process: with tiny batches, batch means stay strongly
+        // correlated.
+        let mut bm_small = BatchMeans::new(2).unwrap();
+        let mut rng = SimRng::seed_from(78);
+        let mut x = 0.0;
+        for _ in 0..20_000 {
+            x = 0.99 * x + rng.next_standard_normal();
+            bm_small.push(x);
+        }
+        let rho_small = bm_small.lag1_autocorrelation().unwrap();
+        assert!(rho_small > 0.5, "expected strong correlation, got {rho_small}");
+    }
+
+    #[test]
+    fn interval_covers_true_mean_for_iid() {
+        let mut bm = BatchMeans::new(50).unwrap();
+        let mut rng = SimRng::seed_from(80);
+        for _ in 0..50_000 {
+            bm.push(rng.next_f64());
+        }
+        let ci = bm.interval(0.99).unwrap();
+        assert!(ci.contains(0.5), "{ci}");
+    }
+}

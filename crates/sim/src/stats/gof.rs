@@ -1,0 +1,209 @@
+//! Goodness-of-fit tests used to validate the samplers against their
+//! analytic distributions.
+
+use crate::distributions::Lifetime;
+use crate::error::{Result, SimError};
+use crate::stats::special::reg_gamma_lower;
+
+/// Result of a Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D_n = sup |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value from the Kolmogorov distribution.
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// One-sample KS test of `samples` against a distribution's CDF.
+///
+/// # Errors
+/// Returns [`SimError::InsufficientData`] for an empty sample.
+pub fn ks_test(samples: &[f64], dist: &dyn Lifetime) -> Result<KsResult> {
+    ks_test_cdf(samples, &|x| dist.cdf(x))
+}
+
+/// One-sample KS test against an arbitrary CDF.
+///
+/// # Errors
+/// Returns [`SimError::InsufficientData`] for an empty sample.
+pub fn ks_test_cdf(samples: &[f64], cdf: &dyn Fn(f64) -> f64) -> Result<KsResult> {
+    if samples.is_empty() {
+        return Err(SimError::InsufficientData { needed: 1, available: 0 });
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    let n = sorted.len();
+    let nf = n as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / nf;
+        let hi = (i + 1) as f64 / nf;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    let p_value = kolmogorov_survival((nf.sqrt() + 0.12 + 0.11 / nf.sqrt()) * d);
+    Ok(KsResult { statistic: d, p_value, n })
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(t) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²t²}`.
+fn kolmogorov_survival(t: f64) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * t * t).exp();
+        if term < 1e-18 {
+            break;
+        }
+        sum += if k % 2 == 1 { term } else { -term };
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Result of a chi-square test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used.
+    pub df: f64,
+    /// p-value (upper tail).
+    pub p_value: f64,
+}
+
+/// Chi-square test of observed counts against expected counts.
+///
+/// Bins with expected count below 5 are merged into their right neighbor, per
+/// standard practice.
+///
+/// # Errors
+/// Returns [`SimError::InsufficientData`] if fewer than two usable bins
+/// remain, or [`SimError::InvalidConfig`] on length mismatch.
+pub fn chi_square_test(observed: &[u64], expected: &[f64]) -> Result<ChiSquareResult> {
+    if observed.len() != expected.len() {
+        return Err(SimError::InvalidConfig(format!(
+            "observed ({}) and expected ({}) lengths differ",
+            observed.len(),
+            expected.len()
+        )));
+    }
+    // Merge low-expectation bins.
+    let mut merged: Vec<(f64, f64)> = Vec::new(); // (obs, exp)
+    let mut acc_obs = 0.0;
+    let mut acc_exp = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        acc_obs += o as f64;
+        acc_exp += e;
+        if acc_exp >= 5.0 {
+            merged.push((acc_obs, acc_exp));
+            acc_obs = 0.0;
+            acc_exp = 0.0;
+        }
+    }
+    if acc_exp > 0.0 {
+        if let Some(last) = merged.last_mut() {
+            last.0 += acc_obs;
+            last.1 += acc_exp;
+        } else {
+            merged.push((acc_obs, acc_exp));
+        }
+    }
+    if merged.len() < 2 {
+        return Err(SimError::InsufficientData { needed: 2, available: merged.len() });
+    }
+    let statistic: f64 = merged.iter().map(|&(o, e)| (o - e) * (o - e) / e).sum();
+    let df = (merged.len() - 1) as f64;
+    // Upper tail of chi-square(df): Q = 1 − P(df/2, x/2).
+    let p_value = 1.0 - reg_gamma_lower(df / 2.0, statistic / 2.0)?;
+    Ok(ChiSquareResult { statistic, df, p_value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{Exponential, Weibull};
+    use crate::rng::SimRng;
+
+    #[test]
+    fn ks_accepts_correct_distribution() {
+        let d = Exponential::new(0.5).unwrap();
+        let mut rng = SimRng::seed_from(101);
+        let samples: Vec<f64> = (0..5_000).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_test(&samples, &d).unwrap();
+        assert!(r.p_value > 0.01, "p={} d={}", r.p_value, r.statistic);
+    }
+
+    #[test]
+    fn ks_rejects_wrong_distribution() {
+        let actual = Exponential::new(0.5).unwrap();
+        let claimed = Exponential::new(1.0).unwrap();
+        let mut rng = SimRng::seed_from(102);
+        let samples: Vec<f64> = (0..5_000).map(|_| actual.sample(&mut rng)).collect();
+        let r = ks_test(&samples, &claimed).unwrap();
+        assert!(r.p_value < 1e-6, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn ks_validates_weibull_sampler() {
+        let d = Weibull::new(3.0, 1.48).unwrap();
+        let mut rng = SimRng::seed_from(103);
+        let samples: Vec<f64> = (0..5_000).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_test(&samples, &d).unwrap();
+        assert!(r.p_value > 0.01, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn ks_empty_sample_errors() {
+        let d = Exponential::new(1.0).unwrap();
+        assert!(ks_test(&[], &d).is_err());
+    }
+
+    #[test]
+    fn kolmogorov_survival_monotone() {
+        let mut prev = 1.0;
+        for i in 1..50 {
+            let t = i as f64 / 10.0;
+            let q = kolmogorov_survival(t);
+            assert!(q <= prev + 1e-12);
+            prev = q;
+        }
+        assert!(kolmogorov_survival(0.0) == 1.0);
+        assert!(kolmogorov_survival(5.0) < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_uniform_counts_fit() {
+        let observed = [98u64, 105, 102, 95, 100];
+        let expected = [100.0; 5];
+        let r = chi_square_test(&observed, &expected).unwrap();
+        assert!(r.p_value > 0.5, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn chi_square_detects_bias() {
+        let observed = [200u64, 50, 100, 100, 50];
+        let expected = [100.0; 5];
+        let r = chi_square_test(&observed, &expected).unwrap();
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_merges_small_bins() {
+        // Expected counts below 5 get merged rather than blowing up the
+        // statistic.
+        let observed = [1u64, 2, 50, 47];
+        let expected = [1.5, 2.5, 48.0, 48.0];
+        let r = chi_square_test(&observed, &expected).unwrap();
+        assert!(r.df >= 1.0);
+        assert!(r.p_value > 0.01);
+    }
+
+    #[test]
+    fn chi_square_length_mismatch() {
+        assert!(chi_square_test(&[1, 2], &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Fixed-width histogram for diagnostics and distribution fitting.
+
+use crate::error::{Result, SimError};
+
+/// A histogram with uniform bin width over `[lo, hi)`, plus underflow and
+/// overflow counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] for a degenerate range or zero
+    /// bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite() && hi > lo) {
+            return Err(SimError::InvalidConfig(format!("invalid histogram range [{lo}, {hi})")));
+        }
+        if bins == 0 {
+            return Err(SimError::InvalidConfig("histogram needs at least one bin".into()));
+        }
+        Ok(Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 })
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded observations (including out-of-range).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The `[start, end)` range of one bin.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn bin_range(&self, index: usize) -> (f64, f64) {
+        assert!(index < self.bins.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + index as f64 * w, self.lo + (index + 1) as f64 * w)
+    }
+
+    /// Empirical density of one bin (count / total / width).
+    pub fn density(&self, index: usize) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let (a, b) = self.bin_range(index);
+        self.bins[index] as f64 / self.count as f64 / (b - a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(Histogram::new(1.0, 1.0, 10).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 2).is_err());
+    }
+
+    #[test]
+    fn bins_fill_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!(h.bins().iter().all(|&c| c == 1));
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn bin_ranges_partition_domain() {
+        let h = Histogram::new(2.0, 4.0, 4).unwrap();
+        assert_eq!(h.bin_range(0), (2.0, 2.5));
+        assert_eq!(h.bin_range(3), (3.5, 4.0));
+    }
+
+    #[test]
+    fn density_normalizes() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        for _ in 0..10 {
+            h.record(0.5);
+        }
+        for _ in 0..10 {
+            h.record(1.5);
+        }
+        // Each bin: 10/20 observations over width 1.0 -> density 0.5.
+        assert!((h.density(0) - 0.5).abs() < 1e-12);
+        assert!((h.density(1) - 0.5).abs() < 1e-12);
+    }
+}

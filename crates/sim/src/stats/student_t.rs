@@ -1,0 +1,212 @@
+//! Student's t distribution: CDF and quantiles.
+//!
+//! The paper's Monte-Carlo error analysis uses the t-student coefficient for
+//! a target confidence level; this module provides exact quantiles for any
+//! degrees of freedom via the inverse incomplete beta function.
+
+use crate::error::{Result, SimError};
+use crate::stats::special::{normal_quantile, reg_beta};
+
+/// CDF of Student's t with `df` degrees of freedom.
+///
+/// # Panics
+/// Panics if `df` is not positive.
+pub fn t_cdf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if x == 0.0 {
+        return 0.5;
+    }
+    let ib = reg_beta(df / 2.0, 0.5, df / (df + x * x)).unwrap_or(0.0);
+    if x > 0.0 {
+        1.0 - 0.5 * ib
+    } else {
+        0.5 * ib
+    }
+}
+
+/// Quantile (inverse CDF) of Student's t with `df` degrees of freedom.
+///
+/// Uses the normal quantile as the starting point and refines by bisection +
+/// Newton steps on the exact CDF; accurate to ~1e-12.
+///
+/// # Errors
+/// Returns [`SimError::InvalidProbability`] for `p` outside `(0, 1)`.
+pub fn t_quantile(p: f64, df: f64) -> Result<f64> {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if p <= 0.0 || p >= 1.0 {
+        return Err(SimError::InvalidProbability(p));
+    }
+    if (p - 0.5).abs() < 1e-300 {
+        return Ok(0.0);
+    }
+    // Exploit symmetry: solve in the upper half.
+    if p < 0.5 {
+        return Ok(-t_quantile(1.0 - p, df)?);
+    }
+    // Initial guess from the normal quantile, inflated for heavy tails
+    // (Cornish-Fisher first-order term).
+    let z = normal_quantile(p)?;
+    let g1 = (z * z * z + z) / (4.0 * df);
+    let mut x = z + g1;
+    // Bracket the root.
+    let mut lo = 0.0f64;
+    let mut hi = x.max(1.0);
+    while t_cdf(hi, df) < p {
+        hi *= 2.0;
+        if hi > 1e12 {
+            return Err(SimError::NoConvergence("t quantile bracketing"));
+        }
+    }
+    x = x.clamp(lo, hi);
+    // Safeguarded Newton iteration.
+    for _ in 0..100 {
+        let f = t_cdf(x, df) - p;
+        if f.abs() < 1e-15 {
+            return Ok(x);
+        }
+        if f > 0.0 {
+            hi = x;
+        } else {
+            lo = x;
+        }
+        let pdf = t_pdf(x, df);
+        let step = if pdf > 1e-300 { f / pdf } else { 0.0 };
+        let mut next = x - step;
+        if !(next > lo && next < hi) || step == 0.0 {
+            next = 0.5 * (lo + hi);
+        }
+        if (next - x).abs() < 1e-14 * x.abs().max(1.0) {
+            return Ok(next);
+        }
+        x = next;
+    }
+    Ok(x)
+}
+
+/// PDF of Student's t with `df` degrees of freedom.
+///
+/// # Panics
+/// Panics if `df` is not positive.
+pub fn t_pdf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    use crate::stats::special::ln_gamma;
+    let ln_c = ln_gamma((df + 1.0) / 2.0)
+        - ln_gamma(df / 2.0)
+        - 0.5 * (df * std::f64::consts::PI).ln();
+    (ln_c - (df + 1.0) / 2.0 * (1.0 + x * x / df).ln()).exp()
+}
+
+/// Two-sided critical value `t*` such that `P(|T| <= t*) = confidence`.
+///
+/// # Errors
+/// Returns [`SimError::InvalidProbability`] for confidence outside `(0, 1)`.
+pub fn t_critical_two_sided(confidence: f64, df: f64) -> Result<f64> {
+    if confidence <= 0.0 || confidence >= 1.0 {
+        return Err(SimError::InvalidProbability(confidence));
+    }
+    t_quantile(0.5 + confidence / 2.0, df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_at_zero_is_half() {
+        for &df in &[1.0, 2.0, 10.0, 100.0] {
+            assert!((t_cdf(0.0, df) - 0.5).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let df = 7.0;
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let x = i as f64 / 4.0;
+            let c = t_cdf(x, df);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn df_one_is_cauchy() {
+        // For df=1 (Cauchy): CDF(x) = 1/2 + atan(x)/π.
+        for &x in &[-3.0f64, -1.0, 0.5, 2.0] {
+            let expect = 0.5 + x.atan() / std::f64::consts::PI;
+            assert!((t_cdf(x, 1.0) - expect).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn quantile_reference_values() {
+        // Classic t-table values (two-sided 95% -> p = 0.975).
+        let cases = [
+            (0.975, 1.0, 12.706_204_736_174_7),
+            (0.975, 5.0, 2.570_581_835_636_2),
+            (0.975, 30.0, 2.042_272_456_301_2),
+            (0.995, 10.0, 3.169_272_672_616_8),
+            (0.95, 2.0, 2.919_985_580_355_5),
+        ];
+        for &(p, df, expect) in &cases {
+            let q = t_quantile(p, df).unwrap();
+            assert!((q - expect).abs() < 1e-6, "p={p}, df={df}: {q} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn quantile_roundtrips_through_cdf() {
+        for &df in &[1.0, 3.0, 17.0, 250.0] {
+            for &p in &[0.01, 0.2, 0.5, 0.9, 0.999] {
+                let x = t_quantile(p, df).unwrap();
+                assert!((t_cdf(x, df) - p).abs() < 1e-10, "df={df}, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_is_symmetric() {
+        for &df in &[2.0, 9.0] {
+            let q1 = t_quantile(0.975, df).unwrap();
+            let q2 = t_quantile(0.025, df).unwrap();
+            assert!((q1 + q2).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn large_df_approaches_normal() {
+        let q = t_quantile(0.975, 1e6).unwrap();
+        assert!((q - 1.959_963_984_540_054).abs() < 1e-4);
+    }
+
+    #[test]
+    fn critical_value_confidence() {
+        // 99% two-sided with df=5 -> 4.0321...
+        let t = t_critical_two_sided(0.99, 5.0).unwrap();
+        assert!((t - 4.032_142_983_832_8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        assert!(t_quantile(0.0, 5.0).is_err());
+        assert!(t_quantile(1.0, 5.0).is_err());
+        assert!(t_critical_two_sided(1.5, 5.0).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf_difference() {
+        // Trapezoidal integration of the pdf over [0, 2] vs CDF difference.
+        let df = 4.0;
+        let n = 2_000;
+        let h = 2.0 / n as f64;
+        let mut integral = 0.0;
+        for i in 0..n {
+            let a = i as f64 * h;
+            let b = a + h;
+            integral += 0.5 * h * (t_pdf(a, df) + t_pdf(b, df));
+        }
+        let expect = t_cdf(2.0, df) - t_cdf(0.0, df);
+        assert!((integral - expect).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the simulation kernel.
+
+use availsim_sim::distributions::{
+    Deterministic, Empirical, Exponential, Gamma, Lifetime, LogNormal, UniformDist, Weibull,
+};
+use availsim_sim::engine::EventQueue;
+use availsim_sim::rng::SimRng;
+use availsim_sim::stats::{ks_test, RunningStats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exponential_cdf_quantile_roundtrip(rate in 1e-6f64..1e3, p in 1e-6f64..0.999_999) {
+        let d = Exponential::new(rate).unwrap();
+        let x = d.quantile(p).unwrap();
+        prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_cdf_quantile_roundtrip(
+        scale in 1e-3f64..1e7,
+        shape in 0.3f64..5.0,
+        p in 1e-6f64..0.999_999,
+    ) {
+        let d = Weibull::new(scale, shape).unwrap();
+        let x = d.quantile(p).unwrap();
+        prop_assert!((d.cdf(x) - p).abs() < 1e-8, "cdf(q({p})) = {}", d.cdf(x));
+    }
+
+    #[test]
+    fn lognormal_cdf_quantile_roundtrip(
+        mu in -3.0f64..5.0,
+        sigma in 0.05f64..2.0,
+        p in 1e-5f64..0.999_99,
+    ) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let x = d.quantile(p).unwrap();
+        prop_assert!((d.cdf(x) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cdf_is_monotone_for_all_families(
+        rate in 1e-3f64..10.0,
+        shape in 0.5f64..4.0,
+        xs in proptest::collection::vec(0.0f64..100.0, 2..20),
+    ) {
+        let dists: Vec<Box<dyn Lifetime>> = vec![
+            Box::new(Exponential::new(rate).unwrap()),
+            Box::new(Weibull::new(1.0 / rate, shape).unwrap()),
+            Box::new(Gamma::new(shape, rate).unwrap()),
+            Box::new(UniformDist::new(0.0, 50.0).unwrap()),
+        ];
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for d in &dists {
+            let mut prev = -1.0;
+            for &x in &sorted {
+                let c = d.cdf(x);
+                prop_assert!((0.0..=1.0).contains(&c));
+                prop_assert!(c >= prev - 1e-12, "{} not monotone at {x}", d.name());
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn samples_are_nonnegative_and_finite(seed in any::<u64>(), rate in 1e-6f64..1e3) {
+        let mut rng = SimRng::seed_from(seed);
+        let dists: Vec<Box<dyn Lifetime>> = vec![
+            Box::new(Exponential::new(rate).unwrap()),
+            Box::new(Weibull::new(1.0 / rate, 1.2).unwrap()),
+            Box::new(Gamma::new(0.8, rate).unwrap()),
+            Box::new(LogNormal::new(0.0, 1.0).unwrap()),
+            Box::new(Deterministic::new(1.0 / rate).unwrap()),
+        ];
+        for d in &dists {
+            for _ in 0..50 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x >= 0.0 && x.is_finite(), "{} produced {x}", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>(), n in 1usize..200) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..n {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn running_stats_merge_is_associative(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..split] {
+            left.push(x);
+        }
+        for &x in &xs[split..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn event_queue_pops_in_order(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(t, i).unwrap();
+        }
+        let mut prev = 0.0;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn empirical_quantiles_stay_in_sample_range(
+        samples in proptest::collection::vec(0.0f64..1e4, 1..50),
+        p in 0.01f64..0.99,
+    ) {
+        let d = Empirical::from_samples(&samples).unwrap();
+        let q = d.quantile(p).unwrap();
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q >= lo - 1e-12 && q <= hi + 1e-12);
+    }
+}
+
+/// Non-proptest statistical smoke test: KS on each closed-form sampler.
+#[test]
+fn ks_validates_every_sampler() {
+    let dists: Vec<Box<dyn Lifetime>> = vec![
+        Box::new(Exponential::new(0.37).unwrap()),
+        Box::new(Weibull::new(4.0, 1.48).unwrap()),
+        Box::new(LogNormal::new(1.0, 0.7).unwrap()),
+        Box::new(Gamma::new(2.2, 0.9).unwrap()),
+        Box::new(UniformDist::new(1.0, 9.0).unwrap()),
+    ];
+    let mut rng = SimRng::seed_from(20_240_601);
+    for d in &dists {
+        let samples: Vec<f64> = (0..4_000).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_test(&samples, d.as_ref()).unwrap();
+        assert!(r.p_value > 0.005, "{} failed KS: p={}", d.name(), r.p_value);
+    }
+}

@@ -1,0 +1,409 @@
+//! The disk-array state machine: the semantic core of the Monte-Carlo
+//! availability models.
+//!
+//! The machine tracks how many disks have *failed* (data on them lost until
+//! rebuilt) and how many were *wrongly removed* (data intact, disk pulled by
+//! mistake — the paper's human error). Availability is a pure function of
+//! those counters and the geometry's fault tolerance:
+//!
+//! * `failed > tolerance` → **data loss** (restore from backup),
+//! * `failed + wrongly_removed > tolerance` → **data unavailable** (undo the
+//!   wrong replacement to recover),
+//! * any missing disk → **degraded** but serving I/O,
+//! * otherwise **optimal**.
+
+use crate::error::{Result, StorageError};
+use crate::raid::RaidGeometry;
+use std::fmt;
+
+/// Availability status of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayStatus {
+    /// All disks present.
+    Optimal,
+    /// Some redundancy lost, data still served.
+    Degraded,
+    /// Data unavailable: too many disks missing, but none beyond repair —
+    /// recoverable by reinserting wrongly removed disks (paper state `DU`).
+    Unavailable,
+    /// Data lost: more *failed* disks than the redundancy covers
+    /// (paper state `DL`); recoverable only from backup.
+    DataLoss,
+}
+
+impl ArrayStatus {
+    /// Whether the array serves I/O in this status.
+    pub fn is_up(self) -> bool {
+        matches!(self, ArrayStatus::Optimal | ArrayStatus::Degraded)
+    }
+}
+
+impl fmt::Display for ArrayStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArrayStatus::Optimal => "optimal",
+            ArrayStatus::Degraded => "degraded",
+            ArrayStatus::Unavailable => "unavailable",
+            ArrayStatus::DataLoss => "data-loss",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A RAID array tracked at the granularity the availability models need.
+///
+/// # Examples
+///
+/// ```
+/// use availsim_storage::{DiskArray, RaidGeometry, ArrayStatus};
+///
+/// # fn main() -> Result<(), availsim_storage::StorageError> {
+/// let mut array = DiskArray::new(RaidGeometry::raid5(3)?);
+/// array.fail_disk()?;
+/// assert_eq!(array.status(), ArrayStatus::Degraded);
+/// // The operator pulls the wrong disk: data becomes unavailable...
+/// array.wrong_removal()?;
+/// assert_eq!(array.status(), ArrayStatus::Unavailable);
+/// // ...but reinserting it recovers without data loss.
+/// array.reinsert_wrongly_removed()?;
+/// assert_eq!(array.status(), ArrayStatus::Degraded);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskArray {
+    geometry: RaidGeometry,
+    failed: u32,
+    wrongly_removed: u32,
+    hot_spares: u32,
+}
+
+impl DiskArray {
+    /// Creates a fully operational array with no hot spares.
+    pub fn new(geometry: RaidGeometry) -> Self {
+        DiskArray { geometry, failed: 0, wrongly_removed: 0, hot_spares: 0 }
+    }
+
+    /// Creates a fully operational array with `spares` hot spares standing
+    /// by.
+    pub fn with_hot_spares(geometry: RaidGeometry, spares: u32) -> Self {
+        DiskArray { geometry, failed: 0, wrongly_removed: 0, hot_spares: spares }
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> &RaidGeometry {
+        &self.geometry
+    }
+
+    /// Number of failed disks (data lost until rebuilt).
+    pub fn failed(&self) -> u32 {
+        self.failed
+    }
+
+    /// Number of wrongly removed (but healthy) disks.
+    pub fn wrongly_removed(&self) -> u32 {
+        self.wrongly_removed
+    }
+
+    /// Number of hot spares available.
+    pub fn hot_spares(&self) -> u32 {
+        self.hot_spares
+    }
+
+    /// Disks currently spinning and exposed to failures.
+    pub fn active_disks(&self) -> u32 {
+        self.geometry.total_disks() - self.failed - self.wrongly_removed
+    }
+
+    /// Total disks missing from the array (failed or wrongly removed).
+    pub fn missing_disks(&self) -> u32 {
+        self.failed + self.wrongly_removed
+    }
+
+    /// Current availability status (see module docs for the rules).
+    pub fn status(&self) -> ArrayStatus {
+        let tol = self.geometry.fault_tolerance();
+        if self.failed > tol {
+            ArrayStatus::DataLoss
+        } else if self.failed + self.wrongly_removed > tol {
+            ArrayStatus::Unavailable
+        } else if self.failed + self.wrongly_removed > 0 {
+            ArrayStatus::Degraded
+        } else {
+            ArrayStatus::Optimal
+        }
+    }
+
+    /// Whether the array currently serves I/O.
+    pub fn is_up(&self) -> bool {
+        self.status().is_up()
+    }
+
+    /// One active disk fails.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::IllegalTransition`] if no active disk remains.
+    pub fn fail_disk(&mut self) -> Result<()> {
+        if self.active_disks() == 0 {
+            return Err(StorageError::IllegalTransition {
+                operation: "fail_disk",
+                reason: "no active disks left".into(),
+            });
+        }
+        self.failed += 1;
+        Ok(())
+    }
+
+    /// A human error pulls one *operating* disk out of the chassis.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::IllegalTransition`] if no active disk remains.
+    pub fn wrong_removal(&mut self) -> Result<()> {
+        if self.active_disks() == 0 {
+            return Err(StorageError::IllegalTransition {
+                operation: "wrong_removal",
+                reason: "no active disks left to remove".into(),
+            });
+        }
+        self.wrongly_removed += 1;
+        Ok(())
+    }
+
+    /// Undo of a wrong replacement: the pulled disk is put back with its data
+    /// intact.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::IllegalTransition`] if no disk is wrongly
+    /// removed.
+    pub fn reinsert_wrongly_removed(&mut self) -> Result<()> {
+        if self.wrongly_removed == 0 {
+            return Err(StorageError::IllegalTransition {
+                operation: "reinsert_wrongly_removed",
+                reason: "no wrongly removed disk".into(),
+            });
+        }
+        self.wrongly_removed -= 1;
+        Ok(())
+    }
+
+    /// A wrongly removed disk crashes outside the chassis: its data is now
+    /// really gone, converting the human error into a disk failure.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::IllegalTransition`] if no disk is wrongly
+    /// removed.
+    pub fn crash_wrongly_removed(&mut self) -> Result<()> {
+        if self.wrongly_removed == 0 {
+            return Err(StorageError::IllegalTransition {
+                operation: "crash_wrongly_removed",
+                reason: "no wrongly removed disk".into(),
+            });
+        }
+        self.wrongly_removed -= 1;
+        self.failed += 1;
+        Ok(())
+    }
+
+    /// A rebuild completes: one failed disk's data is reconstructed onto a
+    /// replacement (or spare) disk.
+    ///
+    /// Rebuild requires the array to be up — with the data unavailable or
+    /// lost there is nothing to reconstruct from.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::IllegalTransition`] if no disk is failed or
+    /// the array is not serving I/O.
+    pub fn complete_rebuild(&mut self) -> Result<()> {
+        if self.failed == 0 {
+            return Err(StorageError::IllegalTransition {
+                operation: "complete_rebuild",
+                reason: "no failed disk to rebuild".into(),
+            });
+        }
+        if !self.is_up() {
+            return Err(StorageError::IllegalTransition {
+                operation: "complete_rebuild",
+                reason: format!("array is {} — cannot reconstruct", self.status()),
+            });
+        }
+        self.failed -= 1;
+        Ok(())
+    }
+
+    /// Consumes one hot spare (e.g. as the target of an automatic fail-over).
+    ///
+    /// # Errors
+    /// Returns [`StorageError::IllegalTransition`] if no spare is available.
+    pub fn consume_spare(&mut self) -> Result<()> {
+        if self.hot_spares == 0 {
+            return Err(StorageError::IllegalTransition {
+                operation: "consume_spare",
+                reason: "no hot spare available".into(),
+            });
+        }
+        self.hot_spares -= 1;
+        Ok(())
+    }
+
+    /// Adds a hot spare (a fresh disk inserted into the enclosure).
+    pub fn add_spare(&mut self) {
+        self.hot_spares += 1;
+    }
+
+    /// Full restore from backup after data loss (the paper's tape recovery):
+    /// all failed and wrongly removed disks are replaced/reset.
+    pub fn restore_from_backup(&mut self) {
+        self.failed = 0;
+        self.wrongly_removed = 0;
+    }
+
+    /// Resets to the fully operational state keeping the spare count.
+    pub fn reset(&mut self) {
+        self.failed = 0;
+        self.wrongly_removed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raid5() -> DiskArray {
+        DiskArray::new(RaidGeometry::raid5(3).unwrap())
+    }
+
+    #[test]
+    fn fresh_array_is_optimal() {
+        let a = raid5();
+        assert_eq!(a.status(), ArrayStatus::Optimal);
+        assert!(a.is_up());
+        assert_eq!(a.active_disks(), 4);
+    }
+
+    #[test]
+    fn single_failure_degrades() {
+        let mut a = raid5();
+        a.fail_disk().unwrap();
+        assert_eq!(a.status(), ArrayStatus::Degraded);
+        assert!(a.is_up());
+        assert_eq!(a.active_disks(), 3);
+    }
+
+    #[test]
+    fn double_failure_is_data_loss() {
+        let mut a = raid5();
+        a.fail_disk().unwrap();
+        a.fail_disk().unwrap();
+        assert_eq!(a.status(), ArrayStatus::DataLoss);
+        assert!(!a.is_up());
+    }
+
+    #[test]
+    fn failure_plus_wrong_removal_is_unavailable_not_lost() {
+        let mut a = raid5();
+        a.fail_disk().unwrap();
+        a.wrong_removal().unwrap();
+        assert_eq!(a.status(), ArrayStatus::Unavailable);
+        // Reinsert: back to degraded; no data was lost.
+        a.reinsert_wrongly_removed().unwrap();
+        assert_eq!(a.status(), ArrayStatus::Degraded);
+    }
+
+    #[test]
+    fn crash_of_wrongly_removed_escalates_to_data_loss() {
+        let mut a = raid5();
+        a.fail_disk().unwrap();
+        a.wrong_removal().unwrap();
+        a.crash_wrongly_removed().unwrap();
+        assert_eq!(a.status(), ArrayStatus::DataLoss);
+    }
+
+    #[test]
+    fn raid6_survives_failure_plus_wrong_removal() {
+        let mut a = DiskArray::new(RaidGeometry::raid6(6).unwrap());
+        a.fail_disk().unwrap();
+        a.wrong_removal().unwrap();
+        // Two missing disks are within RAID6 tolerance.
+        assert_eq!(a.status(), ArrayStatus::Degraded);
+        a.fail_disk().unwrap();
+        assert_eq!(a.status(), ArrayStatus::Unavailable);
+    }
+
+    #[test]
+    fn raid0_any_failure_is_loss() {
+        let mut a = DiskArray::new(RaidGeometry::raid0(4).unwrap());
+        a.fail_disk().unwrap();
+        assert_eq!(a.status(), ArrayStatus::DataLoss);
+    }
+
+    #[test]
+    fn rebuild_restores_redundancy() {
+        let mut a = raid5();
+        a.fail_disk().unwrap();
+        a.complete_rebuild().unwrap();
+        assert_eq!(a.status(), ArrayStatus::Optimal);
+    }
+
+    #[test]
+    fn rebuild_requires_served_data() {
+        let mut a = raid5();
+        a.fail_disk().unwrap();
+        a.fail_disk().unwrap();
+        let err = a.complete_rebuild().unwrap_err();
+        assert!(matches!(err, StorageError::IllegalTransition { .. }));
+
+        let mut b = raid5();
+        b.fail_disk().unwrap();
+        b.wrong_removal().unwrap();
+        assert!(b.complete_rebuild().is_err());
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected() {
+        let mut a = raid5();
+        assert!(a.reinsert_wrongly_removed().is_err());
+        assert!(a.crash_wrongly_removed().is_err());
+        assert!(a.complete_rebuild().is_err());
+        assert!(a.consume_spare().is_err());
+    }
+
+    #[test]
+    fn cannot_remove_more_disks_than_exist() {
+        let mut a = DiskArray::new(RaidGeometry::raid1_pair());
+        a.fail_disk().unwrap();
+        a.fail_disk().unwrap();
+        assert!(a.fail_disk().is_err());
+        assert!(a.wrong_removal().is_err());
+    }
+
+    #[test]
+    fn spares_are_tracked() {
+        let mut a = DiskArray::with_hot_spares(RaidGeometry::raid5(3).unwrap(), 1);
+        assert_eq!(a.hot_spares(), 1);
+        a.consume_spare().unwrap();
+        assert_eq!(a.hot_spares(), 0);
+        a.add_spare();
+        assert_eq!(a.hot_spares(), 1);
+    }
+
+    #[test]
+    fn backup_restore_clears_everything() {
+        let mut a = raid5();
+        a.fail_disk().unwrap();
+        a.fail_disk().unwrap();
+        a.restore_from_backup();
+        assert_eq!(a.status(), ArrayStatus::Optimal);
+    }
+
+    #[test]
+    fn raid1_wrong_removal_alone_is_degraded() {
+        // Pulling a healthy mirror from an optimal pair degrades but does not
+        // take data down.
+        let mut a = DiskArray::new(RaidGeometry::raid1_pair());
+        a.wrong_removal().unwrap();
+        assert_eq!(a.status(), ArrayStatus::Degraded);
+        // Pulling the second one takes the data down but loses nothing.
+        a.wrong_removal().unwrap();
+        assert_eq!(a.status(), ArrayStatus::Unavailable);
+    }
+}

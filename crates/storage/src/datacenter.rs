@@ -1,0 +1,154 @@
+//! Fleet-scale arithmetic: the paper's introduction motivates the problem
+//! with an exabyte datacenter that sees "at least a disk failure per hour"
+//! and, given human-error probabilities of 0.001–0.1 per service action,
+//! "multiple human errors a day". This module makes that arithmetic a
+//! first-class, testable model.
+
+use crate::error::{Result, StorageError};
+
+/// Hours per (Julian) year, the constant used for downtime conversions.
+pub const HOURS_PER_YEAR: f64 = 8766.0;
+
+/// A fleet of disks with a common failure rate and maintenance discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatacenterModel {
+    num_disks: u64,
+    per_disk_failure_rate: f64,
+    hep: f64,
+}
+
+impl DatacenterModel {
+    /// Creates a fleet model.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidConfig`] for zero disks, a
+    /// non-positive failure rate, or `hep` outside `[0, 1]`.
+    pub fn new(num_disks: u64, per_disk_failure_rate: f64, hep: f64) -> Result<Self> {
+        if num_disks == 0 {
+            return Err(StorageError::InvalidConfig("fleet needs at least one disk".into()));
+        }
+        if !(per_disk_failure_rate.is_finite() && per_disk_failure_rate > 0.0) {
+            return Err(StorageError::InvalidConfig(format!(
+                "per-disk failure rate must be positive, got {per_disk_failure_rate}"
+            )));
+        }
+        if !(0.0..=1.0).contains(&hep) || !hep.is_finite() {
+            return Err(StorageError::InvalidConfig(format!(
+                "human error probability must be in [0,1], got {hep}"
+            )));
+        }
+        Ok(DatacenterModel { num_disks, per_disk_failure_rate, hep })
+    }
+
+    /// The paper's intro example: an exabyte datacenter using `disk_tb`-sized
+    /// disks ("more than one million disk drives" at EB scale).
+    ///
+    /// # Errors
+    /// Propagates validation errors from [`DatacenterModel::new`].
+    pub fn exascale(disk_tb: f64, per_disk_failure_rate: f64, hep: f64) -> Result<Self> {
+        if !(disk_tb.is_finite() && disk_tb > 0.0) {
+            return Err(StorageError::InvalidConfig(format!(
+                "disk capacity must be positive, got {disk_tb}"
+            )));
+        }
+        // 1 EB = 1e6 TB.
+        let disks = (1e6 / disk_tb).ceil() as u64;
+        DatacenterModel::new(disks.max(1), per_disk_failure_rate, hep)
+    }
+
+    /// Number of disks in the fleet.
+    pub fn num_disks(&self) -> u64 {
+        self.num_disks
+    }
+
+    /// Per-disk failure rate (per hour).
+    pub fn per_disk_failure_rate(&self) -> f64 {
+        self.per_disk_failure_rate
+    }
+
+    /// Human-error probability per service action.
+    pub fn hep(&self) -> f64 {
+        self.hep
+    }
+
+    /// Expected disk failures per hour across the fleet.
+    pub fn expected_failures_per_hour(&self) -> f64 {
+        self.num_disks as f64 * self.per_disk_failure_rate
+    }
+
+    /// Expected disk failures per day.
+    pub fn expected_failures_per_day(&self) -> f64 {
+        self.expected_failures_per_hour() * 24.0
+    }
+
+    /// Mean time between fleet-wide failures, in hours.
+    pub fn mean_time_between_failures_hours(&self) -> f64 {
+        1.0 / self.expected_failures_per_hour()
+    }
+
+    /// Expected human errors per day, assuming one human service action per
+    /// failure with error probability `hep`.
+    pub fn expected_human_errors_per_day(&self) -> f64 {
+        self.expected_failures_per_day() * self.hep
+    }
+
+    /// Expected human errors per year.
+    pub fn expected_human_errors_per_year(&self) -> f64 {
+        self.expected_failures_per_hour() * HOURS_PER_YEAR * self.hep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exascale_fleet_has_a_million_disks_at_1tb() {
+        let dc = DatacenterModel::exascale(1.0, 1e-6, 0.01).unwrap();
+        assert_eq!(dc.num_disks(), 1_000_000);
+    }
+
+    #[test]
+    fn paper_intro_failure_per_hour_claim() {
+        // 1M disks at λ = 1e-6/h -> 1 failure/hour; the paper says "at least
+        // a disk failure per hour" for an EB datacenter.
+        let dc = DatacenterModel::new(1_000_000, 1e-6, 0.01).unwrap();
+        assert!((dc.expected_failures_per_hour() - 1.0).abs() < 1e-9);
+        assert!((dc.mean_time_between_failures_hours() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_intro_multiple_human_errors_per_day_claim() {
+        // With hep in [0.001, 0.1] and 24 failures/day, the expected human
+        // errors/day range from 0.024 to 2.4 — "multiple" at the upper band.
+        let dc = DatacenterModel::new(1_000_000, 1e-6, 0.1).unwrap();
+        assert!(dc.expected_human_errors_per_day() > 2.0);
+        let dc_low = DatacenterModel::new(1_000_000, 1e-6, 0.001).unwrap();
+        assert!(dc_low.expected_human_errors_per_day() < 0.1);
+    }
+
+    #[test]
+    fn yearly_projection_consistent_with_daily() {
+        let dc = DatacenterModel::new(500_000, 2e-6, 0.01).unwrap();
+        let per_day = dc.expected_human_errors_per_day();
+        let per_year = dc.expected_human_errors_per_year();
+        assert!((per_year / per_day - HOURS_PER_YEAR / 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(DatacenterModel::new(0, 1e-6, 0.01).is_err());
+        assert!(DatacenterModel::new(10, 0.0, 0.01).is_err());
+        assert!(DatacenterModel::new(10, 1e-6, 1.5).is_err());
+        assert!(DatacenterModel::new(10, 1e-6, -0.1).is_err());
+        assert!(DatacenterModel::exascale(0.0, 1e-6, 0.01).is_err());
+    }
+
+    #[test]
+    fn bigger_disks_mean_fewer_drives() {
+        let small = DatacenterModel::exascale(1.0, 1e-6, 0.01).unwrap();
+        let big = DatacenterModel::exascale(16.0, 1e-6, 0.01).unwrap();
+        assert!(big.num_disks() < small.num_disks());
+        assert_eq!(big.num_disks(), 62_500);
+    }
+}

@@ -1,0 +1,132 @@
+//! Individual disk model.
+
+use std::fmt;
+
+/// The operational state of one physical disk slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskState {
+    /// Serving I/O.
+    Operational,
+    /// Failed (media or electronics); its data is lost until rebuilt.
+    Failed,
+    /// Pulled from the chassis by mistake (the paper's wrong replacement);
+    /// its data is intact and comes back if the disk is reinserted.
+    WronglyRemoved,
+    /// Target of an ongoing rebuild.
+    Rebuilding,
+    /// Standing by as a hot spare.
+    Spare,
+}
+
+impl fmt::Display for DiskState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiskState::Operational => "operational",
+            DiskState::Failed => "failed",
+            DiskState::WronglyRemoved => "wrongly-removed",
+            DiskState::Rebuilding => "rebuilding",
+            DiskState::Spare => "spare",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A disk with an identity and a state, used by trace rendering and the
+/// per-disk Monte-Carlo bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Disk {
+    id: u32,
+    state: DiskState,
+    /// Accumulated power-on age (hours), relevant for Weibull hazard.
+    age_hours: f64,
+}
+
+impl Disk {
+    /// Creates an operational disk with the given identifier.
+    pub fn new(id: u32) -> Self {
+        Disk { id, state: DiskState::Operational, age_hours: 0.0 }
+    }
+
+    /// Creates a hot-spare disk.
+    pub fn spare(id: u32) -> Self {
+        Disk { id, state: DiskState::Spare, age_hours: 0.0 }
+    }
+
+    /// Identifier within the array.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Current state.
+    pub fn state(&self) -> DiskState {
+        self.state
+    }
+
+    /// Sets the state (state legality is enforced at the array level).
+    pub fn set_state(&mut self, state: DiskState) {
+        self.state = state;
+    }
+
+    /// Power-on age in hours.
+    pub fn age_hours(&self) -> f64 {
+        self.age_hours
+    }
+
+    /// Advances the disk's age; only operational and rebuilding disks age.
+    pub fn advance_age(&mut self, hours: f64) {
+        if matches!(self.state, DiskState::Operational | DiskState::Rebuilding) {
+            self.age_hours += hours.max(0.0);
+        }
+    }
+
+    /// Whether the disk is currently serving I/O.
+    pub fn is_operational(&self) -> bool {
+        self.state == DiskState::Operational
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_disk_is_operational() {
+        let d = Disk::new(3);
+        assert_eq!(d.id(), 3);
+        assert!(d.is_operational());
+        assert_eq!(d.age_hours(), 0.0);
+    }
+
+    #[test]
+    fn spare_is_not_operational() {
+        let d = Disk::spare(9);
+        assert_eq!(d.state(), DiskState::Spare);
+        assert!(!d.is_operational());
+    }
+
+    #[test]
+    fn only_active_disks_age() {
+        let mut d = Disk::new(0);
+        d.advance_age(10.0);
+        assert_eq!(d.age_hours(), 10.0);
+        d.set_state(DiskState::Failed);
+        d.advance_age(10.0);
+        assert_eq!(d.age_hours(), 10.0);
+        d.set_state(DiskState::Rebuilding);
+        d.advance_age(5.0);
+        assert_eq!(d.age_hours(), 15.0);
+    }
+
+    #[test]
+    fn negative_age_advances_are_ignored() {
+        let mut d = Disk::new(0);
+        d.advance_age(-5.0);
+        assert_eq!(d.age_hours(), 0.0);
+    }
+
+    #[test]
+    fn states_display() {
+        assert_eq!(DiskState::WronglyRemoved.to_string(), "wrongly-removed");
+        assert_eq!(DiskState::Operational.to_string(), "operational");
+    }
+}

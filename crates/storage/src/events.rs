@@ -1,0 +1,58 @@
+//! Event vocabulary shared by the Monte-Carlo availability models.
+
+use std::fmt;
+
+/// Events that drive a disk-subsystem simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageEvent {
+    /// An active disk fails. The payload is the disk slot index.
+    DiskFailure(u32),
+    /// Conventional service completes: failed disk replaced and rebuilt.
+    RepairComplete,
+    /// Automatic fail-over completes: failed disk rebuilt into a hot spare.
+    SpareRebuildComplete,
+    /// The physical change of the dead disk completes (fail-over policy).
+    DiskChangeComplete,
+    /// Recovery of a wrong replacement completes (the pulled disk is back).
+    HumanErrorRecoveryComplete,
+    /// A wrongly removed disk crashes while outside the chassis.
+    RemovedDiskCrash,
+    /// Restore from backup completes after data loss.
+    BackupRestoreComplete,
+}
+
+impl fmt::Display for StorageEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageEvent::DiskFailure(d) => write!(f, "disk-failure(disk {d})"),
+            StorageEvent::RepairComplete => f.write_str("repair-complete"),
+            StorageEvent::SpareRebuildComplete => f.write_str("spare-rebuild-complete"),
+            StorageEvent::DiskChangeComplete => f.write_str("disk-change-complete"),
+            StorageEvent::HumanErrorRecoveryComplete => {
+                f.write_str("human-error-recovery-complete")
+            }
+            StorageEvent::RemovedDiskCrash => f.write_str("removed-disk-crash"),
+            StorageEvent::BackupRestoreComplete => f.write_str("backup-restore-complete"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(StorageEvent::DiskFailure(2).to_string(), "disk-failure(disk 2)");
+        assert_eq!(StorageEvent::RepairComplete.to_string(), "repair-complete");
+    }
+
+    #[test]
+    fn events_are_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(StorageEvent::RemovedDiskCrash);
+        s.insert(StorageEvent::RemovedDiskCrash);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # availsim-storage
+//!
+//! Disk-subsystem substrate for availability modeling: RAID geometries, the
+//! array state machine with wrong-disk-replacement semantics, maintenance
+//! policies, field-calibrated failure models, event traces with downtime
+//! accounting, equivalent-capacity volumes, and fleet-scale arithmetic.
+//!
+//! The semantics follow the DATE'17 paper "Evaluating Impact of Human Errors
+//! on the Availability of Data Storage Systems": a *failed* disk loses its
+//! data until rebuilt, while a *wrongly removed* disk (the paper's human
+//! error) keeps its data and can be reinserted — which is exactly why the
+//! two produce different outage classes (`DL` vs `DU`).
+//!
+//! # Examples
+//!
+//! ```
+//! use availsim_storage::{ArrayStatus, DiskArray, RaidGeometry};
+//!
+//! # fn main() -> Result<(), availsim_storage::StorageError> {
+//! let mut array = DiskArray::new(RaidGeometry::raid5(3)?);
+//! array.fail_disk()?;            // first failure: degraded but serving
+//! array.wrong_removal()?;        // technician pulls the wrong disk
+//! assert_eq!(array.status(), ArrayStatus::Unavailable);
+//! array.reinsert_wrongly_removed()?;
+//! assert!(array.is_up());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod datacenter;
+mod disk;
+mod error;
+mod events;
+mod failure_model;
+mod lse;
+mod maintenance;
+mod raid;
+mod trace;
+mod volume;
+
+pub use array::{ArrayStatus, DiskArray};
+pub use datacenter::{DatacenterModel, HOURS_PER_YEAR};
+pub use disk::{Disk, DiskState};
+pub use error::{Result, StorageError};
+pub use events::StorageEvent;
+pub use failure_model::{FailureModel, SCHROEDER_GIBSON_FITS};
+pub use lse::ScrubbingModel;
+pub use maintenance::{ReplacementPolicy, ServiceRates};
+pub use raid::{RaidGeometry, RaidLevel};
+pub use trace::{DowntimeLog, EventTrace, Outage, OutageCause, TraceEvent, TraceKind};
+pub use volume::Volume;

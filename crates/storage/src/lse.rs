@@ -1,0 +1,152 @@
+//! Latent sector errors (LSEs) and scrubbing.
+//!
+//! An LSE is an unreadable sector that stays invisible until something reads
+//! it — which is exactly what a rebuild does to every surviving disk. The
+//! paper names LSEs (Schroeder, Damouras & Gill, ACM TOS 2010) among the
+//! main data-loss sources but leaves them unmodeled; this module provides
+//! the standard exposure model that converts an LSE rate and a scrubbing
+//! policy into the *probability that a rebuild encounters an LSE*, the
+//! quantity consumed by the generic Markov chain's
+//! `with_rebuild_failure_probability` hook.
+//!
+//! Model: LSEs arrive on a disk as a Poisson process with rate `λ_lse`.
+//! Scrubbing sweeps every sector each `T_scrub` hours, clearing latent
+//! errors. At a random rebuild instant, the time since a disk's last scrub
+//! is uniform on `[0, T_scrub)`, so the expected number of latent errors per
+//! disk is `λ_lse · T_scrub / 2`, and a rebuild reading `d` surviving disks
+//! encounters at least one LSE with probability
+//! `1 − exp(−d · λ_lse · T_scrub / 2)`.
+
+use crate::error::{Result, StorageError};
+
+/// LSE exposure model for a scrubbed array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrubbingModel {
+    /// LSE arrival rate per disk, per hour.
+    pub lse_rate: f64,
+    /// Scrub period in hours (every sector verified once per period).
+    pub scrub_interval_hours: f64,
+}
+
+impl ScrubbingModel {
+    /// Creates a validated model.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidConfig`] for non-positive inputs.
+    pub fn new(lse_rate: f64, scrub_interval_hours: f64) -> Result<Self> {
+        if !(lse_rate.is_finite() && lse_rate >= 0.0) {
+            return Err(StorageError::InvalidConfig(format!(
+                "LSE rate must be nonnegative and finite, got {lse_rate}"
+            )));
+        }
+        if !(scrub_interval_hours.is_finite() && scrub_interval_hours > 0.0) {
+            return Err(StorageError::InvalidConfig(format!(
+                "scrub interval must be positive, got {scrub_interval_hours}"
+            )));
+        }
+        Ok(ScrubbingModel { lse_rate, scrub_interval_hours })
+    }
+
+    /// A field-typical default: one latent error per disk every ~2 years
+    /// (Schroeder et al. report ~3.45% of nearline disks developing LSEs per
+    /// 32 months), scrubbed every two weeks.
+    pub fn field_defaults() -> Self {
+        ScrubbingModel { lse_rate: 6e-5 / 24.0, scrub_interval_hours: 336.0 }
+    }
+
+    /// Expected latent errors present on one disk at a random instant.
+    pub fn expected_latent_errors_per_disk(&self) -> f64 {
+        self.lse_rate * self.scrub_interval_hours / 2.0
+    }
+
+    /// Probability that a rebuild reading `surviving_disks` disks hits at
+    /// least one latent error — the `rebuild_failure_probability` for the
+    /// generic availability chain.
+    pub fn rebuild_failure_probability(&self, surviving_disks: u32) -> f64 {
+        let mean = f64::from(surviving_disks) * self.expected_latent_errors_per_disk();
+        -(-mean).exp_m1()
+    }
+
+    /// How short the scrub period must be to keep the rebuild failure
+    /// probability below `target` for the given read width.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidConfig`] for a target outside `(0, 1)`
+    /// or a zero LSE rate (any interval works — there is nothing to scrub).
+    pub fn required_scrub_interval(
+        lse_rate: f64,
+        surviving_disks: u32,
+        target: f64,
+    ) -> Result<f64> {
+        if !(0.0 < target && target < 1.0) {
+            return Err(StorageError::InvalidConfig(format!(
+                "target probability must be in (0,1), got {target}"
+            )));
+        }
+        if !(lse_rate > 0.0 && lse_rate.is_finite()) {
+            return Err(StorageError::InvalidConfig(format!(
+                "LSE rate must be positive to size a scrub interval, got {lse_rate}"
+            )));
+        }
+        // Invert 1 − exp(−d·λ·T/2) = target.
+        let mean = -(-target).ln_1p();
+        Ok(2.0 * mean / (f64::from(surviving_disks) * lse_rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(ScrubbingModel::new(-1.0, 100.0).is_err());
+        assert!(ScrubbingModel::new(1e-6, 0.0).is_err());
+        assert!(ScrubbingModel::new(0.0, 100.0).is_ok());
+        assert!(ScrubbingModel::new(f64::NAN, 100.0).is_err());
+    }
+
+    #[test]
+    fn zero_lse_rate_means_safe_rebuilds() {
+        let m = ScrubbingModel::new(0.0, 336.0).unwrap();
+        assert_eq!(m.rebuild_failure_probability(7), 0.0);
+        assert_eq!(m.expected_latent_errors_per_disk(), 0.0);
+    }
+
+    #[test]
+    fn probability_grows_with_width_and_interval() {
+        let tight = ScrubbingModel::new(1e-6, 100.0).unwrap();
+        let loose = ScrubbingModel::new(1e-6, 1_000.0).unwrap();
+        assert!(loose.rebuild_failure_probability(3) > tight.rebuild_failure_probability(3));
+        assert!(tight.rebuild_failure_probability(7) > tight.rebuild_failure_probability(3));
+    }
+
+    #[test]
+    fn small_mean_is_linear() {
+        // For tiny exposure, P ≈ d·λ·T/2.
+        let m = ScrubbingModel::new(1e-9, 100.0).unwrap();
+        let p = m.rebuild_failure_probability(4);
+        let linear = 4.0 * 1e-9 * 100.0 / 2.0;
+        assert!((p - linear).abs() / linear < 1e-6);
+    }
+
+    #[test]
+    fn interval_sizing_inverts_the_probability() {
+        let lse_rate = 2e-6;
+        let target = 0.001;
+        let t = ScrubbingModel::required_scrub_interval(lse_rate, 7, target).unwrap();
+        let m = ScrubbingModel::new(lse_rate, t).unwrap();
+        assert!((m.rebuild_failure_probability(7) - target).abs() < 1e-12);
+        assert!(ScrubbingModel::required_scrub_interval(lse_rate, 7, 0.0).is_err());
+        assert!(ScrubbingModel::required_scrub_interval(0.0, 7, 0.5).is_err());
+    }
+
+    #[test]
+    fn field_defaults_are_plausible() {
+        let m = ScrubbingModel::field_defaults();
+        let p = m.rebuild_failure_probability(7);
+        // A two-week scrub on field LSE rates leaves a small but
+        // non-negligible per-rebuild risk.
+        assert!(p > 1e-4 && p < 0.05, "p = {p}");
+    }
+}

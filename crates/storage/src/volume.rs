@@ -1,0 +1,129 @@
+//! Multi-array volumes with equivalent usable capacity.
+//!
+//! The paper's Fig. 6 compares RAID organizations at *equal logical
+//! capacity*: a volume made of RAID1(1+1) pairs needs more disks (higher
+//! effective replication factor) than one made of RAID5(7+1) arrays. A
+//! volume is a series system — it is up only while every member array is up.
+
+use crate::error::Result;
+use crate::raid::RaidGeometry;
+
+/// A set of identical, independent arrays jointly providing a usable
+/// capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Volume {
+    geometry: RaidGeometry,
+    arrays: u64,
+}
+
+impl Volume {
+    /// A volume of `arrays` identical arrays.
+    pub fn new(geometry: RaidGeometry, arrays: u64) -> Self {
+        Volume { geometry, arrays }
+    }
+
+    /// Builds the volume that provides `usable` units of logical capacity.
+    ///
+    /// # Errors
+    /// Returns [`crate::StorageError::CapacityMismatch`] when `usable` does
+    /// not divide evenly into arrays.
+    pub fn with_usable_capacity(geometry: RaidGeometry, usable: u64) -> Result<Self> {
+        let arrays = geometry.arrays_for_usable_capacity(usable)?;
+        Ok(Volume { geometry, arrays })
+    }
+
+    /// The member-array geometry.
+    pub fn geometry(&self) -> &RaidGeometry {
+        &self.geometry
+    }
+
+    /// Number of member arrays.
+    pub fn arrays(&self) -> u64 {
+        self.arrays
+    }
+
+    /// Total physical disks across the volume.
+    pub fn total_disks(&self) -> u64 {
+        self.arrays * u64::from(self.geometry.total_disks())
+    }
+
+    /// Usable capacity in disk units.
+    pub fn usable_capacity(&self) -> u64 {
+        self.arrays * u64::from(self.geometry.usable_capacity())
+    }
+
+    /// Volume availability given a per-array availability, assuming
+    /// independent arrays in series: `A_volume = A_array^arrays`.
+    pub fn series_availability(&self, per_array_availability: f64) -> f64 {
+        per_array_availability.powi(self.arrays as i32)
+    }
+
+    /// Volume unavailability given per-array *unavailability*, computed in a
+    /// cancellation-free way: `1 − (1−u)^n = −expm1(n·ln1p(−u))`.
+    ///
+    /// For the 1e-9-scale unavailabilities of availability studies,
+    /// the naive `1 − (1−u)^n` would lose all significant digits.
+    pub fn series_unavailability(&self, per_array_unavailability: f64) -> f64 {
+        let u = per_array_unavailability.clamp(0.0, 1.0);
+        if u == 1.0 {
+            return 1.0;
+        }
+        -((self.arrays as f64) * (-u).ln_1p()).exp_m1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig6_volume_shapes() {
+        let r1 = Volume::with_usable_capacity(RaidGeometry::raid1_pair(), 21).unwrap();
+        let r5a = Volume::with_usable_capacity(RaidGeometry::raid5(3).unwrap(), 21).unwrap();
+        let r5b = Volume::with_usable_capacity(RaidGeometry::raid5(7).unwrap(), 21).unwrap();
+        assert_eq!(r1.arrays(), 21);
+        assert_eq!(r5a.arrays(), 7);
+        assert_eq!(r5b.arrays(), 3);
+        // ERF ordering drives disk counts: 42 > 28 > 24.
+        assert_eq!(r1.total_disks(), 42);
+        assert_eq!(r5a.total_disks(), 28);
+        assert_eq!(r5b.total_disks(), 24);
+        assert_eq!(r1.usable_capacity(), 21);
+        assert_eq!(r5a.usable_capacity(), 21);
+        assert_eq!(r5b.usable_capacity(), 21);
+    }
+
+    #[test]
+    fn series_availability_multiplies() {
+        let v = Volume::new(RaidGeometry::raid5(3).unwrap(), 3);
+        let a = v.series_availability(0.9);
+        assert!((a - 0.729).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_unavailability_is_stable_for_tiny_u() {
+        let v = Volume::new(RaidGeometry::raid5(3).unwrap(), 7);
+        let u = 1e-12;
+        let total = v.series_unavailability(u);
+        // ≈ 7e-12 with relative error << 1%.
+        assert!((total - 7e-12).abs() < 1e-14, "got {total}");
+    }
+
+    #[test]
+    fn series_unavailability_saturates() {
+        let v = Volume::new(RaidGeometry::raid1_pair(), 10);
+        assert_eq!(v.series_unavailability(1.0), 1.0);
+        assert_eq!(v.series_unavailability(0.0), 0.0);
+        // Out-of-range inputs are clamped.
+        assert_eq!(v.series_unavailability(2.0), 1.0);
+    }
+
+    #[test]
+    fn consistency_between_availability_and_unavailability() {
+        let v = Volume::new(RaidGeometry::raid5(7).unwrap(), 5);
+        let u = 1e-4;
+        let a = v.series_availability(1.0 - u);
+        let uu = v.series_unavailability(u);
+        assert!((a + uu - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+//! Beyond the paper: transient (mission-time) availability.
+//!
+//! Steady-state numbers hide when the risk arrives. This example plots
+//! A(t) — the probability the array is serving I/O at mission hour t — and
+//! the interval availability over [0, t], for both replacement policies.
+//!
+//! ```text
+//! cargo run --release --example mission_availability
+//! ```
+
+use availsim::core::sensitivity::PolicyModel;
+use availsim::core::transient::TransientAvailability;
+use availsim::core::{nines, ModelParams};
+use availsim::hra::Hep;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let params = ModelParams::raid5_3plus1(1e-4, Hep::new(0.01)?)?;
+    println!("RAID5(3+1), λ=1e-4/h, hep=0.01 — availability over a mission\n");
+
+    let conv = TransientAvailability::new(PolicyModel::Conventional, params)?;
+    let fo = TransientAvailability::new(PolicyModel::FailOver, params)?;
+
+    println!(
+        "{:>10} {:>16} {:>16} {:>16}",
+        "t (h)", "A(t) conv", "interval conv", "A(t) fail-over"
+    );
+    for &t in &[1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0] {
+        println!(
+            "{:>10} {:>16.9} {:>16.9} {:>16.9}",
+            t,
+            conv.point_availability(t)?,
+            conv.interval_availability(t)?,
+            fo.point_availability(t)?
+        );
+    }
+
+    let steady_conv = conv.steady_state_availability()?;
+    let steady_fo = fo.steady_state_availability()?;
+    println!(
+        "{:>10} {:>16.9} {:>16} {:>16.9}",
+        "steady", steady_conv, "-", steady_fo
+    );
+
+    println!("\nnines at steady state: conventional {:.2}, fail-over {:.2}",
+        nines::nines(steady_conv), nines::nines(steady_fo));
+
+    // Where does the transient matter? Find the time at which A(t) has
+    // covered 95% of the gap to steady state.
+    let gap_time = {
+        let target = steady_conv + 0.05 * (1.0 - steady_conv);
+        let mut t = 1.0;
+        while conv.point_availability(t)? > target && t < 1e6 {
+            t *= 1.5;
+        }
+        t
+    };
+    println!(
+        "\nthe conventional array settles to within 5% of its stationary gap in ~{gap_time:.0} h;"
+    );
+    println!("shorter missions see strictly better availability than the steady number suggests.");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: how much does human error cost a RAID5 (3+1) array?
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Solves the paper's Fig. 2 Markov model at three human-error
+//! probabilities and prints availability, nines, and downtime per year.
+
+use availsim::core::markov::{Raid5Conventional, Raid5FailOver};
+use availsim::core::{nines, ModelParams};
+use availsim::hra::Hep;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("RAID5 (3+1), λ = 1e-6/h, paper service rates (μ_DF=0.1, μ_DDF=0.03, μ_he=1)\n");
+    println!(
+        "{:<10} {:>14} {:>8} {:>16} {:>18}",
+        "hep", "unavailability", "nines", "downtime/yr", "with fail-over"
+    );
+
+    for hep in [0.0, 0.001, 0.01] {
+        let params = ModelParams::raid5_3plus1(1e-6, Hep::new(hep)?)?;
+        let conventional = Raid5Conventional::new(params)?.solve()?;
+        let failover = Raid5FailOver::new(params)?.solve()?;
+        println!(
+            "{:<10} {:>14.3e} {:>8.2} {:>13.4} min {:>15.4} min",
+            hep,
+            conventional.unavailability(),
+            conventional.nines(),
+            conventional.downtime_minutes_per_year(),
+            failover.downtime_minutes_per_year(),
+        );
+    }
+
+    println!();
+    let clean = Raid5Conventional::new(ModelParams::raid5_3plus1(1e-6, Hep::ZERO)?)?.solve()?;
+    let dirty =
+        Raid5Conventional::new(ModelParams::raid5_3plus1(1e-6, Hep::new(0.01)?)?)?.solve()?;
+    println!(
+        "ignoring hep=0.01 underestimates downtime {:.0}x ({} -> {})",
+        dirty.unavailability() / clean.unavailability(),
+        nines::summarize(clean.availability()),
+        nines::summarize(dirty.availability()),
+    );
+    Ok(())
+}

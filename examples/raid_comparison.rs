@@ -1,0 +1,80 @@
+//! The paper's Fig. 6 as a planning tool: which RAID organization gives the
+//! best availability at equal usable capacity, once human error is priced
+//! in? Includes the RAID6 extension (beyond the paper).
+//!
+//! ```text
+//! cargo run --release --example raid_comparison [lambda] [usable_capacity]
+//! ```
+
+use availsim::core::markov::GenericKofN;
+use availsim::core::volume::compare_equal_capacity;
+use availsim::core::{nines, ModelParams};
+use availsim::hra::Hep;
+use availsim::storage::{RaidGeometry, Volume};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let lambda: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1e-5);
+    let usable: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(21);
+
+    println!("Equal usable capacity: {usable} disk units, λ = {lambda:.1e}/h\n");
+    println!(
+        "{:<12} {:>7} {:>6} {:>6} {:>9} {:>11} {:>10}",
+        "config", "arrays", "disks", "ERF", "hep=0", "hep=0.001", "hep=0.01"
+    );
+
+    let heps = [0.0, 0.001, 0.01];
+    let mut rows: Vec<(String, u64, u64, f64, Vec<f64>)> = Vec::new();
+    for (i, row) in compare_equal_capacity(usable, lambda, Hep::ZERO)?.iter().enumerate() {
+        let mut nines_cols = Vec::new();
+        for &h in &heps {
+            let r = compare_equal_capacity(usable, lambda, Hep::new(h)?)?;
+            nines_cols.push(r[i].nines());
+        }
+        rows.push((row.label.clone(), row.arrays, row.total_disks, row.erf, nines_cols));
+    }
+
+    // RAID6 extension: the generic (f, w) chain prices human error for k+2.
+    if usable.is_multiple_of(7) {
+        let geometry = RaidGeometry::raid6(7)?;
+        let volume = Volume::with_usable_capacity(geometry, usable)?;
+        let mut nines_cols = Vec::new();
+        for &h in &heps {
+            let params = ModelParams::paper_defaults(geometry, lambda, Hep::new(h)?)?;
+            let u = GenericKofN::new(params)?.solve()?.unavailability();
+            nines_cols.push(nines::nines_from_unavailability(volume.series_unavailability(u)));
+        }
+        rows.push((
+            format!("{} *", geometry.label()),
+            volume.arrays(),
+            volume.total_disks(),
+            geometry.effective_replication_factor(),
+            nines_cols,
+        ));
+    }
+
+    for (label, arrays, disks, erf, cols) in &rows {
+        println!(
+            "{:<12} {:>7} {:>6} {:>6.2} {:>9.3} {:>11.3} {:>10.3}",
+            label, arrays, disks, erf, cols[0], cols[1], cols[2]
+        );
+    }
+    println!("\n(* RAID6 via the generic k+m chain — an extension beyond the paper)");
+
+    // The paper's takeaway, recomputed live.
+    let base = &rows[0];
+    let best_with_hep = rows
+        .iter()
+        .take(3)
+        .max_by(|a, b| a.4[2].partial_cmp(&b.4[2]).expect("finite"))
+        .expect("non-empty");
+    if base.4[0] > best_with_hep.4[0] - 1e-9 && base.0 != best_with_hep.0 {
+        println!(
+            "\nranking inversion: {} leads at hep=0, but {} leads at hep=0.01 —",
+            base.0, best_with_hep.0
+        );
+        println!("higher ERF means more disks, more service actions, more human-error exposure.");
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Beyond the paper: sizing a scrubbing policy against latent sector
+//! errors (LSEs), then pricing the residual risk in the human-error-aware
+//! availability chain.
+//!
+//! ```text
+//! cargo run --release --example scrubbing_policy
+//! ```
+
+use availsim::core::markov::GenericKofN;
+use availsim::core::ModelParams;
+use availsim::hra::Hep;
+use availsim::storage::{RaidGeometry, ScrubbingModel, HOURS_PER_YEAR};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let geometry = RaidGeometry::raid5(7)?;
+    let lambda = 1e-5;
+    let hep = Hep::new(0.001)?;
+    let params = ModelParams::paper_defaults(geometry, lambda, hep)?;
+    let surviving = geometry.total_disks() - 1;
+
+    println!("RAID5(7+1), λ={lambda:.0e}, hep={}, field LSE rate\n", hep.value());
+    println!(
+        "{:>14} {:>22} {:>12} {:>14}",
+        "scrub period", "P(LSE during rebuild)", "nines", "MTTDL (yr)"
+    );
+
+    let lse_rate = ScrubbingModel::field_defaults().lse_rate;
+    for &days in &[3.0, 7.0, 14.0, 30.0, 90.0] {
+        let scrub = ScrubbingModel::new(lse_rate, days * 24.0)?;
+        let p_ue = scrub.rebuild_failure_probability(surviving);
+        let model = GenericKofN::new(params)?.with_rebuild_failure_probability(p_ue);
+        let solved = model.solve()?;
+        println!(
+            "{:>11} d {:>22.5} {:>12.3} {:>14.0}",
+            days,
+            p_ue,
+            solved.nines(),
+            model.mttdl_hours()? / HOURS_PER_YEAR
+        );
+    }
+
+    // And the never-scrubbed baseline vs the no-LSE ideal.
+    let never = ScrubbingModel::new(lse_rate, 10.0 * HOURS_PER_YEAR)?;
+    let p_never = never.rebuild_failure_probability(surviving);
+    let worst = GenericKofN::new(params)?.with_rebuild_failure_probability(p_never);
+    let ideal = GenericKofN::new(params)?;
+    println!(
+        "{:>13} {:>22.5} {:>12.3} {:>14.0}",
+        "no scrub",
+        p_never,
+        worst.solve()?.nines(),
+        worst.mttdl_hours()? / HOURS_PER_YEAR
+    );
+    println!(
+        "{:>13} {:>22} {:>12.3} {:>14.0}",
+        "no LSEs",
+        "0",
+        ideal.solve()?.nines(),
+        ideal.mttdl_hours()? / HOURS_PER_YEAR
+    );
+
+    // Inverse question: how often must we scrub for p_ue <= 1e-4?
+    let needed = ScrubbingModel::required_scrub_interval(lse_rate, surviving, 1e-4)?;
+    println!(
+        "\nto keep P(LSE during rebuild) <= 1e-4, scrub every {:.1} days",
+        needed / 24.0
+    );
+    println!("\nnote: a lazy scrub costs ~1.4 nines and a 27x shorter MTTDL at these");
+    println!("rates — the LSE term competes head-on with the paper's human-error");
+    println!("term, and both drop out of the same chain with one `solve()`.");
+    Ok(())
+}

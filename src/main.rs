@@ -1,0 +1,207 @@
+//! `availsim` — command-line front end for the availability models.
+//!
+//! ```text
+//! availsim solve    --lambda 1e-6 --hep 0.01 [--raid r5-3] [--policy failover]
+//! availsim sweep    --hep 0.01 [--from 5e-7] [--to 5.5e-6] [--points 11]
+//! availsim compare  [--lambda 1e-5] [--capacity 21]
+//! availsim validate [--lambda 1e-3] [--hep 0.01] [--iterations 4000]
+//! ```
+
+use availsim::core::markov::{GenericKofN, Raid5Conventional, Raid5FailOver};
+use availsim::core::mc::{ConventionalMc, McConfig};
+use availsim::core::volume::compare_equal_capacity;
+use availsim::core::{nines, ModelParams};
+use availsim::hra::Hep;
+use availsim::storage::RaidGeometry;
+use std::collections::HashMap;
+use std::error::Error;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value `{v}` for --{key}")),
+    }
+}
+
+fn geometry(name: &str) -> Result<RaidGeometry, String> {
+    match name {
+        "r1" => Ok(RaidGeometry::raid1_pair()),
+        other => {
+            let (level, k) = other
+                .split_once('-')
+                .ok_or_else(|| format!("unknown raid `{other}` (use r1, r5-<k>, r6-<k>)"))?;
+            let k: u32 = k.parse().map_err(|_| format!("bad disk count in `{other}`"))?;
+            match level {
+                "r5" => RaidGeometry::raid5(k).map_err(|e| e.to_string()),
+                "r6" => RaidGeometry::raid6(k).map_err(|e| e.to_string()),
+                _ => Err(format!("unknown raid level `{level}`")),
+            }
+        }
+    }
+}
+
+fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let lambda: f64 = flag(flags, "lambda", 1e-6)?;
+    let hep = Hep::new(flag(flags, "hep", 0.0)?)?;
+    let geom = geometry(&flag(flags, "raid", "r5-3".to_string())?)?;
+    let policy: String = flag(flags, "policy", "conventional".to_string())?;
+    let params = ModelParams::paper_defaults(geom, lambda, hep)?;
+
+    let (u, mttdl) = match policy.as_str() {
+        "conventional" if geom.fault_tolerance() == 1 => {
+            let m = Raid5Conventional::new(params)?;
+            (m.solve()?.unavailability(), m.mttdl_hours()?)
+        }
+        "conventional" => {
+            let m = GenericKofN::new(params)?;
+            (m.solve()?.unavailability(), m.mttdl_hours()?)
+        }
+        "failover" => {
+            let m = Raid5FailOver::new(params)?;
+            (m.solve()?.unavailability(), m.mttdl_hours()?)
+        }
+        other => return Err(format!("unknown policy `{other}`").into()),
+    };
+    println!("{} λ={lambda:.3e} hep={} policy={policy}", geom.label(), hep.value());
+    println!("  unavailability : {u:.6e}");
+    println!("  availability   : {:.4} nines", nines::nines_from_unavailability(u));
+    println!("  downtime       : {:.4} min/yr", nines::downtime_minutes_per_year(u));
+    println!("  MTTDL          : {:.0} h ({:.1} yr)", mttdl, mttdl / 8766.0);
+    Ok(())
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let hep = Hep::new(flag(flags, "hep", 0.01)?)?;
+    let from: f64 = flag(flags, "from", 5e-7)?;
+    let to: f64 = flag(flags, "to", 5.5e-6)?;
+    let points: usize = flag(flags, "points", 11)?;
+    if !(from > 0.0 && to > from && points >= 2) {
+        return Err("need 0 < from < to and points >= 2".into());
+    }
+    println!("{:>12} {:>12} {:>10} {:>10}", "lambda", "U(hep)", "nines", "vs hep=0");
+    let step = (to - from) / (points - 1) as f64;
+    for i in 0..points {
+        let lam = from + i as f64 * step;
+        let params = ModelParams::raid5_3plus1(lam, hep)?;
+        let u = Raid5Conventional::new(params)?.solve()?.unavailability();
+        let u0 = Raid5Conventional::new(params.with_hep(Hep::ZERO))?.solve()?.unavailability();
+        println!(
+            "{:>12.4e} {:>12.4e} {:>10.3} {:>9.1}x",
+            lam,
+            u,
+            nines::nines_from_unavailability(u),
+            u / u0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let lambda: f64 = flag(flags, "lambda", 1e-5)?;
+    let capacity: u64 = flag(flags, "capacity", 21)?;
+    println!(
+        "{:<12} {:>7} {:>6} {:>9} {:>11} {:>10}",
+        "config", "arrays", "disks", "hep=0", "hep=0.001", "hep=0.01"
+    );
+    let base = compare_equal_capacity(capacity, lambda, Hep::ZERO)?;
+    for (i, row) in base.iter().enumerate() {
+        let mut cells = vec![row.nines()];
+        for h in [0.001, 0.01] {
+            cells.push(compare_equal_capacity(capacity, lambda, Hep::new(h)?)?[i].nines());
+        }
+        println!(
+            "{:<12} {:>7} {:>6} {:>9.3} {:>11.3} {:>10.3}",
+            row.label, row.arrays, row.total_disks, cells[0], cells[1], cells[2]
+        );
+    }
+    Ok(())
+}
+
+fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let lambda: f64 = flag(flags, "lambda", 1e-3)?;
+    let hep = Hep::new(flag(flags, "hep", 0.01)?)?;
+    let iterations: u64 = flag(flags, "iterations", 4_000)?;
+    let params = ModelParams::raid5_3plus1(lambda, hep)?;
+    let markov = Raid5Conventional::new(params)?.solve()?;
+    let est = ConventionalMc::new(params)?.run(&McConfig {
+        iterations,
+        horizon_hours: 87_600.0,
+        seed: flag(flags, "seed", 42u64)?,
+        confidence: 0.99,
+        threads: 0,
+    })?;
+    println!("markov availability : {:.9}", markov.availability());
+    println!("mc availability     : {}", est.availability);
+    println!(
+        "verdict             : {}",
+        if est.is_consistent_with(markov.availability()) {
+            "consistent (Markov inside the 99% CI)"
+        } else {
+            "INCONSISTENT — investigate"
+        }
+    );
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "availsim — human-error-aware storage availability (DATE'17 reproduction)
+
+USAGE:
+  availsim solve    [--lambda F] [--hep F] [--raid r1|r5-K|r6-K] [--policy conventional|failover]
+  availsim sweep    [--hep F] [--from F] [--to F] [--points N]
+  availsim compare  [--lambda F] [--capacity N]
+  availsim validate [--lambda F] [--hep F] [--iterations N] [--seed N]
+"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "solve" => cmd_solve(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "compare" => cmd_compare(&flags),
+        "validate" => cmd_validate(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

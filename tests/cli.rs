@@ -1,0 +1,85 @@
+//! Integration tests for the `availsim` command-line binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_availsim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn solve_prints_the_pinned_point() {
+    let (ok, stdout, _) = run(&["solve", "--lambda", "1e-6", "--hep", "0.01"]);
+    assert!(ok);
+    assert!(stdout.contains("RAID5(3+1)"));
+    assert!(stdout.contains("4.929"), "unavailability mantissa: {stdout}");
+    assert!(stdout.contains("6.3072 nines"), "{stdout}");
+}
+
+#[test]
+fn solve_supports_failover_and_raid6() {
+    let (ok, stdout, _) = run(&["solve", "--policy", "failover", "--hep", "0.01"]);
+    assert!(ok);
+    assert!(stdout.contains("policy=failover"));
+
+    let (ok, stdout, _) = run(&["solve", "--raid", "r6-6", "--lambda", "1e-5"]);
+    assert!(ok);
+    assert!(stdout.contains("RAID6(6+2)"));
+}
+
+#[test]
+fn sweep_reports_underestimation_column() {
+    let (ok, stdout, _) = run(&["sweep", "--points", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("vs hep=0"));
+    assert!(stdout.lines().count() >= 4);
+}
+
+#[test]
+fn compare_lists_three_configs() {
+    let (ok, stdout, _) = run(&["compare"]);
+    assert!(ok);
+    for label in ["RAID1(1+1)", "RAID5(3+1)", "RAID5(7+1)"] {
+        assert!(stdout.contains(label), "{label} missing:\n{stdout}");
+    }
+}
+
+#[test]
+fn validate_is_consistent_at_high_rates() {
+    let (ok, stdout, _) = run(&["validate", "--iterations", "2000"]);
+    assert!(ok);
+    assert!(stdout.contains("consistent"), "{stdout}");
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let (ok, _, stderr) = run(&["solve", "--raid", "r9-3"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown raid"));
+
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (ok, _, stderr) = run(&["solve", "--lambda"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"));
+
+    let (ok, _, stderr) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn help_succeeds() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}

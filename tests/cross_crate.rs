@@ -1,0 +1,143 @@
+//! Cross-crate integration: the public API as a downstream user would
+//! compose it — HRA quantification feeding storage models feeding the
+//! availability analyses, with the CTMC and simulation kernels underneath.
+
+use availsim::core::markov::{GenericKofN, Raid5Conventional};
+use availsim::core::{nines, ModelParams};
+use availsim::ctmc::{CtmcBuilder, SteadyStateMethod};
+use availsim::hra::heart::disk_replacement_example;
+use availsim::hra::therp::disk_replacement_tree;
+use availsim::hra::{Hep, RecoveryModel};
+use availsim::sim::distributions::{Exponential, Lifetime, Weibull};
+use availsim::sim::rng::SimRng;
+use availsim::sim::stats::{ks_test, t_interval, RunningStats};
+use availsim::storage::{
+    ArrayStatus, DatacenterModel, DiskArray, FailureModel, RaidGeometry, ServiceRates, Volume,
+};
+
+/// End-to-end: HEART → hep → Markov model → nines, all through public API.
+#[test]
+fn heart_to_availability_pipeline() {
+    let hep = disk_replacement_example().hep().unwrap();
+    assert!(hep.is_within_enterprise_band());
+
+    let params = ModelParams::raid5_3plus1(1e-6, hep).unwrap();
+    let solved = Raid5Conventional::new(params).unwrap().solve().unwrap();
+    let n = solved.nines();
+    // hep ≈ 0.008 lands between the paper's 0.001 and 0.01 sweep points.
+    let n_low = Raid5Conventional::new(params.with_hep(Hep::new(0.001).unwrap()))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .nines();
+    let n_high = Raid5Conventional::new(params.with_hep(Hep::new(0.01).unwrap()))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .nines();
+    assert!(n_high < n && n < n_low, "{n_high} < {n} < {n_low}");
+}
+
+/// THERP tree hep ≈ HEART hep order of magnitude; recovery model exposes
+/// the paper's μ_he dynamics.
+#[test]
+fn therp_and_recovery_compose() {
+    let base = Hep::new(0.01).unwrap();
+    let tree = disk_replacement_tree(base).unwrap();
+    let overall = tree.overall_hep().unwrap();
+    assert!(overall.value() > 0.001 && overall.value() < 0.1);
+
+    let recovery = RecoveryModel::paper_defaults(overall).unwrap();
+    assert!(recovery.mean_outage_hours() > 0.9 && recovery.mean_outage_hours() < 1.5);
+    assert!(recovery.escalation_probability() < 0.05);
+}
+
+/// The service-rate table flows from storage into the core parameters.
+#[test]
+fn service_rates_match_model_params() {
+    let rates = ServiceRates::paper_defaults();
+    let params = ModelParams::raid5_3plus1(1e-6, Hep::ZERO).unwrap();
+    assert_eq!(params.disk_repair_rate, rates.disk_repair);
+    assert_eq!(params.ddf_recovery_rate, rates.backup_restore);
+    assert_eq!(params.human_recovery_rate, rates.human_error_recovery);
+    assert_eq!(params.removed_crash_rate, rates.removed_disk_crash);
+}
+
+/// A user-built CTMC and the packaged model agree on a two-state system.
+#[test]
+fn custom_ctmc_through_facade() {
+    let mut b = CtmcBuilder::new();
+    let up = b.state("up").unwrap();
+    let down = b.state("down").unwrap();
+    b.transition(up, down, 1e-4).unwrap();
+    b.transition(down, up, 0.1).unwrap();
+    let chain = b.build().unwrap();
+    let gth = chain.steady_state().unwrap();
+    let lu = chain.steady_state_with(SteadyStateMethod::DirectLu).unwrap();
+    assert!((gth[1] - 1e-4 / (0.1 + 1e-4)).abs() < 1e-15);
+    assert!((gth[1] - lu[1]).abs() < 1e-12);
+    assert!((nines::nines_from_unavailability(gth[1]) - 3.0).abs() < 0.01);
+}
+
+/// Storage state machine drives the same verdicts the Markov states encode.
+#[test]
+fn array_state_machine_mirrors_markov_states() {
+    let mut array = DiskArray::new(RaidGeometry::raid5(3).unwrap());
+    assert_eq!(array.status(), ArrayStatus::Optimal); // OP
+    array.fail_disk().unwrap();
+    assert_eq!(array.status(), ArrayStatus::Degraded); // EXP
+    array.wrong_removal().unwrap();
+    assert_eq!(array.status(), ArrayStatus::Unavailable); // DU
+    array.crash_wrongly_removed().unwrap();
+    assert_eq!(array.status(), ArrayStatus::DataLoss); // DL
+    array.restore_from_backup();
+    assert_eq!(array.status(), ArrayStatus::Optimal); // back to OP
+}
+
+/// Sampling through the facade: distributions, KS validation, CI machinery.
+#[test]
+fn simulation_kernel_through_facade() {
+    let d = Weibull::from_rate_shape(2e-5, 1.48).unwrap();
+    let mut rng = SimRng::seed_from(77);
+    let samples: Vec<f64> = (0..3_000).map(|_| d.sample(&mut rng)).collect();
+    let ks = ks_test(&samples, &d).unwrap();
+    assert!(ks.p_value > 0.01);
+
+    let e = Exponential::from_mean(5.0).unwrap();
+    let mut stats = RunningStats::new();
+    for _ in 0..5_000 {
+        stats.push(e.sample(&mut rng));
+    }
+    let ci = t_interval(&stats, 0.99).unwrap();
+    assert!(ci.contains(5.0), "{ci}");
+}
+
+/// The generic chain extends the paper to RAID6 through the same API.
+#[test]
+fn raid6_extension_is_reachable() {
+    let params = ModelParams::paper_defaults(
+        RaidGeometry::raid6(6).unwrap(),
+        1e-5,
+        Hep::new(0.01).unwrap(),
+    )
+    .unwrap();
+    let model = GenericKofN::new(params).unwrap();
+    let solved = model.solve().unwrap();
+    assert!(solved.nines() > 6.0, "RAID6 should be strong: {}", solved.nines());
+    let mttdl_years = model.mttdl_hours().unwrap() / availsim::storage::HOURS_PER_YEAR;
+    assert!(mttdl_years > 1_000.0);
+}
+
+/// Fleet arithmetic and volume composition agree on disk counts.
+#[test]
+fn datacenter_and_volume_bookkeeping() {
+    let dc = DatacenterModel::new(1_000_000, 1e-6, 0.01).unwrap();
+    let geometry = RaidGeometry::raid5(3).unwrap();
+    let arrays = dc.num_disks() / u64::from(geometry.total_disks());
+    let volume = Volume::new(geometry, arrays);
+    assert_eq!(volume.total_disks(), 1_000_000);
+    assert_eq!(volume.usable_capacity(), 750_000);
+    // Failure stream feeds the fleet model.
+    let fm = FailureModel::exponential(dc.per_disk_failure_rate()).unwrap();
+    assert!((fm.mttf_hours() - 1e6).abs() < 1.0);
+}

@@ -1,0 +1,174 @@
+//! Shape tests for every figure and table of the paper: who wins, which way
+//! the curves bend, and the order of magnitude of each headline — the
+//! reproduction criteria from DESIGN.md §5.
+
+use availsim::core::analysis::{fig7_policy_sweep, underestimation_sweep};
+use availsim::core::markov::{Raid5Conventional, Raid5FailOver};
+use availsim::core::mc::{ConventionalMc, McConfig};
+use availsim::core::volume::compare_equal_capacity;
+use availsim::core::ModelParams;
+use availsim::hra::Hep;
+use availsim::storage::FailureModel;
+
+fn params(lambda: f64, hep: f64) -> ModelParams {
+    ModelParams::raid5_3plus1(lambda, Hep::new(hep).unwrap()).unwrap()
+}
+
+/// Fig. 4 shape: availability decreases monotonically in λ and in hep; the
+/// hep = 0.01 curve sits strictly below hep = 0.001 across the whole grid.
+#[test]
+fn fig4_markov_curves_are_ordered_and_monotone() {
+    let grid: Vec<f64> = (1..=11).map(|i| i as f64 * 5e-7).collect();
+    let mut prev_01 = f64::INFINITY;
+    let mut prev_001 = f64::INFINITY;
+    for &lam in &grid {
+        let n001 = Raid5Conventional::new(params(lam, 0.001)).unwrap().solve().unwrap().nines();
+        let n01 = Raid5Conventional::new(params(lam, 0.01)).unwrap().solve().unwrap().nines();
+        assert!(n01 < n001, "hep ordering at λ={lam}");
+        assert!(n001 <= prev_001 && n01 <= prev_01, "monotone in λ at {lam}");
+        prev_001 = n001;
+        prev_01 = n01;
+    }
+    // Range check: the paper's y-axis spans ~4.5..8.5 nines.
+    let top = Raid5Conventional::new(params(5e-7, 0.001)).unwrap().solve().unwrap().nines();
+    let bottom = Raid5Conventional::new(params(5.5e-6, 0.01)).unwrap().solve().unwrap().nines();
+    assert!(top > 7.0 && top < 9.0, "top of the plot {top}");
+    assert!(bottom > 4.5 && bottom < 6.5, "bottom of the plot {bottom}");
+}
+
+/// Fig. 4 validation: the Markov points must fall inside the MC confidence
+/// intervals (run at a reduced grid for test speed).
+#[test]
+fn fig4_markov_inside_mc_confidence_interval() {
+    for &(lam, hep) in &[(3e-6, 0.01), (5.5e-6, 0.001)] {
+        let p = params(lam, hep);
+        let markov = Raid5Conventional::new(p).unwrap().solve().unwrap();
+        let est = ConventionalMc::new(p)
+            .unwrap()
+            .run(&McConfig {
+                iterations: 60_000,
+                horizon_hours: 87_600.0,
+                seed: 4,
+                confidence: 0.99,
+                threads: 0,
+            })
+            .unwrap();
+        assert!(
+            est.is_consistent_with(markov.availability()),
+            "λ={lam} hep={hep}: markov {:.9} outside {}",
+            markov.availability(),
+            est.availability
+        );
+    }
+}
+
+/// Fig. 5 shape: for every Weibull field fit, availability decreases in hep;
+/// and the fits with higher nominal rate sit lower.
+#[test]
+fn fig5_weibull_ordering() {
+    let fits = availsim::storage::SCHROEDER_GIBSON_FITS;
+    let run = |rate: f64, beta: f64, hep: f64| -> f64 {
+        let p = params(rate, hep);
+        let mc = ConventionalMc::with_failure_model(
+            p,
+            FailureModel::weibull(rate, beta).unwrap(),
+        )
+        .unwrap();
+        mc.run(&McConfig {
+            iterations: 30_000,
+            horizon_hours: 87_600.0,
+            seed: 5,
+            confidence: 0.99,
+            threads: 0,
+        })
+        .unwrap()
+        .nines()
+    };
+    // hep monotonicity for the steepest fit.
+    let (rate, beta) = fits[3];
+    let n0 = run(rate, beta, 0.0);
+    let n001 = run(rate, beta, 0.001);
+    let n01 = run(rate, beta, 0.01);
+    assert!(n0 > n001 && n001 > n01, "hep ordering: {n0} {n001} {n01}");
+    // Rate ordering at hep = 0.01: the mildest fit beats the steepest.
+    let (r0, b0) = fits[0];
+    let gentle = run(r0, b0, 0.01);
+    assert!(gentle > n01, "rate ordering: {gentle} vs {n01}");
+}
+
+/// Fig. 6 shape: RAID1 leads at hep = 0; at hep = 0.01 RAID5(7+1) leads and
+/// RAID1's advantage is gone (the paper's ranking inversion).
+#[test]
+fn fig6_ranking_inversion() {
+    let at = |hep: f64| {
+        let rows = compare_equal_capacity(21, 1e-5, Hep::new(hep).unwrap()).unwrap();
+        (rows[0].nines(), rows[1].nines(), rows[2].nines()) // R1, R5(3+1), R5(7+1)
+    };
+    let (r1_0, r5a_0, r5b_0) = at(0.0);
+    assert!(r1_0 > r5a_0 && r5a_0 > r5b_0, "clean ranking {r1_0} {r5a_0} {r5b_0}");
+    let (r1_2, r5a_2, r5b_2) = at(0.01);
+    assert!(r5b_2 > r1_2, "inversion: R5(7+1) {r5b_2} must beat R1 {r1_2}");
+    assert!(r5a_2 > r1_2, "R5(3+1) {r5a_2} must beat R1 {r1_2} at hep=0.01");
+    // All configurations lose availability when hep appears.
+    assert!(r1_2 < r1_0 && r5a_2 < r5a_0 && r5b_2 < r5b_0);
+}
+
+/// Fig. 7 shape + headline: fail-over dominates, the gap grows with hep and
+/// reaches ~two orders of magnitude at hep = 0.01.
+#[test]
+fn fig7_failover_two_orders_of_magnitude() {
+    let rows = fig7_policy_sweep(params(1e-6, 0.0)).unwrap();
+    assert!(rows[0].improvement() >= 1.0);
+    assert!(rows[1].improvement() > rows[0].improvement());
+    assert!(rows[2].improvement() > rows[1].improvement());
+    assert!(
+        rows[2].improvement() > 50.0 && rows[2].improvement() < 500.0,
+        "improvement {}",
+        rows[2].improvement()
+    );
+}
+
+/// Headline: the downtime-underestimation maximum lands in the paper's
+/// "up to 263X" band over the Fig. 4 grid.
+#[test]
+fn headline_underestimation_band() {
+    let grid: Vec<f64> = (1..=11).map(|i| i as f64 * 5e-7).collect();
+    let (_, max) = underestimation_sweep(params(1e-6, 0.01), &grid).unwrap();
+    assert!((200.0..320.0).contains(&max), "max {max}");
+}
+
+/// §V-B: at hep = 0.001 the availability drop is one to two orders of
+/// magnitude for small λ.
+#[test]
+fn headline_one_to_two_orders_at_low_hep() {
+    let u0 = Raid5Conventional::new(params(1e-7, 0.0)).unwrap().solve().unwrap().unavailability();
+    let u1 =
+        Raid5Conventional::new(params(1e-7, 0.001)).unwrap().solve().unwrap().unavailability();
+    let ratio = u1 / u0;
+    assert!((10.0..200.0).contains(&ratio), "ratio {ratio}");
+}
+
+/// The fail-over MC agrees with the fail-over chain (Fig. 3 is validated
+/// the same way Fig. 2 is validated by Fig. 4).
+#[test]
+fn failover_mc_validates_failover_markov() {
+    use availsim::core::mc::FailOverMc;
+    let p = params(2e-3, 0.02);
+    let markov = Raid5FailOver::new(p).unwrap().solve().unwrap();
+    let est = FailOverMc::new(p)
+        .unwrap()
+        .run(&McConfig {
+            iterations: 2_000,
+            horizon_hours: 20_000.0,
+            seed: 6,
+            confidence: 0.99,
+            threads: 0,
+        })
+        .unwrap();
+    assert!(
+        est.is_consistent_with(markov.availability()),
+        "markov {} outside {}",
+        markov.availability(),
+        est.availability
+    );
+}

@@ -1,0 +1,103 @@
+//! End-to-end LSE study: the scrubbing exposure model (storage) feeds the
+//! generic availability chain (core), closing the loop the paper's
+//! introduction opens when it names LSEs among the main data-loss sources.
+
+use availsim::core::markov::GenericKofN;
+use availsim::core::ModelParams;
+use availsim::hra::Hep;
+use availsim::storage::{RaidGeometry, ScrubbingModel, HOURS_PER_YEAR};
+
+fn model_with_scrub(days: f64) -> GenericKofN {
+    let geometry = RaidGeometry::raid5(7).unwrap();
+    let params =
+        ModelParams::paper_defaults(geometry, 1e-5, Hep::new(0.001).unwrap()).unwrap();
+    let scrub = ScrubbingModel::new(ScrubbingModel::field_defaults().lse_rate, days * 24.0)
+        .unwrap();
+    let p_ue = scrub.rebuild_failure_probability(geometry.total_disks() - 1);
+    GenericKofN::new(params).unwrap().with_rebuild_failure_probability(p_ue)
+}
+
+#[test]
+fn tighter_scrubbing_monotonically_improves_both_metrics() {
+    let mut prev_u = 0.0;
+    let mut prev_mttdl = f64::INFINITY;
+    for days in [1.0, 7.0, 30.0, 120.0] {
+        let m = model_with_scrub(days);
+        let u = m.solve().unwrap().unavailability();
+        let mttdl = m.mttdl_hours().unwrap();
+        assert!(u >= prev_u, "unavailability must grow with the period ({days} d)");
+        assert!(mttdl <= prev_mttdl, "mttdl must shrink with the period ({days} d)");
+        prev_u = u;
+        prev_mttdl = mttdl;
+    }
+}
+
+#[test]
+fn weekly_scrub_keeps_mttdl_in_century_range() {
+    let m = model_with_scrub(7.0);
+    let years = m.mttdl_hours().unwrap() / HOURS_PER_YEAR;
+    assert!(years > 100.0 && years < 5_000.0, "MTTDL {years:.0} yr");
+}
+
+#[test]
+fn lse_and_human_error_compose() {
+    // Both effects must be visible simultaneously: removing either one
+    // improves the solved unavailability.
+    let geometry = RaidGeometry::raid5(7).unwrap();
+    let scrub = ScrubbingModel::field_defaults();
+    let p_ue = scrub.rebuild_failure_probability(geometry.total_disks() - 1);
+
+    let full = GenericKofN::new(
+        ModelParams::paper_defaults(geometry, 1e-5, Hep::new(0.01).unwrap()).unwrap(),
+    )
+    .unwrap()
+    .with_rebuild_failure_probability(p_ue)
+    .solve()
+    .unwrap()
+    .unavailability();
+
+    let no_lse = GenericKofN::new(
+        ModelParams::paper_defaults(geometry, 1e-5, Hep::new(0.01).unwrap()).unwrap(),
+    )
+    .unwrap()
+    .solve()
+    .unwrap()
+    .unavailability();
+
+    let no_hep = GenericKofN::new(
+        ModelParams::paper_defaults(geometry, 1e-5, Hep::ZERO).unwrap(),
+    )
+    .unwrap()
+    .with_rebuild_failure_probability(p_ue)
+    .solve()
+    .unwrap()
+    .unavailability();
+
+    assert!(no_lse < full, "removing LSEs must help: {no_lse:.3e} vs {full:.3e}");
+    assert!(no_hep < full, "removing human error must help: {no_hep:.3e} vs {full:.3e}");
+}
+
+#[test]
+fn sizing_helper_meets_its_target_in_the_chain() {
+    // required_scrub_interval promises p_ue <= target; verify through the
+    // whole pipeline that the chain's DL mass behaves accordingly.
+    let geometry = RaidGeometry::raid5(7).unwrap();
+    let lse_rate = ScrubbingModel::field_defaults().lse_rate;
+    let target = 1e-4;
+    let interval =
+        ScrubbingModel::required_scrub_interval(lse_rate, geometry.total_disks() - 1, target)
+            .unwrap();
+    let scrub = ScrubbingModel::new(lse_rate, interval).unwrap();
+    let p_ue = scrub.rebuild_failure_probability(geometry.total_disks() - 1);
+    assert!((p_ue - target).abs() < 1e-12);
+
+    let params = ModelParams::paper_defaults(geometry, 1e-5, Hep::ZERO).unwrap();
+    let with = GenericKofN::new(params)
+        .unwrap()
+        .with_rebuild_failure_probability(p_ue)
+        .mttdl_hours()
+        .unwrap();
+    let without = GenericKofN::new(params).unwrap().mttdl_hours().unwrap();
+    // At p_ue = 1e-4 the MTTDL penalty must stay below ~35%.
+    assert!(with > 0.65 * without, "{with:.3e} vs {without:.3e}");
+}
