@@ -31,8 +31,7 @@ fn bench(c: &mut Criterion) {
         let hep = Hep::new(0.01).unwrap();
         b.iter(|| {
             black_box(
-                compare_equal_capacity(FIG6_USABLE_CAPACITY, 1e-5, hep)
-                    .expect("valid comparison"),
+                compare_equal_capacity(FIG6_USABLE_CAPACITY, 1e-5, hep).expect("valid comparison"),
             )
         });
     });

@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("sampling");
     let dists: Vec<(&str, Box<dyn Lifetime>)> = vec![
         ("exponential", Box::new(Exponential::new(1e-6).unwrap())),
-        ("weibull", Box::new(Weibull::from_rate_shape(1e-6, 1.21).unwrap())),
+        (
+            "weibull",
+            Box::new(Weibull::from_rate_shape(1e-6, 1.21).unwrap()),
+        ),
         ("lognormal", Box::new(LogNormal::new(2.0, 0.5).unwrap())),
         ("gamma", Box::new(Gamma::new(2.5, 0.1).unwrap())),
         ("uniform", Box::new(UniformDist::new(1.0, 10.0).unwrap())),

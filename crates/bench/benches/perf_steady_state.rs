@@ -17,8 +17,10 @@ fn ring_chain(n: usize) -> Ctmc {
     let mut b = CtmcBuilder::new();
     let ids: Vec<_> = (0..n).map(|i| b.state(format!("s{i}")).unwrap()).collect();
     for i in 0..n {
-        b.transition(ids[i], ids[(i + 1) % n], 1.0 + (i % 7) as f64 * 0.3).unwrap();
-        b.transition(ids[i], ids[(i + 3) % n], 0.1 + (i % 5) as f64 * 0.05).unwrap();
+        b.transition(ids[i], ids[(i + 1) % n], 1.0 + (i % 7) as f64 * 0.3)
+            .unwrap();
+        b.transition(ids[i], ids[(i + 3) % n], 0.1 + (i % 5) as f64 * 0.05)
+            .unwrap();
     }
     b.build().unwrap()
 }
@@ -32,7 +34,11 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("lu", n), &chain, |b, chain| {
             b.iter(|| {
-                black_box(chain.steady_state_with(SteadyStateMethod::DirectLu).unwrap())
+                black_box(
+                    chain
+                        .steady_state_with(SteadyStateMethod::DirectLu)
+                        .unwrap(),
+                )
             });
         });
         if n <= 64 {
@@ -59,8 +65,7 @@ fn bench(c: &mut Criterion) {
         } else {
             RaidGeometry::raid6(6).unwrap()
         };
-        let params =
-            ModelParams::paper_defaults(geometry, 1e-6, Hep::new(0.01).unwrap()).unwrap();
+        let params = ModelParams::paper_defaults(geometry, 1e-6, Hep::new(0.01).unwrap()).unwrap();
         let model = GenericKofN::new(params).unwrap();
         group.bench_function(BenchmarkId::new("generic_k_of_n", format!("m{m}")), |b| {
             b.iter(|| black_box(model.solve().unwrap().unavailability()));

@@ -44,8 +44,7 @@ pub fn fig4_lambda_grid() -> Vec<f64> {
 /// Panics only on invalid inputs (not reachable from the fixed grids used
 /// by the benches).
 pub fn raid5_params(lambda: f64, hep: f64) -> ModelParams {
-    ModelParams::raid5_3plus1(lambda, Hep::new(hep).expect("valid hep"))
-        .expect("valid parameters")
+    ModelParams::raid5_3plus1(lambda, Hep::new(hep).expect("valid hep")).expect("valid parameters")
 }
 
 /// Fig. 4 — MC vs Markov availability (nines) over the λ grid, for
@@ -107,8 +106,7 @@ pub fn fig5_table(mc_iters: u64) -> Table {
                 // No outage observed: report the resolution limit of the
                 // run (one mean-length restore over the simulated time)
                 // rather than a meaningless "infinite nines".
-                let resolution =
-                    (1.0 / 0.03) / (config.horizon_hours * config.iterations as f64);
+                let resolution = (1.0 / 0.03) / (config.horizon_hours * config.iterations as f64);
                 cells.push(format!(
                     ">{:.1}",
                     availsim_core::nines::nines_from_unavailability(resolution)
@@ -126,11 +124,19 @@ pub fn fig5_table(mc_iters: u64) -> Table {
 pub fn fig6_table(lambda: f64) -> Table {
     let mut table = Table::new(
         format!("Fig. 6 — equal usable capacity, λ={lambda:.0e} (availability in nines)"),
-        &["configuration", "arrays", "disks", "ERF", "hep=0", "hep=0.001", "hep=0.01"],
+        &[
+            "configuration",
+            "arrays",
+            "disks",
+            "ERF",
+            "hep=0",
+            "hep=0.001",
+            "hep=0.01",
+        ],
     );
     let heps = [0.0, 0.001, 0.01];
-    let base = compare_equal_capacity(FIG6_USABLE_CAPACITY, lambda, Hep::ZERO)
-        .expect("valid comparison");
+    let base =
+        compare_equal_capacity(FIG6_USABLE_CAPACITY, lambda, Hep::ZERO).expect("valid comparison");
     for (idx, row0) in base.iter().enumerate() {
         let mut cells = vec![
             row0.label.clone(),
@@ -158,7 +164,12 @@ pub fn fig7_table() -> (Table, Vec<PolicyComparison>) {
     let rows = fig7_policy_sweep(base).expect("valid sweep");
     let mut table = Table::new(
         "Fig. 7 — replacement policy (availability in nines, λ=1e-6)",
-        &["hep", "conventional", "automatic fail-over", "improvement (×)"],
+        &[
+            "hep",
+            "conventional",
+            "automatic fail-over",
+            "improvement (×)",
+        ],
     );
     for r in &rows {
         table.push_row(&[
@@ -179,17 +190,21 @@ pub fn underestimation_table() -> (Table, f64) {
     let (rows, max) = underestimation_sweep(base, &grid).expect("valid sweep");
     let mut table = Table::new(
         "Headline — downtime underestimation when hep is ignored (hep=0.01)",
-        &["lambda", "U(hep)", "U(0)", "factor", "factor (as-labeled reading)"],
+        &[
+            "lambda",
+            "U(hep)",
+            "U(0)",
+            "factor",
+            "factor (as-labeled reading)",
+        ],
     );
     for r in &rows {
-        let labeled = Raid5Conventional::new(
-            raid5_params(r.disk_failure_rate, 0.01),
-        )
-        .expect("valid model")
-        .with_timing(WrongReplacementTiming::RepairCompletion)
-        .solve()
-        .expect("solvable")
-        .unavailability()
+        let labeled = Raid5Conventional::new(raid5_params(r.disk_failure_rate, 0.01))
+            .expect("valid model")
+            .with_timing(WrongReplacementTiming::RepairCompletion)
+            .solve()
+            .expect("solvable")
+            .unavailability()
             / r.without_hep;
         table.push_row(&[
             format!("{:.2e}", r.disk_failure_rate),
@@ -204,7 +219,10 @@ pub fn underestimation_table() -> (Table, f64) {
 
 /// One-line summary of an availability value for narrow bench output.
 pub fn nines_label(unavailability: f64) -> String {
-    format!("{:.3} nines", nines::nines_from_unavailability(unavailability))
+    format!(
+        "{:.3} nines",
+        nines::nines_from_unavailability(unavailability)
+    )
 }
 
 /// Builds the Fig. 3 chain once (used by perf benches).

@@ -95,7 +95,11 @@ impl PolicyComparison {
 pub fn compare_policies(params: ModelParams) -> Result<PolicyComparison> {
     let conventional = Raid5Conventional::new(params)?.solve()?.unavailability();
     let failover = Raid5FailOver::new(params)?.solve()?.unavailability();
-    Ok(PolicyComparison { hep: params.hep.value(), conventional, failover })
+    Ok(PolicyComparison {
+        hep: params.hep.value(),
+        conventional,
+        failover,
+    })
 }
 
 /// The Fig. 7 sweep: both policies at `hep ∈ {0, 0.001, 0.01}`.
@@ -133,7 +137,9 @@ pub fn annual_cost_conventional(
     let mut rewards = RewardModel::zero(&chain);
     for label in ["DU", "DL"] {
         let s = chain.find_state(label).expect("state exists");
-        rewards.rate_reward(s, cost_per_down_hour).map_err(crate::error::CoreError::from)?;
+        rewards
+            .rate_reward(s, cost_per_down_hour)
+            .map_err(crate::error::CoreError::from)?;
     }
     // Each completed service transition is one technician dispatch.
     let op = chain.find_state("OP").expect("state exists");
@@ -149,7 +155,9 @@ pub fn annual_cost_conventional(
             Err(e) => return Err(crate::error::CoreError::from(e)),
         }
     }
-    let hourly = chain.long_run_reward_rate(&rewards).map_err(crate::error::CoreError::from)?;
+    let hourly = chain
+        .long_run_reward_rate(&rewards)
+        .map_err(crate::error::CoreError::from)?;
     Ok(hourly * availsim_storage::HOURS_PER_YEAR)
 }
 
@@ -213,7 +221,11 @@ mod tests {
         // Pure outage pricing: cost ≈ U · hours/yr · rate.
         let p = base(0.01);
         let outage_only = annual_cost_conventional(p, 1_000.0, 0.0).unwrap();
-        let u = Raid5Conventional::new(p).unwrap().solve().unwrap().unavailability();
+        let u = Raid5Conventional::new(p)
+            .unwrap()
+            .solve()
+            .unwrap()
+            .unavailability();
         let expect = u * availsim_storage::HOURS_PER_YEAR * 1_000.0;
         assert!((outage_only - expect).abs() / expect < 1e-9);
 

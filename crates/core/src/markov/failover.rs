@@ -218,7 +218,11 @@ mod tests {
     fn hep_zero_leaves_error_states_empty() {
         let s = model(1e-6, 0.0).solve().unwrap();
         for label in ["EXPns2", "EXP2", "DU1", "DU2", "DUns1", "DUns2"] {
-            assert_eq!(s.probability(label).unwrap(), 0.0, "{label} should be unreachable");
+            assert_eq!(
+                s.probability(label).unwrap(),
+                0.0,
+                "{label} should be unreachable"
+            );
         }
         assert!(s.probability("OPns").unwrap() > 0.0);
     }
@@ -252,7 +256,10 @@ mod tests {
         let g_low = gain(0.001);
         let g_high = gain(0.01);
         assert!(g_high > g_low, "gains {g_low} vs {g_high}");
-        assert!(g_high > 5.0, "expected a large gain at hep=0.01, got {g_high}");
+        assert!(
+            g_high > 5.0,
+            "expected a large gain at hep=0.01, got {g_high}"
+        );
     }
 
     #[test]
@@ -266,7 +273,10 @@ mod tests {
             .iter()
             .map(|l| fo.probability(l).unwrap())
             .sum();
-        assert!(fo_du < conv_du / 10.0, "fo_du={fo_du:.3e} conv_du={conv_du:.3e}");
+        assert!(
+            fo_du < conv_du / 10.0,
+            "fo_du={fo_du:.3e} conv_du={conv_du:.3e}"
+        );
     }
 
     #[test]
@@ -280,12 +290,8 @@ mod tests {
     #[test]
     fn invalid_geometry_and_hep_rejected() {
         use availsim_storage::RaidGeometry;
-        let p6 = ModelParams::paper_defaults(
-            RaidGeometry::raid6(4).unwrap(),
-            1e-6,
-            Hep::ZERO,
-        )
-        .unwrap();
+        let p6 =
+            ModelParams::paper_defaults(RaidGeometry::raid6(4).unwrap(), 1e-6, Hep::ZERO).unwrap();
         assert!(Raid5FailOver::new(p6).is_err());
         let p1 = ModelParams::raid5_3plus1(1e-6, Hep::new(1.0).unwrap()).unwrap();
         assert!(Raid5FailOver::new(p1).is_err());

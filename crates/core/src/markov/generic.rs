@@ -55,7 +55,11 @@ impl GenericKofN {
                 "hep must be below 1 for a repairable model".into(),
             ));
         }
-        Ok(GenericKofN { params, recovery_completes_repair: true, rebuild_failure_probability: 0.0 })
+        Ok(GenericKofN {
+            params,
+            recovery_completes_repair: true,
+            rebuild_failure_probability: 0.0,
+        })
     }
 
     /// Chooses whether a successful human-error recovery also completes the
@@ -76,7 +80,10 @@ impl GenericKofN {
     /// # Panics
     /// Panics if `p` is outside `[0, 1]`.
     pub fn with_rebuild_failure_probability(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p) && p.is_finite(), "probability out of range: {p}");
+        assert!(
+            (0.0..=1.0).contains(&p) && p.is_finite(),
+            "probability out of range: {p}"
+        );
         self.rebuild_failure_probability = p;
         self
     }
@@ -130,7 +137,11 @@ impl GenericKofN {
             // the remaining parity reconstructs the unreadable sector, which
             // is exactly why double parity defuses the LSE threat.
             if is_up(f, w) && f >= 1 {
-                let ue = if f == m { self.rebuild_failure_probability } else { 0.0 };
+                let ue = if f == m {
+                    self.rebuild_failure_probability
+                } else {
+                    0.0
+                };
                 b.transition(
                     from,
                     ids[&(f - 1, w)],
@@ -231,7 +242,10 @@ mod tests {
                 .unwrap();
             let (ug, uf) = (generic.unavailability(), fig2.unavailability());
             let rel = if uf == 0.0 { ug } else { (ug - uf).abs() / uf };
-            assert!(rel < 1e-9, "lam={lam} hep={hep}: generic {ug:.6e} fig2 {uf:.6e}");
+            assert!(
+                rel < 1e-9,
+                "lam={lam} hep={hep}: generic {ug:.6e} fig2 {uf:.6e}"
+            );
         }
     }
 
@@ -246,7 +260,12 @@ mod tests {
             .with_timing(WrongReplacementTiming::RepairCompletion)
             .solve()
             .unwrap();
-        for (g, f) in [("F0W0", "OP"), ("F1W0", "EXP"), ("F1W1", "DU"), ("DL", "DL")] {
+        for (g, f) in [
+            ("F0W0", "OP"),
+            ("F1W0", "EXP"),
+            ("F1W1", "DU"),
+            ("DL", "DL"),
+        ] {
             let pg = generic.probability(g).unwrap();
             let pf = fig2.probability(f).unwrap();
             let rel = if pf == 0.0 { pg } else { (pg - pf).abs() / pf };
@@ -260,8 +279,16 @@ mod tests {
         // hep is far better than RAID5's.
         let p5 = params(RaidGeometry::raid5(6).unwrap(), 1e-5, 0.01);
         let p6 = params(RaidGeometry::raid6(6).unwrap(), 1e-5, 0.01);
-        let u5 = GenericKofN::new(p5).unwrap().solve().unwrap().unavailability();
-        let u6 = GenericKofN::new(p6).unwrap().solve().unwrap().unavailability();
+        let u5 = GenericKofN::new(p5)
+            .unwrap()
+            .solve()
+            .unwrap()
+            .unavailability();
+        let u6 = GenericKofN::new(p6)
+            .unwrap()
+            .solve()
+            .unwrap()
+            .unavailability();
         assert!(u6 < u5 / 10.0, "u6={u6:.3e} u5={u5:.3e}");
     }
 
@@ -295,7 +322,10 @@ mod tests {
             .solve()
             .unwrap()
             .unavailability();
-        assert!(u6_hep < u5_clean / 10.0, "u6(hep)={u6_hep:.3e} u5(0)={u5_clean:.3e}");
+        assert!(
+            u6_hep < u5_clean / 10.0,
+            "u6(hep)={u6_hep:.3e} u5(0)={u5_clean:.3e}"
+        );
         // Human error still hurts RAID6 — the effect does not vanish.
         assert!(u6_hep > u6_clean, "{u6_hep:.3e} vs {u6_clean:.3e}");
     }
@@ -305,14 +335,21 @@ mod tests {
         // Not completing the repair during recovery keeps the array exposed
         // longer; unavailability cannot decrease.
         let p = params(RaidGeometry::raid5(3).unwrap(), 1e-5, 0.01);
-        let complete = GenericKofN::new(p).unwrap().solve().unwrap().unavailability();
+        let complete = GenericKofN::new(p)
+            .unwrap()
+            .solve()
+            .unwrap()
+            .unavailability();
         let reinsert_only = GenericKofN::new(p)
             .unwrap()
             .with_recovery_completes_repair(false)
             .solve()
             .unwrap()
             .unavailability();
-        assert!(reinsert_only >= complete, "{reinsert_only:.3e} vs {complete:.3e}");
+        assert!(
+            reinsert_only >= complete,
+            "{reinsert_only:.3e} vs {complete:.3e}"
+        );
     }
 
     #[test]
@@ -331,7 +368,11 @@ mod tests {
     #[test]
     fn lse_free_model_is_unchanged() {
         let p = params(RaidGeometry::raid5(3).unwrap(), 1e-6, 0.01);
-        let plain = GenericKofN::new(p).unwrap().solve().unwrap().unavailability();
+        let plain = GenericKofN::new(p)
+            .unwrap()
+            .solve()
+            .unwrap()
+            .unavailability();
         let zero_lse = GenericKofN::new(p)
             .unwrap()
             .with_rebuild_failure_probability(0.0)
@@ -374,15 +415,23 @@ mod tests {
         let r5_clean = u(RaidGeometry::raid5(6).unwrap(), 0.0);
         let r5_lse = u(RaidGeometry::raid5(6).unwrap(), 0.02);
         let r6_lse = u(RaidGeometry::raid6(6).unwrap(), 0.02);
-        assert!(r6_lse < r5_lse / 100.0, "r6 {r6_lse:.3e} vs r5 {r5_lse:.3e}");
-        assert!(r6_lse < r5_clean, "r6+LSE {r6_lse:.3e} vs clean r5 {r5_clean:.3e}");
+        assert!(
+            r6_lse < r5_lse / 100.0,
+            "r6 {r6_lse:.3e} vs r5 {r5_lse:.3e}"
+        );
+        assert!(
+            r6_lse < r5_clean,
+            "r6+LSE {r6_lse:.3e} vs clean r5 {r5_clean:.3e}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "probability out of range")]
     fn lse_probability_validated() {
         let p = params(RaidGeometry::raid5(3).unwrap(), 1e-6, 0.0);
-        let _ = GenericKofN::new(p).unwrap().with_rebuild_failure_probability(1.5);
+        let _ = GenericKofN::new(p)
+            .unwrap()
+            .with_rebuild_failure_probability(1.5);
     }
 
     #[test]

@@ -109,7 +109,10 @@ impl Raid5Conventional {
                 "hep must be below 1 for a repairable model".into(),
             ));
         }
-        Ok(Raid5Conventional { params, timing: WrongReplacementTiming::default() })
+        Ok(Raid5Conventional {
+            params,
+            timing: WrongReplacementTiming::default(),
+        })
     }
 
     /// Selects the wrong-replacement timing reading (ablation hook).
@@ -275,12 +278,9 @@ mod tests {
     #[test]
     fn raid1_pair_uses_same_structure() {
         use availsim_storage::RaidGeometry;
-        let params = ModelParams::paper_defaults(
-            RaidGeometry::raid1_pair(),
-            1e-5,
-            Hep::new(0.001).unwrap(),
-        )
-        .unwrap();
+        let params =
+            ModelParams::paper_defaults(RaidGeometry::raid1_pair(), 1e-5, Hep::new(0.001).unwrap())
+                .unwrap();
         let m = Raid5Conventional::new(params).unwrap();
         let chain = m.build_chain().unwrap();
         let op = chain.find_state(STATE_OP).unwrap();
@@ -293,12 +293,8 @@ mod tests {
     #[test]
     fn raid6_rejected_by_fig2_model() {
         use availsim_storage::RaidGeometry;
-        let params = ModelParams::paper_defaults(
-            RaidGeometry::raid6(6).unwrap(),
-            1e-6,
-            Hep::ZERO,
-        )
-        .unwrap();
+        let params =
+            ModelParams::paper_defaults(RaidGeometry::raid6(6).unwrap(), 1e-6, Hep::ZERO).unwrap();
         assert!(Raid5Conventional::new(params).is_err());
     }
 

@@ -70,7 +70,11 @@ impl ConventionalMc {
     pub fn new(params: ModelParams) -> Result<Self> {
         params.validate()?;
         let failures = FailureModel::exponential(params.disk_failure_rate)?;
-        Ok(ConventionalMc { params, failures, timing: WrongReplacementTiming::default() })
+        Ok(ConventionalMc {
+            params,
+            failures,
+            timing: WrongReplacementTiming::default(),
+        })
     }
 
     /// Creates the model with an explicit failure distribution (e.g. a
@@ -81,7 +85,11 @@ impl ConventionalMc {
     /// Propagates parameter validation errors.
     pub fn with_failure_model(params: ModelParams, failures: FailureModel) -> Result<Self> {
         params.validate()?;
-        Ok(ConventionalMc { params, failures, timing: WrongReplacementTiming::default() })
+        Ok(ConventionalMc {
+            params,
+            failures,
+            timing: WrongReplacementTiming::default(),
+        })
     }
 
     /// Selects the wrong-replacement timing reading (must match the Markov
@@ -167,7 +175,13 @@ impl ConventionalMc {
         macro_rules! schedule_service {
             ($rng:expr, $q:expr, $ep:expr, $kind:expr, $rate:expr) => {
                 if let Some(dt) = exp_sample($rng, $rate) {
-                    let _ = $q.schedule(dt, Ev::Service { kind: $kind, epoch: $ep });
+                    let _ = $q.schedule(
+                        dt,
+                        Ev::Service {
+                            kind: $kind,
+                            epoch: $ep,
+                        },
+                    );
                 }
             };
         }
@@ -194,10 +208,20 @@ impl ConventionalMc {
                             if let Some(tr) = trace.as_deref_mut() {
                                 tr.record(t, TraceKind::DiskFailure { disk: slot as u32 });
                             }
-                            schedule_service!(rng, queue, epoch, Service::RepairOk,
-                                (1.0 - hep) * p.disk_repair_rate);
-                            schedule_service!(rng, queue, epoch, Service::WrongPull,
-                                self.wrong_pull_rate());
+                            schedule_service!(
+                                rng,
+                                queue,
+                                epoch,
+                                Service::RepairOk,
+                                (1.0 - hep) * p.disk_repair_rate
+                            );
+                            schedule_service!(
+                                rng,
+                                queue,
+                                epoch,
+                                Service::WrongPull,
+                                self.wrong_pull_rate()
+                            );
                         }
                         Mode::Exp => {
                             // Second failure: data loss.
@@ -209,15 +233,23 @@ impl ConventionalMc {
                                 tr.record(t, TraceKind::DiskFailure { disk: slot as u32 });
                                 tr.record(t, TraceKind::DataLoss);
                             }
-                            schedule_service!(rng, queue, epoch, Service::Restore,
-                                p.ddf_recovery_rate);
+                            schedule_service!(
+                                rng,
+                                queue,
+                                epoch,
+                                Service::Restore,
+                                p.ddf_recovery_rate
+                            );
                         }
                         // Quiesced while down; the slot is resampled on
                         // the next return to OP.
                         Mode::Du | Mode::Dl => {}
                     }
                 }
-                Ev::Service { kind, epoch: ev_epoch } => {
+                Ev::Service {
+                    kind,
+                    epoch: ev_epoch,
+                } => {
                     if ev_epoch != epoch {
                         continue; // stale service event
                     }
@@ -229,7 +261,13 @@ impl ConventionalMc {
                             let slot = failed_slot.take().expect("exp implies a failed slot");
                             slot_gen[slot] += 1;
                             let tt = self.failures.sample_ttf(rng);
-                            let _ = queue.schedule(tt, Ev::Fail { slot, gen: slot_gen[slot] });
+                            let _ = queue.schedule(
+                                tt,
+                                Ev::Fail {
+                                    slot,
+                                    gen: slot_gen[slot],
+                                },
+                            );
                             if let Some(tr) = trace.as_deref_mut() {
                                 tr.record(t, TraceKind::RepairComplete { disk: slot as u32 });
                             }
@@ -243,10 +281,20 @@ impl ConventionalMc {
                                 tr.record(t, TraceKind::WrongReplacement { removed_disk: 0 });
                                 tr.record(t, TraceKind::DataUnavailable);
                             }
-                            schedule_service!(rng, queue, epoch, Service::RecoveryOk,
-                                (1.0 - hep) * p.human_recovery_rate);
-                            schedule_service!(rng, queue, epoch, Service::RemovedCrash,
-                                p.removed_crash_rate);
+                            schedule_service!(
+                                rng,
+                                queue,
+                                epoch,
+                                Service::RecoveryOk,
+                                (1.0 - hep) * p.human_recovery_rate
+                            );
+                            schedule_service!(
+                                rng,
+                                queue,
+                                epoch,
+                                Service::RemovedCrash,
+                                p.removed_crash_rate
+                            );
                         }
                         (Mode::Du, Service::RecoveryOk) => {
                             // Error undone and repair completed (Fig. 2's
@@ -275,8 +323,13 @@ impl ConventionalMc {
                                 tr.record(t, TraceKind::RemovedDiskCrashed);
                                 tr.record(t, TraceKind::DataLoss);
                             }
-                            schedule_service!(rng, queue, epoch, Service::Restore,
-                                p.ddf_recovery_rate);
+                            schedule_service!(
+                                rng,
+                                queue,
+                                epoch,
+                                Service::Restore,
+                                p.ddf_recovery_rate
+                            );
                         }
                         (Mode::Dl, Service::Restore) => {
                             mode = Mode::Op;
@@ -407,12 +460,18 @@ mod tests {
     #[test]
     fn precision_run_tightens_the_interval() {
         let mc = ConventionalMc::new(params(1e-3, 0.01)).unwrap();
-        let cfg = McConfig { iterations: 50, ..quick_config(50) };
+        let cfg = McConfig {
+            iterations: 50,
+            ..quick_config(50)
+        };
         let pilot = mc.run(&cfg).unwrap();
         let target = pilot.availability.half_width / 3.0;
         let refined = mc.run_to_precision(&cfg, target, 200_000).unwrap();
-        assert!(refined.availability.half_width <= target,
-            "refined hw {} vs target {target}", refined.availability.half_width);
+        assert!(
+            refined.availability.half_width <= target,
+            "refined hw {} vs target {target}",
+            refined.availability.half_width
+        );
         assert!(refined.iterations > pilot.iterations);
     }
 
@@ -435,6 +494,9 @@ mod tests {
         let a = mc.run(&cfg).unwrap();
         cfg.threads = 4;
         let b = mc.run(&cfg).unwrap();
-        assert_eq!(a.overall_availability.to_bits(), b.overall_availability.to_bits());
+        assert_eq!(
+            a.overall_availability.to_bits(),
+            b.overall_availability.to_bits()
+        );
     }
 }

@@ -7,15 +7,15 @@
 //! a generator-matrix solve and an event-driven simulation — catches
 //! transcription mistakes in either.
 
+use self::states::Mode;
 use super::{AvailabilityEstimate, IterationOutcome, McConfig};
 use crate::error::Result;
 use crate::params::ModelParams;
-use availsim_core_states::Mode;
 use availsim_sim::engine::EventQueue;
 use availsim_sim::rng::SimRng;
 use availsim_storage::{DowntimeLog, OutageCause};
 
-mod availsim_core_states {
+mod states {
     /// The twelve Fig. 3 states.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum Mode {
@@ -253,7 +253,7 @@ mod tests {
         let p = params(1e-4, 0.01);
         let mc = FailOverMc::new(p).unwrap();
         let chain = Raid5FailOver::new(p).unwrap().build_chain().unwrap();
-        use super::availsim_core_states::Mode::*;
+        use super::states::Mode::*;
         let label = |m| match m {
             Op => "OP",
             Exp1 => "EXP1",
@@ -268,7 +268,9 @@ mod tests {
             Dl => "DL",
             DlNs => "DLns",
         };
-        for mode in [Op, Exp1, OpNs, ExpNs1, ExpNs2, Exp2, Du1, Du2, DuNs1, DuNs2, Dl, DlNs] {
+        for mode in [
+            Op, Exp1, OpNs, ExpNs1, ExpNs2, Exp2, Du1, Du2, DuNs1, DuNs2, Dl, DlNs,
+        ] {
             let from = chain.find_state(label(mode)).expect("state exists");
             let mut total = 0.0;
             for (rate, to) in mc.exits(mode) {
@@ -282,7 +284,11 @@ mod tests {
                 );
                 total += rate;
             }
-            assert!((total - chain.exit_rate(from)).abs() < 1e-15, "{}", label(mode));
+            assert!(
+                (total - chain.exit_rate(from)).abs() < 1e-15,
+                "{}",
+                label(mode)
+            );
         }
     }
 
@@ -331,7 +337,10 @@ mod tests {
         let a = mc.run(&cfg).unwrap();
         cfg.threads = 8;
         let b = mc.run(&cfg).unwrap();
-        assert_eq!(a.overall_availability.to_bits(), b.overall_availability.to_bits());
+        assert_eq!(
+            a.overall_availability.to_bits(),
+            b.overall_availability.to_bits()
+        );
     }
 
     #[test]

@@ -85,7 +85,9 @@ impl McConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
         }
     }
 }
@@ -168,7 +170,10 @@ where
     }
     let mut total = config.iterations.max(2);
     loop {
-        let cfg = McConfig { iterations: total, ..*config };
+        let cfg = McConfig {
+            iterations: total,
+            ..*config
+        };
         let est = run_iterations(&cfg, &sim)?;
         if est.availability.half_width <= target_half_width || total >= max_iterations {
             return Ok(est);
@@ -230,7 +235,8 @@ where
                     };
                     for i in lo..hi {
                         let out = sim(i);
-                        p.stats.push(1.0 - out.downtime_hours / config.horizon_hours);
+                        p.stats
+                            .push(1.0 - out.downtime_hours / config.horizon_hours);
                         p.downtime += out.downtime_hours;
                         p.du_downtime += out.du_downtime_hours;
                         p.du_events += out.du_events;
@@ -240,7 +246,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     let mut stats = RunningStats::new();
@@ -259,7 +268,11 @@ where
         availability,
         overall_availability: 1.0 - downtime / total_time,
         mean_downtime_hours: downtime / iterations as f64,
-        du_downtime_share: if downtime > 0.0 { du_dt / downtime } else { 0.0 },
+        du_downtime_share: if downtime > 0.0 {
+            du_dt / downtime
+        } else {
+            0.0
+        },
         du_events: du_ev,
         dl_events: dl_ev,
         iterations,
@@ -277,9 +290,15 @@ mod tests {
         assert!(c.validate().is_ok());
         c.iterations = 1;
         assert!(c.validate().is_err());
-        c = McConfig { horizon_hours: 0.0, ..McConfig::default() };
+        c = McConfig {
+            horizon_hours: 0.0,
+            ..McConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = McConfig { confidence: 1.0, ..McConfig::default() };
+        c = McConfig {
+            confidence: 1.0,
+            ..McConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -301,7 +320,10 @@ mod tests {
         };
         let one = run_iterations(&mk(1), sim).unwrap();
         let many = run_iterations(&mk(4), sim).unwrap();
-        assert_eq!(one.overall_availability.to_bits(), many.overall_availability.to_bits());
+        assert_eq!(
+            one.overall_availability.to_bits(),
+            many.overall_availability.to_bits()
+        );
         assert_eq!(one.du_events, many.du_events);
         assert!((one.availability.mean - many.availability.mean).abs() < 1e-12);
     }

@@ -45,7 +45,11 @@ impl ModelParams {
     /// # Errors
     /// Returns [`CoreError::InvalidParameter`] for a non-positive failure
     /// rate.
-    pub fn paper_defaults(geometry: RaidGeometry, disk_failure_rate: f64, hep: Hep) -> Result<Self> {
+    pub fn paper_defaults(
+        geometry: RaidGeometry,
+        disk_failure_rate: f64,
+        hep: Hep,
+    ) -> Result<Self> {
         let rates = ServiceRates::paper_defaults();
         let p = ModelParams {
             geometry,
@@ -163,19 +167,12 @@ mod tests {
 
     #[test]
     fn geometry_variants() {
-        let r1 = ModelParams::paper_defaults(
-            RaidGeometry::raid1_pair(),
-            1e-5,
-            Hep::new(0.001).unwrap(),
-        )
-        .unwrap();
+        let r1 =
+            ModelParams::paper_defaults(RaidGeometry::raid1_pair(), 1e-5, Hep::new(0.001).unwrap())
+                .unwrap();
         assert_eq!(r1.disks(), 2);
-        let r5b = ModelParams::paper_defaults(
-            RaidGeometry::raid5(7).unwrap(),
-            1e-5,
-            Hep::ZERO,
-        )
-        .unwrap();
+        let r5b =
+            ModelParams::paper_defaults(RaidGeometry::raid5(7).unwrap(), 1e-5, Hep::ZERO).unwrap();
         assert_eq!(r5b.disks(), 8);
     }
 }

@@ -34,15 +34,22 @@ impl MissionReliability {
             PolicyModel::Conventional => {
                 (Raid5Conventional::new(params)?.build_chain()?, vec!["DL"])
             }
-            PolicyModel::FailOver => {
-                (Raid5FailOver::new(params)?.build_chain()?, vec!["DL", "DLns"])
-            }
+            PolicyModel::FailOver => (
+                Raid5FailOver::new(params)?.build_chain()?,
+                vec!["DL", "DLns"],
+            ),
         };
-        let data_loss: Vec<StateId> =
-            dl_labels.iter().filter_map(|l| chain.find_state(l)).collect();
+        let data_loss: Vec<StateId> = dl_labels
+            .iter()
+            .filter_map(|l| chain.find_state(l))
+            .collect();
         let mut initial = vec![0.0; chain.num_states()];
         initial[chain.find_state("OP").expect("OP exists").index()] = 1.0;
-        Ok(MissionReliability { chain, data_loss, initial })
+        Ok(MissionReliability {
+            chain,
+            data_loss,
+            initial,
+        })
     }
 
     /// `R(t)`: probability no data-loss event has occurred by hour `t`.
@@ -69,7 +76,10 @@ impl MissionReliability {
     /// # Errors
     /// Propagates absorbing-analysis errors.
     pub fn mttdl_hours(&self) -> Result<f64> {
-        Ok(self.chain.absorption(&self.initial, &self.data_loss)?.mean_time)
+        Ok(self
+            .chain
+            .absorption(&self.initial, &self.data_loss)?
+            .mean_time)
     }
 }
 

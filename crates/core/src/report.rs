@@ -39,9 +39,10 @@ impl Table {
 
     /// Renders with aligned columns, suitable for terminal output.
     pub fn render(&self) -> String {
-        let cols = self.headers.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -84,10 +85,18 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -105,7 +114,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series.
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends one point.

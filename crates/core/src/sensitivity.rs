@@ -62,7 +62,11 @@ pub fn sensitivities(
         let down = unavailability(model, apply(params, base * (1.0 - rel_step))?)?;
         let du = (up - down) / u0;
         let dtheta = 2.0 * rel_step;
-        out.push(Sensitivity { parameter: name, base_value: base, elasticity: du / dtheta });
+        out.push(Sensitivity {
+            parameter: name,
+            base_value: base,
+            elasticity: du / dtheta,
+        });
         Ok(())
     };
 
@@ -109,7 +113,10 @@ mod tests {
     }
 
     fn find(v: &[Sensitivity], name: &str) -> f64 {
-        v.iter().find(|s| s.parameter == name).expect("present").elasticity
+        v.iter()
+            .find(|s| s.parameter == name)
+            .expect("present")
+            .elasticity
     }
 
     #[test]

@@ -38,12 +38,18 @@ impl TransientAvailability {
                 &crate::markov::failover_down_states(),
             ),
         };
-        let down: Vec<StateId> =
-            down_labels.iter().filter_map(|l| chain.find_state(l)).collect();
+        let down: Vec<StateId> = down_labels
+            .iter()
+            .filter_map(|l| chain.find_state(l))
+            .collect();
         let mut initial = vec![0.0; chain.num_states()];
         let op = chain.find_state("OP").expect("OP exists in both models");
         initial[op.index()] = 1.0;
-        Ok(TransientAvailability { chain, down, initial })
+        Ok(TransientAvailability {
+            chain,
+            down,
+            initial,
+        })
     }
 
     /// Point availability `A(t)`: probability the array serves I/O at time
@@ -87,7 +93,12 @@ impl TransientAvailability {
     /// # Errors
     /// Propagates solver errors; `points` must be at least 2 and the range
     /// positive and increasing.
-    pub fn availability_curve(&self, t_min: f64, t_max: f64, points: usize) -> Result<Vec<(f64, f64)>> {
+    pub fn availability_curve(
+        &self,
+        t_min: f64,
+        t_max: f64,
+        points: usize,
+    ) -> Result<Vec<(f64, f64)>> {
         if points < 2 || !(t_min > 0.0) || !(t_max > t_min) {
             return Err(crate::error::CoreError::InvalidParameter(format!(
                 "invalid curve grid: t_min={t_min}, t_max={t_max}, points={points}"

@@ -92,26 +92,34 @@ mod tests {
         // High rates so the MC resolves the unavailability quickly.
         let params = ModelParams::raid5_3plus1(1e-3, Hep::new(0.01).unwrap()).unwrap();
         let v = validate_point(PolicyModel::Conventional, params, &config()).unwrap();
-        assert!(v.consistent, "markov {} vs mc {} ± {}", v.markov_availability,
-            v.mc_availability, v.mc_half_width);
+        assert!(
+            v.consistent,
+            "markov {} vs mc {} ± {}",
+            v.markov_availability, v.mc_availability, v.mc_half_width
+        );
     }
 
     #[test]
     fn failover_point_validates() {
         let params = ModelParams::raid5_3plus1(1e-3, Hep::new(0.01).unwrap()).unwrap();
         let v = validate_point(PolicyModel::FailOver, params, &config()).unwrap();
-        assert!(v.consistent, "markov {} vs mc {} ± {}", v.markov_availability,
-            v.mc_availability, v.mc_half_width);
+        assert!(
+            v.consistent,
+            "markov {} vs mc {} ± {}",
+            v.markov_availability, v.mc_availability, v.mc_half_width
+        );
     }
 
     #[test]
     fn sweep_produces_one_point_per_rate() {
         let params = ModelParams::raid5_3plus1(1e-3, Hep::new(0.001).unwrap()).unwrap();
         let rates = [5e-4, 1e-3, 2e-3];
-        let points =
-            validate_sweep(PolicyModel::Conventional, params, &rates, &config()).unwrap();
+        let points = validate_sweep(PolicyModel::Conventional, params, &rates, &config()).unwrap();
         assert_eq!(points.len(), 3);
         let consistent = points.iter().filter(|p| p.consistent).count();
-        assert!(consistent >= 2, "at 99% confidence at most ~1 in 100 may fail");
+        assert!(
+            consistent >= 2,
+            "at 99% confidence at most ~1 in 100 may fail"
+        );
     }
 }

@@ -118,7 +118,10 @@ mod tests {
         let r1 = rows[0].nines();
         let r5a = rows[1].nines();
         let r5b = rows[2].nines();
-        assert!(r1 > r5a && r5a > r5b, "expected R1 > R5(3+1) > R5(7+1): {r1} {r5a} {r5b}");
+        assert!(
+            r1 > r5a && r5a > r5b,
+            "expected R1 > R5(3+1) > R5(7+1): {r1} {r5a} {r5b}"
+        );
     }
 
     #[test]
@@ -151,7 +154,11 @@ mod tests {
         let rows = compare_equal_capacity(21, 1e-6, hep(0.001)).unwrap();
         for row in &rows {
             let implied = row.erf * 21.0;
-            assert!((implied - row.total_disks as f64).abs() < 1e-9, "{}", row.label);
+            assert!(
+                (implied - row.total_disks as f64).abs() < 1e-9,
+                "{}",
+                row.label
+            );
         }
     }
 

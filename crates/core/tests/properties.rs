@@ -11,14 +11,14 @@ use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = ModelParams> {
     (
-        2u32..9,             // data disks for raid5
-        1e-8f64..1e-3,       // λ
-        0.0f64..0.3,         // hep
-        0.01f64..1.0,        // μ_DF
-        0.001f64..0.5,       // μ_DDF
-        0.1f64..5.0,         // μ_he
-        0.1f64..5.0,         // μ_ch
-        0.0f64..0.1,         // λ_crash
+        2u32..9,       // data disks for raid5
+        1e-8f64..1e-3, // λ
+        0.0f64..0.3,   // hep
+        0.01f64..1.0,  // μ_DF
+        0.001f64..0.5, // μ_DDF
+        0.1f64..5.0,   // μ_he
+        0.1f64..5.0,   // μ_ch
+        0.0f64..0.1,   // λ_crash
     )
         .prop_map(|(k, lam, hep, mu_df, mu_ddf, mu_he, mu_ch, crash)| {
             let mut p = ModelParams::paper_defaults(
@@ -42,19 +42,16 @@ fn arb_paper_regime() -> impl Strategy<Value = ModelParams> {
     (
         2u32..9,
         1e-8f64..2e-5,
-        0.05f64..0.5,   // μ_DF
-        0.01f64..0.1,   // μ_DDF
-        0.5f64..2.0,    // μ_he
-        0.5f64..2.0,    // μ_ch
-        0.0f64..0.02,   // λ_crash
+        0.05f64..0.5, // μ_DF
+        0.01f64..0.1, // μ_DDF
+        0.5f64..2.0,  // μ_he
+        0.5f64..2.0,  // μ_ch
+        0.0f64..0.02, // λ_crash
     )
         .prop_map(|(k, lam, mu_df, mu_ddf, mu_he, mu_ch, crash)| {
-            let mut p = ModelParams::paper_defaults(
-                RaidGeometry::raid5(k).unwrap(),
-                lam,
-                Hep::ZERO,
-            )
-            .unwrap();
+            let mut p =
+                ModelParams::paper_defaults(RaidGeometry::raid5(k).unwrap(), lam, Hep::ZERO)
+                    .unwrap();
             p.disk_repair_rate = mu_df;
             p.ddf_recovery_rate = mu_ddf;
             p.human_recovery_rate = mu_he;
@@ -86,7 +83,11 @@ fn hep_can_help_outside_the_rare_failure_regime() {
     p.disk_change_rate = 0.1;
     p.removed_crash_rate = 0.0;
 
-    let u0 = Raid5Conventional::new(p).unwrap().solve().unwrap().unavailability();
+    let u0 = Raid5Conventional::new(p)
+        .unwrap()
+        .solve()
+        .unwrap()
+        .unavailability();
     let u_hep = Raid5Conventional::new(p.with_hep(Hep::new(0.2).unwrap()))
         .unwrap()
         .solve()

@@ -34,7 +34,9 @@ pub(crate) fn absorption(
     let n = chain.num_states();
     validate_distribution(initial, n)?;
     if absorbing.is_empty() {
-        return Err(CtmcError::InvalidAbsorbingSet("no absorbing states given".into()));
+        return Err(CtmcError::InvalidAbsorbingSet(
+            "no absorbing states given".into(),
+        ));
     }
     let mut is_absorbing = vec![false; n];
     for s in absorbing {
@@ -48,7 +50,9 @@ pub(crate) fn absorption(
     }
     let transient: Vec<usize> = (0..n).filter(|&i| !is_absorbing[i]).collect();
     if transient.is_empty() {
-        return Err(CtmcError::InvalidAbsorbingSet("every state is absorbing".into()));
+        return Err(CtmcError::InvalidAbsorbingSet(
+            "every state is absorbing".into(),
+        ));
     }
     let pos: Vec<Option<usize>> = {
         let mut p = vec![None; n];
@@ -101,7 +105,11 @@ pub(crate) fn absorption(
         })
         .collect();
 
-    Ok(AbsorptionAnalysis { mean_time, expected_sojourn, absorption_probabilities })
+    Ok(AbsorptionAnalysis {
+        mean_time,
+        expected_sojourn,
+        absorption_probabilities,
+    })
 }
 
 #[cfg(test)]

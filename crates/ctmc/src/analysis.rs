@@ -49,10 +49,14 @@ impl Ctmc {
                 }
             }
         }
-        let unreachable_from_start =
-            (0..n).filter(|&i| !seen[i]).map(StateId).collect();
+        let unreachable_from_start = (0..n).filter(|&i| !seen[i]).map(StateId).collect();
 
-        StructureReport { components, absorbing_states, irreducible, unreachable_from_start }
+        StructureReport {
+            components,
+            absorbing_states,
+            irreducible,
+            unreachable_from_start,
+        }
     }
 }
 
@@ -116,7 +120,7 @@ fn tarjan_scc(chain: &Ctmc) -> Vec<Vec<StateId>> {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::CtmcBuilder;
 
     #[test]

@@ -145,6 +145,9 @@ mod tests {
 
     #[test]
     fn empty_chain_rejected() {
-        assert_eq!(CtmcBuilder::new().build().unwrap_err(), CtmcError::EmptyChain);
+        assert_eq!(
+            CtmcBuilder::new().build().unwrap_err(),
+            CtmcError::EmptyChain
+        );
     }
 }

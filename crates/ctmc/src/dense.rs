@@ -23,7 +23,11 @@ impl DenseMatrix {
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let len = rows.checked_mul(cols).expect("matrix shape overflow");
-        DenseMatrix { rows, cols, data: vec![0.0; len] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -45,11 +49,18 @@ impl DenseMatrix {
         let mut data = Vec::with_capacity(r * c);
         for row in rows {
             if row.len() != c {
-                return Err(CtmcError::DimensionMismatch { expected: c, actual: row.len() });
+                return Err(CtmcError::DimensionMismatch {
+                    expected: c,
+                    actual: row.len(),
+                });
             }
             data.extend_from_slice(row);
         }
-        Ok(DenseMatrix { rows: r, cols: c, data })
+        Ok(DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -84,7 +95,10 @@ impl DenseMatrix {
     /// Returns [`CtmcError::DimensionMismatch`] if `x.len() != cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.cols {
-            return Err(CtmcError::DimensionMismatch { expected: self.cols, actual: x.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
         }
         let mut y = vec![0.0; self.rows];
         for i in 0..self.rows {
@@ -104,7 +118,10 @@ impl DenseMatrix {
     /// Returns [`CtmcError::DimensionMismatch`] if `x.len() != rows`.
     pub fn vec_mul(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.rows {
-            return Err(CtmcError::DimensionMismatch { expected: self.rows, actual: x.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.rows,
+                actual: x.len(),
+            });
         }
         let mut y = vec![0.0; self.cols];
         for i in 0..self.rows {
@@ -126,7 +143,10 @@ impl DenseMatrix {
     /// Returns [`CtmcError::DimensionMismatch`] on inner-dimension mismatch.
     pub fn mul(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
         if self.cols != other.rows {
-            return Err(CtmcError::DimensionMismatch { expected: self.cols, actual: other.rows });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.cols,
+                actual: other.rows,
+            });
         }
         let mut out = DenseMatrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
@@ -166,14 +186,20 @@ impl Index<(usize, usize)> for DenseMatrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for DenseMatrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -212,7 +238,13 @@ mod tests {
     #[test]
     fn from_rows_rejects_ragged_input() {
         let err = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
-        assert_eq!(err, CtmcError::DimensionMismatch { expected: 2, actual: 1 });
+        assert_eq!(
+            err,
+            CtmcError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
     }
 
     #[test]

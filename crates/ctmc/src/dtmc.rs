@@ -28,10 +28,12 @@ pub(crate) fn embedded(chain: &Ctmc) -> Result<Dtmc> {
         }
     }
     let p = CsrMatrix::from_triplets(n, n, &triplets)?;
-    let exit_rates = (0..n)
-        .map(|i| chain.exit_rate(crate::StateId(i)))
-        .collect();
-    Ok(Dtmc { states: chain.states().clone(), p, exit_rates })
+    let exit_rates = (0..n).map(|i| chain.exit_rate(crate::StateId(i))).collect();
+    Ok(Dtmc {
+        states: chain.states().clone(),
+        p,
+        exit_rates,
+    })
 }
 
 impl Dtmc {
@@ -88,7 +90,10 @@ impl Dtmc {
                 return Ok(pi);
             }
         }
-        Err(CtmcError::NoConvergence { iterations: max_iterations, residual })
+        Err(CtmcError::NoConvergence {
+            iterations: max_iterations,
+            residual,
+        })
     }
 
     /// Converts a stationary distribution of the jump chain into the
@@ -193,6 +198,9 @@ mod tests {
         let s1 = b.state("trap").unwrap();
         b.transition(s0, s1, 1.0).unwrap();
         let c = b.build().unwrap();
-        assert!(matches!(c.embedded().unwrap_err(), CtmcError::NotIrreducible { state: 1 }));
+        assert!(matches!(
+            c.embedded().unwrap_err(),
+            CtmcError::NotIrreducible { state: 1 }
+        ));
     }
 }

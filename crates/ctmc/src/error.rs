@@ -67,13 +67,22 @@ impl fmt::Display for CtmcError {
             }
             CtmcError::EmptyChain => write!(f, "chain has no states"),
             CtmcError::NotIrreducible { state } => {
-                write!(f, "chain is not irreducible (state index {state} isolated during elimination)")
+                write!(
+                    f,
+                    "chain is not irreducible (state index {state} isolated during elimination)"
+                )
             }
             CtmcError::SingularSystem => {
                 write!(f, "linear system is singular to working precision")
             }
-            CtmcError::NoConvergence { iterations, residual } => {
-                write!(f, "no convergence after {iterations} iterations (residual {residual:e})")
+            CtmcError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:e})"
+                )
             }
             CtmcError::InvalidDistribution(msg) => {
                 write!(f, "invalid probability distribution: {msg}")
@@ -117,7 +126,10 @@ mod tests {
 
     #[test]
     fn dimension_mismatch_reports_both_sizes() {
-        let e = CtmcError::DimensionMismatch { expected: 4, actual: 2 };
+        let e = CtmcError::DimensionMismatch {
+            expected: 4,
+            actual: 2,
+        };
         assert_eq!(e.to_string(), "dimension mismatch: expected 4, got 2");
     }
 }

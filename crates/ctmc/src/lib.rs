@@ -87,7 +87,11 @@ impl Ctmc {
             .iter()
             .map(|row| row.iter().map(|&(_, r)| r).sum())
             .collect();
-        Ctmc { states, adjacency, exit_rates }
+        Ctmc {
+            states,
+            adjacency,
+            exit_rates,
+        }
     }
 
     /// Number of states.
@@ -112,9 +116,10 @@ impl Ctmc {
 
     /// Iterates over all transitions as `(from, to, rate)`.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, StateId, f64)> + '_ {
-        self.adjacency.iter().enumerate().flat_map(|(i, row)| {
-            row.iter().map(move |&(j, r)| (StateId(i), StateId(j), r))
-        })
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().map(move |&(j, r)| (StateId(i), StateId(j), r)))
     }
 
     /// Total outgoing rate of a state.
@@ -300,12 +305,16 @@ pub(crate) fn validate_distribution(p: &[f64], n: usize) -> Result<()> {
     let mut total = 0.0;
     for &v in p {
         if !v.is_finite() || v < 0.0 {
-            return Err(CtmcError::InvalidDistribution(format!("entry {v} is not a probability")));
+            return Err(CtmcError::InvalidDistribution(format!(
+                "entry {v} is not a probability"
+            )));
         }
         total += v;
     }
     if (total - 1.0).abs() > 1e-9 {
-        return Err(CtmcError::InvalidDistribution(format!("entries sum to {total}, expected 1")));
+        return Err(CtmcError::InvalidDistribution(format!(
+            "entries sum to {total}, expected 1"
+        )));
     }
     Ok(())
 }
@@ -390,7 +399,9 @@ mod tests {
         b.transition(down, up, 5.0).unwrap(); // removed by the variant
         let chain = b.build().unwrap();
         for &t in &[1.0, 10.0, 100.0] {
-            let s = chain.survival_probability(&[1.0, 0.0], &[down], t, 1e-12).unwrap();
+            let s = chain
+                .survival_probability(&[1.0, 0.0], &[down], t, 1e-12)
+                .unwrap();
             let expect = (-0.02 * t).exp();
             assert!((s - expect).abs() < 1e-9, "t={t}: {s} vs {expect}");
         }
@@ -402,7 +413,9 @@ mod tests {
         let down = chain.find_state("down").unwrap();
         let mut prev = 1.0;
         for &t in &[0.5, 1.0, 5.0, 20.0] {
-            let s = chain.survival_probability(&[1.0, 0.0], &[down], t, 1e-12).unwrap();
+            let s = chain
+                .survival_probability(&[1.0, 0.0], &[down], t, 1e-12)
+                .unwrap();
             assert!(s <= prev + 1e-12);
             prev = s;
         }

@@ -28,7 +28,10 @@ impl LuFactors {
     /// [`CtmcError::SingularSystem`] when a pivot underflows to zero.
     pub fn new(a: &DenseMatrix) -> Result<Self> {
         if a.rows() != a.cols() {
-            return Err(CtmcError::DimensionMismatch { expected: a.rows(), actual: a.cols() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: a.rows(),
+                actual: a.cols(),
+            });
         }
         let n = a.rows();
         let mut lu = a.clone();
@@ -80,7 +83,10 @@ impl LuFactors {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.lu.rows();
         if b.len() != n {
-            return Err(CtmcError::DimensionMismatch { expected: n, actual: b.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
         }
         // Apply permutation.
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
@@ -111,7 +117,10 @@ impl LuFactors {
     pub fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.lu.rows();
         if b.len() != n {
-            return Err(CtmcError::DimensionMismatch { expected: n, actual: b.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
         }
         // Solve Uᵀ y = b (forward substitution, U upper → Uᵀ lower).
         let mut y = b.to_vec();
@@ -185,7 +194,9 @@ mod tests {
 
     fn residual(a: &DenseMatrix, x: &[f64], b: &[f64]) -> f64 {
         let ax = a.mul_vec(x).unwrap();
-        ax.iter().zip(b).fold(0.0f64, |m, (p, q)| m.max((p - q).abs()))
+        ax.iter()
+            .zip(b)
+            .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()))
     }
 
     #[test]

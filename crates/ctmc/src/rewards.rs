@@ -25,9 +25,11 @@ impl RewardModel {
     pub fn zero(chain: &Ctmc) -> Self {
         RewardModel {
             rate_rewards: vec![0.0; chain.num_states()],
-            impulse: chain.adjacency().iter().map(|row| {
-                row.iter().map(|&(j, _)| (j, 0.0)).collect()
-            }).collect(),
+            impulse: chain
+                .adjacency()
+                .iter()
+                .map(|row| row.iter().map(|&(j, _)| (j, 0.0)).collect())
+                .collect(),
         }
     }
 
@@ -67,10 +69,13 @@ impl RewardModel {
                 rate: reward,
             });
         }
-        let row = self.impulse.get_mut(from.index()).ok_or(CtmcError::DimensionMismatch {
-            expected: self.rate_rewards.len(),
-            actual: from.index(),
-        })?;
+        let row = self
+            .impulse
+            .get_mut(from.index())
+            .ok_or(CtmcError::DimensionMismatch {
+                expected: self.rate_rewards.len(),
+                actual: from.index(),
+            })?;
         match row.iter_mut().find(|(j, _)| *j == to.index()) {
             Some((_, r)) => {
                 *r = reward;
@@ -109,9 +114,7 @@ impl Ctmc {
         let mut total = 0.0;
         for (i, &p) in pi.iter().enumerate() {
             total += p * rewards.rate_rewards[i];
-            for (&(j, rate), &(j2, cost)) in
-                self.adjacency()[i].iter().zip(&rewards.impulse[i])
-            {
+            for (&(j, rate), &(j2, cost)) in self.adjacency()[i].iter().zip(&rewards.impulse[i]) {
                 debug_assert_eq!(j, j2, "impulse layout mirrors adjacency");
                 total += p * rate * cost;
             }
@@ -137,9 +140,7 @@ impl Ctmc {
         for (i, &time_in_i) in occ.iter().enumerate() {
             total += time_in_i * rewards.rate_rewards[i];
             // Expected firings of i -> j in [0, t] = E[time in i] · q_ij.
-            for (&(j, rate), &(j2, cost)) in
-                self.adjacency()[i].iter().zip(&rewards.impulse[i])
-            {
+            for (&(j, rate), &(j2, cost)) in self.adjacency()[i].iter().zip(&rewards.impulse[i]) {
                 debug_assert_eq!(j, j2, "impulse layout mirrors adjacency");
                 total += time_in_i * rate * cost;
             }
@@ -168,7 +169,7 @@ mod tests {
         let down = chain.find_state("down").unwrap();
         let mut r = RewardModel::zero(&chain);
         r.rate_reward(down, 100.0).unwrap(); // €100/h while down
-        // π(down) = 1/4 -> 25 €/h.
+                                             // π(down) = 1/4 -> 25 €/h.
         let rate = chain.long_run_reward_rate(&r).unwrap();
         assert!((rate - 25.0).abs() < 1e-12);
     }
@@ -180,7 +181,7 @@ mod tests {
         let down = chain.find_state("down").unwrap();
         let mut r = RewardModel::zero(&chain);
         r.impulse_reward(up, down, 10.0).unwrap(); // €10 per failure
-        // Failure frequency = π(up)·λ = (2/2.5)·0.5 = 0.4/h -> €4/h.
+                                                   // Failure frequency = π(up)·λ = (2/2.5)·0.5 = 0.4/h -> €4/h.
         let rate = chain.long_run_reward_rate(&r).unwrap();
         assert!((rate - 4.0).abs() < 1e-12);
     }
@@ -210,7 +211,11 @@ mod tests {
         let t = 5_000.0;
         let acc = chain.accumulated_reward(&r, &[1.0, 0.0], t).unwrap();
         let rate = chain.long_run_reward_rate(&r).unwrap();
-        assert!((acc / t - rate).abs() / rate < 1e-3, "{} vs {rate}", acc / t);
+        assert!(
+            (acc / t - rate).abs() / rate < 1e-3,
+            "{} vs {rate}",
+            acc / t
+        );
     }
 
     #[test]
@@ -235,6 +240,8 @@ mod tests {
         let big_chain = bigger.build().unwrap();
         let r_small = RewardModel::zero(&other);
         assert!(big_chain.long_run_reward_rate(&r_small).is_err());
-        assert!(big_chain.accumulated_reward(&r_small, &[1.0, 0.0, 0.0], 1.0).is_err());
+        assert!(big_chain
+            .accumulated_reward(&r_small, &[1.0, 0.0, 0.0], 1.0)
+            .is_err());
     }
 }

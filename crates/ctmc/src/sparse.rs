@@ -23,13 +23,23 @@ impl CsrMatrix {
     /// # Errors
     /// Returns [`CtmcError::DimensionMismatch`] if any coordinate is out of
     /// bounds.
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
         for &(r, c, _) in triplets {
             if r >= rows {
-                return Err(CtmcError::DimensionMismatch { expected: rows, actual: r });
+                return Err(CtmcError::DimensionMismatch {
+                    expected: rows,
+                    actual: r,
+                });
             }
             if c >= cols {
-                return Err(CtmcError::DimensionMismatch { expected: cols, actual: c });
+                return Err(CtmcError::DimensionMismatch {
+                    expected: cols,
+                    actual: c,
+                });
             }
         }
         let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
@@ -54,7 +64,13 @@ impl CsrMatrix {
         }
         let col_idx = merged.iter().map(|e| e.1).collect();
         let values = merged.iter().map(|e| e.2).collect();
-        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -76,7 +92,10 @@ impl CsrMatrix {
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[r];
         let hi = self.row_ptr[r + 1];
-        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Computes `y = self * x`.
@@ -85,7 +104,10 @@ impl CsrMatrix {
     /// Returns [`CtmcError::DimensionMismatch`] if `x.len() != cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.cols {
-            return Err(CtmcError::DimensionMismatch { expected: self.cols, actual: x.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
         }
         let mut y = vec![0.0; self.rows];
         for r in 0..self.rows {
@@ -105,7 +127,10 @@ impl CsrMatrix {
     /// Returns [`CtmcError::DimensionMismatch`] if `x.len() != rows`.
     pub fn vec_mul(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.rows {
-            return Err(CtmcError::DimensionMismatch { expected: self.rows, actual: x.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.rows,
+                actual: x.len(),
+            });
         }
         let mut y = vec![0.0; self.cols];
         for r in 0..self.rows {
@@ -149,12 +174,9 @@ mod tests {
     #[test]
     fn vec_mul_is_left_product() {
         // [1 2; 3 4] as sparse; x * M with x = [1, 1] -> [4, 6]
-        let m = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)],
-        )
-        .unwrap();
+        let m =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)])
+                .unwrap();
         assert_eq!(m.vec_mul(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
     }
 

@@ -82,7 +82,10 @@ impl StateSpace {
 
     /// Iterates over `(StateId, label)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (StateId, &str)> {
-        self.labels.iter().enumerate().map(|(i, l)| (StateId(i), l.as_str()))
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (StateId(i), l.as_str()))
     }
 }
 
@@ -107,7 +110,10 @@ mod tests {
     fn duplicate_labels_rejected() {
         let mut s = StateSpace::new();
         s.add("OP").unwrap();
-        assert_eq!(s.add("OP").unwrap_err(), CtmcError::DuplicateState("OP".into()));
+        assert_eq!(
+            s.add("OP").unwrap_err(),
+            CtmcError::DuplicateState("OP".into())
+        );
     }
 
     #[test]

@@ -7,8 +7,7 @@ use crate::lu::LuFactors;
 use crate::Ctmc;
 
 /// Choice of stationary-distribution algorithm.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SteadyStateMethod {
     /// Grassmann–Taksar–Heyman elimination (default; cancellation-free).
     #[default]
@@ -26,14 +25,14 @@ pub enum SteadyStateMethod {
     },
 }
 
-
 pub(crate) fn solve(chain: &Ctmc, method: SteadyStateMethod) -> Result<Vec<f64>> {
     match method {
         SteadyStateMethod::Gth => gth::steady_state_gth(chain),
         SteadyStateMethod::DirectLu => direct_lu(chain),
-        SteadyStateMethod::Power { max_iterations, tolerance } => {
-            power(chain, max_iterations, tolerance)
-        }
+        SteadyStateMethod::Power {
+            max_iterations,
+            tolerance,
+        } => power(chain, max_iterations, tolerance),
     }
 }
 
@@ -91,7 +90,10 @@ fn power(chain: &Ctmc, max_iterations: usize, tolerance: f64) -> Result<Vec<f64>
             return Ok(pi);
         }
     }
-    Err(CtmcError::NoConvergence { iterations: max_iterations, residual })
+    Err(CtmcError::NoConvergence {
+        iterations: max_iterations,
+        residual,
+    })
 }
 
 #[cfg(test)]
@@ -115,9 +117,14 @@ mod tests {
     fn all_methods_agree_on_dominant_components() {
         let chain = three_state();
         let gth = chain.steady_state().unwrap();
-        let lu = chain.steady_state_with(SteadyStateMethod::DirectLu).unwrap();
+        let lu = chain
+            .steady_state_with(SteadyStateMethod::DirectLu)
+            .unwrap();
         let pow = chain
-            .steady_state_with(SteadyStateMethod::Power { max_iterations: 2_000_000, tolerance: 1e-14 })
+            .steady_state_with(SteadyStateMethod::Power {
+                max_iterations: 2_000_000,
+                tolerance: 1e-14,
+            })
             .unwrap();
         for i in 0..3 {
             assert!((gth[i] - lu[i]).abs() < 1e-10, "gth vs lu at {i}");
@@ -128,7 +135,9 @@ mod tests {
     #[test]
     fn lu_distribution_is_normalized() {
         let chain = three_state();
-        let pi = chain.steady_state_with(SteadyStateMethod::DirectLu).unwrap();
+        let pi = chain
+            .steady_state_with(SteadyStateMethod::DirectLu)
+            .unwrap();
         let sum: f64 = pi.iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
         assert!(pi.iter().all(|&p| p >= 0.0));
@@ -138,7 +147,10 @@ mod tests {
     fn power_reports_non_convergence() {
         let chain = three_state();
         let err = chain
-            .steady_state_with(SteadyStateMethod::Power { max_iterations: 1, tolerance: 1e-30 })
+            .steady_state_with(SteadyStateMethod::Power {
+                max_iterations: 1,
+                tolerance: 1e-30,
+            })
             .unwrap_err();
         assert!(matches!(err, CtmcError::NoConvergence { .. }));
     }

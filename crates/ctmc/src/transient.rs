@@ -19,9 +19,15 @@ pub(crate) struct PoissonWindow {
 }
 
 pub(crate) fn poisson_window(mean: f64, tol: f64) -> PoissonWindow {
-    assert!(mean >= 0.0 && mean.is_finite(), "invalid poisson mean {mean}");
+    assert!(
+        mean >= 0.0 && mean.is_finite(),
+        "invalid poisson mean {mean}"
+    );
     if mean == 0.0 {
-        return PoissonWindow { left: 0, weights: vec![1.0] };
+        return PoissonWindow {
+            left: 0,
+            weights: vec![1.0],
+        };
     }
     let mode = mean.floor() as usize;
     // Unnormalized weights relative to the mode (w[mode] = 1).
@@ -113,7 +119,11 @@ pub(crate) fn cumulative_occupancy(chain: &Ctmc, p0: &[f64], t: f64, tol: f64) -
     let mut k = 0usize;
     let right = window.left + window.weights.len();
     while k < right {
-        let weight_k = if k >= window.left { window.weights[k - window.left] } else { 0.0 };
+        let weight_k = if k >= window.left {
+            window.weights[k - window.left]
+        } else {
+            0.0
+        };
         cum += weight_k;
         let survival = (1.0 - cum).max(0.0);
         if survival <= 0.0 && k >= window.left {
@@ -161,7 +171,10 @@ mod tests {
                 .enumerate()
                 .map(|(i, &p)| (w.left + i) as f64 * p)
                 .sum();
-            assert!((avg - mean).abs() / mean.max(1.0) < 1e-6, "mean {mean} got {avg}");
+            assert!(
+                (avg - mean).abs() / mean.max(1.0) < 1e-6,
+                "mean {mean} got {avg}"
+            );
         }
     }
 
@@ -211,7 +224,10 @@ mod tests {
         for &t in &[0.1, 1.0, 25.0] {
             let occ = chain.cumulative_occupancy(&[1.0, 0.0], t, 1e-12).unwrap();
             let total: f64 = occ.iter().sum();
-            assert!((total - t).abs() < 1e-6 * t.max(1.0), "t={t}, total={total}");
+            assert!(
+                (total - t).abs() < 1e-6 * t.max(1.0),
+                "t={t}, total={total}"
+            );
         }
     }
 
@@ -224,7 +240,11 @@ mod tests {
         // ∫ p_up = μ/(λ+μ)·t + (1 − μ/(λ+μ))·(1 − e^{−(λ+μ)t})/(λ+μ)
         let s = lambda + mu;
         let expect = mu / s * t + (1.0 - mu / s) * (1.0 - (-s * t).exp()) / s;
-        assert!((occ[0] - expect).abs() < 1e-7, "got {} expected {expect}", occ[0]);
+        assert!(
+            (occ[0] - expect).abs() < 1e-7,
+            "got {} expected {expect}",
+            occ[0]
+        );
     }
 
     #[test]

@@ -16,10 +16,7 @@ fn arb_chain(max_states: usize) -> impl Strategy<Value = Ctmc> {
             // and turn the suite into a benchmark. Chord rates still span
             // five orders of magnitude to exercise the rare-event regime.
             let ring_rates = proptest::collection::vec(0.1f64..10.0, n);
-            let chords = proptest::collection::vec(
-                ((0..n), (0..n), 1e-5f64..10.0),
-                0..(2 * n),
-            );
+            let chords = proptest::collection::vec(((0..n), (0..n), 1e-5f64..10.0), 0..(2 * n));
             (Just(n), ring_rates, chords)
         })
         .prop_map(|(n, ring, chords)| {
@@ -138,6 +135,50 @@ proptest! {
         let pi = d.to_ctmc_stationary(&pi_jump).unwrap();
         let gth = chain.steady_state().unwrap();
         for (a, b) in pi.iter().zip(&gth) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+}
+
+// Numerical-invariant suite: every steady-state solver must return a genuine
+// probability distribution, and the independent factorizations must agree on
+// it — the workspace's first line of defense against silent solver drift.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_steady_state_is_a_distribution(chain in arb_chain(10)) {
+        let lu = chain.steady_state_with(SteadyStateMethod::DirectLu).unwrap();
+        prop_assert!(lu.iter().all(|&p| p >= -1e-12 && p.is_finite()));
+        let total: f64 = lu.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-10, "LU sum {total}");
+    }
+
+    #[test]
+    fn gth_and_lu_sums_both_normalize(chain in arb_chain(12)) {
+        let gth: f64 = chain.steady_state().unwrap().iter().sum();
+        let lu: f64 = chain
+            .steady_state_with(SteadyStateMethod::DirectLu)
+            .unwrap()
+            .iter()
+            .sum();
+        prop_assert!((gth - 1.0).abs() < 1e-12, "GTH sum {gth}");
+        prop_assert!((lu - 1.0).abs() < 1e-10, "LU sum {lu}");
+        prop_assert!((gth - lu).abs() < 1e-10, "sums diverge: {gth} vs {lu}");
+    }
+
+    #[test]
+    fn power_iteration_agrees_with_gth(chain in arb_chain(8)) {
+        let gth = chain.steady_state().unwrap();
+        let pow = chain
+            .steady_state_with(SteadyStateMethod::Power {
+                max_iterations: 2_000_000,
+                tolerance: 1e-14,
+            })
+            .unwrap();
+        let total: f64 = pow.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-10, "power sum {total}");
+        for (a, b) in gth.iter().zip(&pow) {
             prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
         }
     }

@@ -130,7 +130,12 @@ mod tests {
     #[test]
     fn zero_attempts_cannot_fail() {
         let base = Hep::new(0.5).unwrap();
-        assert_eq!(all_attempts_fail(base, DependenceLevel::Complete, 0).unwrap().value(), 0.0);
+        assert_eq!(
+            all_attempts_fail(base, DependenceLevel::Complete, 0)
+                .unwrap()
+                .value(),
+            0.0
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl fmt::Display for HraError {
                 write!(f, "probability {p} outside the interval [0, 1]")
             }
             HraError::InvalidProportion { condition, value } => {
-                write!(f, "assessed proportion {value} for `{condition}` outside [0, 1]")
+                write!(
+                    f,
+                    "assessed proportion {value} for `{condition}` outside [0, 1]"
+                )
             }
             HraError::EmptyModel(what) => write!(f, "empty model: {what}"),
             HraError::UnknownNode(name) => write!(f, "unknown node `{name}` in event tree"),
@@ -48,7 +51,10 @@ mod tests {
     #[test]
     fn messages() {
         assert!(HraError::InvalidProbability(2.0).to_string().contains("2"));
-        let e = HraError::InvalidProportion { condition: "stress".into(), value: -1.0 };
+        let e = HraError::InvalidProportion {
+            condition: "stress".into(),
+            value: -1.0,
+        };
         assert!(e.to_string().contains("stress"));
     }
 }

@@ -59,15 +59,29 @@ impl ErrorProducingCondition {
     /// # Errors
     /// Returns [`HraError::InvalidProportion`] for proportions outside
     /// `[0, 1]` or non-positive multipliers.
-    pub fn new(name: impl Into<String>, max_multiplier: f64, assessed_proportion: f64) -> Result<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        max_multiplier: f64,
+        assessed_proportion: f64,
+    ) -> Result<Self> {
         let name = name.into();
         if !(0.0..=1.0).contains(&assessed_proportion) || !assessed_proportion.is_finite() {
-            return Err(HraError::InvalidProportion { condition: name, value: assessed_proportion });
+            return Err(HraError::InvalidProportion {
+                condition: name,
+                value: assessed_proportion,
+            });
         }
         if !(max_multiplier.is_finite() && max_multiplier >= 1.0) {
-            return Err(HraError::InvalidProportion { condition: name, value: max_multiplier });
+            return Err(HraError::InvalidProportion {
+                condition: name,
+                value: max_multiplier,
+            });
         }
-        Ok(ErrorProducingCondition { name, max_multiplier, assessed_proportion })
+        Ok(ErrorProducingCondition {
+            name,
+            max_multiplier,
+            assessed_proportion,
+        })
     }
 
     /// The effective multiplier `1 + (max − 1) · proportion`.
@@ -86,7 +100,10 @@ pub struct HeartAssessment {
 impl HeartAssessment {
     /// Starts an assessment for a generic task class.
     pub fn new(task: GenericTask) -> Self {
-        HeartAssessment { task: Some(task), conditions: Vec::new() }
+        HeartAssessment {
+            task: Some(task),
+            conditions: Vec::new(),
+        }
     }
 
     /// Adds an error-producing condition.
@@ -99,7 +116,11 @@ impl HeartAssessment {
         max_multiplier: f64,
         assessed_proportion: f64,
     ) -> Result<&mut Self> {
-        self.conditions.push(ErrorProducingCondition::new(name, max_multiplier, assessed_proportion)?);
+        self.conditions.push(ErrorProducingCondition::new(
+            name,
+            max_multiplier,
+            assessed_proportion,
+        )?);
         Ok(self)
     }
 
@@ -108,7 +129,9 @@ impl HeartAssessment {
     /// # Errors
     /// Returns [`HraError::EmptyModel`] if no task class was set.
     pub fn hep(&self) -> Result<Hep> {
-        let task = self.task.ok_or(HraError::EmptyModel("no generic task selected"))?;
+        let task = self
+            .task
+            .ok_or(HraError::EmptyModel("no generic task selected"))?;
         let mut p = task.nominal_hep();
         for c in &self.conditions {
             p *= c.effective_multiplier();

@@ -52,7 +52,9 @@ impl Hep {
             return Err(HraError::EmptyModel("no opportunities observed"));
         }
         if errors > opportunities {
-            return Err(HraError::InvalidProbability(errors as f64 / opportunities as f64));
+            return Err(HraError::InvalidProbability(
+                errors as f64 / opportunities as f64,
+            ));
         }
         Ok(Hep(errors as f64 / opportunities as f64))
     }

@@ -34,7 +34,11 @@ impl RecoveryModel {
         if !(removed_disk_crash_rate.is_finite() && removed_disk_crash_rate >= 0.0) {
             return Err(HraError::InvalidProbability(removed_disk_crash_rate));
         }
-        Ok(RecoveryModel { attempt_rate, hep, removed_disk_crash_rate })
+        Ok(RecoveryModel {
+            attempt_rate,
+            hep,
+            removed_disk_crash_rate,
+        })
     }
 
     /// The paper's defaults: `μ_he = 1`, `λ_crash = 0.01`.

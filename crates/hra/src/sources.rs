@@ -106,7 +106,12 @@ mod tests {
     fn nominal_is_inside_band() {
         for band in reference_bands() {
             let n = band.nominal();
-            assert!(band.contains(n), "{}: nominal {} outside band", band.task, n.value());
+            assert!(
+                band.contains(n),
+                "{}: nominal {} outside band",
+                band.task,
+                n.value()
+            );
         }
     }
 

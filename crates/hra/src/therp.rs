@@ -31,7 +31,11 @@ impl ProcedureStep {
         if !(0.0..=1.0).contains(&recovery_probability) || !recovery_probability.is_finite() {
             return Err(HraError::InvalidProbability(recovery_probability));
         }
-        Ok(ProcedureStep { name: name.into(), hep, recovery_probability })
+        Ok(ProcedureStep {
+            name: name.into(),
+            hep,
+            recovery_probability,
+        })
     }
 
     /// Probability this step produces an *unrecovered* error.
@@ -116,9 +120,21 @@ pub fn disk_replacement_tree(base_hep: Hep) -> Result<EventTree> {
     // Identification is the step the paper's "wrong disk replacement"
     // stems from; a second look at the slot LED recovers some errors.
     tree.push(ProcedureStep::new("identify failed disk", base_hep, 0.2)?);
-    tree.push(ProcedureStep::new("pull identified disk", Hep::new(base_hep.value() / 2.0)?, 0.0)?);
-    tree.push(ProcedureStep::new("insert replacement disk", Hep::new(base_hep.value() / 5.0)?, 0.5)?);
-    tree.push(ProcedureStep::new("run rebuild script", Hep::new(base_hep.value() / 2.0)?, 0.3)?);
+    tree.push(ProcedureStep::new(
+        "pull identified disk",
+        Hep::new(base_hep.value() / 2.0)?,
+        0.0,
+    )?);
+    tree.push(ProcedureStep::new(
+        "insert replacement disk",
+        Hep::new(base_hep.value() / 5.0)?,
+        0.5,
+    )?);
+    tree.push(ProcedureStep::new(
+        "run rebuild script",
+        Hep::new(base_hep.value() / 2.0)?,
+        0.3,
+    )?);
     Ok(tree)
 }
 

@@ -25,7 +25,10 @@ impl Empirical {
     /// finite.
     pub fn from_samples(samples: &[f64]) -> Result<Self> {
         if samples.is_empty() {
-            return Err(SimError::InsufficientData { needed: 1, available: 0 });
+            return Err(SimError::InsufficientData {
+                needed: 1,
+                available: 0,
+            });
         }
         for &s in samples {
             if !(s.is_finite() && s >= 0.0) {
@@ -41,7 +44,11 @@ impl Empirical {
         let n = sorted.len() as f64;
         let mean = sorted.iter().sum::<f64>() / n;
         let variance = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        Ok(Empirical { sorted, mean, variance })
+        Ok(Empirical {
+            sorted,
+            mean,
+            variance,
+        })
     }
 
     /// Number of stored observations.

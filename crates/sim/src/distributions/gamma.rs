@@ -3,7 +3,7 @@
 use super::Lifetime;
 use crate::error::{Result, SimError};
 use crate::rng::SimRng;
-use crate::stats::special::{reg_gamma_lower};
+use crate::stats::special::reg_gamma_lower;
 
 /// Gamma distribution with shape `k` and rate `θ⁻¹` (mean `k/rate`).
 #[derive(Debug, Clone, Copy, PartialEq)]

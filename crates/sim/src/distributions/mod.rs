@@ -67,7 +67,10 @@ pub(crate) mod test_support {
     pub fn check_distribution(dist: &dyn Lifetime, seed: u64, n: usize, rel_tol: f64) {
         let mut rng = SimRng::seed_from(seed);
         let samples = sample_n(dist, &mut rng, n);
-        assert!(samples.iter().all(|&x| x >= 0.0 && x.is_finite()), "negative/NaN sample");
+        assert!(
+            samples.iter().all(|&x| x >= 0.0 && x.is_finite()),
+            "negative/NaN sample"
+        );
 
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
         let expect = dist.mean();

@@ -74,7 +74,12 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), cancelled: HashSet::new(), next_seq: 0, now: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
     }
 
     /// Current simulation time (the timestamp of the last popped event).
@@ -98,7 +103,9 @@ impl<E> EventQueue<E> {
     /// Returns [`SimError::InvalidConfig`] for negative or NaN delays.
     pub fn schedule(&mut self, delay: f64, event: E) -> Result<EventHandle> {
         if !(delay >= 0.0) || !delay.is_finite() {
-            return Err(SimError::InvalidConfig(format!("invalid event delay {delay}")));
+            return Err(SimError::InvalidConfig(format!(
+                "invalid event delay {delay}"
+            )));
         }
         self.schedule_at(self.now + delay, event)
     }

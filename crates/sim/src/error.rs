@@ -34,11 +34,18 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::InvalidParameter { name, value, constraint } => {
+            SimError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
                 write!(f, "parameter `{name}` = {value} violates: {constraint}")
             }
             SimError::InsufficientData { needed, available } => {
-                write!(f, "insufficient data: need {needed} observations, have {available}")
+                write!(
+                    f,
+                    "insufficient data: need {needed} observations, have {available}"
+                )
             }
             SimError::NoConvergence(what) => write!(f, "no convergence in {what}"),
             SimError::InvalidProbability(p) => {
@@ -60,9 +67,16 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = SimError::InvalidParameter { name: "shape", value: -1.0, constraint: "shape > 0" };
+        let e = SimError::InvalidParameter {
+            name: "shape",
+            value: -1.0,
+            constraint: "shape > 0",
+        };
         assert!(e.to_string().contains("shape"));
-        let e = SimError::InsufficientData { needed: 2, available: 1 };
+        let e = SimError::InsufficientData {
+            needed: 2,
+            available: 1,
+        };
         assert!(e.to_string().contains("need 2"));
     }
 

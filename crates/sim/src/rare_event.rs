@@ -52,7 +52,11 @@ impl Pdf for Weibull {
             return 0.0;
         }
         if x == 0.0 {
-            return if self.shape() == 1.0 { 1.0 / self.scale() } else { 0.0 };
+            return if self.shape() == 1.0 {
+                1.0 / self.scale()
+            } else {
+                0.0
+            };
         }
         let z = x / self.scale();
         (self.shape() / self.scale()) * z.powf(self.shape() - 1.0) * (-z.powf(self.shape())).exp()
@@ -75,7 +79,11 @@ impl Pdf for Gamma {
             return 0.0;
         }
         if x == 0.0 {
-            return if self.shape() == 1.0 { self.rate() } else { 0.0 };
+            return if self.shape() == 1.0 {
+                self.rate()
+            } else {
+                0.0
+            };
         }
         let ln = self.shape() * self.rate().ln() + (self.shape() - 1.0) * x.ln()
             - self.rate() * x
@@ -130,7 +138,12 @@ impl<N: Pdf, P: Pdf> ImportanceSampler<N, P> {
     ///
     /// # Errors
     /// Returns [`SimError::InvalidConfig`] for `n == 0`.
-    pub fn estimate_tail(&self, rng: &mut SimRng, threshold: f64, n: usize) -> Result<WeightedStats> {
+    pub fn estimate_tail(
+        &self,
+        rng: &mut SimRng,
+        threshold: f64,
+        n: usize,
+    ) -> Result<WeightedStats> {
         if n == 0 {
             return Err(SimError::InvalidConfig("need at least one sample".into()));
         }
@@ -250,7 +263,11 @@ mod tests {
         let stats = is.estimate_tail(&mut rng, 20.0, 200_000).unwrap();
         let truth = (-20.0f64).exp();
         let rel_err = (stats.estimate() - truth).abs() / truth;
-        assert!(rel_err < 0.05, "estimate {} vs {truth} (rel {rel_err})", stats.estimate());
+        assert!(
+            rel_err < 0.05,
+            "estimate {} vs {truth} (rel {rel_err})",
+            stats.estimate()
+        );
         assert!(stats.standard_error() < truth); // variance actually reduced
     }
 

@@ -25,7 +25,9 @@ impl BatchMeans {
     /// Returns [`SimError::InvalidConfig`] for a zero batch size.
     pub fn new(batch_size: usize) -> Result<Self> {
         if batch_size == 0 {
-            return Err(SimError::InvalidConfig("batch size must be positive".into()));
+            return Err(SimError::InvalidConfig(
+                "batch size must be positive".into(),
+            ));
         }
         Ok(BatchMeans {
             batch_size,
@@ -78,7 +80,10 @@ impl BatchMeans {
     pub fn lag1_autocorrelation(&self) -> Result<f64> {
         let n = self.batch_means.len();
         if n < 3 {
-            return Err(SimError::InsufficientData { needed: 3, available: n });
+            return Err(SimError::InsufficientData {
+                needed: 3,
+                available: n,
+            });
         }
         let mean = self.mean();
         let mut num = 0.0;
@@ -152,7 +157,10 @@ mod tests {
             bm_small.push(x);
         }
         let rho_small = bm_small.lag1_autocorrelation().unwrap();
-        assert!(rho_small > 0.5, "expected strong correlation, got {rho_small}");
+        assert!(
+            rho_small > 0.5,
+            "expected strong correlation, got {rho_small}"
+        );
     }
 
     #[test]

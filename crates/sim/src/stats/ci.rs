@@ -66,7 +66,10 @@ impl fmt::Display for ConfidenceInterval {
 /// and [`SimError::InvalidProbability`] for a confidence outside `(0, 1)`.
 pub fn t_interval(stats: &RunningStats, confidence: f64) -> Result<ConfidenceInterval> {
     if stats.count() < 2 {
-        return Err(SimError::InsufficientData { needed: 2, available: stats.count() as usize });
+        return Err(SimError::InsufficientData {
+            needed: 2,
+            available: stats.count() as usize,
+        });
     }
     if confidence <= 0.0 || confidence >= 1.0 {
         return Err(SimError::InvalidProbability(confidence));
@@ -88,7 +91,10 @@ pub fn t_interval(stats: &RunningStats, confidence: f64) -> Result<ConfidenceInt
 /// [`SimError::InvalidProbability`] for a confidence outside `(0, 1)`.
 pub fn wilson_interval(successes: u64, trials: u64, confidence: f64) -> Result<ConfidenceInterval> {
     if trials == 0 {
-        return Err(SimError::InsufficientData { needed: 1, available: 0 });
+        return Err(SimError::InsufficientData {
+            needed: 1,
+            available: 0,
+        });
     }
     if confidence <= 0.0 || confidence >= 1.0 {
         return Err(SimError::InvalidProbability(confidence));
@@ -100,7 +106,11 @@ pub fn wilson_interval(successes: u64, trials: u64, confidence: f64) -> Result<C
     let denom = 1.0 + z2 / n;
     let center = (p + z2 / (2.0 * n)) / denom;
     let half = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
-    Ok(ConfidenceInterval { mean: center, half_width: half, confidence })
+    Ok(ConfidenceInterval {
+        mean: center,
+        half_width: half,
+        confidence,
+    })
 }
 
 /// How many iterations are needed for a target relative half-width, given a
@@ -110,13 +120,12 @@ pub fn wilson_interval(successes: u64, trials: u64, confidence: f64) -> Result<C
 /// Returns [`SimError::InsufficientData`] if the pilot has fewer than two
 /// observations, and [`SimError::InvalidConfig`] if the pilot mean is zero
 /// (relative precision undefined) or `target_rel` is not positive.
-pub fn required_iterations(
-    pilot: &RunningStats,
-    confidence: f64,
-    target_rel: f64,
-) -> Result<u64> {
+pub fn required_iterations(pilot: &RunningStats, confidence: f64, target_rel: f64) -> Result<u64> {
     if pilot.count() < 2 {
-        return Err(SimError::InsufficientData { needed: 2, available: pilot.count() as usize });
+        return Err(SimError::InsufficientData {
+            needed: 2,
+            available: pilot.count() as usize,
+        });
     }
     if target_rel <= 0.0 {
         return Err(SimError::InvalidConfig(format!(
@@ -148,7 +157,11 @@ mod tests {
 
     #[test]
     fn interval_accessors() {
-        let ci = ConfidenceInterval { mean: 10.0, half_width: 2.0, confidence: 0.95 };
+        let ci = ConfidenceInterval {
+            mean: 10.0,
+            half_width: 2.0,
+            confidence: 0.95,
+        };
         assert_eq!(ci.lower(), 8.0);
         assert_eq!(ci.upper(), 12.0);
         assert!(ci.contains(9.0));

@@ -30,7 +30,10 @@ pub fn ks_test(samples: &[f64], dist: &dyn Lifetime) -> Result<KsResult> {
 /// Returns [`SimError::InsufficientData`] for an empty sample.
 pub fn ks_test_cdf(samples: &[f64], cdf: &dyn Fn(f64) -> f64) -> Result<KsResult> {
     if samples.is_empty() {
-        return Err(SimError::InsufficientData { needed: 1, available: 0 });
+        return Err(SimError::InsufficientData {
+            needed: 1,
+            available: 0,
+        });
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
@@ -44,7 +47,11 @@ pub fn ks_test_cdf(samples: &[f64], cdf: &dyn Fn(f64) -> f64) -> Result<KsResult
         d = d.max((f - lo).abs()).max((hi - f).abs());
     }
     let p_value = kolmogorov_survival((nf.sqrt() + 0.12 + 0.11 / nf.sqrt()) * d);
-    Ok(KsResult { statistic: d, p_value, n })
+    Ok(KsResult {
+        statistic: d,
+        p_value,
+        n,
+    })
 }
 
 /// Survival function of the Kolmogorov distribution,
@@ -113,13 +120,20 @@ pub fn chi_square_test(observed: &[u64], expected: &[f64]) -> Result<ChiSquareRe
         }
     }
     if merged.len() < 2 {
-        return Err(SimError::InsufficientData { needed: 2, available: merged.len() });
+        return Err(SimError::InsufficientData {
+            needed: 2,
+            available: merged.len(),
+        });
     }
     let statistic: f64 = merged.iter().map(|&(o, e)| (o - e) * (o - e) / e).sum();
     let df = (merged.len() - 1) as f64;
     // Upper tail of chi-square(df): Q = 1 − P(df/2, x/2).
     let p_value = 1.0 - reg_gamma_lower(df / 2.0, statistic / 2.0)?;
-    Ok(ChiSquareResult { statistic, df, p_value })
+    Ok(ChiSquareResult {
+        statistic,
+        df,
+        p_value,
+    })
 }
 
 #[cfg(test)]

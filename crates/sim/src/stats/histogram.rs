@@ -22,12 +22,23 @@ impl Histogram {
     /// bins.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
         if !(lo.is_finite() && hi.is_finite() && hi > lo) {
-            return Err(SimError::InvalidConfig(format!("invalid histogram range [{lo}, {hi})")));
+            return Err(SimError::InvalidConfig(format!(
+                "invalid histogram range [{lo}, {hi})"
+            )));
         }
         if bins == 0 {
-            return Err(SimError::InvalidConfig("histogram needs at least one bin".into()));
+            return Err(SimError::InvalidConfig(
+                "histogram needs at least one bin".into(),
+            ));
         }
-        Ok(Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 })
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        })
     }
 
     /// Records one observation.

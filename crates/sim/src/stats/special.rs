@@ -94,7 +94,9 @@ pub fn reg_gamma_lower(a: f64, x: f64) -> Result<f64> {
                 return Ok(1.0 - q);
             }
         }
-        Err(SimError::NoConvergence("incomplete gamma continued fraction"))
+        Err(SimError::NoConvergence(
+            "incomplete gamma continued fraction",
+        ))
     }
 }
 
@@ -165,7 +167,9 @@ fn beta_cf(a: f64, b: f64, x: f64) -> Result<f64> {
             return Ok(h);
         }
     }
-    Err(SimError::NoConvergence("incomplete beta continued fraction"))
+    Err(SimError::NoConvergence(
+        "incomplete beta continued fraction",
+    ))
 }
 
 /// Error function `erf(x)`, via the regularized incomplete gamma.

@@ -90,9 +90,8 @@ pub fn t_quantile(p: f64, df: f64) -> Result<f64> {
 pub fn t_pdf(x: f64, df: f64) -> f64 {
     assert!(df > 0.0, "degrees of freedom must be positive");
     use crate::stats::special::ln_gamma;
-    let ln_c = ln_gamma((df + 1.0) / 2.0)
-        - ln_gamma(df / 2.0)
-        - 0.5 * (df * std::f64::consts::PI).ln();
+    let ln_c =
+        ln_gamma((df + 1.0) / 2.0) - ln_gamma(df / 2.0) - 0.5 * (df * std::f64::consts::PI).ln();
     (ln_c - (df + 1.0) / 2.0 * (1.0 + x * x / df).ln()).exp()
 }
 

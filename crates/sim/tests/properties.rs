@@ -5,7 +5,7 @@ use availsim_sim::distributions::{
 };
 use availsim_sim::engine::EventQueue;
 use availsim_sim::rng::SimRng;
-use availsim_sim::stats::{ks_test, RunningStats};
+use availsim_sim::stats::{ks_test, t_interval, RunningStats};
 use proptest::prelude::*;
 
 proptest! {
@@ -160,5 +160,57 @@ fn ks_validates_every_sampler() {
         let samples: Vec<f64> = (0..4_000).map(|_| d.sample(&mut rng)).collect();
         let r = ks_test(&samples, d.as_ref()).unwrap();
         assert!(r.p_value > 0.005, "{} failed KS: p={}", d.name(), r.p_value);
+    }
+}
+
+// Numerical-invariant suite for the Monte-Carlo estimator machinery: an
+// availability estimate is a probability, and its confidence interval must
+// tighten as iterations grow (the paper's 1/sqrt(n) error law).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mc_availability_estimate_is_a_probability_and_ci_shrinks(
+        seed in any::<u64>(),
+        p in 0.05f64..0.95,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut small = RunningStats::new();
+        let mut big = RunningStats::new();
+        for i in 0..4096u64 {
+            let up = if rng.bernoulli(p) { 1.0 } else { 0.0 };
+            if i < 256 {
+                small.push(up);
+            }
+            big.push(up);
+        }
+        for stats in [&small, &big] {
+            let a = stats.mean();
+            prop_assert!((0.0..=1.0).contains(&a), "estimate {a} outside [0,1]");
+        }
+
+        let ci_small = t_interval(&small, 0.99).unwrap();
+        let ci_big = t_interval(&big, 0.99).unwrap();
+        prop_assert!(ci_small.half_width.is_finite() && ci_small.half_width >= 0.0);
+        prop_assert!(ci_big.half_width.is_finite() && ci_big.half_width >= 0.0);
+        // 16x the iterations must shrink the half-width well below the
+        // trivial bound (asymptotic factor 4x). The absolute slack absorbs
+        // the rare stream whose first 256 draws have near-zero variance
+        // (hw_small ~ 0 while hw_big is honest), so the property stays safe
+        // under a real randomly-seeded proptest, not just the vendored
+        // deterministic shim.
+        prop_assert!(
+            ci_big.half_width <= ci_small.half_width * 0.8 + 0.01,
+            "CI failed to shrink: {} -> {}",
+            ci_small.half_width,
+            ci_big.half_width
+        );
+        // Both intervals, clipped to [0,1], still cover the true p most of
+        // the time; at 99% confidence a deterministic seed stream makes this
+        // effectively always true, so assert coverage of the wide interval.
+        prop_assert!(
+            ci_small.contains(p) || ci_big.contains(p),
+            "neither CI covers p={p}: small {ci_small}, big {ci_big}"
+        );
     }
 }

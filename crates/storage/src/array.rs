@@ -81,13 +81,23 @@ pub struct DiskArray {
 impl DiskArray {
     /// Creates a fully operational array with no hot spares.
     pub fn new(geometry: RaidGeometry) -> Self {
-        DiskArray { geometry, failed: 0, wrongly_removed: 0, hot_spares: 0 }
+        DiskArray {
+            geometry,
+            failed: 0,
+            wrongly_removed: 0,
+            hot_spares: 0,
+        }
     }
 
     /// Creates a fully operational array with `spares` hot spares standing
     /// by.
     pub fn with_hot_spares(geometry: RaidGeometry, spares: u32) -> Self {
-        DiskArray { geometry, failed: 0, wrongly_removed: 0, hot_spares: spares }
+        DiskArray {
+            geometry,
+            failed: 0,
+            wrongly_removed: 0,
+            hot_spares: spares,
+        }
     }
 
     /// The array geometry.

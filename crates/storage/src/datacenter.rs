@@ -25,7 +25,9 @@ impl DatacenterModel {
     /// non-positive failure rate, or `hep` outside `[0, 1]`.
     pub fn new(num_disks: u64, per_disk_failure_rate: f64, hep: f64) -> Result<Self> {
         if num_disks == 0 {
-            return Err(StorageError::InvalidConfig("fleet needs at least one disk".into()));
+            return Err(StorageError::InvalidConfig(
+                "fleet needs at least one disk".into(),
+            ));
         }
         if !(per_disk_failure_rate.is_finite() && per_disk_failure_rate > 0.0) {
             return Err(StorageError::InvalidConfig(format!(
@@ -37,7 +39,11 @@ impl DatacenterModel {
                 "human error probability must be in [0,1], got {hep}"
             )));
         }
-        Ok(DatacenterModel { num_disks, per_disk_failure_rate, hep })
+        Ok(DatacenterModel {
+            num_disks,
+            per_disk_failure_rate,
+            hep,
+        })
     }
 
     /// The paper's intro example: an exabyte datacenter using `disk_tb`-sized

@@ -44,12 +44,20 @@ pub struct Disk {
 impl Disk {
     /// Creates an operational disk with the given identifier.
     pub fn new(id: u32) -> Self {
-        Disk { id, state: DiskState::Operational, age_hours: 0.0 }
+        Disk {
+            id,
+            state: DiskState::Operational,
+            age_hours: 0.0,
+        }
     }
 
     /// Creates a hot-spare disk.
     pub fn spare(id: u32) -> Self {
-        Disk { id, state: DiskState::Spare, age_hours: 0.0 }
+        Disk {
+            id,
+            state: DiskState::Spare,
+            age_hours: 0.0,
+        }
     }
 
     /// Identifier within the array.

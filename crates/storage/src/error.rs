@@ -34,7 +34,10 @@ impl fmt::Display for StorageError {
             StorageError::IllegalTransition { operation, reason } => {
                 write!(f, "illegal array transition `{operation}`: {reason}")
             }
-            StorageError::CapacityMismatch { requested, per_array } => {
+            StorageError::CapacityMismatch {
+                requested,
+                per_array,
+            } => {
                 write!(
                     f,
                     "usable capacity {requested} is not a multiple of per-array capacity {per_array}"

@@ -43,7 +43,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(StorageEvent::DiskFailure(2).to_string(), "disk-failure(disk 2)");
+        assert_eq!(
+            StorageEvent::DiskFailure(2).to_string(),
+            "disk-failure(disk 2)"
+        );
         assert_eq!(StorageEvent::RepairComplete.to_string(), "repair-complete");
     }
 

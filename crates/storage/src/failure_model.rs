@@ -14,8 +14,12 @@ use availsim_sim::rng::SimRng;
 
 /// The four `(rate per hour, Weibull shape β)` field fits from the paper's
 /// Fig. 5 legend.
-pub const SCHROEDER_GIBSON_FITS: [(f64, f64); 4] =
-    [(1.25e-6, 1.09), (2.17e-6, 1.12), (7.96e-6, 1.21), (2.00e-5, 1.48)];
+pub const SCHROEDER_GIBSON_FITS: [(f64, f64); 4] = [
+    (1.25e-6, 1.09),
+    (2.17e-6, 1.12),
+    (7.96e-6, 1.21),
+    (2.00e-5, 1.48),
+];
 
 /// A disk time-to-failure model.
 #[derive(Debug)]

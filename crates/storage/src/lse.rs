@@ -44,14 +44,20 @@ impl ScrubbingModel {
                 "scrub interval must be positive, got {scrub_interval_hours}"
             )));
         }
-        Ok(ScrubbingModel { lse_rate, scrub_interval_hours })
+        Ok(ScrubbingModel {
+            lse_rate,
+            scrub_interval_hours,
+        })
     }
 
     /// A field-typical default: one latent error per disk every ~2 years
     /// (Schroeder et al. report ~3.45% of nearline disks developing LSEs per
     /// 32 months), scrubbed every two weeks.
     pub fn field_defaults() -> Self {
-        ScrubbingModel { lse_rate: 6e-5 / 24.0, scrub_interval_hours: 336.0 }
+        ScrubbingModel {
+            lse_rate: 6e-5 / 24.0,
+            scrub_interval_hours: 336.0,
+        }
     }
 
     /// Expected latent errors present on one disk at a random instant.

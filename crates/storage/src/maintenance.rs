@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn default_policy_is_conventional() {
-        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Conventional);
+        assert_eq!(
+            ReplacementPolicy::default(),
+            ReplacementPolicy::Conventional
+        );
         assert_eq!(
             ReplacementPolicy::AutomaticFailOver.to_string(),
             "automatic-fail-over"

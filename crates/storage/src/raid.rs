@@ -59,14 +59,24 @@ impl RaidGeometry {
     /// Returns [`StorageError::InvalidGeometry`] for `k == 0`.
     pub fn raid0(k: u32) -> Result<Self> {
         if k == 0 {
-            return Err(StorageError::InvalidGeometry("raid0 needs at least one disk".into()));
+            return Err(StorageError::InvalidGeometry(
+                "raid0 needs at least one disk".into(),
+            ));
         }
-        Ok(RaidGeometry { level: RaidLevel::Raid0, data_disks: k, redundancy_disks: 0 })
+        Ok(RaidGeometry {
+            level: RaidLevel::Raid0,
+            data_disks: k,
+            redundancy_disks: 0,
+        })
     }
 
     /// A mirrored pair, the paper's `RAID1(1+1)`.
     pub fn raid1_pair() -> Self {
-        RaidGeometry { level: RaidLevel::Raid1, data_disks: 1, redundancy_disks: 1 }
+        RaidGeometry {
+            level: RaidLevel::Raid1,
+            data_disks: 1,
+            redundancy_disks: 1,
+        }
     }
 
     /// An `n`-way mirror of a single logical disk (`1+(n−1)` copies).
@@ -75,9 +85,15 @@ impl RaidGeometry {
     /// Returns [`StorageError::InvalidGeometry`] for fewer than two copies.
     pub fn raid1_mirror(copies: u32) -> Result<Self> {
         if copies < 2 {
-            return Err(StorageError::InvalidGeometry("raid1 needs at least two copies".into()));
+            return Err(StorageError::InvalidGeometry(
+                "raid1 needs at least two copies".into(),
+            ));
         }
-        Ok(RaidGeometry { level: RaidLevel::Raid1, data_disks: 1, redundancy_disks: copies - 1 })
+        Ok(RaidGeometry {
+            level: RaidLevel::Raid1,
+            data_disks: 1,
+            redundancy_disks: copies - 1,
+        })
     }
 
     /// RAID5 with `k` data disks and one parity disk (`k+1`).
@@ -90,7 +106,11 @@ impl RaidGeometry {
                 "raid5 needs at least two data disks".into(),
             ));
         }
-        Ok(RaidGeometry { level: RaidLevel::Raid5, data_disks: k, redundancy_disks: 1 })
+        Ok(RaidGeometry {
+            level: RaidLevel::Raid5,
+            data_disks: k,
+            redundancy_disks: 1,
+        })
     }
 
     /// RAID6 with `k` data disks and two parity disks (`k+2`).
@@ -103,7 +123,11 @@ impl RaidGeometry {
                 "raid6 needs at least two data disks".into(),
             ));
         }
-        Ok(RaidGeometry { level: RaidLevel::Raid6, data_disks: k, redundancy_disks: 2 })
+        Ok(RaidGeometry {
+            level: RaidLevel::Raid6,
+            data_disks: k,
+            redundancy_disks: 2,
+        })
     }
 
     /// The RAID level.
@@ -153,14 +177,20 @@ impl RaidGeometry {
     pub fn arrays_for_usable_capacity(&self, usable: u64) -> Result<u64> {
         let per = u64::from(self.usable_capacity());
         if usable == 0 || !usable.is_multiple_of(per) {
-            return Err(StorageError::CapacityMismatch { requested: usable, per_array: per });
+            return Err(StorageError::CapacityMismatch {
+                requested: usable,
+                per_array: per,
+            });
         }
         Ok(usable / per)
     }
 
     /// Human-readable label such as `RAID5(3+1)`.
     pub fn label(&self) -> String {
-        format!("{}({}+{})", self.level, self.data_disks, self.redundancy_disks)
+        format!(
+            "{}({}+{})",
+            self.level, self.data_disks, self.redundancy_disks
+        )
     }
 }
 
@@ -192,11 +222,19 @@ mod tests {
         // Paper §V-C: ERF(RAID1 1+1)=2, ERF(RAID5 3+1)=1.33, ERF(RAID5 7+1)=1.14.
         assert!((RaidGeometry::raid1_pair().effective_replication_factor() - 2.0).abs() < 1e-12);
         assert!(
-            (RaidGeometry::raid5(3).unwrap().effective_replication_factor() - 4.0 / 3.0).abs()
+            (RaidGeometry::raid5(3)
+                .unwrap()
+                .effective_replication_factor()
+                - 4.0 / 3.0)
+                .abs()
                 < 1e-12
         );
         assert!(
-            (RaidGeometry::raid5(7).unwrap().effective_replication_factor() - 8.0 / 7.0).abs()
+            (RaidGeometry::raid5(7)
+                .unwrap()
+                .effective_replication_factor()
+                - 8.0 / 7.0)
+                .abs()
                 < 1e-12
         );
     }
@@ -212,16 +250,45 @@ mod tests {
     #[test]
     fn equivalent_capacity_array_counts() {
         // Paper Fig. 6 setup: usable capacity of 21 disk units.
-        assert_eq!(RaidGeometry::raid1_pair().arrays_for_usable_capacity(21).unwrap(), 21);
-        assert_eq!(RaidGeometry::raid5(3).unwrap().arrays_for_usable_capacity(21).unwrap(), 7);
-        assert_eq!(RaidGeometry::raid5(7).unwrap().arrays_for_usable_capacity(21).unwrap(), 3);
+        assert_eq!(
+            RaidGeometry::raid1_pair()
+                .arrays_for_usable_capacity(21)
+                .unwrap(),
+            21
+        );
+        assert_eq!(
+            RaidGeometry::raid5(3)
+                .unwrap()
+                .arrays_for_usable_capacity(21)
+                .unwrap(),
+            7
+        );
+        assert_eq!(
+            RaidGeometry::raid5(7)
+                .unwrap()
+                .arrays_for_usable_capacity(21)
+                .unwrap(),
+            3
+        );
     }
 
     #[test]
     fn capacity_mismatch_detected() {
-        let err = RaidGeometry::raid5(3).unwrap().arrays_for_usable_capacity(20).unwrap_err();
-        assert_eq!(err, StorageError::CapacityMismatch { requested: 20, per_array: 3 });
-        assert!(RaidGeometry::raid5(3).unwrap().arrays_for_usable_capacity(0).is_err());
+        let err = RaidGeometry::raid5(3)
+            .unwrap()
+            .arrays_for_usable_capacity(20)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::CapacityMismatch {
+                requested: 20,
+                per_array: 3
+            }
+        );
+        assert!(RaidGeometry::raid5(3)
+            .unwrap()
+            .arrays_for_usable_capacity(0)
+            .is_err());
     }
 
     #[test]

@@ -167,7 +167,11 @@ impl DowntimeLog {
     /// Marks the system back up at `time`, closing any open outage.
     pub fn end(&mut self, time: f64) {
         if let Some((start, cause)) = self.open.take() {
-            self.outages.push(Outage { start, end: time.max(start), cause });
+            self.outages.push(Outage {
+                start,
+                end: time.max(start),
+                cause,
+            });
         }
     }
 
@@ -193,7 +197,11 @@ impl DowntimeLog {
 
     /// Downtime attributable to one cause.
     pub fn downtime_by_cause(&self, cause: OutageCause) -> f64 {
-        self.outages.iter().filter(|o| o.cause == cause).map(Outage::duration).sum()
+        self.outages
+            .iter()
+            .filter(|o| o.cause == cause)
+            .map(Outage::duration)
+            .sum()
     }
 
     /// Number of outages with the given cause.

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // enterprise band).
     let hep = disk_replacement_example().hep()?;
     println!("datacenter: {capacity_eb} EB on {disk_tb} TB disks, λ = {lambda:.0e}/h");
-    println!("hep from HEART disk-replacement assessment: {:.4}\n", hep.value());
+    println!(
+        "hep from HEART disk-replacement assessment: {:.4}\n",
+        hep.value()
+    );
 
     let dc = DatacenterModel::exascale(disk_tb / capacity_eb, lambda, hep.value())?;
     println!("fleet size:                {:>12} disks", dc.num_disks());
@@ -45,8 +48,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let conv = Raid5Conventional::new(params)?.solve()?;
     let fo = Raid5FailOver::new(params)?.solve()?;
 
-    println!("\nper-array unavailability:  conventional {:.3e} | fail-over {:.3e}",
-        conv.unavailability(), fo.unavailability());
+    println!(
+        "\nper-array unavailability:  conventional {:.3e} | fail-over {:.3e}",
+        conv.unavailability(),
+        fo.unavailability()
+    );
     println!(
         "fleet expected arrays down: conventional {:.2} | fail-over {:.3}",
         arrays as f64 * conv.unavailability(),

@@ -47,7 +47,9 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Where does each policy's downtime come from? Elasticities tell us
     // which knob to turn.
-    println!("\nunavailability elasticities at λ=1e-6, hep=0.01 (1% change in θ -> x% change in U):");
+    println!(
+        "\nunavailability elasticities at λ=1e-6, hep=0.01 (1% change in θ -> x% change in U):"
+    );
     let params = ModelParams::raid5_3plus1(1e-6, Hep::new(0.01)?)?;
     for (name, model) in [
         ("conventional", PolicyModel::Conventional),

@@ -32,14 +32,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     let hep = heart.hep()?;
     println!("  base task: restore-by-procedure (nominal hep 0.003)");
     for c in heart.conditions() {
-        println!(
-            "  + {:<50} x{:.2}",
-            c.name,
-            c.effective_multiplier()
-        );
+        println!("  + {:<50} x{:.2}", c.name, c.effective_multiplier());
     }
     println!("  assessed hep = {:.5}", hep.value());
-    println!("  within the paper's enterprise band [0.001, 0.01]: {}", hep.is_within_enterprise_band());
+    println!(
+        "  within the paper's enterprise band [0.001, 0.01]: {}",
+        hep.is_within_enterprise_band()
+    );
 
     println!("\n== THERP event tree for the same procedure ==");
     let tree = disk_replacement_tree(hep)?;
@@ -57,15 +56,24 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("\n== recovery dynamics (paper defaults μ_he=1, λ_crash=0.01) ==");
     let recovery = RecoveryModel::paper_defaults(hep)?;
-    println!("  mean outage if the wrong disk is pulled: {:.2} h", recovery.mean_outage_hours());
-    println!("  expected attempts until undone:          {:.3}", recovery.expected_attempts());
+    println!(
+        "  mean outage if the wrong disk is pulled: {:.2} h",
+        recovery.mean_outage_hours()
+    );
+    println!(
+        "  expected attempts until undone:          {:.3}",
+        recovery.expected_attempts()
+    );
     println!(
         "  chance the outage escalates to data loss: {:.3}%",
         100.0 * recovery.escalation_probability()
     );
 
     println!("\n== what this hep does to a RAID5(3+1) at λ=1e-6 ==");
-    for (label, h) in [("hep = 0 (traditional model)", Hep::ZERO), ("assessed hep", hep)] {
+    for (label, h) in [
+        ("hep = 0 (traditional model)", Hep::ZERO),
+        ("assessed hep", hep),
+    ] {
         let params = ModelParams::raid5_3plus1(1e-6, h)?;
         let solved = Raid5Conventional::new(params)?.solve()?;
         println!(

@@ -17,7 +17,10 @@ use availsim::storage::EventTrace;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2017);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2017);
 
     let params = ModelParams::raid5_3plus1(2e-3, Hep::new(0.15)?)?;
     let mc = ConventionalMc::new(params)?;

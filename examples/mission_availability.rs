@@ -42,8 +42,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         "steady", steady_conv, "-", steady_fo
     );
 
-    println!("\nnines at steady state: conventional {:.2}, fail-over {:.2}",
-        nines::nines(steady_conv), nines::nines(steady_fo));
+    println!(
+        "\nnines at steady state: conventional {:.2}, fail-over {:.2}",
+        nines::nines(steady_conv),
+        nines::nines(steady_fo)
+    );
 
     // Where does the transient matter? Find the time at which A(t) has
     // covered 95% of the gap to steady state.

@@ -26,13 +26,22 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let heps = [0.0, 0.001, 0.01];
     let mut rows: Vec<(String, u64, u64, f64, Vec<f64>)> = Vec::new();
-    for (i, row) in compare_equal_capacity(usable, lambda, Hep::ZERO)?.iter().enumerate() {
+    for (i, row) in compare_equal_capacity(usable, lambda, Hep::ZERO)?
+        .iter()
+        .enumerate()
+    {
         let mut nines_cols = Vec::new();
         for &h in &heps {
             let r = compare_equal_capacity(usable, lambda, Hep::new(h)?)?;
             nines_cols.push(r[i].nines());
         }
-        rows.push((row.label.clone(), row.arrays, row.total_disks, row.erf, nines_cols));
+        rows.push((
+            row.label.clone(),
+            row.arrays,
+            row.total_disks,
+            row.erf,
+            nines_cols,
+        ));
     }
 
     // RAID6 extension: the generic (f, w) chain prices human error for k+2.
@@ -43,7 +52,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         for &h in &heps {
             let params = ModelParams::paper_defaults(geometry, lambda, Hep::new(h)?)?;
             let u = GenericKofN::new(params)?.solve()?.unavailability();
-            nines_cols.push(nines::nines_from_unavailability(volume.series_unavailability(u)));
+            nines_cols.push(nines::nines_from_unavailability(
+                volume.series_unavailability(u),
+            ));
         }
         rows.push((
             format!("{} *", geometry.label()),

@@ -68,8 +68,16 @@ fn main() -> Result<(), Box<dyn Error>> {
     let stats = sampler.estimate_tail(&mut rng, 20.0, 100_000)?;
     println!("\nimportance sampling, P(X > 20·MTTF):");
     println!("  truth     = {truth:.4e}");
-    println!("  estimate  = {:.4e} ± {:.1e}", stats.estimate(), stats.standard_error());
-    println!("  effective sample size: {:.0} of {}", stats.effective_sample_size(), stats.count());
+    println!(
+        "  estimate  = {:.4e} ± {:.1e}",
+        stats.estimate(),
+        stats.standard_error()
+    );
+    println!(
+        "  effective sample size: {:.0} of {}",
+        stats.effective_sample_size(),
+        stats.count()
+    );
 
     let naive_hits = {
         let mut rng = SimRng::seed_from(43);

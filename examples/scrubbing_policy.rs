@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let params = ModelParams::paper_defaults(geometry, lambda, hep)?;
     let surviving = geometry.total_disks() - 1;
 
-    println!("RAID5(7+1), λ={lambda:.0e}, hep={}, field LSE rate\n", hep.value());
+    println!(
+        "RAID5(7+1), λ={lambda:.0e}, hep={}, field LSE rate\n",
+        hep.value()
+    );
     println!(
         "{:>14} {:>22} {:>12} {:>14}",
         "scrub period", "P(LSE during rebuild)", "nines", "MTTDL (yr)"

@@ -24,7 +24,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
-        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
         i += 2;
     }
@@ -38,7 +40,9 @@ fn flag<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value `{v}` for --{key}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for --{key}")),
     }
 }
 
@@ -49,7 +53,9 @@ fn geometry(name: &str) -> Result<RaidGeometry, String> {
             let (level, k) = other
                 .split_once('-')
                 .ok_or_else(|| format!("unknown raid `{other}` (use r1, r5-<k>, r6-<k>)"))?;
-            let k: u32 = k.parse().map_err(|_| format!("bad disk count in `{other}`"))?;
+            let k: u32 = k
+                .parse()
+                .map_err(|_| format!("bad disk count in `{other}`"))?;
             match level {
                 "r5" => RaidGeometry::raid5(k).map_err(|e| e.to_string()),
                 "r6" => RaidGeometry::raid6(k).map_err(|e| e.to_string()),
@@ -81,11 +87,25 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         }
         other => return Err(format!("unknown policy `{other}`").into()),
     };
-    println!("{} λ={lambda:.3e} hep={} policy={policy}", geom.label(), hep.value());
+    println!(
+        "{} λ={lambda:.3e} hep={} policy={policy}",
+        geom.label(),
+        hep.value()
+    );
     println!("  unavailability : {u:.6e}");
-    println!("  availability   : {:.4} nines", nines::nines_from_unavailability(u));
-    println!("  downtime       : {:.4} min/yr", nines::downtime_minutes_per_year(u));
-    println!("  MTTDL          : {:.0} h ({:.1} yr)", mttdl, mttdl / 8766.0);
+    println!(
+        "  availability   : {:.4} nines",
+        nines::nines_from_unavailability(u)
+    );
+    println!(
+        "  downtime       : {:.4} min/yr",
+        nines::downtime_minutes_per_year(u)
+    );
+    println!(
+        "  MTTDL          : {:.0} h ({:.1} yr)",
+        mttdl,
+        mttdl / 8766.0
+    );
     Ok(())
 }
 
@@ -97,13 +117,18 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     if !(from > 0.0 && to > from && points >= 2) {
         return Err("need 0 < from < to and points >= 2".into());
     }
-    println!("{:>12} {:>12} {:>10} {:>10}", "lambda", "U(hep)", "nines", "vs hep=0");
+    println!(
+        "{:>12} {:>12} {:>10} {:>10}",
+        "lambda", "U(hep)", "nines", "vs hep=0"
+    );
     let step = (to - from) / (points - 1) as f64;
     for i in 0..points {
         let lam = from + i as f64 * step;
         let params = ModelParams::raid5_3plus1(lam, hep)?;
         let u = Raid5Conventional::new(params)?.solve()?.unavailability();
-        let u0 = Raid5Conventional::new(params.with_hep(Hep::ZERO))?.solve()?.unavailability();
+        let u0 = Raid5Conventional::new(params.with_hep(Hep::ZERO))?
+            .solve()?
+            .unavailability();
         println!(
             "{:>12.4e} {:>12.4e} {:>10.3} {:>9.1}x",
             lam,

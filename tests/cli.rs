@@ -19,7 +19,10 @@ fn solve_prints_the_pinned_point() {
     let (ok, stdout, _) = run(&["solve", "--lambda", "1e-6", "--hep", "0.01"]);
     assert!(ok);
     assert!(stdout.contains("RAID5(3+1)"));
-    assert!(stdout.contains("4.929"), "unavailability mantissa: {stdout}");
+    assert!(
+        stdout.contains("4.929"),
+        "unavailability mantissa: {stdout}"
+    );
     assert!(stdout.contains("6.3072 nines"), "{stdout}");
 }
 
@@ -82,4 +85,96 @@ fn help_succeeds() {
     let (ok, stdout, _) = run(&["help"]);
     assert!(ok);
     assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn solve_rejects_bad_flag_values() {
+    let (ok, _, stderr) = run(&["solve", "--lambda", "not-a-number"]);
+    assert!(!ok);
+    assert!(stderr.contains("invalid value"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["solve", "--hep", "1.5"]);
+    assert!(!ok, "hep outside [0,1] must fail");
+    assert!(stderr.starts_with("error:"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["solve", "--policy", "quantum"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown policy"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["solve", "lambda", "1e-6"]);
+    assert!(!ok, "positional argument without -- must fail");
+    assert!(stderr.contains("expected --flag"), "{stderr}");
+}
+
+#[test]
+fn solve_supports_raid1_pair() {
+    let (ok, stdout, _) = run(&[
+        "solve", "--raid", "r1", "--lambda", "1e-5", "--hep", "0.001",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("RAID1(1+1)"), "{stdout}");
+    assert!(stdout.contains("MTTDL"), "{stdout}");
+}
+
+#[test]
+fn sweep_rejects_inverted_or_degenerate_ranges() {
+    let (ok, _, stderr) = run(&["sweep", "--from", "2e-6", "--to", "1e-6"]);
+    assert!(!ok);
+    assert!(stderr.contains("need 0 < from < to"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["sweep", "--points", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("points >= 2"), "{stderr}");
+}
+
+#[test]
+fn compare_respects_capacity_and_lambda_flags() {
+    // 42 = lcm(1, 3, 7): usable capacity must tile every per-array capacity.
+    let (ok, stdout, _) = run(&["compare", "--capacity", "42", "--lambda", "2e-5"]);
+    assert!(ok);
+    assert!(stdout.contains("config"), "{stdout}");
+    assert!(stdout.contains("hep=0.01"), "{stdout}");
+    assert!(stdout.lines().count() >= 4, "{stdout}");
+
+    // A capacity that tiles no geometry is a reported error, not a panic.
+    let (ok, _, stderr) = run(&["compare", "--capacity", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("not a multiple"), "{stderr}");
+}
+
+#[test]
+fn validate_prints_both_estimates_and_honors_seed() {
+    let (ok, stdout, _) = run(&["validate", "--iterations", "1500", "--seed", "7"]);
+    assert!(ok);
+    assert!(stdout.contains("markov availability"), "{stdout}");
+    assert!(stdout.contains("mc availability"), "{stdout}");
+    assert!(stdout.contains("verdict"), "{stdout}");
+
+    // Same seed must replay the identical Monte-Carlo estimate...
+    let (ok, rerun, _) = run(&["validate", "--iterations", "1500", "--seed", "7"]);
+    assert!(ok);
+    assert_eq!(stdout, rerun, "same seed must be bit-reproducible");
+
+    // ...and a different seed must actually change it.
+    let (ok, other, _) = run(&["validate", "--iterations", "1500", "--seed", "8"]);
+    assert!(ok);
+    let mc_line = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("mc availability"))
+            .map(String::from)
+    };
+    assert_ne!(
+        mc_line(&stdout),
+        mc_line(&other),
+        "--seed appears to be ignored"
+    );
+}
+
+#[test]
+fn help_flag_aliases_work() {
+    for alias in ["--help", "-h"] {
+        let (ok, stdout, _) = run(&[alias]);
+        assert!(ok, "{alias} must exit 0");
+        assert!(stdout.contains("USAGE"), "{stdout}");
+    }
 }

@@ -73,7 +73,9 @@ fn custom_ctmc_through_facade() {
     b.transition(down, up, 0.1).unwrap();
     let chain = b.build().unwrap();
     let gth = chain.steady_state().unwrap();
-    let lu = chain.steady_state_with(SteadyStateMethod::DirectLu).unwrap();
+    let lu = chain
+        .steady_state_with(SteadyStateMethod::DirectLu)
+        .unwrap();
     assert!((gth[1] - 1e-4 / (0.1 + 1e-4)).abs() < 1e-15);
     assert!((gth[1] - lu[1]).abs() < 1e-12);
     assert!((nines::nines_from_unavailability(gth[1]) - 3.0).abs() < 0.01);
@@ -123,7 +125,11 @@ fn raid6_extension_is_reachable() {
     .unwrap();
     let model = GenericKofN::new(params).unwrap();
     let solved = model.solve().unwrap();
-    assert!(solved.nines() > 6.0, "RAID6 should be strong: {}", solved.nines());
+    assert!(
+        solved.nines() > 6.0,
+        "RAID6 should be strong: {}",
+        solved.nines()
+    );
     let mttdl_years = model.mttdl_hours().unwrap() / availsim::storage::HOURS_PER_YEAR;
     assert!(mttdl_years > 1_000.0);
 }

@@ -1,0 +1,43 @@
+//! Smoke tests executing the examples the README leads with, end to end.
+//!
+//! These shell out to `cargo run --example` (the only stable way to locate
+//! example binaries from an integration test) and assert on the rendered
+//! output, so a drifting example API or a panicking walkthrough fails CI.
+
+use std::process::Command;
+
+fn run_example(name: &str) -> String {
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("cargo run --example {name} failed to spawn: {e}"));
+    assert!(
+        out.status.success(),
+        "example `{name}` exited nonzero:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_reproduces_the_headline_table() {
+    let stdout = run_example("quickstart");
+    assert!(stdout.contains("RAID5 (3+1)"), "{stdout}");
+    assert!(stdout.contains("unavailability"), "{stdout}");
+    assert!(stdout.contains("with fail-over"), "{stdout}");
+    assert!(
+        stdout.contains("underestimates downtime"),
+        "headline underestimation factor missing:\n{stdout}"
+    );
+}
+
+#[test]
+fn hra_calculator_walks_heart_and_therp() {
+    let stdout = run_example("hra_calculator");
+    assert!(stdout.contains("published hep bands"), "{stdout}");
+    assert!(stdout.contains("HEART assessment"), "{stdout}");
+    assert!(stdout.contains("THERP event tree"), "{stdout}");
+    assert!(stdout.contains("procedure-level hep"), "{stdout}");
+    assert!(stdout.contains("recovery dynamics"), "{stdout}");
+}

@@ -22,16 +22,32 @@ fn fig4_markov_curves_are_ordered_and_monotone() {
     let mut prev_01 = f64::INFINITY;
     let mut prev_001 = f64::INFINITY;
     for &lam in &grid {
-        let n001 = Raid5Conventional::new(params(lam, 0.001)).unwrap().solve().unwrap().nines();
-        let n01 = Raid5Conventional::new(params(lam, 0.01)).unwrap().solve().unwrap().nines();
+        let n001 = Raid5Conventional::new(params(lam, 0.001))
+            .unwrap()
+            .solve()
+            .unwrap()
+            .nines();
+        let n01 = Raid5Conventional::new(params(lam, 0.01))
+            .unwrap()
+            .solve()
+            .unwrap()
+            .nines();
         assert!(n01 < n001, "hep ordering at λ={lam}");
         assert!(n001 <= prev_001 && n01 <= prev_01, "monotone in λ at {lam}");
         prev_001 = n001;
         prev_01 = n01;
     }
     // Range check: the paper's y-axis spans ~4.5..8.5 nines.
-    let top = Raid5Conventional::new(params(5e-7, 0.001)).unwrap().solve().unwrap().nines();
-    let bottom = Raid5Conventional::new(params(5.5e-6, 0.01)).unwrap().solve().unwrap().nines();
+    let top = Raid5Conventional::new(params(5e-7, 0.001))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .nines();
+    let bottom = Raid5Conventional::new(params(5.5e-6, 0.01))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .nines();
     assert!(top > 7.0 && top < 9.0, "top of the plot {top}");
     assert!(bottom > 4.5 && bottom < 6.5, "bottom of the plot {bottom}");
 }
@@ -69,11 +85,8 @@ fn fig5_weibull_ordering() {
     let fits = availsim::storage::SCHROEDER_GIBSON_FITS;
     let run = |rate: f64, beta: f64, hep: f64| -> f64 {
         let p = params(rate, hep);
-        let mc = ConventionalMc::with_failure_model(
-            p,
-            FailureModel::weibull(rate, beta).unwrap(),
-        )
-        .unwrap();
+        let mc = ConventionalMc::with_failure_model(p, FailureModel::weibull(rate, beta).unwrap())
+            .unwrap();
         mc.run(&McConfig {
             iterations: 30_000,
             horizon_hours: 87_600.0,
@@ -105,10 +118,19 @@ fn fig6_ranking_inversion() {
         (rows[0].nines(), rows[1].nines(), rows[2].nines()) // R1, R5(3+1), R5(7+1)
     };
     let (r1_0, r5a_0, r5b_0) = at(0.0);
-    assert!(r1_0 > r5a_0 && r5a_0 > r5b_0, "clean ranking {r1_0} {r5a_0} {r5b_0}");
+    assert!(
+        r1_0 > r5a_0 && r5a_0 > r5b_0,
+        "clean ranking {r1_0} {r5a_0} {r5b_0}"
+    );
     let (r1_2, r5a_2, r5b_2) = at(0.01);
-    assert!(r5b_2 > r1_2, "inversion: R5(7+1) {r5b_2} must beat R1 {r1_2}");
-    assert!(r5a_2 > r1_2, "R5(3+1) {r5a_2} must beat R1 {r1_2} at hep=0.01");
+    assert!(
+        r5b_2 > r1_2,
+        "inversion: R5(7+1) {r5b_2} must beat R1 {r1_2}"
+    );
+    assert!(
+        r5a_2 > r1_2,
+        "R5(3+1) {r5a_2} must beat R1 {r1_2} at hep=0.01"
+    );
     // All configurations lose availability when hep appears.
     assert!(r1_2 < r1_0 && r5a_2 < r5a_0 && r5b_2 < r5b_0);
 }
@@ -141,9 +163,16 @@ fn headline_underestimation_band() {
 /// magnitude for small λ.
 #[test]
 fn headline_one_to_two_orders_at_low_hep() {
-    let u0 = Raid5Conventional::new(params(1e-7, 0.0)).unwrap().solve().unwrap().unavailability();
-    let u1 =
-        Raid5Conventional::new(params(1e-7, 0.001)).unwrap().solve().unwrap().unavailability();
+    let u0 = Raid5Conventional::new(params(1e-7, 0.0))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .unavailability();
+    let u1 = Raid5Conventional::new(params(1e-7, 0.001))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .unavailability();
     let ratio = u1 / u0;
     assert!((10.0..200.0).contains(&ratio), "ratio {ratio}");
 }

@@ -19,7 +19,10 @@ fn params(lambda: f64, hep: f64) -> ModelParams {
 
 fn assert_rel(actual: f64, expected: f64, tol: f64, what: &str) {
     let rel = (actual - expected).abs() / expected.abs();
-    assert!(rel < tol, "{what}: {actual:.6e} vs pinned {expected:.6e} (rel {rel:.2e})");
+    assert!(
+        rel < tol,
+        "{what}: {actual:.6e} vs pinned {expected:.6e} (rel {rel:.2e})"
+    );
 }
 
 #[test]
@@ -33,7 +36,11 @@ fn conventional_unavailability_pinned() {
         (1e-5, 0.01, 5.2565e-6),
     ];
     for (lam, hep, expected) in cases {
-        let u = Raid5Conventional::new(params(lam, hep)).unwrap().solve().unwrap().unavailability();
+        let u = Raid5Conventional::new(params(lam, hep))
+            .unwrap()
+            .solve()
+            .unwrap()
+            .unavailability();
         assert_rel(u, expected, 1e-3, &format!("U(λ={lam}, hep={hep})"));
     }
 }
@@ -51,35 +58,64 @@ fn conventional_as_labeled_unavailability_pinned() {
 
 #[test]
 fn failover_unavailability_pinned() {
-    let cases = [(1e-6, 0.0, 4.006e-9), (1e-6, 0.001, 4.027e-9), (1e-6, 0.01, 4.413e-9)];
+    let cases = [
+        (1e-6, 0.0, 4.006e-9),
+        (1e-6, 0.001, 4.027e-9),
+        (1e-6, 0.01, 4.413e-9),
+    ];
     for (lam, hep, expected) in cases {
-        let u = Raid5FailOver::new(params(lam, hep)).unwrap().solve().unwrap().unavailability();
-        assert_rel(u, expected, 2e-2, &format!("failover U(λ={lam}, hep={hep})"));
+        let u = Raid5FailOver::new(params(lam, hep))
+            .unwrap()
+            .solve()
+            .unwrap()
+            .unavailability();
+        assert_rel(
+            u,
+            expected,
+            2e-2,
+            &format!("failover U(λ={lam}, hep={hep})"),
+        );
     }
 }
 
 #[test]
 fn headline_factors_pinned() {
     // 263X-band underestimation at the foot of the Fig. 4 grid.
-    let u0 = Raid5Conventional::new(params(5e-7, 0.0)).unwrap().solve().unwrap().unavailability();
-    let u1 = Raid5Conventional::new(params(5e-7, 0.01)).unwrap().solve().unwrap().unavailability();
+    let u0 = Raid5Conventional::new(params(5e-7, 0.0))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .unavailability();
+    let u1 = Raid5Conventional::new(params(5e-7, 0.01))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .unavailability();
     assert_rel(u1 / u0, 246.5, 2e-2, "underestimation factor at λ=5e-7");
 
     // Fig. 7 improvement at hep = 0.01.
-    let conv = Raid5Conventional::new(params(1e-6, 0.01)).unwrap().solve().unwrap().unavailability();
-    let fo = Raid5FailOver::new(params(1e-6, 0.01)).unwrap().solve().unwrap().unavailability();
+    let conv = Raid5Conventional::new(params(1e-6, 0.01))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .unavailability();
+    let fo = Raid5FailOver::new(params(1e-6, 0.01))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .unavailability();
     assert_rel(conv / fo, 111.7, 2e-2, "fail-over improvement at hep=0.01");
 }
 
 #[test]
 fn raid1_pair_pinned() {
-    let p = ModelParams::paper_defaults(
-        RaidGeometry::raid1_pair(),
-        1e-5,
-        Hep::new(0.01).unwrap(),
-    )
-    .unwrap();
-    let u = Raid5Conventional::new(p).unwrap().solve().unwrap().unavailability();
+    let p = ModelParams::paper_defaults(RaidGeometry::raid1_pair(), 1e-5, Hep::new(0.01).unwrap())
+        .unwrap();
+    let u = Raid5Conventional::new(p)
+        .unwrap()
+        .solve()
+        .unwrap()
+        .unavailability();
     // 2λ/exit(EXP)·[hep·μs/(…)] + DL term; pinned from the solver.
     assert_rel(u, 2.5069e-6, 1e-2, "RAID1(1+1) U(λ=1e-5, hep=0.01)");
 }
@@ -92,14 +128,21 @@ fn raid6_extension_pinned() {
         Hep::new(0.01).unwrap(),
     )
     .unwrap();
-    let u = GenericKofN::new(p).unwrap().solve().unwrap().unavailability();
+    let u = GenericKofN::new(p)
+        .unwrap()
+        .solve()
+        .unwrap()
+        .unavailability();
     assert_rel(u, 1.0223e-8, 2e-2, "RAID6(6+2) U(λ=1e-5, hep=0.01)");
 }
 
 #[test]
 fn mttdl_pinned() {
     // hep = 0 closed form: (μ_DF + n·λ + (n−1)·λ)/(n·(n−1)·λ²) with n=4.
-    let m = Raid5Conventional::new(params(1e-6, 0.0)).unwrap().mttdl_hours().unwrap();
+    let m = Raid5Conventional::new(params(1e-6, 0.0))
+        .unwrap()
+        .mttdl_hours()
+        .unwrap();
     let expect = (0.1 + 7e-6) / (12.0 * 1e-12);
     assert_rel(m, expect, 1e-6, "MTTDL closed form");
 }

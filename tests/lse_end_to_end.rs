@@ -9,12 +9,13 @@ use availsim::storage::{RaidGeometry, ScrubbingModel, HOURS_PER_YEAR};
 
 fn model_with_scrub(days: f64) -> GenericKofN {
     let geometry = RaidGeometry::raid5(7).unwrap();
-    let params =
-        ModelParams::paper_defaults(geometry, 1e-5, Hep::new(0.001).unwrap()).unwrap();
-    let scrub = ScrubbingModel::new(ScrubbingModel::field_defaults().lse_rate, days * 24.0)
-        .unwrap();
+    let params = ModelParams::paper_defaults(geometry, 1e-5, Hep::new(0.001).unwrap()).unwrap();
+    let scrub =
+        ScrubbingModel::new(ScrubbingModel::field_defaults().lse_rate, days * 24.0).unwrap();
     let p_ue = scrub.rebuild_failure_probability(geometry.total_disks() - 1);
-    GenericKofN::new(params).unwrap().with_rebuild_failure_probability(p_ue)
+    GenericKofN::new(params)
+        .unwrap()
+        .with_rebuild_failure_probability(p_ue)
 }
 
 #[test]
@@ -25,8 +26,14 @@ fn tighter_scrubbing_monotonically_improves_both_metrics() {
         let m = model_with_scrub(days);
         let u = m.solve().unwrap().unavailability();
         let mttdl = m.mttdl_hours().unwrap();
-        assert!(u >= prev_u, "unavailability must grow with the period ({days} d)");
-        assert!(mttdl <= prev_mttdl, "mttdl must shrink with the period ({days} d)");
+        assert!(
+            u >= prev_u,
+            "unavailability must grow with the period ({days} d)"
+        );
+        assert!(
+            mttdl <= prev_mttdl,
+            "mttdl must shrink with the period ({days} d)"
+        );
         prev_u = u;
         prev_mttdl = mttdl;
     }
@@ -64,17 +71,21 @@ fn lse_and_human_error_compose() {
     .unwrap()
     .unavailability();
 
-    let no_hep = GenericKofN::new(
-        ModelParams::paper_defaults(geometry, 1e-5, Hep::ZERO).unwrap(),
-    )
-    .unwrap()
-    .with_rebuild_failure_probability(p_ue)
-    .solve()
-    .unwrap()
-    .unavailability();
+    let no_hep = GenericKofN::new(ModelParams::paper_defaults(geometry, 1e-5, Hep::ZERO).unwrap())
+        .unwrap()
+        .with_rebuild_failure_probability(p_ue)
+        .solve()
+        .unwrap()
+        .unavailability();
 
-    assert!(no_lse < full, "removing LSEs must help: {no_lse:.3e} vs {full:.3e}");
-    assert!(no_hep < full, "removing human error must help: {no_hep:.3e} vs {full:.3e}");
+    assert!(
+        no_lse < full,
+        "removing LSEs must help: {no_lse:.3e} vs {full:.3e}"
+    );
+    assert!(
+        no_hep < full,
+        "removing human error must help: {no_hep:.3e} vs {full:.3e}"
+    );
 }
 
 #[test]

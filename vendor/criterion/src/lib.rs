@@ -1,0 +1,359 @@
+//! Offline vendored shim of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking API surface used by this workspace.
+//!
+//! The build container cannot reach crates.io, so this crate provides the
+//! subset the nine bench targets rely on — [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! median-of-samples wall-clock measurement and a plain-text report. Swap it
+//! for the real `criterion` in `[workspace.dependencies]` once a registry is
+//! reachable.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver: holds measurement settings, runs closures,
+/// prints one line per benchmark.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent running the closure before measurement starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// CLI-args hook; the shim ignores harness arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Times `f` under the label `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let settings = self.clone();
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            settings,
+        }
+    }
+
+    /// End-of-run hook invoked by [`criterion_main!`].
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing the parent's settings.
+///
+/// Setting overrides here scopes them to the group, matching real criterion:
+/// the parent [`Criterion`] is untouched once the group is dropped.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Per-group override of the parent's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Per-group override of the parent's measurement budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Times `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&self.settings, &label, &mut f);
+        self
+    }
+
+    /// Times `f(b, input)` under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&self.settings, &label, &mut |b: &mut Bencher| {
+            b_with(b, input, &mut f)
+        });
+        self
+    }
+
+    /// Closes the group (report already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+fn b_with<I: ?Sized, F>(b: &mut Bencher, input: &I, f: &mut F)
+where
+    F: FnMut(&mut Bencher, &I),
+{
+    f(b, input);
+}
+
+/// A `name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Label from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark label.
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    mode: Mode,
+}
+
+enum Mode {
+    /// Short calibration run to size `iters_per_sample`.
+    Calibrate { elapsed: Duration, iters: u64 },
+    /// Real measurement.
+    Measure,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::Calibrate { .. } => {
+                // Run for ~10ms to estimate the per-call cost.
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < Duration::from_millis(10) {
+                    black_box(routine());
+                    iters += 1;
+                }
+                self.mode = Mode::Calibrate {
+                    elapsed: start.elapsed(),
+                    iters,
+                };
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+
+    /// `iter` variant that hands the routine a fresh input per batch.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iter(|| routine(setup()));
+    }
+}
+
+/// Batch sizing hint (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+fn run_one<F>(c: &Criterion, label: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass: find how many iterations fill one sample slot.
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        mode: Mode::Calibrate {
+            elapsed: Duration::ZERO,
+            iters: 1,
+        },
+    };
+    f(&mut bencher);
+    let per_call = match bencher.mode {
+        Mode::Calibrate { elapsed, iters } => elapsed.as_secs_f64() / iters.max(1) as f64,
+        Mode::Measure => 1e-6,
+    };
+
+    // Warm-up.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < c.warm_up_time {
+        let mut wb = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            mode: Mode::Measure,
+        };
+        f(&mut wb);
+    }
+
+    let sample_budget = c.measurement_time.as_secs_f64() / c.sample_size as f64;
+    let iters_per_sample = (sample_budget / per_call.max(1e-9)).ceil().max(1.0) as u64;
+
+    let mut bencher = Bencher {
+        iters_per_sample,
+        samples: Vec::with_capacity(c.sample_size),
+        mode: Mode::Measure,
+    };
+    for _ in 0..c.sample_size {
+        f(&mut bencher);
+    }
+
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters_per_sample as f64)
+        .collect();
+    if per_iter.is_empty() {
+        println!("{label:<48} time: [no samples — closure never called b.iter]");
+        return;
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    println!(
+        "{label:<48} time: [{} {} {}]",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundles bench functions (optionally with a shared `config = ...`) into one
+/// callable group, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
