@@ -125,9 +125,8 @@ pub fn annual_cost_conventional(
     cost_per_down_hour: f64,
     cost_per_service_action: f64,
 ) -> Result<f64> {
-    if !(cost_per_down_hour >= 0.0 && cost_per_down_hour.is_finite())
-        || !(cost_per_service_action >= 0.0 && cost_per_service_action.is_finite())
-    {
+    let valid_cost = |c: f64| c.is_finite() && c >= 0.0;
+    if !valid_cost(cost_per_down_hour) || !valid_cost(cost_per_service_action) {
         return Err(crate::error::CoreError::InvalidParameter(
             "costs must be nonnegative and finite".into(),
         ));

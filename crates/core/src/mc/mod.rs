@@ -23,8 +23,8 @@ pub use failover::FailOverMc;
 
 use crate::error::{CoreError, Result};
 use crate::nines;
+use availsim_sim::parallel::ordered_parallel_map;
 use availsim_sim::stats::{t_interval, ConfidenceInterval, RunningStats};
-use std::num::NonZeroUsize;
 
 /// Configuration of a Monte-Carlo run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,7 +38,17 @@ pub struct McConfig {
     pub seed: u64,
     /// Confidence level for the availability interval (e.g. `0.99`).
     pub confidence: f64,
-    /// Worker threads; `0` means use the machine's available parallelism.
+    /// Worker threads; `0` (auto) means clamp to the machine's
+    /// [`std::thread::available_parallelism`].
+    ///
+    /// # Determinism contract
+    ///
+    /// The thread count never changes any result bit. Iterations are
+    /// scheduled in fixed-size blocks whose boundaries depend only on
+    /// `iterations` (never on `threads`), each iteration draws from its own
+    /// seed substream, and block partials are merged in block order — so
+    /// `threads = 1` and `threads = N` produce identical estimates down to
+    /// the last floating-point bit. Only wall-clock time varies.
     pub threads: usize,
 }
 
@@ -81,14 +91,10 @@ impl McConfig {
         Ok(())
     }
 
+    /// Resolves `threads`: an explicit count is used as-is; `0` (auto) is
+    /// clamped to the machine's available parallelism (1 if unknown).
     fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        }
+        availsim_sim::parallel::resolve_workers(self.threads)
     }
 }
 
@@ -163,7 +169,7 @@ pub(crate) fn run_to_precision<F>(
 where
     F: Fn(u64) -> IterationOutcome + Sync,
 {
-    if !(target_half_width > 0.0) {
+    if target_half_width.is_nan() || target_half_width <= 0.0 {
         return Err(CoreError::InvalidParameter(format!(
             "target half-width must be positive, got {target_half_width}"
         )));
@@ -185,33 +191,35 @@ where
     }
 }
 
+/// Iterations per scheduling block (minimum). Block boundaries depend only
+/// on the iteration count, never on the thread count — the cornerstone of
+/// the [`McConfig::threads`] determinism contract.
+const BLOCK_ITERATIONS: u64 = 256;
+
+/// Cap on the number of scheduling blocks, so the per-block partials kept
+/// for the ordered merge stay a few hundred kilobytes even for billion-
+/// iteration runs (blocks grow past [`BLOCK_ITERATIONS`] instead).
+const MAX_BLOCKS: u64 = 4096;
+
 /// Runs `config.iterations` missions of `sim` in parallel and aggregates.
 ///
-/// `sim` is called with `(iteration_index, &mut outcome_rng_substream)` and
-/// must be deterministic given the substream.
+/// `sim` is called with the iteration index and must be deterministic given
+/// that index (each iteration derives its own RNG substream from it).
+///
+/// Threads claim fixed-size blocks of iterations from a shared cursor, so
+/// load balances dynamically; block partials are reassembled and merged in
+/// block order, so the aggregate is bit-identical at any thread count.
 pub(crate) fn run_iterations<F>(config: &McConfig, sim: F) -> Result<AvailabilityEstimate>
 where
     F: Fn(u64) -> IterationOutcome + Sync,
 {
     config.validate()?;
-    let threads = config.effective_threads().max(1);
     let iterations = config.iterations;
+    let block_size = BLOCK_ITERATIONS.max(iterations.div_ceil(MAX_BLOCKS));
+    let blocks = iterations.div_ceil(block_size);
+    let threads = config.effective_threads();
 
-    let chunks: Vec<(u64, u64)> = {
-        let per = iterations / threads as u64;
-        let extra = iterations % threads as u64;
-        let mut start = 0;
-        let mut v = Vec::new();
-        for t in 0..threads as u64 {
-            let len = per + u64::from(t < extra);
-            if len > 0 {
-                v.push((start, start + len));
-            }
-            start += len;
-        }
-        v
-    };
-
+    #[derive(Clone, Copy)]
     struct Partial {
         stats: RunningStats,
         downtime: f64,
@@ -220,41 +228,36 @@ where
         dl_events: u64,
     }
 
-    let partials: Vec<Partial> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|&(lo, hi)| {
-                let sim = &sim;
-                scope.spawn(move || {
-                    let mut p = Partial {
-                        stats: RunningStats::new(),
-                        downtime: 0.0,
-                        du_downtime: 0.0,
-                        du_events: 0,
-                        dl_events: 0,
-                    };
-                    for i in lo..hi {
-                        let out = sim(i);
-                        p.stats
-                            .push(1.0 - out.downtime_hours / config.horizon_hours);
-                        p.downtime += out.downtime_hours;
-                        p.du_downtime += out.du_downtime_hours;
-                        p.du_events += out.du_events;
-                        p.dl_events += out.dl_events;
-                    }
-                    p
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+    let partials = ordered_parallel_map(
+        blocks,
+        threads,
+        |block| {
+            let lo = block * block_size;
+            let hi = (lo + block_size).min(iterations);
+            let mut p = Partial {
+                stats: RunningStats::new(),
+                downtime: 0.0,
+                du_downtime: 0.0,
+                du_events: 0,
+                dl_events: 0,
+            };
+            for i in lo..hi {
+                let out = sim(i);
+                p.stats
+                    .push(1.0 - out.downtime_hours / config.horizon_hours);
+                p.downtime += out.downtime_hours;
+                p.du_downtime += out.du_downtime_hours;
+                p.du_events += out.du_events;
+                p.dl_events += out.dl_events;
+            }
+            p
+        },
+        |_| false,
+    );
 
     let mut stats = RunningStats::new();
     let (mut downtime, mut du_dt, mut du_ev, mut dl_ev) = (0.0, 0.0, 0u64, 0u64);
-    for p in partials {
+    for (_, p) in partials {
         stats.merge(&p.stats);
         downtime += p.downtime;
         du_dt += p.du_downtime;
@@ -326,6 +329,82 @@ mod tests {
         );
         assert_eq!(one.du_events, many.du_events);
         assert!((one.availability.mean - many.availability.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn real_model_is_bit_identical_at_1_and_4_threads() {
+        // Regression for the determinism contract on McConfig::threads: the
+        // full ConventionalMc (real floating-point downtimes, not synthetic
+        // integers) must produce identical bits at any thread count.
+        let params =
+            crate::ModelParams::raid5_3plus1(1e-3, availsim_hra::Hep::new(0.01).unwrap()).unwrap();
+        let mc = ConventionalMc::new(params).unwrap();
+        let run = |threads| {
+            mc.run(&McConfig {
+                iterations: 700, // not a multiple of the block size
+                horizon_hours: 20_000.0,
+                seed: 99,
+                confidence: 0.95,
+                threads,
+            })
+            .unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(
+            one.overall_availability.to_bits(),
+            four.overall_availability.to_bits()
+        );
+        assert_eq!(
+            one.availability.mean.to_bits(),
+            four.availability.mean.to_bits()
+        );
+        assert_eq!(
+            one.availability.half_width.to_bits(),
+            four.availability.half_width.to_bits()
+        );
+        assert_eq!(
+            one.mean_downtime_hours.to_bits(),
+            four.mean_downtime_hours.to_bits()
+        );
+        assert_eq!(
+            one.du_downtime_share.to_bits(),
+            four.du_downtime_share.to_bits()
+        );
+        assert_eq!(one.du_events, four.du_events);
+        assert_eq!(one.dl_events, four.dl_events);
+        // Sanity: the run actually simulated something.
+        assert!(one.mean_downtime_hours > 0.0);
+    }
+
+    #[test]
+    fn auto_threads_matches_explicit_available_parallelism() {
+        // threads = 0 must behave exactly like the clamped explicit count —
+        // same bits, since chunking is thread-count independent anyway.
+        let sim = |i: u64| IterationOutcome {
+            downtime_hours: (i as f64).sin().abs(),
+            du_downtime_hours: 0.0,
+            dl_downtime_hours: 0.0,
+            du_events: 0,
+            dl_events: 0,
+        };
+        let mk = |threads| McConfig {
+            iterations: 300,
+            horizon_hours: 10.0,
+            seed: 1,
+            confidence: 0.95,
+            threads,
+        };
+        let auto = run_iterations(&mk(0), sim).unwrap();
+        let explicit = run_iterations(&mk(mk(0).effective_threads()), sim).unwrap();
+        assert_eq!(
+            auto.overall_availability.to_bits(),
+            explicit.overall_availability.to_bits()
+        );
+        assert_eq!(
+            auto.availability.half_width.to_bits(),
+            explicit.availability.half_width.to_bits()
+        );
     }
 
     #[test]

@@ -99,7 +99,7 @@ impl TransientAvailability {
         t_max: f64,
         points: usize,
     ) -> Result<Vec<(f64, f64)>> {
-        if points < 2 || !(t_min > 0.0) || !(t_max > t_min) {
+        if points < 2 || t_min.is_nan() || t_min <= 0.0 || t_max.is_nan() || t_max <= t_min {
             return Err(crate::error::CoreError::InvalidParameter(format!(
                 "invalid curve grid: t_min={t_min}, t_max={t_max}, points={points}"
             )));

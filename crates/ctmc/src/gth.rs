@@ -53,13 +53,14 @@ pub fn steady_state_gth_rates(a: &mut [Vec<f64>]) -> Result<Vec<f64>> {
         if s <= 0.0 {
             return Err(CtmcError::NotIrreducible { state: k });
         }
-        for i in 0..k {
-            let f = a[i][k] / s;
+        let (head, tail) = a.split_at_mut(k);
+        let row_k = &tail[0];
+        for (i, row_i) in head.iter_mut().enumerate() {
+            let f = row_i[k] / s;
             if f > 0.0 {
-                for j in 0..k {
+                for (j, (aij, &akj)) in row_i.iter_mut().zip(row_k).enumerate().take(k) {
                     if j != i {
-                        let add = f * a[k][j];
-                        a[i][j] += add;
+                        *aij += f * akj;
                     }
                 }
             }

@@ -93,16 +93,16 @@ impl LuFactors {
         // Forward substitution with unit-diagonal L.
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -126,16 +126,16 @@ impl LuFactors {
         let mut y = b.to_vec();
         for i in 0..n {
             let mut acc = y[i];
-            for j in 0..i {
-                acc -= self.lu[(j, i)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu[(j, i)] * yj;
             }
             y[i] = acc / self.lu[(i, i)];
         }
         // Solve Lᵀ z = y (back substitution, unit diagonal).
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(j, i)] * y[j];
+            for (j, &yj) in y.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(j, i)] * yj;
             }
             y[i] = acc;
         }

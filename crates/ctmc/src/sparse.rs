@@ -110,12 +110,12 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row(r) {
                 acc += v * x[c];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         Ok(y)
     }
@@ -133,8 +133,7 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }

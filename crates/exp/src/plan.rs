@@ -1,0 +1,229 @@
+//! Grid expansion: turning a [`Scenario`] into an ordered list of cells.
+//!
+//! The grid is the cartesian product of the axes in a fixed canonical
+//! order — `raid` (outermost) × `policy` × `lambda` × `hep` (innermost) —
+//! so a given spec always expands to the same cell sequence regardless of
+//! the order axes were declared in. Each cell gets its own RNG seed
+//! derived from `(campaign seed, cell index)` through the simulator's
+//! SplitMix64/xoshiro substream splitter, which makes Monte-Carlo cells
+//! statistically independent yet fully reproducible.
+
+use crate::error::{ExpError, Result};
+use crate::spec::{Policy, Scenario};
+use availsim_sim::rng::SimRng;
+use availsim_storage::RaidGeometry;
+use std::fmt::Write as _;
+
+/// One grid point: a concrete parameter assignment plus its derived seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Position in the plan (row-major over the canonical axis order).
+    pub index: u64,
+    /// Per-cell RNG seed, a substream of the campaign seed.
+    pub seed: u64,
+    /// Array geometry.
+    pub raid: RaidGeometry,
+    /// Replacement discipline.
+    pub policy: Policy,
+    /// Disk failure rate λ (per hour).
+    pub lambda: f64,
+    /// Human error probability.
+    pub hep: f64,
+}
+
+/// The expanded campaign: every cell, in canonical order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The scenario this plan was expanded from.
+    pub scenario: Scenario,
+    /// Cells in canonical row-major order.
+    pub cells: Vec<Cell>,
+}
+
+/// Derives the deterministic seed of cell `index` under `campaign_seed`.
+pub fn cell_seed(campaign_seed: u64, index: u64) -> u64 {
+    SimRng::substream(campaign_seed, index).next_u64()
+}
+
+/// Expands a scenario into its full grid.
+///
+/// # Errors
+/// Returns [`ExpError::InvalidSpec`] if the scenario fails validation or
+/// the grid is empty.
+pub fn expand(scenario: &Scenario) -> Result<Plan> {
+    scenario.validate()?;
+    let policies = scenario.effective_policies();
+    let mut cells = Vec::with_capacity(
+        scenario.raid.len() * policies.len() * scenario.lambda.len() * scenario.hep.len(),
+    );
+    let mut index = 0u64;
+    for &raid in &scenario.raid {
+        for &policy in &policies {
+            for &lambda in &scenario.lambda {
+                for &hep in &scenario.hep {
+                    cells.push(Cell {
+                        index,
+                        seed: cell_seed(scenario.seed, index),
+                        raid,
+                        policy,
+                        lambda,
+                        hep,
+                    });
+                    index += 1;
+                }
+            }
+        }
+    }
+    if cells.is_empty() {
+        return Err(ExpError::InvalidSpec("the grid expands to no cells".into()));
+    }
+    Ok(Plan {
+        scenario: scenario.clone(),
+        cells,
+    })
+}
+
+impl Plan {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan has no cells (never true for [`expand`] output).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Human-readable plan description, used by `availsim batch --dry-run`.
+    ///
+    /// The output is byte-stable for a fixed scenario: axis values are
+    /// printed with round-trip float formatting and seeds as fixed-width
+    /// hex.
+    pub fn describe(&self) -> String {
+        let s = &self.scenario;
+        let mut out = String::new();
+        let _ = writeln!(out, "campaign {}", s.name);
+        let _ = writeln!(out, "  model    : {}", s.model);
+        let _ = writeln!(out, "  seed     : {}", s.seed);
+        if let Some(cap) = s.capacity {
+            let _ = writeln!(out, "  capacity : {cap} disk units (volume metrics on)");
+        }
+        let _ = writeln!(
+            out,
+            "  axes     : raid[{}] x policy[{}] x lambda[{}] x hep[{}]",
+            s.raid.len(),
+            s.effective_policies().len(),
+            s.lambda.len(),
+            s.hep.len()
+        );
+        let _ = writeln!(out, "  cells    : {}", self.cells.len());
+        let _ = writeln!(
+            out,
+            "  {:>5} {:>18} {:<12} {:<12} {:>12} {:>10}",
+            "cell", "seed", "raid", "policy", "lambda", "hep"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>#18x} {:<12} {:<12} {:>12} {:>10}",
+                c.index,
+                c.seed,
+                c.raid.label(),
+                c.policy.as_str(),
+                format_float(c.lambda),
+                format_float(c.hep)
+            );
+        }
+        out
+    }
+}
+
+/// Shortest round-trip decimal form of a float (`1e-5`, `0.001`, `0.0`).
+pub(crate) fn format_float(v: f64) -> String {
+    format!("{v:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ModelKind;
+
+    fn scenario() -> Scenario {
+        Scenario::parse(
+            "[campaign]\nname = t\nseed = 5\n[axes]\nraid = [r1, r5-3]\nlambda = [1e-6, 1e-5]\nhep = [0, 0.01]\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cell_count_is_the_axis_product() {
+        let plan = expand(&scenario()).unwrap();
+        assert_eq!(plan.len(), 8); // raid(2) x policy(1) x lambda(2) x hep(2)
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn cells_are_indexed_in_canonical_row_major_order() {
+        let plan = expand(&scenario()).unwrap();
+        for (i, c) in plan.cells.iter().enumerate() {
+            assert_eq!(c.index, i as u64);
+        }
+        // hep is the innermost axis.
+        assert_eq!(plan.cells[0].hep, 0.0);
+        assert_eq!(plan.cells[1].hep, 0.01);
+        // lambda next.
+        assert_eq!(plan.cells[0].lambda, 1e-6);
+        assert_eq!(plan.cells[2].lambda, 1e-5);
+        // raid outermost.
+        assert_eq!(plan.cells[0].raid.label(), "RAID1(1+1)");
+        assert_eq!(plan.cells[4].raid.label(), "RAID5(3+1)");
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let a = expand(&scenario()).unwrap();
+        let b = expand(&scenario()).unwrap();
+        assert_eq!(a, b);
+        let mut seeds: Vec<u64> = a.cells.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), a.len(), "per-cell seeds must be distinct");
+        assert_eq!(a.cells[3].seed, cell_seed(5, 3));
+    }
+
+    #[test]
+    fn different_campaign_seeds_move_every_cell_seed() {
+        let mut s2 = scenario();
+        s2.seed = 6;
+        let a = expand(&scenario()).unwrap();
+        let b = expand(&s2).unwrap();
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_ne!(ca.seed, cb.seed);
+        }
+    }
+
+    #[test]
+    fn describe_is_stable_and_complete() {
+        let plan = expand(&scenario()).unwrap();
+        let d1 = plan.describe();
+        let d2 = expand(&scenario()).unwrap().describe();
+        assert_eq!(d1, d2);
+        assert!(d1.contains("cells    : 8"));
+        assert!(d1.contains("RAID5(3+1)"));
+        assert!(d1.contains("conventional"));
+        assert!(d1.contains("1e-5"));
+    }
+
+    #[test]
+    fn policy_axis_expands_both_disciplines() {
+        let s = Scenario::parse(
+            "[campaign]\nname = p\nmodel = markov-conventional\n[axes]\npolicy = [conventional, failover]\n",
+        )
+        .unwrap();
+        assert_eq!(s.model, ModelKind::MarkovConventional);
+        let plan = expand(&s).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.cells[0].policy, Policy::Conventional);
+        assert_eq!(plan.cells[1].policy, Policy::Failover);
+    }
+}

@@ -1,0 +1,362 @@
+//! Campaign reports: CSV, hand-rolled JSON, and a text summary table.
+//!
+//! The CSV and JSON writers are **deterministic**: they contain only
+//! seed-derived metrics (no timings), floats are printed in shortest
+//! round-trip form, and key/column order is fixed — so two runs of the same
+//! campaign seed produce byte-identical files regardless of worker count.
+//! Wall-clock timings appear only in [`summary`], which doubles as a perf
+//! probe for the cell solvers.
+
+use crate::plan::format_float;
+use crate::run::CampaignResult;
+use crate::spec::{Metric, ModelKind};
+use availsim_core::report::Table;
+use std::fmt::Write as _;
+
+/// The metric columns a campaign reports: the spec's `metrics` list, or
+/// everything applicable to the model when the list is empty.
+fn effective_metrics(result: &CampaignResult) -> Vec<Metric> {
+    let s = &result.scenario;
+    if !s.metrics.is_empty() {
+        return s.metrics.clone();
+    }
+    let mut m = vec![Metric::Unavailability, Metric::Nines, Metric::Downtime];
+    if s.model == ModelKind::Mc {
+        m.push(Metric::CiHalfWidth);
+    } else {
+        m.push(Metric::Mttdl);
+    }
+    if s.capacity.is_some() {
+        m.push(Metric::Volume);
+    }
+    m
+}
+
+fn metric_columns(m: Metric) -> &'static [&'static str] {
+    match m {
+        Metric::Unavailability => &["unavailability"],
+        Metric::Nines => &["nines"],
+        Metric::Downtime => &["downtime_min_per_year"],
+        Metric::Mttdl => &["mttdl_hours"],
+        Metric::CiHalfWidth => &["ci_half_width"],
+        Metric::Volume => &[
+            "arrays",
+            "total_disks",
+            "volume_unavailability",
+            "volume_nines",
+        ],
+    }
+}
+
+fn metric_values(result: &CampaignResult, i: usize, m: Metric) -> Vec<String> {
+    let c = &result.cells[i];
+    let opt = |v: Option<f64>| v.map(format_float).unwrap_or_default();
+    match m {
+        Metric::Unavailability => vec![format_float(c.unavailability)],
+        Metric::Nines => vec![format_float(c.nines)],
+        Metric::Downtime => vec![format_float(c.downtime_min_per_year)],
+        Metric::Mttdl => vec![opt(c.mttdl_hours)],
+        Metric::CiHalfWidth => vec![opt(c.ci_half_width)],
+        Metric::Volume => match c.volume {
+            Some(v) => vec![
+                v.arrays.to_string(),
+                v.total_disks.to_string(),
+                format_float(v.unavailability),
+                format_float(v.nines),
+            ],
+            None => vec![String::new(); 4],
+        },
+    }
+}
+
+/// Renders the campaign as CSV (deterministic; no timings).
+pub fn to_csv(result: &CampaignResult) -> String {
+    let metrics = effective_metrics(result);
+    let mut header = vec!["cell", "seed", "raid", "policy", "lambda", "hep"];
+    for &m in &metrics {
+        header.extend_from_slice(metric_columns(m));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", header.join(","));
+    for (i, c) in result.cells.iter().enumerate() {
+        let mut row = vec![
+            c.cell.index.to_string(),
+            c.cell.seed.to_string(),
+            c.cell.raid.label(),
+            c.cell.policy.as_str().to_string(),
+            format_float(c.cell.lambda),
+            format_float(c.cell.hep),
+        ];
+        for &m in &metrics {
+            row.extend(metric_values(result, i, m));
+        }
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+/// Minimal JSON string escaping (the only strings we emit are labels and
+/// campaign names, but escape control characters anyway).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finite float as a JSON number (shortest round-trip form); non-finite
+/// values become `null` (JSON has no NaN/inf).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format_float(v)
+    } else {
+        "null".into()
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => json_number(v),
+        None => "null".into(),
+    }
+}
+
+/// Renders the campaign as JSON (deterministic; no timings). Hand-rolled —
+/// the build environment has no serde.
+pub fn to_json(result: &CampaignResult) -> String {
+    let s = &result.scenario;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"campaign\": {},", json_string(&s.name));
+    // Seeds are full-range u64 and would lose bits past 2^53 in any
+    // IEEE-double JSON consumer — emit them as decimal strings.
+    let _ = writeln!(out, "  \"seed\": \"{}\",", s.seed);
+    let _ = writeln!(out, "  \"model\": {},", json_string(s.model.as_str()));
+    let _ = writeln!(
+        out,
+        "  \"capacity\": {},",
+        s.capacity.map_or("null".into(), |c| c.to_string())
+    );
+    let _ = writeln!(out, "  \"cells\": [");
+    let last = result.cells.len().saturating_sub(1);
+    for (i, c) in result.cells.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"cell\": {}, \"seed\": \"{}\", \"raid\": {}, \"policy\": {}, \"lambda\": {}, \"hep\": {}, ",
+            c.cell.index,
+            c.cell.seed,
+            json_string(&c.cell.raid.label()),
+            json_string(c.cell.policy.as_str()),
+            json_number(c.cell.lambda),
+            json_number(c.cell.hep),
+        );
+        let _ = write!(
+            out,
+            "\"unavailability\": {}, \"nines\": {}, \"downtime_min_per_year\": {}, \"mttdl_hours\": {}, \"ci_half_width\": {}",
+            json_number(c.unavailability),
+            json_number(c.nines),
+            json_number(c.downtime_min_per_year),
+            json_opt(c.mttdl_hours),
+            json_opt(c.ci_half_width),
+        );
+        if let Some(v) = c.volume {
+            let _ = write!(
+                out,
+                ", \"volume\": {{\"arrays\": {}, \"total_disks\": {}, \"unavailability\": {}, \"nines\": {}}}",
+                v.arrays,
+                v.total_disks,
+                json_number(v.unavailability),
+                json_number(v.nines),
+            );
+        }
+        out.push('}');
+        if i != last {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    let u = &result.unavailability_stats;
+    let _ = writeln!(
+        out,
+        "  \"unavailability_summary\": {{\"count\": {}, \"mean\": {}, \"min\": {}, \"max\": {}}}",
+        u.count(),
+        json_number(u.mean()),
+        json_number(u.min()),
+        json_number(u.max()),
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the human-readable summary table, including per-cell timings
+/// (the one non-deterministic part of a campaign's output).
+pub fn summary(result: &CampaignResult) -> String {
+    let metrics = effective_metrics(result);
+    let volume = metrics.contains(&Metric::Volume);
+    let mut headers = vec![
+        "cell", "raid", "policy", "lambda", "hep", "unavail", "nines",
+    ];
+    if volume {
+        headers.push("vol-nines");
+    }
+    headers.push("time-us");
+    let mut table = Table::new(
+        format!(
+            "campaign {} ({}, {} cells, {} workers)",
+            result.scenario.name,
+            result.scenario.model,
+            result.cells.len(),
+            result.workers
+        ),
+        &headers,
+    );
+    for c in &result.cells {
+        let mut row = vec![
+            c.cell.index.to_string(),
+            c.cell.raid.label(),
+            c.cell.policy.as_str().to_string(),
+            format!("{:.3e}", c.cell.lambda),
+            format_float(c.cell.hep),
+            format!("{:.4e}", c.unavailability),
+            format!("{:.4}", c.nines),
+        ];
+        if volume {
+            row.push(
+                c.volume
+                    .map(|v| format!("{:.4}", v.nines))
+                    .unwrap_or_default(),
+            );
+        }
+        row.push(c.elapsed_micros.to_string());
+        table.push_row(&row);
+    }
+    let t = &result.timing_stats;
+    let mut out = table.render();
+    let _ = writeln!(
+        out,
+        "cell time us: mean {:.0}  min {:.0}  max {:.0}  |  wall {} us",
+        t.mean(),
+        t.min(),
+        t.max(),
+        result.wall_micros
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::expand;
+    use crate::run::{run, RunConfig};
+    use crate::spec::Scenario;
+
+    fn result() -> CampaignResult {
+        let s = Scenario::parse(
+            "[campaign]\nname = rpt\nseed = 2\ncapacity = 21\n[axes]\nraid = [r1, r5-3]\nhep = [0, 0.01]\nlambda = 1e-5\n",
+        )
+        .unwrap();
+        run(&expand(&s).unwrap(), &RunConfig { workers: 2 }).unwrap()
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_cell() {
+        let r = result();
+        let csv = to_csv(&r);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + r.cells.len());
+        assert!(lines[0].starts_with("cell,seed,raid,policy,lambda,hep,unavailability"));
+        assert!(lines[0].ends_with("volume_nines"));
+        assert!(
+            !lines[0].contains("elapsed") && !lines[0].contains("time-us"),
+            "timings must not leak into the CSV"
+        );
+        for line in &lines[1..] {
+            assert_eq!(
+                line.split(',').count(),
+                lines[0].split(',').count(),
+                "ragged row: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_and_json_are_worker_count_invariant() {
+        let s = Scenario::parse(
+            "[campaign]\nname = det\nseed = 4\n[axes]\nraid = [r1, r5-3, r5-7]\nhep = [0, 0.001, 0.01]\nlambda = 1e-5\n",
+        )
+        .unwrap();
+        let plan = expand(&s).unwrap();
+        let one = run(&plan, &RunConfig { workers: 1 }).unwrap();
+        let many = run(&plan, &RunConfig { workers: 4 }).unwrap();
+        assert_eq!(to_csv(&one), to_csv(&many));
+        assert_eq!(to_json(&one), to_json(&many));
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let json = to_json(&result());
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches("\"cell\":").count(), 4);
+        assert!(json.contains("\"campaign\": \"rpt\""));
+        assert!(json.contains("\"capacity\": 21"));
+        // Seeds are strings: a bare u64 above 2^53 silently corrupts in
+        // IEEE-double JSON parsers.
+        assert!(json.contains("\"seed\": \"2\""));
+        assert!(!json.contains("\"seed\": 2,"));
+        assert!(json.contains("\"volume\":"));
+        assert!(json.contains("\"unavailability_summary\":"));
+        // Balanced braces/brackets (rough structural check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn json_escaping_and_numbers() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_number(1e-5), "1e-5");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_opt(None), "null");
+    }
+
+    #[test]
+    fn summary_contains_timing_and_every_cell() {
+        let r = result();
+        let s = summary(&r);
+        assert!(s.contains("campaign rpt"));
+        assert!(s.contains("time-us"));
+        assert!(s.contains("vol-nines"));
+        assert!(s.contains("wall"));
+        assert!(s.contains("RAID5(3+1)"));
+    }
+
+    #[test]
+    fn explicit_metric_selection_narrows_the_csv() {
+        let s = Scenario::parse(
+            "[campaign]\nname = narrow\nmetrics = [nines]\n[axes]\nraid = r5-3\nlambda = 1e-5\nhep = 0.01\n",
+        )
+        .unwrap();
+        let r = run(&expand(&s).unwrap(), &RunConfig { workers: 1 }).unwrap();
+        let csv = to_csv(&r);
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header, "cell,seed,raid,policy,lambda,hep,nines");
+    }
+}

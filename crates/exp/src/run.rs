@@ -1,0 +1,339 @@
+//! The parallel batch runner.
+//!
+//! # Determinism contract
+//!
+//! Worker threads pull cells from a shared atomic cursor, so *which* thread
+//! executes a cell is racy — but every cell's result depends only on the
+//! cell itself (its own derived seed; Monte-Carlo cells run single-threaded
+//! internally), and partial results are reassembled **by cell index** before
+//! any aggregation. The merged Welford accumulators and every reported
+//! metric are therefore bit-identical for 1 worker and N workers. Only the
+//! wall-clock timings differ between runs.
+
+use crate::error::{ExpError, Result};
+use crate::plan::{Cell, Plan};
+use crate::spec::{McSettings, ModelKind, Policy, Scenario};
+use availsim_core::markov::{GenericKofN, Raid5Conventional, Raid5FailOver};
+use availsim_core::mc::{ConventionalMc, FailOverMc, McConfig};
+use availsim_core::{nines, CoreError, ModelParams};
+use availsim_hra::Hep;
+use availsim_sim::parallel::ordered_parallel_map;
+use availsim_sim::stats::RunningStats;
+use availsim_storage::Volume;
+use std::time::Instant;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunConfig {
+    /// Worker threads; `0` (the default) means the machine's available
+    /// parallelism. The effective count is clamped to the number of cells.
+    pub workers: usize,
+}
+
+impl RunConfig {
+    /// The worker count actually used for `cells` cells.
+    pub fn effective_workers(&self, cells: usize) -> usize {
+        availsim_sim::parallel::resolve_workers(self.workers).clamp(1, cells.max(1))
+    }
+}
+
+/// Equal-capacity volume metrics of one cell (present when the campaign
+/// sets `capacity`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VolumeMetrics {
+    /// Member arrays at the campaign's usable capacity.
+    pub arrays: u64,
+    /// Total physical disks.
+    pub total_disks: u64,
+    /// Series-system unavailability of the volume.
+    pub unavailability: f64,
+    /// Volume availability in nines.
+    pub nines: f64,
+}
+
+/// All metrics produced by one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell that produced these metrics.
+    pub cell: Cell,
+    /// Per-array unavailability (steady-state or MC point estimate).
+    pub unavailability: f64,
+    /// Per-array availability in nines.
+    pub nines: f64,
+    /// Downtime, minutes per year.
+    pub downtime_min_per_year: f64,
+    /// Mean time to data loss in hours (Markov models only).
+    pub mttdl_hours: Option<f64>,
+    /// Half-width of the availability confidence interval (MC only).
+    pub ci_half_width: Option<f64>,
+    /// Volume metrics (only when the campaign sets `capacity`).
+    pub volume: Option<VolumeMetrics>,
+    /// Wall-clock time this cell took, microseconds. Excluded from the
+    /// deterministic CSV/JSON reports; summarised in the text report.
+    pub elapsed_micros: u64,
+}
+
+/// Aggregate outcome of a campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Per-cell results, sorted by cell index.
+    pub cells: Vec<CellResult>,
+    /// Welford accumulator over per-array unavailability across cells,
+    /// merged in cell-index order (bit-reproducible).
+    pub unavailability_stats: RunningStats,
+    /// Welford accumulator over per-cell wall-clock times (microseconds).
+    pub timing_stats: RunningStats,
+    /// Workers actually used.
+    pub workers: usize,
+    /// Total wall-clock time of the run, microseconds.
+    pub wall_micros: u64,
+}
+
+/// Expands nothing — runs an already expanded plan.
+///
+/// # Errors
+/// Returns the lowest-indexed failure among the cells that ran; a failing
+/// cell also stops workers from claiming further cells, so an early
+/// misconfiguration does not burn the whole campaign's compute first.
+pub fn run(plan: &Plan, config: &RunConfig) -> Result<CampaignResult> {
+    let n = plan.cells.len();
+    let workers = config.effective_workers(n);
+    let started = Instant::now();
+
+    // Workers claim cells from a shared cursor; results carry their cell
+    // index and are reassembled in index order (the determinism contract).
+    let collected = ordered_parallel_map(
+        n as u64,
+        workers,
+        |i| run_cell(&plan.scenario, &plan.cells[i as usize]),
+        Result::is_err,
+    );
+
+    let mut cells = Vec::with_capacity(n);
+    for (_, r) in collected {
+        cells.push(r?);
+    }
+
+    let mut unavailability_stats = RunningStats::new();
+    let mut timing_stats = RunningStats::new();
+    for c in &cells {
+        unavailability_stats.push(c.unavailability);
+        timing_stats.push(c.elapsed_micros as f64);
+    }
+
+    Ok(CampaignResult {
+        scenario: plan.scenario.clone(),
+        cells,
+        unavailability_stats,
+        timing_stats,
+        workers,
+        wall_micros: started.elapsed().as_micros() as u64,
+    })
+}
+
+/// Executes one cell with the scenario's solver backend.
+///
+/// # Errors
+/// Wraps model failures in [`ExpError::Model`] with the cell index.
+pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
+    let started = Instant::now();
+    let model = |e: CoreError| ExpError::Model {
+        cell: cell.index,
+        source: e,
+    };
+    let hep = Hep::new(cell.hep).map_err(|e| model(CoreError::Hra(e)))?;
+    let params = ModelParams::paper_defaults(cell.raid, cell.lambda, hep).map_err(model)?;
+
+    let (unavailability, mttdl_hours, ci_half_width) = match (scenario.model, cell.policy) {
+        (ModelKind::Mc, policy) => {
+            let est = mc_estimate(scenario.mc, policy, params, cell.seed).map_err(model)?;
+            (est.0, None, Some(est.1))
+        }
+        (_, Policy::Failover) => {
+            let m = Raid5FailOver::new(params).map_err(model)?;
+            let solved = m.solve().map_err(model)?;
+            (
+                solved.unavailability(),
+                Some(m.mttdl_hours().map_err(model)?),
+                None,
+            )
+        }
+        (ModelKind::GenericKofN, Policy::Conventional) => {
+            let m = GenericKofN::new(params).map_err(model)?;
+            let solved = m.solve().map_err(model)?;
+            (
+                solved.unavailability(),
+                Some(m.mttdl_hours().map_err(model)?),
+                None,
+            )
+        }
+        (_, Policy::Conventional) if cell.raid.fault_tolerance() == 1 => {
+            let m = Raid5Conventional::new(params).map_err(model)?;
+            let solved = m.solve().map_err(model)?;
+            (
+                solved.unavailability(),
+                Some(m.mttdl_hours().map_err(model)?),
+                None,
+            )
+        }
+        (_, Policy::Conventional) => {
+            let m = GenericKofN::new(params).map_err(model)?;
+            let solved = m.solve().map_err(model)?;
+            (
+                solved.unavailability(),
+                Some(m.mttdl_hours().map_err(model)?),
+                None,
+            )
+        }
+    };
+
+    let volume = match scenario.capacity {
+        Some(cap) => {
+            let v = Volume::with_usable_capacity(cell.raid, cap)
+                .map_err(|e| model(CoreError::Storage(e)))?;
+            let vu = v.series_unavailability(unavailability);
+            Some(VolumeMetrics {
+                arrays: v.arrays(),
+                total_disks: v.total_disks(),
+                unavailability: vu,
+                nines: nines::nines_from_unavailability(vu),
+            })
+        }
+        None => None,
+    };
+
+    Ok(CellResult {
+        cell: cell.clone(),
+        unavailability,
+        nines: nines::nines_from_unavailability(unavailability),
+        downtime_min_per_year: nines::downtime_minutes_per_year(unavailability),
+        mttdl_hours,
+        ci_half_width,
+        volume,
+        elapsed_micros: started.elapsed().as_micros() as u64,
+    })
+}
+
+/// Runs the Monte-Carlo backend for one cell; single-threaded internally
+/// (campaign parallelism is across cells).
+fn mc_estimate(
+    mc: McSettings,
+    policy: Policy,
+    params: ModelParams,
+    seed: u64,
+) -> availsim_core::Result<(f64, f64)> {
+    let config = McConfig {
+        iterations: mc.iterations,
+        horizon_hours: mc.horizon_hours,
+        seed,
+        confidence: mc.confidence,
+        threads: 1,
+    };
+    let est = match policy {
+        Policy::Conventional => ConventionalMc::new(params)?.run(&config)?,
+        Policy::Failover => FailOverMc::new(params)?.run(&config)?,
+    };
+    Ok((est.unavailability(), est.availability.half_width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::expand;
+
+    fn markov_scenario() -> Scenario {
+        Scenario::parse(
+            "[campaign]\nname = t\nseed = 3\ncapacity = 21\n[axes]\nraid = [r1, r5-3, r5-7]\nhep = [0, 0.01]\nlambda = 1e-5\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn runs_every_cell_in_order() {
+        let plan = expand(&markov_scenario()).unwrap();
+        let out = run(&plan, &RunConfig { workers: 2 }).unwrap();
+        assert_eq!(out.cells.len(), 6);
+        for (i, c) in out.cells.iter().enumerate() {
+            assert_eq!(c.cell.index, i as u64);
+            assert!(c.unavailability > 0.0 && c.unavailability < 1.0);
+            assert!(c.mttdl_hours.unwrap() > 0.0);
+            let v = c.volume.unwrap();
+            assert!(v.unavailability >= c.unavailability);
+        }
+        assert_eq!(out.workers, 2);
+        assert_eq!(out.unavailability_stats.count(), 6);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_any_metric_bit() {
+        let plan = expand(&markov_scenario()).unwrap();
+        let one = run(&plan, &RunConfig { workers: 1 }).unwrap();
+        let many = run(&plan, &RunConfig { workers: 3 }).unwrap();
+        for (a, b) in one.cells.iter().zip(&many.cells) {
+            assert_eq!(a.unavailability.to_bits(), b.unavailability.to_bits());
+            assert_eq!(a.nines.to_bits(), b.nines.to_bits());
+            assert_eq!(
+                a.volume.unwrap().unavailability.to_bits(),
+                b.volume.unwrap().unavailability.to_bits()
+            );
+        }
+        assert_eq!(
+            one.unavailability_stats.mean().to_bits(),
+            many.unavailability_stats.mean().to_bits()
+        );
+    }
+
+    #[test]
+    fn mc_cells_are_seed_deterministic_across_workers() {
+        let s = Scenario::parse(
+            "[campaign]\nname = m\nseed = 11\nmodel = mc\n[axes]\nlambda = [1e-3, 2e-3]\nhep = [0.01, 0.05]\n[mc]\niterations = 200\nhorizon_hours = 10000\n",
+        )
+        .unwrap();
+        let plan = expand(&s).unwrap();
+        let one = run(&plan, &RunConfig { workers: 1 }).unwrap();
+        let four = run(&plan, &RunConfig { workers: 4 }).unwrap();
+        for (a, b) in one.cells.iter().zip(&four.cells) {
+            assert_eq!(a.unavailability.to_bits(), b.unavailability.to_bits());
+            assert_eq!(
+                a.ci_half_width.unwrap().to_bits(),
+                b.ci_half_width.unwrap().to_bits()
+            );
+            assert!(a.mttdl_hours.is_none());
+        }
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_cells_and_floor_of_one() {
+        let c = RunConfig { workers: 64 };
+        assert_eq!(c.effective_workers(3), 3);
+        assert_eq!(c.effective_workers(0), 1);
+        let auto = RunConfig { workers: 0 };
+        assert!(auto.effective_workers(1000) >= 1);
+        assert_eq!(RunConfig::default().workers, 0);
+    }
+
+    #[test]
+    fn failover_policy_uses_the_fig3_chain() {
+        let s = Scenario::parse(
+            "[campaign]\nname = f\n[axes]\nraid = r5-3\npolicy = [conventional, failover]\nhep = 0.01\nlambda = 1e-5\n",
+        )
+        .unwrap();
+        let out = run(&expand(&s).unwrap(), &RunConfig { workers: 1 }).unwrap();
+        // Fail-over removes the human-error exposure window, so it must be
+        // strictly more available at hep > 0 (the paper's Fig. 7).
+        assert!(out.cells[1].unavailability < out.cells[0].unavailability);
+    }
+
+    #[test]
+    fn cell_errors_name_the_cell() {
+        // RAID6 under the failover (Fig. 3) chain is invalid: ft must be 1.
+        let s = Scenario::parse(
+            "[campaign]\nname = bad\nmodel = markov-failover\n[axes]\nraid = r6-4\n",
+        )
+        .unwrap();
+        let err = run(&expand(&s).unwrap(), &RunConfig { workers: 1 }).unwrap_err();
+        assert!(err.to_string().starts_with("cell 0"), "{err}");
+    }
+}

@@ -1,0 +1,751 @@
+//! Campaign specifications and the spec-file parser.
+//!
+//! A campaign spec is a small, line-oriented text format (no external
+//! parser dependencies — the build environment is offline):
+//!
+//! ```text
+//! # Comments start with '#'; blank lines are ignored.
+//! [campaign]
+//! name = fig6-raid-comparison
+//! seed = 42
+//! model = markov-conventional        # markov-conventional | markov-failover
+//!                                    # | generic-k-of-n | mc
+//! capacity = 21                      # optional: equal-usable-capacity volume metrics
+//!
+//! [axes]                             # every `key = [..]` is a grid axis
+//! raid = [r1, r5-3, r5-7]
+//! hep = [0, 0.001, 0.01]
+//! lambda = [1e-5]                    # scalars are one-point axes: lambda = 1e-5
+//!
+//! [mc]                               # read only when model = mc
+//! iterations = 2000
+//! horizon_hours = 87600
+//! confidence = 0.99
+//! ```
+//!
+//! Recognised axes are `lambda` (disk failure rate per hour), `hep`
+//! (human error probability), `raid` (geometry labels `r1`, `r5-K`,
+//! `r6-K`), and `policy` (`conventional` | `failover`, overriding the
+//! model's default replacement discipline per cell).
+
+use crate::error::{ExpError, Result};
+use availsim_hra::Hep;
+use availsim_storage::RaidGeometry;
+use std::fmt;
+
+/// Which solver backend evaluates each cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelKind {
+    /// The paper's Fig. 2 CTMC (conventional replacement); falls back to
+    /// the generic k-of-n chain for multi-fault-tolerant geometries.
+    #[default]
+    MarkovConventional,
+    /// The paper's Fig. 3 CTMC (automatic fail-over).
+    MarkovFailover,
+    /// The generic `(failed, wrongly-removed)` chain for any geometry.
+    GenericKofN,
+    /// The Monte-Carlo reference models.
+    Mc,
+}
+
+impl ModelKind {
+    /// The spec-file spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModelKind::MarkovConventional => "markov-conventional",
+            ModelKind::MarkovFailover => "markov-failover",
+            ModelKind::GenericKofN => "generic-k-of-n",
+            ModelKind::Mc => "mc",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "markov-conventional" => Some(ModelKind::MarkovConventional),
+            "markov-failover" => Some(ModelKind::MarkovFailover),
+            "generic-k-of-n" => Some(ModelKind::GenericKofN),
+            "mc" => Some(ModelKind::Mc),
+            _ => None,
+        }
+    }
+
+    /// The replacement discipline this model implies when the spec has no
+    /// explicit `policy` axis.
+    pub fn default_policy(self) -> Policy {
+        match self {
+            ModelKind::MarkovFailover => Policy::Failover,
+            _ => Policy::Conventional,
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Disk-replacement discipline of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// Replace immediately upon failure (Fig. 2 semantics).
+    #[default]
+    Conventional,
+    /// Rebuild into a hot spare first (Fig. 3 semantics).
+    Failover,
+}
+
+impl Policy {
+    /// The spec-file spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Policy::Conventional => "conventional",
+            Policy::Failover => "failover",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "conventional" => Some(Policy::Conventional),
+            "failover" => Some(Policy::Failover),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Output metrics a campaign can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Steady-state (or estimated) unavailability.
+    Unavailability,
+    /// Availability in nines.
+    Nines,
+    /// Downtime in minutes per year.
+    Downtime,
+    /// Mean time to data loss, hours (Markov models only).
+    Mttdl,
+    /// Half-width of the availability confidence interval (MC only).
+    CiHalfWidth,
+    /// Equal-capacity volume metrics (requires `capacity`).
+    Volume,
+}
+
+impl Metric {
+    /// The spec-file spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Metric::Unavailability => "unavailability",
+            Metric::Nines => "nines",
+            Metric::Downtime => "downtime",
+            Metric::Mttdl => "mttdl",
+            Metric::CiHalfWidth => "ci-half-width",
+            Metric::Volume => "volume",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "unavailability" => Some(Metric::Unavailability),
+            "nines" => Some(Metric::Nines),
+            "downtime" => Some(Metric::Downtime),
+            "mttdl" => Some(Metric::Mttdl),
+            "ci-half-width" => Some(Metric::CiHalfWidth),
+            "volume" => Some(Metric::Volume),
+            _ => None,
+        }
+    }
+}
+
+/// Monte-Carlo settings, read from the `[mc]` section.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McSettings {
+    /// Missions per cell.
+    pub iterations: u64,
+    /// Mission time per iteration, hours.
+    pub horizon_hours: f64,
+    /// Confidence level of the availability interval.
+    pub confidence: f64,
+}
+
+impl Default for McSettings {
+    fn default() -> Self {
+        McSettings {
+            iterations: 2_000,
+            horizon_hours: 87_600.0,
+            confidence: 0.99,
+        }
+    }
+}
+
+/// A fully described experiment campaign: the model kind, the grid axes,
+/// and the reporting options. Produced by [`Scenario::parse`]; consumed by
+/// [`crate::plan::expand`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Campaign name (used for report file names).
+    pub name: String,
+    /// Campaign master seed; per-cell seeds are substreams of it.
+    pub seed: u64,
+    /// Solver backend.
+    pub model: ModelKind,
+    /// Optional equal-usable-capacity (disk units) for volume metrics.
+    pub capacity: Option<u64>,
+    /// Metrics to report; empty means "all applicable".
+    pub metrics: Vec<Metric>,
+    /// Disk failure rates λ (per hour).
+    pub lambda: Vec<f64>,
+    /// Human error probabilities.
+    pub hep: Vec<f64>,
+    /// RAID geometries.
+    pub raid: Vec<RaidGeometry>,
+    /// Replacement policies; empty means the model's default.
+    pub policy: Vec<Policy>,
+    /// Monte-Carlo settings (ignored unless `model = mc`).
+    pub mc: McSettings,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            name: "campaign".into(),
+            seed: 0,
+            model: ModelKind::MarkovConventional,
+            capacity: None,
+            metrics: Vec::new(),
+            lambda: vec![1e-6],
+            hep: vec![0.0],
+            raid: vec![RaidGeometry::raid5(3).expect("3+1 is valid")],
+            policy: Vec::new(),
+            mc: McSettings::default(),
+        }
+    }
+}
+
+/// Parses a geometry label in the CLI's syntax (`r1`, `r5-K`, `r6-K`),
+/// returning a bare message on failure — the CLI and the spec layer each
+/// add their own framing.
+///
+/// # Errors
+/// Returns the plain problem description for unknown labels or bad disk
+/// counts.
+pub fn parse_geometry_label(name: &str) -> std::result::Result<RaidGeometry, String> {
+    if name == "r1" {
+        return Ok(RaidGeometry::raid1_pair());
+    }
+    let (level, k) = name
+        .split_once('-')
+        .ok_or_else(|| format!("unknown raid `{name}` (use r1, r5-<k>, r6-<k>)"))?;
+    let k: u32 = k
+        .parse()
+        .map_err(|_| format!("bad disk count in `{name}`"))?;
+    match level {
+        "r5" => RaidGeometry::raid5(k).map_err(|e| e.to_string()),
+        "r6" => RaidGeometry::raid6(k).map_err(|e| e.to_string()),
+        _ => Err(format!("unknown raid level `{level}`")),
+    }
+}
+
+/// [`parse_geometry_label`] wrapped into the spec layer's error type.
+///
+/// # Errors
+/// Returns [`ExpError::InvalidSpec`] for unknown labels or bad disk counts.
+pub fn parse_geometry(name: &str) -> Result<RaidGeometry> {
+    parse_geometry_label(name).map_err(ExpError::InvalidSpec)
+}
+
+/// One parsed `key = value` line, with the raw value split into list items.
+struct Entry {
+    line: usize,
+    key: String,
+    items: Vec<String>,
+    is_list: bool,
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> ExpError {
+    ExpError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Splits a raw value into items: `[a, b, c]` becomes three items, a bare
+/// scalar becomes one.
+fn split_value(line: usize, raw: &str) -> Result<(Vec<String>, bool)> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(parse_err(line, "empty value"));
+    }
+    if let Some(inner) = raw.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| parse_err(line, "unterminated list (missing `]`)"))?;
+        let mut items: Vec<&str> = inner.split(',').map(str::trim).collect();
+        // Tolerate exactly one trailing comma: `[a, b,]`.
+        if items.len() > 1 && items.last().is_some_and(|s| s.is_empty()) {
+            items.pop();
+        }
+        if items.len() == 1 && items[0].is_empty() {
+            return Err(parse_err(line, "empty list"));
+        }
+        // An interior empty item is a typo (a value deleted mid-edit), not
+        // something to silently shrink the grid over.
+        if items.iter().any(|s| s.is_empty()) {
+            return Err(parse_err(
+                line,
+                "empty list item (doubled, leading, or repeated trailing comma)",
+            ));
+        }
+        Ok((items.into_iter().map(String::from).collect(), true))
+    } else if raw.contains(']') {
+        Err(parse_err(line, "unexpected `]` outside a list"))
+    } else {
+        Ok((vec![raw.to_string()], false))
+    }
+}
+
+fn parse_f64(line: usize, key: &str, s: &str) -> Result<f64> {
+    s.parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| parse_err(line, format!("`{key}` expects a finite number, got `{s}`")))
+}
+
+fn parse_u64(line: usize, key: &str, s: &str) -> Result<u64> {
+    s.parse::<u64>().map_err(|_| {
+        parse_err(
+            line,
+            format!("`{key}` expects an unsigned integer, got `{s}`"),
+        )
+    })
+}
+
+fn scalar(e: &Entry) -> Result<&str> {
+    if e.is_list || e.items.len() != 1 {
+        return Err(parse_err(
+            e.line,
+            format!("`{}` expects a single value, not a list", e.key),
+        ));
+    }
+    Ok(&e.items[0])
+}
+
+impl Scenario {
+    /// Parses a spec file's contents.
+    ///
+    /// # Errors
+    /// Returns [`ExpError::Parse`] with a 1-based line number for syntax
+    /// errors, unknown sections/keys, or out-of-range values, and
+    /// [`ExpError::InvalidSpec`] for semantic problems (e.g. a `capacity`
+    /// that no geometry tiles).
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut section: Option<String> = None;
+        let mut entries: Vec<(String, Entry)> = Vec::new();
+        let mut saw_campaign = false;
+
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line = idx + 1;
+            let content = match raw_line.split_once('#') {
+                Some((before, _)) => before,
+                None => raw_line,
+            }
+            .trim();
+            if content.is_empty() {
+                continue;
+            }
+            if let Some(name) = content.strip_prefix('[') {
+                let name = name
+                    .strip_suffix(']')
+                    .ok_or_else(|| parse_err(line, "unterminated section header"))?
+                    .trim()
+                    .to_ascii_lowercase();
+                match name.as_str() {
+                    "campaign" | "axes" | "mc" => {
+                        saw_campaign |= name == "campaign";
+                        section = Some(name);
+                    }
+                    other => {
+                        return Err(parse_err(
+                            line,
+                            format!("unknown section `[{other}]` (use [campaign], [axes], [mc])"),
+                        ))
+                    }
+                }
+                continue;
+            }
+            let (key, value) = content.split_once('=').ok_or_else(|| {
+                parse_err(line, format!("expected `key = value`, got `{content}`"))
+            })?;
+            let key = key.trim().to_ascii_lowercase();
+            if key.is_empty() {
+                return Err(parse_err(line, "missing key before `=`"));
+            }
+            let sec = section
+                .clone()
+                .ok_or_else(|| parse_err(line, "`key = value` before any [section] header"))?;
+            let (items, is_list) = split_value(line, value)?;
+            if entries.iter().any(|(s, e)| *s == sec && e.key == key) {
+                return Err(parse_err(line, format!("duplicate key `{key}` in [{sec}]")));
+            }
+            entries.push((
+                sec,
+                Entry {
+                    line,
+                    key,
+                    items,
+                    is_list,
+                },
+            ));
+        }
+
+        if !saw_campaign {
+            return Err(parse_err(0, "missing [campaign] section"));
+        }
+
+        let mut scenario = Scenario::default();
+
+        for (sec, e) in &entries {
+            match (sec.as_str(), e.key.as_str()) {
+                ("campaign", "name") => {
+                    scenario.name = scalar(e)?.to_string();
+                    if !scenario
+                        .name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+                    {
+                        return Err(parse_err(
+                            e.line,
+                            "campaign name may only contain [A-Za-z0-9._-]",
+                        ));
+                    }
+                }
+                ("campaign", "seed") => scenario.seed = parse_u64(e.line, "seed", scalar(e)?)?,
+                ("campaign", "model") => {
+                    let s = scalar(e)?;
+                    scenario.model = ModelKind::parse(s).ok_or_else(|| {
+                        parse_err(
+                            e.line,
+                            format!(
+                                "unknown model `{s}` (use markov-conventional, markov-failover, \
+                                 generic-k-of-n, mc)"
+                            ),
+                        )
+                    })?;
+                }
+                ("campaign", "capacity") => {
+                    scenario.capacity = Some(parse_u64(e.line, "capacity", scalar(e)?)?);
+                }
+                ("campaign", "metrics") => {
+                    scenario.metrics = e
+                        .items
+                        .iter()
+                        .map(|s| {
+                            Metric::parse(s)
+                                .ok_or_else(|| parse_err(e.line, format!("unknown metric `{s}`")))
+                        })
+                        .collect::<Result<_>>()?;
+                }
+                ("axes", "lambda") => {
+                    scenario.lambda = e
+                        .items
+                        .iter()
+                        .map(|s| parse_f64(e.line, "lambda", s))
+                        .collect::<Result<_>>()?;
+                }
+                ("axes", "hep") => {
+                    scenario.hep = e
+                        .items
+                        .iter()
+                        .map(|s| parse_f64(e.line, "hep", s))
+                        .collect::<Result<_>>()?;
+                }
+                ("axes", "raid") => {
+                    scenario.raid = e
+                        .items
+                        .iter()
+                        .map(|s| parse_geometry(s))
+                        .collect::<Result<_>>()?;
+                }
+                ("axes", "policy") => {
+                    scenario.policy = e
+                        .items
+                        .iter()
+                        .map(|s| {
+                            Policy::parse(s).ok_or_else(|| {
+                                parse_err(
+                                    e.line,
+                                    format!("unknown policy `{s}` (use conventional, failover)"),
+                                )
+                            })
+                        })
+                        .collect::<Result<_>>()?;
+                }
+                ("mc", "iterations") => {
+                    scenario.mc.iterations = parse_u64(e.line, "iterations", scalar(e)?)?;
+                }
+                ("mc", "horizon_hours") => {
+                    scenario.mc.horizon_hours = parse_f64(e.line, "horizon_hours", scalar(e)?)?;
+                }
+                ("mc", "confidence") => {
+                    scenario.mc.confidence = parse_f64(e.line, "confidence", scalar(e)?)?;
+                }
+                (sec, key) => {
+                    return Err(parse_err(e.line, format!("unknown key `{key}` in [{sec}]")));
+                }
+            }
+        }
+
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Semantic validation of a (parsed or hand-built) scenario.
+    ///
+    /// # Errors
+    /// Returns [`ExpError::InvalidSpec`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(ExpError::InvalidSpec("campaign name is empty".into()));
+        }
+        if self.lambda.is_empty() || self.hep.is_empty() || self.raid.is_empty() {
+            return Err(ExpError::InvalidSpec(
+                "every axis needs at least one value".into(),
+            ));
+        }
+        for &l in &self.lambda {
+            if !(l.is_finite() && l > 0.0) {
+                return Err(ExpError::InvalidSpec(format!(
+                    "lambda values must be positive, got {l}"
+                )));
+            }
+        }
+        for &h in &self.hep {
+            // Hep::new enforces [0, 1]; the repairable chains additionally
+            // need hep < 1, which the models report at run time.
+            Hep::new(h)?;
+        }
+        if let Some(cap) = self.capacity {
+            for g in &self.raid {
+                g.arrays_for_usable_capacity(cap)?;
+            }
+        }
+        // An explicitly requested metric the run can never fill would
+        // produce an all-blank report column; reject it up front.
+        for &m in &self.metrics {
+            match m {
+                Metric::Volume if self.capacity.is_none() => {
+                    return Err(ExpError::InvalidSpec(
+                        "metric `volume` requires `capacity` to be set".into(),
+                    ));
+                }
+                Metric::Mttdl if self.model == ModelKind::Mc => {
+                    return Err(ExpError::InvalidSpec(
+                        "metric `mttdl` is not produced by the mc model".into(),
+                    ));
+                }
+                Metric::CiHalfWidth if self.model != ModelKind::Mc => {
+                    return Err(ExpError::InvalidSpec(
+                        "metric `ci-half-width` requires `model = mc`".into(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if self.model == ModelKind::Mc && self.mc.iterations < 2 {
+            return Err(ExpError::InvalidSpec(
+                "mc iterations must be at least 2".into(),
+            ));
+        }
+        if self.model == ModelKind::Mc
+            && !(self.mc.horizon_hours.is_finite() && self.mc.horizon_hours > 0.0)
+        {
+            return Err(ExpError::InvalidSpec(format!(
+                "mc horizon_hours must be positive, got {}",
+                self.mc.horizon_hours
+            )));
+        }
+        if self.model == ModelKind::Mc && !(self.mc.confidence > 0.0 && self.mc.confidence < 1.0) {
+            return Err(ExpError::InvalidSpec(format!(
+                "mc confidence must be in (0,1), got {}",
+                self.mc.confidence
+            )));
+        }
+        Ok(())
+    }
+
+    /// The policies the grid will iterate over: the explicit `policy` axis,
+    /// or the model's default as a one-point axis.
+    pub fn effective_policies(&self) -> Vec<Policy> {
+        if self.policy.is_empty() {
+            vec![self.model.default_policy()]
+        } else {
+            self.policy.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "\
+# demo campaign
+[campaign]
+name = demo
+seed = 9
+model = markov-conventional
+capacity = 21
+
+[axes]
+raid = [r1, r5-3, r5-7]
+hep = [0, 0.001, 0.01]   # three heps
+lambda = 1e-5
+";
+
+    #[test]
+    fn parses_a_full_spec() {
+        let s = Scenario::parse(SPEC).unwrap();
+        assert_eq!(s.name, "demo");
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.model, ModelKind::MarkovConventional);
+        assert_eq!(s.capacity, Some(21));
+        assert_eq!(s.raid.len(), 3);
+        assert_eq!(s.hep, vec![0.0, 0.001, 0.01]);
+        assert_eq!(s.lambda, vec![1e-5]);
+        assert_eq!(s.effective_policies(), vec![Policy::Conventional]);
+    }
+
+    #[test]
+    fn scalar_axis_is_a_one_point_axis() {
+        let s = Scenario::parse("[campaign]\nname = x\n[axes]\nlambda = 2e-6\n").unwrap();
+        assert_eq!(s.lambda, vec![2e-6]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let s = Scenario::parse("# top\n\n[campaign]\n  name = c1  # trailing\n\n").unwrap();
+        assert_eq!(s.name, "c1");
+    }
+
+    #[test]
+    fn missing_campaign_section_is_an_error() {
+        let e = Scenario::parse("[axes]\nlambda = 1e-6\n").unwrap_err();
+        assert!(e.to_string().contains("[campaign]"), "{e}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = Scenario::parse("[campaign]\nname = x\nbogus_key = 1\n").unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+
+        let e = Scenario::parse("[campaign]\nname = x\nseed = abc\n").unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+
+        let e = Scenario::parse("[campaign]\nname = x\n[axes]\nhep = [0.1, oops]\n").unwrap_err();
+        assert!(e.to_string().contains("line 4"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let e = Scenario::parse("[campaign]\nname = a\nname = b\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate key"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_list_is_rejected() {
+        let e = Scenario::parse("[campaign]\nname = x\n[axes]\nhep = [0, 0.1\n").unwrap_err();
+        assert!(e.to_string().contains("unterminated list"), "{e}");
+    }
+
+    #[test]
+    fn interior_empty_list_items_are_rejected_not_dropped() {
+        // A value deleted mid-edit must not silently shrink the grid.
+        for bad in [
+            "hep = [0, , 0.01]",
+            "hep = [, 0.01]",
+            "hep = [0, 0.01,,]",
+            "hep = []",
+        ] {
+            let spec = format!("[campaign]\nname = x\n[axes]\n{bad}\n");
+            let e = Scenario::parse(&spec).unwrap_err();
+            assert!(e.to_string().contains("empty list"), "{bad}: {e}");
+        }
+        // One trailing comma is fine and keeps the full axis.
+        let s = Scenario::parse("[campaign]\nname = x\n[axes]\nhep = [0, 0.01,]\n").unwrap();
+        assert_eq!(s.hep, vec![0.0, 0.01]);
+    }
+
+    #[test]
+    fn unknown_section_model_policy_metric_are_rejected() {
+        assert!(Scenario::parse("[wat]\nx = 1\n").is_err());
+        assert!(Scenario::parse("[campaign]\nname = x\nmodel = quantum\n").is_err());
+        assert!(Scenario::parse("[campaign]\nname = x\n[axes]\npolicy = [magic]\n").is_err());
+        assert!(Scenario::parse("[campaign]\nname = x\nmetrics = [vibes]\n").is_err());
+    }
+
+    #[test]
+    fn semantic_validation_catches_bad_values() {
+        assert!(Scenario::parse("[campaign]\nname = x\n[axes]\nlambda = -1e-6\n").is_err());
+        assert!(Scenario::parse("[campaign]\nname = x\n[axes]\nhep = 1.5\n").is_err());
+        // Capacity 10 tiles no default geometry (r5-3 usable = 3).
+        assert!(Scenario::parse("[campaign]\nname = x\ncapacity = 10\n").is_err());
+        // Name with a path separator is rejected (it becomes a file name).
+        assert!(Scenario::parse("[campaign]\nname = ../evil\n").is_err());
+    }
+
+    #[test]
+    fn geometry_labels_parse_like_the_cli() {
+        assert_eq!(parse_geometry("r1").unwrap().total_disks(), 2);
+        assert_eq!(parse_geometry("r5-3").unwrap().label(), "RAID5(3+1)");
+        assert_eq!(parse_geometry("r6-6").unwrap().label(), "RAID6(6+2)");
+        assert!(parse_geometry("r9-3").is_err());
+        assert!(parse_geometry("r5-x").is_err());
+        assert!(parse_geometry("raid5").is_err());
+    }
+
+    #[test]
+    fn inapplicable_metrics_are_rejected_up_front() {
+        // volume without capacity, mttdl under mc, ci-half-width under markov:
+        // each would yield an all-blank column, so each is a spec error.
+        let e = Scenario::parse("[campaign]\nname = x\nmetrics = [volume]\n").unwrap_err();
+        assert!(e.to_string().contains("requires `capacity`"), "{e}");
+        let e =
+            Scenario::parse("[campaign]\nname = x\nmodel = mc\nmetrics = [mttdl]\n").unwrap_err();
+        assert!(e.to_string().contains("not produced by the mc"), "{e}");
+        let e = Scenario::parse("[campaign]\nname = x\nmetrics = [ci-half-width]\n").unwrap_err();
+        assert!(e.to_string().contains("requires `model = mc`"), "{e}");
+        // The same metrics are fine when applicable.
+        assert!(
+            Scenario::parse("[campaign]\nname = x\ncapacity = 3\nmetrics = [volume]\n").is_ok()
+        );
+        assert!(
+            Scenario::parse("[campaign]\nname = x\nmodel = mc\nmetrics = [ci-half-width]\n")
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn mc_section_round_trips() {
+        let s = Scenario::parse(
+            "[campaign]\nname = m\nmodel = mc\n[mc]\niterations = 500\nhorizon_hours = 1000\nconfidence = 0.9\n",
+        )
+        .unwrap();
+        assert_eq!(s.mc.iterations, 500);
+        assert_eq!(s.mc.horizon_hours, 1000.0);
+        assert_eq!(s.mc.confidence, 0.9);
+        assert!(
+            Scenario::parse("[campaign]\nname = m\nmodel = mc\n[mc]\niterations = 1\n").is_err()
+        );
+    }
+
+    #[test]
+    fn failover_model_defaults_to_failover_policy() {
+        let s = Scenario::parse("[campaign]\nname = f\nmodel = markov-failover\n").unwrap();
+        assert_eq!(s.effective_policies(), vec![Policy::Failover]);
+    }
+}

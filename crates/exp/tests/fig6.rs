@@ -1,0 +1,66 @@
+//! Acceptance test: the Fig. 6 RAID-comparison campaign reproduces
+//! `availsim_core::volume::compare_equal_capacity` exactly (within 1e-12).
+
+use availsim_core::volume::{compare_equal_capacity, FIG6_USABLE_CAPACITY};
+use availsim_exp::plan::expand;
+use availsim_exp::run::{run, RunConfig};
+use availsim_exp::spec::Scenario;
+use availsim_hra::Hep;
+
+/// Loads the spec file the repository actually ships.
+fn fig6_spec() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/specs/fig6_raid.campaign"
+    );
+    std::fs::read_to_string(path).expect("examples/specs/fig6_raid.campaign exists")
+}
+
+#[test]
+fn fig6_campaign_matches_compare_equal_capacity() {
+    let scenario = Scenario::parse(&fig6_spec()).unwrap();
+    let plan = expand(&scenario).unwrap();
+    assert_eq!(plan.len(), 9);
+    let result = run(&plan, &RunConfig { workers: 0 }).unwrap();
+
+    // Canonical cell order: raid (outer) x hep (inner); geometry i at hep j
+    // is cell 3*i + j.
+    let heps = [0.0, 0.001, 0.01];
+    for (j, &h) in heps.iter().enumerate() {
+        let reference =
+            compare_equal_capacity(FIG6_USABLE_CAPACITY, 1e-5, Hep::new(h).unwrap()).unwrap();
+        for (i, row) in reference.iter().enumerate() {
+            let cell = &result.cells[3 * i + j];
+            assert_eq!(cell.cell.raid.label(), row.label, "geometry order");
+            let volume = cell.volume.expect("capacity set -> volume metrics");
+            assert_eq!(volume.arrays, row.arrays);
+            assert_eq!(volume.total_disks, row.total_disks);
+            assert!(
+                (cell.unavailability - row.per_array_unavailability).abs() < 1e-12,
+                "per-array U mismatch at {} hep={h}: {} vs {}",
+                row.label,
+                cell.unavailability,
+                row.per_array_unavailability
+            );
+            assert!(
+                (volume.unavailability - row.volume_unavailability).abs() < 1e-12,
+                "volume U mismatch at {} hep={h}: {} vs {}",
+                row.label,
+                volume.unavailability,
+                row.volume_unavailability
+            );
+            assert!((volume.nines - row.nines()).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn fig6_campaign_reproduces_the_ranking_inversion() {
+    let scenario = Scenario::parse(&fig6_spec()).unwrap();
+    let result = run(&expand(&scenario).unwrap(), &RunConfig::default()).unwrap();
+    let vol_nines = |i: usize| result.cells[i].volume.unwrap().nines;
+    // hep = 0: RAID1 (cell 0) beats RAID5(7+1) (cell 6).
+    assert!(vol_nines(0) > vol_nines(6));
+    // hep = 0.01: the ranking inverts (cells 2 and 8).
+    assert!(vol_nines(8) > vol_nines(2));
+}

@@ -160,8 +160,8 @@ mod tests {
     #[test]
     fn shape_one_is_exponential() {
         let g = Gamma::new(1.0, 0.5).unwrap();
-        for &x in &[0.5, 2.0, 10.0] {
-            let expect = 1.0 - (-0.5 * x as f64).exp();
+        for &x in &[0.5f64, 2.0, 10.0] {
+            let expect = 1.0 - (-0.5 * x).exp();
             assert!((g.cdf(x) - expect).abs() < 1e-12);
         }
     }

@@ -102,7 +102,7 @@ impl<E> EventQueue<E> {
     /// # Errors
     /// Returns [`SimError::InvalidConfig`] for negative or NaN delays.
     pub fn schedule(&mut self, delay: f64, event: E) -> Result<EventHandle> {
-        if !(delay >= 0.0) || !delay.is_finite() {
+        if delay < 0.0 || !delay.is_finite() {
             return Err(SimError::InvalidConfig(format!(
                 "invalid event delay {delay}"
             )));
@@ -116,7 +116,7 @@ impl<E> EventQueue<E> {
     /// # Errors
     /// Returns [`SimError::InvalidConfig`] for times before `now` or NaN.
     pub fn schedule_at(&mut self, time: f64, event: E) -> Result<EventHandle> {
-        if !(time >= self.now) || !time.is_finite() {
+        if time < self.now || !time.is_finite() {
             return Err(SimError::InvalidConfig(format!(
                 "event time {time} is before current time {}",
                 self.now

@@ -43,6 +43,7 @@
 pub mod distributions;
 pub mod engine;
 mod error;
+pub mod parallel;
 pub mod rare_event;
 pub mod rng;
 pub mod stats;

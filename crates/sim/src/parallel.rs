@@ -1,0 +1,137 @@
+//! Deterministic ordered parallel mapping.
+//!
+//! The workspace's two parallel runners (the Monte-Carlo iteration scheduler
+//! in `availsim-core` and the campaign batch runner in `availsim-exp`) share
+//! one concurrency shape: N scoped workers claim item indices from a shared
+//! atomic cursor, and results are reassembled **in index order** before any
+//! aggregation — so which thread computed what never changes a result bit.
+//! This module is that shape, written once.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Resolves a requested worker count: an explicit count is used as-is;
+/// `0` (auto) becomes the machine's [`std::thread::available_parallelism`]
+/// (1 if unknown). The single source of the auto-parallelism policy for
+/// every [`ordered_parallel_map`] caller.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Maps `f` over `0..items` on `workers` scoped threads, returning the
+/// results sorted by item index.
+///
+/// Work is claimed dynamically (shared cursor), so load balances across
+/// uneven items; the output order — and therefore any order-sensitive
+/// floating-point reduction performed over it — is independent of the
+/// worker count. `workers` is clamped to `[1, items]`.
+///
+/// `abort_after` is consulted on each produced value; when it returns
+/// `true`, workers stop claiming *new* items (already claimed items still
+/// finish and are returned). Use it to cut a batch short on the first
+/// error. On abort the result can be shorter than `items`; without abort it
+/// is always complete.
+pub fn ordered_parallel_map<T, F, A>(
+    items: u64,
+    workers: usize,
+    f: F,
+    abort_after: A,
+) -> Vec<(u64, T)>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+    A: Fn(&T) -> bool + Sync,
+{
+    let workers = workers.clamp(1, usize::try_from(items).unwrap_or(usize::MAX).max(1));
+    let cursor = AtomicU64::new(0);
+    let aborted = AtomicBool::new(false);
+    let mut results: Vec<(u64, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (cursor, aborted, f, abort_after) = (&cursor, &aborted, &f, &abort_after);
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        if aborted.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items {
+                            break;
+                        }
+                        let value = f(i);
+                        if abort_after(&value) {
+                            aborted.store(true, Ordering::Relaxed);
+                        }
+                        local.push((i, value));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    });
+    results.sort_by_key(|(i, _)| *i);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_workers_passes_explicit_and_floors_auto_at_one() {
+        assert_eq!(resolve_workers(3), 3);
+        assert!(resolve_workers(0) >= 1);
+    }
+
+    #[test]
+    fn covers_every_item_exactly_once_in_order() {
+        for workers in [1, 2, 7, 64] {
+            let out = ordered_parallel_map(100, workers, |i| i * 3, |_| false);
+            assert_eq!(out.len(), 100);
+            for (k, (i, v)) in out.iter().enumerate() {
+                assert_eq!(*i, k as u64);
+                assert_eq!(*v, k as u64 * 3);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_items_returns_empty() {
+        let out = ordered_parallel_map(0, 4, |i| i, |_| false);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn result_is_worker_count_invariant_for_float_reductions() {
+        let reduce = |workers| {
+            let out = ordered_parallel_map(1000, workers, |i| 1.0 / (i as f64 + 1.0), |_| false);
+            out.iter().map(|(_, v)| *v).sum::<f64>().to_bits()
+        };
+        assert_eq!(reduce(1), reduce(5));
+    }
+
+    #[test]
+    fn abort_stops_claiming_new_items() {
+        let out = ordered_parallel_map(1_000_000, 2, |i| i, |&v| v == 10);
+        // Item 10 was produced; far fewer than a million items ran.
+        assert!(out.iter().any(|&(i, _)| i == 10));
+        assert!(out.len() < 1_000_000);
+    }
+
+    #[test]
+    fn without_abort_partial_results_never_happen() {
+        let out = ordered_parallel_map(257, 8, |i| i % 7, |_| false);
+        assert_eq!(out.len(), 257);
+    }
+}

@@ -287,7 +287,7 @@ mod tests {
         // P(1, x) = 1 - e^{-x}
         for &x in &[0.01, 0.5, 1.0, 3.0, 10.0] {
             let p = reg_gamma_lower(1.0, x).unwrap();
-            let expect = 1.0 - (-x as f64).exp();
+            let expect = 1.0 - (-x).exp();
             assert!((p - expect).abs() < 1e-13, "x={x}: {p} vs {expect}");
         }
     }
@@ -297,7 +297,7 @@ mod tests {
         // P(2, x) = 1 - e^{-x}(1 + x)
         for &x in &[0.1, 1.0, 2.5, 8.0] {
             let p = reg_gamma_lower(2.0, x).unwrap();
-            let expect = 1.0 - (-x as f64).exp() * (1.0 + x);
+            let expect = 1.0 - (-x).exp() * (1.0 + x);
             assert!((p - expect).abs() < 1e-12, "x={x}");
         }
     }

@@ -13,6 +13,7 @@
 //! | [`storage`] | `availsim-storage` | RAID geometry, array state machine, failure models, traces, volumes, fleet arithmetic |
 //! | [`hra`] | `availsim-hra` | Human reliability: hep, published bands, HEART, THERP, recovery dynamics |
 //! | [`core`] | `availsim-core` | The paper's models and analyses (Markov + MC, Figs. 4–7, headline tables) |
+//! | [`exp`] | `availsim-exp` | Experiment campaigns: spec files, grid planning, the parallel deterministic batch runner, reports |
 //!
 //! # Quickstart
 //!
@@ -34,6 +35,7 @@
 
 pub use availsim_core as core;
 pub use availsim_ctmc as ctmc;
+pub use availsim_exp as exp;
 pub use availsim_hra as hra;
 pub use availsim_sim as sim;
 pub use availsim_storage as storage;

@@ -5,32 +5,90 @@
 //! availsim sweep    --hep 0.01 [--from 5e-7] [--to 5.5e-6] [--points 11]
 //! availsim compare  [--lambda 1e-5] [--capacity 21]
 //! availsim validate [--lambda 1e-3] [--hep 0.01] [--iterations 4000]
+//! availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run]
 //! ```
 
 use availsim::core::markov::{GenericKofN, Raid5Conventional, Raid5FailOver};
 use availsim::core::mc::{ConventionalMc, McConfig};
 use availsim::core::volume::compare_equal_capacity;
 use availsim::core::{nines, ModelParams};
+use availsim::exp::{plan, report, run, spec::Scenario};
 use availsim::hra::Hep;
 use availsim::storage::RaidGeometry;
 use std::collections::HashMap;
 use std::error::Error;
+use std::path::Path;
 use std::process::ExitCode;
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Flags that take no value; their presence means `true`.
+const BOOLEAN_FLAGS: &[&str] = &["dry-run"];
+
+/// Parsed command line: `--key value` / `--key=value` flags plus bare
+/// positional arguments (only the `batch` subcommand accepts one).
+struct ParsedArgs {
+    flags: HashMap<String, String>,
+    positionals: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
     let mut flags = HashMap::new();
+    let mut positionals = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        let key = args[i]
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
-        i += 2;
+        let Some(rest) = args[i].strip_prefix("--") else {
+            positionals.push(args[i].clone());
+            i += 1;
+            continue;
+        };
+        let (key, value) = if let Some((key, value)) = rest.split_once('=') {
+            if key.is_empty() {
+                return Err(format!("missing flag name in `{}`", args[i]));
+            }
+            (key.to_string(), value.to_string())
+        } else if BOOLEAN_FLAGS.contains(&rest) {
+            (rest.to_string(), "true".to_string())
+        } else {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or_else(|| format!("--{rest} needs a value"))?;
+            i += 1;
+            (rest.to_string(), value.clone())
+        };
+        if flags.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate flag --{key}"));
+        }
+        i += 1;
     }
-    Ok(flags)
+    Ok(ParsedArgs { flags, positionals })
+}
+
+/// Rejects flags a subcommand does not understand, so typos fail loudly
+/// instead of silently falling back to defaults.
+fn check_known(flags: &HashMap<String, String>, known: &[&str]) -> Result<(), String> {
+    let mut unknown: Vec<&str> = flags
+        .keys()
+        .filter(|k| !known.contains(&k.as_str()))
+        .map(String::as_str)
+        .collect();
+    unknown.sort_unstable();
+    match unknown.first() {
+        Some(k) => Err(format!("unknown flag --{k}")),
+        None => Ok(()),
+    }
+}
+
+/// Most subcommands take flags only; reject stray positionals with the
+/// pre-existing error shape, and unknown flags with a clear error.
+fn flags_only<'a>(
+    parsed: &'a ParsedArgs,
+    known: &[&str],
+) -> Result<&'a HashMap<String, String>, String> {
+    if let Some(p) = parsed.positionals.first() {
+        return Err(format!("expected --flag, got `{p}`"));
+    }
+    check_known(&parsed.flags, known)?;
+    Ok(&parsed.flags)
 }
 
 fn flag<T: std::str::FromStr>(
@@ -46,23 +104,10 @@ fn flag<T: std::str::FromStr>(
     }
 }
 
+/// The CLI's geometry grammar is the campaign spec's grammar (`r1`,
+/// `r5-K`, `r6-K`) — one parser, shared with the exp subsystem.
 fn geometry(name: &str) -> Result<RaidGeometry, String> {
-    match name {
-        "r1" => Ok(RaidGeometry::raid1_pair()),
-        other => {
-            let (level, k) = other
-                .split_once('-')
-                .ok_or_else(|| format!("unknown raid `{other}` (use r1, r5-<k>, r6-<k>)"))?;
-            let k: u32 = k
-                .parse()
-                .map_err(|_| format!("bad disk count in `{other}`"))?;
-            match level {
-                "r5" => RaidGeometry::raid5(k).map_err(|e| e.to_string()),
-                "r6" => RaidGeometry::raid6(k).map_err(|e| e.to_string()),
-                _ => Err(format!("unknown raid level `{level}`")),
-            }
-        }
-    }
+    availsim::exp::spec::parse_geometry_label(name)
 }
 
 fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
@@ -187,6 +232,52 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+fn cmd_batch(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    let spec_path = parsed
+        .positionals
+        .first()
+        .ok_or("batch needs a spec file: availsim batch <spec-file>")?;
+    if let Some(extra) = parsed.positionals.get(1) {
+        return Err(format!("unexpected extra argument `{extra}`").into());
+    }
+    let flags = &parsed.flags;
+    check_known(flags, &["workers", "out-dir", "dry-run"])?;
+    let workers: usize = flag(flags, "workers", 0)?;
+    let dry_run: bool = flag(flags, "dry-run", false)?;
+    let out_dir: String = flag(flags, "out-dir", String::new())?;
+
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read `{spec_path}`: {e}"))?;
+    let scenario = Scenario::parse(&text)?;
+    let plan = plan::expand(&scenario)?;
+
+    if dry_run {
+        print!("{}", plan.describe());
+        return Ok(());
+    }
+
+    let result = run::run(&plan, &run::RunConfig { workers })?;
+    print!("{}", report::summary(&result));
+    let csv = report::to_csv(&result);
+    let json = report::to_json(&result);
+    if out_dir.is_empty() {
+        println!("\n--- csv ---");
+        print!("{csv}");
+        println!("--- json ---");
+        print!("{json}");
+    } else {
+        let dir = Path::new(&out_dir);
+        std::fs::create_dir_all(dir)?;
+        let csv_path = dir.join(format!("{}.csv", scenario.name));
+        let json_path = dir.join(format!("{}.json", scenario.name));
+        std::fs::write(&csv_path, csv)?;
+        std::fs::write(&json_path, json)?;
+        println!("\nwrote {}", csv_path.display());
+        println!("wrote {}", json_path.display());
+    }
+    Ok(())
+}
+
 fn usage() -> &'static str {
     "availsim — human-error-aware storage availability (DATE'17 reproduction)
 
@@ -195,6 +286,10 @@ USAGE:
   availsim sweep    [--hep F] [--from F] [--to F] [--points N]
   availsim compare  [--lambda F] [--capacity N]
   availsim validate [--lambda F] [--hep F] [--iterations N] [--seed N]
+  availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run]
+
+Flags accept both `--flag value` and `--flag=value`; duplicates are errors.
+`batch` runs an experiment campaign from a spec file (see examples/specs/).
 "
 }
 
@@ -204,7 +299,7 @@ fn main() -> ExitCode {
         eprint!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let flags = match parse_flags(&args[1..]) {
+    let parsed = match parse_flags(&args[1..]) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", usage());
@@ -212,10 +307,19 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd.as_str() {
-        "solve" => cmd_solve(&flags),
-        "sweep" => cmd_sweep(&flags),
-        "compare" => cmd_compare(&flags),
-        "validate" => cmd_validate(&flags),
+        "solve" => flags_only(&parsed, &["lambda", "hep", "raid", "policy"])
+            .map_err(Into::into)
+            .and_then(cmd_solve),
+        "sweep" => flags_only(&parsed, &["hep", "from", "to", "points"])
+            .map_err(Into::into)
+            .and_then(cmd_sweep),
+        "compare" => flags_only(&parsed, &["lambda", "capacity"])
+            .map_err(Into::into)
+            .and_then(cmd_compare),
+        "validate" => flags_only(&parsed, &["lambda", "hep", "iterations", "seed"])
+            .map_err(Into::into)
+            .and_then(cmd_validate),
+        "batch" => cmd_batch(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())

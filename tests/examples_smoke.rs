@@ -33,6 +33,18 @@ fn quickstart_reproduces_the_headline_table() {
 }
 
 #[test]
+fn campaign_example_expands_runs_and_verifies_determinism() {
+    let stdout = run_example("campaign");
+    assert!(stdout.contains("campaign hep-lambda-surface"), "{stdout}");
+    assert!(stdout.contains("cells    : 12"), "{stdout}");
+    assert!(stdout.contains("CSV:"), "{stdout}");
+    assert!(
+        stdout.contains("byte-identical to 1 worker"),
+        "determinism check missing:\n{stdout}"
+    );
+}
+
+#[test]
 fn hra_calculator_walks_heart_and_therp() {
     let stdout = run_example("hra_calculator");
     assert!(stdout.contains("published hep bands"), "{stdout}");
