@@ -1,33 +1,189 @@
-//! Performance of the Monte-Carlo engines: missions per second for both
-//! policies, single- and multi-threaded batch throughput.
+//! Performance of the Monte-Carlo engines: missions per second for the
+//! jump-chain fast path vs the general event-queue engine, on the paper's
+//! RAID5(3+1) Fig. 4 workload.
+//!
+//! Before the Criterion timings, the bench measures batch throughput
+//! (`mc.run`, threads = 1) for both models × both engines, prints the
+//! comparison, and writes the machine-readable `BENCH_3.json` snapshot to
+//! the workspace root (`$AVAILSIM_BENCH_OUT` overrides the directory) so
+//! the missions/sec trajectory can be tracked across PRs. Mission volume
+//! scales with `AVAILSIM_BENCH_SCALE` — the checked-in snapshot is taken at
+//! scale 1.
 
-use availsim_bench::raid5_params;
-use availsim_core::mc::{ConventionalMc, FailOverMc, McConfig};
+use availsim_bench::{
+    bench_scale, bench_snapshot_path, mc_iterations, raid5_params, render_mc_throughput_json,
+    McThroughput,
+};
+use availsim_core::mc::{ConventionalMc, FailOverMc, McConfig, McEngine, SimWorkspace};
 use availsim_sim::rng::SimRng;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The Fig. 4 operating point used for all throughput numbers: RAID5(3+1),
+/// λ in the middle of the paper's grid, hep = 0.01, ten-year missions.
+const LAMBDA: f64 = 3e-6;
+const HEP: f64 = 0.01;
+const HORIZON_HOURS: f64 = 87_600.0;
+
+fn throughput_config(iterations: u64) -> McConfig {
+    McConfig {
+        iterations,
+        horizon_hours: HORIZON_HOURS,
+        seed: 1734,
+        confidence: 0.99,
+        threads: 1,
+    }
+}
+
+/// Times one engine over a full batch run and returns the record.
+fn measure(name: &str, run: impl Fn() -> f64, iterations: u64) -> McThroughput {
+    let started = Instant::now();
+    let avail = run();
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "  {name:<28} {iterations:>9} missions  {:>12.0} missions/s  (A = {avail:.8})",
+        iterations as f64 / elapsed.max(1e-12)
+    );
+    McThroughput {
+        name: name.to_string(),
+        missions: iterations,
+        threads: 1,
+        elapsed_secs: elapsed,
+    }
+}
+
+/// Measures missions/sec for both engines of both models and writes the
+/// `BENCH_3.json` snapshot.
+fn throughput_snapshot() {
+    let params = raid5_params(LAMBDA, HEP);
+    let iterations = mc_iterations(300_000);
+    let cfg = throughput_config(iterations);
+    let warm = throughput_config((iterations / 10).max(2));
+    println!(
+        "perf_mc throughput — RAID5(3+1) Fig. 4 workload \
+         (lambda={LAMBDA:.0e}, hep={HEP}, horizon={HORIZON_HOURS}h, threads=1)"
+    );
+
+    let conv_fast = ConventionalMc::new(params)
+        .unwrap()
+        .with_engine(McEngine::JumpChain);
+    let conv_eq = ConventionalMc::new(params)
+        .unwrap()
+        .with_engine(McEngine::EventQueue);
+    let fo_fast = FailOverMc::new(params)
+        .unwrap()
+        .with_engine(McEngine::JumpChain);
+    let fo_eq = FailOverMc::new(params)
+        .unwrap()
+        .with_engine(McEngine::EventQueue);
+
+    for warmup in [
+        conv_fast.run(&warm),
+        conv_eq.run(&warm),
+        fo_fast.run(&warm),
+        fo_eq.run(&warm),
+    ] {
+        let _ = black_box(warmup.unwrap().overall_availability);
+    }
+
+    let engines = vec![
+        measure(
+            "conventional/jump_chain",
+            || conv_fast.run(&cfg).unwrap().overall_availability,
+            iterations,
+        ),
+        measure(
+            "conventional/event_queue",
+            || conv_eq.run(&cfg).unwrap().overall_availability,
+            iterations,
+        ),
+        measure(
+            "failover/jump_chain",
+            || fo_fast.run(&cfg).unwrap().overall_availability,
+            iterations,
+        ),
+        measure(
+            "failover/event_queue",
+            || fo_eq.run(&cfg).unwrap().overall_availability,
+            iterations,
+        ),
+    ];
+
+    let speedup = |fast: &McThroughput, general: &McThroughput| {
+        fast.missions_per_sec() / general.missions_per_sec().max(1e-12)
+    };
+    let conv_speedup = speedup(&engines[0], &engines[1]);
+    let fo_speedup = speedup(&engines[2], &engines[3]);
+    println!("  speedup: conventional {conv_speedup:.2}x, failover {fo_speedup:.2}x");
+
+    let json = render_mc_throughput_json(
+        &format!(
+            "raid5_3plus1 fig4 (lambda={LAMBDA:.0e}, hep={HEP}, horizon_hours={HORIZON_HOURS})"
+        ),
+        bench_scale(),
+        &engines,
+        &[("conventional", conv_speedup), ("failover", fo_speedup)],
+    );
+    let path = bench_snapshot_path("BENCH_3.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => println!("  could not write {}: {e}", path.display()),
+    }
+}
 
 fn bench(c: &mut Criterion) {
-    let params = raid5_params(1e-4, 0.01);
+    throughput_snapshot();
+
+    let params = raid5_params(LAMBDA, HEP);
 
     let mut group = c.benchmark_group("mc_single_mission");
-    group.bench_function("conventional_10y", |b| {
-        let mc = ConventionalMc::new(params).unwrap();
+    group.bench_function("conventional_jump_chain_10y", |b| {
+        let mc = ConventionalMc::new(params)
+            .unwrap()
+            .with_engine(McEngine::JumpChain);
+        let mut ws = SimWorkspace::new();
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
             let mut rng = SimRng::substream(1, i);
-            black_box(mc.simulate_once(87_600.0, &mut rng, None))
+            black_box(mc.simulate_once_with(HORIZON_HOURS, &mut rng, &mut ws))
         });
     });
-    group.bench_function("failover_10y", |b| {
-        let mc = FailOverMc::new(params).unwrap();
+    group.bench_function("conventional_event_queue_10y", |b| {
+        let mc = ConventionalMc::new(params)
+            .unwrap()
+            .with_engine(McEngine::EventQueue);
+        let mut ws = SimWorkspace::new();
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
             let mut rng = SimRng::substream(1, i);
-            black_box(mc.simulate_once(87_600.0, &mut rng))
+            black_box(mc.simulate_once_with(HORIZON_HOURS, &mut rng, &mut ws))
+        });
+    });
+    group.bench_function("failover_jump_chain_10y", |b| {
+        let mc = FailOverMc::new(params)
+            .unwrap()
+            .with_engine(McEngine::JumpChain);
+        let mut ws = SimWorkspace::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = SimRng::substream(1, i);
+            black_box(mc.simulate_once_with(HORIZON_HOURS, &mut rng, &mut ws))
+        });
+    });
+    group.bench_function("failover_event_queue_10y", |b| {
+        let mc = FailOverMc::new(params)
+            .unwrap()
+            .with_engine(McEngine::EventQueue);
+        let mut ws = SimWorkspace::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = SimRng::substream(1, i);
+            black_box(mc.simulate_once_with(HORIZON_HOURS, &mut rng, &mut ws))
         });
     });
     group.finish();
@@ -36,13 +192,30 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for &threads in &[1usize, 4] {
         group.bench_with_input(
-            BenchmarkId::new("conventional", threads),
+            BenchmarkId::new("conventional_jump_chain", threads),
             &threads,
             |b, &threads| {
                 let mc = ConventionalMc::new(params).unwrap();
                 let config = McConfig {
                     iterations: 2_000,
-                    horizon_hours: 87_600.0,
+                    horizon_hours: HORIZON_HOURS,
+                    seed: 3,
+                    confidence: 0.99,
+                    threads,
+                };
+                b.iter(|| black_box(mc.run(&config).unwrap().overall_availability));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conventional_event_queue", threads),
+            &threads,
+            |b, &threads| {
+                let mc = ConventionalMc::new(params)
+                    .unwrap()
+                    .with_engine(McEngine::EventQueue);
+                let config = McConfig {
+                    iterations: 2_000,
+                    horizon_hours: HORIZON_HOURS,
                     seed: 3,
                     confidence: 0.99,
                     threads,

@@ -217,6 +217,88 @@ pub fn underestimation_table() -> (Table, f64) {
     (table, max)
 }
 
+/// One measured engine configuration of the Monte-Carlo throughput bench.
+#[derive(Debug, Clone)]
+pub struct McThroughput {
+    /// `model/engine` label, e.g. `"conventional/jump_chain"`.
+    pub name: String,
+    /// Missions simulated.
+    pub missions: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub elapsed_secs: f64,
+}
+
+impl McThroughput {
+    /// Missions per second — the throughput currency of the whole system.
+    pub fn missions_per_sec(&self) -> f64 {
+        self.missions as f64 / self.elapsed_secs.max(1e-12)
+    }
+}
+
+/// Renders the `BENCH_*.json` throughput snapshot: machine-readable
+/// missions/sec plus the config that produced them, hand-rolled (the
+/// workspace is dependency-free) with stable key order so diffs are
+/// meaningful.
+pub fn render_mc_throughput_json(
+    workload: &str,
+    scale: f64,
+    engines: &[McThroughput],
+    speedups: &[(&str, f64)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"perf_mc_throughput\",\n");
+    out.push_str(&format!("  \"workload\": \"{workload}\",\n"));
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str("  \"engines\": [\n");
+    for (i, e) in engines.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"missions\": {}, \"threads\": {}, \
+             \"elapsed_secs\": {:.6}, \"missions_per_sec\": {:.1}}}{}\n",
+            e.name,
+            e.missions,
+            e.threads,
+            e.elapsed_secs,
+            e.missions_per_sec(),
+            if i + 1 < engines.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedup\": {");
+    for (i, (name, factor)) in speedups.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{name}\": {factor:.2}"));
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Where the machine-readable bench snapshots (`BENCH_*.json`) are written:
+/// the workspace root by default, or `$AVAILSIM_BENCH_OUT` when set.
+pub fn bench_snapshot_path(file_name: &str) -> std::path::PathBuf {
+    snapshot_path_from(
+        std::env::var("AVAILSIM_BENCH_OUT").ok().as_deref(),
+        file_name,
+    )
+}
+
+/// [`bench_snapshot_path`] with the `$AVAILSIM_BENCH_OUT` value injected —
+/// testable without mutating the process environment (tests run
+/// multi-threaded, and concurrent `setenv`/`getenv` is undefined behavior
+/// on glibc).
+fn snapshot_path_from(dir_override: Option<&str>, file_name: &str) -> std::path::PathBuf {
+    let dir = match dir_override {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join(".."),
+    };
+    dir.join(file_name)
+}
+
 /// One-line summary of an availability value for narrow bench output.
 pub fn nines_label(unavailability: f64) -> String {
     format!(
@@ -277,5 +359,57 @@ mod tests {
     fn fig5_small_run_executes() {
         let t = fig5_table(200);
         assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn throughput_json_has_stable_machine_readable_shape() {
+        let engines = vec![
+            McThroughput {
+                name: "conventional/jump_chain".into(),
+                missions: 1000,
+                threads: 1,
+                elapsed_secs: 0.5,
+            },
+            McThroughput {
+                name: "conventional/event_queue".into(),
+                missions: 1000,
+                threads: 1,
+                elapsed_secs: 2.0,
+            },
+        ];
+        assert!((engines[0].missions_per_sec() - 2000.0).abs() < 1e-9);
+        let json =
+            render_mc_throughput_json("raid5_3plus1", 1.0, &engines, &[("conventional", 4.0)]);
+        for needle in [
+            "\"bench\": \"perf_mc_throughput\"",
+            "\"workload\": \"raid5_3plus1\"",
+            "\"scale\": 1",
+            "\"missions_per_sec\": 2000.0",
+            "\"speedup\": {\"conventional\": 4.00}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Balanced braces/brackets: cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn snapshot_path_honours_env_override() {
+        // Default (no override): the workspace root, two levels above this
+        // crate's manifest.
+        let p = snapshot_path_from(None, "BENCH_3.json");
+        assert!(p.ends_with("../../BENCH_3.json"), "{}", p.display());
+        // An AVAILSIM_BENCH_OUT value redirects the directory.
+        let p = snapshot_path_from(Some("/tmp/bench-out"), "BENCH_3.json");
+        assert_eq!(p, std::path::PathBuf::from("/tmp/bench-out/BENCH_3.json"));
     }
 }

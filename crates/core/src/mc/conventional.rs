@@ -9,10 +9,13 @@
 //! action (regenerative assumption, standard for repair simulations).
 //!
 //! With exponential failures the simulator is distribution-equivalent to the
-//! Fig. 2 CTMC, which the Fig. 4 validation exercises.
+//! Fig. 2 CTMC, which the Fig. 4 validation exercises — and in that regime
+//! the model collapses to a four-state jump chain that
+//! [`McEngine::Auto`](super::McEngine) replays directly (Gillespie-style),
+//! with no event queue and no per-disk clocks.
 
-use super::{AvailabilityEstimate, IterationOutcome, McConfig};
-use crate::error::Result;
+use super::{AvailabilityEstimate, IterationOutcome, McConfig, McEngine, SimWorkspace};
+use crate::error::{CoreError, Result};
 use crate::markov::WrongReplacementTiming;
 use crate::params::ModelParams;
 use availsim_sim::engine::EventQueue;
@@ -54,12 +57,32 @@ enum Service {
     Restore,
 }
 
+/// Reusable scratch of the general event-queue engine: the event queue and
+/// the per-slot failure-clock generation counters. Cleared (capacity
+/// retained) at the start of every mission.
+#[derive(Debug, Default)]
+pub(crate) struct ConvScratch {
+    queue: EventQueue<Ev>,
+    slot_gen: Vec<u64>,
+}
+
+impl ConvScratch {
+    /// Empties the queue and re-zeroes the generation counters for an
+    /// `n`-disk mission, retaining all allocated capacity.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.queue.clear();
+        self.slot_gen.clear();
+        self.slot_gen.resize(n, 0);
+    }
+}
+
 /// The conventional-replacement Monte-Carlo model.
 #[derive(Debug)]
 pub struct ConventionalMc {
     params: ModelParams,
     failures: FailureModel,
     timing: WrongReplacementTiming,
+    engine: McEngine,
 }
 
 impl ConventionalMc {
@@ -74,6 +97,7 @@ impl ConventionalMc {
             params,
             failures,
             timing: WrongReplacementTiming::default(),
+            engine: McEngine::Auto,
         })
     }
 
@@ -89,6 +113,7 @@ impl ConventionalMc {
             params,
             failures,
             timing: WrongReplacementTiming::default(),
+            engine: McEngine::Auto,
         })
     }
 
@@ -99,9 +124,46 @@ impl ConventionalMc {
         self
     }
 
+    /// Selects the per-mission engine (see [`McEngine`] for the `Auto`
+    /// fast-path selection rule).
+    pub fn with_engine(mut self, engine: McEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The model parameters.
     pub fn params(&self) -> &ModelParams {
         &self.params
+    }
+
+    /// Whether the jump-chain fast path is applicable: it replays the
+    /// Fig. 2 CTMC, which is only distribution-equivalent to the per-disk
+    /// simulation when disk lifetimes are memoryless.
+    fn jump_chain_applicable(&self) -> bool {
+        matches!(self.failures, FailureModel::Exponential(_))
+    }
+
+    /// Resolves the configured engine to "use the fast path?".
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidParameter`] when [`McEngine::JumpChain`] is
+    /// forced on a non-exponential failure model.
+    fn resolve_fast_path(&self) -> Result<bool> {
+        match self.engine {
+            McEngine::Auto => Ok(self.jump_chain_applicable()),
+            McEngine::EventQueue => Ok(false),
+            McEngine::JumpChain => {
+                if self.jump_chain_applicable() {
+                    Ok(true)
+                } else {
+                    Err(CoreError::InvalidParameter(
+                        "the jump-chain engine requires exponential failures; \
+                         use McEngine::Auto or McEngine::EventQueue for Weibull models"
+                            .into(),
+                    ))
+                }
+            }
+        }
     }
 
     fn wrong_pull_rate(&self) -> f64 {
@@ -114,19 +176,25 @@ impl ConventionalMc {
 
     /// Runs the full Monte-Carlo estimation.
     ///
+    /// Each worker thread allocates one [`SimWorkspace`] and reuses it for
+    /// every mission it claims, so the mission loop is allocation-free in
+    /// steady state on both engines.
+    ///
     /// # Errors
-    /// Propagates configuration errors.
+    /// Propagates configuration errors, and rejects a forced
+    /// [`McEngine::JumpChain`] on non-exponential failures.
     pub fn run(&self, config: &McConfig) -> Result<AvailabilityEstimate> {
-        super::run_iterations(config, |i| {
+        let fast = self.resolve_fast_path()?;
+        super::run_iterations_with(config, SimWorkspace::new, |ws, i| {
             let mut rng = SimRng::substream(config.seed, i);
-            self.simulate_once(config.horizon_hours, &mut rng, None)
+            self.dispatch(config.horizon_hours, &mut rng, ws, fast)
         })
     }
 
     /// Runs batches of missions, growing the sample until the availability
     /// confidence interval's half-width drops below `target_half_width`
     /// (or `max_iterations` missions have been spent). `config.iterations`
-    /// seeds the pilot batch size.
+    /// seeds the pilot batch size (clamped to a non-degenerate minimum).
     ///
     /// # Errors
     /// Propagates configuration errors; the target must be positive.
@@ -136,35 +204,203 @@ impl ConventionalMc {
         target_half_width: f64,
         max_iterations: u64,
     ) -> Result<AvailabilityEstimate> {
-        super::run_to_precision(config, target_half_width, max_iterations, |i| {
-            let mut rng = SimRng::substream(config.seed, i);
-            self.simulate_once(config.horizon_hours, &mut rng, None)
-        })
+        let fast = self.resolve_fast_path()?;
+        super::run_to_precision_with(
+            config,
+            target_half_width,
+            max_iterations,
+            SimWorkspace::new,
+            |ws, i| {
+                let mut rng = SimRng::substream(config.seed, i);
+                self.dispatch(config.horizon_hours, &mut rng, ws, fast)
+            },
+        )
+    }
+
+    fn dispatch(
+        &self,
+        horizon: f64,
+        rng: &mut SimRng,
+        ws: &mut SimWorkspace,
+        fast: bool,
+    ) -> IterationOutcome {
+        if fast {
+            self.simulate_jump_chain(horizon, rng, &mut ws.log)
+        } else {
+            self.simulate_event_queue(horizon, rng, ws, None)
+        }
     }
 
     /// Simulates a single mission, optionally recording a Fig. 1-style
     /// event trace (used by the `mc_trace` example).
+    ///
+    /// Allocates a fresh scratch workspace per call; hot loops should use
+    /// [`Self::simulate_once_with`] instead. Engine selection follows
+    /// [`Self::with_engine`], except that a requested trace always runs the
+    /// general engine — the fast path replays aggregate state transitions
+    /// and has no per-disk events to record.
     pub fn simulate_once(
         &self,
         horizon: f64,
         rng: &mut SimRng,
+        trace: Option<&mut EventTrace>,
+    ) -> IterationOutcome {
+        let mut ws = SimWorkspace::new();
+        if trace.is_none() && self.resolve_fast_path().unwrap_or(false) {
+            self.simulate_jump_chain(horizon, rng, &mut ws.log)
+        } else {
+            self.simulate_event_queue(horizon, rng, &mut ws, trace)
+        }
+    }
+
+    /// Simulates a single mission on a reusable [`SimWorkspace`] —
+    /// allocation-free once the workspace buffers have grown.
+    ///
+    /// The mission fully resets the workspace state it reads, so the same
+    /// workspace can be reused across missions (and models) without
+    /// leaking state between iterations. Engine selection follows
+    /// [`Self::with_engine`]; a forced-but-inapplicable
+    /// [`McEngine::JumpChain`] falls back to the general engine here (the
+    /// batch entry points reject it instead).
+    pub fn simulate_once_with(
+        &self,
+        horizon: f64,
+        rng: &mut SimRng,
+        ws: &mut SimWorkspace,
+    ) -> IterationOutcome {
+        if self.resolve_fast_path().unwrap_or(false) {
+            self.simulate_jump_chain(horizon, rng, &mut ws.log)
+        } else {
+            self.simulate_event_queue(horizon, rng, ws, None)
+        }
+    }
+
+    /// The jump-chain fast path: with exponential failures the mission is a
+    /// replay of the four-state Fig. 2 CTMC, so each transition costs one
+    /// exponential sojourn draw plus (in states with competing exits) one
+    /// uniform to pick the winner — no event queue, no per-disk clocks.
+    fn simulate_jump_chain(
+        &self,
+        horizon: f64,
+        rng: &mut SimRng,
+        log: &mut DowntimeLog,
+    ) -> IterationOutcome {
+        log.clear();
+        let p = &self.params;
+        let n = f64::from(p.disks());
+        let lam = match &self.failures {
+            FailureModel::Exponential(d) => d.rate(),
+            FailureModel::Weibull(_) => unreachable!("fast path requires exponential failures"),
+        };
+        let hep = p.hep.value();
+
+        // Exit rates of the four states. In OP the next failure is the
+        // minimum of n memoryless clocks: Exp(n·λ). In EXP the n−1
+        // survivors race the two service outcomes; disk renewal on every
+        // return to OP matches the general engine's regenerative resampling
+        // because the exponential is memoryless.
+        let op_fail = n * lam;
+        let exp_fail = (n - 1.0) * lam;
+        let exp_repair = (1.0 - hep) * p.disk_repair_rate;
+        let exp_wrong = self.wrong_pull_rate();
+        let du_recover = (1.0 - hep) * p.human_recovery_rate;
+        let du_crash = p.removed_crash_rate;
+        let dl_restore = p.ddf_recovery_rate;
+
+        let mut mode = Mode::Op;
+        let mut t = 0.0;
+        let (mut du_events, mut dl_events) = (0u64, 0u64);
+
+        loop {
+            let total = match mode {
+                Mode::Op => op_fail,
+                Mode::Exp => exp_fail + exp_repair + exp_wrong,
+                Mode::Du => du_recover + du_crash,
+                Mode::Dl => dl_restore,
+            };
+            let Some(dt) = rng.sample_exp(total) else {
+                break; // absorbing state: no enabled exits
+            };
+            t += dt;
+            if t > horizon {
+                break;
+            }
+            // Winner ∝ rate. `u < total` holds in exact arithmetic (the
+            // uniform is < 1), but fl(u·total) can round up to exactly
+            // `total`, so each selection explicitly fences off disabled
+            // (zero-rate) final exits — a rate-0 transition must never win
+            // (e.g. no DU event may ever fire when hep = 0).
+            match mode {
+                Mode::Op => mode = Mode::Exp,
+                Mode::Exp => {
+                    let u = rng.next_f64() * total;
+                    if u < exp_fail {
+                        // Second failure during service: data loss.
+                        mode = Mode::Dl;
+                        dl_events += 1;
+                        log.begin(t, OutageCause::DataLoss);
+                    } else if exp_wrong <= 0.0 || u < exp_fail + exp_repair {
+                        mode = Mode::Op;
+                    } else {
+                        mode = Mode::Du;
+                        du_events += 1;
+                        log.begin(t, OutageCause::HumanError);
+                    }
+                }
+                Mode::Du => {
+                    let u = rng.next_f64() * total;
+                    if du_crash <= 0.0 || u < du_recover {
+                        mode = Mode::Op;
+                        log.end(t);
+                    } else {
+                        // The wrongly removed disk crashed: the outage
+                        // continues, re-attributed to data loss.
+                        mode = Mode::Dl;
+                        dl_events += 1;
+                        log.end(t);
+                        log.begin(t, OutageCause::DataLoss);
+                    }
+                }
+                Mode::Dl => {
+                    mode = Mode::Op;
+                    log.end(t);
+                }
+            }
+        }
+
+        log.finalize(horizon);
+        IterationOutcome {
+            downtime_hours: log.total_downtime(),
+            du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
+            dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
+            du_events,
+            dl_events,
+        }
+    }
+
+    /// The general discrete-event engine with per-disk failure clocks —
+    /// the only engine that supports non-exponential lifetimes and event
+    /// traces. Runs on the reusable workspace scratch; every buffer is
+    /// cleared (capacity retained) before use.
+    fn simulate_event_queue(
+        &self,
+        horizon: f64,
+        rng: &mut SimRng,
+        ws: &mut SimWorkspace,
         mut trace: Option<&mut EventTrace>,
     ) -> IterationOutcome {
         let n = self.params.disks() as usize;
         let p = &self.params;
         let hep = p.hep.value();
 
-        let mut queue: EventQueue<Ev> = EventQueue::new();
-        let mut log = DowntimeLog::new();
+        ws.conventional.reset(n);
+        ws.log.clear();
+        let ConvScratch { queue, slot_gen } = &mut ws.conventional;
+        let log = &mut ws.log;
         let mut mode = Mode::Op;
         let mut epoch: u64 = 0;
-        let mut slot_gen = vec![0u64; n];
         let mut failed_slot: Option<usize> = None;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
-
-        let exp_sample = |rng: &mut SimRng, rate: f64| -> Option<f64> {
-            (rate > 0.0).then(|| -rng.next_open_f64().ln() / rate)
-        };
 
         // Seed all disk clocks.
         for slot in 0..n {
@@ -174,7 +410,7 @@ impl ConventionalMc {
 
         macro_rules! schedule_service {
             ($rng:expr, $q:expr, $ep:expr, $kind:expr, $rate:expr) => {
-                if let Some(dt) = exp_sample($rng, $rate) {
+                if let Some(dt) = $rng.sample_exp($rate) {
                     let _ = $q.schedule(
                         dt,
                         Ev::Service {
@@ -384,20 +620,42 @@ mod tests {
 
     #[test]
     fn no_failures_means_full_availability() {
-        // Absurdly small λ: no events within the horizon.
-        let mc = ConventionalMc::new(params(1e-15, 0.01)).unwrap();
-        let est = mc.run(&quick_config(10)).unwrap();
-        assert_eq!(est.overall_availability, 1.0);
-        assert_eq!(est.du_events + est.dl_events, 0);
+        // Absurdly small λ: no events within the horizon — on both engines.
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let mc = ConventionalMc::new(params(1e-15, 0.01))
+                .unwrap()
+                .with_engine(engine);
+            let est = mc.run(&quick_config(10)).unwrap();
+            assert_eq!(est.overall_availability, 1.0);
+            assert_eq!(est.du_events + est.dl_events, 0);
+        }
     }
 
     #[test]
     fn hep_zero_produces_no_du_events() {
-        let mc = ConventionalMc::new(params(1e-3, 0.0)).unwrap();
-        let est = mc.run(&quick_config(200)).unwrap();
-        assert_eq!(est.du_events, 0);
-        assert!(est.dl_events > 0, "with λ=1e-3 double failures must occur");
-        assert!(est.overall_availability < 1.0);
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let mc = ConventionalMc::new(params(1e-3, 0.0))
+                .unwrap()
+                .with_engine(engine);
+            let est = mc.run(&quick_config(200)).unwrap();
+            assert_eq!(est.du_events, 0);
+            assert!(est.dl_events > 0, "with λ=1e-3 double failures must occur");
+            assert!(est.overall_availability < 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_crash_rate_is_supported_by_both_engines() {
+        // removed_crash_rate is validated as *non-negative*: with it at 0
+        // the DU → DL edge is disabled and must never win the jump-chain
+        // race (zero-rate exits are fenced off explicitly).
+        let mut p = params(1e-3, 0.05);
+        p.removed_crash_rate = 0.0;
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let mc = ConventionalMc::new(p).unwrap().with_engine(engine);
+            let est = mc.run(&quick_config(300)).unwrap();
+            assert!(est.du_events > 0, "{engine:?}");
+        }
     }
 
     #[test]
@@ -420,19 +678,53 @@ mod tests {
 
     #[test]
     fn matches_markov_at_high_rates() {
-        // λ large enough that 400 × 10kh missions resolve the unavailability
-        // to a few percent.
+        // λ large enough that 600 × 10kh missions resolve the unavailability
+        // to a few percent — the fast path and the general engine must both
+        // contain the Fig. 2 answer in their confidence intervals.
         use crate::markov::Raid5Conventional;
         let p = params(1e-3, 0.01);
-        let mc = ConventionalMc::new(p).unwrap();
-        let est = mc.run(&quick_config(600)).unwrap();
         let markov = Raid5Conventional::new(p).unwrap().solve().unwrap();
-        assert!(
-            est.is_consistent_with(markov.availability()),
-            "markov {} outside CI {}",
-            markov.availability(),
-            est.availability
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let mc = ConventionalMc::new(p).unwrap().with_engine(engine);
+            let est = mc.run(&quick_config(600)).unwrap();
+            assert!(
+                est.is_consistent_with(markov.availability()),
+                "{engine:?}: markov {} outside CI {}",
+                markov.availability(),
+                est.availability
+            );
+        }
+    }
+
+    #[test]
+    fn auto_resolves_to_jump_chain_for_exponential_models() {
+        let mc = ConventionalMc::new(params(1e-3, 0.01)).unwrap();
+        assert!(mc.resolve_fast_path().unwrap());
+        let cfg = quick_config(100);
+        let auto = mc.run(&cfg).unwrap();
+        let forced = ConventionalMc::new(params(1e-3, 0.01))
+            .unwrap()
+            .with_engine(McEngine::JumpChain)
+            .run(&cfg)
+            .unwrap();
+        assert_eq!(
+            auto.overall_availability.to_bits(),
+            forced.overall_availability.to_bits()
         );
+    }
+
+    #[test]
+    fn jump_chain_rejects_weibull_models() {
+        let p = params(1e-4, 0.01);
+        let weibull = FailureModel::weibull(1e-3, 1.48).unwrap();
+        let mc = ConventionalMc::with_failure_model(p, weibull)
+            .unwrap()
+            .with_engine(McEngine::JumpChain);
+        assert!(mc.run(&quick_config(10)).is_err());
+        // Auto on a Weibull model resolves to the general engine instead.
+        let weibull = FailureModel::weibull(1e-3, 1.48).unwrap();
+        let mc = ConventionalMc::with_failure_model(p, weibull).unwrap();
+        assert!(!mc.resolve_fast_path().unwrap());
     }
 
     #[test]
@@ -487,16 +779,76 @@ mod tests {
 
     #[test]
     fn deterministic_across_thread_counts() {
-        let p = params(1e-3, 0.01);
-        let mc = ConventionalMc::new(p).unwrap();
-        let mut cfg = quick_config(100);
-        cfg.threads = 1;
-        let a = mc.run(&cfg).unwrap();
-        cfg.threads = 4;
-        let b = mc.run(&cfg).unwrap();
-        assert_eq!(
-            a.overall_availability.to_bits(),
-            b.overall_availability.to_bits()
-        );
+        // Both engines must be bit-identical at any thread count.
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let p = params(1e-3, 0.01);
+            let mc = ConventionalMc::new(p).unwrap().with_engine(engine);
+            let mut cfg = quick_config(100);
+            cfg.threads = 1;
+            let a = mc.run(&cfg).unwrap();
+            cfg.threads = 4;
+            let b = mc.run(&cfg).unwrap();
+            assert_eq!(
+                a.overall_availability.to_bits(),
+                b.overall_availability.to_bits(),
+                "{engine:?}"
+            );
+            assert_eq!(
+                a.mean_downtime_hours.to_bits(),
+                b.mean_downtime_hours.to_bits(),
+                "{engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_workspaces_bitwise() {
+        // A workspace that has already simulated missions (including a
+        // deliberately poisoned one) must produce the same bits as a fresh
+        // workspace for the same seed, on both engines.
+        let p = params(2e-3, 0.05);
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let mc = ConventionalMc::new(p).unwrap().with_engine(engine);
+            let mut reused = SimWorkspace::new();
+            // Dirty the workspace: several missions with unrelated seeds,
+            // then poison the log/trace with an open outage mid-state.
+            for s in 1000..1004 {
+                let mut rng = SimRng::seed_from(s);
+                let _ = mc.simulate_once_with(30_000.0, &mut rng, &mut reused);
+            }
+            reused.log.begin(1.0, OutageCause::HumanError);
+            reused.trace.record(2.0, TraceKind::DataLoss);
+
+            let mut fresh = SimWorkspace::new();
+            let mut rng_a = SimRng::seed_from(42);
+            let mut rng_b = SimRng::seed_from(42);
+            let a = mc.simulate_once_with(30_000.0, &mut rng_a, &mut reused);
+            let b = mc.simulate_once_with(30_000.0, &mut rng_b, &mut fresh);
+            assert_eq!(
+                a.downtime_hours.to_bits(),
+                b.downtime_hours.to_bits(),
+                "{engine:?}"
+            );
+            assert_eq!(
+                a.du_downtime_hours.to_bits(),
+                b.du_downtime_hours.to_bits(),
+                "{engine:?}"
+            );
+            assert_eq!(a.du_events, b.du_events, "{engine:?}");
+            assert_eq!(a.dl_events, b.dl_events, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn workspace_reset_scrubs_poisoned_state() {
+        let mut ws = SimWorkspace::new();
+        ws.log.begin(5.0, OutageCause::DataLoss);
+        ws.trace.record(1.0, TraceKind::DataLoss);
+        ws.conventional.slot_gen.resize(8, 3);
+        ws.reset();
+        assert!(!ws.log.is_down());
+        assert!(ws.log.outages().is_empty());
+        assert!(ws.trace().is_empty());
+        assert!(ws.conventional.slot_gen.is_empty());
     }
 }

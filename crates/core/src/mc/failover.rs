@@ -1,14 +1,20 @@
-//! Monte-Carlo model of the automatic fail-over policy — an event-driven
-//! replay of the Fig. 3 chain, used to cross-validate the analytical model.
+//! Monte-Carlo model of the automatic fail-over policy — a replay of the
+//! Fig. 3 chain, used to cross-validate the analytical model.
 //!
 //! All transitions (failures included) are exponential races, so this
 //! simulator is distribution-equivalent to the twelve-state CTMC; its value
 //! is methodological: agreement between two independently coded artifacts —
 //! a generator-matrix solve and an event-driven simulation — catches
 //! transcription mistakes in either.
+//!
+//! Two engines replay the chain (see [`McEngine`]): the general
+//! event-queue engine samples one exponential per enabled exit and lets
+//! the queue race them; the jump-chain fast path samples the sojourn from
+//! the state's total exit rate and picks the winner with one uniform —
+//! two RNG draws per transition, no heap.
 
 use self::states::Mode;
-use super::{AvailabilityEstimate, IterationOutcome, McConfig};
+use super::{AvailabilityEstimate, IterationOutcome, McConfig, McEngine, SimWorkspace};
 use crate::error::Result;
 use crate::params::ModelParams;
 use availsim_sim::engine::EventQueue;
@@ -34,6 +40,22 @@ mod states {
     }
 
     impl Mode {
+        /// All states, indexed by `mode as usize`.
+        pub const ALL: [Mode; 12] = [
+            Mode::Op,
+            Mode::Exp1,
+            Mode::OpNs,
+            Mode::ExpNs1,
+            Mode::ExpNs2,
+            Mode::Exp2,
+            Mode::Du1,
+            Mode::Du2,
+            Mode::DuNs1,
+            Mode::DuNs2,
+            Mode::Dl,
+            Mode::DlNs,
+        ];
+
         /// Whether the array serves I/O in this state.
         pub fn is_up(self) -> bool {
             matches!(
@@ -53,14 +75,51 @@ mod states {
 struct Jump {
     to: Mode,
     epoch: u64,
-    counts_as_du: bool,
-    counts_as_dl: bool,
+}
+
+/// Most exits any Fig. 3 state has (the table rows are fixed-size so the
+/// whole model stays `Copy` and allocation-free).
+const MAX_EXITS: usize = 4;
+
+/// Precomputed outgoing transitions of all twelve states: per state the
+/// `(rate, target)` pairs (in the DESIGN.md §3.2 table order), the number
+/// of entries, and the total exit rate. Built once per model in
+/// [`FailOverMc::new`], shared by both engines so neither allocates in the
+/// mission loop.
+#[derive(Debug, Clone, Copy)]
+struct JumpTable {
+    exits: [[(f64, Mode); MAX_EXITS]; 12],
+    len: [usize; 12],
+    totals: [f64; 12],
+}
+
+impl JumpTable {
+    fn exits_of(&self, mode: Mode) -> &[(f64, Mode)] {
+        let i = mode as usize;
+        &self.exits[i][..self.len[i]]
+    }
+}
+
+/// Reusable scratch of the general event-queue engine. Cleared (capacity
+/// retained) at the start of every mission.
+#[derive(Debug, Default)]
+pub(crate) struct FoScratch {
+    queue: EventQueue<Jump>,
+}
+
+impl FoScratch {
+    /// Empties the queue, retaining its allocated capacity.
+    pub(crate) fn reset(&mut self) {
+        self.queue.clear();
+    }
 }
 
 /// The automatic fail-over Monte-Carlo model.
 #[derive(Debug, Clone, Copy)]
 pub struct FailOverMc {
     params: ModelParams,
+    engine: McEngine,
+    table: JumpTable,
 }
 
 impl FailOverMc {
@@ -70,12 +129,45 @@ impl FailOverMc {
     /// Propagates parameter validation errors.
     pub fn new(params: ModelParams) -> Result<Self> {
         params.validate()?;
-        Ok(FailOverMc { params })
+        let mut mc = FailOverMc {
+            params,
+            engine: McEngine::Auto,
+            table: JumpTable {
+                exits: [[(0.0, Mode::Op); MAX_EXITS]; 12],
+                len: [0; 12],
+                totals: [0.0; 12],
+            },
+        };
+        for mode in Mode::ALL {
+            let i = mode as usize;
+            let exits = mc.exits(mode);
+            assert!(exits.len() <= MAX_EXITS, "exit table row overflow");
+            for (k, (rate, to)) in exits.iter().enumerate() {
+                mc.table.exits[i][k] = (*rate, *to);
+                mc.table.totals[i] += rate;
+            }
+            mc.table.len[i] = exits.len();
+        }
+        Ok(mc)
+    }
+
+    /// Selects the per-mission engine. Every Fig. 3 transition is
+    /// exponential, so [`McEngine::Auto`] (and [`McEngine::JumpChain`])
+    /// resolve to the jump-chain fast path; [`McEngine::EventQueue`] forces
+    /// the general engine, the cross-validation reference.
+    pub fn with_engine(mut self, engine: McEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The model parameters.
     pub fn params(&self) -> &ModelParams {
         &self.params
+    }
+
+    /// Whether the configured engine resolves to the fast path.
+    fn fast_path(&self) -> bool {
+        !matches!(self.engine, McEngine::EventQueue)
     }
 
     /// Outgoing transitions of a state as `(rate, target)` pairs —
@@ -137,41 +229,122 @@ impl FailOverMc {
 
     /// Runs the full Monte-Carlo estimation.
     ///
+    /// Each worker thread allocates one [`SimWorkspace`] and reuses it for
+    /// every mission it claims, so the mission loop is allocation-free in
+    /// steady state on both engines.
+    ///
     /// # Errors
     /// Propagates configuration errors.
     pub fn run(&self, config: &McConfig) -> Result<AvailabilityEstimate> {
-        super::run_iterations(config, |i| {
+        let fast = self.fast_path();
+        super::run_iterations_with(config, SimWorkspace::new, |ws, i| {
             let mut rng = SimRng::substream(config.seed, i);
-            self.simulate_once(config.horizon_hours, &mut rng)
+            if fast {
+                self.simulate_jump_chain(config.horizon_hours, &mut rng, &mut ws.log)
+            } else {
+                self.simulate_event_queue(config.horizon_hours, &mut rng, ws)
+            }
         })
     }
 
-    /// Simulates one mission.
+    /// Simulates one mission with a fresh scratch workspace (hot loops
+    /// should use [`Self::simulate_once_with`]). Engine selection follows
+    /// [`Self::with_engine`].
     pub fn simulate_once(&self, horizon: f64, rng: &mut SimRng) -> IterationOutcome {
-        let mut queue: EventQueue<Jump> = EventQueue::new();
-        let mut log = DowntimeLog::new();
+        let mut ws = SimWorkspace::new();
+        self.simulate_once_with(horizon, rng, &mut ws)
+    }
+
+    /// Simulates one mission on a reusable [`SimWorkspace`] —
+    /// allocation-free once the workspace buffers have grown. The mission
+    /// fully resets the workspace state it reads, so reuse across missions
+    /// never leaks state between iterations.
+    pub fn simulate_once_with(
+        &self,
+        horizon: f64,
+        rng: &mut SimRng,
+        ws: &mut SimWorkspace,
+    ) -> IterationOutcome {
+        if self.fast_path() {
+            self.simulate_jump_chain(horizon, rng, &mut ws.log)
+        } else {
+            self.simulate_event_queue(horizon, rng, ws)
+        }
+    }
+
+    /// The jump-chain fast path: sample the sojourn from the state's total
+    /// exit rate, pick the winning transition with one uniform — two RNG
+    /// draws per transition, no event queue.
+    fn simulate_jump_chain(
+        &self,
+        horizon: f64,
+        rng: &mut SimRng,
+        log: &mut DowntimeLog,
+    ) -> IterationOutcome {
+        log.clear();
+        let mut mode = Mode::Op;
+        let mut t = 0.0;
+        let (mut du_events, mut dl_events) = (0u64, 0u64);
+
+        loop {
+            let total = self.table.totals[mode as usize];
+            let Some(dt) = rng.sample_exp(total) else {
+                break; // absorbing state: no enabled exits
+            };
+            t += dt;
+            if t > horizon {
+                break;
+            }
+            // Winner ∝ rate: walk the cumulative distribution. Rounding can
+            // leave `u` a hair past the last bucket; the final enabled exit
+            // then wins (its upper edge is the total by construction).
+            let mut u = rng.next_f64() * total;
+            let mut next = mode;
+            for &(rate, to) in self.table.exits_of(mode) {
+                if rate <= 0.0 {
+                    continue;
+                }
+                next = to;
+                if u < rate {
+                    break;
+                }
+                u -= rate;
+            }
+            account_transition(mode, next, t, log, &mut du_events, &mut dl_events);
+            mode = next;
+        }
+
+        log.finalize(horizon);
+        outcome_from(log, du_events, dl_events)
+    }
+
+    /// The general event-queue engine: arm one exponential clock per
+    /// enabled exit and let the queue race them (epoch-guarded against
+    /// stale events). Distribution-identical to the jump chain; kept as
+    /// the cross-validation reference.
+    fn simulate_event_queue(
+        &self,
+        horizon: f64,
+        rng: &mut SimRng,
+        ws: &mut SimWorkspace,
+    ) -> IterationOutcome {
+        ws.failover.reset();
+        ws.log.clear();
+        let queue = &mut ws.failover.queue;
+        let log = &mut ws.log;
         let mut mode = Mode::Op;
         let mut epoch = 0u64;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
 
         let arm = |mode: Mode, epoch: u64, queue: &mut EventQueue<Jump>, rng: &mut SimRng| {
-            for (rate, to) in self.exits(mode) {
-                if rate > 0.0 {
-                    let dt = -rng.next_open_f64().ln() / rate;
-                    let _ = queue.schedule(
-                        dt,
-                        Jump {
-                            to,
-                            epoch,
-                            counts_as_du: !to.is_up() && !to.is_data_loss(),
-                            counts_as_dl: to.is_data_loss(),
-                        },
-                    );
+            for &(rate, to) in self.table.exits_of(mode) {
+                if let Some(dt) = rng.sample_exp(rate) {
+                    let _ = queue.schedule(dt, Jump { to, epoch });
                 }
             }
         };
 
-        arm(mode, epoch, &mut queue, rng);
+        arm(mode, epoch, queue, rng);
         while let Some(t) = queue.peek_time() {
             if t > horizon {
                 break;
@@ -180,49 +353,62 @@ impl FailOverMc {
             if jump.epoch != epoch {
                 continue;
             }
-            let was_up = mode.is_up();
-            let was_dl = mode.is_data_loss();
+            account_transition(mode, jump.to, t, log, &mut du_events, &mut dl_events);
             mode = jump.to;
             epoch += 1;
-            let now_up = mode.is_up();
-            match (was_up, now_up) {
-                (true, false) => {
-                    if jump.counts_as_dl {
-                        dl_events += 1;
-                        log.begin(t, OutageCause::DataLoss);
-                    } else {
-                        debug_assert!(jump.counts_as_du);
-                        du_events += 1;
-                        log.begin(t, OutageCause::HumanError);
-                    }
-                }
-                (false, true) => log.end(t),
-                (false, false) => {
-                    // Down-to-down: re-attribute if the class changed
-                    // (e.g. DUns1 → DLns counts as a fresh DL event).
-                    if !was_dl && mode.is_data_loss() {
-                        dl_events += 1;
-                        log.end(t);
-                        log.begin(t, OutageCause::DataLoss);
-                    } else if was_dl && !mode.is_data_loss() {
-                        du_events += 1;
-                        log.end(t);
-                        log.begin(t, OutageCause::HumanError);
-                    }
-                }
-                (true, true) => {}
-            }
-            arm(mode, epoch, &mut queue, rng);
+            arm(mode, epoch, queue, rng);
         }
 
         log.finalize(horizon);
-        IterationOutcome {
-            downtime_hours: log.total_downtime(),
-            du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
-            dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
-            du_events,
-            dl_events,
+        outcome_from(log, du_events, dl_events)
+    }
+}
+
+/// Downtime/event accounting for one `was → now` transition at time `t` —
+/// the single source of truth shared by both engines, including the
+/// down-to-down re-attribution rule (e.g. `DUns1 → DLns` closes the
+/// human-error outage and opens a data-loss one at the same instant).
+fn account_transition(
+    was: Mode,
+    now: Mode,
+    t: f64,
+    log: &mut DowntimeLog,
+    du_events: &mut u64,
+    dl_events: &mut u64,
+) {
+    match (was.is_up(), now.is_up()) {
+        (true, false) => {
+            if now.is_data_loss() {
+                *dl_events += 1;
+                log.begin(t, OutageCause::DataLoss);
+            } else {
+                *du_events += 1;
+                log.begin(t, OutageCause::HumanError);
+            }
         }
+        (false, true) => log.end(t),
+        (false, false) => {
+            if !was.is_data_loss() && now.is_data_loss() {
+                *dl_events += 1;
+                log.end(t);
+                log.begin(t, OutageCause::DataLoss);
+            } else if was.is_data_loss() && !now.is_data_loss() {
+                *du_events += 1;
+                log.end(t);
+                log.begin(t, OutageCause::HumanError);
+            }
+        }
+        (true, true) => {}
+    }
+}
+
+fn outcome_from(log: &DowntimeLog, du_events: u64, dl_events: u64) -> IterationOutcome {
+    IterationOutcome {
+        downtime_hours: log.total_downtime(),
+        du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
+        dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
+        du_events,
+        dl_events,
     }
 }
 
@@ -268,9 +454,7 @@ mod tests {
             Dl => "DL",
             DlNs => "DLns",
         };
-        for mode in [
-            Op, Exp1, OpNs, ExpNs1, ExpNs2, Exp2, Du1, Du2, DuNs1, DuNs2, Dl, DlNs,
-        ] {
+        for mode in Mode::ALL {
             let from = chain.find_state(label(mode)).expect("state exists");
             let mut total = 0.0;
             for (rate, to) in mc.exits(mode) {
@@ -293,24 +477,47 @@ mod tests {
     }
 
     #[test]
+    fn precomputed_table_matches_exits() {
+        let mc = FailOverMc::new(params(1e-4, 0.01)).unwrap();
+        for mode in Mode::ALL {
+            let fresh = mc.exits(mode);
+            let cached = mc.table.exits_of(mode);
+            assert_eq!(fresh.len(), cached.len());
+            let mut total = 0.0;
+            for ((r1, t1), (r2, t2)) in fresh.iter().zip(cached) {
+                assert_eq!(r1.to_bits(), r2.to_bits());
+                assert_eq!(t1, t2);
+                total += r1;
+            }
+            assert!((total - mc.table.totals[mode as usize]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
     fn no_downtime_without_events() {
-        let mc = FailOverMc::new(params(1e-15, 0.01)).unwrap();
-        let est = mc.run(&quick_config(10)).unwrap();
-        assert_eq!(est.overall_availability, 1.0);
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let mc = FailOverMc::new(params(1e-15, 0.01))
+                .unwrap()
+                .with_engine(engine);
+            let est = mc.run(&quick_config(10)).unwrap();
+            assert_eq!(est.overall_availability, 1.0);
+        }
     }
 
     #[test]
     fn agrees_with_markov_at_high_rates() {
         let p = params(1e-3, 0.01);
-        let mc = FailOverMc::new(p).unwrap();
-        let est = mc.run(&quick_config(600)).unwrap();
         let markov = Raid5FailOver::new(p).unwrap().solve().unwrap();
-        assert!(
-            est.is_consistent_with(markov.availability()),
-            "markov {} outside CI {}",
-            markov.availability(),
-            est.availability
-        );
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let mc = FailOverMc::new(p).unwrap().with_engine(engine);
+            let est = mc.run(&quick_config(600)).unwrap();
+            assert!(
+                est.is_consistent_with(markov.availability()),
+                "{engine:?}: markov {} outside CI {}",
+                markov.availability(),
+                est.availability
+            );
+        }
     }
 
     #[test]
@@ -330,23 +537,56 @@ mod tests {
 
     #[test]
     fn deterministic_across_thread_counts() {
-        let p = params(1e-3, 0.01);
-        let mc = FailOverMc::new(p).unwrap();
-        let mut cfg = quick_config(64);
-        cfg.threads = 1;
-        let a = mc.run(&cfg).unwrap();
-        cfg.threads = 8;
-        let b = mc.run(&cfg).unwrap();
-        assert_eq!(
-            a.overall_availability.to_bits(),
-            b.overall_availability.to_bits()
-        );
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let p = params(1e-3, 0.01);
+            let mc = FailOverMc::new(p).unwrap().with_engine(engine);
+            let mut cfg = quick_config(64);
+            cfg.threads = 1;
+            let a = mc.run(&cfg).unwrap();
+            cfg.threads = 8;
+            let b = mc.run(&cfg).unwrap();
+            assert_eq!(
+                a.overall_availability.to_bits(),
+                b.overall_availability.to_bits(),
+                "{engine:?}"
+            );
+        }
     }
 
     #[test]
     fn hep_zero_never_enters_du() {
-        let mc = FailOverMc::new(params(2e-3, 0.0)).unwrap();
-        let est = mc.run(&quick_config(300)).unwrap();
-        assert_eq!(est.du_events, 0);
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let mc = FailOverMc::new(params(2e-3, 0.0))
+                .unwrap()
+                .with_engine(engine);
+            let est = mc.run(&quick_config(300)).unwrap();
+            assert_eq!(est.du_events, 0, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_workspaces_bitwise() {
+        let p = params(2e-3, 0.05);
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let mc = FailOverMc::new(p).unwrap().with_engine(engine);
+            let mut reused = SimWorkspace::new();
+            for s in 500..504 {
+                let mut rng = SimRng::seed_from(s);
+                let _ = mc.simulate_once_with(30_000.0, &mut rng, &mut reused);
+            }
+            reused.log.begin(3.0, OutageCause::DataLoss); // poison
+            let mut fresh = SimWorkspace::new();
+            let mut rng_a = SimRng::seed_from(9);
+            let mut rng_b = SimRng::seed_from(9);
+            let a = mc.simulate_once_with(30_000.0, &mut rng_a, &mut reused);
+            let b = mc.simulate_once_with(30_000.0, &mut rng_b, &mut fresh);
+            assert_eq!(
+                a.downtime_hours.to_bits(),
+                b.downtime_hours.to_bits(),
+                "{engine:?}"
+            );
+            assert_eq!(a.du_events, b.du_events, "{engine:?}");
+            assert_eq!(a.dl_events, b.dl_events, "{engine:?}");
+        }
     }
 }

@@ -23,8 +23,132 @@ pub use failover::FailOverMc;
 
 use crate::error::{CoreError, Result};
 use crate::nines;
-use availsim_sim::parallel::ordered_parallel_map;
+use availsim_sim::parallel::ordered_parallel_map_with;
 use availsim_sim::stats::{t_interval, ConfidenceInterval, RunningStats};
+use availsim_storage::{DowntimeLog, EventTrace};
+
+/// Which per-mission engine a Monte-Carlo model runs.
+///
+/// # Fast-path selection rule
+///
+/// Under [`McEngine::Auto`] (the default) a model takes the **jump-chain
+/// fast path** exactly when every transition in it is exponential, because
+/// then the mission is a replay of a small continuous-time Markov chain:
+/// in `OP` the next failure is `Exp(n·λ)` (minimum of `n` memoryless disk
+/// clocks), and in the degraded and down states the competing services and
+/// failures are a race of exponentials, so the simulator can sample one
+/// sojourn time from the total exit rate and pick the winning transition
+/// with a single extra uniform — no event queue, no per-disk clocks.
+///
+/// * [`ConventionalMc`]: exponential [`availsim_storage::FailureModel`] →
+///   fast path; Weibull (or any other non-memoryless lifetime) → the
+///   general event-queue engine with per-disk failure clocks.
+/// * [`FailOverMc`]: all Fig. 3 transitions are exponential races, so
+///   `Auto` always resolves to the fast path.
+///
+/// Both engines honour the [`McConfig::threads`] determinism contract and
+/// draw every mission from the same per-iteration RNG substream, but they
+/// consume that stream differently, so their estimates differ by Monte-
+/// Carlo noise (they are distribution-identical, which the statistical
+/// equivalence suite checks against the Fig. 2 chain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum McEngine {
+    /// Resolve automatically (see the fast-path selection rule above).
+    #[default]
+    Auto,
+    /// Always run the general discrete-event engine, even when the model is
+    /// fully exponential — the cross-validation reference for the fast
+    /// path, and the only engine that can record an [`EventTrace`].
+    EventQueue,
+    /// Require the jump-chain fast path. Running a model whose failure
+    /// distribution is not exponential fails with
+    /// [`CoreError::InvalidParameter`].
+    JumpChain,
+}
+
+/// Reusable per-worker simulation scratch: every buffer a mission needs,
+/// allocated once and recycled, so the per-mission loop performs **zero
+/// heap allocations after warm-up**.
+///
+/// [`ConventionalMc::run`] and [`FailOverMc::run`] build one workspace per
+/// worker thread (via
+/// [`ordered_parallel_map_with`](availsim_sim::parallel::ordered_parallel_map_with))
+/// and reuse it for every mission that worker claims. Each mission fully
+/// resets the parts of the workspace it reads before touching them, so
+/// results never depend on what a previous mission left behind — the
+/// bit-identity-across-thread-counts contract of [`McConfig::threads`]
+/// holds even though workspaces are shared across missions.
+///
+/// For single-mission use, pair a workspace with
+/// [`ConventionalMc::simulate_once_with`] /
+/// [`FailOverMc::simulate_once_with`]:
+///
+/// ```
+/// use availsim_core::mc::{ConventionalMc, SimWorkspace};
+/// use availsim_core::ModelParams;
+/// use availsim_hra::Hep;
+/// use availsim_sim::rng::SimRng;
+///
+/// # fn main() -> availsim_core::Result<()> {
+/// let params = ModelParams::raid5_3plus1(1e-3, Hep::new(0.01)?)?;
+/// let mc = ConventionalMc::new(params)?;
+/// let mut ws = SimWorkspace::new();
+/// let mut total = 0.0;
+/// for i in 0..100 {
+///     let mut rng = SimRng::substream(7, i);
+///     total += mc.simulate_once_with(10_000.0, &mut rng, &mut ws).downtime_hours;
+/// }
+/// assert!(total >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    /// Event queue + per-slot failure-clock generations for
+    /// [`ConventionalMc`]'s general engine.
+    pub(crate) conventional: conventional::ConvScratch,
+    /// Event queue for [`FailOverMc`]'s general engine.
+    pub(crate) failover: failover::FoScratch,
+    /// Downtime accounting, shared by every engine.
+    pub(crate) log: DowntimeLog,
+    /// Reusable Fig. 1-style trace buffer (see [`Self::trace_mut`]).
+    pub(crate) trace: EventTrace,
+}
+
+impl SimWorkspace {
+    /// Creates an empty workspace. Buffers grow on first use and are then
+    /// recycled by every subsequent mission.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets every buffer to its just-constructed state while retaining
+    /// allocated capacity.
+    ///
+    /// Calling this between missions is *not* required — each simulation
+    /// entry point resets the buffers it uses — but it is the cheap way to
+    /// scrub a workspace whose previous mission panicked or that is being
+    /// handed to a different model.
+    pub fn reset(&mut self) {
+        self.conventional.reset(0);
+        self.failover.reset();
+        self.log.clear();
+        self.trace.clear();
+    }
+
+    /// The reusable trace buffer, for callers that record per-mission
+    /// event timelines without reallocating:
+    /// `mc.simulate_once(h, &mut rng, Some(ws.trace_mut()))` after a
+    /// [`availsim_storage::EventTrace::clear`].
+    pub fn trace_mut(&mut self) -> &mut EventTrace {
+        &mut self.trace
+    }
+
+    /// Read access to the trace buffer filled via [`Self::trace_mut`].
+    pub fn trace(&self) -> &EventTrace {
+        &self.trace
+    }
+}
 
 /// Configuration of a Monte-Carlo run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,6 +276,14 @@ impl AvailabilityEstimate {
     }
 }
 
+/// Minimum pilot batch for [`run_to_precision`]. [`McConfig::validate`]
+/// accepts `iterations >= 2`, but a 2-mission pilot has a degenerate
+/// variance estimate — with two identical samples the Student-t half-width
+/// collapses to zero and the precision loop would declare victory on no
+/// statistical evidence. The pilot is therefore clamped up to this floor
+/// before the first batch.
+const MIN_PILOT_ITERATIONS: u64 = 32;
+
 /// Runs batches of missions until the availability interval's half-width
 /// falls below `target_half_width` (absolute, on availability) or
 /// `max_iterations` is reached — the sequential version of the paper's
@@ -159,28 +291,42 @@ impl AvailabilityEstimate {
 ///
 /// The iteration indices (and therefore RNG substreams) continue across
 /// batches, so the sequential run is exactly a prefix-extension of a fixed
-/// run with the same seed.
-pub(crate) fn run_to_precision<F>(
+/// run with the same seed. `config.iterations` seeds the pilot batch,
+/// clamped up to [`MIN_PILOT_ITERATIONS`] so the first variance estimate
+/// is non-degenerate — but never past `max_iterations`, which stays a hard
+/// budget.
+///
+/// Like [`run_iterations_with`], each worker thread builds its scratch via
+/// `make_ws` once per batch and reuses it across all missions it claims.
+pub(crate) fn run_to_precision_with<W, I, F>(
     config: &McConfig,
     target_half_width: f64,
     max_iterations: u64,
+    make_ws: I,
     sim: F,
 ) -> Result<AvailabilityEstimate>
 where
-    F: Fn(u64) -> IterationOutcome + Sync,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, u64) -> IterationOutcome + Sync,
 {
     if target_half_width.is_nan() || target_half_width <= 0.0 {
         return Err(CoreError::InvalidParameter(format!(
             "target half-width must be positive, got {target_half_width}"
         )));
     }
-    let mut total = config.iterations.max(2);
+    // The degenerate-variance floor applies only as far as the caller's
+    // iteration budget allows (and ≥ 2 keeps the config valid).
+    let mut total = config
+        .iterations
+        .max(MIN_PILOT_ITERATIONS)
+        .min(max_iterations)
+        .max(2);
     loop {
         let cfg = McConfig {
             iterations: total,
             ..*config
         };
-        let est = run_iterations(&cfg, &sim)?;
+        let est = run_iterations_with(&cfg, &make_ws, &sim)?;
         if est.availability.half_width <= target_half_width || total >= max_iterations {
             return Ok(est);
         }
@@ -201,17 +347,38 @@ const BLOCK_ITERATIONS: u64 = 256;
 /// iteration runs (blocks grow past [`BLOCK_ITERATIONS`] instead).
 const MAX_BLOCKS: u64 = 4096;
 
+/// Runs `config.iterations` missions of `sim` in parallel and aggregates —
+/// the workspace-free convenience wrapper over [`run_iterations_with`],
+/// kept for runner-level tests that need no scratch state.
+#[cfg(test)]
+pub(crate) fn run_iterations<F>(config: &McConfig, sim: F) -> Result<AvailabilityEstimate>
+where
+    F: Fn(u64) -> IterationOutcome + Sync,
+{
+    run_iterations_with(config, || (), |_, i| sim(i))
+}
+
 /// Runs `config.iterations` missions of `sim` in parallel and aggregates.
 ///
-/// `sim` is called with the iteration index and must be deterministic given
-/// that index (each iteration derives its own RNG substream from it).
+/// `sim` is called with a worker-scoped scratch value and the iteration
+/// index, and must be deterministic given the index alone (each iteration
+/// derives its own RNG substream from it, and must fully reset whatever
+/// scratch state it reads). `make_ws` runs once per worker thread, so the
+/// scratch — typically a [`SimWorkspace`] — is built a handful of times per
+/// run and reused for every mission, keeping the per-mission loop
+/// allocation-free.
 ///
 /// Threads claim fixed-size blocks of iterations from a shared cursor, so
 /// load balances dynamically; block partials are reassembled and merged in
 /// block order, so the aggregate is bit-identical at any thread count.
-pub(crate) fn run_iterations<F>(config: &McConfig, sim: F) -> Result<AvailabilityEstimate>
+pub(crate) fn run_iterations_with<W, I, F>(
+    config: &McConfig,
+    make_ws: I,
+    sim: F,
+) -> Result<AvailabilityEstimate>
 where
-    F: Fn(u64) -> IterationOutcome + Sync,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, u64) -> IterationOutcome + Sync,
 {
     config.validate()?;
     let iterations = config.iterations;
@@ -228,10 +395,11 @@ where
         dl_events: u64,
     }
 
-    let partials = ordered_parallel_map(
+    let partials = ordered_parallel_map_with(
         blocks,
         threads,
-        |block| {
+        make_ws,
+        |ws, block| {
             let lo = block * block_size;
             let hi = (lo + block_size).min(iterations);
             let mut p = Partial {
@@ -242,7 +410,7 @@ where
                 dl_events: 0,
             };
             for i in lo..hi {
-                let out = sim(i);
+                let out = sim(ws, i);
                 p.stats
                     .push(1.0 - out.downtime_hours / config.horizon_hours);
                 p.downtime += out.downtime_hours;
@@ -338,43 +506,45 @@ mod tests {
         // integers) must produce identical bits at any thread count.
         let params =
             crate::ModelParams::raid5_3plus1(1e-3, availsim_hra::Hep::new(0.01).unwrap()).unwrap();
-        let mc = ConventionalMc::new(params).unwrap();
-        let run = |threads| {
-            mc.run(&McConfig {
-                iterations: 700, // not a multiple of the block size
-                horizon_hours: 20_000.0,
-                seed: 99,
-                confidence: 0.95,
-                threads,
-            })
-            .unwrap()
-        };
-        let one = run(1);
-        let four = run(4);
-        assert_eq!(
-            one.overall_availability.to_bits(),
-            four.overall_availability.to_bits()
-        );
-        assert_eq!(
-            one.availability.mean.to_bits(),
-            four.availability.mean.to_bits()
-        );
-        assert_eq!(
-            one.availability.half_width.to_bits(),
-            four.availability.half_width.to_bits()
-        );
-        assert_eq!(
-            one.mean_downtime_hours.to_bits(),
-            four.mean_downtime_hours.to_bits()
-        );
-        assert_eq!(
-            one.du_downtime_share.to_bits(),
-            four.du_downtime_share.to_bits()
-        );
-        assert_eq!(one.du_events, four.du_events);
-        assert_eq!(one.dl_events, four.dl_events);
-        // Sanity: the run actually simulated something.
-        assert!(one.mean_downtime_hours > 0.0);
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let mc = ConventionalMc::new(params).unwrap().with_engine(engine);
+            let run = |threads| {
+                mc.run(&McConfig {
+                    iterations: 700, // not a multiple of the block size
+                    horizon_hours: 20_000.0,
+                    seed: 99,
+                    confidence: 0.95,
+                    threads,
+                })
+                .unwrap()
+            };
+            let one = run(1);
+            let four = run(4);
+            assert_eq!(
+                one.overall_availability.to_bits(),
+                four.overall_availability.to_bits()
+            );
+            assert_eq!(
+                one.availability.mean.to_bits(),
+                four.availability.mean.to_bits()
+            );
+            assert_eq!(
+                one.availability.half_width.to_bits(),
+                four.availability.half_width.to_bits()
+            );
+            assert_eq!(
+                one.mean_downtime_hours.to_bits(),
+                four.mean_downtime_hours.to_bits()
+            );
+            assert_eq!(
+                one.du_downtime_share.to_bits(),
+                four.du_downtime_share.to_bits()
+            );
+            assert_eq!(one.du_events, four.du_events);
+            assert_eq!(one.dl_events, four.dl_events);
+            // Sanity: the run actually simulated something.
+            assert!(one.mean_downtime_hours > 0.0);
+        }
     }
 
     #[test]
@@ -405,6 +575,39 @@ mod tests {
             auto.availability.half_width.to_bits(),
             explicit.availability.half_width.to_bits()
         );
+    }
+
+    #[test]
+    fn precision_pilot_is_clamped_to_a_nondegenerate_batch() {
+        // Regression: `McConfig::validate` accepts `iterations >= 2`, and a
+        // 2-mission pilot whose two samples happen to coincide has zero
+        // sample variance — the old loop declared the (impossibly tight)
+        // target met after 2 missions. The pilot must be clamped up.
+        let sim = |i: u64| IterationOutcome {
+            // Identical for the first two missions, varying afterwards.
+            downtime_hours: if i < 2 { 1.0 } else { (i % 5) as f64 },
+            ..IterationOutcome::default()
+        };
+        let cfg = McConfig {
+            iterations: 2,
+            horizon_hours: 100.0,
+            seed: 1,
+            confidence: 0.95,
+            threads: 1,
+        };
+        let est =
+            run_to_precision_with(&cfg, 1e-9, MIN_PILOT_ITERATIONS, || (), |_, i| sim(i)).unwrap();
+        assert!(
+            est.iterations >= MIN_PILOT_ITERATIONS,
+            "pilot ran only {} iterations",
+            est.iterations
+        );
+        // The degenerate 2-sample CI would have claimed half-width 0.
+        assert!(est.availability.half_width > 0.0);
+
+        // The floor never overrides the caller's hard budget.
+        let capped = run_to_precision_with(&cfg, 1e-9, 8, || (), |_, i| sim(i)).unwrap();
+        assert_eq!(capped.iterations, 8);
     }
 
     #[test]

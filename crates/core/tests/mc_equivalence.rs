@@ -1,0 +1,213 @@
+//! Statistical-equivalence suite for the jump-chain fast path.
+//!
+//! The fast path replays the paper's chains directly (Gillespie-style); the
+//! event-queue engine simulates per-disk clocks. With exponential failures
+//! the two are *distribution*-identical but consume the RNG differently, so
+//! agreement is checked statistically, on the same grid the paper uses:
+//!
+//! 1. each engine's confidence interval must contain the exact Fig. 2
+//!    Markov availability (Markov cross-validation at exponential rates);
+//! 2. the two engines' intervals must overlap each other (CI overlap);
+//! 3. both engines stay bit-identical across thread counts, and workspace
+//!    reuse across missions must not leak state between iterations.
+
+use availsim_core::markov::{Raid5Conventional, Raid5FailOver};
+use availsim_core::mc::{ConventionalMc, FailOverMc, McConfig, McEngine, SimWorkspace};
+use availsim_core::ModelParams;
+use availsim_hra::Hep;
+use availsim_sim::rng::SimRng;
+
+fn params(lambda: f64, hep: f64) -> ModelParams {
+    ModelParams::raid5_3plus1(lambda, Hep::new(hep).unwrap()).unwrap()
+}
+
+fn config(iterations: u64, seed: u64) -> McConfig {
+    McConfig {
+        iterations,
+        horizon_hours: 10_000.0,
+        seed,
+        confidence: 0.99,
+        threads: 0,
+    }
+}
+
+/// Intervals `[m1 ± h1]` and `[m2 ± h2]` overlap.
+fn overlaps(m1: f64, h1: f64, m2: f64, h2: f64) -> bool {
+    (m1 - m2).abs() <= h1 + h2
+}
+
+#[test]
+fn conventional_engines_agree_with_fig2_markov_over_the_grid() {
+    // λ grid spanning the regime where 500 × 10kh missions resolve the
+    // unavailability well; hep at the paper's headline setting.
+    for &lambda in &[5e-4, 1e-3, 2e-3] {
+        let p = params(lambda, 0.01);
+        let markov = Raid5Conventional::new(p).unwrap().solve().unwrap();
+        let mut cis = Vec::new();
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let mc = ConventionalMc::new(p).unwrap().with_engine(engine);
+            let est = mc.run(&config(500, 31)).unwrap();
+            assert!(
+                est.is_consistent_with(markov.availability()),
+                "λ={lambda}, {engine:?}: markov {} outside CI {}",
+                markov.availability(),
+                est.availability
+            );
+            cis.push(est.availability);
+        }
+        assert!(
+            overlaps(
+                cis[0].mean,
+                cis[0].half_width,
+                cis[1].mean,
+                cis[1].half_width
+            ),
+            "λ={lambda}: fast-path CI {} does not overlap event-queue CI {}",
+            cis[0],
+            cis[1]
+        );
+    }
+}
+
+#[test]
+fn failover_engines_agree_with_fig3_markov() {
+    let p = params(1e-3, 0.01);
+    let markov = Raid5FailOver::new(p).unwrap().solve().unwrap();
+    let mut cis = Vec::new();
+    for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+        let mc = FailOverMc::new(p).unwrap().with_engine(engine);
+        let est = mc.run(&config(600, 47)).unwrap();
+        assert!(
+            est.is_consistent_with(markov.availability()),
+            "{engine:?}: markov {} outside CI {}",
+            markov.availability(),
+            est.availability
+        );
+        cis.push(est.availability);
+    }
+    assert!(
+        overlaps(
+            cis[0].mean,
+            cis[0].half_width,
+            cis[1].mean,
+            cis[1].half_width
+        ),
+        "fast-path CI {} does not overlap event-queue CI {}",
+        cis[0],
+        cis[1]
+    );
+}
+
+#[test]
+fn du_share_is_statistically_equivalent_between_engines() {
+    // Not just availability: the cause attribution (the paper's DU vs DL
+    // split) must match between the engines too.
+    let p = params(2e-3, 0.05);
+    let cfg = config(800, 5);
+    let fast = ConventionalMc::new(p)
+        .unwrap()
+        .with_engine(McEngine::JumpChain)
+        .run(&cfg)
+        .unwrap();
+    let general = ConventionalMc::new(p)
+        .unwrap()
+        .with_engine(McEngine::EventQueue)
+        .run(&cfg)
+        .unwrap();
+    assert!(fast.du_events > 0 && general.du_events > 0);
+    let rel = (fast.du_downtime_share - general.du_downtime_share).abs()
+        / general.du_downtime_share.max(1e-12);
+    assert!(
+        rel < 0.35,
+        "du share fast {} vs general {}",
+        fast.du_downtime_share,
+        general.du_downtime_share
+    );
+}
+
+#[test]
+fn both_engines_are_bit_identical_across_thread_counts() {
+    let p = params(1e-3, 0.01);
+    for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+        let conv = ConventionalMc::new(p).unwrap().with_engine(engine);
+        let fo = FailOverMc::new(p).unwrap().with_engine(engine);
+        let mk = |threads| McConfig {
+            threads,
+            ..config(700, 13) // not a multiple of the scheduling block
+        };
+        let (c1, c8) = (conv.run(&mk(1)).unwrap(), conv.run(&mk(8)).unwrap());
+        let (f1, f8) = (fo.run(&mk(1)).unwrap(), fo.run(&mk(8)).unwrap());
+        for (a, b) in [(&c1, &c8), (&f1, &f8)] {
+            assert_eq!(
+                a.overall_availability.to_bits(),
+                b.overall_availability.to_bits(),
+                "{engine:?}"
+            );
+            assert_eq!(
+                a.availability.half_width.to_bits(),
+                b.availability.half_width.to_bits(),
+                "{engine:?}"
+            );
+            assert_eq!(
+                a.mean_downtime_hours.to_bits(),
+                b.mean_downtime_hours.to_bits(),
+                "{engine:?}"
+            );
+            assert_eq!(a.du_events, b.du_events, "{engine:?}");
+            assert_eq!(a.dl_events, b.dl_events, "{engine:?}");
+        }
+    }
+}
+
+#[test]
+fn precision_runs_use_the_fast_path_and_converge() {
+    let mc = ConventionalMc::new(params(1e-3, 0.01)).unwrap();
+    let cfg = config(100, 3);
+    let est = mc.run_to_precision(&cfg, 5e-4, 100_000).unwrap();
+    assert!(est.availability.half_width <= 5e-4);
+    // The Markov answer stays inside the tightened interval.
+    let markov = Raid5Conventional::new(params(1e-3, 0.01))
+        .unwrap()
+        .solve()
+        .unwrap();
+    assert!(est.is_consistent_with(markov.availability()));
+}
+
+#[test]
+fn shared_workspace_across_models_does_not_leak_state() {
+    // One workspace, alternating between the two models and engines: every
+    // mission must match the run of a dedicated fresh workspace bit-by-bit.
+    let p = params(2e-3, 0.05);
+    let conv = ConventionalMc::new(p).unwrap();
+    let conv_eq = ConventionalMc::new(p)
+        .unwrap()
+        .with_engine(McEngine::EventQueue);
+    let fo = FailOverMc::new(p).unwrap();
+    let mut shared = SimWorkspace::new();
+    for i in 0..20u64 {
+        let seed = 900 + i;
+        let mut r1 = SimRng::seed_from(seed);
+        let mut r2 = SimRng::seed_from(seed);
+        let (shared_out, fresh_out) = match i % 3 {
+            0 => (
+                conv.simulate_once_with(20_000.0, &mut r1, &mut shared),
+                conv.simulate_once_with(20_000.0, &mut r2, &mut SimWorkspace::new()),
+            ),
+            1 => (
+                conv_eq.simulate_once_with(20_000.0, &mut r1, &mut shared),
+                conv_eq.simulate_once_with(20_000.0, &mut r2, &mut SimWorkspace::new()),
+            ),
+            _ => (
+                fo.simulate_once_with(20_000.0, &mut r1, &mut shared),
+                fo.simulate_once_with(20_000.0, &mut r2, &mut SimWorkspace::new()),
+            ),
+        };
+        assert_eq!(
+            shared_out.downtime_hours.to_bits(),
+            fresh_out.downtime_hours.to_bits(),
+            "iteration {i}"
+        );
+        assert_eq!(shared_out.du_events, fresh_out.du_events, "iteration {i}");
+        assert_eq!(shared_out.dl_events, fresh_out.dl_events, "iteration {i}");
+    }
+}

@@ -62,6 +62,9 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     cancelled: HashSet<u64>,
     next_seq: u64,
+    /// First sequence number issued after the most recent [`Self::clear`];
+    /// handles below it are stale and rejected by [`Self::cancel`].
+    first_live_seq: u64,
     now: f64,
 }
 
@@ -78,8 +81,41 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
+            first_live_seq: 0,
             now: 0.0,
         }
+    }
+
+    /// Creates an empty queue at time zero with room for `n` pending events
+    /// before the heap reallocates.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(n),
+            cancelled: HashSet::with_capacity(n),
+            next_seq: 0,
+            first_live_seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Resets the queue to an empty state at time zero while **retaining**
+    /// the heap's and the cancellation set's allocated capacity. This is the
+    /// hot-loop reset used by simulators that replay many missions on one
+    /// queue without per-mission allocations.
+    ///
+    /// Handles issued before the reset are invalidated: the lazy
+    /// cancellation set is emptied, and sequence numbers keep growing across
+    /// resets, so a stale [`EventHandle`] is rejected by [`Self::cancel`]
+    /// (returns `false`) and can never cancel, or be mistaken for, an event
+    /// scheduled after `clear()`. [`Self::len`] and [`Self::peek_time`]
+    /// therefore stay exact under lazy cancellation after any number of
+    /// reuse cycles: `len()` counts only live post-reset events and
+    /// `peek_time()` never reports a pre-reset entry.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.first_live_seq = self.next_seq;
+        self.now = 0.0;
     }
 
     /// Current simulation time (the timestamp of the last popped event).
@@ -131,7 +167,7 @@ impl<E> EventQueue<E> {
     /// Cancels a scheduled event. Returns `true` if the event was still
     /// pending.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
+        if handle.0 < self.first_live_seq || handle.0 >= self.next_seq {
             return false;
         }
         // Only mark: the heap entry is skipped lazily on pop.
@@ -296,6 +332,61 @@ mod tests {
         q.schedule(1.0, ()).unwrap();
         let err = q.run_until(2.0, |_, _, _| Err(SimError::InvalidConfig("boom".into())));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn clear_resets_clock_events_and_capacity_survives() {
+        let mut q = EventQueue::with_capacity(8);
+        q.schedule(5.0, "a").unwrap();
+        q.schedule(7.0, "b").unwrap();
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+        q.clear();
+        assert_eq!(q.now(), 0.0);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+        // Relative scheduling measures from the reset clock.
+        q.schedule(1.0, "c").unwrap();
+        assert_eq!(q.pop().unwrap(), (1.0, "c"));
+    }
+
+    #[test]
+    fn clear_purges_lazy_cancellations_and_rejects_stale_handles() {
+        let mut q = EventQueue::new();
+        let stale = q.schedule(1.0, "old").unwrap();
+        q.schedule(2.0, "old2").unwrap();
+        q.cancel(stale); // lazily marked, never popped
+        q.clear();
+        // len()/peek_time() are exact after reuse: the pending cancellation
+        // must not leak into the new mission.
+        let h = q.schedule(3.0, "new").unwrap();
+        q.schedule(4.0, "new2").unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(3.0));
+        // A handle from before the reset can neither cancel nor alias a
+        // post-reset event.
+        assert!(!q.cancel(stale));
+        assert_eq!(q.len(), 2);
+        // Post-reset handles still cancel normally.
+        assert!(q.cancel(h));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(4.0));
+        assert_eq!(q.pop().unwrap().1, "new2");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn reuse_cycles_keep_fifo_ties_and_counts() {
+        let mut q = EventQueue::new();
+        for _ in 0..3 {
+            q.schedule(1.0, "first").unwrap();
+            q.schedule(1.0, "second").unwrap();
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop().unwrap().1, "first");
+            assert_eq!(q.pop().unwrap().1, "second");
+            q.clear();
+        }
     }
 
     #[test]

@@ -48,14 +48,45 @@ where
     F: Fn(u64) -> T + Sync,
     A: Fn(&T) -> bool + Sync,
 {
+    ordered_parallel_map_with(items, workers, || (), |(), i| f(i), abort_after)
+}
+
+/// [`ordered_parallel_map`] with **worker-scoped scratch state**: each
+/// worker thread calls `init()` exactly once when it starts and hands the
+/// resulting value mutably to `f` for every item it claims.
+///
+/// This is the allocation-free fan-out primitive: a worker builds its
+/// scratch (event queues, accumulators, buffers) once and reuses it across
+/// all the blocks it processes, so the per-item path performs no heap
+/// allocations after warm-up. The determinism contract is unchanged from
+/// [`ordered_parallel_map`] — results are reassembled in item-index order,
+/// so **as long as `f(state, i)` returns the same value regardless of what
+/// the scratch saw before** (i.e. `f` fully resets the parts of the scratch
+/// it reads), the output is bit-identical at any worker count. The scratch
+/// is dropped when its worker finishes; nothing is returned from it.
+pub fn ordered_parallel_map_with<S, T, I, F, A>(
+    items: u64,
+    workers: usize,
+    init: I,
+    f: F,
+    abort_after: A,
+) -> Vec<(u64, T)>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> T + Sync,
+    A: Fn(&T) -> bool + Sync,
+{
     let workers = workers.clamp(1, usize::try_from(items).unwrap_or(usize::MAX).max(1));
     let cursor = AtomicU64::new(0);
     let aborted = AtomicBool::new(false);
     let mut results: Vec<(u64, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                let (cursor, aborted, f, abort_after) = (&cursor, &aborted, &f, &abort_after);
+                let (cursor, aborted, init, f, abort_after) =
+                    (&cursor, &aborted, &init, &f, &abort_after);
                 scope.spawn(move || {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         if aborted.load(Ordering::Relaxed) {
@@ -65,7 +96,7 @@ where
                         if i >= items {
                             break;
                         }
-                        let value = f(i);
+                        let value = f(&mut state, i);
                         if abort_after(&value) {
                             aborted.store(true, Ordering::Relaxed);
                         }
@@ -119,6 +150,51 @@ mod tests {
             out.iter().map(|(_, v)| *v).sum::<f64>().to_bits()
         };
         assert_eq!(reduce(1), reduce(5));
+    }
+
+    #[test]
+    fn worker_state_is_built_once_per_worker_and_reused() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let workers = 3;
+        let out = ordered_parallel_map_with(
+            50,
+            workers,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                // Scratch: a reusable buffer each item fills and reads.
+                Vec::<u64>::with_capacity(8)
+            },
+            |buf, i| {
+                buf.clear();
+                buf.extend_from_slice(&[i, i + 1]);
+                buf.iter().sum::<u64>()
+            },
+            |_| false,
+        );
+        assert!(inits.load(Ordering::Relaxed) <= workers);
+        assert_eq!(out.len(), 50);
+        for (i, v) in &out {
+            assert_eq!(*v, 2 * i + 1);
+        }
+    }
+
+    #[test]
+    fn worker_state_variant_is_worker_count_invariant() {
+        let reduce = |workers| {
+            let out = ordered_parallel_map_with(
+                500,
+                workers,
+                || 0u64, // per-worker claim counter: result must not read it
+                |count, i| {
+                    *count += 1;
+                    1.0 / (i as f64 + 1.0)
+                },
+                |_| false,
+            );
+            out.iter().map(|(_, v)| *v).sum::<f64>().to_bits()
+        };
+        assert_eq!(reduce(1), reduce(7));
     }
 
     #[test]

@@ -84,6 +84,12 @@ impl EventTrace {
         self.events.push(TraceEvent { time, kind });
     }
 
+    /// Empties the trace while retaining its allocated capacity, so one
+    /// buffer can record many missions without per-mission allocations.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
     /// All recorded events in order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -153,6 +159,15 @@ impl DowntimeLog {
     /// Creates an empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Resets the log to its just-constructed state — no closed outages, no
+    /// open interval — while retaining the outage vector's allocated
+    /// capacity. This is the hot-loop reset used by Monte-Carlo simulators
+    /// that account downtime for millions of missions on one log.
+    pub fn clear(&mut self) {
+        self.outages.clear();
+        self.open = None;
     }
 
     /// Marks the system down at `time` for `cause`. If an outage is already
@@ -287,6 +302,31 @@ mod tests {
         // No downtime -> availability 1.
         let empty = DowntimeLog::new();
         assert_eq!(empty.availability(10.0), 1.0);
+    }
+
+    #[test]
+    fn clear_resets_trace_and_log_for_reuse() {
+        let mut t = EventTrace::new();
+        t.record(1.0, TraceKind::DataLoss);
+        t.clear();
+        assert!(t.is_empty());
+        t.record(2.0, TraceKind::DataUnavailable);
+        assert_eq!(t.len(), 1);
+
+        let mut log = DowntimeLog::new();
+        log.begin(1.0, OutageCause::DataLoss);
+        log.end(2.0);
+        log.begin(3.0, OutageCause::HumanError); // left open: poisoned state
+        assert!(log.is_down());
+        log.clear();
+        assert!(!log.is_down());
+        assert!(log.outages().is_empty());
+        assert_eq!(log.total_downtime(), 0.0);
+        // A fresh mission on the reused log starts from a clean slate.
+        log.begin(5.0, OutageCause::DataLoss);
+        log.finalize(7.0);
+        assert!((log.total_downtime() - 2.0).abs() < 1e-12);
+        assert_eq!(log.count_by_cause(OutageCause::HumanError), 0);
     }
 
     #[test]

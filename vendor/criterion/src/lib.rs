@@ -54,8 +54,18 @@ impl Criterion {
         self
     }
 
-    /// CLI-args hook; the shim ignores harness arguments.
-    pub fn configure_from_args(self) -> Self {
+    /// CLI-args hook. The shim honours one flag: `--test` (alias
+    /// `--quick`), real criterion's "run each benchmark once to check it
+    /// works" mode — samples and time budgets collapse to near-zero so
+    /// `cargo bench -- --test` *executes* every bench body in seconds
+    /// (used by CI's quick-mode bench step). All other arguments are
+    /// ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test" || a == "--quick") {
+            self.sample_size = 2;
+            self.warm_up_time = Duration::from_millis(1);
+            self.measurement_time = Duration::from_millis(20);
+        }
         self
     }
 
