@@ -6,15 +6,18 @@
 //! (`mc.run`, threads = 1) for both models × both engines, prints the
 //! comparison, and writes the machine-readable `BENCH_3.json` snapshot to
 //! the workspace root (`$AVAILSIM_BENCH_OUT` overrides the directory) so
-//! the missions/sec trajectory can be tracked across PRs. Mission volume
-//! scales with `AVAILSIM_BENCH_SCALE` — the checked-in snapshot is taken at
-//! scale 1.
+//! the missions/sec trajectory can be tracked across PRs; it then measures
+//! how many missions each variance scheme needs to pin the unavailability
+//! to a ±10% relative CI across a λ sweep (naive vs failure biasing) and
+//! writes `BENCH_4.json`. Mission volume scales with
+//! `AVAILSIM_BENCH_SCALE` — the checked-in snapshots are taken at scale 1.
 
 use availsim_bench::{
     bench_scale, bench_snapshot_path, mc_iterations, raid5_params, render_mc_throughput_json,
-    McThroughput,
+    render_rare_event_json, McThroughput, RareEventPoint, RareEventRun,
 };
-use availsim_core::mc::{ConventionalMc, FailOverMc, McConfig, McEngine, SimWorkspace};
+use availsim_core::markov::Raid5Conventional;
+use availsim_core::mc::{ConventionalMc, FailOverMc, McConfig, McEngine, McVariance, SimWorkspace};
 use availsim_sim::rng::SimRng;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -33,6 +36,7 @@ fn throughput_config(iterations: u64) -> McConfig {
         seed: 1734,
         confidence: 0.99,
         threads: 1,
+        ..McConfig::default()
     }
 }
 
@@ -132,8 +136,107 @@ fn throughput_snapshot() {
     }
 }
 
+/// Runs one scheme's precision loop and records the budget it needed.
+fn measure_to_precision(
+    mc: &ConventionalMc,
+    variance: McVariance,
+    seed: u64,
+    target: f64,
+    pilot: u64,
+    cap: u64,
+) -> RareEventRun {
+    let cfg = McConfig {
+        iterations: pilot,
+        horizon_hours: HORIZON_HOURS,
+        seed,
+        confidence: 0.99,
+        threads: 1,
+        variance,
+    };
+    let started = Instant::now();
+    let est = mc.run_to_precision(&cfg, target, cap).unwrap();
+    let elapsed = started.elapsed().as_secs_f64();
+    let converged = est.availability.half_width > 0.0 && est.availability.half_width <= target;
+    println!(
+        "    {:<28} {:>10} missions  {}  U = {:.4e}  ({elapsed:.2}s)",
+        variance.to_string(),
+        est.iterations,
+        if converged {
+            "converged "
+        } else {
+            "CAP HIT   "
+        },
+        est.unavailability(),
+    );
+    RareEventRun {
+        scheme: variance.to_string(),
+        missions: est.iterations,
+        converged,
+        estimate: est.unavailability(),
+        elapsed_secs: elapsed,
+    }
+}
+
+/// Missions-to-±10%-relative-CI, naive vs failure biasing, over a λ sweep
+/// whose lowest point has an exact unavailability ≈ 1e-7 — the rare-event
+/// acceptance workload. Writes `BENCH_4.json`.
+fn rare_event_snapshot() {
+    println!(
+        "perf_mc rare-event — RAID5(3+1) Fig. 4 workload, missions to a \
+         ±10% relative 99% CI (hep={HEP}, horizon={HORIZON_HOURS}h, threads=1)"
+    );
+    let mut points = Vec::new();
+    for &lambda in &[2e-7, 1e-6, 3e-6] {
+        let params = raid5_params(lambda, HEP);
+        let exact = Raid5Conventional::new(params)
+            .expect("valid model")
+            .solve()
+            .expect("solvable")
+            .unavailability();
+        let target = 0.1 * exact;
+        println!("  lambda = {lambda:e}: exact U = {exact:.4e}, target hw = {target:.4e}");
+        let mc = ConventionalMc::new(params).expect("valid model");
+        let naive = measure_to_precision(
+            &mc,
+            McVariance::Naive,
+            40 + (lambda * 1e9) as u64,
+            target,
+            mc_iterations(20_000),
+            mc_iterations(16_000_000),
+        );
+        let biased = measure_to_precision(
+            &mc,
+            McVariance::failure_biasing(),
+            40 + (lambda * 1e9) as u64,
+            target,
+            mc_iterations(2_000),
+            mc_iterations(400_000),
+        );
+        let point = RareEventPoint {
+            lambda,
+            exact_unavailability: exact,
+            target_half_width: target,
+            naive,
+            biased,
+        };
+        println!("    mission ratio: {:.1}x", point.mission_ratio());
+        points.push(point);
+    }
+    let json = render_rare_event_json(
+        &format!("raid5_3plus1 fig4 (hep={HEP}, horizon_hours={HORIZON_HOURS})"),
+        bench_scale(),
+        &points,
+    );
+    let path = bench_snapshot_path("BENCH_4.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => println!("  could not write {}: {e}", path.display()),
+    }
+}
+
 fn bench(c: &mut Criterion) {
     throughput_snapshot();
+    rare_event_snapshot();
 
     let params = raid5_params(LAMBDA, HEP);
 
@@ -202,6 +305,7 @@ fn bench(c: &mut Criterion) {
                     seed: 3,
                     confidence: 0.99,
                     threads,
+                    ..McConfig::default()
                 };
                 b.iter(|| black_box(mc.run(&config).unwrap().overall_availability));
             },
@@ -219,6 +323,7 @@ fn bench(c: &mut Criterion) {
                     seed: 3,
                     confidence: 0.99,
                     threads,
+                    ..McConfig::default()
                 };
                 b.iter(|| black_box(mc.run(&config).unwrap().overall_availability));
             },

@@ -67,6 +67,7 @@ pub fn fig4_series(mc_iters: u64) -> Vec<Series> {
                 seed: (lam * 1e9) as u64 ^ (hep * 1e6) as u64,
                 confidence: 0.99,
                 threads: 0,
+                ..McConfig::default()
             };
             let est = ConventionalMc::new(params)
                 .expect("valid model")
@@ -100,6 +101,7 @@ pub fn fig5_table(mc_iters: u64) -> Table {
                 seed: (rate * 1e9) as u64 ^ (beta * 100.0) as u64 ^ (hep * 1e6) as u64,
                 confidence: 0.99,
                 threads: 0,
+                ..McConfig::default()
             };
             let est = mc.run(&config).expect("valid config");
             if est.du_events + est.dl_events == 0 {
@@ -276,6 +278,81 @@ pub fn render_mc_throughput_json(
     out
 }
 
+/// One scheme's missions-to-precision measurement in the rare-event bench.
+#[derive(Debug, Clone)]
+pub struct RareEventRun {
+    /// Scheme label (`naive` or the `McVariance` display form).
+    pub scheme: String,
+    /// Missions the precision loop spent to reach (or give up on) the
+    /// target — the budget a user would have to pay.
+    pub missions: u64,
+    /// Whether the ±10% relative target was actually met within the cap.
+    pub converged: bool,
+    /// The final unavailability estimate.
+    pub estimate: f64,
+    /// Wall-clock seconds for the whole precision loop.
+    pub elapsed_secs: f64,
+}
+
+/// One λ point of the naive-vs-biased missions-to-precision comparison.
+#[derive(Debug, Clone)]
+pub struct RareEventPoint {
+    /// Disk failure rate λ (per hour).
+    pub lambda: f64,
+    /// Exact Fig. 2 CTMC unavailability at this λ.
+    pub exact_unavailability: f64,
+    /// Absolute CI half-width target (±10% relative on the exact value).
+    pub target_half_width: f64,
+    /// The naive run.
+    pub naive: RareEventRun,
+    /// The failure-biasing run.
+    pub biased: RareEventRun,
+}
+
+impl RareEventPoint {
+    /// How many times more missions the naive run needed (or burnt without
+    /// converging) compared to the biased run.
+    pub fn mission_ratio(&self) -> f64 {
+        self.naive.missions as f64 / (self.biased.missions as f64).max(1.0)
+    }
+}
+
+/// Renders the `BENCH_4.json` rare-event snapshot: per λ, the missions
+/// both schemes needed for a ±10% relative CI on the unavailability, with
+/// convergence flags so a capped run cannot masquerade as a converged one.
+/// Hand-rolled with stable key order, like the other snapshots.
+pub fn render_rare_event_json(workload: &str, scale: f64, points: &[RareEventPoint]) -> String {
+    let run = |r: &RareEventRun| {
+        format!(
+            "{{\"scheme\": \"{}\", \"missions\": {}, \"converged\": {}, \
+             \"estimate\": {:.6e}, \"elapsed_secs\": {:.6}}}",
+            r.scheme, r.missions, r.converged, r.estimate, r.elapsed_secs
+        )
+    };
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"perf_mc_rare_event\",\n");
+    out.push_str(&format!("  \"workload\": \"{workload}\",\n"));
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str("  \"target\": \"ci half-width <= 10% of exact unavailability\",\n");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"lambda\": {:e}, \"exact_unavailability\": {:.6e}, \
+             \"target_half_width\": {:.6e},\n     \"naive\": {},\n     \
+             \"biased\": {},\n     \"mission_ratio\": {:.1}}}{}\n",
+            p.lambda,
+            p.exact_unavailability,
+            p.target_half_width,
+            run(&p.naive),
+            run(&p.biased),
+            p.mission_ratio(),
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Where the machine-readable bench snapshots (`BENCH_*.json`) are written:
 /// the workspace root by default, or `$AVAILSIM_BENCH_OUT` when set.
 pub fn bench_snapshot_path(file_name: &str) -> std::path::PathBuf {
@@ -400,6 +477,38 @@ mod tests {
             json.matches(']').count(),
             "{json}"
         );
+    }
+
+    #[test]
+    fn rare_event_json_has_stable_machine_readable_shape() {
+        let mk = |scheme: &str, missions, converged| RareEventRun {
+            scheme: scheme.into(),
+            missions,
+            converged,
+            estimate: 1.05e-7,
+            elapsed_secs: 0.25,
+        };
+        let points = vec![RareEventPoint {
+            lambda: 2e-7,
+            exact_unavailability: 1e-7,
+            target_half_width: 1e-8,
+            naive: mk("naive", 2_500_000, true),
+            biased: mk("failure-biasing(bias=0.5)", 20_000, true),
+        }];
+        assert!((points[0].mission_ratio() - 125.0).abs() < 1e-9);
+        let json = render_rare_event_json("raid5_3plus1 fig4", 1.0, &points);
+        for needle in [
+            "\"bench\": \"perf_mc_rare_event\"",
+            "\"target\": \"ci half-width <= 10% of exact unavailability\"",
+            "\"lambda\": 2e-7",
+            "\"mission_ratio\": 125.0",
+            "\"converged\": true",
+            "\"scheme\": \"failure-biasing(bias=0.5)\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

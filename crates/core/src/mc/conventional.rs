@@ -14,7 +14,10 @@
 //! [`McEngine::Auto`](super::McEngine) replays directly (Gillespie-style),
 //! with no event queue and no per-disk clocks.
 
-use super::{AvailabilityEstimate, IterationOutcome, McConfig, McEngine, SimWorkspace};
+use super::{
+    biased_pick, AvailabilityEstimate, IterationOutcome, McConfig, McEngine, McVariance,
+    SimWorkspace,
+};
 use crate::error::{CoreError, Result};
 use crate::markov::WrongReplacementTiming;
 use crate::params::ModelParams;
@@ -64,6 +67,45 @@ enum Service {
 pub(crate) struct ConvScratch {
     queue: EventQueue<Ev>,
     slot_gen: Vec<u64>,
+}
+
+/// How a mission actually runs once engine *and* variance scheme are
+/// resolved against the failure model.
+#[derive(Debug, Clone, Copy)]
+enum RunMode {
+    /// Plain sampling; `fast` selects the jump chain vs the event queue.
+    Naive { fast: bool },
+    /// Importance sampling on the jump chain (forcing + failure biasing).
+    Biased { bias: f64 },
+    /// Fixed-effort multilevel splitting on the event-queue engine.
+    Split { effort: u64 },
+}
+
+/// Splitting checkpoint: first entry into the degraded state (one failed
+/// disk), with the surviving slots' pending absolute failure times — the
+/// full restartable state of the event-queue engine at that instant.
+#[derive(Debug, Clone)]
+struct ExpEntry {
+    t: f64,
+    failed_slot: usize,
+    pending: Vec<(usize, f64)>,
+}
+
+/// Splitting checkpoint: first entry into a down state.
+#[derive(Debug, Clone, Copy)]
+struct DownEntry {
+    t: f64,
+    data_loss: bool,
+}
+
+/// Where an event-queue mission starts (splitting restarts mid-mission).
+enum EqStart<'a> {
+    /// Mission start: all disks fresh at `t = 0`.
+    Fresh,
+    /// Restart at a degraded-state entry checkpoint.
+    Exp(&'a ExpEntry),
+    /// Restart at a down-state entry checkpoint.
+    Down(DownEntry),
 }
 
 impl ConvScratch {
@@ -174,20 +216,87 @@ impl ConventionalMc {
         self.params.hep.value() * base
     }
 
+    /// Resolves the configured engine and variance scheme to a concrete
+    /// per-mission run mode.
+    ///
+    /// * `FailureBiasing` needs the jump chain (a tractable path density),
+    ///   so it rejects Weibull models and a forced [`McEngine::EventQueue`];
+    ///   `bias = 0` degenerates exactly to the naive run.
+    /// * `Splitting` is defined on the general event-queue engine (it is
+    ///   the rare-event scheme for models with *no* tractable density), so
+    ///   it rejects a forced [`McEngine::JumpChain`]; a single level
+    ///   degenerates exactly to the naive event-queue run.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidParameter`] for the incompatible combinations
+    /// above (and invalid scheme parameters via [`McVariance::validate`]).
+    fn resolve_run_mode(&self, variance: McVariance) -> Result<RunMode> {
+        variance.validate()?;
+        match variance {
+            McVariance::Naive => Ok(RunMode::Naive {
+                fast: self.resolve_fast_path()?,
+            }),
+            McVariance::FailureBiasing { bias } => {
+                if matches!(self.engine, McEngine::EventQueue) {
+                    return Err(CoreError::InvalidParameter(
+                        "failure biasing runs on the jump-chain fast path; \
+                         do not force McEngine::EventQueue with it"
+                            .into(),
+                    ));
+                }
+                if !self.jump_chain_applicable() {
+                    return Err(CoreError::InvalidParameter(
+                        "failure biasing requires exponential failures (the jump \
+                         chain carries the likelihood ratio); use \
+                         McVariance::Splitting for Weibull models"
+                            .into(),
+                    ));
+                }
+                if bias <= 0.0 {
+                    // Exactly the naive estimator, by construction.
+                    Ok(RunMode::Naive { fast: true })
+                } else {
+                    Ok(RunMode::Biased { bias })
+                }
+            }
+            McVariance::Splitting { levels, effort } => {
+                if matches!(self.engine, McEngine::JumpChain) {
+                    return Err(CoreError::InvalidParameter(
+                        "splitting runs on the general event-queue engine; \
+                         do not force McEngine::JumpChain with it"
+                            .into(),
+                    ));
+                }
+                if levels <= 1 {
+                    // One level = no intermediate threshold: a plain
+                    // event-queue run, bit-for-bit.
+                    Ok(RunMode::Naive { fast: false })
+                } else {
+                    // The conventional model's degraded-state depth is 2
+                    // (OP → one-failed → down); deeper level ladders clamp.
+                    Ok(RunMode::Split { effort })
+                }
+            }
+        }
+    }
+
     /// Runs the full Monte-Carlo estimation.
     ///
     /// Each worker thread allocates one [`SimWorkspace`] and reuses it for
     /// every mission it claims, so the mission loop is allocation-free in
-    /// steady state on both engines.
+    /// steady state on both engines (splitting replications allocate their
+    /// checkpoint lists; they are not the nanosecond path).
     ///
     /// # Errors
-    /// Propagates configuration errors, and rejects a forced
-    /// [`McEngine::JumpChain`] on non-exponential failures.
+    /// Propagates configuration errors, rejects a forced
+    /// [`McEngine::JumpChain`] on non-exponential failures, and rejects
+    /// engine/variance combinations that cannot work (see
+    /// [`McVariance`]).
     pub fn run(&self, config: &McConfig) -> Result<AvailabilityEstimate> {
-        let fast = self.resolve_fast_path()?;
+        let mode = self.resolve_run_mode(config.variance)?;
         super::run_iterations_with(config, SimWorkspace::new, |ws, i| {
             let mut rng = SimRng::substream(config.seed, i);
-            self.dispatch(config.horizon_hours, &mut rng, ws, fast)
+            self.dispatch(config.horizon_hours, &mut rng, ws, mode)
         })
     }
 
@@ -204,7 +313,7 @@ impl ConventionalMc {
         target_half_width: f64,
         max_iterations: u64,
     ) -> Result<AvailabilityEstimate> {
-        let fast = self.resolve_fast_path()?;
+        let mode = self.resolve_run_mode(config.variance)?;
         super::run_to_precision_with(
             config,
             target_half_width,
@@ -212,7 +321,7 @@ impl ConventionalMc {
             SimWorkspace::new,
             |ws, i| {
                 let mut rng = SimRng::substream(config.seed, i);
-                self.dispatch(config.horizon_hours, &mut rng, ws, fast)
+                self.dispatch(config.horizon_hours, &mut rng, ws, mode)
             },
         )
     }
@@ -222,12 +331,15 @@ impl ConventionalMc {
         horizon: f64,
         rng: &mut SimRng,
         ws: &mut SimWorkspace,
-        fast: bool,
+        mode: RunMode,
     ) -> IterationOutcome {
-        if fast {
-            self.simulate_jump_chain(horizon, rng, &mut ws.log)
-        } else {
-            self.simulate_event_queue(horizon, rng, ws, None)
+        match mode {
+            RunMode::Naive { fast: true } => self.simulate_jump_chain(horizon, rng, &mut ws.log),
+            RunMode::Naive { fast: false } => self.simulate_event_queue(horizon, rng, ws, None),
+            RunMode::Biased { bias } => {
+                self.simulate_jump_chain_biased(horizon, bias, rng, &mut ws.log)
+            }
+            RunMode::Split { effort } => self.simulate_split_replication(horizon, effort, rng, ws),
         }
     }
 
@@ -375,6 +487,159 @@ impl ConventionalMc {
             dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
             du_events,
             dl_events,
+            weight: 1.0,
+        }
+    }
+
+    /// Simulates one importance-sampled mission on a reusable workspace:
+    /// the jump chain with failure forcing and balanced failure biasing at
+    /// the given `bias` (see [`McVariance::FailureBiasing`]). The returned
+    /// outcome's `weight` carries the path's likelihood ratio; averaging
+    /// `weight × downtime` over missions is unbiased for the nominal
+    /// expected downtime.
+    ///
+    /// `bias <= 0` (or a non-exponential failure model, where the fast path
+    /// does not apply) falls back to the naive engine selection of
+    /// [`Self::simulate_once_with`], with weight 1 — mirroring how the
+    /// batch entry points degenerate.
+    pub fn simulate_once_biased_with(
+        &self,
+        horizon: f64,
+        bias: f64,
+        rng: &mut SimRng,
+        ws: &mut SimWorkspace,
+    ) -> IterationOutcome {
+        if bias > 0.0 && self.jump_chain_applicable() {
+            self.simulate_jump_chain_biased(horizon, bias, rng, &mut ws.log)
+        } else {
+            self.simulate_once_with(horizon, rng, ws)
+        }
+    }
+
+    /// The importance-sampled jump chain: identical state machine to
+    /// [`Self::simulate_jump_chain`], but
+    ///
+    /// * the **first** OP sojourn is *forced* into the mission window (a
+    ///   truncated-exponential draw), multiplying `P(T ≤ horizon)` into the
+    ///   weight — a mission with zero failures contributes zero downtime,
+    ///   so restricting the proposal to failing missions loses nothing and
+    ///   removes the `1/P(any failure)` waste of naive sampling; later OP
+    ///   sojourns stay nominal (their paths carry accrued downtime, so the
+    ///   proposal must keep them reachable);
+    /// * in states with competing exits the winner is drawn with
+    ///   [`biased_pick`] — the failure / human-error exits share proposal
+    ///   mass `bias` — and the likelihood-ratio factor multiplies into the
+    ///   weight.
+    ///
+    /// Two RNG draws per transition, exactly like the naive fast path.
+    fn simulate_jump_chain_biased(
+        &self,
+        horizon: f64,
+        bias: f64,
+        rng: &mut SimRng,
+        log: &mut DowntimeLog,
+    ) -> IterationOutcome {
+        log.clear();
+        let p = &self.params;
+        let n = f64::from(p.disks());
+        let lam = match &self.failures {
+            FailureModel::Exponential(d) => d.rate(),
+            FailureModel::Weibull(_) => unreachable!("fast path requires exponential failures"),
+        };
+        let hep = p.hep.value();
+
+        let op_fail = n * lam;
+        let exp_fail = (n - 1.0) * lam;
+        let exp_repair = (1.0 - hep) * p.disk_repair_rate;
+        let exp_wrong = self.wrong_pull_rate();
+        let du_recover = (1.0 - hep) * p.human_recovery_rate;
+        let du_crash = p.removed_crash_rate;
+        let dl_restore = p.ddf_recovery_rate;
+
+        let mut mode = Mode::Op;
+        let mut t = 0.0;
+        let mut weight = 1.0f64;
+        let mut force_next_failure = true;
+        let (mut du_events, mut dl_events) = (0u64, 0u64);
+
+        loop {
+            let total = match mode {
+                Mode::Op => op_fail,
+                Mode::Exp => exp_fail + exp_repair + exp_wrong,
+                Mode::Du => du_recover + du_crash,
+                Mode::Dl => dl_restore,
+            };
+            let dt = if mode == Mode::Op && force_next_failure {
+                force_next_failure = false;
+                match rng.sample_exp_within(total, horizon - t) {
+                    Some((dt, p_hit)) => {
+                        weight *= p_hit;
+                        dt
+                    }
+                    None => break,
+                }
+            } else {
+                match rng.sample_exp(total) {
+                    Some(dt) => dt,
+                    None => break, // absorbing state: no enabled exits
+                }
+            };
+            t += dt;
+            if t > horizon {
+                break;
+            }
+            match mode {
+                Mode::Op => mode = Mode::Exp,
+                Mode::Exp => {
+                    // Biased set: the second failure and the wrong pull —
+                    // the exits toward the down states.
+                    let exits = [(exp_fail, true), (exp_wrong, true), (exp_repair, false)];
+                    let (idx, ratio) = biased_pick(rng, &exits, total, bias);
+                    weight *= ratio;
+                    match idx {
+                        0 => {
+                            mode = Mode::Dl;
+                            dl_events += 1;
+                            log.begin(t, OutageCause::DataLoss);
+                        }
+                        1 => {
+                            mode = Mode::Du;
+                            du_events += 1;
+                            log.begin(t, OutageCause::HumanError);
+                        }
+                        _ => mode = Mode::Op,
+                    }
+                }
+                Mode::Du => {
+                    // Biased set: the removed-disk crash (DU → DL).
+                    let exits = [(du_crash, true), (du_recover, false)];
+                    let (idx, ratio) = biased_pick(rng, &exits, total, bias);
+                    weight *= ratio;
+                    if idx == 0 {
+                        mode = Mode::Dl;
+                        dl_events += 1;
+                        log.end(t);
+                        log.begin(t, OutageCause::DataLoss);
+                    } else {
+                        mode = Mode::Op;
+                        log.end(t);
+                    }
+                }
+                Mode::Dl => {
+                    mode = Mode::Op;
+                    log.end(t);
+                }
+            }
+        }
+
+        log.finalize(horizon);
+        IterationOutcome {
+            downtime_hours: log.total_downtime(),
+            du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
+            dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
+            du_events,
+            dl_events,
+            weight,
         }
     }
 
@@ -387,8 +652,31 @@ impl ConventionalMc {
         horizon: f64,
         rng: &mut SimRng,
         ws: &mut SimWorkspace,
-        mut trace: Option<&mut EventTrace>,
+        trace: Option<&mut EventTrace>,
     ) -> IterationOutcome {
+        self.run_event_queue(horizon, rng, ws, trace, EqStart::Fresh, false)
+            .0
+    }
+
+    /// The event-queue engine core, restartable from a splitting checkpoint
+    /// and stoppable at the first entry into a down state.
+    ///
+    /// With [`EqStart::Fresh`] and `stop_at_down = false` this is exactly
+    /// the historical mission loop — same RNG consumption, same bits. The
+    /// other start points reconstruct the full engine state at a checkpoint
+    /// (pending failure clocks via absolute-time scheduling, fresh service
+    /// draws at the entry epoch) so a splitting continuation is
+    /// distribution-identical to a mission that reached that state on its
+    /// own.
+    fn run_event_queue(
+        &self,
+        horizon: f64,
+        rng: &mut SimRng,
+        ws: &mut SimWorkspace,
+        mut trace: Option<&mut EventTrace>,
+        start: EqStart<'_>,
+        stop_at_down: bool,
+    ) -> (IterationOutcome, Option<DownEntry>) {
         let n = self.params.disks() as usize;
         let p = &self.params;
         let hep = p.hep.value();
@@ -401,11 +689,60 @@ impl ConventionalMc {
         let mut epoch: u64 = 0;
         let mut failed_slot: Option<usize> = None;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
+        let mut down_entry: Option<DownEntry> = None;
 
-        // Seed all disk clocks.
-        for slot in 0..n {
-            let t = self.failures.sample_ttf(rng);
-            let _ = queue.schedule(t, Ev::Fail { slot, gen: 0 });
+        match start {
+            EqStart::Fresh => {
+                // Seed all disk clocks.
+                for slot in 0..n {
+                    let t = self.failures.sample_ttf(rng);
+                    let _ = queue.schedule(t, Ev::Fail { slot, gen: 0 });
+                }
+            }
+            EqStart::Exp(entry) => {
+                // Degraded-state entry: one slot just failed at `entry.t`,
+                // the survivors keep their pending absolute failure times,
+                // and the service race is armed at the entry instant.
+                mode = Mode::Exp;
+                epoch = 1;
+                failed_slot = Some(entry.failed_slot);
+                slot_gen[entry.failed_slot] = 1; // its clock has fired
+                for &(slot, time) in &entry.pending {
+                    let _ = queue.schedule_at(time, Ev::Fail { slot, gen: 0 });
+                }
+                for (kind, rate) in [
+                    (Service::RepairOk, (1.0 - hep) * p.disk_repair_rate),
+                    (Service::WrongPull, self.wrong_pull_rate()),
+                ] {
+                    if let Some(dt) = rng.sample_exp(rate) {
+                        let _ = queue.schedule_at(entry.t + dt, Ev::Service { kind, epoch });
+                    }
+                }
+            }
+            EqStart::Down(entry) => {
+                // Down-state entry: every failure clock is quiesced (all
+                // slots are renewed on the way back to OP), so the state is
+                // just the mode, the entry time, and the armed recovery
+                // race.
+                epoch = 1;
+                let services: &[(Service, f64)] = if entry.data_loss {
+                    mode = Mode::Dl;
+                    log.begin(entry.t, OutageCause::DataLoss);
+                    &[(Service::Restore, p.ddf_recovery_rate)]
+                } else {
+                    mode = Mode::Du;
+                    log.begin(entry.t, OutageCause::HumanError);
+                    &[
+                        (Service::RecoveryOk, (1.0 - hep) * p.human_recovery_rate),
+                        (Service::RemovedCrash, p.removed_crash_rate),
+                    ]
+                };
+                for &(kind, rate) in services {
+                    if let Some(dt) = rng.sample_exp(rate) {
+                        let _ = queue.schedule_at(entry.t + dt, Ev::Service { kind, epoch });
+                    }
+                }
+            }
         }
 
         macro_rules! schedule_service {
@@ -469,6 +806,10 @@ impl ConventionalMc {
                                 tr.record(t, TraceKind::DiskFailure { disk: slot as u32 });
                                 tr.record(t, TraceKind::DataLoss);
                             }
+                            if stop_at_down {
+                                down_entry = Some(DownEntry { t, data_loss: true });
+                                break;
+                            }
                             schedule_service!(
                                 rng,
                                 queue,
@@ -516,6 +857,13 @@ impl ConventionalMc {
                             if let Some(tr) = trace.as_deref_mut() {
                                 tr.record(t, TraceKind::WrongReplacement { removed_disk: 0 });
                                 tr.record(t, TraceKind::DataUnavailable);
+                            }
+                            if stop_at_down {
+                                down_entry = Some(DownEntry {
+                                    t,
+                                    data_loss: false,
+                                });
+                                break;
                             }
                             schedule_service!(
                                 rng,
@@ -589,12 +937,124 @@ impl ConventionalMc {
         }
 
         log.finalize(horizon);
+        (
+            IterationOutcome {
+                downtime_hours: log.total_downtime(),
+                du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
+                dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
+                du_events,
+                dl_events,
+                weight: 1.0,
+            },
+            down_entry,
+        )
+    }
+
+    /// Stage-1 splitting trial: sample every slot's lifetime and take the
+    /// earliest — the mission's first entry into the degraded state, with
+    /// the survivors' pending clocks, or `None` if no disk fails within the
+    /// horizon. (Before the first failure nothing else can happen, so no
+    /// event queue is needed.)
+    fn sample_first_failure(&self, horizon: f64, rng: &mut SimRng) -> Option<ExpEntry> {
+        let n = self.params.disks() as usize;
+        let mut times = Vec::with_capacity(n);
+        let (mut first_slot, mut first_t) = (0usize, f64::INFINITY);
+        for slot in 0..n {
+            let t = self.failures.sample_ttf(rng);
+            times.push(t);
+            if t < first_t {
+                first_t = t;
+                first_slot = slot;
+            }
+        }
+        if first_t > horizon {
+            return None;
+        }
+        let pending = times
+            .into_iter()
+            .enumerate()
+            .filter(|&(slot, _)| slot != first_slot)
+            .collect();
+        Some(ExpEntry {
+            t: first_t,
+            failed_slot: first_slot,
+            pending,
+        })
+    }
+
+    /// One fixed-effort multilevel-splitting replication on the event-queue
+    /// engine, splitting on degraded-state depth (OP → one-failed → down).
+    ///
+    /// Stage 1 runs `effort` trials to the first disk failure; stage 2 runs
+    /// `effort` continuations — each from a uniformly drawn stage-1 entry
+    /// state — to the first down-state entry; stage 3 runs `effort`
+    /// continuations from uniformly drawn down entries to the horizon,
+    /// measuring the full remaining downtime (including any later outages).
+    /// The replication's estimate is `p̂₁ · p̂₂ · mean(downtime)`, which is
+    /// unbiased for the expected mission downtime: every mission's downtime
+    /// occurs after its first down entry, each stage's empirical mean is
+    /// conditionally unbiased given the previous stage's entry set, and the
+    /// tower property telescopes the product.
+    ///
+    /// The event counts are raw tallies over all trials (diagnostics, not
+    /// estimates); the downtime fields are the weighted estimates with
+    /// `weight = 1` (the weighting already happened internally).
+    fn simulate_split_replication(
+        &self,
+        horizon: f64,
+        effort: u64,
+        rng: &mut SimRng,
+        ws: &mut SimWorkspace,
+    ) -> IterationOutcome {
+        let mut entries: Vec<ExpEntry> = Vec::new();
+        for _ in 0..effort {
+            if let Some(e) = self.sample_first_failure(horizon, rng) {
+                entries.push(e);
+            }
+        }
+        let p1 = entries.len() as f64 / effort as f64;
+        if entries.is_empty() {
+            return IterationOutcome::default();
+        }
+
+        let (mut du_events, mut dl_events) = (0u64, 0u64);
+        let mut downs: Vec<DownEntry> = Vec::new();
+        for _ in 0..effort {
+            let e = &entries[rng.next_bounded(entries.len() as u64) as usize];
+            let (out, down) = self.run_event_queue(horizon, rng, ws, None, EqStart::Exp(e), true);
+            du_events += out.du_events;
+            dl_events += out.dl_events;
+            if let Some(d) = down {
+                downs.push(d);
+            }
+        }
+        let p2 = downs.len() as f64 / effort as f64;
+        if downs.is_empty() {
+            return IterationOutcome {
+                du_events,
+                dl_events,
+                ..IterationOutcome::default()
+            };
+        }
+
+        let (mut sum_dt, mut sum_du, mut sum_dl) = (0.0, 0.0, 0.0);
+        for _ in 0..effort {
+            let d = downs[rng.next_bounded(downs.len() as u64) as usize];
+            let (out, _) = self.run_event_queue(horizon, rng, ws, None, EqStart::Down(d), false);
+            du_events += out.du_events;
+            dl_events += out.dl_events;
+            sum_dt += out.downtime_hours;
+            sum_du += out.du_downtime_hours;
+            sum_dl += out.dl_downtime_hours;
+        }
+        let scale = p1 * p2 / effort as f64;
         IterationOutcome {
-            downtime_hours: log.total_downtime(),
-            du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
-            dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
+            downtime_hours: scale * sum_dt,
+            du_downtime_hours: scale * sum_du,
+            dl_downtime_hours: scale * sum_dl,
             du_events,
             dl_events,
+            weight: 1.0,
         }
     }
 }
@@ -615,6 +1075,7 @@ mod tests {
             seed: 7,
             confidence: 0.99,
             threads: 2,
+            ..McConfig::default()
         }
     }
 
@@ -837,6 +1298,151 @@ mod tests {
             assert_eq!(a.du_events, b.du_events, "{engine:?}");
             assert_eq!(a.dl_events, b.dl_events, "{engine:?}");
         }
+    }
+
+    #[test]
+    fn failure_biasing_covers_markov_where_naive_sees_nothing() {
+        // λ so small that 400 × 10kh missions essentially never fail a
+        // disk: naive MC returns a degenerate full-availability estimate,
+        // while the biased estimator still brackets the exact chain.
+        let p = params(1e-8, 0.01);
+        let exact = crate::markov::Raid5Conventional::new(p)
+            .unwrap()
+            .solve()
+            .unwrap()
+            .unavailability();
+        let cfg = McConfig {
+            variance: McVariance::failure_biasing(),
+            ..quick_config(400)
+        };
+        let est = ConventionalMc::new(p).unwrap().run(&cfg).unwrap();
+        assert!(est.unavailability() > 0.0);
+        assert!(
+            est.is_consistent_with_unavailability(exact),
+            "exact {exact:.3e} outside CI {} (U_est {:.3e})",
+            est.availability,
+            est.unavailability()
+        );
+        assert!(est.max_weight.is_finite() && est.max_weight > 0.0);
+        assert!(est.effective_sample_size > 0.0);
+
+        let naive = ConventionalMc::new(p)
+            .unwrap()
+            .run(&quick_config(400))
+            .unwrap();
+        assert_eq!(naive.du_events + naive.dl_events, 0);
+        assert!(!naive.is_consistent_with_unavailability(exact));
+    }
+
+    #[test]
+    fn zero_bias_degenerates_to_the_naive_estimator_bitwise() {
+        let p = params(1e-3, 0.01);
+        let mc = ConventionalMc::new(p).unwrap();
+        let naive = mc.run(&quick_config(300)).unwrap();
+        let biased = mc
+            .run(&McConfig {
+                variance: McVariance::FailureBiasing { bias: 0.0 },
+                ..quick_config(300)
+            })
+            .unwrap();
+        assert_eq!(
+            naive.overall_availability.to_bits(),
+            biased.overall_availability.to_bits()
+        );
+        assert_eq!(
+            naive.availability.half_width.to_bits(),
+            biased.availability.half_width.to_bits()
+        );
+        assert_eq!(naive.du_events, biased.du_events);
+        assert_eq!(naive.max_weight.to_bits(), biased.max_weight.to_bits());
+    }
+
+    #[test]
+    fn failure_biasing_rejects_weibull_and_forced_event_queue() {
+        let cfg = McConfig {
+            variance: McVariance::failure_biasing(),
+            ..quick_config(10)
+        };
+        let weibull = FailureModel::weibull(1e-3, 1.48).unwrap();
+        let mc = ConventionalMc::with_failure_model(params(1e-4, 0.01), weibull).unwrap();
+        assert!(mc.run(&cfg).is_err());
+        let mc = ConventionalMc::new(params(1e-4, 0.01))
+            .unwrap()
+            .with_engine(McEngine::EventQueue);
+        assert!(mc.run(&cfg).is_err());
+    }
+
+    #[test]
+    fn splitting_single_level_is_bitwise_the_event_queue_run() {
+        let weibull = FailureModel::weibull(1e-3, 1.48).unwrap();
+        let mc = ConventionalMc::with_failure_model(params(1e-4, 0.01), weibull).unwrap();
+        let naive = mc
+            .run(&McConfig {
+                variance: McVariance::Naive,
+                ..quick_config(100)
+            })
+            .unwrap();
+        let split = mc
+            .run(&McConfig {
+                variance: McVariance::Splitting {
+                    levels: 1,
+                    effort: 32,
+                },
+                ..quick_config(100)
+            })
+            .unwrap();
+        assert_eq!(
+            naive.overall_availability.to_bits(),
+            split.overall_availability.to_bits()
+        );
+        assert_eq!(
+            naive.availability.half_width.to_bits(),
+            split.availability.half_width.to_bits()
+        );
+        assert_eq!(naive.du_events, split.du_events);
+        assert_eq!(naive.dl_events, split.dl_events);
+    }
+
+    #[test]
+    fn splitting_rejects_a_forced_jump_chain() {
+        let mc = ConventionalMc::new(params(1e-4, 0.01))
+            .unwrap()
+            .with_engine(McEngine::JumpChain);
+        let cfg = McConfig {
+            variance: McVariance::splitting(),
+            ..quick_config(10)
+        };
+        assert!(mc.run(&cfg).is_err());
+    }
+
+    #[test]
+    fn splitting_estimates_track_the_naive_estimate_at_moderate_rates() {
+        // Where naive MC converges fine, splitting must land in the same
+        // place (CIs overlap) — exponential model so the chain's general
+        // engine is exercised end to end.
+        let p = params(1e-3, 0.02);
+        let mc = ConventionalMc::new(p)
+            .unwrap()
+            .with_engine(McEngine::EventQueue);
+        let naive = mc.run(&quick_config(600)).unwrap();
+        let split = ConventionalMc::new(p)
+            .unwrap()
+            .run(&McConfig {
+                variance: McVariance::Splitting {
+                    levels: 2,
+                    effort: 32,
+                },
+                ..quick_config(200)
+            })
+            .unwrap();
+        assert!(split.unavailability() > 0.0);
+        let gap = (naive.availability.mean - split.availability.mean).abs();
+        assert!(
+            gap <= naive.availability.half_width + split.availability.half_width,
+            "naive {} vs split {}",
+            naive.availability,
+            split.availability
+        );
     }
 
     #[test]

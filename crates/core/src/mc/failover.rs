@@ -14,8 +14,11 @@
 //! two RNG draws per transition, no heap.
 
 use self::states::Mode;
-use super::{AvailabilityEstimate, IterationOutcome, McConfig, McEngine, SimWorkspace};
-use crate::error::Result;
+use super::{
+    biased_pick, AvailabilityEstimate, IterationOutcome, McConfig, McEngine, McVariance,
+    SimWorkspace,
+};
+use crate::error::{CoreError, Result};
 use crate::params::ModelParams;
 use availsim_sim::engine::EventQueue;
 use availsim_sim::rng::SimRng;
@@ -82,19 +85,20 @@ struct Jump {
 const MAX_EXITS: usize = 4;
 
 /// Precomputed outgoing transitions of all twelve states: per state the
-/// `(rate, target)` pairs (in the DESIGN.md §3.2 table order), the number
-/// of entries, and the total exit rate. Built once per model in
-/// [`FailOverMc::new`], shared by both engines so neither allocates in the
-/// mission loop.
+/// `(rate, target, in-biased-set)` triples (in the DESIGN.md §3.2 table
+/// order), the number of entries, and the total exit rate. The biased flag
+/// marks the failure / human-error / crash exits that balanced failure
+/// biasing inflates. Built once per model in [`FailOverMc::new`], shared by
+/// both engines so neither allocates in the mission loop.
 #[derive(Debug, Clone, Copy)]
 struct JumpTable {
-    exits: [[(f64, Mode); MAX_EXITS]; 12],
+    exits: [[(f64, Mode, bool); MAX_EXITS]; 12],
     len: [usize; 12],
     totals: [f64; 12],
 }
 
 impl JumpTable {
-    fn exits_of(&self, mode: Mode) -> &[(f64, Mode)] {
+    fn exits_of(&self, mode: Mode) -> &[(f64, Mode, bool)] {
         let i = mode as usize;
         &self.exits[i][..self.len[i]]
     }
@@ -133,7 +137,7 @@ impl FailOverMc {
             params,
             engine: McEngine::Auto,
             table: JumpTable {
-                exits: [[(0.0, Mode::Op); MAX_EXITS]; 12],
+                exits: [[(0.0, Mode::Op, false); MAX_EXITS]; 12],
                 len: [0; 12],
                 totals: [0.0; 12],
             },
@@ -142,8 +146,8 @@ impl FailOverMc {
             let i = mode as usize;
             let exits = mc.exits(mode);
             assert!(exits.len() <= MAX_EXITS, "exit table row overflow");
-            for (k, (rate, to)) in exits.iter().enumerate() {
-                mc.table.exits[i][k] = (*rate, *to);
+            for (k, &(rate, to, biased)) in exits.iter().enumerate() {
+                mc.table.exits[i][k] = (rate, to, biased);
                 mc.table.totals[i] += rate;
             }
             mc.table.len[i] = exits.len();
@@ -170,10 +174,13 @@ impl FailOverMc {
         !matches!(self.engine, McEngine::EventQueue)
     }
 
-    /// Outgoing transitions of a state as `(rate, target)` pairs —
+    /// Outgoing transitions of a state as `(rate, target, biased)` triples —
     /// the DESIGN.md §3.2 table, shared verbatim with the Markov model's
-    /// builder through the tests that compare both.
-    fn exits(&self, mode: Mode) -> Vec<(f64, Mode)> {
+    /// builder through the tests that compare both. The `biased` flag marks
+    /// the exits whose rate carries a failure (λ), a human-error slip
+    /// (`hep·μ`), or a removed-disk crash — the set balanced failure
+    /// biasing inflates; the service/recovery exits stay unbiased.
+    fn exits(&self, mode: Mode) -> Vec<(f64, Mode, bool)> {
         let p = &self.params;
         let n = f64::from(p.disks());
         let hep = p.hep.value();
@@ -183,47 +190,84 @@ impl FailOverMc {
         let crash = p.removed_crash_rate;
         use Mode::*;
         match mode {
-            Op => vec![(n * lam, Exp1)],
-            Exp1 => vec![((n - 1.0) * lam, Dl), (mu_df, OpNs)],
+            Op => vec![(n * lam, Exp1, true)],
+            Exp1 => vec![((n - 1.0) * lam, Dl, true), (mu_df, OpNs, false)],
             OpNs => vec![
-                (n * lam, ExpNs1),
-                ((1.0 - hep) * mu_ch, Op),
-                (hep * mu_ch, ExpNs2),
+                (n * lam, ExpNs1, true),
+                ((1.0 - hep) * mu_ch, Op, false),
+                (hep * mu_ch, ExpNs2, true),
             ],
             ExpNs1 => vec![
-                ((1.0 - hep) * mu_df, OpNs),
-                ((1.0 - hep) * mu_ch, Exp1),
-                (hep * (mu_df + mu_ch), DuNs1),
-                ((n - 1.0) * lam, DlNs),
+                ((1.0 - hep) * mu_df, OpNs, false),
+                ((1.0 - hep) * mu_ch, Exp1, false),
+                (hep * (mu_df + mu_ch), DuNs1, true),
+                ((n - 1.0) * lam, DlNs, true),
             ],
             ExpNs2 => vec![
-                ((1.0 - hep) * mu_he, Op),
-                (hep * mu_he, DuNs2),
-                (crash, ExpNs1),
-                ((n - 1.0) * lam, DuNs1),
+                ((1.0 - hep) * mu_he, Op, false),
+                (hep * mu_he, DuNs2, true),
+                (crash, ExpNs1, true),
+                ((n - 1.0) * lam, DuNs1, true),
             ],
             Exp2 => vec![
-                ((1.0 - hep) * mu_he, Op),
-                (hep * mu_he, Du2),
-                (crash, Exp1),
-                ((n - 1.0) * lam, Du1),
+                ((1.0 - hep) * mu_he, Op, false),
+                (hep * mu_he, Du2, true),
+                (crash, Exp1, true),
+                ((n - 1.0) * lam, Du1, true),
             ],
             Du1 => vec![
-                ((1.0 - hep) * mu_he, Exp1),
-                (crash, Dl),
-                (mu_ddf, Op),
-                (hep * mu_he, Du2),
+                ((1.0 - hep) * mu_he, Exp1, false),
+                (crash, Dl, true),
+                (mu_ddf, Op, false),
+                (hep * mu_he, Du2, true),
             ],
-            Du2 => vec![((1.0 - hep) * mu_he, Exp2), (2.0 * crash, Du1)],
+            Du2 => vec![((1.0 - hep) * mu_he, Exp2, false), (2.0 * crash, Du1, true)],
             DuNs1 => vec![
-                ((1.0 - hep) * mu_he, ExpNs1),
-                (crash, DlNs),
-                (mu_ddf, OpNs),
-                ((1.0 - hep) * mu_ch, Du1),
+                ((1.0 - hep) * mu_he, ExpNs1, false),
+                (crash, DlNs, true),
+                (mu_ddf, OpNs, false),
+                ((1.0 - hep) * mu_ch, Du1, false),
             ],
-            DuNs2 => vec![((1.0 - hep) * mu_he, ExpNs2), (2.0 * crash, DuNs1)],
-            Dl => vec![(mu_ddf, Op)],
-            DlNs => vec![(mu_ddf, OpNs), ((1.0 - hep) * mu_ch, Dl)],
+            DuNs2 => vec![
+                ((1.0 - hep) * mu_he, ExpNs2, false),
+                (2.0 * crash, DuNs1, true),
+            ],
+            Dl => vec![(mu_ddf, Op, false)],
+            DlNs => vec![(mu_ddf, OpNs, false), ((1.0 - hep) * mu_ch, Dl, false)],
+        }
+    }
+
+    /// Resolves the variance scheme against the configured engine: every
+    /// Fig. 3 transition is exponential, so failure biasing always applies
+    /// (on the fast path), while splitting — the scheme for models with no
+    /// tractable path density — has nothing to offer here and is rejected.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidParameter`] for splitting, for biasing on a
+    /// forced [`McEngine::EventQueue`], or for invalid scheme parameters.
+    fn resolve_bias(&self, variance: McVariance) -> Result<Option<f64>> {
+        variance.validate()?;
+        match variance {
+            McVariance::Naive => Ok(None),
+            McVariance::FailureBiasing { bias } => {
+                if matches!(self.engine, McEngine::EventQueue) {
+                    Err(CoreError::InvalidParameter(
+                        "failure biasing runs on the jump-chain fast path; \
+                         do not force McEngine::EventQueue with it"
+                            .into(),
+                    ))
+                } else if bias <= 0.0 {
+                    Ok(None) // exactly the naive estimator
+                } else {
+                    Ok(Some(bias))
+                }
+            }
+            McVariance::Splitting { .. } => Err(CoreError::InvalidParameter(
+                "splitting targets the conventional model's event-queue engine \
+                 (non-exponential lifetimes); the fail-over chain is fully \
+                 exponential — use McVariance::FailureBiasing instead"
+                    .into(),
+            )),
         }
     }
 
@@ -234,15 +278,24 @@ impl FailOverMc {
     /// steady state on both engines.
     ///
     /// # Errors
-    /// Propagates configuration errors.
+    /// Propagates configuration errors and invalid engine/variance
+    /// combinations (see [`McVariance`]).
     pub fn run(&self, config: &McConfig) -> Result<AvailabilityEstimate> {
         let fast = self.fast_path();
+        let bias = self.resolve_bias(config.variance)?;
         super::run_iterations_with(config, SimWorkspace::new, |ws, i| {
             let mut rng = SimRng::substream(config.seed, i);
-            if fast {
-                self.simulate_jump_chain(config.horizon_hours, &mut rng, &mut ws.log)
-            } else {
-                self.simulate_event_queue(config.horizon_hours, &mut rng, ws)
+            match bias {
+                Some(bias) => self.simulate_jump_chain_biased(
+                    config.horizon_hours,
+                    bias,
+                    &mut rng,
+                    &mut ws.log,
+                ),
+                None if fast => {
+                    self.simulate_jump_chain(config.horizon_hours, &mut rng, &mut ws.log)
+                }
+                None => self.simulate_event_queue(config.horizon_hours, &mut rng, ws),
             }
         })
     }
@@ -300,7 +353,7 @@ impl FailOverMc {
             // then wins (its upper edge is the total by construction).
             let mut u = rng.next_f64() * total;
             let mut next = mode;
-            for &(rate, to) in self.table.exits_of(mode) {
+            for &(rate, to, _) in self.table.exits_of(mode) {
                 if rate <= 0.0 {
                     continue;
                 }
@@ -315,7 +368,85 @@ impl FailOverMc {
         }
 
         log.finalize(horizon);
-        outcome_from(log, du_events, dl_events)
+        outcome_from(log, du_events, dl_events, 1.0)
+    }
+
+    /// Simulates one importance-sampled mission on a reusable workspace
+    /// (see [`McVariance::FailureBiasing`]); the returned outcome's
+    /// `weight` carries the path's likelihood ratio. `bias <= 0` falls back
+    /// to [`Self::simulate_once_with`] with weight 1.
+    pub fn simulate_once_biased_with(
+        &self,
+        horizon: f64,
+        bias: f64,
+        rng: &mut SimRng,
+        ws: &mut SimWorkspace,
+    ) -> IterationOutcome {
+        if bias > 0.0 {
+            self.simulate_jump_chain_biased(horizon, bias, rng, &mut ws.log)
+        } else {
+            self.simulate_once_with(horizon, rng, ws)
+        }
+    }
+
+    /// The importance-sampled jump chain: the first OP sojourn is *forced*
+    /// into the mission window (its hit probability multiplies the weight),
+    /// and in every state the winning exit is drawn with [`biased_pick`] —
+    /// the failure / human-error / crash exits share proposal mass `bias`.
+    /// Same two RNG draws per transition as the naive fast path.
+    fn simulate_jump_chain_biased(
+        &self,
+        horizon: f64,
+        bias: f64,
+        rng: &mut SimRng,
+        log: &mut DowntimeLog,
+    ) -> IterationOutcome {
+        log.clear();
+        let mut mode = Mode::Op;
+        let mut t = 0.0;
+        let mut weight = 1.0f64;
+        let mut force_next_failure = true;
+        let (mut du_events, mut dl_events) = (0u64, 0u64);
+
+        loop {
+            let total = self.table.totals[mode as usize];
+            let dt = if mode == Mode::Op && force_next_failure {
+                force_next_failure = false;
+                match rng.sample_exp_within(total, horizon - t) {
+                    Some((dt, p_hit)) => {
+                        weight *= p_hit;
+                        dt
+                    }
+                    None => break,
+                }
+            } else {
+                match rng.sample_exp(total) {
+                    Some(dt) => dt,
+                    None => break, // absorbing state: no enabled exits
+                }
+            };
+            t += dt;
+            if t > horizon {
+                break;
+            }
+            let exits = self.table.exits_of(mode);
+            let next = if exits.len() == 1 {
+                exits[0].1
+            } else {
+                let mut flags = [(0.0, false); MAX_EXITS];
+                for (k, &(rate, _, biased)) in exits.iter().enumerate() {
+                    flags[k] = (rate, biased);
+                }
+                let (idx, ratio) = biased_pick(rng, &flags[..exits.len()], total, bias);
+                weight *= ratio;
+                exits[idx].1
+            };
+            account_transition(mode, next, t, log, &mut du_events, &mut dl_events);
+            mode = next;
+        }
+
+        log.finalize(horizon);
+        outcome_from(log, du_events, dl_events, weight)
     }
 
     /// The general event-queue engine: arm one exponential clock per
@@ -337,7 +468,7 @@ impl FailOverMc {
         let (mut du_events, mut dl_events) = (0u64, 0u64);
 
         let arm = |mode: Mode, epoch: u64, queue: &mut EventQueue<Jump>, rng: &mut SimRng| {
-            for &(rate, to) in self.table.exits_of(mode) {
+            for &(rate, to, _) in self.table.exits_of(mode) {
                 if let Some(dt) = rng.sample_exp(rate) {
                     let _ = queue.schedule(dt, Jump { to, epoch });
                 }
@@ -360,7 +491,7 @@ impl FailOverMc {
         }
 
         log.finalize(horizon);
-        outcome_from(log, du_events, dl_events)
+        outcome_from(log, du_events, dl_events, 1.0)
     }
 }
 
@@ -402,13 +533,19 @@ fn account_transition(
     }
 }
 
-fn outcome_from(log: &DowntimeLog, du_events: u64, dl_events: u64) -> IterationOutcome {
+fn outcome_from(
+    log: &DowntimeLog,
+    du_events: u64,
+    dl_events: u64,
+    weight: f64,
+) -> IterationOutcome {
     IterationOutcome {
         downtime_hours: log.total_downtime(),
         du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
         dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
         du_events,
         dl_events,
+        weight,
     }
 }
 
@@ -429,6 +566,7 @@ mod tests {
             seed: 11,
             confidence: 0.99,
             threads: 2,
+            ..McConfig::default()
         }
     }
 
@@ -457,7 +595,7 @@ mod tests {
         for mode in Mode::ALL {
             let from = chain.find_state(label(mode)).expect("state exists");
             let mut total = 0.0;
-            for (rate, to) in mc.exits(mode) {
+            for (rate, to, _) in mc.exits(mode) {
                 let to_id = chain.find_state(label(to)).expect("state exists");
                 let chain_rate = chain.rate(from, to_id);
                 assert!(
@@ -484,9 +622,10 @@ mod tests {
             let cached = mc.table.exits_of(mode);
             assert_eq!(fresh.len(), cached.len());
             let mut total = 0.0;
-            for ((r1, t1), (r2, t2)) in fresh.iter().zip(cached) {
+            for ((r1, t1, b1), (r2, t2, b2)) in fresh.iter().zip(cached) {
                 assert_eq!(r1.to_bits(), r2.to_bits());
                 assert_eq!(t1, t2);
+                assert_eq!(b1, b2);
                 total += r1;
             }
             assert!((total - mc.table.totals[mode as usize]).abs() < 1e-15);
@@ -562,6 +701,92 @@ mod tests {
             let est = mc.run(&quick_config(300)).unwrap();
             assert_eq!(est.du_events, 0, "{engine:?}");
         }
+    }
+
+    #[test]
+    fn biased_exit_set_marks_failure_error_and_crash_rates() {
+        // Every biased-flagged rate must be built from λ, hep, or the crash
+        // rate: turning all three off must zero exactly the biased exits.
+        let mut p = params(1e-4, 0.0);
+        p.removed_crash_rate = 0.0;
+        let mc = FailOverMc::new(p).unwrap();
+        for mode in Mode::ALL {
+            for (rate, to, biased) in mc.exits(mode) {
+                if biased {
+                    // hep = 0, crash = 0 ⇒ only λ-driven exits keep a rate.
+                    let failure_driven = rate > 0.0;
+                    if failure_driven {
+                        assert!(
+                            rate <= 4.0 * p.disk_failure_rate + 1e-18,
+                            "{mode:?} -> {to:?}: biased rate {rate} is not λ-scale"
+                        );
+                    }
+                } else {
+                    assert!(rate > 0.0, "{mode:?} -> {to:?}: service exit disabled");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failure_biasing_covers_fig3_markov_where_naive_sees_nothing() {
+        let p = params(1e-8, 0.01);
+        let exact = Raid5FailOver::new(p)
+            .unwrap()
+            .solve()
+            .unwrap()
+            .unavailability();
+        let cfg = McConfig {
+            variance: crate::mc::McVariance::failure_biasing(),
+            horizon_hours: 87_600.0,
+            ..quick_config(600)
+        };
+        let est = FailOverMc::new(p).unwrap().run(&cfg).unwrap();
+        assert!(est.unavailability() > 0.0);
+        assert!(
+            est.is_consistent_with_unavailability(exact),
+            "exact {exact:.3e} outside CI {} (U_est {:.3e})",
+            est.availability,
+            est.unavailability()
+        );
+        let naive = FailOverMc::new(p)
+            .unwrap()
+            .run(&McConfig {
+                horizon_hours: 87_600.0,
+                ..quick_config(600)
+            })
+            .unwrap();
+        assert_eq!(naive.du_events + naive.dl_events, 0);
+    }
+
+    #[test]
+    fn zero_bias_degenerates_to_naive_and_splitting_is_rejected() {
+        let p = params(1e-3, 0.01);
+        let mc = FailOverMc::new(p).unwrap();
+        let naive = mc.run(&quick_config(200)).unwrap();
+        let zero = mc
+            .run(&McConfig {
+                variance: crate::mc::McVariance::FailureBiasing { bias: 0.0 },
+                ..quick_config(200)
+            })
+            .unwrap();
+        assert_eq!(
+            naive.overall_availability.to_bits(),
+            zero.overall_availability.to_bits()
+        );
+        assert!(mc
+            .run(&McConfig {
+                variance: crate::mc::McVariance::splitting(),
+                ..quick_config(10)
+            })
+            .is_err());
+        assert!(mc
+            .with_engine(McEngine::EventQueue)
+            .run(&McConfig {
+                variance: crate::mc::McVariance::failure_biasing(),
+                ..quick_config(10)
+            })
+            .is_err());
     }
 
     #[test]

@@ -66,6 +66,157 @@ pub enum McEngine {
     JumpChain,
 }
 
+/// Variance-reduction scheme of a Monte-Carlo run — how the missions are
+/// sampled, not what they estimate. Every scheme returns an **unbiased**
+/// [`AvailabilityEstimate`]; the rare-event schemes reach a target relative
+/// precision with orders of magnitude fewer missions when outages are rare
+/// (paper-grade λ, where naive MC needs ~`1/U` missions per digit).
+///
+/// * [`McVariance::Naive`] — every mission is drawn from the nominal model
+///   with weight 1. The default, and the right choice whenever outages are
+///   common enough that a few thousand missions observe many of them.
+/// * [`McVariance::FailureBiasing`] — importance sampling on the jump-chain
+///   fast path: the first failure is *forced* into the mission window
+///   (truncated-exponential sojourn) and, in states with competing exits,
+///   *balanced failure biasing* gives the failure / human-error transitions
+///   a total probability `bias` (split equally among them) instead of their
+///   tiny nominal share. Each mission carries the likelihood ratio of its
+///   path; the estimator weights missions by it, so the result is unbiased,
+///   and [`AvailabilityEstimate::effective_sample_size`] /
+///   [`AvailabilityEstimate::max_weight`] report how well-behaved the
+///   weights were. Requires the jump chain (exponential failures).
+/// * [`McVariance::Splitting`] — fixed-effort multilevel splitting on the
+///   general event-queue engine (the only option for Weibull lifetimes,
+///   where no likelihood ratio is tractable): each iteration becomes one
+///   *replication* that runs `effort` trials per degraded-state depth level
+///   (OP → degraded → down), restarts trials from the entry states of the
+///   previous level, and multiplies the per-level hit fractions into an
+///   unbiased downtime estimate.
+///
+/// # Examples
+///
+/// ```
+/// use availsim_core::mc::{ConventionalMc, McConfig, McVariance};
+/// use availsim_core::ModelParams;
+/// use availsim_hra::Hep;
+///
+/// # fn main() -> availsim_core::Result<()> {
+/// // λ so small that 2000 naive ten-year missions would usually see no
+/// // outage at all; failure biasing resolves the unavailability anyway.
+/// let params = ModelParams::raid5_3plus1(1e-8, Hep::new(0.01)?)?;
+/// let est = ConventionalMc::new(params)?.run(&McConfig {
+///     iterations: 2_000,
+///     variance: McVariance::FailureBiasing { bias: 0.5 },
+///     ..McConfig::default()
+/// })?;
+/// assert!(est.unavailability() > 0.0);
+/// assert!(est.max_weight.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum McVariance {
+    /// Plain Monte-Carlo: nominal-model missions, unit weights.
+    #[default]
+    Naive,
+    /// Importance sampling via failure forcing + balanced failure biasing
+    /// on the jump-chain fast path.
+    FailureBiasing {
+        /// Total proposal probability of the biased (failure / human-error)
+        /// exit set in states with competing exits, in `[0, 1)`; `0`
+        /// degenerates exactly to [`McVariance::Naive`]. `0.5` is the
+        /// standard balanced choice.
+        bias: f64,
+    },
+    /// Fixed-effort multilevel splitting on the event-queue engine.
+    Splitting {
+        /// Number of splitting stages over the degraded-state depth
+        /// (clamped to the model's depth; `1` degenerates exactly to a
+        /// naive event-queue run).
+        levels: u32,
+        /// Trials per stage within one replication (one configured
+        /// iteration = one replication of `levels × effort` partial
+        /// missions).
+        effort: u64,
+    },
+}
+
+impl McVariance {
+    /// Default `bias` of [`Self::failure_biasing`] — the single source the
+    /// CLI and campaign-spec defaults flow from.
+    pub const DEFAULT_BIAS: f64 = 0.5;
+    /// Default `levels` of [`Self::splitting`].
+    pub const DEFAULT_LEVELS: u32 = 2;
+    /// Default `effort` of [`Self::splitting`].
+    pub const DEFAULT_EFFORT: u64 = 64;
+
+    /// The standard balanced-failure-biasing configuration
+    /// (`bias = `[`Self::DEFAULT_BIAS`]).
+    pub fn failure_biasing() -> Self {
+        McVariance::FailureBiasing {
+            bias: Self::DEFAULT_BIAS,
+        }
+    }
+
+    /// The default splitting configuration ([`Self::DEFAULT_LEVELS`]
+    /// levels, [`Self::DEFAULT_EFFORT`] trials each).
+    pub fn splitting() -> Self {
+        McVariance::Splitting {
+            levels: Self::DEFAULT_LEVELS,
+            effort: Self::DEFAULT_EFFORT,
+        }
+    }
+
+    /// Validates the scheme's parameters.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] for a bias outside `[0, 1)`
+    /// or a degenerate splitting configuration.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            McVariance::Naive => Ok(()),
+            McVariance::FailureBiasing { bias } => {
+                if bias.is_finite() && (0.0..1.0).contains(&bias) {
+                    Ok(())
+                } else {
+                    Err(CoreError::InvalidParameter(format!(
+                        "failure-biasing bias must be in [0, 1), got {bias} \
+                         (bias = 1 would starve the repair exits, whose paths \
+                         have positive nominal probability)"
+                    )))
+                }
+            }
+            McVariance::Splitting { levels, effort } => {
+                if levels < 1 {
+                    return Err(CoreError::InvalidParameter(
+                        "splitting needs at least one level".into(),
+                    ));
+                }
+                if effort < 2 {
+                    return Err(CoreError::InvalidParameter(format!(
+                        "splitting effort must be at least 2, got {effort}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for McVariance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            McVariance::Naive => f.write_str("naive"),
+            McVariance::FailureBiasing { bias } => {
+                write!(f, "failure-biasing(bias={bias:?})")
+            }
+            McVariance::Splitting { levels, effort } => {
+                write!(f, "splitting(levels={levels}, effort={effort})")
+            }
+        }
+    }
+}
+
 /// Reusable per-worker simulation scratch: every buffer a mission needs,
 /// allocated once and recycled, so the per-mission loop performs **zero
 /// heap allocations after warm-up**.
@@ -173,7 +324,14 @@ pub struct McConfig {
     /// seed substream, and block partials are merged in block order — so
     /// `threads = 1` and `threads = N` produce identical estimates down to
     /// the last floating-point bit. Only wall-clock time varies.
+    ///
+    /// The contract extends to every [`McVariance`] scheme: per-mission
+    /// likelihood-ratio weights (and splitting replication estimates) are
+    /// accumulated per scheduling block and merged in index order.
     pub threads: usize,
+    /// Variance-reduction scheme (see [`McVariance`]); defaults to
+    /// [`McVariance::Naive`].
+    pub variance: McVariance,
 }
 
 impl Default for McConfig {
@@ -184,6 +342,7 @@ impl Default for McConfig {
             seed: 0x5EED_DA7A,
             confidence: 0.99,
             threads: 0,
+            variance: McVariance::Naive,
         }
     }
 }
@@ -212,7 +371,7 @@ impl McConfig {
                 self.confidence
             )));
         }
-        Ok(())
+        self.variance.validate()
     }
 
     /// Resolves `threads`: an explicit count is used as-is; `0` (auto) is
@@ -223,7 +382,7 @@ impl McConfig {
 }
 
 /// Outcome of one simulated mission.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationOutcome {
     /// Total downtime within the mission, hours.
     pub downtime_hours: f64,
@@ -235,6 +394,25 @@ pub struct IterationOutcome {
     pub du_events: u64,
     /// Number of data-loss events.
     pub dl_events: u64,
+    /// Likelihood-ratio weight of the mission: the nominal-model probability
+    /// density of the sampled path over the proposal's. Exactly `1.0` for
+    /// naive sampling and for splitting replications (which weight
+    /// internally); under [`McVariance::FailureBiasing`] the unbiased
+    /// estimator averages `weight × downtime`.
+    pub weight: f64,
+}
+
+impl Default for IterationOutcome {
+    fn default() -> Self {
+        IterationOutcome {
+            downtime_hours: 0.0,
+            du_downtime_hours: 0.0,
+            dl_downtime_hours: 0.0,
+            du_events: 0,
+            dl_events: 0,
+            weight: 1.0,
+        }
+    }
 }
 
 /// Aggregate result of a Monte-Carlo availability run.
@@ -248,14 +426,31 @@ pub struct AvailabilityEstimate {
     pub mean_downtime_hours: f64,
     /// Share of downtime caused by human error (`DU`), in `[0, 1]`.
     pub du_downtime_share: f64,
-    /// Total DU events across all iterations.
+    /// Total DU events across all **simulated paths**. Under
+    /// [`McVariance::Naive`] this is the nominal mission event count; under
+    /// failure biasing it counts events on the *proposal* paths (nearly
+    /// every forced mission fails, so it vastly exceeds the nominal rate),
+    /// and under splitting it tallies every partial trial of every
+    /// replication. In the rare-event modes treat it as a
+    /// did-the-run-see-anything diagnostic, not an estimate — the weighted
+    /// downtime fields carry the unbiased estimates.
     pub du_events: u64,
-    /// Total DL events across all iterations.
+    /// Total DL events across all simulated paths (same caveat as
+    /// [`Self::du_events`]).
     pub dl_events: u64,
     /// Number of iterations.
     pub iterations: u64,
     /// Mission time per iteration, hours.
     pub horizon_hours: f64,
+    /// Kish's effective sample size `(Σw)² / Σw²` over the per-mission
+    /// likelihood-ratio weights. Equals `iterations` for naive sampling; a
+    /// value far below the iteration count warns that a few huge weights
+    /// dominate an importance-sampled estimate and its CI is optimistic.
+    pub effective_sample_size: f64,
+    /// Largest per-mission likelihood-ratio weight observed — the
+    /// complementary importance-sampling diagnostic (a single weight close
+    /// to `Σw` means the estimate hinges on one path).
+    pub max_weight: f64,
 }
 
 impl AvailabilityEstimate {
@@ -270,9 +465,34 @@ impl AvailabilityEstimate {
     }
 
     /// Whether an external availability value (e.g. from a Markov model)
-    /// falls inside this run's confidence interval.
+    /// is consistent with this run — shorthand for
+    /// [`Self::is_consistent_with_unavailability`] on `1 − availability`.
+    /// Prefer the unavailability form when the reference is tiny: near-zero
+    /// unavailabilities vanish when rounded through availability space
+    /// (`1.0 - 1e-18 == 1.0` in `f64`).
     pub fn is_consistent_with(&self, availability: f64) -> bool {
-        self.availability.contains(availability)
+        self.is_consistent_with_unavailability(1.0 - availability)
+    }
+
+    /// Whether an external unavailability value (e.g. the exact CTMC
+    /// solution) is consistent with this run's confidence interval.
+    ///
+    /// The comparison is scale-aware: the tolerance is the interval
+    /// half-width itself, applied in unavailability space, and a
+    /// **degenerate zero-width interval is never consistent with a value it
+    /// did not literally estimate**. In particular a run that observed no
+    /// failures (every availability sample exactly 1, half-width 0) does
+    /// not trivially "validate" an arbitrarily small positive
+    /// unavailability — it resolved nothing at that scale.
+    pub fn is_consistent_with_unavailability(&self, unavailability: f64) -> bool {
+        // Exact for means in [0.5, 1] (Sterbenz), which every availability
+        // model here satisfies; keeps tiny unavailabilities comparable.
+        let u_est = 1.0 - self.availability.mean;
+        let hw = self.availability.half_width;
+        if hw <= 0.0 {
+            return u_est == unavailability;
+        }
+        (u_est - unavailability).abs() <= hw
     }
 }
 
@@ -327,13 +547,102 @@ where
             ..*config
         };
         let est = run_iterations_with(&cfg, &make_ws, &sim)?;
-        if est.availability.half_width <= target_half_width || total >= max_iterations {
+        // A zero-width interval is *degenerate*, not converged: every
+        // sample was identical — typically a rare-event run whose batch
+        // observed no failure at all. Declaring victory there would report
+        // an impossibly tight CI around an estimate of nothing, so the
+        // loop keeps growing the sample (geometrically, having learnt no
+        // variance to extrapolate from) until the budget runs out.
+        let degenerate = est.availability.half_width <= 0.0;
+        if total >= max_iterations
+            || (!degenerate && est.availability.half_width <= target_half_width)
+        {
             return Ok(est);
         }
-        // Quadratic growth rule: required n scales with (hw/target)².
-        let ratio = (est.availability.half_width / target_half_width).powi(2);
-        let next = ((total as f64) * ratio * 1.2).ceil() as u64;
+        let next = if degenerate {
+            total.saturating_mul(4)
+        } else {
+            // Quadratic growth rule: required n scales with (hw/target)².
+            let ratio = (est.availability.half_width / target_half_width).powi(2);
+            ((total as f64) * ratio * 1.2).ceil() as u64
+        };
         total = next.clamp(total + 1, max_iterations);
+    }
+}
+
+/// Balanced-failure-biased selection of one exit among a jump-chain state's
+/// competing transitions.
+///
+/// `exits` lists `(nominal rate, in-biased-set)` pairs; the biased set (the
+/// failure / human-error transitions) receives total proposal probability
+/// `bias`, split **equally** among its positive-rate members ("balanced"),
+/// while the remaining `1 − bias` is distributed over the other exits
+/// proportionally to their nominal rates. Returns the chosen exit's index
+/// and the likelihood-ratio factor `p_nominal / p_proposal` for the weight.
+///
+/// Draws exactly one uniform. Falls back to plain rate-proportional
+/// selection (factor 1) when the biased set is empty, the unbiased set has
+/// no positive rate to carry the remaining mass, or `bias <= 0` — the same
+/// zero-rate fencing as the naive jump chains (a disabled exit never wins).
+pub(crate) fn biased_pick(
+    rng: &mut availsim_sim::rng::SimRng,
+    exits: &[(f64, bool)],
+    total_rate: f64,
+    bias: f64,
+) -> (usize, f64) {
+    let biased_count = exits.iter().filter(|&&(r, b)| b && r > 0.0).count();
+    let unbiased_rate: f64 = exits
+        .iter()
+        .filter(|&&(r, b)| !b && r > 0.0)
+        .map(|&(r, _)| r)
+        .sum();
+    if bias <= 0.0 || biased_count == 0 || unbiased_rate <= 0.0 {
+        // Nominal proportional selection; the final positive-rate exit wins
+        // when fl(u·total) rounds up past the last bucket edge.
+        let mut u = rng.next_f64() * total_rate;
+        let mut idx = 0;
+        for (k, &(rate, _)) in exits.iter().enumerate() {
+            if rate <= 0.0 {
+                continue;
+            }
+            idx = k;
+            if u < rate {
+                break;
+            }
+            u -= rate;
+        }
+        return (idx, 1.0);
+    }
+    let u = rng.next_f64();
+    if u < bias {
+        // Equal split among the biased positive-rate exits; `u / bias` is
+        // uniform in [0, 1), so the sub-index reuses the same draw.
+        let pick = (((u / bias) * biased_count as f64) as usize).min(biased_count - 1);
+        let (idx, rate) = exits
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(r, b))| b && r > 0.0)
+            .map(|(k, &(r, _))| (k, r))
+            .nth(pick)
+            .expect("pick < biased_count");
+        (idx, rate * biased_count as f64 / (total_rate * bias))
+    } else {
+        // Proportional among the unbiased exits with the remaining mass.
+        // p_nom/p_prop = unbiased_rate / ((1 − bias)·total) for every
+        // member, so the factor needs no per-exit bookkeeping.
+        let mut target = (u - bias) / (1.0 - bias) * unbiased_rate;
+        let mut idx = 0;
+        for (k, &(rate, b)) in exits.iter().enumerate() {
+            if b || rate <= 0.0 {
+                continue;
+            }
+            idx = k;
+            if target < rate {
+                break;
+            }
+            target -= rate;
+        }
+        (idx, unbiased_rate / ((1.0 - bias) * total_rate))
     }
 }
 
@@ -393,6 +702,9 @@ where
         du_downtime: f64,
         du_events: u64,
         dl_events: u64,
+        weight_sum: f64,
+        weight_sq_sum: f64,
+        weight_max: f64,
     }
 
     let partials = ordered_parallel_map_with(
@@ -408,15 +720,24 @@ where
                 du_downtime: 0.0,
                 du_events: 0,
                 dl_events: 0,
+                weight_sum: 0.0,
+                weight_sq_sum: 0.0,
+                weight_max: 0.0,
             };
             for i in lo..hi {
                 let out = sim(ws, i);
+                // `weight` is exactly 1.0 for naive sampling, and `1.0 * x`
+                // is a bit-exact identity — the naive estimator is
+                // unchanged down to the last bit.
                 p.stats
-                    .push(1.0 - out.downtime_hours / config.horizon_hours);
-                p.downtime += out.downtime_hours;
-                p.du_downtime += out.du_downtime_hours;
+                    .push(1.0 - out.weight * out.downtime_hours / config.horizon_hours);
+                p.downtime += out.weight * out.downtime_hours;
+                p.du_downtime += out.weight * out.du_downtime_hours;
                 p.du_events += out.du_events;
                 p.dl_events += out.dl_events;
+                p.weight_sum += out.weight;
+                p.weight_sq_sum += out.weight * out.weight;
+                p.weight_max = p.weight_max.max(out.weight);
             }
             p
         },
@@ -425,12 +746,16 @@ where
 
     let mut stats = RunningStats::new();
     let (mut downtime, mut du_dt, mut du_ev, mut dl_ev) = (0.0, 0.0, 0u64, 0u64);
+    let (mut w_sum, mut w_sq, mut w_max) = (0.0, 0.0, 0.0f64);
     for (_, p) in partials {
         stats.merge(&p.stats);
         downtime += p.downtime;
         du_dt += p.du_downtime;
         du_ev += p.du_events;
         dl_ev += p.dl_events;
+        w_sum += p.weight_sum;
+        w_sq += p.weight_sq_sum;
+        w_max = w_max.max(p.weight_max);
     }
 
     let availability = t_interval(&stats, config.confidence).map_err(CoreError::from)?;
@@ -448,6 +773,12 @@ where
         dl_events: dl_ev,
         iterations,
         horizon_hours: config.horizon_hours,
+        effective_sample_size: if w_sq > 0.0 {
+            w_sum * w_sum / w_sq
+        } else {
+            0.0
+        },
+        max_weight: w_max,
     })
 }
 
@@ -474,6 +805,54 @@ mod tests {
     }
 
     #[test]
+    fn variance_validation() {
+        let with = |variance| McConfig {
+            variance,
+            ..McConfig::default()
+        };
+        assert!(with(McVariance::Naive).validate().is_ok());
+        assert!(with(McVariance::failure_biasing()).validate().is_ok());
+        assert!(with(McVariance::FailureBiasing { bias: 0.0 })
+            .validate()
+            .is_ok());
+        assert!(with(McVariance::FailureBiasing { bias: 1.0 })
+            .validate()
+            .is_err());
+        assert!(with(McVariance::FailureBiasing { bias: -0.1 })
+            .validate()
+            .is_err());
+        assert!(with(McVariance::FailureBiasing { bias: f64::NAN })
+            .validate()
+            .is_err());
+        assert!(with(McVariance::splitting()).validate().is_ok());
+        assert!(with(McVariance::Splitting {
+            levels: 0,
+            effort: 8
+        })
+        .validate()
+        .is_err());
+        assert!(with(McVariance::Splitting {
+            levels: 2,
+            effort: 1
+        })
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn variance_display_is_stable() {
+        assert_eq!(McVariance::Naive.to_string(), "naive");
+        assert_eq!(
+            McVariance::failure_biasing().to_string(),
+            "failure-biasing(bias=0.5)"
+        );
+        assert_eq!(
+            McVariance::splitting().to_string(),
+            "splitting(levels=2, effort=64)"
+        );
+    }
+
+    #[test]
     fn runner_aggregates_deterministically_across_thread_counts() {
         let sim = |i: u64| IterationOutcome {
             downtime_hours: (i % 10) as f64,
@@ -481,6 +860,7 @@ mod tests {
             dl_downtime_hours: (i % 10) as f64 / 2.0,
             du_events: i % 3,
             dl_events: i % 2,
+            weight: 1.0,
         };
         let mk = |threads| McConfig {
             iterations: 1000,
@@ -488,6 +868,7 @@ mod tests {
             seed: 1,
             confidence: 0.95,
             threads,
+            ..McConfig::default()
         };
         let one = run_iterations(&mk(1), sim).unwrap();
         let many = run_iterations(&mk(4), sim).unwrap();
@@ -515,6 +896,7 @@ mod tests {
                     seed: 99,
                     confidence: 0.95,
                     threads,
+                    ..McConfig::default()
                 })
                 .unwrap()
             };
@@ -553,10 +935,7 @@ mod tests {
         // same bits, since chunking is thread-count independent anyway.
         let sim = |i: u64| IterationOutcome {
             downtime_hours: (i as f64).sin().abs(),
-            du_downtime_hours: 0.0,
-            dl_downtime_hours: 0.0,
-            du_events: 0,
-            dl_events: 0,
+            ..IterationOutcome::default()
         };
         let mk = |threads| McConfig {
             iterations: 300,
@@ -564,6 +943,7 @@ mod tests {
             seed: 1,
             confidence: 0.95,
             threads,
+            ..McConfig::default()
         };
         let auto = run_iterations(&mk(0), sim).unwrap();
         let explicit = run_iterations(&mk(mk(0).effective_threads()), sim).unwrap();
@@ -594,6 +974,7 @@ mod tests {
             seed: 1,
             confidence: 0.95,
             threads: 1,
+            ..McConfig::default()
         };
         let est =
             run_to_precision_with(&cfg, 1e-9, MIN_PILOT_ITERATIONS, || (), |_, i| sim(i)).unwrap();
@@ -618,6 +999,7 @@ mod tests {
             dl_downtime_hours: 0.0,
             du_events: 1,
             dl_events: 0,
+            weight: 1.0,
         };
         let cfg = McConfig {
             iterations: 100,
@@ -625,6 +1007,7 @@ mod tests {
             seed: 0,
             confidence: 0.95,
             threads: 2,
+            ..McConfig::default()
         };
         let est = run_iterations(&cfg, sim).unwrap();
         assert!((est.overall_availability - 0.99).abs() < 1e-12);
@@ -633,5 +1016,94 @@ mod tests {
         assert_eq!(est.du_events, 100);
         assert!((est.nines() - 2.0).abs() < 1e-9);
         assert!(est.is_consistent_with(0.99));
+        // Naive weights: ESS equals the sample size, max weight is one.
+        assert!((est.effective_sample_size - 100.0).abs() < 1e-9);
+        assert_eq!(est.max_weight, 1.0);
+    }
+
+    #[test]
+    fn weighted_outcomes_produce_unbiased_aggregate_and_diagnostics() {
+        // Synthetic importance-sampled stream: every mission observes
+        // downtime 10 h with weight 0.1 — the weighted mean downtime is
+        // 1 h, and the skew shows up in the ESS.
+        let sim = |i: u64| IterationOutcome {
+            downtime_hours: 10.0,
+            du_downtime_hours: 10.0,
+            weight: if i.is_multiple_of(2) { 0.1 } else { 0.19 },
+            ..IterationOutcome::default()
+        };
+        let cfg = McConfig {
+            iterations: 100,
+            horizon_hours: 100.0,
+            seed: 0,
+            confidence: 0.95,
+            threads: 2,
+            ..McConfig::default()
+        };
+        let est = run_iterations(&cfg, sim).unwrap();
+        let mean_weighted_downtime = (0.1 + 0.19) / 2.0 * 10.0;
+        assert!((est.mean_downtime_hours - mean_weighted_downtime).abs() < 1e-12);
+        assert!((est.overall_availability - (1.0 - mean_weighted_downtime / 100.0)).abs() < 1e-12);
+        assert_eq!(est.max_weight, 0.19);
+        let (w_sum, w_sq) = (50.0 * (0.1 + 0.19), 50.0 * (0.01 + 0.0361));
+        assert!((est.effective_sample_size - w_sum * w_sum / w_sq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_interval_is_not_consistent_with_near_zero_unavailability() {
+        // Regression for the scale-aware consistency check: a run whose
+        // every sample was exactly 1.0 (no failures observed) has a
+        // zero-width interval and must NOT claim agreement with a tiny but
+        // positive exact unavailability.
+        let cfg = McConfig {
+            iterations: 64,
+            horizon_hours: 100.0,
+            seed: 0,
+            confidence: 0.99,
+            threads: 1,
+            ..McConfig::default()
+        };
+        let est = run_iterations(&cfg, |_| IterationOutcome::default()).unwrap();
+        assert_eq!(est.availability.half_width, 0.0);
+        assert!(est.is_consistent_with_unavailability(0.0));
+        assert!(!est.is_consistent_with_unavailability(1e-12));
+        assert!(!est.is_consistent_with_unavailability(1e-18));
+        // A non-degenerate interval keeps CI-half-width tolerance.
+        let est = run_iterations(&cfg, |i| IterationOutcome {
+            downtime_hours: (i % 2) as f64,
+            ..IterationOutcome::default()
+        })
+        .unwrap();
+        assert!(est.availability.half_width > 0.0);
+        let u = 1.0 - est.availability.mean;
+        assert!(est.is_consistent_with_unavailability(u + est.availability.half_width / 2.0));
+        assert!(!est.is_consistent_with_unavailability(u + est.availability.half_width * 2.0));
+    }
+
+    #[test]
+    fn precision_loop_does_not_converge_on_a_degenerate_zero_event_pilot() {
+        // Regression: a rare-event pilot whose missions all observe zero
+        // downtime yields a zero-width CI; the old loop declared the target
+        // met on no evidence. It must now keep growing to the budget.
+        let sim = |i: u64| IterationOutcome {
+            // The first event appears only at iteration 500.
+            downtime_hours: if i >= 500 { 1.0 } else { 0.0 },
+            ..IterationOutcome::default()
+        };
+        let cfg = McConfig {
+            iterations: 32,
+            horizon_hours: 100.0,
+            seed: 1,
+            confidence: 0.95,
+            threads: 1,
+            ..McConfig::default()
+        };
+        let est = run_to_precision_with(&cfg, 1e-3, 4096, || (), |_, i| sim(i)).unwrap();
+        assert!(
+            est.iterations > 500,
+            "stopped at {} iterations with a degenerate CI",
+            est.iterations
+        );
+        assert!(est.availability.half_width > 0.0);
     }
 }

@@ -84,6 +84,7 @@ mod tests {
             seed: 99,
             confidence: 0.99,
             threads: 2,
+            ..McConfig::default()
         }
     }
 

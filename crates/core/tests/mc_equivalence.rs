@@ -28,6 +28,7 @@ fn config(iterations: u64, seed: u64) -> McConfig {
         seed,
         confidence: 0.99,
         threads: 0,
+        ..McConfig::default()
     }
 }
 

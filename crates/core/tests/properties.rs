@@ -201,6 +201,7 @@ fn mc_agrees_with_markov_at_random_points() {
                 seed: (i * 10 + j) as u64,
                 confidence: 0.995,
                 threads: 0,
+                ..McConfig::default()
             };
             let est = ConventionalMc::new(p).unwrap().run(&config).unwrap();
             let markov = Raid5Conventional::new(p).unwrap().solve().unwrap();

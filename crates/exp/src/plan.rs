@@ -105,6 +105,11 @@ impl Plan {
         let _ = writeln!(out, "campaign {}", s.name);
         let _ = writeln!(out, "  model    : {}", s.model);
         let _ = writeln!(out, "  seed     : {}", s.seed);
+        if s.model == crate::spec::ModelKind::Mc
+            && s.mc.variance != availsim_core::mc::McVariance::Naive
+        {
+            let _ = writeln!(out, "  variance : {}", s.mc.variance);
+        }
         if let Some(cap) = s.capacity {
             let _ = writeln!(out, "  capacity : {cap} disk units (volume metrics on)");
         }
@@ -212,6 +217,19 @@ mod tests {
         assert!(d1.contains("RAID5(3+1)"));
         assert!(d1.contains("conventional"));
         assert!(d1.contains("1e-5"));
+    }
+
+    #[test]
+    fn describe_shows_the_variance_line_only_for_rare_event_mc() {
+        let naive =
+            Scenario::parse("[campaign]\nname = n\nmodel = mc\n[axes]\nlambda = 1e-6\n").unwrap();
+        assert!(!expand(&naive).unwrap().describe().contains("variance"));
+        let biased = Scenario::parse(
+            "[campaign]\nname = b\nmodel = mc\n[axes]\nlambda = 1e-6\n[mc]\nvariance = failure-biasing\n",
+        )
+        .unwrap();
+        let d = expand(&biased).unwrap().describe();
+        assert!(d.contains("  variance : failure-biasing(bias=0.5)"), "{d}");
     }
 
     #[test]

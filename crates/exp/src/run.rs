@@ -230,6 +230,7 @@ fn mc_estimate(
         seed,
         confidence: mc.confidence,
         threads: 1,
+        variance: mc.variance,
     };
     let est = match policy {
         Policy::Conventional => ConventionalMc::new(params)?.run(&config)?,

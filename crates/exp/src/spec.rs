@@ -21,6 +21,9 @@
 //! iterations = 2000
 //! horizon_hours = 87600
 //! confidence = 0.99
+//! variance = failure-biasing         # naive | failure-biasing | splitting
+//! bias = 0.5                         # optional, failure-biasing only
+//! # levels = 2 / effort = 64         # optional, splitting only
 //! ```
 //!
 //! Recognised axes are `lambda` (disk failure rate per hour), `hep`
@@ -29,6 +32,7 @@
 //! model's default replacement discipline per cell).
 
 use crate::error::{ExpError, Result};
+use availsim_core::mc::McVariance;
 use availsim_hra::Hep;
 use availsim_storage::RaidGeometry;
 use std::fmt;
@@ -171,6 +175,11 @@ pub struct McSettings {
     pub horizon_hours: f64,
     /// Confidence level of the availability interval.
     pub confidence: f64,
+    /// Variance-reduction scheme (`variance = naive | failure-biasing |
+    /// splitting`, tuned by the optional `bias` / `levels` / `effort`
+    /// keys). Rides into [`availsim_core::mc::McConfig::variance`]
+    /// unchanged.
+    pub variance: McVariance,
 }
 
 impl Default for McSettings {
@@ -179,6 +188,7 @@ impl Default for McSettings {
             iterations: 2_000,
             horizon_hours: 87_600.0,
             confidence: 0.99,
+            variance: McVariance::Naive,
         }
     }
 }
@@ -335,6 +345,99 @@ fn scalar(e: &Entry) -> Result<&str> {
     Ok(&e.items[0])
 }
 
+/// Combines the `[mc]` variance keys into a [`McVariance`], rejecting
+/// tuning keys that do not belong to the selected scheme (a `bias` under
+/// `splitting` is a spec mistake, not something to ignore).
+fn combine_variance(
+    name: Option<(usize, String)>,
+    bias: Option<(usize, f64)>,
+    levels: Option<(usize, u64)>,
+    effort: Option<(usize, u64)>,
+) -> Result<McVariance> {
+    let (line, name) = match name {
+        Some((line, name)) => (line, name),
+        None => {
+            let orphan = [
+                bias.map(|(l, _)| (l, "bias")),
+                levels.map(|(l, _)| (l, "levels")),
+                effort.map(|(l, _)| (l, "effort")),
+            ]
+            .into_iter()
+            .flatten()
+            .next();
+            if let Some((l, key)) = orphan {
+                return Err(parse_err(
+                    l,
+                    format!("`{key}` requires a `variance` key in [mc]"),
+                ));
+            }
+            return Ok(McVariance::Naive);
+        }
+    };
+    let reject = |opt: Option<(usize, u64)>, key: &str, scheme: &str| -> Result<()> {
+        match opt {
+            Some((l, _)) => Err(parse_err(
+                l,
+                format!("`{key}` does not apply to `variance = {scheme}`"),
+            )),
+            None => Ok(()),
+        }
+    };
+    // Out-of-range values are reported against the offending tuning key's
+    // own line (falling back to the `variance` line for defaults).
+    let (variance, err_line) = match name.as_str() {
+        "naive" => {
+            if let Some((l, _)) = bias {
+                return Err(parse_err(l, "`bias` does not apply to `variance = naive`"));
+            }
+            reject(levels, "levels", "naive")?;
+            reject(effort, "effort", "naive")?;
+            (McVariance::Naive, line)
+        }
+        "failure-biasing" => {
+            reject(levels, "levels", "failure-biasing")?;
+            reject(effort, "effort", "failure-biasing")?;
+            (
+                McVariance::FailureBiasing {
+                    bias: bias.map_or(McVariance::DEFAULT_BIAS, |(_, b)| b),
+                },
+                bias.map_or(line, |(l, _)| l),
+            )
+        }
+        "splitting" => {
+            if let Some((l, _)) = bias {
+                return Err(parse_err(
+                    l,
+                    "`bias` does not apply to `variance = splitting`",
+                ));
+            }
+            let lv = levels.map_or(u64::from(McVariance::DEFAULT_LEVELS), |(_, v)| v);
+            let variance = McVariance::Splitting {
+                levels: lv.min(u64::from(u32::MAX)) as u32,
+                effort: effort.map_or(McVariance::DEFAULT_EFFORT, |(_, v)| v),
+            };
+            // Blame the least-valid key: a bad levels value wins, then a
+            // bad effort value, then the `variance` line itself.
+            let err_line = if lv < 1 {
+                levels.map_or(line, |(l, _)| l)
+            } else {
+                effort.map_or(line, |(l, _)| l)
+            };
+            (variance, err_line)
+        }
+        other => {
+            return Err(parse_err(
+                line,
+                format!("unknown variance `{other}` (use naive, failure-biasing, splitting)"),
+            ))
+        }
+    };
+    variance
+        .validate()
+        .map_err(|e| parse_err(err_line, e.to_string()))?;
+    Ok(variance)
+}
+
 impl Scenario {
     /// Parses a spec file's contents.
     ///
@@ -408,6 +511,12 @@ impl Scenario {
         }
 
         let mut scenario = Scenario::default();
+        // The variance keys combine after the scan (the tuning keys may
+        // appear before or after `variance` in the file).
+        let mut variance_name: Option<(usize, String)> = None;
+        let mut bias: Option<(usize, f64)> = None;
+        let mut levels: Option<(usize, u64)> = None;
+        let mut effort: Option<(usize, u64)> = None;
 
         for (sec, e) in &entries {
             match (sec.as_str(), e.key.as_str()) {
@@ -494,12 +603,25 @@ impl Scenario {
                 ("mc", "confidence") => {
                     scenario.mc.confidence = parse_f64(e.line, "confidence", scalar(e)?)?;
                 }
+                ("mc", "variance") => {
+                    variance_name = Some((e.line, scalar(e)?.to_string()));
+                }
+                ("mc", "bias") => {
+                    bias = Some((e.line, parse_f64(e.line, "bias", scalar(e)?)?));
+                }
+                ("mc", "levels") => {
+                    levels = Some((e.line, parse_u64(e.line, "levels", scalar(e)?)?));
+                }
+                ("mc", "effort") => {
+                    effort = Some((e.line, parse_u64(e.line, "effort", scalar(e)?)?));
+                }
                 (sec, key) => {
                     return Err(parse_err(e.line, format!("unknown key `{key}` in [{sec}]")));
                 }
             }
         }
 
+        scenario.mc.variance = combine_variance(variance_name, bias, levels, effort)?;
         scenario.validate()?;
         Ok(scenario)
     }
@@ -574,6 +696,16 @@ impl Scenario {
                 "mc confidence must be in (0,1), got {}",
                 self.mc.confidence
             )));
+        }
+        if self.model == ModelKind::Mc
+            && matches!(self.mc.variance, McVariance::Splitting { .. })
+            && self.effective_policies().contains(&Policy::Failover)
+        {
+            return Err(ExpError::InvalidSpec(
+                "variance = splitting applies to the conventional policy only \
+                 (the fail-over chain is fully exponential; use failure-biasing)"
+                    .into(),
+            ));
         }
         Ok(())
     }
@@ -738,9 +870,72 @@ lambda = 1e-5
         assert_eq!(s.mc.iterations, 500);
         assert_eq!(s.mc.horizon_hours, 1000.0);
         assert_eq!(s.mc.confidence, 0.9);
+        assert_eq!(s.mc.variance, McVariance::Naive);
         assert!(
             Scenario::parse("[campaign]\nname = m\nmodel = mc\n[mc]\niterations = 1\n").is_err()
         );
+    }
+
+    #[test]
+    fn variance_keys_parse_and_combine() {
+        let base = "[campaign]\nname = v\nmodel = mc\n[mc]\n";
+        let parse = |mc: &str| Scenario::parse(&format!("{base}{mc}"));
+
+        let s = parse("variance = failure-biasing\n").unwrap();
+        assert_eq!(s.mc.variance, McVariance::FailureBiasing { bias: 0.5 });
+        // Tuning keys combine regardless of their order relative to
+        // `variance`.
+        let s = parse("bias = 0.7\nvariance = failure-biasing\n").unwrap();
+        assert_eq!(s.mc.variance, McVariance::FailureBiasing { bias: 0.7 });
+        let s = parse("variance = splitting\nlevels = 3\neffort = 16\n").unwrap();
+        assert_eq!(
+            s.mc.variance,
+            McVariance::Splitting {
+                levels: 3,
+                effort: 16
+            }
+        );
+        let s = parse("variance = splitting\n").unwrap();
+        assert_eq!(
+            s.mc.variance,
+            McVariance::Splitting {
+                levels: 2,
+                effort: 64
+            }
+        );
+        let s = parse("variance = naive\n").unwrap();
+        assert_eq!(s.mc.variance, McVariance::Naive);
+    }
+
+    #[test]
+    fn variance_key_errors_carry_lines_and_reject_mismatched_tuning() {
+        let base = "[campaign]\nname = v\nmodel = mc\n[mc]\n";
+        let parse = |mc: &str| Scenario::parse(&format!("{base}{mc}"));
+
+        let e = parse("variance = quantum\n").unwrap_err();
+        assert!(e.to_string().contains("unknown variance"), "{e}");
+        let e = parse("bias = 0.5\n").unwrap_err();
+        assert!(e.to_string().contains("requires a `variance`"), "{e}");
+        let e = parse("variance = splitting\nbias = 0.5\n").unwrap_err();
+        assert!(e.to_string().contains("does not apply"), "{e}");
+        let e = parse("variance = failure-biasing\nlevels = 2\n").unwrap_err();
+        assert!(e.to_string().contains("does not apply"), "{e}");
+        let e = parse("variance = naive\neffort = 8\n").unwrap_err();
+        assert!(e.to_string().contains("does not apply"), "{e}");
+        // Core-level parameter validation surfaces as a parse error naming
+        // the offending tuning key's own line.
+        let e = parse("variance = failure-biasing\nbias = 1.5\n").unwrap_err();
+        assert!(e.to_string().contains("line 6"), "{e}");
+        let e = parse("variance = splitting\neffort = 1\n").unwrap_err();
+        assert!(e.to_string().contains("line 6"), "{e}");
+        let e = parse("variance = splitting\nlevels = 0\neffort = 8\n").unwrap_err();
+        assert!(e.to_string().contains("line 6"), "{e}");
+        // Splitting is conventional-only: a failover policy axis rejects.
+        let e = Scenario::parse(
+            "[campaign]\nname = v\nmodel = mc\n[axes]\npolicy = [failover]\n[mc]\nvariance = splitting\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("conventional policy only"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Golden test for the shipped rare-event campaign: the biased Fig. 6
+//! variant must agree with a naive Monte-Carlo run of the same grid — every
+//! unavailability column within the two runs' combined confidence
+//! intervals — and stay byte-identical across worker counts.
+
+use availsim_core::mc::McVariance;
+use availsim_exp::plan::expand;
+use availsim_exp::run::{run, RunConfig};
+use availsim_exp::spec::Scenario;
+use availsim_exp::{report, ExpError};
+
+/// Loads the spec file the repository actually ships.
+fn biased_spec() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/specs/fig6_raid_biased.campaign"
+    );
+    std::fs::read_to_string(path).expect("examples/specs/fig6_raid_biased.campaign exists")
+}
+
+#[test]
+fn biased_campaign_parses_to_the_rare_event_mode() {
+    let s = Scenario::parse(&biased_spec()).unwrap();
+    assert_eq!(s.mc.variance, McVariance::FailureBiasing { bias: 0.5 });
+    assert_eq!(s.name, "fig6-raid-biased");
+    let plan = expand(&s).unwrap();
+    assert_eq!(plan.len(), 9);
+    let d = plan.describe();
+    assert!(d.contains("variance : failure-biasing(bias=0.5)"), "{d}");
+}
+
+#[test]
+fn biased_unavailability_columns_agree_with_naive_mc_and_the_exact_chain() {
+    use availsim_core::markov::Raid5Conventional;
+    use availsim_core::ModelParams;
+    use availsim_hra::Hep;
+
+    let biased_scenario = Scenario::parse(&biased_spec()).unwrap();
+    let mut naive_scenario = biased_scenario.clone();
+    naive_scenario.mc.variance = McVariance::Naive;
+    // The naive reference needs a far larger budget before its Student-t
+    // interval means anything (a cell with two observed outages has a
+    // nominal CI that badly undercovers); 10× is still cheap on the jump
+    // chain and makes the comparison statistically honest.
+    naive_scenario.mc.iterations = 30_000;
+
+    let biased = run(
+        &expand(&biased_scenario).unwrap(),
+        &RunConfig { workers: 0 },
+    )
+    .unwrap();
+    let naive = run(&expand(&naive_scenario).unwrap(), &RunConfig { workers: 0 }).unwrap();
+
+    for (b, n) in biased.cells.iter().zip(&naive.cells) {
+        assert_eq!(b.cell.index, n.cell.index);
+        let (bu, nu) = (b.unavailability, n.unavailability);
+        // The biased run must resolve every cell (every cell has at least
+        // the double-failure outage mode enabled).
+        assert!(bu > 0.0, "cell {}: biased estimate is zero", b.cell.index);
+        // Exact CTMC oracle per cell: the biased CI must bracket it.
+        let params =
+            ModelParams::paper_defaults(b.cell.raid, b.cell.lambda, Hep::new(b.cell.hep).unwrap())
+                .unwrap();
+        let exact = Raid5Conventional::new(params)
+            .unwrap()
+            .solve()
+            .unwrap()
+            .unavailability();
+        let b_hw = b.ci_half_width.unwrap();
+        assert!(
+            (bu - exact).abs() <= b_hw,
+            "cell {} ({} hep={}): biased U {bu:.4e} misses exact {exact:.4e} \
+             (CI ±{b_hw:.4e})",
+            b.cell.index,
+            b.cell.raid.label(),
+            b.cell.hep
+        );
+        // Where naive MC observed anything at all, the two estimates must
+        // agree within their combined intervals. Cells naive cannot
+        // resolve (zero events → U = 0, zero-width CI) are exactly why the
+        // rare-event mode exists; the oracle above already pins them.
+        if nu > 0.0 {
+            let tolerance = b_hw + n.ci_half_width.unwrap();
+            assert!(
+                (bu - nu).abs() <= tolerance,
+                "cell {} ({} hep={}): biased U {bu:.4e} vs naive U {nu:.4e} \
+                 beyond combined CI {tolerance:.4e}",
+                b.cell.index,
+                b.cell.raid.label(),
+                b.cell.hep
+            );
+        }
+    }
+    // The grid genuinely exercises the rare-event regime: at least one
+    // cell is invisible to the naive run at this budget.
+    assert!(
+        naive.cells.iter().any(|c| c.unavailability == 0.0),
+        "every cell resolved naively — the campaign no longer tests the \
+         rare-event path"
+    );
+}
+
+#[test]
+fn biased_campaign_reports_are_worker_count_invariant() {
+    let scenario = Scenario::parse(&biased_spec()).unwrap();
+    let plan = expand(&scenario).unwrap();
+    let one = run(&plan, &RunConfig { workers: 1 }).unwrap();
+    let four = run(&plan, &RunConfig { workers: 4 }).unwrap();
+    assert_eq!(report::to_csv(&one), report::to_csv(&four));
+    assert_eq!(report::to_json(&one), report::to_json(&four));
+}
+
+#[test]
+fn splitting_under_a_failover_policy_is_rejected_before_any_cell_runs() {
+    // An early misconfiguration must not burn the campaign's compute: the
+    // plan expansion itself re-validates and rejects the combination.
+    let mut s = Scenario::parse(&biased_spec()).unwrap();
+    s.mc.variance = McVariance::Splitting {
+        levels: 2,
+        effort: 8,
+    };
+    s.policy = vec![availsim_exp::spec::Policy::Failover];
+    let err = match expand(&s) {
+        Err(e) => e,
+        Ok(_) => panic!("failover splitting must not expand"),
+    };
+    assert!(matches!(err, ExpError::InvalidSpec(_)), "{err}");
+    assert!(
+        err.to_string().contains("conventional policy only"),
+        "{err}"
+    );
+}

@@ -152,6 +152,46 @@ impl SimRng {
         (rate > 0.0).then(|| -self.next_open_f64().ln() / rate)
     }
 
+    /// Exponential deviate with the given `rate`, *forced* to land inside
+    /// `(0, bound)` — a draw from `Exp(rate)` conditioned on `T ≤ bound`.
+    ///
+    /// Returns `(dt, p_hit)` where `p_hit = P(T ≤ bound) = 1 − e^{−rate·bound}`
+    /// is exactly the likelihood-ratio factor an importance sampler must
+    /// multiply into the mission weight to stay unbiased (the proposal puts
+    /// all its mass on the truncated support). Returns `None` when the rate
+    /// or the bound is not positive — "this transition is disabled", like
+    /// [`Self::sample_exp`].
+    ///
+    /// Draws exactly one uniform when enabled and none otherwise. This is
+    /// the *failure forcing* primitive of rare-event Monte-Carlo: with a
+    /// mission-time bound, the first failure is guaranteed to occur within
+    /// the mission, and the weight factor accounts for how unlikely that
+    /// was under the nominal model.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use availsim_sim::rng::SimRng;
+    ///
+    /// let mut rng = SimRng::seed_from(1);
+    /// let (dt, p_hit) = rng.sample_exp_within(1e-6, 87_600.0).unwrap();
+    /// assert!(dt > 0.0 && dt < 87_600.0);
+    /// assert!((p_hit - (1.0 - (-1e-6f64 * 87_600.0).exp())).abs() < 1e-15);
+    /// assert!(rng.sample_exp_within(0.0, 1.0).is_none());
+    /// ```
+    pub fn sample_exp_within(&mut self, rate: f64, bound: f64) -> Option<(f64, f64)> {
+        if !(rate > 0.0 && bound > 0.0) {
+            return None;
+        }
+        // P(T <= bound) via expm1 so tiny rate·bound keeps full precision.
+        let p_hit = -(-rate * bound).exp_m1();
+        let u = self.next_open_f64();
+        // Inverse CDF of the truncated exponential; ln_1p keeps precision
+        // when u·p_hit is tiny. u ∈ (0,1) ⇒ dt ∈ (0, bound).
+        let dt = -(-u * p_hit).ln_1p() / rate;
+        Some((dt.min(bound), p_hit))
+    }
+
     /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
     pub fn bernoulli(&mut self, p: f64) -> bool {
         if p <= 0.0 {
@@ -282,6 +322,45 @@ mod tests {
         // A disabled rate consumes no randomness.
         assert!(a.sample_exp(0.0).is_none());
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn sample_exp_within_stays_in_bound_and_matches_truncated_mean() {
+        let mut rng = SimRng::seed_from(97);
+        let (rate, bound) = (0.01, 50.0);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let (dt, p_hit) = rng.sample_exp_within(rate, bound).unwrap();
+            assert!(dt > 0.0 && dt <= bound, "dt {dt}");
+            assert!((p_hit - (1.0 - (-rate * bound).exp())).abs() < 1e-15);
+            sum += dt;
+        }
+        // Mean of Exp(rate) truncated to [0, bound]:
+        // 1/rate − bound·e^{−rate·bound}/(1 − e^{−rate·bound}).
+        let p = 1.0 - (-rate * bound).exp();
+        let expected = 1.0 / rate - bound * (1.0 - p) / p;
+        let mean = sum / f64::from(n);
+        assert!((mean - expected).abs() < 0.2, "mean {mean} vs {expected}");
+        // Disabled rates/bounds consume no randomness.
+        let mut a = SimRng::seed_from(5);
+        let mut b = SimRng::seed_from(5);
+        assert!(a.sample_exp_within(0.0, 1.0).is_none());
+        assert!(a.sample_exp_within(1.0, 0.0).is_none());
+        assert!(a.sample_exp_within(-1.0, 1.0).is_none());
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn sample_exp_within_is_precise_for_rare_rates() {
+        // At rate·bound ≈ 1e-10 the naive 1 − e^{−x} would cancel to zero;
+        // the expm1/ln_1p forms must keep the weight and the deviate exact.
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let (dt, p_hit) = rng.sample_exp_within(1e-15, 1e5).unwrap();
+            assert!(dt > 0.0 && dt <= 1e5);
+            assert!((p_hit - 1e-10).abs() < 1e-14, "p_hit {p_hit}");
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! 1. use the Markov model for the point estimate (exact, microseconds),
 //! 2. validate it with MC at a *scaled* operating point (paper's Fig. 4
 //!    methodology),
-//! 3. for tail probabilities of single distributions, use importance
+//! 3. validate it **at the target point itself** with the rare-event mode
+//!    (`McVariance::FailureBiasing`), reading the ESS diagnostic,
+//! 4. for tail probabilities of single distributions, use importance
 //!    sampling (`availsim_sim::rare_event`) and check the effective sample
 //!    size.
 //!
@@ -16,7 +18,7 @@
 //! ```
 
 use availsim::core::markov::Raid5Conventional;
-use availsim::core::mc::{ConventionalMc, McConfig};
+use availsim::core::mc::{ConventionalMc, McConfig, McVariance};
 use availsim::core::ModelParams;
 use availsim::hra::Hep;
 use availsim::sim::distributions::{Exponential, Lifetime};
@@ -46,6 +48,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         seed: 11,
         confidence: 0.99,
         threads: 0,
+        ..McConfig::default()
     })?;
     println!(
         "scaled point λ=1e-3: MC {} vs Markov {:.6} ({} in {:.2?})",
@@ -59,7 +62,32 @@ fn main() -> Result<(), Box<dyn Error>> {
         t0.elapsed()
     );
 
-    // 3. Importance sampling for a rare tail: P(disk survives 20 MTTFs).
+    // 3. The rare-event mode attacks the target point head on: failure
+    //    forcing + balanced failure biasing make every mission informative
+    //    and the likelihood-ratio weights keep the estimator unbiased.
+    let t0 = Instant::now();
+    let biased = ConventionalMc::new(target)?.run(&McConfig {
+        iterations: 20_000,
+        seed: 12,
+        variance: McVariance::failure_biasing(),
+        ..McConfig::default()
+    })?;
+    println!(
+        "\ntarget point, failure biasing: U = {:.3e} (Markov {markov_u:.3e}, {} in {:.2?})",
+        biased.unavailability(),
+        if biased.is_consistent_with_unavailability(markov_u) {
+            "consistent"
+        } else {
+            "INCONSISTENT"
+        },
+        t0.elapsed()
+    );
+    println!(
+        "  diagnostics: ESS {:.0} of {} missions, max weight {:.3e}",
+        biased.effective_sample_size, biased.iterations, biased.max_weight
+    );
+
+    // 4. Importance sampling for a rare tail: P(disk survives 20 MTTFs).
     let nominal = Exponential::new(1.0)?;
     let proposal = Exponential::new(1.0 / 20.0)?;
     let truth = 1.0 - nominal.cdf(20.0);

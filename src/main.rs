@@ -9,7 +9,7 @@
 //! ```
 
 use availsim::core::markov::{GenericKofN, Raid5Conventional, Raid5FailOver};
-use availsim::core::mc::{ConventionalMc, McConfig};
+use availsim::core::mc::{ConventionalMc, McConfig, McVariance};
 use availsim::core::volume::compare_equal_capacity;
 use availsim::core::{nines, ModelParams};
 use availsim::exp::{plan, report, run, spec::Scenario};
@@ -212,15 +212,23 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let iterations: u64 = flag(flags, "iterations", 4_000)?;
     let params = ModelParams::raid5_3plus1(lambda, hep)?;
     let markov = Raid5Conventional::new(params)?.solve()?;
+    let variance = parse_variance_flags(flags)?;
     let est = ConventionalMc::new(params)?.run(&McConfig {
         iterations,
         horizon_hours: 87_600.0,
         seed: flag(flags, "seed", 42u64)?,
         confidence: 0.99,
         threads: 0,
+        variance,
     })?;
     println!("markov availability : {:.9}", markov.availability());
     println!("mc availability     : {}", est.availability);
+    if !matches!(variance, McVariance::Naive) {
+        println!(
+            "rare-event mode     : {variance} (ESS {:.0} of {}, max weight {:.3e})",
+            est.effective_sample_size, est.iterations, est.max_weight
+        );
+    }
     println!(
         "verdict             : {}",
         if est.is_consistent_with(markov.availability()) {
@@ -230,6 +238,53 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         }
     );
     Ok(())
+}
+
+/// Parses `--variance naive|failure-biasing|splitting` plus its optional
+/// tuning flags (`--bias`, `--levels`, `--effort`) into a [`McVariance`] —
+/// the same vocabulary as the campaign spec's `[mc] variance` key.
+fn parse_variance_flags(flags: &HashMap<String, String>) -> Result<McVariance, Box<dyn Error>> {
+    let name: String = flag(flags, "variance", "naive".to_string())?;
+    let variance = match name.as_str() {
+        "naive" => {
+            for (k, scheme) in [
+                ("bias", "failure-biasing"),
+                ("levels", "splitting"),
+                ("effort", "splitting"),
+            ] {
+                if flags.contains_key(k) {
+                    return Err(format!("--{k} requires --variance {scheme}").into());
+                }
+            }
+            McVariance::Naive
+        }
+        "failure-biasing" => {
+            for k in ["levels", "effort"] {
+                if flags.contains_key(k) {
+                    return Err(format!("--{k} requires --variance splitting").into());
+                }
+            }
+            McVariance::FailureBiasing {
+                bias: flag(flags, "bias", McVariance::DEFAULT_BIAS)?,
+            }
+        }
+        "splitting" => {
+            if flags.contains_key("bias") {
+                return Err("--bias requires --variance failure-biasing".into());
+            }
+            McVariance::Splitting {
+                levels: flag(flags, "levels", McVariance::DEFAULT_LEVELS)?,
+                effort: flag(flags, "effort", McVariance::DEFAULT_EFFORT)?,
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown variance `{other}` (use naive, failure-biasing, splitting)"
+            )
+            .into())
+        }
+    };
+    Ok(variance)
 }
 
 fn cmd_batch(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
@@ -286,10 +341,15 @@ USAGE:
   availsim sweep    [--hep F] [--from F] [--to F] [--points N]
   availsim compare  [--lambda F] [--capacity N]
   availsim validate [--lambda F] [--hep F] [--iterations N] [--seed N]
+                    [--variance naive|failure-biasing|splitting]
+                    [--bias F] [--levels N] [--effort N]
   availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run]
 
 Flags accept both `--flag value` and `--flag=value`; duplicates are errors.
 `batch` runs an experiment campaign from a spec file (see examples/specs/).
+`validate --variance failure-biasing` turns on rare-event importance
+sampling, so the cross-check works at paper-grade λ where naive MC would
+observe no failures at all.
 "
 }
 
@@ -316,9 +376,21 @@ fn main() -> ExitCode {
         "compare" => flags_only(&parsed, &["lambda", "capacity"])
             .map_err(Into::into)
             .and_then(cmd_compare),
-        "validate" => flags_only(&parsed, &["lambda", "hep", "iterations", "seed"])
-            .map_err(Into::into)
-            .and_then(cmd_validate),
+        "validate" => flags_only(
+            &parsed,
+            &[
+                "lambda",
+                "hep",
+                "iterations",
+                "seed",
+                "variance",
+                "bias",
+                "levels",
+                "effort",
+            ],
+        )
+        .map_err(Into::into)
+        .and_then(cmd_validate),
         "batch" => cmd_batch(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", usage());

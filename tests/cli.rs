@@ -84,6 +84,48 @@ fn validate_is_consistent_at_high_rates() {
 }
 
 #[test]
+fn validate_rare_event_mode_works_at_paper_grade_lambda() {
+    // λ = 1e-7 is hopeless for naive MC at this budget; with failure
+    // biasing the cross-check still reaches a verdict and reports the
+    // importance-sampling diagnostics.
+    let (ok, stdout, _) = run(&[
+        "validate",
+        "--lambda",
+        "1e-7",
+        "--iterations",
+        "4000",
+        "--variance",
+        "failure-biasing",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("rare-event mode     : failure-biasing(bias=0.5)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("ESS"), "{stdout}");
+    assert!(stdout.contains("consistent"), "{stdout}");
+}
+
+#[test]
+fn validate_variance_flags_are_checked() {
+    let (ok, _, stderr) = run(&["validate", "--variance", "quantum"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown variance"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["validate", "--bias", "0.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires --variance"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["validate", "--variance", "failure-biasing", "--effort", "8"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires --variance splitting"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["validate", "--variance", "failure-biasing", "--bias", "1.5"]);
+    assert!(!ok, "bias outside [0,1) must fail");
+    assert!(stderr.contains("bias"), "{stderr}");
+}
+
+#[test]
 fn errors_are_reported_not_panicked() {
     let (ok, _, stderr) = run(&["solve", "--raid", "r9-3"]);
     assert!(!ok);
@@ -269,6 +311,43 @@ fn batch_dry_run_is_byte_stable_and_matches_the_golden_plan() {
     assert!(
         first.contains("0x31c74a60d8c59d4"),
         "cell 1 seed drifted:\n{first}"
+    );
+}
+
+#[test]
+fn batch_dry_run_of_the_shipped_biased_campaign_is_byte_stable() {
+    // The rare-event fig6 variant ships in-repo; its dry-run plan is a
+    // golden artifact (including the variance line and derived cell seeds).
+    let spec = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/specs/fig6_raid_biased.campaign"
+    );
+    let (ok, first, _) = run(&["batch", spec, "--dry-run"]);
+    assert!(ok, "{first}");
+    let (ok, second, _) = run(&["batch", "--dry-run", spec]);
+    assert!(ok);
+    assert_eq!(first, second, "dry-run output must be byte-stable");
+
+    assert!(first.contains("campaign fig6-raid-biased"), "{first}");
+    assert!(first.contains("  model    : mc"), "{first}");
+    assert!(
+        first.contains("  variance : failure-biasing(bias=0.5)"),
+        "{first}"
+    );
+    assert!(
+        first.contains("  capacity : 21 disk units (volume metrics on)"),
+        "{first}"
+    );
+    assert!(first.contains("cells    : 9"), "{first}");
+    assert!(
+        first.contains("axes     : raid[3] x policy[1] x lambda[1] x hep[3]"),
+        "{first}"
+    );
+    // Seed derivation golden pin: campaign seed 42 shares fig6_raid's cell
+    // seeds (same scheme, same indices).
+    assert!(
+        first.contains("0xab4c4adfbb450230"),
+        "cell 0 seed drifted:\n{first}"
     );
 }
 

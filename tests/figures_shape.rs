@@ -67,6 +67,7 @@ fn fig4_markov_inside_mc_confidence_interval() {
                 seed: 4,
                 confidence: 0.99,
                 threads: 0,
+                ..McConfig::default()
             })
             .unwrap();
         assert!(
@@ -93,6 +94,7 @@ fn fig5_weibull_ordering() {
             seed: 5,
             confidence: 0.99,
             threads: 0,
+            ..McConfig::default()
         })
         .unwrap()
         .nines()
@@ -192,6 +194,7 @@ fn failover_mc_validates_failover_markov() {
             seed: 6,
             confidence: 0.99,
             threads: 0,
+            ..McConfig::default()
         })
         .unwrap();
     assert!(

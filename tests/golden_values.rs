@@ -160,6 +160,7 @@ fn mc_point_estimate_pinned_by_seed() {
             seed: 20_170_327, // DATE'17 conference date
             confidence: 0.99,
             threads,
+            ..McConfig::default()
         })
         .unwrap()
         .overall_availability
