@@ -13,12 +13,16 @@
 //! `AVAILSIM_BENCH_SCALE` — the checked-in snapshots are taken at scale 1.
 
 use availsim_bench::{
-    bench_scale, bench_snapshot_path, mc_iterations, raid5_params, render_mc_throughput_json,
-    render_rare_event_json, McThroughput, RareEventPoint, RareEventRun,
+    bench_scale, bench_snapshot_path, mc_iterations, raid5_params, render_fleet_json,
+    render_mc_throughput_json, render_rare_event_json, FleetScalingRow, McThroughput,
+    RareEventPoint, RareEventRun,
 };
 use availsim_core::markov::Raid5Conventional;
-use availsim_core::mc::{ConventionalMc, FailOverMc, McConfig, McEngine, McVariance, SimWorkspace};
+use availsim_core::mc::{
+    ConventionalMc, FailOverMc, FleetMc, McConfig, McEngine, McVariance, SimWorkspace,
+};
 use availsim_sim::rng::SimRng;
+use availsim_storage::FleetSpec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -57,9 +61,15 @@ fn measure(name: &str, run: impl Fn() -> f64, iterations: u64) -> McThroughput {
     }
 }
 
+/// The general-engine missions/sec recorded by the seed BENCH_3.json
+/// (taken before the indexed event queue landed) — the fixed baseline the
+/// BENCH_5 speedups are quoted against.
+const BENCH3_SEED_EVENT_QUEUE_BASELINE: f64 = 2_255_081.6;
+
 /// Measures missions/sec for both engines of both models and writes the
-/// `BENCH_3.json` snapshot.
-fn throughput_snapshot() {
+/// `BENCH_3.json` snapshot. Returns the rows for reuse by the BENCH_5
+/// emitter.
+fn throughput_snapshot() -> Vec<McThroughput> {
     let params = raid5_params(LAMBDA, HEP);
     let iterations = mc_iterations(300_000);
     let cfg = throughput_config(iterations);
@@ -130,6 +140,62 @@ fn throughput_snapshot() {
         &[("conventional", conv_speedup), ("failover", fo_speedup)],
     );
     let path = bench_snapshot_path("BENCH_3.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => println!("  could not write {}: {e}", path.display()),
+    }
+    engines
+}
+
+/// Measures the fleet scaling curve (missions/sec over the array-count
+/// axis, threads = 1) and writes `BENCH_5.json`: the indexed-queue engine
+/// rows against the seed BENCH_3 baseline plus the fleet curve.
+fn fleet_snapshot(engines: &[McThroughput]) {
+    println!(
+        "perf_mc fleet — RAID5(3+1) fleets on the Fig. 4 operating point \
+         (lambda={LAMBDA:.0e}, hep={HEP}, horizon={HORIZON_HOURS}h, threads=1)"
+    );
+    let mut rows = Vec::new();
+    for &arrays in &[1u32, 10, 100, 1000] {
+        let spec = FleetSpec::new(arrays, availsim_storage::RaidGeometry::raid5(3).unwrap())
+            .expect("valid fleet");
+        let params = raid5_params(LAMBDA, HEP);
+        let mc = FleetMc::new(spec, params).expect("valid fleet model");
+        let missions = mc_iterations((200_000 / u64::from(arrays)).max(50));
+        let cfg = throughput_config(missions);
+        let warm = throughput_config((missions / 10).max(2));
+        let _ = black_box(mc.run(&warm).unwrap().overall_array_availability);
+        let started = Instant::now();
+        let est = mc.run(&cfg).unwrap();
+        let elapsed = started.elapsed().as_secs_f64();
+        let row = FleetScalingRow {
+            arrays,
+            missions,
+            elapsed_secs: elapsed,
+            array_unavailability: est.array_unavailability(),
+            mean_degraded: est.mean_degraded(),
+        };
+        println!(
+            "  A={arrays:<5} {missions:>8} missions  {:>10.0} missions/s  \
+             {:>12.0} array-missions/s  (U_array = {:.3e}, E[degraded] = {:.4})",
+            row.missions_per_sec(),
+            row.array_missions_per_sec(),
+            row.array_unavailability,
+            row.mean_degraded,
+        );
+        rows.push(row);
+    }
+    let json = render_fleet_json(
+        &format!(
+            "raid5_3plus1 fig4 fleets (lambda={LAMBDA:.0e}, hep={HEP}, \
+             horizon_hours={HORIZON_HOURS})"
+        ),
+        bench_scale(),
+        BENCH3_SEED_EVENT_QUEUE_BASELINE,
+        engines,
+        &rows,
+    );
+    let path = bench_snapshot_path("BENCH_5.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!("  wrote {}", path.display()),
         Err(e) => println!("  could not write {}: {e}", path.display()),
@@ -235,7 +301,8 @@ fn rare_event_snapshot() {
 }
 
 fn bench(c: &mut Criterion) {
-    throughput_snapshot();
+    let engines = throughput_snapshot();
+    fleet_snapshot(&engines);
     rare_event_snapshot();
 
     let params = raid5_params(LAMBDA, HEP);
@@ -289,6 +356,29 @@ fn bench(c: &mut Criterion) {
             black_box(mc.simulate_once_with(HORIZON_HOURS, &mut rng, &mut ws))
         });
     });
+    group.finish();
+
+    let mut group = c.benchmark_group("fleet_single_mission");
+    group.sample_size(10);
+    for &arrays in &[10u32, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("raid5_3plus1_10y", arrays),
+            &arrays,
+            |b, &arrays| {
+                let spec =
+                    FleetSpec::new(arrays, availsim_storage::RaidGeometry::raid5(3).unwrap())
+                        .unwrap();
+                let mc = FleetMc::new(spec, raid5_params(LAMBDA, HEP)).unwrap();
+                let mut ws = SimWorkspace::new();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let mut rng = SimRng::substream(5, i);
+                    black_box(mc.simulate_once_with(HORIZON_HOURS, &mut rng, &mut ws))
+                });
+            },
+        );
+    }
     group.finish();
 
     let mut group = c.benchmark_group("mc_batch_2000_missions");

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod snapshot;
+
 use availsim_core::analysis::{fig7_policy_sweep, underestimation_sweep, PolicyComparison};
 use availsim_core::markov::{Raid5Conventional, Raid5FailOver, WrongReplacementTiming};
 use availsim_core::mc::{ConventionalMc, McConfig};
@@ -17,6 +19,7 @@ use availsim_core::volume::{compare_equal_capacity, FIG6_USABLE_CAPACITY};
 use availsim_core::{nines, ModelParams};
 use availsim_hra::Hep;
 use availsim_storage::FailureModel;
+use snapshot::JsonSnapshot;
 
 /// Multiplier applied to Monte-Carlo iteration counts, from
 /// `AVAILSIM_BENCH_SCALE` (default 1.0, minimum 0.01).
@@ -239,43 +242,39 @@ impl McThroughput {
     }
 }
 
-/// Renders the `BENCH_*.json` throughput snapshot: machine-readable
-/// missions/sec plus the config that produced them, hand-rolled (the
-/// workspace is dependency-free) with stable key order so diffs are
-/// meaningful.
+/// Renders the `BENCH_3.json` throughput snapshot: machine-readable
+/// missions/sec plus the config that produced them, through the shared
+/// [`snapshot::JsonSnapshot`] writer (stable key order, so diffs of the
+/// checked-in file stay meaningful).
 pub fn render_mc_throughput_json(
     workload: &str,
     scale: f64,
     engines: &[McThroughput],
     speedups: &[(&str, f64)],
 ) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"perf_mc_throughput\",\n");
-    out.push_str(&format!("  \"workload\": \"{workload}\",\n"));
-    out.push_str(&format!("  \"scale\": {scale},\n"));
-    out.push_str("  \"engines\": [\n");
-    for (i, e) in engines.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"missions\": {}, \"threads\": {}, \
-             \"elapsed_secs\": {:.6}, \"missions_per_sec\": {:.1}}}{}\n",
-            e.name,
-            e.missions,
-            e.threads,
-            e.elapsed_secs,
-            e.missions_per_sec(),
-            if i + 1 < engines.len() { "," } else { "" }
-        ));
+    let mut w = JsonSnapshot::bench("perf_mc_throughput", workload, scale);
+    w.begin_array("engines");
+    for e in engines {
+        push_engine_row(&mut w, e);
     }
-    out.push_str("  ],\n");
-    out.push_str("  \"speedup\": {");
-    for (i, (name, factor)) in speedups.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        out.push_str(&format!("\"{name}\": {factor:.2}"));
+    w.end_array();
+    w.begin_object("speedup");
+    for (name, factor) in speedups {
+        w.raw_field(name, &format!("{factor:.2}"));
     }
-    out.push_str("}\n}\n");
-    out
+    w.end_object();
+    w.finish()
+}
+
+/// One `engines`/`fleet` row shared by the BENCH_3 and BENCH_5 emitters.
+fn push_engine_row(w: &mut JsonSnapshot, e: &McThroughput) {
+    w.begin_array_object();
+    w.str_field("name", &e.name)
+        .u64_field("missions", e.missions)
+        .u64_field("threads", e.threads as u64)
+        .raw_field("elapsed_secs", &format!("{:.6}", e.elapsed_secs))
+        .raw_field("missions_per_sec", &format!("{:.1}", e.missions_per_sec()));
+    w.end_object();
 }
 
 /// One scheme's missions-to-precision measurement in the rare-event bench.
@@ -320,37 +319,116 @@ impl RareEventPoint {
 /// Renders the `BENCH_4.json` rare-event snapshot: per λ, the missions
 /// both schemes needed for a ±10% relative CI on the unavailability, with
 /// convergence flags so a capped run cannot masquerade as a converged one.
-/// Hand-rolled with stable key order, like the other snapshots.
 pub fn render_rare_event_json(workload: &str, scale: f64, points: &[RareEventPoint]) -> String {
-    let run = |r: &RareEventRun| {
-        format!(
-            "{{\"scheme\": \"{}\", \"missions\": {}, \"converged\": {}, \
-             \"estimate\": {:.6e}, \"elapsed_secs\": {:.6}}}",
-            r.scheme, r.missions, r.converged, r.estimate, r.elapsed_secs
-        )
-    };
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"perf_mc_rare_event\",\n");
-    out.push_str(&format!("  \"workload\": \"{workload}\",\n"));
-    out.push_str(&format!("  \"scale\": {scale},\n"));
-    out.push_str("  \"target\": \"ci half-width <= 10% of exact unavailability\",\n");
-    out.push_str("  \"points\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"lambda\": {:e}, \"exact_unavailability\": {:.6e}, \
-             \"target_half_width\": {:.6e},\n     \"naive\": {},\n     \
-             \"biased\": {},\n     \"mission_ratio\": {:.1}}}{}\n",
-            p.lambda,
-            p.exact_unavailability,
-            p.target_half_width,
-            run(&p.naive),
-            run(&p.biased),
-            p.mission_ratio(),
-            if i + 1 < points.len() { "," } else { "" }
-        ));
+    let mut w = JsonSnapshot::bench("perf_mc_rare_event", workload, scale);
+    w.str_field("target", "ci half-width <= 10% of exact unavailability");
+    w.begin_array("points");
+    for p in points {
+        w.begin_array_object();
+        w.raw_field("lambda", &format!("{:e}", p.lambda))
+            .raw_field(
+                "exact_unavailability",
+                &format!("{:.6e}", p.exact_unavailability),
+            )
+            .raw_field("target_half_width", &format!("{:.6e}", p.target_half_width));
+        for (key, r) in [("naive", &p.naive), ("biased", &p.biased)] {
+            w.begin_object(key);
+            w.str_field("scheme", &r.scheme)
+                .u64_field("missions", r.missions)
+                .bool_field("converged", r.converged)
+                .raw_field("estimate", &format!("{:.6e}", r.estimate))
+                .raw_field("elapsed_secs", &format!("{:.6}", r.elapsed_secs));
+            w.end_object();
+        }
+        w.raw_field("mission_ratio", &format!("{:.1}", p.mission_ratio()));
+        w.end_object();
     }
-    out.push_str("  ]\n}\n");
-    out
+    w.end_array();
+    w.finish()
+}
+
+/// One fleet-scaling measurement of the BENCH_5 snapshot.
+#[derive(Debug, Clone)]
+pub struct FleetScalingRow {
+    /// Member arrays per mission.
+    pub arrays: u32,
+    /// Fleet missions simulated.
+    pub missions: u64,
+    /// Wall-clock seconds for the whole batch (threads = 1).
+    pub elapsed_secs: f64,
+    /// The run's per-array unavailability (sanity anchor for the row).
+    pub array_unavailability: f64,
+    /// Expected simultaneously-degraded arrays (time-weighted mean).
+    pub mean_degraded: f64,
+}
+
+impl FleetScalingRow {
+    /// Fleet missions per second.
+    pub fn missions_per_sec(&self) -> f64 {
+        self.missions as f64 / self.elapsed_secs.max(1e-12)
+    }
+
+    /// Array-missions per second (`missions × arrays / s`) — the
+    /// scale-invariant throughput currency of the fleet engine.
+    pub fn array_missions_per_sec(&self) -> f64 {
+        self.missions_per_sec() * f64::from(self.arrays)
+    }
+}
+
+/// Renders the `BENCH_5.json` snapshot: the indexed-queue engine
+/// throughputs against the checked-in BENCH_3 seed baseline, plus the
+/// fleet scaling curve over the array-count axis.
+pub fn render_fleet_json(
+    workload: &str,
+    scale: f64,
+    baseline_event_queue_missions_per_sec: f64,
+    engines: &[McThroughput],
+    fleet: &[FleetScalingRow],
+) -> String {
+    let mut w = JsonSnapshot::bench("perf_mc_fleet", workload, scale);
+    w.raw_field(
+        "baseline_event_queue_missions_per_sec",
+        &format!("{baseline_event_queue_missions_per_sec:.1}"),
+    );
+    w.begin_array("engines");
+    for e in engines {
+        push_engine_row(&mut w, e);
+    }
+    w.end_array();
+    w.begin_object("speedup_vs_bench3_baseline");
+    for e in engines {
+        w.raw_field(
+            &e.name,
+            &format!(
+                "{:.2}",
+                e.missions_per_sec() / baseline_event_queue_missions_per_sec
+            ),
+        );
+    }
+    w.end_object();
+    w.begin_array("fleet");
+    for row in fleet {
+        w.begin_array_object();
+        w.u64_field("arrays", u64::from(row.arrays))
+            .u64_field("missions", row.missions)
+            .raw_field("elapsed_secs", &format!("{:.6}", row.elapsed_secs))
+            .raw_field(
+                "missions_per_sec",
+                &format!("{:.1}", row.missions_per_sec()),
+            )
+            .raw_field(
+                "array_missions_per_sec",
+                &format!("{:.1}", row.array_missions_per_sec()),
+            )
+            .raw_field(
+                "array_unavailability",
+                &format!("{:.6e}", row.array_unavailability),
+            )
+            .raw_field("mean_degraded", &format!("{:.4}", row.mean_degraded));
+        w.end_object();
+    }
+    w.end_array();
+    w.finish()
 }
 
 /// Where the machine-readable bench snapshots (`BENCH_*.json`) are written:
@@ -460,9 +538,10 @@ mod tests {
         for needle in [
             "\"bench\": \"perf_mc_throughput\"",
             "\"workload\": \"raid5_3plus1\"",
-            "\"scale\": 1",
+            "\"scale\": 1.0",
             "\"missions_per_sec\": 2000.0",
-            "\"speedup\": {\"conventional\": 4.00}",
+            "\"speedup\"",
+            "\"conventional\": 4.00",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -504,6 +583,48 @@ mod tests {
             "\"mission_ratio\": 125.0",
             "\"converged\": true",
             "\"scheme\": \"failure-biasing(bias=0.5)\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn fleet_json_has_stable_machine_readable_shape() {
+        let engines = vec![McThroughput {
+            name: "conventional/event_queue".into(),
+            missions: 300_000,
+            threads: 1,
+            elapsed_secs: 0.06,
+        }];
+        let fleet = vec![
+            FleetScalingRow {
+                arrays: 1,
+                missions: 10_000,
+                elapsed_secs: 0.5,
+                array_unavailability: 1.5e-6,
+                mean_degraded: 0.001,
+            },
+            FleetScalingRow {
+                arrays: 1000,
+                missions: 100,
+                elapsed_secs: 2.0,
+                array_unavailability: 1.5e-6,
+                mean_degraded: 1.05,
+            },
+        ];
+        assert!((fleet[1].missions_per_sec() - 50.0).abs() < 1e-9);
+        assert!((fleet[1].array_missions_per_sec() - 50_000.0).abs() < 1e-9);
+        let json = render_fleet_json("raid5_3plus1 fig4", 1.0, 2_255_081.6, &engines, &fleet);
+        for needle in [
+            "\"bench\": \"perf_mc_fleet\"",
+            "\"baseline_event_queue_missions_per_sec\": 2255081.6",
+            "\"speedup_vs_bench3_baseline\"",
+            "\"conventional/event_queue\": 2.22",
+            "\"arrays\": 1000",
+            "\"array_missions_per_sec\": 50000.0",
+            "\"mean_degraded\": 1.0500",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

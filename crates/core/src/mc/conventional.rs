@@ -21,7 +21,7 @@ use super::{
 use crate::error::{CoreError, Result};
 use crate::markov::WrongReplacementTiming;
 use crate::params::ModelParams;
-use availsim_sim::engine::EventQueue;
+use availsim_sim::indexed_queue::IndexedEventQueue;
 use availsim_sim::rng::SimRng;
 use availsim_storage::{DowntimeLog, EventTrace, FailureModel, OutageCause, TraceKind};
 
@@ -38,12 +38,15 @@ enum Mode {
     Dl,
 }
 
+/// Event payload, deliberately 8 bytes so a queue entry stays compact:
+/// `slot` fits a `u16` and the per-mission `gen`/`epoch` guards never
+/// approach `u32::MAX` within one mission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     /// Failure of a disk slot; `gen` guards against stale clocks.
-    Fail { slot: usize, gen: u64 },
+    Fail { slot: u16, gen: u32 },
     /// A service transition; `epoch` guards against stale service events.
-    Service { kind: Service, epoch: u64 },
+    Service { kind: Service, epoch: u32 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,8 +68,8 @@ enum Service {
 /// retained) at the start of every mission.
 #[derive(Debug, Default)]
 pub(crate) struct ConvScratch {
-    queue: EventQueue<Ev>,
-    slot_gen: Vec<u64>,
+    queue: IndexedEventQueue<Ev>,
+    slot_gen: Vec<u32>,
 }
 
 /// How a mission actually runs once engine *and* variance scheme are
@@ -108,6 +111,29 @@ enum EqStart<'a> {
     Down(DownEntry),
 }
 
+/// Monomorphized trace sink of the event-queue engine: the hot path runs
+/// with [`NoTrace`] (every `record` compiles to nothing), while traced
+/// missions pass the real [`EventTrace`] — no per-event `Option` branches
+/// either way.
+trait Tracer {
+    fn record(&mut self, t: f64, kind: TraceKind);
+}
+
+/// The no-op sink of untraced missions.
+struct NoTrace;
+
+impl Tracer for NoTrace {
+    #[inline(always)]
+    fn record(&mut self, _t: f64, _kind: TraceKind) {}
+}
+
+impl Tracer for EventTrace {
+    #[inline]
+    fn record(&mut self, t: f64, kind: TraceKind) {
+        EventTrace::record(self, t, kind);
+    }
+}
+
 impl ConvScratch {
     /// Empties the queue and re-zeroes the generation counters for an
     /// `n`-disk mission, retaining all allocated capacity.
@@ -128,19 +154,18 @@ pub struct ConventionalMc {
 }
 
 impl ConventionalMc {
+    /// Largest supported array: the event-queue engine stores disk slots
+    /// as `u16` in its 8-byte event payloads.
+    pub const MAX_DISKS: u32 = 1 << 16;
+
     /// Creates the model with exponential failures at the params' rate.
     ///
     /// # Errors
-    /// Propagates parameter validation errors.
+    /// Propagates parameter validation errors; the geometry may have at
+    /// most [`Self::MAX_DISKS`] disks.
     pub fn new(params: ModelParams) -> Result<Self> {
-        params.validate()?;
         let failures = FailureModel::exponential(params.disk_failure_rate)?;
-        Ok(ConventionalMc {
-            params,
-            failures,
-            timing: WrongReplacementTiming::default(),
-            engine: McEngine::Auto,
-        })
+        ConventionalMc::with_failure_model(params, failures)
     }
 
     /// Creates the model with an explicit failure distribution (e.g. a
@@ -148,9 +173,17 @@ impl ConventionalMc {
     /// sampling.
     ///
     /// # Errors
-    /// Propagates parameter validation errors.
+    /// Propagates parameter validation errors; the geometry may have at
+    /// most [`Self::MAX_DISKS`] disks.
     pub fn with_failure_model(params: ModelParams, failures: FailureModel) -> Result<Self> {
         params.validate()?;
+        if params.geometry.total_disks() > Self::MAX_DISKS {
+            return Err(CoreError::InvalidParameter(format!(
+                "the Monte-Carlo engines support at most {} disks per array, got {}",
+                Self::MAX_DISKS,
+                params.geometry.total_disks()
+            )));
+        }
         Ok(ConventionalMc {
             params,
             failures,
@@ -654,49 +687,122 @@ impl ConventionalMc {
         ws: &mut SimWorkspace,
         trace: Option<&mut EventTrace>,
     ) -> IterationOutcome {
-        self.run_event_queue(horizon, rng, ws, trace, EqStart::Fresh, false)
-            .0
+        match trace {
+            Some(tr) => {
+                self.run_event_queue(horizon, rng, ws, tr, EqStart::Fresh, false)
+                    .0
+            }
+            None => {
+                self.run_event_queue(horizon, rng, ws, &mut NoTrace, EqStart::Fresh, false)
+                    .0
+            }
+        }
     }
 
     /// The event-queue engine core, restartable from a splitting checkpoint
     /// and stoppable at the first entry into a down state.
     ///
     /// With [`EqStart::Fresh`] and `stop_at_down = false` this is exactly
-    /// the historical mission loop — same RNG consumption, same bits. The
-    /// other start points reconstruct the full engine state at a checkpoint
-    /// (pending failure clocks via absolute-time scheduling, fresh service
-    /// draws at the entry epoch) so a splitting continuation is
-    /// distribution-identical to a mission that reached that state on its
-    /// own.
-    fn run_event_queue(
+    /// the historical mission loop — same RNG consumption, same live-event
+    /// pop order, same bits. The other start points reconstruct the full
+    /// engine state at a checkpoint (pending failure clocks via
+    /// absolute-time scheduling, fresh service draws at the entry epoch) so
+    /// a splitting continuation is distribution-identical to a mission that
+    /// reached that state on its own.
+    ///
+    /// Service events that lose their race are **cancelled in place** the
+    /// moment the winner fires (the indexed queue makes that O(log n) with
+    /// no tombstones), so the loop never pays a pop for a dead event; the
+    /// epoch guard stays as a defensive invariant. The tracer is a
+    /// monomorphized sink ([`NoTrace`] for the hot path), so untraced
+    /// missions carry no per-event trace branches.
+    ///
+    /// `FleetMc` replays these exact per-array semantics with
+    /// array-indexed state; a semantic change here must be mirrored in
+    /// `fleet.rs` (the fleet oracle suite cross-checks the two).
+    fn run_event_queue<T: Tracer>(
         &self,
         horizon: f64,
         rng: &mut SimRng,
         ws: &mut SimWorkspace,
-        mut trace: Option<&mut EventTrace>,
+        trace: &mut T,
         start: EqStart<'_>,
         stop_at_down: bool,
     ) -> (IterationOutcome, Option<DownEntry>) {
         let n = self.params.disks() as usize;
         let p = &self.params;
         let hep = p.hep.value();
+        // Reciprocal service rates, cached once per mission so the armed
+        // draws multiply instead of divide (a disabled rate becomes ∞,
+        // which `sample_exp_inv` treats as "draw nothing", exactly like
+        // `sample_exp(0)`).
+        let repair_inv = ((1.0 - hep) * p.disk_repair_rate).recip();
+        let wrong_inv = self.wrong_pull_rate().recip();
+        let recover_inv = ((1.0 - hep) * p.human_recovery_rate).recip();
+        let crash_inv = p.removed_crash_rate.recip();
+        let restore_inv = p.ddf_recovery_rate.recip();
 
         ws.conventional.reset(n);
         ws.log.clear();
         let ConvScratch { queue, slot_gen } = &mut ws.conventional;
         let log = &mut ws.log;
         let mut mode = Mode::Op;
-        let mut epoch: u64 = 0;
+        let mut epoch: u32 = 0;
         let mut failed_slot: Option<usize> = None;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
         let mut down_entry: Option<DownEntry> = None;
+        // Pending service events of the current state, by race lane
+        // (0 = the recovery-flavoured exit, 1 = the failure-flavoured one);
+        // whichever fires first invalidates the sibling via `cancel`.
+        let mut svc: [Option<availsim_sim::indexed_queue::IndexedEventHandle>; 2] = [None, None];
+
+        macro_rules! arm_service {
+            ($lane:expr, $kind:expr, $inv_rate:expr) => {
+                svc[$lane] = match rng.sample_exp_inv($inv_rate) {
+                    Some(dt) => {
+                        enqueue_due!(queue, queue.now() + dt, Ev::Service { kind: $kind, epoch })
+                    }
+                    None => None,
+                };
+            };
+        }
+        macro_rules! cancel_service {
+            ($lane:expr) => {
+                if let Some(h) = svc[$lane].take() {
+                    queue.cancel(h);
+                }
+            };
+        }
+
+        // An event due after the horizon can never pop (`pop_due` filters
+        // it), so it never enters the queue at all — the sampled delay is
+        // still drawn (the RNG stream is part of the engine's contract),
+        // but the queue only ever holds the handful of events that can
+        // actually fire. Bit-identical to enqueueing everything.
+        macro_rules! enqueue_due {
+            ($queue:expr, $time:expr, $ev:expr) => {{
+                let t = $time;
+                if t <= horizon {
+                    $queue.schedule_at(t, $ev).ok()
+                } else {
+                    None
+                }
+            }};
+        }
 
         match start {
             EqStart::Fresh => {
                 // Seed all disk clocks.
                 for slot in 0..n {
                     let t = self.failures.sample_ttf(rng);
-                    let _ = queue.schedule(t, Ev::Fail { slot, gen: 0 });
+                    let _ = enqueue_due!(
+                        queue,
+                        t,
+                        Ev::Fail {
+                            slot: slot as u16,
+                            gen: 0,
+                        }
+                    );
                 }
             }
             EqStart::Exp(entry) => {
@@ -708,15 +814,23 @@ impl ConventionalMc {
                 failed_slot = Some(entry.failed_slot);
                 slot_gen[entry.failed_slot] = 1; // its clock has fired
                 for &(slot, time) in &entry.pending {
-                    let _ = queue.schedule_at(time, Ev::Fail { slot, gen: 0 });
+                    let _ = enqueue_due!(
+                        queue,
+                        time,
+                        Ev::Fail {
+                            slot: slot as u16,
+                            gen: 0,
+                        }
+                    );
                 }
-                for (kind, rate) in [
-                    (Service::RepairOk, (1.0 - hep) * p.disk_repair_rate),
-                    (Service::WrongPull, self.wrong_pull_rate()),
+                for (lane, kind, inv) in [
+                    (0, Service::RepairOk, repair_inv),
+                    (1, Service::WrongPull, wrong_inv),
                 ] {
-                    if let Some(dt) = rng.sample_exp(rate) {
-                        let _ = queue.schedule_at(entry.t + dt, Ev::Service { kind, epoch });
-                    }
+                    svc[lane] = match rng.sample_exp_inv(inv) {
+                        Some(dt) => enqueue_due!(queue, entry.t + dt, Ev::Service { kind, epoch }),
+                        None => None,
+                    };
                 }
             }
             EqStart::Down(entry) => {
@@ -725,50 +839,31 @@ impl ConventionalMc {
                 // just the mode, the entry time, and the armed recovery
                 // race.
                 epoch = 1;
-                let services: &[(Service, f64)] = if entry.data_loss {
+                let services: &[(usize, Service, f64)] = if entry.data_loss {
                     mode = Mode::Dl;
                     log.begin(entry.t, OutageCause::DataLoss);
-                    &[(Service::Restore, p.ddf_recovery_rate)]
+                    &[(0, Service::Restore, restore_inv)]
                 } else {
                     mode = Mode::Du;
                     log.begin(entry.t, OutageCause::HumanError);
                     &[
-                        (Service::RecoveryOk, (1.0 - hep) * p.human_recovery_rate),
-                        (Service::RemovedCrash, p.removed_crash_rate),
+                        (0, Service::RecoveryOk, recover_inv),
+                        (1, Service::RemovedCrash, crash_inv),
                     ]
                 };
-                for &(kind, rate) in services {
-                    if let Some(dt) = rng.sample_exp(rate) {
-                        let _ = queue.schedule_at(entry.t + dt, Ev::Service { kind, epoch });
-                    }
+                for &(lane, kind, inv) in services {
+                    svc[lane] = match rng.sample_exp_inv(inv) {
+                        Some(dt) => enqueue_due!(queue, entry.t + dt, Ev::Service { kind, epoch }),
+                        None => None,
+                    };
                 }
             }
         }
 
-        macro_rules! schedule_service {
-            ($rng:expr, $q:expr, $ep:expr, $kind:expr, $rate:expr) => {
-                if let Some(dt) = $rng.sample_exp($rate) {
-                    let _ = $q.schedule(
-                        dt,
-                        Ev::Service {
-                            kind: $kind,
-                            epoch: $ep,
-                        },
-                    );
-                }
-            };
-        }
-
-        while let Some(t) = {
-            let next = queue.peek_time();
-            match next {
-                Some(t) if t <= horizon => Some(t),
-                _ => None,
-            }
-        } {
-            let (_, ev) = queue.pop().expect("peeked event exists");
+        while let Some((t, ev)) = queue.pop_due(horizon) {
             match ev {
                 Ev::Fail { slot, gen } => {
+                    let slot = slot as usize;
                     if gen != slot_gen[slot] {
                         continue; // stale clock
                     }
@@ -778,45 +873,26 @@ impl ConventionalMc {
                             mode = Mode::Exp;
                             failed_slot = Some(slot);
                             epoch += 1;
-                            if let Some(tr) = trace.as_deref_mut() {
-                                tr.record(t, TraceKind::DiskFailure { disk: slot as u32 });
-                            }
-                            schedule_service!(
-                                rng,
-                                queue,
-                                epoch,
-                                Service::RepairOk,
-                                (1.0 - hep) * p.disk_repair_rate
-                            );
-                            schedule_service!(
-                                rng,
-                                queue,
-                                epoch,
-                                Service::WrongPull,
-                                self.wrong_pull_rate()
-                            );
+                            trace.record(t, TraceKind::DiskFailure { disk: slot as u32 });
+                            arm_service!(0, Service::RepairOk, repair_inv);
+                            arm_service!(1, Service::WrongPull, wrong_inv);
                         }
                         Mode::Exp => {
-                            // Second failure: data loss.
+                            // Second failure: data loss. The pending
+                            // service race is void.
                             mode = Mode::Dl;
                             dl_events += 1;
                             epoch += 1;
+                            cancel_service!(0);
+                            cancel_service!(1);
                             log.begin(t, OutageCause::DataLoss);
-                            if let Some(tr) = trace.as_deref_mut() {
-                                tr.record(t, TraceKind::DiskFailure { disk: slot as u32 });
-                                tr.record(t, TraceKind::DataLoss);
-                            }
+                            trace.record(t, TraceKind::DiskFailure { disk: slot as u32 });
+                            trace.record(t, TraceKind::DataLoss);
                             if stop_at_down {
                                 down_entry = Some(DownEntry { t, data_loss: true });
                                 break;
                             }
-                            schedule_service!(
-                                rng,
-                                queue,
-                                epoch,
-                                Service::Restore,
-                                p.ddf_recovery_rate
-                            );
+                            arm_service!(0, Service::Restore, restore_inv);
                         }
                         // Quiesced while down; the slot is resampled on
                         // the next return to OP.
@@ -828,36 +904,37 @@ impl ConventionalMc {
                     epoch: ev_epoch,
                 } => {
                     if ev_epoch != epoch {
-                        continue; // stale service event
+                        continue; // stale service event (defensive)
                     }
                     match (mode, kind) {
                         (Mode::Exp, Service::RepairOk) => {
                             // Replacement + rebuild done: back to OP.
                             mode = Mode::Op;
                             epoch += 1;
+                            svc[0] = None;
+                            cancel_service!(1);
                             let slot = failed_slot.take().expect("exp implies a failed slot");
                             slot_gen[slot] += 1;
                             let tt = self.failures.sample_ttf(rng);
-                            let _ = queue.schedule(
-                                tt,
+                            let _ = enqueue_due!(
+                                queue,
+                                queue.now() + tt,
                                 Ev::Fail {
-                                    slot,
+                                    slot: slot as u16,
                                     gen: slot_gen[slot],
-                                },
+                                }
                             );
-                            if let Some(tr) = trace.as_deref_mut() {
-                                tr.record(t, TraceKind::RepairComplete { disk: slot as u32 });
-                            }
+                            trace.record(t, TraceKind::RepairComplete { disk: slot as u32 });
                         }
                         (Mode::Exp, Service::WrongPull) => {
                             mode = Mode::Du;
                             du_events += 1;
                             epoch += 1;
+                            svc[1] = None;
+                            cancel_service!(0);
                             log.begin(t, OutageCause::HumanError);
-                            if let Some(tr) = trace.as_deref_mut() {
-                                tr.record(t, TraceKind::WrongReplacement { removed_disk: 0 });
-                                tr.record(t, TraceKind::DataUnavailable);
-                            }
+                            trace.record(t, TraceKind::WrongReplacement { removed_disk: 0 });
+                            trace.record(t, TraceKind::DataUnavailable);
                             if stop_at_down {
                                 down_entry = Some(DownEntry {
                                     t,
@@ -865,68 +942,63 @@ impl ConventionalMc {
                                 });
                                 break;
                             }
-                            schedule_service!(
-                                rng,
-                                queue,
-                                epoch,
-                                Service::RecoveryOk,
-                                (1.0 - hep) * p.human_recovery_rate
-                            );
-                            schedule_service!(
-                                rng,
-                                queue,
-                                epoch,
-                                Service::RemovedCrash,
-                                p.removed_crash_rate
-                            );
+                            arm_service!(0, Service::RecoveryOk, recover_inv);
+                            arm_service!(1, Service::RemovedCrash, crash_inv);
                         }
                         (Mode::Du, Service::RecoveryOk) => {
                             // Error undone and repair completed (Fig. 2's
                             // DU → OP edge): full return to OP.
                             mode = Mode::Op;
                             epoch += 1;
+                            svc[0] = None;
+                            cancel_service!(1);
                             failed_slot = None;
                             log.end(t);
-                            if let Some(tr) = trace.as_deref_mut() {
-                                tr.record(t, TraceKind::WrongReplacementUndone);
-                            }
+                            trace.record(t, TraceKind::WrongReplacementUndone);
                             for (slot, gen) in slot_gen.iter_mut().enumerate() {
                                 *gen += 1;
                                 let tt = self.failures.sample_ttf(rng);
-                                let _ = queue.schedule(tt, Ev::Fail { slot, gen: *gen });
+                                let _ = enqueue_due!(
+                                    queue,
+                                    queue.now() + tt,
+                                    Ev::Fail {
+                                        slot: slot as u16,
+                                        gen: *gen,
+                                    }
+                                );
                             }
                         }
                         (Mode::Du, Service::RemovedCrash) => {
                             mode = Mode::Dl;
                             dl_events += 1;
                             epoch += 1;
+                            svc[1] = None;
+                            cancel_service!(0);
                             // Re-attribute the remaining outage to data loss.
                             log.end(t);
                             log.begin(t, OutageCause::DataLoss);
-                            if let Some(tr) = trace.as_deref_mut() {
-                                tr.record(t, TraceKind::RemovedDiskCrashed);
-                                tr.record(t, TraceKind::DataLoss);
-                            }
-                            schedule_service!(
-                                rng,
-                                queue,
-                                epoch,
-                                Service::Restore,
-                                p.ddf_recovery_rate
-                            );
+                            trace.record(t, TraceKind::RemovedDiskCrashed);
+                            trace.record(t, TraceKind::DataLoss);
+                            arm_service!(0, Service::Restore, restore_inv);
                         }
                         (Mode::Dl, Service::Restore) => {
                             mode = Mode::Op;
                             epoch += 1;
+                            svc[0] = None;
                             failed_slot = None;
                             log.end(t);
-                            if let Some(tr) = trace.as_deref_mut() {
-                                tr.record(t, TraceKind::BackupRestoreComplete);
-                            }
+                            trace.record(t, TraceKind::BackupRestoreComplete);
                             for (slot, gen) in slot_gen.iter_mut().enumerate() {
                                 *gen += 1;
                                 let tt = self.failures.sample_ttf(rng);
-                                let _ = queue.schedule(tt, Ev::Fail { slot, gen: *gen });
+                                let _ = enqueue_due!(
+                                    queue,
+                                    queue.now() + tt,
+                                    Ev::Fail {
+                                        slot: slot as u16,
+                                        gen: *gen,
+                                    }
+                                );
                             }
                         }
                         // Any other combination is a stale/impossible pair.
@@ -1021,7 +1093,8 @@ impl ConventionalMc {
         let mut downs: Vec<DownEntry> = Vec::new();
         for _ in 0..effort {
             let e = &entries[rng.next_bounded(entries.len() as u64) as usize];
-            let (out, down) = self.run_event_queue(horizon, rng, ws, None, EqStart::Exp(e), true);
+            let (out, down) =
+                self.run_event_queue(horizon, rng, ws, &mut NoTrace, EqStart::Exp(e), true);
             du_events += out.du_events;
             dl_events += out.dl_events;
             if let Some(d) = down {
@@ -1040,7 +1113,8 @@ impl ConventionalMc {
         let (mut sum_dt, mut sum_du, mut sum_dl) = (0.0, 0.0, 0.0);
         for _ in 0..effort {
             let d = downs[rng.next_bounded(downs.len() as u64) as usize];
-            let (out, _) = self.run_event_queue(horizon, rng, ws, None, EqStart::Down(d), false);
+            let (out, _) =
+                self.run_event_queue(horizon, rng, ws, &mut NoTrace, EqStart::Down(d), false);
             du_events += out.du_events;
             dl_events += out.dl_events;
             sum_dt += out.downtime_hours;
@@ -1077,6 +1151,21 @@ mod tests {
             threads: 2,
             ..McConfig::default()
         }
+    }
+
+    #[test]
+    fn arrays_wider_than_the_slot_id_space_are_rejected() {
+        // Regression: disk slots travel as u16 in the event payload; a
+        // wider geometry must be refused instead of silently aliasing
+        // slot ids (slot 0 vs slot 65536).
+        let geom = availsim_storage::RaidGeometry::raid5(70_000).unwrap();
+        let p = ModelParams::paper_defaults(geom, 1e-6, Hep::new(0.01).unwrap()).unwrap();
+        let err = ConventionalMc::new(p).unwrap_err();
+        assert!(err.to_string().contains("at most"), "{err}");
+        // The widest supported geometry still constructs.
+        let geom = availsim_storage::RaidGeometry::raid5(ConventionalMc::MAX_DISKS - 1).unwrap();
+        let p = ModelParams::paper_defaults(geom, 1e-6, Hep::new(0.01).unwrap()).unwrap();
+        assert!(ConventionalMc::new(p).is_ok());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use super::{
 };
 use crate::error::{CoreError, Result};
 use crate::params::ModelParams;
-use availsim_sim::engine::EventQueue;
+use availsim_sim::indexed_queue::IndexedEventQueue;
 use availsim_sim::rng::SimRng;
 use availsim_storage::{DowntimeLog, OutageCause};
 
@@ -74,10 +74,12 @@ mod states {
     }
 }
 
+/// Event payload of the general engine, 8 bytes so a queue entry stays 24
+/// (the per-mission `epoch` guard never approaches `u32::MAX`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Jump {
     to: Mode,
-    epoch: u64,
+    epoch: u32,
 }
 
 /// Most exits any Fig. 3 state has (the table rows are fixed-size so the
@@ -93,6 +95,9 @@ const MAX_EXITS: usize = 4;
 #[derive(Debug, Clone, Copy)]
 struct JumpTable {
     exits: [[(f64, Mode, bool); MAX_EXITS]; 12],
+    /// Reciprocal exit rates (`∞` for disabled exits), so the event-queue
+    /// engine's per-exit draws multiply instead of divide.
+    inv_rates: [[f64; MAX_EXITS]; 12],
     len: [usize; 12],
     totals: [f64; 12],
 }
@@ -102,13 +107,18 @@ impl JumpTable {
         let i = mode as usize;
         &self.exits[i][..self.len[i]]
     }
+
+    fn inv_rates_of(&self, mode: Mode) -> &[f64] {
+        let i = mode as usize;
+        &self.inv_rates[i][..self.len[i]]
+    }
 }
 
 /// Reusable scratch of the general event-queue engine. Cleared (capacity
 /// retained) at the start of every mission.
 #[derive(Debug, Default)]
 pub(crate) struct FoScratch {
-    queue: EventQueue<Jump>,
+    queue: IndexedEventQueue<Jump>,
 }
 
 impl FoScratch {
@@ -138,6 +148,7 @@ impl FailOverMc {
             engine: McEngine::Auto,
             table: JumpTable {
                 exits: [[(0.0, Mode::Op, false); MAX_EXITS]; 12],
+                inv_rates: [[f64::INFINITY; MAX_EXITS]; 12],
                 len: [0; 12],
                 totals: [0.0; 12],
             },
@@ -148,6 +159,7 @@ impl FailOverMc {
             assert!(exits.len() <= MAX_EXITS, "exit table row overflow");
             for (k, &(rate, to, biased)) in exits.iter().enumerate() {
                 mc.table.exits[i][k] = (rate, to, biased);
+                mc.table.inv_rates[i][k] = rate.recip();
                 mc.table.totals[i] += rate;
             }
             mc.table.len[i] = exits.len();
@@ -464,26 +476,37 @@ impl FailOverMc {
         let queue = &mut ws.failover.queue;
         let log = &mut ws.log;
         let mut mode = Mode::Op;
-        let mut epoch = 0u64;
+        let mut epoch = 0u32;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
 
-        let arm = |mode: Mode, epoch: u64, queue: &mut EventQueue<Jump>, rng: &mut SimRng| {
-            for &(rate, to, _) in self.table.exits_of(mode) {
-                if let Some(dt) = rng.sample_exp(rate) {
-                    let _ = queue.schedule(dt, Jump { to, epoch });
+        let arm =
+            |mode: Mode, epoch: u32, queue: &mut IndexedEventQueue<Jump>, rng: &mut SimRng| {
+                let exits = self.table.exits_of(mode);
+                let invs = self.table.inv_rates_of(mode);
+                for (&(_, to, _), &inv) in exits.iter().zip(invs) {
+                    // The armed draw multiplies by the precomputed 1/rate;
+                    // a delay landing past the horizon can never fire —
+                    // the draw still happens (the stream is the contract),
+                    // but the queue never holds the event.
+                    if let Some(dt) = rng.sample_exp_inv(inv) {
+                        if queue.now() + dt <= horizon {
+                            let _ = queue.schedule(dt, Jump { to, epoch });
+                        }
+                    }
                 }
-            }
-        };
+            };
 
         arm(mode, epoch, queue, rng);
-        while let Some(t) = queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (_, jump) = queue.pop().expect("peeked event exists");
+        while let Some((t, jump)) = queue.pop_due(horizon) {
             if jump.epoch != epoch {
                 continue;
             }
+            // Every event in the queue belongs to the epoch that just
+            // ended (the chain quiesces completely on each transition), so
+            // the losers of the race are removed in one bulk pass instead
+            // of surfacing later as stale pops. The epoch guard above
+            // stays as a defensive invariant.
+            queue.cancel_all();
             account_transition(mode, jump.to, t, log, &mut du_events, &mut dl_events);
             mode = jump.to;
             epoch += 1;

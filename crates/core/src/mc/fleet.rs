@@ -1,0 +1,661 @@
+//! Fleet-scale Monte-Carlo: one mission simulates a whole datacenter row
+//! of independent RAID arrays on a single event queue.
+//!
+//! The paper motivates everything with an exabyte datacenter — "at least a
+//! disk failure per hour" and multiple human errors a day — but its models
+//! (and [`ConventionalMc`](super::ConventionalMc)) describe a *single*
+//! array. [`FleetMc`] turns the intro arithmetic into a first-class
+//! simulated scenario: a mission advances `A` independent conventional
+//! arrays (Fig. 2 semantics each, per-disk failure clocks, any
+//! [`FailureModel`]) through one shared
+//! [`IndexedEventQueue`](availsim_sim::indexed_queue::IndexedEventQueue)
+//! and one shared workspace, reporting
+//!
+//! * the per-array availability (which matches the single-array model —
+//!   the arrays are independent),
+//! * the *fleet* availability (no array down) and its expected annual
+//!   any-array-down hours — the number a datacenter operator actually
+//!   plans maintenance staffing around, and
+//! * the time-weighted distribution of **simultaneously degraded arrays**
+//!   (arrays not fully operational), the paper's failure-per-hour claim
+//!   made measurable.
+//!
+//! The engine is the general event-queue engine throughout — a fleet
+//! mission is exactly the workload the indexed queue's heap regime exists
+//! for (thousands of concurrent disk clocks).
+
+use super::{McConfig, McVariance, SimWorkspace, BLOCK_ITERATIONS, MAX_BLOCKS};
+use crate::error::{CoreError, Result};
+use crate::markov::WrongReplacementTiming;
+use crate::params::ModelParams;
+use availsim_sim::indexed_queue::{IndexedEventHandle, IndexedEventQueue};
+use availsim_sim::parallel::ordered_parallel_map_with;
+use availsim_sim::rng::SimRng;
+use availsim_sim::stats::{t_interval, ConfidenceInterval, RunningStats};
+use availsim_storage::{FailureModel, FleetSpec, HOURS_PER_YEAR};
+
+/// Operating mode of one member array (the Fig. 2 states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Mode {
+    /// All disks operational.
+    #[default]
+    Op,
+    /// One failed disk, service in progress (degraded but serving).
+    Exp,
+    /// Down: wrong replacement pulled a live disk.
+    Du,
+    /// Down: data lost, restoring from backup.
+    Dl,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Service {
+    /// EXP → OP at (1−hep)·μ_DF.
+    RepairOk,
+    /// EXP → DU at hep·μ_s.
+    WrongPull,
+    /// DU → OP at (1−hep)·μ_he.
+    RecoveryOk,
+    /// DU → DL at λ_crash.
+    RemovedCrash,
+    /// DL → OP at μ_DDF.
+    Restore,
+}
+
+/// Event payload. `slot` fits a `u8` (per-array disk counts are bounded
+/// by [`FleetSpec::MAX_DISKS_PER_ARRAY`]); `gen`/`epoch` are per-slot /
+/// per-array counters that reset every mission — `u32` so that even an
+/// absurd `λ·horizon` cannot wrap them within one mission (2^32 events on
+/// one slot is beyond any simulable mission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FleetEv {
+    /// Failure of one disk slot of one array.
+    Fail { array: u32, slot: u8, gen: u32 },
+    /// A service transition of one array.
+    Service {
+        array: u32,
+        kind: Service,
+        epoch: u32,
+    },
+}
+
+/// Per-array simulation state, 8 bytes so a 64k-array fleet's state table
+/// stays cache-friendly.
+#[derive(Debug, Clone, Copy, Default)]
+struct ArrayState {
+    mode: Mode,
+    epoch: u32,
+    failed_slot: u8,
+}
+
+/// Reusable scratch of the fleet engine: the shared event queue, the
+/// per-array state table, and the flattened per-slot failure-clock
+/// generations. Cleared (capacity retained) at the start of every mission.
+#[derive(Debug, Default)]
+pub(crate) struct FleetScratch {
+    queue: IndexedEventQueue<FleetEv>,
+    arrays: Vec<ArrayState>,
+    slot_gen: Vec<u32>,
+    /// Pending service handles per array, by race lane (0 = the
+    /// recovery-flavoured exit, 1 = the failure-flavoured one): when one
+    /// fires, the sibling is cancelled in place instead of surfacing
+    /// later as a stale pop in the shared heap.
+    svc: Vec<[Option<IndexedEventHandle>; 2]>,
+}
+
+impl FleetScratch {
+    /// Re-zeroes the state tables for an `arrays × disks` mission,
+    /// retaining all allocated capacity.
+    pub(crate) fn reset(&mut self, arrays: usize, disks: usize) {
+        self.queue.clear();
+        self.arrays.clear();
+        self.arrays.resize(arrays, ArrayState::default());
+        self.slot_gen.clear();
+        self.slot_gen.resize(arrays * disks, 0);
+        self.svc.clear();
+        self.svc.resize(arrays, [None, None]);
+    }
+}
+
+/// Number of bins of the simultaneous-degraded-arrays distribution: exact
+/// counts `0..=31`, with the final bin absorbing `>= 32` (a fleet sick
+/// enough to exceed it is far outside the paper's operating regime).
+pub const DEGRADED_BINS: usize = 33;
+
+/// Outcome of one fleet mission.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetOutcome {
+    /// Human-error (DU) downtime summed over all member arrays, hours.
+    pub du_downtime_hours: f64,
+    /// Data-loss (DL) downtime summed over all member arrays, hours.
+    pub dl_downtime_hours: f64,
+    /// Mission time during which **at least one** array was down, hours.
+    pub any_down_hours: f64,
+    /// Data-unavailability events across the fleet.
+    pub du_events: u64,
+    /// Data-loss events across the fleet.
+    pub dl_events: u64,
+    /// Peak number of simultaneously degraded (not fully operational)
+    /// arrays observed during the mission.
+    pub max_degraded: u32,
+    /// Time spent with exactly `k` arrays degraded, hours
+    /// (`degraded_hours[DEGRADED_BINS - 1]` absorbs `k >= 32`); sums to
+    /// the mission horizon.
+    pub degraded_hours: [f64; DEGRADED_BINS],
+}
+
+impl FleetOutcome {
+    /// Total array-downtime of the mission (DU + DL, summed over arrays),
+    /// hours.
+    pub fn array_downtime_hours(&self) -> f64 {
+        self.du_downtime_hours + self.dl_downtime_hours
+    }
+}
+
+/// Aggregate result of a fleet Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct FleetEstimate {
+    /// Student-t interval over per-mission *per-array* availability (each
+    /// mission contributes `1 − downtime/(A·horizon)`).
+    pub availability: ConfidenceInterval,
+    /// Overall per-array availability: total array-uptime over total
+    /// array-time — directly comparable to the single-array models.
+    pub overall_array_availability: f64,
+    /// Fleet availability under the all-arrays-serving definition:
+    /// fraction of time **no** array was down.
+    pub fleet_availability: f64,
+    /// Mean downtime per array per mission, hours.
+    pub mean_array_downtime_hours: f64,
+    /// Expected annual downtime of one array, hours — the per-array
+    /// unavailability scaled by [`HOURS_PER_YEAR`].
+    pub annual_array_downtime_hours: f64,
+    /// Expected hours per year with at least one array down — the fleet
+    /// operator's maintenance-exposure number.
+    pub annual_any_down_hours: f64,
+    /// Share of array-downtime caused by human error (DU), in `[0, 1]`.
+    pub du_downtime_share: f64,
+    /// Total DU events across all missions.
+    pub du_events: u64,
+    /// Total DL events across all missions.
+    pub dl_events: u64,
+    /// Time-share distribution of simultaneously degraded arrays: entry
+    /// `k` is the fraction of simulated time with exactly `k` arrays not
+    /// fully operational (last entry: `>= 32`). Sums to 1.
+    pub degraded_time_share: [f64; DEGRADED_BINS],
+    /// Peak simultaneously-degraded count across all missions.
+    pub max_degraded: u32,
+    /// Number of missions.
+    pub iterations: u64,
+    /// Mission time per iteration, hours.
+    pub horizon_hours: f64,
+    /// Member arrays per mission.
+    pub arrays: u32,
+}
+
+impl FleetEstimate {
+    /// Per-array unavailability of the overall estimator.
+    pub fn array_unavailability(&self) -> f64 {
+        1.0 - self.overall_array_availability
+    }
+
+    /// Expected simultaneously-degraded arrays (mean of the time-share
+    /// distribution; the overflow bin counts as its lower edge, a
+    /// negligible underestimate in any realistic regime).
+    pub fn mean_degraded(&self) -> f64 {
+        self.degraded_time_share
+            .iter()
+            .enumerate()
+            .map(|(k, share)| k as f64 * share)
+            .sum()
+    }
+}
+
+/// The fleet-scale Monte-Carlo engine (see the module docs).
+#[derive(Debug)]
+pub struct FleetMc {
+    spec: FleetSpec,
+    params: ModelParams,
+    failures: FailureModel,
+    timing: WrongReplacementTiming,
+}
+
+impl FleetMc {
+    /// Creates the engine with exponential failures at the params' rate.
+    ///
+    /// # Errors
+    /// Propagates parameter validation errors; the params' geometry must
+    /// be the fleet's geometry.
+    pub fn new(spec: FleetSpec, params: ModelParams) -> Result<Self> {
+        let failures = FailureModel::exponential(params.disk_failure_rate)?;
+        FleetMc::with_failure_model(spec, params, failures)
+    }
+
+    /// Creates the engine with an explicit failure distribution (e.g. a
+    /// Weibull field fit); the params' `disk_failure_rate` is ignored for
+    /// sampling.
+    ///
+    /// # Errors
+    /// Propagates parameter validation errors; the params' geometry must
+    /// be the fleet's geometry.
+    pub fn with_failure_model(
+        spec: FleetSpec,
+        params: ModelParams,
+        failures: FailureModel,
+    ) -> Result<Self> {
+        params.validate()?;
+        if params.geometry != spec.geometry() {
+            return Err(CoreError::InvalidParameter(format!(
+                "fleet geometry {} does not match model geometry {}",
+                spec.geometry().label(),
+                params.geometry.label()
+            )));
+        }
+        Ok(FleetMc {
+            spec,
+            params,
+            failures,
+            timing: WrongReplacementTiming::default(),
+        })
+    }
+
+    /// Selects the wrong-replacement timing reading.
+    pub fn with_timing(mut self, timing: WrongReplacementTiming) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// The fleet specification.
+    pub fn spec(&self) -> FleetSpec {
+        self.spec
+    }
+
+    /// The per-array model parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    fn wrong_pull_rate(&self) -> f64 {
+        let base = match self.timing {
+            WrongReplacementTiming::ChangeAction => self.params.disk_change_rate,
+            WrongReplacementTiming::RepairCompletion => self.params.disk_repair_rate,
+        };
+        self.params.hep.value() * base
+    }
+
+    /// Runs the full fleet Monte-Carlo estimation.
+    ///
+    /// Iterations are scheduled in the same fixed blocks as the
+    /// single-array models, and per-block partials (including the degraded
+    /// histogram) are merged in block order, so the
+    /// [`McConfig::threads`] determinism contract holds: `threads = 1` and
+    /// `threads = N` produce byte-identical estimates.
+    ///
+    /// # Errors
+    /// Propagates configuration errors. Rare-event schemes are rejected:
+    /// fleet missions aggregate many arrays, so outages are *common* at
+    /// fleet scale and [`McVariance::Naive`] is the meaningful sampler.
+    pub fn run(&self, config: &McConfig) -> Result<FleetEstimate> {
+        config.validate()?;
+        if config.variance != McVariance::Naive {
+            return Err(CoreError::InvalidParameter(format!(
+                "fleet simulation supports only naive sampling \
+                 (fleet-level outages are not rare events), got {}",
+                config.variance
+            )));
+        }
+        let iterations = config.iterations;
+        let block_size = BLOCK_ITERATIONS.max(iterations.div_ceil(MAX_BLOCKS));
+        let blocks = iterations.div_ceil(block_size);
+        let threads = availsim_sim::parallel::resolve_workers(config.threads);
+        let arrays = f64::from(self.spec.arrays());
+        let horizon = config.horizon_hours;
+
+        #[derive(Clone, Copy)]
+        struct Partial {
+            stats: RunningStats,
+            du_dt: f64,
+            dl_dt: f64,
+            any_down: f64,
+            du_events: u64,
+            dl_events: u64,
+            max_degraded: u32,
+            hist: [f64; DEGRADED_BINS],
+        }
+
+        let partials = ordered_parallel_map_with(
+            blocks,
+            threads,
+            SimWorkspace::new,
+            |ws, block| {
+                let lo = block * block_size;
+                let hi = (lo + block_size).min(iterations);
+                let mut p = Partial {
+                    stats: RunningStats::new(),
+                    du_dt: 0.0,
+                    dl_dt: 0.0,
+                    any_down: 0.0,
+                    du_events: 0,
+                    dl_events: 0,
+                    max_degraded: 0,
+                    hist: [0.0; DEGRADED_BINS],
+                };
+                for i in lo..hi {
+                    let mut rng = SimRng::substream(config.seed, i);
+                    let out = self.simulate_once_with(horizon, &mut rng, ws);
+                    p.stats
+                        .push(1.0 - out.array_downtime_hours() / (arrays * horizon));
+                    p.du_dt += out.du_downtime_hours;
+                    p.dl_dt += out.dl_downtime_hours;
+                    p.any_down += out.any_down_hours;
+                    p.du_events += out.du_events;
+                    p.dl_events += out.dl_events;
+                    p.max_degraded = p.max_degraded.max(out.max_degraded);
+                    for (acc, h) in p.hist.iter_mut().zip(&out.degraded_hours) {
+                        *acc += h;
+                    }
+                }
+                p
+            },
+            |_| false,
+        );
+
+        let mut stats = RunningStats::new();
+        let (mut du_dt, mut dl_dt, mut any_down) = (0.0, 0.0, 0.0);
+        let (mut du_ev, mut dl_ev) = (0u64, 0u64);
+        let mut max_degraded = 0u32;
+        let mut hist = [0.0; DEGRADED_BINS];
+        for (_, p) in partials {
+            stats.merge(&p.stats);
+            du_dt += p.du_dt;
+            dl_dt += p.dl_dt;
+            any_down += p.any_down;
+            du_ev += p.du_events;
+            dl_ev += p.dl_events;
+            max_degraded = max_degraded.max(p.max_degraded);
+            for (acc, h) in hist.iter_mut().zip(&p.hist) {
+                *acc += h;
+            }
+        }
+
+        let availability = t_interval(&stats, config.confidence).map_err(CoreError::from)?;
+        let total_time = horizon * iterations as f64;
+        let downtime = du_dt + dl_dt;
+        let array_u = downtime / (arrays * total_time);
+        let any_down_u = any_down / total_time;
+        let mut degraded_time_share = hist;
+        for share in &mut degraded_time_share {
+            *share /= total_time;
+        }
+        Ok(FleetEstimate {
+            availability,
+            overall_array_availability: 1.0 - array_u,
+            fleet_availability: 1.0 - any_down_u,
+            mean_array_downtime_hours: downtime / (arrays * iterations as f64),
+            annual_array_downtime_hours: array_u * HOURS_PER_YEAR,
+            annual_any_down_hours: any_down_u * HOURS_PER_YEAR,
+            du_downtime_share: if downtime > 0.0 {
+                du_dt / downtime
+            } else {
+                0.0
+            },
+            du_events: du_ev,
+            dl_events: dl_ev,
+            degraded_time_share,
+            max_degraded,
+            iterations,
+            horizon_hours: horizon,
+            arrays: self.spec.arrays(),
+        })
+    }
+
+    /// Simulates one fleet mission on a reusable [`SimWorkspace`] —
+    /// allocation-free once the workspace buffers have grown. The mission
+    /// fully resets the fleet scratch it uses, so workspaces can be shared
+    /// across missions and models.
+    ///
+    /// The per-array transition semantics deliberately mirror
+    /// `ConventionalMc::run_event_queue` (Fig. 2: per-disk clocks,
+    /// gen/epoch staleness guards, service races with loser cancellation,
+    /// full renewal on every return to OP) with array-indexed state — a
+    /// semantic change there must be mirrored here, and
+    /// `crates/core/tests/fleet.rs` holds the two engines to each other
+    /// (A = 1 vs the Fig. 2 chain, per-array CI overlap at A = 16).
+    pub fn simulate_once_with(
+        &self,
+        horizon: f64,
+        rng: &mut SimRng,
+        ws: &mut SimWorkspace,
+    ) -> FleetOutcome {
+        let a = self.spec.arrays() as usize;
+        let n = self.spec.geometry().total_disks() as usize;
+        let p = &self.params;
+        let hep = p.hep.value();
+        // Reciprocal service rates: the armed draws multiply by a cached
+        // 1/rate (∞ = disabled, drawing nothing, like `sample_exp(0)`).
+        let repair_ok_inv = ((1.0 - hep) * p.disk_repair_rate).recip();
+        let wrong_inv = self.wrong_pull_rate().recip();
+        let recover_inv = ((1.0 - hep) * p.human_recovery_rate).recip();
+        let crash_inv = p.removed_crash_rate.recip();
+        let restore_inv = p.ddf_recovery_rate.recip();
+
+        ws.fleet.reset(a, n);
+        let FleetScratch {
+            queue,
+            arrays,
+            slot_gen,
+            svc,
+        } = &mut ws.fleet;
+
+        let mut out = FleetOutcome {
+            du_downtime_hours: 0.0,
+            dl_downtime_hours: 0.0,
+            any_down_hours: 0.0,
+            du_events: 0,
+            dl_events: 0,
+            max_degraded: 0,
+            degraded_hours: [0.0; DEGRADED_BINS],
+        };
+        // Fleet-wide occupancy counters, updated on every transition; the
+        // interval between consecutive events is accrued against them.
+        let mut not_op = 0u32; // arrays degraded or down
+        let mut in_du = 0u32; // arrays in DU
+        let mut in_dl = 0u32; // arrays in DL
+        let mut t_prev = 0.0f64;
+
+        // Seed every disk clock of every array. Draws happen for all
+        // clocks (the stream is the contract); only sub-horizon events
+        // enter the queue — with realistic λ·horizon that is a small
+        // fraction, which keeps the heap shallow.
+        for array in 0..a {
+            for slot in 0..n {
+                let t = self.failures.sample_ttf(rng);
+                if t <= horizon {
+                    let _ = queue.schedule_at(
+                        t,
+                        FleetEv::Fail {
+                            array: array as u32,
+                            slot: slot as u8,
+                            gen: 0,
+                        },
+                    );
+                }
+            }
+        }
+
+        macro_rules! accrue {
+            ($t:expr) => {{
+                let dt = $t - t_prev;
+                if dt > 0.0 {
+                    let bin = (not_op as usize).min(DEGRADED_BINS - 1);
+                    out.degraded_hours[bin] += dt;
+                    if in_du > 0 {
+                        out.du_downtime_hours += f64::from(in_du) * dt;
+                    }
+                    if in_dl > 0 {
+                        out.dl_downtime_hours += f64::from(in_dl) * dt;
+                    }
+                    if in_du + in_dl > 0 {
+                        out.any_down_hours += dt;
+                    }
+                    t_prev = $t;
+                }
+            }};
+        }
+        macro_rules! arm {
+            ($array:expr, $epoch:expr, $lane:expr, $kind:expr, $inv_rate:expr) => {
+                svc[$array as usize][$lane] = match rng.sample_exp_inv($inv_rate) {
+                    Some(dt) if queue.now() + dt <= horizon => queue
+                        .schedule(
+                            dt,
+                            FleetEv::Service {
+                                array: $array,
+                                kind: $kind,
+                                epoch: $epoch,
+                            },
+                        )
+                        .ok(),
+                    _ => None,
+                };
+            };
+        }
+        macro_rules! cancel_svc {
+            ($array:expr, $lane:expr) => {
+                if let Some(h) = svc[$array as usize][$lane].take() {
+                    queue.cancel(h);
+                }
+            };
+        }
+        macro_rules! reseed_slot {
+            ($array:expr, $slot:expr) => {{
+                let idx = $array as usize * n + $slot as usize;
+                slot_gen[idx] += 1;
+                let tt = self.failures.sample_ttf(rng);
+                if queue.now() + tt <= horizon {
+                    let _ = queue.schedule(
+                        tt,
+                        FleetEv::Fail {
+                            array: $array,
+                            slot: $slot,
+                            gen: slot_gen[idx],
+                        },
+                    );
+                }
+            }};
+        }
+
+        while let Some((t, ev)) = queue.pop_due(horizon) {
+            match ev {
+                FleetEv::Fail { array, slot, gen } => {
+                    let idx = array as usize * n + slot as usize;
+                    if gen != slot_gen[idx] {
+                        continue; // stale clock
+                    }
+                    slot_gen[idx] += 1; // no longer ticking
+                    let st = &mut arrays[array as usize];
+                    match st.mode {
+                        Mode::Op => {
+                            accrue!(t);
+                            st.mode = Mode::Exp;
+                            st.epoch += 1;
+                            st.failed_slot = slot;
+                            not_op += 1;
+                            out.max_degraded = out.max_degraded.max(not_op);
+                            let epoch = st.epoch;
+                            arm!(array, epoch, 0, Service::RepairOk, repair_ok_inv);
+                            arm!(array, epoch, 1, Service::WrongPull, wrong_inv);
+                        }
+                        Mode::Exp => {
+                            // Second failure: data loss.
+                            accrue!(t);
+                            st.mode = Mode::Dl;
+                            st.epoch += 1;
+                            out.dl_events += 1;
+                            in_dl += 1;
+                            // The pending service race is void.
+                            cancel_svc!(array, 0);
+                            cancel_svc!(array, 1);
+                            let epoch = st.epoch;
+                            arm!(array, epoch, 0, Service::Restore, restore_inv);
+                        }
+                        // Quiesced while down; resampled on return to OP.
+                        Mode::Du | Mode::Dl => {}
+                    }
+                }
+                FleetEv::Service {
+                    array,
+                    kind,
+                    epoch: ev_epoch,
+                } => {
+                    let st = &mut arrays[array as usize];
+                    if ev_epoch != st.epoch {
+                        continue; // stale service event
+                    }
+                    match (st.mode, kind) {
+                        (Mode::Exp, Service::RepairOk) => {
+                            accrue!(t);
+                            st.mode = Mode::Op;
+                            st.epoch += 1;
+                            not_op -= 1;
+                            svc[array as usize][0] = None;
+                            cancel_svc!(array, 1);
+                            let slot = st.failed_slot;
+                            reseed_slot!(array, slot);
+                        }
+                        (Mode::Exp, Service::WrongPull) => {
+                            accrue!(t);
+                            st.mode = Mode::Du;
+                            st.epoch += 1;
+                            out.du_events += 1;
+                            in_du += 1;
+                            svc[array as usize][1] = None;
+                            cancel_svc!(array, 0);
+                            let epoch = st.epoch;
+                            arm!(array, epoch, 0, Service::RecoveryOk, recover_inv);
+                            arm!(array, epoch, 1, Service::RemovedCrash, crash_inv);
+                        }
+                        (Mode::Du, Service::RecoveryOk) => {
+                            accrue!(t);
+                            st.mode = Mode::Op;
+                            st.epoch += 1;
+                            in_du -= 1;
+                            not_op -= 1;
+                            svc[array as usize][0] = None;
+                            cancel_svc!(array, 1);
+                            for slot in 0..n {
+                                reseed_slot!(array, slot as u8);
+                            }
+                        }
+                        (Mode::Du, Service::RemovedCrash) => {
+                            accrue!(t);
+                            st.mode = Mode::Dl;
+                            st.epoch += 1;
+                            out.dl_events += 1;
+                            in_du -= 1;
+                            in_dl += 1;
+                            svc[array as usize][1] = None;
+                            cancel_svc!(array, 0);
+                            let epoch = st.epoch;
+                            arm!(array, epoch, 0, Service::Restore, restore_inv);
+                        }
+                        (Mode::Dl, Service::Restore) => {
+                            accrue!(t);
+                            st.mode = Mode::Op;
+                            st.epoch += 1;
+                            in_dl -= 1;
+                            not_op -= 1;
+                            svc[array as usize][0] = None;
+                            for slot in 0..n {
+                                reseed_slot!(array, slot as u8);
+                            }
+                        }
+                        // Stale/impossible pair.
+                        _ => {}
+                    }
+                }
+            }
+        }
+        accrue!(horizon);
+        let _ = t_prev; // final accrual's cursor write is intentionally dead
+        out
+    }
+}

@@ -8,6 +8,10 @@
 //!   the model behind the paper's Fig. 1, Fig. 4, and Fig. 5.
 //! * [`FailOverMc`] — automatic fail-over; an event-driven replay of the
 //!   Fig. 3 chain used to cross-validate it.
+//! * [`FleetMc`] — a whole fleet of independent conventional arrays per
+//!   mission on one shared event queue, reporting fleet-level availability
+//!   and the distribution of simultaneously degraded arrays (the paper's
+//!   datacenter intro arithmetic as a simulated scenario).
 //!
 //! The availability estimator follows the paper: total uptime over total
 //! simulated time, with a Student-t confidence interval over per-iteration
@@ -17,9 +21,11 @@
 
 mod conventional;
 mod failover;
+mod fleet;
 
 pub use conventional::ConventionalMc;
 pub use failover::FailOverMc;
+pub use fleet::{FleetEstimate, FleetMc, FleetOutcome, DEGRADED_BINS};
 
 use crate::error::{CoreError, Result};
 use crate::nines;
@@ -260,6 +266,8 @@ pub struct SimWorkspace {
     pub(crate) conventional: conventional::ConvScratch,
     /// Event queue for [`FailOverMc`]'s general engine.
     pub(crate) failover: failover::FoScratch,
+    /// Shared queue + per-array state tables for [`FleetMc`].
+    pub(crate) fleet: fleet::FleetScratch,
     /// Downtime accounting, shared by every engine.
     pub(crate) log: DowntimeLog,
     /// Reusable Fig. 1-style trace buffer (see [`Self::trace_mut`]).
@@ -283,6 +291,7 @@ impl SimWorkspace {
     pub fn reset(&mut self) {
         self.conventional.reset(0);
         self.failover.reset();
+        self.fleet.reset(0, 0);
         self.log.clear();
         self.trace.clear();
     }

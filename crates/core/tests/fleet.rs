@@ -1,0 +1,258 @@
+//! Fleet-suite oracle tests: `FleetMc` against the exact Fig. 2 chain,
+//! against the single-array engines, and against its own determinism and
+//! accounting contracts. Run in CI as a named step.
+
+use availsim_core::markov::Raid5Conventional;
+use availsim_core::mc::{
+    ConventionalMc, FleetMc, McConfig, McEngine, McVariance, SimWorkspace, DEGRADED_BINS,
+};
+use availsim_core::ModelParams;
+use availsim_hra::Hep;
+use availsim_sim::rng::SimRng;
+use availsim_storage::{FailureModel, FleetSpec, RaidGeometry};
+
+fn spec(arrays: u32) -> FleetSpec {
+    FleetSpec::new(arrays, RaidGeometry::raid5(3).unwrap()).unwrap()
+}
+
+fn params(lambda: f64, hep: f64) -> ModelParams {
+    ModelParams::raid5_3plus1(lambda, Hep::new(hep).unwrap()).unwrap()
+}
+
+fn quick_config(iterations: u64) -> McConfig {
+    McConfig {
+        iterations,
+        horizon_hours: 10_000.0,
+        seed: 23,
+        confidence: 0.99,
+        threads: 2,
+        ..McConfig::default()
+    }
+}
+
+#[test]
+fn rejects_mismatched_geometry_and_rare_event_schemes() {
+    let fleet = FleetSpec::new(4, RaidGeometry::raid5(7).unwrap()).unwrap();
+    assert!(FleetMc::new(fleet, params(1e-4, 0.01)).is_err());
+
+    let mc = FleetMc::new(spec(4), params(1e-4, 0.01)).unwrap();
+    for variance in [McVariance::failure_biasing(), McVariance::splitting()] {
+        let cfg = McConfig {
+            variance,
+            ..quick_config(10)
+        };
+        assert!(mc.run(&cfg).is_err(), "{variance} must be rejected");
+    }
+    assert!(mc
+        .run(&McConfig {
+            iterations: 1,
+            ..quick_config(10)
+        })
+        .is_err());
+}
+
+#[test]
+fn single_array_fleet_matches_the_markov_answer() {
+    // A = 1 is exactly the conventional model; the fleet estimate must
+    // bracket the Fig. 2 chain like the single-array engines do.
+    let p = params(1e-3, 0.01);
+    let markov = Raid5Conventional::new(p).unwrap().solve().unwrap();
+    let est = FleetMc::new(spec(1), p)
+        .unwrap()
+        .run(&quick_config(600))
+        .unwrap();
+    let u = markov.unavailability();
+    let gap = (est.array_unavailability() - u).abs();
+    assert!(
+        gap <= est.availability.half_width,
+        "fleet U {:.3e} vs markov {u:.3e} (hw {:.3e})",
+        est.array_unavailability(),
+        est.availability.half_width
+    );
+    // With one array, fleet-down and array-down coincide.
+    assert!((est.fleet_availability - est.overall_array_availability).abs() < 1e-12);
+    assert_eq!(est.arrays, 1);
+}
+
+#[test]
+fn fleet_per_array_availability_matches_the_single_array_engine() {
+    // Independence: per-array availability must not depend on A. The
+    // CIs of a 16-array fleet and the single-array event-queue engine
+    // must overlap.
+    let p = params(1e-3, 0.02);
+    let fleet = FleetMc::new(spec(16), p)
+        .unwrap()
+        .run(&quick_config(200))
+        .unwrap();
+    let single = ConventionalMc::new(p)
+        .unwrap()
+        .with_engine(McEngine::EventQueue)
+        .run(&quick_config(600))
+        .unwrap();
+    let gap = (fleet.availability.mean - single.availability.mean).abs();
+    assert!(
+        gap <= fleet.availability.half_width + single.availability.half_width,
+        "fleet {} vs single {}",
+        fleet.availability,
+        single.availability
+    );
+    assert!(fleet.du_events > 0);
+    assert!(fleet.dl_events > 0);
+}
+
+#[test]
+fn degraded_distribution_is_a_time_share_and_scales_with_fleet_size() {
+    let p = params(1e-3, 0.01);
+    let small = FleetMc::new(spec(2), p)
+        .unwrap()
+        .run(&quick_config(60))
+        .unwrap();
+    let large = FleetMc::new(spec(64), p)
+        .unwrap()
+        .run(&quick_config(60))
+        .unwrap();
+    for est in [&small, &large] {
+        let total: f64 = est.degraded_time_share.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+        assert!(est.degraded_time_share.iter().all(|&s| s >= 0.0));
+    }
+    // A 32x bigger fleet spends more time with at least one array
+    // degraded, and its expected simultaneous-degraded count grows.
+    assert!(large.degraded_time_share[0] < small.degraded_time_share[0]);
+    assert!(large.mean_degraded() > small.mean_degraded());
+    assert!(large.max_degraded >= small.max_degraded);
+    assert!(u32::try_from(DEGRADED_BINS).unwrap() > large.max_degraded);
+}
+
+#[test]
+fn fleet_and_array_downtime_accounting_are_consistent() {
+    let p = params(2e-3, 0.05);
+    let est = FleetMc::new(spec(8), p)
+        .unwrap()
+        .run(&quick_config(100))
+        .unwrap();
+    // Any-array-down time is bounded by summed array downtime (union
+    // bound) and positive at these rates.
+    let total_time = est.horizon_hours * est.iterations as f64;
+    let summed = est.mean_array_downtime_hours * 8.0 * est.iterations as f64;
+    assert!(est.annual_any_down_hours > 0.0);
+    assert!((1.0 - est.fleet_availability) * total_time <= summed + 1e-6);
+    // DU share is a proper fraction and both causes occurred.
+    assert!(est.du_downtime_share > 0.0 && est.du_downtime_share < 1.0);
+    // Annualisation is the unavailability times the year constant.
+    assert!(
+        (est.annual_array_downtime_hours
+            - est.array_unavailability() * availsim_storage::HOURS_PER_YEAR)
+            .abs()
+            < 1e-9
+    );
+}
+
+#[test]
+fn thread_count_never_changes_a_bit() {
+    let p = params(1e-3, 0.02);
+    let mc = FleetMc::new(spec(8), p).unwrap();
+    let run = |threads| {
+        mc.run(&McConfig {
+            iterations: 300, // not a multiple of the block size
+            horizon_hours: 20_000.0,
+            seed: 77,
+            confidence: 0.95,
+            threads,
+            ..McConfig::default()
+        })
+        .unwrap()
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(
+        one.overall_array_availability.to_bits(),
+        four.overall_array_availability.to_bits()
+    );
+    assert_eq!(
+        one.fleet_availability.to_bits(),
+        four.fleet_availability.to_bits()
+    );
+    assert_eq!(
+        one.availability.mean.to_bits(),
+        four.availability.mean.to_bits()
+    );
+    assert_eq!(
+        one.availability.half_width.to_bits(),
+        four.availability.half_width.to_bits()
+    );
+    assert_eq!(one.du_events, four.du_events);
+    assert_eq!(one.dl_events, four.dl_events);
+    assert_eq!(one.max_degraded, four.max_degraded);
+    for (a, b) in one
+        .degraded_time_share
+        .iter()
+        .zip(&four.degraded_time_share)
+    {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert!(one.mean_array_downtime_hours > 0.0);
+}
+
+#[test]
+fn extreme_rate_missions_do_not_overflow_the_event_guards() {
+    // Regression for the fleet event payload's gen/epoch width: a valid
+    // but absurd λ·horizon drives each disk slot through >100k
+    // fail/repair cycles in one mission, far past what a 16-bit counter
+    // could hold — the mission must complete (overflow checks are on in
+    // test builds) with sane accounting.
+    let p = params(0.05, 0.0); // mean lifetime 20 h
+    let mc = FleetMc::new(spec(1), p).unwrap();
+    let mut ws = SimWorkspace::new();
+    let mut rng = SimRng::seed_from(3);
+    let horizon = 4_000_000.0;
+    let out = mc.simulate_once_with(horizon, &mut rng, &mut ws);
+    assert!(out.dl_events > 65_536, "got {} DL events", out.dl_events);
+    let total: f64 = out.degraded_hours.iter().sum();
+    assert!((total - horizon).abs() < 1e-3, "total {total}");
+    assert!(out.array_downtime_hours() > 0.0 && out.array_downtime_hours() < horizon);
+}
+
+#[test]
+fn weibull_fleets_are_supported() {
+    let weibull = FailureModel::weibull(1e-3, 1.48).unwrap();
+    let mc = FleetMc::with_failure_model(spec(4), params(1e-4, 0.01), weibull).unwrap();
+    let est = mc.run(&quick_config(100)).unwrap();
+    assert!(est.overall_array_availability < 1.0);
+    assert!(est.overall_array_availability > 0.5);
+}
+
+#[test]
+fn workspace_reuse_matches_fresh_workspaces_bitwise() {
+    let p = params(2e-3, 0.05);
+    let mc = FleetMc::new(spec(8), p).unwrap();
+    let mut reused = SimWorkspace::new();
+    for s in 100..103 {
+        let mut rng = SimRng::seed_from(s);
+        let _ = mc.simulate_once_with(30_000.0, &mut rng, &mut reused);
+    }
+    let mut fresh = SimWorkspace::new();
+    let mut rng_a = SimRng::seed_from(9);
+    let mut rng_b = SimRng::seed_from(9);
+    let a = mc.simulate_once_with(30_000.0, &mut rng_a, &mut reused);
+    let b = mc.simulate_once_with(30_000.0, &mut rng_b, &mut fresh);
+    assert_eq!(
+        a.array_downtime_hours().to_bits(),
+        b.array_downtime_hours().to_bits()
+    );
+    assert_eq!(a.any_down_hours.to_bits(), b.any_down_hours.to_bits());
+    assert_eq!(a.du_events, b.du_events);
+    assert_eq!(a.dl_events, b.dl_events);
+    assert_eq!(a.max_degraded, b.max_degraded);
+}
+
+#[test]
+fn degraded_hours_sum_to_the_horizon_per_mission() {
+    let p = params(1e-3, 0.01);
+    let mc = FleetMc::new(spec(4), p).unwrap();
+    let mut ws = SimWorkspace::new();
+    let mut rng = SimRng::seed_from(5);
+    let out = mc.simulate_once_with(25_000.0, &mut rng, &mut ws);
+    let total: f64 = out.degraded_hours.iter().sum();
+    assert!((total - 25_000.0).abs() < 1e-6, "total {total}");
+}

@@ -110,6 +110,9 @@ impl Plan {
         {
             let _ = writeln!(out, "  variance : {}", s.mc.variance);
         }
+        if let Some(arrays) = s.fleet {
+            let _ = writeln!(out, "  fleet    : {arrays} arrays per cell");
+        }
         if let Some(cap) = s.capacity {
             let _ = writeln!(out, "  capacity : {cap} disk units (volume metrics on)");
         }

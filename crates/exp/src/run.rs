@@ -14,12 +14,12 @@ use crate::error::{ExpError, Result};
 use crate::plan::{Cell, Plan};
 use crate::spec::{McSettings, ModelKind, Policy, Scenario};
 use availsim_core::markov::{GenericKofN, Raid5Conventional, Raid5FailOver};
-use availsim_core::mc::{ConventionalMc, FailOverMc, McConfig};
+use availsim_core::mc::{ConventionalMc, FailOverMc, FleetMc, McConfig};
 use availsim_core::{nines, CoreError, ModelParams};
 use availsim_hra::Hep;
 use availsim_sim::parallel::ordered_parallel_map;
 use availsim_sim::stats::RunningStats;
-use availsim_storage::Volume;
+use availsim_storage::{FleetSpec, Volume};
 use std::time::Instant;
 
 /// Runner configuration.
@@ -148,7 +148,8 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
 
     let (unavailability, mttdl_hours, ci_half_width) = match (scenario.model, cell.policy) {
         (ModelKind::Mc, policy) => {
-            let est = mc_estimate(scenario.mc, policy, params, cell.seed).map_err(model)?;
+            let est = mc_estimate(scenario.mc, scenario.fleet, policy, params, cell.seed)
+                .map_err(model)?;
             (est.0, None, Some(est.1))
         }
         (_, Policy::Failover) => {
@@ -217,9 +218,11 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
 }
 
 /// Runs the Monte-Carlo backend for one cell; single-threaded internally
-/// (campaign parallelism is across cells).
+/// (campaign parallelism is across cells). With a `[fleet]` section the
+/// cell runs the fleet engine and reports its per-array unavailability.
 fn mc_estimate(
     mc: McSettings,
+    fleet: Option<u64>,
     policy: Policy,
     params: ModelParams,
     seed: u64,
@@ -232,6 +235,16 @@ fn mc_estimate(
         threads: 1,
         variance: mc.variance,
     };
+    if let Some(arrays) = fleet {
+        // Scenario validation already restricts fleets to the
+        // conventional policy and naive sampling.
+        let arrays = u32::try_from(arrays).map_err(|_| {
+            CoreError::InvalidParameter(format!("fleet arrays {arrays} is too large"))
+        })?;
+        let spec = FleetSpec::new(arrays, params.geometry).map_err(CoreError::Storage)?;
+        let est = FleetMc::new(spec, params)?.run(&config)?;
+        return Ok((est.array_unavailability(), est.availability.half_width));
+    }
     let est = match policy {
         Policy::Conventional => ConventionalMc::new(params)?.run(&config)?,
         Policy::Failover => FailOverMc::new(params)?.run(&config)?,

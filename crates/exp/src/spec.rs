@@ -24,6 +24,10 @@
 //! variance = failure-biasing         # naive | failure-biasing | splitting
 //! bias = 0.5                         # optional, failure-biasing only
 //! # levels = 2 / effort = 64         # optional, splitting only
+//!
+//! [fleet]                            # optional; requires model = mc
+//! arrays = 100                       # arrays per cell: each mission
+//!                                    # simulates the whole fleet
 //! ```
 //!
 //! Recognised axes are `lambda` (disk failure rate per hour), `hep`
@@ -34,7 +38,7 @@
 use crate::error::{ExpError, Result};
 use availsim_core::mc::McVariance;
 use availsim_hra::Hep;
-use availsim_storage::RaidGeometry;
+use availsim_storage::{FleetSpec, RaidGeometry};
 use std::fmt;
 
 /// Which solver backend evaluates each cell.
@@ -218,6 +222,9 @@ pub struct Scenario {
     pub policy: Vec<Policy>,
     /// Monte-Carlo settings (ignored unless `model = mc`).
     pub mc: McSettings,
+    /// Arrays per cell of the fleet engine (`[fleet] arrays = N`); `None`
+    /// runs the single-array models.
+    pub fleet: Option<u64>,
 }
 
 impl Default for Scenario {
@@ -233,6 +240,7 @@ impl Default for Scenario {
             raid: vec![RaidGeometry::raid5(3).expect("3+1 is valid")],
             policy: Vec::new(),
             mc: McSettings::default(),
+            fleet: None,
         }
     }
 }
@@ -468,14 +476,17 @@ impl Scenario {
                     .trim()
                     .to_ascii_lowercase();
                 match name.as_str() {
-                    "campaign" | "axes" | "mc" => {
+                    "campaign" | "axes" | "mc" | "fleet" => {
                         saw_campaign |= name == "campaign";
                         section = Some(name);
                     }
                     other => {
                         return Err(parse_err(
                             line,
-                            format!("unknown section `[{other}]` (use [campaign], [axes], [mc])"),
+                            format!(
+                                "unknown section `[{other}]` \
+                                 (use [campaign], [axes], [mc], [fleet])"
+                            ),
                         ))
                     }
                 }
@@ -615,6 +626,9 @@ impl Scenario {
                 ("mc", "effort") => {
                     effort = Some((e.line, parse_u64(e.line, "effort", scalar(e)?)?));
                 }
+                ("fleet", "arrays") => {
+                    scenario.fleet = Some(parse_u64(e.line, "arrays", scalar(e)?)?);
+                }
                 (sec, key) => {
                     return Err(parse_err(e.line, format!("unknown key `{key}` in [{sec}]")));
                 }
@@ -706,6 +720,33 @@ impl Scenario {
                  (the fail-over chain is fully exponential; use failure-biasing)"
                     .into(),
             ));
+        }
+        if let Some(arrays) = self.fleet {
+            if self.model != ModelKind::Mc {
+                return Err(ExpError::InvalidSpec(
+                    "[fleet] requires `model = mc` (the fleet engine is a \
+                     Monte-Carlo simulation)"
+                        .into(),
+                ));
+            }
+            if self.effective_policies().contains(&Policy::Failover) {
+                return Err(ExpError::InvalidSpec(
+                    "[fleet] applies to the conventional policy only".into(),
+                ));
+            }
+            if self.mc.variance != McVariance::Naive {
+                return Err(ExpError::InvalidSpec(format!(
+                    "[fleet] supports naive sampling only (fleet-level outages \
+                     are not rare events), got variance = {}",
+                    self.mc.variance
+                )));
+            }
+            let arrays = u32::try_from(arrays).map_err(|_| {
+                ExpError::InvalidSpec(format!("fleet arrays {arrays} is too large"))
+            })?;
+            for &g in &self.raid {
+                FleetSpec::new(arrays, g).map_err(|e| ExpError::InvalidSpec(e.to_string()))?;
+            }
         }
         Ok(())
     }
@@ -936,6 +977,51 @@ lambda = 1e-5
         )
         .unwrap_err();
         assert!(e.to_string().contains("conventional policy only"), "{e}");
+    }
+
+    #[test]
+    fn fleet_section_parses_and_validates() {
+        let s = Scenario::parse(
+            "[campaign]\nname = f\nmodel = mc\n[axes]\nraid = r5-3\n[fleet]\narrays = 100\n",
+        )
+        .unwrap();
+        assert_eq!(s.fleet, Some(100));
+
+        // No [fleet] section: None.
+        let s = Scenario::parse("[campaign]\nname = f\nmodel = mc\n").unwrap();
+        assert_eq!(s.fleet, None);
+
+        // Unknown keys in [fleet] are rejected with a line number.
+        let e =
+            Scenario::parse("[campaign]\nname = f\nmodel = mc\n[fleet]\ndisks = 3\n").unwrap_err();
+        assert!(e.to_string().contains("line 5"), "{e}");
+
+        // Fleet requires model = mc.
+        let e = Scenario::parse("[campaign]\nname = f\n[fleet]\narrays = 4\n").unwrap_err();
+        assert!(e.to_string().contains("requires `model = mc`"), "{e}");
+
+        // Conventional-policy only.
+        let e = Scenario::parse(
+            "[campaign]\nname = f\nmodel = mc\n[axes]\npolicy = [conventional, failover]\n[fleet]\narrays = 4\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("conventional policy only"), "{e}");
+
+        // Naive sampling only.
+        let e = Scenario::parse(
+            "[campaign]\nname = f\nmodel = mc\n[mc]\nvariance = splitting\n[fleet]\narrays = 4\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("naive sampling only"), "{e}");
+
+        // Array bounds come from FleetSpec.
+        for bad in ["arrays = 0", "arrays = 99999999"] {
+            let e = Scenario::parse(&format!(
+                "[campaign]\nname = f\nmodel = mc\n[fleet]\n{bad}\n"
+            ))
+            .unwrap_err();
+            assert!(e.to_string().contains("invalid campaign"), "{bad}: {e}");
+        }
     }
 
     #[test]

@@ -22,6 +22,8 @@ use crate::rng::SimRng;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Exponential {
     rate: f64,
+    /// Cached `1/rate`: sampling multiplies instead of dividing.
+    inv_rate: f64,
 }
 
 impl Exponential {
@@ -38,7 +40,10 @@ impl Exponential {
                 constraint: "rate must be positive and finite",
             });
         }
-        Ok(Exponential { rate })
+        Ok(Exponential {
+            rate,
+            inv_rate: rate.recip(),
+        })
     }
 
     /// Creates the distribution from its mean (`rate = 1/mean`).
@@ -65,8 +70,9 @@ impl Exponential {
 
 impl Lifetime for Exponential {
     fn sample(&self, rng: &mut SimRng) -> f64 {
-        // Inverse CDF on an open uniform avoids ln(0).
-        -rng.next_open_f64().ln() / self.rate
+        // Inverse CDF on an open uniform avoids ln(0); the division by
+        // the rate is a cached-reciprocal multiply (hot path).
+        -rng.next_open_f64().ln() * self.inv_rate
     }
 
     fn mean(&self) -> f64 {

@@ -61,6 +61,12 @@ impl<E> PartialOrd for Scheduled<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     cancelled: HashSet<u64>,
+    /// Sequence numbers currently pending (scheduled, not yet popped or
+    /// cancelled) — the authority for [`Self::cancel`]'s return value, so
+    /// a handle whose event was already *popped* is correctly refused
+    /// instead of planting a tombstone for an absent entry (which would
+    /// corrupt [`Self::len`]).
+    pending: HashSet<u64>,
     next_seq: u64,
     /// First sequence number issued after the most recent [`Self::clear`];
     /// handles below it are stale and rejected by [`Self::cancel`].
@@ -80,6 +86,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
+            pending: HashSet::new(),
             next_seq: 0,
             first_live_seq: 0,
             now: 0.0,
@@ -92,6 +99,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(n),
             cancelled: HashSet::with_capacity(n),
+            pending: HashSet::with_capacity(n),
             next_seq: 0,
             first_live_seq: 0,
             now: 0.0,
@@ -114,6 +122,7 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
         self.cancelled.clear();
+        self.pending.clear();
         self.first_live_seq = self.next_seq;
         self.now = 0.0;
     }
@@ -160,14 +169,17 @@ impl<E> EventQueue<E> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.pending.insert(seq);
         self.heap.push(Scheduled { time, seq, event });
         Ok(EventHandle(seq))
     }
 
     /// Cancels a scheduled event. Returns `true` if the event was still
-    /// pending.
+    /// pending; a handle whose event was already popped, already
+    /// cancelled, or scheduled before the last [`Self::clear`] returns
+    /// `false` and changes nothing.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 < self.first_live_seq || handle.0 >= self.next_seq {
+        if handle.0 < self.first_live_seq || !self.pending.remove(&handle.0) {
             return false;
         }
         // Only mark: the heap entry is skipped lazily on pop.
@@ -180,6 +192,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.remove(&s.seq) {
                 continue;
             }
+            self.pending.remove(&s.seq);
             self.now = s.time;
             return Some((s.time, s.event));
         }
@@ -286,6 +299,21 @@ mod tests {
         assert!(!q.cancel(h1), "double cancel is a no-op");
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn cancel_of_a_popped_handle_is_refused_and_len_stays_exact() {
+        // Regression: cancelling a handle whose event already popped used
+        // to plant a tombstone for an absent heap entry, underflowing
+        // `len()` on the next schedule.
+        let mut q = EventQueue::new();
+        let h = q.schedule(1.0, "a").unwrap();
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert!(!q.cancel(h), "popped handle must not cancel");
+        q.schedule(2.0, "b").unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop().is_none());
     }
 
     #[test]

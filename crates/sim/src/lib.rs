@@ -8,7 +8,10 @@
 //!   deterministic, and empirical lifetime models, all with exact CDFs and
 //!   quantiles.
 //! * [`engine`] — a time-ordered event queue with FIFO tie-breaking and
-//!   cancellation.
+//!   lazy (tombstone) cancellation, kept as the reference implementation.
+//! * [`indexed_queue`] — the hot-path event queue: a flat 4-ary indexed
+//!   min-heap with O(log n) in-place cancellation and no per-operation
+//!   hashing, pop-order-identical to [`engine::EventQueue`].
 //! * [`stats`] — Welford accumulators, Student-t confidence intervals (the
 //!   paper's "t-student coefficient" machinery), batch means, histograms,
 //!   and goodness-of-fit tests.
@@ -43,6 +46,7 @@
 pub mod distributions;
 pub mod engine;
 mod error;
+pub mod indexed_queue;
 pub mod parallel;
 pub mod rare_event;
 pub mod rng;
@@ -51,4 +55,5 @@ pub mod stats;
 pub use distributions::Lifetime;
 pub use engine::{EventHandle, EventQueue};
 pub use error::{Result, SimError};
+pub use indexed_queue::{IndexedEventHandle, IndexedEventQueue};
 pub use rng::SimRng;

@@ -149,7 +149,40 @@ impl SimRng {
     /// assert!(rng.sample_exp(0.0).is_none());
     /// ```
     pub fn sample_exp(&mut self, rate: f64) -> Option<f64> {
+        // An infinite "rate" is almost certainly a reciprocal passed to the
+        // wrong method (it would silently yield dt = 0 here); reciprocals
+        // go to [`Self::sample_exp_inv`].
+        debug_assert!(
+            !rate.is_infinite(),
+            "sample_exp expects a rate, not a reciprocal (got {rate})"
+        );
         (rate > 0.0).then(|| -self.next_open_f64().ln() / rate)
+    }
+
+    /// Exponential deviate from a **precomputed reciprocal rate**
+    /// (`inv_rate = 1/rate`): `-ln(u) · inv_rate`. The hot-loop variant of
+    /// [`Self::sample_exp`] — multiplying by a cached reciprocal instead
+    /// of dividing per draw — for samplers that draw from the same fixed
+    /// rate many times. Returns `None` (drawing nothing) unless `inv_rate`
+    /// is positive and finite, so a disabled transition (`rate = 0`,
+    /// `inv_rate = ∞`) behaves exactly like [`Self::sample_exp`].
+    ///
+    /// The value may differ from `sample_exp(rate)` in the last ulp
+    /// (multiplication vs division rounding); the distribution is
+    /// identical.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use availsim_sim::rng::SimRng;
+    ///
+    /// let mut rng = SimRng::seed_from(1);
+    /// let dt = rng.sample_exp_inv(10.0).unwrap(); // rate 0.1
+    /// assert!(dt > 0.0);
+    /// assert!(rng.sample_exp_inv(f64::INFINITY).is_none()); // rate 0
+    /// ```
+    pub fn sample_exp_inv(&mut self, inv_rate: f64) -> Option<f64> {
+        (inv_rate > 0.0 && inv_rate.is_finite()).then(|| -self.next_open_f64().ln() * inv_rate)
     }
 
     /// Exponential deviate with the given `rate`, *forced* to land inside

@@ -4,6 +4,7 @@ use availsim_sim::distributions::{
     Deterministic, Empirical, Exponential, Gamma, Lifetime, LogNormal, UniformDist, Weibull,
 };
 use availsim_sim::engine::EventQueue;
+use availsim_sim::indexed_queue::IndexedEventQueue;
 use availsim_sim::rng::SimRng;
 use availsim_sim::stats::{ks_test, t_interval, RunningStats};
 use proptest::prelude::*;
@@ -130,6 +131,114 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn indexed_queue_is_observably_identical_to_the_reference_queue(
+        // Operation stream: each step is (op selector, time selector).
+        // Times are drawn from a tiny grid so FIFO tie-breaking is
+        // exercised constantly, and the op mix crosses the linear→heap
+        // threshold when the schedule share dominates.
+        ops in proptest::collection::vec((0u8..100, 0u8..8), 1..400),
+        seed in any::<u64>(),
+    ) {
+        let mut reference: EventQueue<u64> = EventQueue::new();
+        let mut indexed: IndexedEventQueue<u64> = IndexedEventQueue::new();
+        let mut rng = SimRng::seed_from(seed);
+        // Live and dead handle pools, kept in lockstep; dead handles
+        // (popped, cancelled, or pre-clear) must behave identically too.
+        let mut live = Vec::new();
+        let mut dead = Vec::new();
+        let mut payload = 0u64;
+
+        for &(op, t) in &ops {
+            match op {
+                // Schedule (majority share so queues actually fill).
+                0..=54 => {
+                    let delay = f64::from(t);
+                    let h_ref = reference.schedule(delay, payload).unwrap();
+                    let h_idx = indexed.schedule(delay, payload).unwrap();
+                    live.push((h_ref, h_idx));
+                    payload += 1;
+                }
+                // Pop.
+                55..=79 => {
+                    prop_assert_eq!(reference.pop(), indexed.pop());
+                }
+                // Cancel a random live handle.
+                80..=89 => {
+                    if !live.is_empty() {
+                        let k = rng.next_bounded(live.len() as u64) as usize;
+                        let (h_ref, h_idx) = live.swap_remove(k);
+                        prop_assert_eq!(reference.cancel(h_ref), indexed.cancel(h_idx));
+                        dead.push((h_ref, h_idx));
+                    }
+                }
+                // Cancel a dead handle (already popped/cancelled/stale):
+                // both queues must refuse identically.
+                90..=94 => {
+                    if !dead.is_empty() {
+                        let k = rng.next_bounded(dead.len() as u64) as usize;
+                        let (h_ref, h_idx) = dead[k];
+                        prop_assert_eq!(reference.cancel(h_ref), indexed.cancel(h_idx));
+                    }
+                }
+                // Clear: all outstanding handles become stale.
+                _ => {
+                    reference.clear();
+                    indexed.clear();
+                    dead.append(&mut live);
+                }
+            }
+            // Observations agree after every step. (The reference queue's
+            // `len` discounts lazy tombstones, so this also pins the
+            // indexed queue's exact-count semantics.)
+            prop_assert_eq!(reference.len(), indexed.len());
+            prop_assert_eq!(reference.is_empty(), indexed.is_empty());
+            prop_assert_eq!(reference.peek_time(), indexed.peek_time());
+            prop_assert_eq!(
+                reference.now().to_bits(),
+                indexed.now().to_bits(),
+                "clocks diverged"
+            );
+        }
+        // Drain: the full remaining pop sequences (time, payload) match.
+        loop {
+            let a = reference.pop();
+            let b = indexed.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_queue_pop_due_is_peek_compare_pop(
+        times in proptest::collection::vec(0u8..16, 1..80),
+        horizon in 0u8..16,
+    ) {
+        // `pop_due(h)` must behave exactly like the engine's historical
+        // peek / compare / pop idiom on the reference queue.
+        let mut reference: EventQueue<usize> = EventQueue::new();
+        let mut indexed: IndexedEventQueue<usize> = IndexedEventQueue::new();
+        let horizon = f64::from(horizon);
+        for (i, &t) in times.iter().enumerate() {
+            reference.schedule(f64::from(t), i).unwrap();
+            indexed.schedule(f64::from(t), i).unwrap();
+        }
+        loop {
+            let expected = match reference.peek_time() {
+                Some(t) if t <= horizon => reference.pop(),
+                _ => None,
+            };
+            let got = indexed.pop_due(horizon);
+            prop_assert_eq!(expected, got);
+            if got.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(reference.len(), indexed.len());
     }
 
     #[test]

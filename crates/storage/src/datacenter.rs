@@ -5,9 +5,105 @@
 //! first-class, testable model.
 
 use crate::error::{Result, StorageError};
+use crate::raid::RaidGeometry;
 
 /// Hours per (Julian) year, the constant used for downtime conversions.
 pub const HOURS_PER_YEAR: f64 = 8766.0;
+
+/// A simulated fleet: `arrays` independent RAID arrays of one geometry —
+/// the array-count layer between a single [`RaidGeometry`] and the
+/// [`DatacenterModel`] failure arithmetic, and the specification consumed
+/// by the fleet-scale Monte-Carlo engine (`availsim_core::mc::FleetMc`).
+///
+/// # Examples
+///
+/// ```
+/// use availsim_storage::{FleetSpec, RaidGeometry};
+///
+/// # fn main() -> Result<(), availsim_storage::StorageError> {
+/// let fleet = FleetSpec::new(1000, RaidGeometry::raid5(3)?)?;
+/// assert_eq!(fleet.total_disks(), 4000);
+/// // The paper's intro arithmetic, now per fleet: at λ = 1e-6/h this
+/// // fleet sees a disk failure every ~250 hours.
+/// let dc = fleet.datacenter(1e-6, 0.01)?;
+/// assert!((dc.mean_time_between_failures_hours() - 250.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSpec {
+    arrays: u32,
+    geometry: RaidGeometry,
+}
+
+impl FleetSpec {
+    /// Largest supported fleet. The bound keeps a mission's event-queue
+    /// population (`arrays × disks`) comfortably inside `u32` slot ids and
+    /// a workspace's memory footprint predictable.
+    pub const MAX_ARRAYS: u32 = 65_536;
+
+    /// Largest per-array disk count. Fleet event payloads store the disk
+    /// slot in a byte; real arrays are far smaller.
+    pub const MAX_DISKS_PER_ARRAY: u32 = 256;
+
+    /// Creates a fleet of `arrays` identical arrays.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidConfig`] for zero arrays, more than
+    /// [`Self::MAX_ARRAYS`], or a geometry wider than
+    /// [`Self::MAX_DISKS_PER_ARRAY`].
+    pub fn new(arrays: u32, geometry: RaidGeometry) -> Result<Self> {
+        if arrays == 0 {
+            return Err(StorageError::InvalidConfig(
+                "fleet needs at least one array".into(),
+            ));
+        }
+        if arrays > Self::MAX_ARRAYS {
+            return Err(StorageError::InvalidConfig(format!(
+                "fleet arrays must be at most {}, got {arrays}",
+                Self::MAX_ARRAYS
+            )));
+        }
+        if geometry.total_disks() > Self::MAX_DISKS_PER_ARRAY {
+            return Err(StorageError::InvalidConfig(format!(
+                "fleet arrays may have at most {} disks, got {}",
+                Self::MAX_DISKS_PER_ARRAY,
+                geometry.total_disks()
+            )));
+        }
+        Ok(FleetSpec { arrays, geometry })
+    }
+
+    /// Number of member arrays.
+    pub fn arrays(&self) -> u32 {
+        self.arrays
+    }
+
+    /// Geometry of every member array.
+    pub fn geometry(&self) -> RaidGeometry {
+        self.geometry
+    }
+
+    /// Physical disks across the fleet.
+    pub fn total_disks(&self) -> u64 {
+        u64::from(self.arrays) * u64::from(self.geometry.total_disks())
+    }
+
+    /// Usable (data) capacity across the fleet, in disk units.
+    pub fn usable_capacity(&self) -> u64 {
+        u64::from(self.arrays) * u64::from(self.geometry.data_disks())
+    }
+
+    /// The fleet's [`DatacenterModel`] at a per-disk failure rate and hep —
+    /// the bridge from the simulated fleet to the paper's intro arithmetic
+    /// (failures per hour, human errors per day).
+    ///
+    /// # Errors
+    /// Propagates [`DatacenterModel::new`] validation.
+    pub fn datacenter(&self, per_disk_failure_rate: f64, hep: f64) -> Result<DatacenterModel> {
+        DatacenterModel::new(self.total_disks(), per_disk_failure_rate, hep)
+    }
+}
 
 /// A fleet of disks with a common failure rate and maintenance discipline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,6 +244,45 @@ mod tests {
         assert!(DatacenterModel::new(10, 1e-6, 1.5).is_err());
         assert!(DatacenterModel::new(10, 1e-6, -0.1).is_err());
         assert!(DatacenterModel::exascale(0.0, 1e-6, 0.01).is_err());
+    }
+
+    #[test]
+    fn fleet_spec_validation_and_arithmetic() {
+        let geom = RaidGeometry::raid5(3).unwrap();
+        assert!(FleetSpec::new(0, geom).is_err());
+        assert!(FleetSpec::new(FleetSpec::MAX_ARRAYS + 1, geom).is_err());
+        let fleet = FleetSpec::new(FleetSpec::MAX_ARRAYS, geom).unwrap();
+        assert_eq!(fleet.total_disks(), u64::from(FleetSpec::MAX_ARRAYS) * 4);
+
+        let fleet = FleetSpec::new(250, geom).unwrap();
+        assert_eq!(fleet.arrays(), 250);
+        assert_eq!(fleet.geometry(), geom);
+        assert_eq!(fleet.total_disks(), 1000);
+        assert_eq!(fleet.usable_capacity(), 750);
+    }
+
+    #[test]
+    fn fleet_spec_bridges_to_datacenter_arithmetic() {
+        // The largest supported fleet of RAID5(3+1) arrays is a quarter of
+        // the paper's exabyte intro fleet: 65 536 × 4 = 262 144 disks, a
+        // disk failure every ~3.8 hours at λ = 1e-6.
+        let fleet = FleetSpec::new(FleetSpec::MAX_ARRAYS, RaidGeometry::raid5(3).unwrap()).unwrap();
+        let dc = fleet.datacenter(1e-6, 0.1).unwrap();
+        assert_eq!(dc.num_disks(), 262_144);
+        assert!((dc.expected_failures_per_hour() - 0.262144).abs() < 1e-9);
+        assert!(dc.expected_human_errors_per_day() > 0.5);
+        // Validation propagates.
+        assert!(fleet.datacenter(0.0, 0.1).is_err());
+        assert!(fleet.datacenter(1e-6, 1.5).is_err());
+    }
+
+    #[test]
+    fn fleet_spec_rejects_oversized_geometries() {
+        // The per-array disk bound: RAID5(299+1) exceeds it.
+        let wide = RaidGeometry::raid5(299).unwrap();
+        assert!(FleetSpec::new(4, wide).is_err());
+        let max_ok = RaidGeometry::raid5(FleetSpec::MAX_DISKS_PER_ARRAY - 1).unwrap();
+        assert!(FleetSpec::new(4, max_ok).is_ok());
     }
 
     #[test]

@@ -5,16 +5,17 @@
 //! availsim sweep    --hep 0.01 [--from 5e-7] [--to 5.5e-6] [--points 11]
 //! availsim compare  [--lambda 1e-5] [--capacity 21]
 //! availsim validate [--lambda 1e-3] [--hep 0.01] [--iterations 4000]
+//! availsim fleet    [--arrays N] [--raid r5-3] [--lambda F] [--hep F] [--iterations N]
 //! availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run]
 //! ```
 
 use availsim::core::markov::{GenericKofN, Raid5Conventional, Raid5FailOver};
-use availsim::core::mc::{ConventionalMc, McConfig, McVariance};
+use availsim::core::mc::{ConventionalMc, FleetMc, McConfig, McVariance, DEGRADED_BINS};
 use availsim::core::volume::compare_equal_capacity;
 use availsim::core::{nines, ModelParams};
 use availsim::exp::{plan, report, run, spec::Scenario};
 use availsim::hra::Hep;
-use availsim::storage::RaidGeometry;
+use availsim::storage::{FleetSpec, RaidGeometry};
 use std::collections::HashMap;
 use std::error::Error;
 use std::path::Path;
@@ -240,6 +241,75 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let arrays: u32 = flag(flags, "arrays", 100u32)?;
+    let lambda: f64 = flag(flags, "lambda", 1e-6)?;
+    let hep = Hep::new(flag(flags, "hep", 0.01)?)?;
+    let geom = geometry(&flag(flags, "raid", "r5-3".to_string())?)?;
+    let iterations: u64 = flag(flags, "iterations", 500)?;
+    let horizon: f64 = flag(flags, "horizon", 87_600.0)?;
+    let seed: u64 = flag(flags, "seed", 42u64)?;
+
+    let spec = FleetSpec::new(arrays, geom)?;
+    let params = ModelParams::paper_defaults(geom, lambda, hep)?;
+    let dc = spec.datacenter(lambda, hep.value())?;
+    let est = FleetMc::new(spec, params)?.run(&McConfig {
+        iterations,
+        horizon_hours: horizon,
+        seed,
+        confidence: 0.99,
+        threads: 0,
+        variance: McVariance::Naive,
+    })?;
+
+    println!(
+        "fleet {arrays} x {} ({} disks) λ={lambda:.3e} hep={} — {iterations} missions of {horizon} h",
+        geom.label(),
+        spec.total_disks(),
+        hep.value()
+    );
+    println!(
+        "  disk failures          : {:.3}/day (fleet MTBF {:.1} h)",
+        dc.expected_failures_per_day(),
+        dc.mean_time_between_failures_hours()
+    );
+    println!(
+        "  human errors           : {:.3}/year (given hep per service action)",
+        dc.expected_human_errors_per_year()
+    );
+    println!("  per-array availability : {}", est.availability);
+    println!(
+        "  per-array downtime     : {:.4} h/yr ({:.4} nines)",
+        est.annual_array_downtime_hours,
+        nines::nines_from_unavailability(est.array_unavailability())
+    );
+    println!(
+        "  any-array-down         : {:.4} h/yr (fleet availability {:.9})",
+        est.annual_any_down_hours, est.fleet_availability
+    );
+    println!(
+        "  simultaneous degraded  : mean {:.4}, peak {}",
+        est.mean_degraded(),
+        est.max_degraded
+    );
+    // The head of the degraded distribution: every bin until the shares
+    // become negligible (always at least the 0/1 bins).
+    print!("  degraded time share    :");
+    for (k, &share) in est.degraded_time_share.iter().enumerate() {
+        if k > 1 && share < 1e-6 {
+            break;
+        }
+        let label = if k == DEGRADED_BINS - 1 {
+            format!("{k}+")
+        } else {
+            k.to_string()
+        };
+        print!(" {label}:{:.4}%", share * 100.0);
+    }
+    println!();
+    Ok(())
+}
+
 /// Parses `--variance naive|failure-biasing|splitting` plus its optional
 /// tuning flags (`--bias`, `--levels`, `--effort`) into a [`McVariance`] —
 /// the same vocabulary as the campaign spec's `[mc] variance` key.
@@ -343,6 +413,8 @@ USAGE:
   availsim validate [--lambda F] [--hep F] [--iterations N] [--seed N]
                     [--variance naive|failure-biasing|splitting]
                     [--bias F] [--levels N] [--effort N]
+  availsim fleet    [--arrays N] [--raid r1|r5-K|r6-K] [--lambda F] [--hep F]
+                    [--iterations N] [--horizon F] [--seed N]
   availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run]
 
 Flags accept both `--flag value` and `--flag=value`; duplicates are errors.
@@ -350,6 +422,9 @@ Flags accept both `--flag value` and `--flag=value`; duplicates are errors.
 `validate --variance failure-biasing` turns on rare-event importance
 sampling, so the cross-check works at paper-grade λ where naive MC would
 observe no failures at all.
+`fleet` simulates N independent arrays as one mission (shared event queue)
+and reports fleet-level availability, annual downtime, and the
+distribution of simultaneously degraded arrays.
 "
 }
 
@@ -391,6 +466,20 @@ fn main() -> ExitCode {
         )
         .map_err(Into::into)
         .and_then(cmd_validate),
+        "fleet" => flags_only(
+            &parsed,
+            &[
+                "arrays",
+                "raid",
+                "lambda",
+                "hep",
+                "iterations",
+                "horizon",
+                "seed",
+            ],
+        )
+        .map_err(Into::into)
+        .and_then(cmd_fleet),
         "batch" => cmd_batch(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", usage());

@@ -352,6 +352,147 @@ fn batch_dry_run_of_the_shipped_biased_campaign_is_byte_stable() {
 }
 
 #[test]
+fn fleet_reports_datacenter_and_availability_metrics() {
+    let args = [
+        "fleet",
+        "--arrays",
+        "20",
+        "--lambda",
+        "1e-4",
+        "--hep",
+        "0.01",
+        "--iterations",
+        "200",
+        "--seed",
+        "9",
+    ];
+    let (ok, stdout, _) = run(&args);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("fleet 20 x RAID5(3+1) (80 disks)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("disk failures"), "{stdout}");
+    assert!(stdout.contains("per-array availability"), "{stdout}");
+    assert!(stdout.contains("any-array-down"), "{stdout}");
+    assert!(stdout.contains("simultaneous degraded"), "{stdout}");
+    assert!(stdout.contains("degraded time share    : 0:"), "{stdout}");
+
+    // Seed determinism: the whole report replays bit-for-bit.
+    let (ok, rerun, _) = run(&args);
+    assert!(ok);
+    assert_eq!(stdout, rerun, "same seed must be bit-reproducible");
+}
+
+#[test]
+fn fleet_rejects_bad_configurations() {
+    let (ok, _, stderr) = run(&["fleet", "--arrays", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("at least one array"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["fleet", "--arrays", "1000000"]);
+    assert!(!ok, "above MAX_ARRAYS must fail");
+    assert!(stderr.contains("at most"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["fleet", "--workers", "2"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag --workers"), "{stderr}");
+}
+
+#[test]
+fn batch_dry_run_of_the_shipped_fleet_campaign_is_byte_stable() {
+    let spec = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/specs/fleet_scaling.campaign"
+    );
+    let (ok, first, _) = run(&["batch", spec, "--dry-run"]);
+    assert!(ok, "{first}");
+    let (ok, second, _) = run(&["batch", "--dry-run", spec]);
+    assert!(ok);
+    assert_eq!(first, second, "dry-run output must be byte-stable");
+
+    assert!(first.contains("campaign fleet-scaling"), "{first}");
+    assert!(first.contains("  model    : mc"), "{first}");
+    assert!(first.contains("  fleet    : 25 arrays per cell"), "{first}");
+    assert!(first.contains("cells    : 2"), "{first}");
+    assert!(
+        first.contains("axes     : raid[1] x policy[1] x lambda[1] x hep[2]"),
+        "{first}"
+    );
+    // Seed derivation golden pin: campaign seed 42 shares the other
+    // shipped campaigns' cell-0 seed (same scheme, same index).
+    assert!(
+        first.contains("0xab4c4adfbb450230"),
+        "cell 0 seed drifted:\n{first}"
+    );
+}
+
+#[test]
+fn batch_runs_the_fleet_campaign_end_to_end() {
+    let spec = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/specs/fleet_scaling.campaign"
+    );
+    let (ok, stdout, stderr) = run(&["batch", spec]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("campaign fleet-scaling"), "{stdout}");
+    assert_eq!(stdout.matches("\"cell\":").count(), 2, "{stdout}");
+    // hep = 0.01 must cost availability vs hep = 0 in the CSV rows.
+    let csv: Vec<&str> = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("cell,"))
+        .take(3)
+        .collect();
+    assert_eq!(csv.len(), 3, "{stdout}");
+    let u_of = |line: &str| {
+        line.split(',')
+            .nth(6)
+            .unwrap()
+            .parse::<f64>()
+            .expect("unavailability column")
+    };
+    assert!(
+        u_of(csv[2]) > u_of(csv[1]),
+        "hep=0.01 must be less available: {csv:?}"
+    );
+}
+
+#[test]
+fn batch_rejects_invalid_fleet_specs() {
+    let spec = write_spec(
+        "fleet-markov.campaign",
+        "[campaign]\nname = x\n[fleet]\narrays = 4\n",
+    );
+    let (ok, _, stderr) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires `model = mc`"), "{stderr}");
+
+    let spec = write_spec(
+        "fleet-zero.campaign",
+        "[campaign]\nname = x\nmodel = mc\n[fleet]\narrays = 0\n",
+    );
+    let (ok, _, stderr) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
+    assert!(!ok);
+    assert!(stderr.contains("at least one array"), "{stderr}");
+
+    let spec = write_spec(
+        "fleet-failover.campaign",
+        "[campaign]\nname = x\nmodel = mc\n[axes]\npolicy = [failover]\n[fleet]\narrays = 4\n",
+    );
+    let (ok, _, stderr) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
+    assert!(!ok);
+    assert!(stderr.contains("conventional policy only"), "{stderr}");
+
+    let spec = write_spec(
+        "fleet-biased.campaign",
+        "[campaign]\nname = x\nmodel = mc\n[mc]\nvariance = failure-biasing\n[fleet]\narrays = 4\n",
+    );
+    let (ok, _, stderr) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
+    assert!(!ok);
+    assert!(stderr.contains("naive sampling only"), "{stderr}");
+}
+
+#[test]
 fn batch_runs_a_campaign_end_to_end_on_stdout() {
     let spec = write_spec("stdout.campaign", SURFACE_SPEC);
     let (ok, stdout, _) = run(&["batch", spec.to_str().unwrap()]);
