@@ -9,13 +9,15 @@
 //! the missions/sec trajectory can be tracked across PRs; it then measures
 //! how many missions each variance scheme needs to pin the unavailability
 //! to a ±10% relative CI across a λ sweep (naive vs failure biasing) and
-//! writes `BENCH_4.json`. Mission volume scales with
+//! writes `BENCH_4.json`. Fleet throughput goes to `BENCH_5.json`
+//! (array-count axis) and `BENCH_6.json` (repair-crew axis, `c ∈ {1, 4, ∞}`
+//! per fleet size). Mission volume scales with
 //! `AVAILSIM_BENCH_SCALE` — the checked-in snapshots are taken at scale 1.
 
 use availsim_bench::{
     bench_scale, bench_snapshot_path, mc_iterations, raid5_params, render_fleet_json,
-    render_mc_throughput_json, render_rare_event_json, FleetScalingRow, McThroughput,
-    RareEventPoint, RareEventRun,
+    render_fleet_repair_json, render_mc_throughput_json, render_rare_event_json, FleetRepairRow,
+    FleetScalingRow, McThroughput, RareEventPoint, RareEventRun,
 };
 use availsim_core::markov::Raid5Conventional;
 use availsim_core::mc::{
@@ -202,6 +204,71 @@ fn fleet_snapshot(engines: &[McThroughput]) {
     }
 }
 
+/// Measures fleet throughput across the repair-crew axis — `c ∈ {1, 4, ∞}`
+/// at each fleet size — and writes `BENCH_6.json` with array-mission
+/// speedups against the seed BENCH_3 baseline. The unlimited-pool rows
+/// double as a live check that the crew machinery costs nothing in the
+/// independent limit.
+fn fleet_repair_snapshot() {
+    println!(
+        "perf_mc fleet repair crews — RAID5(3+1) fleets on the Fig. 4 \
+         operating point (lambda={LAMBDA:.0e}, hep={HEP}, \
+         horizon={HORIZON_HOURS}h, threads=1)"
+    );
+    let mut rows = Vec::new();
+    for &arrays in &[10u32, 100, 1000] {
+        for &crews in &[Some(1u32), Some(4), None] {
+            let mut spec =
+                FleetSpec::new(arrays, availsim_storage::RaidGeometry::raid5(3).unwrap())
+                    .expect("valid fleet");
+            if let Some(c) = crews {
+                spec = spec.with_repairmen(c).expect("valid crew pool");
+            }
+            let mc = FleetMc::new(spec, raid5_params(LAMBDA, HEP)).expect("valid fleet model");
+            let missions = mc_iterations((200_000 / u64::from(arrays)).max(50));
+            let cfg = throughput_config(missions);
+            let warm = throughput_config((missions / 10).max(2));
+            let _ = black_box(mc.run(&warm).unwrap().overall_array_availability);
+            let started = Instant::now();
+            let est = mc.run(&cfg).unwrap();
+            let elapsed = started.elapsed().as_secs_f64();
+            let row = FleetScalingRow {
+                arrays,
+                missions,
+                elapsed_secs: elapsed,
+                array_unavailability: est.array_unavailability(),
+                mean_degraded: est.mean_degraded(),
+            };
+            let label = match crews {
+                Some(c) => c.to_string(),
+                None => "inf".to_string(),
+            };
+            println!(
+                "  A={arrays:<5} c={label:<4} {missions:>8} missions  \
+                 {:>12.0} array-missions/s  (U_array = {:.3e}, E[degraded] = {:.4})",
+                row.array_missions_per_sec(),
+                row.array_unavailability,
+                row.mean_degraded,
+            );
+            rows.push(FleetRepairRow { crews, row });
+        }
+    }
+    let json = render_fleet_repair_json(
+        &format!(
+            "raid5_3plus1 fig4 fleet repair crews (lambda={LAMBDA:.0e}, hep={HEP}, \
+             horizon_hours={HORIZON_HOURS})"
+        ),
+        bench_scale(),
+        BENCH3_SEED_EVENT_QUEUE_BASELINE,
+        &rows,
+    );
+    let path = bench_snapshot_path("BENCH_6.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => println!("  could not write {}: {e}", path.display()),
+    }
+}
+
 /// Runs one scheme's precision loop and records the budget it needed.
 fn measure_to_precision(
     mc: &ConventionalMc,
@@ -303,6 +370,7 @@ fn rare_event_snapshot() {
 fn bench(c: &mut Criterion) {
     let engines = throughput_snapshot();
     fleet_snapshot(&engines);
+    fleet_repair_snapshot();
     rare_event_snapshot();
 
     let params = raid5_params(LAMBDA, HEP);

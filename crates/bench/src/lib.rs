@@ -431,6 +431,63 @@ pub fn render_fleet_json(
     w.finish()
 }
 
+/// One repair-crew measurement of the BENCH_6 snapshot: a
+/// [`FleetScalingRow`] plus the crew-pool size it ran with.
+#[derive(Debug, Clone)]
+pub struct FleetRepairRow {
+    /// Repair crews (`None` = unlimited pool, the independent limit).
+    pub crews: Option<u32>,
+    /// The throughput measurement at this pool size.
+    pub row: FleetScalingRow,
+}
+
+/// Renders the `BENCH_6.json` snapshot: fleet throughput across the
+/// crews × arrays grid, with array-mission speedups against the BENCH_3
+/// seed baseline (single-array missions per second).
+pub fn render_fleet_repair_json(
+    workload: &str,
+    scale: f64,
+    baseline_event_queue_missions_per_sec: f64,
+    rows: &[FleetRepairRow],
+) -> String {
+    let mut w = JsonSnapshot::bench("perf_mc_fleet_repair", workload, scale);
+    w.raw_field(
+        "baseline_event_queue_missions_per_sec",
+        &format!("{baseline_event_queue_missions_per_sec:.1}"),
+    );
+    w.begin_array("fleet_repair");
+    for r in rows {
+        let crews = match r.crews {
+            Some(c) => c.to_string(),
+            None => "\"unlimited\"".to_string(),
+        };
+        w.begin_array_object();
+        w.raw_field("crews", &crews)
+            .u64_field("arrays", u64::from(r.row.arrays))
+            .u64_field("missions", r.row.missions)
+            .raw_field("elapsed_secs", &format!("{:.6}", r.row.elapsed_secs))
+            .raw_field(
+                "array_missions_per_sec",
+                &format!("{:.1}", r.row.array_missions_per_sec()),
+            )
+            .raw_field(
+                "speedup_vs_bench3_baseline",
+                &format!(
+                    "{:.2}",
+                    r.row.array_missions_per_sec() / baseline_event_queue_missions_per_sec
+                ),
+            )
+            .raw_field(
+                "array_unavailability",
+                &format!("{:.6e}", r.row.array_unavailability),
+            )
+            .raw_field("mean_degraded", &format!("{:.4}", r.row.mean_degraded));
+        w.end_object();
+    }
+    w.end_array();
+    w.finish()
+}
+
 /// Where the machine-readable bench snapshots (`BENCH_*.json`) are written:
 /// the workspace root by default, or `$AVAILSIM_BENCH_OUT` when set.
 pub fn bench_snapshot_path(file_name: &str) -> std::path::PathBuf {
@@ -624,6 +681,46 @@ mod tests {
             "\"conventional/event_queue\": 2.22",
             "\"arrays\": 1000",
             "\"array_missions_per_sec\": 50000.0",
+            "\"mean_degraded\": 1.0500",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn fleet_repair_json_has_stable_machine_readable_shape() {
+        let rows = vec![
+            FleetRepairRow {
+                crews: Some(1),
+                row: FleetScalingRow {
+                    arrays: 100,
+                    missions: 2_000,
+                    elapsed_secs: 1.0,
+                    array_unavailability: 2.5e-6,
+                    mean_degraded: 0.11,
+                },
+            },
+            FleetRepairRow {
+                crews: None,
+                row: FleetScalingRow {
+                    arrays: 1000,
+                    missions: 200,
+                    elapsed_secs: 2.0,
+                    array_unavailability: 1.5e-6,
+                    mean_degraded: 1.05,
+                },
+            },
+        ];
+        let json = render_fleet_repair_json("raid5_3plus1 fig4", 1.0, 1_000_000.0, &rows);
+        for needle in [
+            "\"bench\": \"perf_mc_fleet_repair\"",
+            "\"crews\": 1",
+            "\"crews\": \"unlimited\"",
+            "\"arrays\": 1000",
+            "\"array_missions_per_sec\": 200000.0",
+            "\"speedup_vs_bench3_baseline\": 0.20",
             "\"mean_degraded\": 1.0500",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");

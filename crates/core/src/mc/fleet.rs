@@ -23,16 +23,41 @@
 //! The engine is the general event-queue engine throughout — a fleet
 //! mission is exactly the workload the indexed queue's heap regime exists
 //! for (thousands of concurrent disk clocks).
+//!
+//! # Shared resources and correlated human error
+//!
+//! Real fleets are *not* independent: one maintenance team serves many
+//! arrays, and a stressed operator errs more. Three optional couplings
+//! model this, each reducing exactly to the independent fleet when
+//! disabled (bit for bit — the RNG draw sequence is untouched):
+//!
+//! * **Finite repair crews** ([`FleetSpec::with_repairmen`]): at most `c`
+//!   arrays are in service concurrently; further degraded arrays wait in
+//!   FIFO order with no service clocks running (the machine-repairman
+//!   model, validated against its exact closed form in
+//!   `crates/core/tests/fleet.rs`). A waiting array is still exposed to
+//!   further disk failures and to domain knockouts.
+//! * **Operator dependence** ([`FleetCoupling::dependence`]): the hep of
+//!   a service action beginning while `d` *other* arrays are degraded is
+//!   escalated by `d` THERP conditional steps
+//!   ([`availsim_hra::escalated`]) — concurrent incidents share the
+//!   operator's attention.
+//! * **Domain failures** ([`DomainFailures`]): the fleet is partitioned
+//!   into consecutive shelves of `domain_arrays` arrays; each shelf has
+//!   its own Poisson clock that knocks every member array into the DL
+//!   (restore-from-backup) state at once.
 
 use super::{McConfig, McVariance, SimWorkspace, BLOCK_ITERATIONS, MAX_BLOCKS};
 use crate::error::{CoreError, Result};
 use crate::markov::WrongReplacementTiming;
 use crate::params::ModelParams;
+use availsim_hra::{escalated, DependenceLevel};
 use availsim_sim::indexed_queue::{IndexedEventHandle, IndexedEventQueue};
 use availsim_sim::parallel::ordered_parallel_map_with;
 use availsim_sim::rng::SimRng;
 use availsim_sim::stats::{t_interval, ConfidenceInterval, RunningStats};
 use availsim_storage::{FailureModel, FleetSpec, HOURS_PER_YEAR};
+use std::collections::VecDeque;
 
 /// Operating mode of one member array (the Fig. 2 states).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,6 +102,10 @@ enum FleetEv {
         kind: Service,
         epoch: u32,
     },
+    /// A whole-shelf knockout (the shelf's Poisson clock fired). Always
+    /// live: the clock is re-armed only when it fires, so no generation
+    /// guard is needed.
+    Domain { domain: u32 },
 }
 
 /// Per-array simulation state, 8 bytes so a 64k-array fleet's state table
@@ -86,6 +115,9 @@ struct ArrayState {
     mode: Mode,
     epoch: u32,
     failed_slot: u8,
+    /// Degraded but queued for a repair crew (no service clocks armed).
+    /// Every non-OP array either waits or holds exactly one crew.
+    waiting: bool,
 }
 
 /// Reusable scratch of the fleet engine: the shared event queue, the
@@ -101,6 +133,10 @@ pub(crate) struct FleetScratch {
     /// fires, the sibling is cancelled in place instead of surfacing
     /// later as a stale pop in the shared heap.
     svc: Vec<[Option<IndexedEventHandle>; 2]>,
+    /// Arrays waiting for a repair crew, FIFO. An array appears at most
+    /// once per degraded episode (it can only return to OP through a
+    /// service, which requires the crew it is waiting for).
+    fifo: VecDeque<u32>,
 }
 
 impl FleetScratch {
@@ -114,7 +150,35 @@ impl FleetScratch {
         self.slot_gen.resize(arrays * disks, 0);
         self.svc.clear();
         self.svc.resize(arrays, [None, None]);
+        self.fifo.clear();
     }
+}
+
+/// One shelf-failure process: the fleet is partitioned into consecutive
+/// shelves of `domain_arrays` arrays (the last shelf may be short), and
+/// each shelf's own Poisson clock at `rate` knocks every member array
+/// into the DL (restore-from-backup) state at once — a rack power feed or
+/// backplane failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainFailures {
+    /// Arrays per shelf, at least 1 and at most the fleet size.
+    pub domain_arrays: u32,
+    /// Shelf knockouts per hour per shelf, positive and finite.
+    pub rate: f64,
+}
+
+/// Correlated-failure configuration of a fleet mission. The default
+/// (`Zero` dependence, no domains) is the independent fleet; together
+/// with an unlimited crew pool it reproduces the uncoupled engine bit
+/// for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FleetCoupling {
+    /// THERP dependence between service actions of concurrently degraded
+    /// arrays: the hep of an incident beginning while `d` other arrays
+    /// are degraded is escalated by `d` conditional steps.
+    pub dependence: DependenceLevel,
+    /// Optional whole-shelf knockout process.
+    pub domains: Option<DomainFailures>,
 }
 
 /// Number of bins of the simultaneous-degraded-arrays distribution: exact
@@ -133,7 +197,8 @@ pub struct FleetOutcome {
     pub any_down_hours: f64,
     /// Data-unavailability events across the fleet.
     pub du_events: u64,
-    /// Data-loss events across the fleet.
+    /// Data-loss events across the fleet. A domain strike contributes one
+    /// event per member array it takes down.
     pub dl_events: u64,
     /// Peak number of simultaneously degraded (not fully operational)
     /// arrays observed during the mission.
@@ -217,6 +282,7 @@ pub struct FleetMc {
     params: ModelParams,
     failures: FailureModel,
     timing: WrongReplacementTiming,
+    coupling: FleetCoupling,
 }
 
 impl FleetMc {
@@ -255,6 +321,7 @@ impl FleetMc {
             params,
             failures,
             timing: WrongReplacementTiming::default(),
+            coupling: FleetCoupling::default(),
         })
     }
 
@@ -262,6 +329,43 @@ impl FleetMc {
     pub fn with_timing(mut self, timing: WrongReplacementTiming) -> Self {
         self.timing = timing;
         self
+    }
+
+    /// Enables correlated-failure couplings (operator dependence and/or
+    /// domain knockouts). The repair-crew pool lives on the
+    /// [`FleetSpec`] ([`FleetSpec::with_repairmen`]).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] for a domain shelf of zero
+    /// arrays, wider than the fleet, or a non-positive knockout rate.
+    pub fn with_coupling(mut self, coupling: FleetCoupling) -> Result<Self> {
+        if let Some(d) = coupling.domains {
+            if d.domain_arrays == 0 {
+                return Err(CoreError::InvalidParameter(
+                    "failure domain needs at least one array per shelf".into(),
+                ));
+            }
+            if d.domain_arrays > self.spec.arrays() {
+                return Err(CoreError::InvalidParameter(format!(
+                    "failure domain of {} arrays exceeds the fleet of {}",
+                    d.domain_arrays,
+                    self.spec.arrays()
+                )));
+            }
+            if !(d.rate.is_finite() && d.rate > 0.0) {
+                return Err(CoreError::InvalidParameter(format!(
+                    "domain failure rate must be positive and finite, got {}",
+                    d.rate
+                )));
+            }
+        }
+        self.coupling = coupling;
+        Ok(self)
+    }
+
+    /// The correlated-failure configuration.
+    pub fn coupling(&self) -> FleetCoupling {
+        self.coupling
     }
 
     /// The fleet specification.
@@ -272,14 +376,6 @@ impl FleetMc {
     /// The per-array model parameters.
     pub fn params(&self) -> &ModelParams {
         &self.params
-    }
-
-    fn wrong_pull_rate(&self) -> f64 {
-        let base = match self.timing {
-            WrongReplacementTiming::ChangeAction => self.params.disk_change_rate,
-            WrongReplacementTiming::RepairCompletion => self.params.disk_repair_rate,
-        };
-        self.params.hep.value() * base
     }
 
     /// Runs the full fleet Monte-Carlo estimation.
@@ -430,13 +526,27 @@ impl FleetMc {
         let n = self.spec.geometry().total_disks() as usize;
         let p = &self.params;
         let hep = p.hep.value();
+        let wrong_base = match self.timing {
+            WrongReplacementTiming::ChangeAction => p.disk_change_rate,
+            WrongReplacementTiming::RepairCompletion => p.disk_repair_rate,
+        };
         // Reciprocal service rates: the armed draws multiply by a cached
         // 1/rate (∞ = disabled, drawing nothing, like `sample_exp(0)`).
         let repair_ok_inv = ((1.0 - hep) * p.disk_repair_rate).recip();
-        let wrong_inv = self.wrong_pull_rate().recip();
+        let wrong_inv = (hep * wrong_base).recip();
         let recover_inv = ((1.0 - hep) * p.human_recovery_rate).recip();
         let crash_inv = p.removed_crash_rate.recip();
         let restore_inv = p.ddf_recovery_rate.recip();
+        // Shared-resource couplings. An unlimited crew pool is the `busy`
+        // counter never reaching the cap: the serve-immediately branch is
+        // the exact uncoupled code path (no extra draws, FIFO untouched).
+        let crew_cap = self.spec.repairmen().unwrap_or(u32::MAX);
+        let mut busy = 0u32;
+        let level = self.coupling.dependence;
+        let domain_inv = match self.coupling.domains {
+            Some(d) => d.rate.recip(),
+            None => f64::INFINITY,
+        };
 
         ws.fleet.reset(a, n);
         let FleetScratch {
@@ -444,6 +554,7 @@ impl FleetMc {
             arrays,
             slot_gen,
             svc,
+            fifo,
         } = &mut ws.fleet;
 
         let mut out = FleetOutcome {
@@ -478,6 +589,23 @@ impl FleetMc {
                             gen: 0,
                         },
                     );
+                }
+            }
+        }
+        // Seed the shelf clocks after the disk clocks (drawing nothing
+        // when domains are off — the independent limit's stream contract).
+        if let Some(d) = self.coupling.domains {
+            let shelves = a.div_ceil(d.domain_arrays as usize);
+            for domain in 0..shelves {
+                if let Some(t) = rng.sample_exp_inv(domain_inv) {
+                    if t <= horizon {
+                        let _ = queue.schedule_at(
+                            t,
+                            FleetEv::Domain {
+                                domain: domain as u32,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -542,6 +670,69 @@ impl FleetMc {
                 }
             }};
         }
+        // Per-incident service rates under THERP operator dependence:
+        // `$others` concurrently degraded arrays escalate the hep by as
+        // many conditional steps. Zero dependence (or no concurrency)
+        // short-circuits to the precomputed reciprocals — the formulas
+        // below are identical, so the shortcut is bit-exact.
+        macro_rules! svc_rates {
+            ($others:expr) => {{
+                let others: u32 = $others;
+                if level == DependenceLevel::Zero || others == 0 {
+                    (repair_ok_inv, wrong_inv, recover_inv)
+                } else {
+                    let h = escalated(p.hep, level, others).value();
+                    (
+                        ((1.0 - h) * p.disk_repair_rate).recip(),
+                        (h * wrong_base).recip(),
+                        ((1.0 - h) * p.human_recovery_rate).recip(),
+                    )
+                }
+            }};
+        }
+        // Arms the crew-bound service race for `$array`'s current mode —
+        // used both when a crew is free at degradation time and when a
+        // released crew reaches a waiting array.
+        macro_rules! start_service {
+            ($array:expr, $epoch:expr, $mode:expr) => {{
+                match $mode {
+                    Mode::Exp => {
+                        let (ri, wi, _) = svc_rates!(not_op - 1);
+                        arm!($array, $epoch, 0, Service::RepairOk, ri);
+                        arm!($array, $epoch, 1, Service::WrongPull, wi);
+                    }
+                    Mode::Dl => {
+                        arm!($array, $epoch, 0, Service::Restore, restore_inv);
+                    }
+                    // A crew is only dispatched to a degraded array, and
+                    // DU is reachable only while already in service.
+                    Mode::Op | Mode::Du => {}
+                }
+            }};
+        }
+        // Returns one crew to the pool: hand it to the first waiting
+        // array (FIFO), or free it. In the unlimited-pool limit the queue
+        // is always empty and this is a bare counter decrement — no
+        // draws, no stream perturbation.
+        macro_rules! release_crew {
+            () => {{
+                let mut handed_over = false;
+                while let Some(next) = fifo.pop_front() {
+                    let ns = &mut arrays[next as usize];
+                    if !ns.waiting {
+                        continue; // defensive: episodes enqueue once
+                    }
+                    ns.waiting = false;
+                    let (mode, epoch) = (ns.mode, ns.epoch);
+                    start_service!(next, epoch, mode);
+                    handed_over = true;
+                    break;
+                }
+                if !handed_over {
+                    busy -= 1;
+                }
+            }};
+        }
 
         while let Some((t, ev)) = queue.pop_due(horizon) {
             match ev {
@@ -561,8 +752,13 @@ impl FleetMc {
                             not_op += 1;
                             out.max_degraded = out.max_degraded.max(not_op);
                             let epoch = st.epoch;
-                            arm!(array, epoch, 0, Service::RepairOk, repair_ok_inv);
-                            arm!(array, epoch, 1, Service::WrongPull, wrong_inv);
+                            if busy < crew_cap {
+                                busy += 1;
+                                start_service!(array, epoch, Mode::Exp);
+                            } else {
+                                st.waiting = true;
+                                fifo.push_back(array);
+                            }
                         }
                         Mode::Exp => {
                             // Second failure: data loss.
@@ -574,8 +770,13 @@ impl FleetMc {
                             // The pending service race is void.
                             cancel_svc!(array, 0);
                             cancel_svc!(array, 1);
-                            let epoch = st.epoch;
-                            arm!(array, epoch, 0, Service::Restore, restore_inv);
+                            if !st.waiting {
+                                // In service: the crew switches to the
+                                // restore. A waiting array keeps its FIFO
+                                // place and restores once a crew arrives.
+                                let epoch = st.epoch;
+                                arm!(array, epoch, 0, Service::Restore, restore_inv);
+                            }
                         }
                         // Quiesced while down; resampled on return to OP.
                         Mode::Du | Mode::Dl => {}
@@ -600,6 +801,7 @@ impl FleetMc {
                             cancel_svc!(array, 1);
                             let slot = st.failed_slot;
                             reseed_slot!(array, slot);
+                            release_crew!();
                         }
                         (Mode::Exp, Service::WrongPull) => {
                             accrue!(t);
@@ -610,7 +812,10 @@ impl FleetMc {
                             svc[array as usize][1] = None;
                             cancel_svc!(array, 0);
                             let epoch = st.epoch;
-                            arm!(array, epoch, 0, Service::RecoveryOk, recover_inv);
+                            // The crew stays on the array; its recovery
+                            // attempt runs at the escalated-hep rate.
+                            let (_, _, rec) = svc_rates!(not_op - 1);
+                            arm!(array, epoch, 0, Service::RecoveryOk, rec);
                             arm!(array, epoch, 1, Service::RemovedCrash, crash_inv);
                         }
                         (Mode::Du, Service::RecoveryOk) => {
@@ -624,6 +829,7 @@ impl FleetMc {
                             for slot in 0..n {
                                 reseed_slot!(array, slot as u8);
                             }
+                            release_crew!();
                         }
                         (Mode::Du, Service::RemovedCrash) => {
                             accrue!(t);
@@ -647,9 +853,75 @@ impl FleetMc {
                             for slot in 0..n {
                                 reseed_slot!(array, slot as u8);
                             }
+                            release_crew!();
                         }
                         // Stale/impossible pair.
                         _ => {}
+                    }
+                }
+                FleetEv::Domain { domain } => {
+                    let d = self
+                        .coupling
+                        .domains
+                        .expect("domain events only exist when domains are on");
+                    accrue!(t);
+                    let lo = domain as usize * d.domain_arrays as usize;
+                    let hi = (lo + d.domain_arrays as usize).min(a);
+                    for (hit, st) in arrays.iter_mut().enumerate().take(hi).skip(lo) {
+                        let array = hit as u32;
+                        match st.mode {
+                            // Already lost; the strike adds nothing.
+                            Mode::Dl => {}
+                            Mode::Op => {
+                                st.mode = Mode::Dl;
+                                st.epoch += 1;
+                                not_op += 1;
+                                out.max_degraded = out.max_degraded.max(not_op);
+                                in_dl += 1;
+                                out.dl_events += 1;
+                                let epoch = st.epoch;
+                                if busy < crew_cap {
+                                    busy += 1;
+                                    start_service!(array, epoch, Mode::Dl);
+                                } else {
+                                    st.waiting = true;
+                                    fifo.push_back(array);
+                                }
+                            }
+                            Mode::Exp => {
+                                st.mode = Mode::Dl;
+                                st.epoch += 1;
+                                in_dl += 1;
+                                out.dl_events += 1;
+                                cancel_svc!(array, 0);
+                                cancel_svc!(array, 1);
+                                if !st.waiting {
+                                    // The crew already on site switches
+                                    // to the restore.
+                                    let epoch = st.epoch;
+                                    arm!(array, epoch, 0, Service::Restore, restore_inv);
+                                }
+                            }
+                            Mode::Du => {
+                                st.mode = Mode::Dl;
+                                st.epoch += 1;
+                                in_du -= 1;
+                                in_dl += 1;
+                                out.dl_events += 1;
+                                cancel_svc!(array, 0);
+                                cancel_svc!(array, 1);
+                                // DU is reachable only in service, so the
+                                // array always holds a crew here.
+                                let epoch = st.epoch;
+                                arm!(array, epoch, 0, Service::Restore, restore_inv);
+                            }
+                        }
+                    }
+                    // Re-arm the shelf clock.
+                    if let Some(dt) = rng.sample_exp_inv(domain_inv) {
+                        if queue.now() + dt <= horizon {
+                            let _ = queue.schedule(dt, FleetEv::Domain { domain });
+                        }
                     }
                 }
             }

@@ -25,7 +25,9 @@ mod fleet;
 
 pub use conventional::ConventionalMc;
 pub use failover::FailOverMc;
-pub use fleet::{FleetEstimate, FleetMc, FleetOutcome, DEGRADED_BINS};
+pub use fleet::{
+    DomainFailures, FleetCoupling, FleetEstimate, FleetMc, FleetOutcome, DEGRADED_BINS,
+};
 
 use crate::error::{CoreError, Result};
 use crate::nines;

@@ -4,10 +4,11 @@
 
 use availsim_core::markov::Raid5Conventional;
 use availsim_core::mc::{
-    ConventionalMc, FleetMc, McConfig, McEngine, McVariance, SimWorkspace, DEGRADED_BINS,
+    ConventionalMc, DomainFailures, FleetCoupling, FleetEstimate, FleetMc, McConfig, McEngine,
+    McVariance, SimWorkspace, DEGRADED_BINS,
 };
 use availsim_core::ModelParams;
-use availsim_hra::Hep;
+use availsim_hra::{DependenceLevel, Hep};
 use availsim_sim::rng::SimRng;
 use availsim_storage::{FailureModel, FleetSpec, RaidGeometry};
 
@@ -244,6 +245,294 @@ fn workspace_reuse_matches_fresh_workspaces_bitwise() {
     assert_eq!(a.du_events, b.du_events);
     assert_eq!(a.dl_events, b.dl_events);
     assert_eq!(a.max_degraded, b.max_degraded);
+}
+
+/// Every estimate field as raw bits, so "byte-identical" is one equality.
+fn digest(est: &FleetEstimate) -> (Vec<u64>, u64, u64, u32) {
+    let mut bits = vec![
+        est.overall_array_availability.to_bits(),
+        est.fleet_availability.to_bits(),
+        est.availability.mean.to_bits(),
+        est.availability.half_width.to_bits(),
+        est.mean_array_downtime_hours.to_bits(),
+        est.annual_array_downtime_hours.to_bits(),
+        est.annual_any_down_hours.to_bits(),
+        est.du_downtime_share.to_bits(),
+    ];
+    bits.extend(est.degraded_time_share.iter().map(|s| s.to_bits()));
+    (bits, est.du_events, est.dl_events, est.max_degraded)
+}
+
+fn pin_config(threads: usize) -> McConfig {
+    McConfig {
+        iterations: 300,
+        horizon_hours: 20_000.0,
+        seed: 77,
+        confidence: 0.95,
+        threads,
+        ..McConfig::default()
+    }
+}
+
+#[test]
+fn repair_crew_unlimited_pool_pins_the_pre_coupling_golden_bits() {
+    // Frozen from the pre-coupling `FleetMc` (PR 5): the independent
+    // limit — unlimited crews, zero dependence, no domains — must keep
+    // reproducing these exact bits at any worker count. A pool of
+    // `c = A` crews never binds either, so it pins the same bits.
+    const GOLDEN_SCALARS: [u64; 8] = [
+        0x3fefdf96eabac622, // overall_array_availability
+        0x3fef006aaf848d71, // fleet_availability
+        0x3fefdf96eabac620, // availability.mean
+        0x3f1f39512e1f9183, // availability.half_width
+        0x4053c8233b8091df, // mean_array_downtime_hours
+        0x404157391961ce1b, // annual_array_downtime_hours
+        0x407117dd6cf18e65, // annual_any_down_hours
+        0x3fc4f82731a782d6, // du_downtime_share
+    ];
+    const GOLDEN_HIST_HEAD: [u64; 6] = [
+        0x3fe7e291ad343c7f,
+        0x3fcc7e26fa23ca5f,
+        0x3f9d6159b989cb86,
+        0x3f61f7dfc78dff46,
+        0x3f1ba9d896813645,
+        0x3ec25fa902151d7a,
+    ];
+    let mut golden = GOLDEN_SCALARS.to_vec();
+    golden.extend_from_slice(&GOLDEN_HIST_HEAD);
+    golden.extend(std::iter::repeat_n(0u64, DEGRADED_BINS - GOLDEN_HIST_HEAD.len()));
+
+    let p = params(1e-3, 0.02);
+    let unlimited = FleetMc::new(spec(8), p).unwrap();
+    let slack_pool = FleetMc::new(spec(8).with_repairmen(8).unwrap(), p).unwrap();
+    for mc in [&unlimited, &slack_pool] {
+        for threads in [1, 4] {
+            let est = mc.run(&pin_config(threads)).unwrap();
+            let (bits, du, dl, maxd) = digest(&est);
+            assert_eq!(bits, golden, "threads = {threads}");
+            assert_eq!((du, dl, maxd), (30_569, 4_853, 5), "threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn dependence_zero_level_and_lone_incidents_change_nothing() {
+    // Explicit zero dependence is the engine default, bit for bit; and
+    // with a single array there is never a *concurrent* incident, so
+    // even complete dependence cannot escalate anything.
+    let p = params(1e-3, 0.02);
+    let base_8 = FleetMc::new(spec(8), p)
+        .unwrap()
+        .run(&pin_config(2))
+        .unwrap();
+    let zero_8 = FleetMc::new(spec(8), p)
+        .unwrap()
+        .with_coupling(FleetCoupling {
+            dependence: DependenceLevel::Zero,
+            domains: None,
+        })
+        .unwrap()
+        .run(&pin_config(2))
+        .unwrap();
+    assert_eq!(digest(&base_8), digest(&zero_8));
+
+    let base_1 = FleetMc::new(spec(1), p)
+        .unwrap()
+        .run(&pin_config(2))
+        .unwrap();
+    let complete_1 = FleetMc::new(spec(1), p)
+        .unwrap()
+        .with_coupling(FleetCoupling {
+            dependence: DependenceLevel::Complete,
+            domains: None,
+        })
+        .unwrap()
+        .run(&pin_config(2))
+        .unwrap();
+    assert_eq!(digest(&base_1), digest(&complete_1));
+}
+
+#[test]
+fn repair_crew_scarcity_and_dependence_both_hurt_availability() {
+    let p = params(2e-3, 0.02);
+    let cfg = quick_config(150);
+    let run = |spec: FleetSpec, coupling: Option<FleetCoupling>| {
+        let mut mc = FleetMc::new(spec, p).unwrap();
+        if let Some(c) = coupling {
+            mc = mc.with_coupling(c).unwrap();
+        }
+        mc.run(&cfg).unwrap()
+    };
+    let free = run(spec(16), None);
+    let starved = run(spec(16).with_repairmen(1).unwrap(), None);
+    assert!(
+        starved.overall_array_availability < free.overall_array_availability,
+        "1 crew {} vs unlimited {}",
+        starved.overall_array_availability,
+        free.overall_array_availability
+    );
+    assert!(starved.max_degraded >= free.max_degraded);
+
+    let coupled = run(
+        spec(16),
+        Some(FleetCoupling {
+            dependence: DependenceLevel::High,
+            domains: None,
+        }),
+    );
+    assert!(
+        coupled.overall_array_availability < free.overall_array_availability,
+        "high dependence {} vs zero {}",
+        coupled.overall_array_availability,
+        free.overall_array_availability
+    );
+    assert!(coupled.du_events > free.du_events);
+}
+
+/// Stationary availability of the M/M/c machine-repairman model:
+/// `N` machines failing at rate `nu`, `c` crews repairing at rate `mu`,
+/// via the birth-death chain on the number of failed machines.
+fn machine_repairman_availability(n: u32, crews: Option<u32>, nu: f64, mu: f64) -> f64 {
+    let n = n as usize;
+    let c = crews.map_or(n, |c| (c as usize).min(n));
+    let mut pi = vec![0.0f64; n + 1];
+    pi[0] = 1.0;
+    for k in 0..n {
+        pi[k + 1] = pi[k] * ((n - k) as f64 * nu) / ((k + 1).min(c) as f64 * mu);
+    }
+    let z: f64 = pi.iter().sum();
+    let mean_down: f64 = pi
+        .iter()
+        .enumerate()
+        .map(|(k, p)| k as f64 * p)
+        .sum::<f64>()
+        / z;
+    1.0 - mean_down / n as f64
+}
+
+#[test]
+fn repair_crew_pool_matches_the_machine_repairman_closed_form() {
+    // Exact M/M/c oracle: per-array domain strikes (shelves of one) at
+    // rate ν are the "machine failures", the crew-bound DL restore at
+    // rate μ is the "repair", and the disk/operator physics is turned
+    // off (λ ≈ 0, hep = 0). The MC confidence interval must cover the
+    // closed-form availability across a crews × ν grid.
+    const N: u32 = 12;
+    const MU: f64 = 0.25;
+    let mut p = params(1e-12, 0.0);
+    p.ddf_recovery_rate = MU;
+    for crews in [Some(1), Some(2), Some(4), None] {
+        for nu in [0.01, 0.04] {
+            let fleet = match crews {
+                Some(c) => spec(N).with_repairmen(c).unwrap(),
+                None => spec(N),
+            };
+            let est = FleetMc::new(fleet, p)
+                .unwrap()
+                .with_coupling(FleetCoupling {
+                    dependence: DependenceLevel::Zero,
+                    domains: Some(DomainFailures {
+                        domain_arrays: 1,
+                        rate: nu,
+                    }),
+                })
+                .unwrap()
+                .run(&McConfig {
+                    iterations: 160,
+                    horizon_hours: 30_000.0,
+                    seed: 911,
+                    confidence: 0.99,
+                    threads: 2,
+                    ..McConfig::default()
+                })
+                .unwrap();
+            let exact = machine_repairman_availability(N, crews, nu, MU);
+            let gap = (est.availability.mean - exact).abs();
+            assert!(
+                gap <= est.availability.half_width,
+                "c = {crews:?}, ν = {nu}: mc {} vs exact {exact:.6} (hw {:.2e})",
+                est.availability,
+                est.availability.half_width
+            );
+        }
+    }
+}
+
+#[test]
+fn domain_failures_knock_out_whole_shelves() {
+    // One shelf covering the entire 40-array fleet: every strike drives
+    // the degraded count to 40 at once, past the histogram's 32+ tail.
+    let mut p = params(1e-6, 0.01);
+    p.ddf_recovery_rate = 0.03;
+    let est = FleetMc::new(spec(40), p)
+        .unwrap()
+        .with_coupling(FleetCoupling {
+            dependence: DependenceLevel::Zero,
+            domains: Some(DomainFailures {
+                domain_arrays: 40,
+                rate: 1e-3,
+            }),
+        })
+        .unwrap()
+        .run(&quick_config(60))
+        .unwrap();
+    assert_eq!(est.max_degraded, 40);
+    assert!(est.dl_events >= 40 * 60, "dl_events {}", est.dl_events);
+    assert!(
+        est.degraded_time_share[DEGRADED_BINS - 1] > 0.0,
+        "the 32+ tail bin must absorb shelf-wide outages"
+    );
+}
+
+#[test]
+fn domain_coupling_is_validated() {
+    let p = params(1e-3, 0.01);
+    let cases = [
+        (0u32, 1e-3, "at least one array per shelf"),
+        (9, 1e-3, "exceeds the fleet"),
+        (2, 0.0, "must be positive"),
+        (2, f64::INFINITY, "must be positive"),
+        (2, -1.0, "must be positive"),
+    ];
+    for (domain_arrays, rate, needle) in cases {
+        let err = FleetMc::new(spec(8), p)
+            .unwrap()
+            .with_coupling(FleetCoupling {
+                dependence: DependenceLevel::Zero,
+                domains: Some(DomainFailures {
+                    domain_arrays,
+                    rate,
+                }),
+            })
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains(needle), "{err}");
+    }
+}
+
+#[test]
+fn domain_and_crew_couplings_keep_the_thread_bit_identity() {
+    // The determinism contract survives every coupling at once: a
+    // starved crew pool, high operator dependence, and shelf strikes.
+    let p = params(1e-3, 0.02);
+    let run = |threads| {
+        FleetMc::new(spec(12).with_repairmen(2).unwrap(), p)
+            .unwrap()
+            .with_coupling(FleetCoupling {
+                dependence: DependenceLevel::High,
+                domains: Some(DomainFailures {
+                    domain_arrays: 4,
+                    rate: 1e-4,
+                }),
+            })
+            .unwrap()
+            .run(&pin_config(threads))
+            .unwrap()
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(digest(&one), digest(&four));
+    assert!(one.dl_events > 0 && one.max_degraded >= 4);
 }
 
 #[test]

@@ -110,8 +110,18 @@ impl Plan {
         {
             let _ = writeln!(out, "  variance : {}", s.mc.variance);
         }
-        if let Some(arrays) = s.fleet {
-            let _ = writeln!(out, "  fleet    : {arrays} arrays per cell");
+        if let Some(fleet) = s.fleet {
+            let mut line = format!("{} arrays per cell", fleet.arrays);
+            if let Some(crews) = fleet.repairmen {
+                let _ = write!(line, ", {crews} repair crews");
+            }
+            if fleet.dependence != availsim_hra::DependenceLevel::Zero {
+                let _ = write!(line, ", {} dependence", fleet.dependence);
+            }
+            if let (Some(domain), Some(rate)) = (fleet.domain_arrays, fleet.domain_rate) {
+                let _ = write!(line, ", domains of {domain} at {}/h", format_float(rate));
+            }
+            let _ = writeln!(out, "  fleet    : {line}");
         }
         if let Some(cap) = s.capacity {
             let _ = writeln!(out, "  capacity : {cap} disk units (volume metrics on)");

@@ -12,7 +12,7 @@
 
 use crate::error::{ExpError, Result};
 use crate::plan::{Cell, Plan};
-use crate::spec::{McSettings, ModelKind, Policy, Scenario};
+use crate::spec::{FleetSettings, McSettings, ModelKind, Policy, Scenario};
 use availsim_core::markov::{GenericKofN, Raid5Conventional, Raid5FailOver};
 use availsim_core::mc::{ConventionalMc, FailOverMc, FleetMc, McConfig};
 use availsim_core::{nines, CoreError, ModelParams};
@@ -222,7 +222,7 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
 /// cell runs the fleet engine and reports its per-array unavailability.
 fn mc_estimate(
     mc: McSettings,
-    fleet: Option<u64>,
+    fleet: Option<FleetSettings>,
     policy: Policy,
     params: ModelParams,
     seed: u64,
@@ -235,14 +235,22 @@ fn mc_estimate(
         threads: 1,
         variance: mc.variance,
     };
-    if let Some(arrays) = fleet {
+    if let Some(fleet) = fleet {
         // Scenario validation already restricts fleets to the
         // conventional policy and naive sampling.
-        let arrays = u32::try_from(arrays).map_err(|_| {
-            CoreError::InvalidParameter(format!("fleet arrays {arrays} is too large"))
+        let arrays = u32::try_from(fleet.arrays).map_err(|_| {
+            CoreError::InvalidParameter(format!("fleet arrays {} is too large", fleet.arrays))
         })?;
-        let spec = FleetSpec::new(arrays, params.geometry).map_err(CoreError::Storage)?;
-        let est = FleetMc::new(spec, params)?.run(&config)?;
+        let mut spec = FleetSpec::new(arrays, params.geometry).map_err(CoreError::Storage)?;
+        if let Some(crews) = fleet.repairmen {
+            let crews = u32::try_from(crews).map_err(|_| {
+                CoreError::InvalidParameter(format!("fleet repairmen {crews} is too large"))
+            })?;
+            spec = spec.with_repairmen(crews).map_err(CoreError::Storage)?;
+        }
+        let est = FleetMc::new(spec, params)?
+            .with_coupling(fleet.coupling())?
+            .run(&config)?;
         return Ok((est.array_unavailability(), est.availability.half_width));
     }
     let est = match policy {

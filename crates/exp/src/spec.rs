@@ -28,6 +28,11 @@
 //! [fleet]                            # optional; requires model = mc
 //! arrays = 100                       # arrays per cell: each mission
 //!                                    # simulates the whole fleet
+//! repairmen = 4                      # optional: finite repair-crew pool
+//! dependence = high                  # optional THERP level: zero | low |
+//!                                    # moderate | high | complete
+//! domain_arrays = 10                 # optional (set both): shelf size and
+//! domain_rate = 1e-5                 # strike rate of domain failures
 //! ```
 //!
 //! Recognised axes are `lambda` (disk failure rate per hour), `hep`
@@ -36,8 +41,8 @@
 //! model's default replacement discipline per cell).
 
 use crate::error::{ExpError, Result};
-use availsim_core::mc::McVariance;
-use availsim_hra::Hep;
+use availsim_core::mc::{DomainFailures, FleetCoupling, McVariance};
+use availsim_hra::{DependenceLevel, Hep};
 use availsim_storage::{FleetSpec, RaidGeometry};
 use std::fmt;
 
@@ -197,6 +202,51 @@ impl Default for McSettings {
     }
 }
 
+/// The `[fleet]` section: fleet size plus the shared-resource couplings
+/// of the fleet engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSettings {
+    /// Arrays per cell (`arrays = N`); each mission simulates them all.
+    pub arrays: u64,
+    /// Finite repair-crew pool (`repairmen = c`); `None` is unlimited.
+    pub repairmen: Option<u64>,
+    /// THERP operator-dependence level (`dependence = high`).
+    pub dependence: DependenceLevel,
+    /// Arrays per failure domain (`domain_arrays`, set with `domain_rate`).
+    pub domain_arrays: Option<u64>,
+    /// Domain strike rate per hour (`domain_rate`).
+    pub domain_rate: Option<f64>,
+}
+
+impl Default for FleetSettings {
+    fn default() -> Self {
+        FleetSettings {
+            arrays: 0, // "not given yet": validation requires `arrays`
+            repairmen: None,
+            dependence: DependenceLevel::Zero,
+            domain_arrays: None,
+            domain_rate: None,
+        }
+    }
+}
+
+impl FleetSettings {
+    /// The correlated-failure configuration these settings describe.
+    pub fn coupling(&self) -> FleetCoupling {
+        let domains = match (self.domain_arrays, self.domain_rate) {
+            (Some(arrays), Some(rate)) => Some(DomainFailures {
+                domain_arrays: u32::try_from(arrays).unwrap_or(u32::MAX),
+                rate,
+            }),
+            _ => None,
+        };
+        FleetCoupling {
+            dependence: self.dependence,
+            domains,
+        }
+    }
+}
+
 /// A fully described experiment campaign: the model kind, the grid axes,
 /// and the reporting options. Produced by [`Scenario::parse`]; consumed by
 /// [`crate::plan::expand`].
@@ -222,9 +272,9 @@ pub struct Scenario {
     pub policy: Vec<Policy>,
     /// Monte-Carlo settings (ignored unless `model = mc`).
     pub mc: McSettings,
-    /// Arrays per cell of the fleet engine (`[fleet] arrays = N`); `None`
-    /// runs the single-array models.
-    pub fleet: Option<u64>,
+    /// The fleet engine's `[fleet]` section; `None` runs the single-array
+    /// models.
+    pub fleet: Option<FleetSettings>,
 }
 
 impl Default for Scenario {
@@ -627,7 +677,67 @@ impl Scenario {
                     effort = Some((e.line, parse_u64(e.line, "effort", scalar(e)?)?));
                 }
                 ("fleet", "arrays") => {
-                    scenario.fleet = Some(parse_u64(e.line, "arrays", scalar(e)?)?);
+                    let arrays = parse_u64(e.line, "arrays", scalar(e)?)?;
+                    if arrays == 0 {
+                        return Err(parse_err(e.line, "fleet needs at least one array"));
+                    }
+                    scenario.fleet.get_or_insert_with(Default::default).arrays = arrays;
+                }
+                ("fleet", "repairmen") => {
+                    let crews = parse_u64(e.line, "repairmen", scalar(e)?)?;
+                    if crews == 0 {
+                        return Err(parse_err(
+                            e.line,
+                            "fleet needs at least one repair crew \
+                             (omit `repairmen` for an unlimited pool)",
+                        ));
+                    }
+                    scenario
+                        .fleet
+                        .get_or_insert_with(Default::default)
+                        .repairmen = Some(crews);
+                }
+                ("fleet", "dependence") => {
+                    let raw = scalar(e)?;
+                    let level = DependenceLevel::parse(raw).ok_or_else(|| {
+                        parse_err(
+                            e.line,
+                            format!(
+                                "unknown dependence `{raw}` \
+                                 (use zero, low, moderate, high, complete)"
+                            ),
+                        )
+                    })?;
+                    scenario
+                        .fleet
+                        .get_or_insert_with(Default::default)
+                        .dependence = level;
+                }
+                ("fleet", "domain_arrays") => {
+                    let arrays = parse_u64(e.line, "domain_arrays", scalar(e)?)?;
+                    if arrays == 0 {
+                        return Err(parse_err(
+                            e.line,
+                            "failure domain needs at least one array per shelf",
+                        ));
+                    }
+                    scenario
+                        .fleet
+                        .get_or_insert_with(Default::default)
+                        .domain_arrays = Some(arrays);
+                }
+                ("fleet", "domain_rate") => {
+                    let rate = parse_f64(e.line, "domain_rate", scalar(e)?)?;
+                    if !(rate.is_finite() && rate > 0.0) {
+                        return Err(parse_err(
+                            e.line,
+                            format!("domain failure rate must be positive and finite, got {rate}"),
+                        ));
+                    }
+                    scenario
+                        .fleet
+                        .get_or_insert_with(Default::default)
+                        .domain_rate = Some(rate);
                 }
                 (sec, key) => {
                     return Err(parse_err(e.line, format!("unknown key `{key}` in [{sec}]")));
@@ -721,7 +831,7 @@ impl Scenario {
                     .into(),
             ));
         }
-        if let Some(arrays) = self.fleet {
+        if let Some(fleet) = self.fleet {
             if self.model != ModelKind::Mc {
                 return Err(ExpError::InvalidSpec(
                     "[fleet] requires `model = mc` (the fleet engine is a \
@@ -741,11 +851,35 @@ impl Scenario {
                     self.mc.variance
                 )));
             }
-            let arrays = u32::try_from(arrays).map_err(|_| {
-                ExpError::InvalidSpec(format!("fleet arrays {arrays} is too large"))
+            let arrays = u32::try_from(fleet.arrays).map_err(|_| {
+                ExpError::InvalidSpec(format!("fleet arrays {} is too large", fleet.arrays))
             })?;
             for &g in &self.raid {
-                FleetSpec::new(arrays, g).map_err(|e| ExpError::InvalidSpec(e.to_string()))?;
+                let spec =
+                    FleetSpec::new(arrays, g).map_err(|e| ExpError::InvalidSpec(e.to_string()))?;
+                if let Some(crews) = fleet.repairmen {
+                    let crews = u32::try_from(crews).map_err(|_| {
+                        ExpError::InvalidSpec(format!("fleet repairmen {crews} is too large"))
+                    })?;
+                    spec.with_repairmen(crews)
+                        .map_err(|e| ExpError::InvalidSpec(e.to_string()))?;
+                }
+            }
+            match (fleet.domain_arrays, fleet.domain_rate) {
+                (None, None) | (Some(_), Some(_)) => {}
+                _ => {
+                    return Err(ExpError::InvalidSpec(
+                        "`domain_arrays` and `domain_rate` must be set together".into(),
+                    ));
+                }
+            }
+            if let Some(domain) = fleet.domain_arrays {
+                if domain > fleet.arrays {
+                    return Err(ExpError::InvalidSpec(format!(
+                        "failure domain of {domain} arrays exceeds the fleet of {}",
+                        fleet.arrays
+                    )));
+                }
             }
         }
         Ok(())
@@ -985,7 +1119,11 @@ lambda = 1e-5
             "[campaign]\nname = f\nmodel = mc\n[axes]\nraid = r5-3\n[fleet]\narrays = 100\n",
         )
         .unwrap();
-        assert_eq!(s.fleet, Some(100));
+        let fleet = s.fleet.unwrap();
+        assert_eq!(fleet.arrays, 100);
+        // The couplings default to the independent limit.
+        assert_eq!(fleet.repairmen, None);
+        assert_eq!(fleet.coupling(), FleetCoupling::default());
 
         // No [fleet] section: None.
         let s = Scenario::parse("[campaign]\nname = f\nmodel = mc\n").unwrap();
@@ -1015,13 +1153,67 @@ lambda = 1e-5
         assert!(e.to_string().contains("naive sampling only"), "{e}");
 
         // Array bounds come from FleetSpec.
-        for bad in ["arrays = 0", "arrays = 99999999"] {
+        let e = Scenario::parse("[campaign]\nname = f\nmodel = mc\n[fleet]\narrays = 99999999\n")
+            .unwrap_err();
+        assert!(e.to_string().contains("invalid campaign"), "{e}");
+    }
+
+    #[test]
+    fn fleet_coupling_keys_parse_and_degenerate_values_name_their_line() {
+        let s = Scenario::parse(
+            "[campaign]\nname = f\nmodel = mc\n[fleet]\narrays = 40\nrepairmen = 4\n\
+             dependence = high\ndomain_arrays = 10\ndomain_rate = 1e-5\n",
+        )
+        .unwrap();
+        let fleet = s.fleet.unwrap();
+        assert_eq!(fleet.repairmen, Some(4));
+        assert_eq!(fleet.dependence, DependenceLevel::High);
+        let coupling = fleet.coupling();
+        assert_eq!(coupling.dependence, DependenceLevel::High);
+        let domains = coupling.domains.unwrap();
+        assert_eq!(domains.domain_arrays, 10);
+        assert_eq!(domains.rate, 1e-5);
+
+        // Degenerate values are line-numbered parse errors, not engine
+        // panics: arrays = 0, repairmen = 0, unknown dependence, bad domain.
+        let cases = [
+            ("arrays = 0", "line 5", "at least one array"),
+            ("repairmen = 0", "line 5", "at least one repair crew"),
+            ("dependence = severe", "line 5", "unknown dependence"),
+            (
+                "domain_arrays = 0",
+                "line 5",
+                "at least one array per shelf",
+            ),
+            ("domain_rate = 0", "line 5", "must be positive"),
+            ("domain_rate = -2e-4", "line 5", "must be positive"),
+        ];
+        for (bad, line, needle) in cases {
             let e = Scenario::parse(&format!(
                 "[campaign]\nname = f\nmodel = mc\n[fleet]\n{bad}\n"
             ))
             .unwrap_err();
-            assert!(e.to_string().contains("invalid campaign"), "{bad}: {e}");
+            let msg = e.to_string();
+            assert!(msg.contains(line) && msg.contains(needle), "{bad}: {msg}");
         }
+
+        // Domain keys must come as a pair, and shelves fit the fleet.
+        let e = Scenario::parse(
+            "[campaign]\nname = f\nmodel = mc\n[fleet]\narrays = 8\ndomain_rate = 1e-5\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("must be set together"), "{e}");
+        let e = Scenario::parse(
+            "[campaign]\nname = f\nmodel = mc\n[fleet]\narrays = 8\n\
+             domain_arrays = 9\ndomain_rate = 1e-5\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("exceeds the fleet"), "{e}");
+
+        // A [fleet] section that never names `arrays` is rejected too.
+        let e = Scenario::parse("[campaign]\nname = f\nmodel = mc\n[fleet]\nrepairmen = 2\n")
+            .unwrap_err();
+        assert!(e.to_string().contains("at least one array"), "{e}");
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod recovery;
 pub mod sources;
 pub mod therp;
 
-pub use dependence::{all_attempts_fail, DependenceLevel};
+pub use dependence::{all_attempts_fail, escalated, DependenceLevel};
 pub use error::{HraError, Result};
 pub use heart::{ErrorProducingCondition, GenericTask, HeartAssessment};
 pub use hep::Hep;

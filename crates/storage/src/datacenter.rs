@@ -34,6 +34,7 @@ pub const HOURS_PER_YEAR: f64 = 8766.0;
 pub struct FleetSpec {
     arrays: u32,
     geometry: RaidGeometry,
+    repairmen: Option<u32>,
 }
 
 impl FleetSpec {
@@ -46,12 +47,28 @@ impl FleetSpec {
     /// slot in a byte; real arrays are far smaller.
     pub const MAX_DISKS_PER_ARRAY: u32 = 256;
 
-    /// Creates a fleet of `arrays` identical arrays.
+    /// Largest fleet-wide disk population (`arrays × disks per array`).
+    ///
+    /// The fleet engine flattens per-slot failure clocks to the index
+    /// `array · disks + slot` and in the worst case schedules every one of
+    /// them on the shared event queue, so the per-axis maxima alone
+    /// ([`Self::MAX_ARRAYS`], [`Self::MAX_DISKS_PER_ARRAY`]) would admit
+    /// 2^24 concurrent clocks — a multi-hundred-MiB mission state no real
+    /// run wants, and within a factor of 256 of exhausting the queue's
+    /// `u32` slot-id space. This combined bound (2^22 disks, ~16 MiB of
+    /// slot generations) keeps the event population far inside the id
+    /// space; either per-axis maximum is still reachable with the other
+    /// axis small.
+    pub const MAX_FLEET_DISKS: u64 = 1 << 22;
+
+    /// Creates a fleet of `arrays` identical arrays with an unlimited
+    /// repair-crew pool (every array is serviced as soon as it degrades).
     ///
     /// # Errors
     /// Returns [`StorageError::InvalidConfig`] for zero arrays, more than
-    /// [`Self::MAX_ARRAYS`], or a geometry wider than
-    /// [`Self::MAX_DISKS_PER_ARRAY`].
+    /// [`Self::MAX_ARRAYS`], a geometry wider than
+    /// [`Self::MAX_DISKS_PER_ARRAY`], or a fleet-wide disk population over
+    /// [`Self::MAX_FLEET_DISKS`].
     pub fn new(arrays: u32, geometry: RaidGeometry) -> Result<Self> {
         if arrays == 0 {
             return Err(StorageError::InvalidConfig(
@@ -71,7 +88,45 @@ impl FleetSpec {
                 geometry.total_disks()
             )));
         }
-        Ok(FleetSpec { arrays, geometry })
+        let disks = u64::from(arrays) * u64::from(geometry.total_disks());
+        if disks > Self::MAX_FLEET_DISKS {
+            return Err(StorageError::InvalidConfig(format!(
+                "fleet disk population must be at most {} \
+                 (arrays × disks per array), got {arrays} × {} = {disks}",
+                Self::MAX_FLEET_DISKS,
+                geometry.total_disks()
+            )));
+        }
+        Ok(FleetSpec {
+            arrays,
+            geometry,
+            repairmen: None,
+        })
+    }
+
+    /// Limits the fleet to a finite pool of `repairmen` repair crews: at
+    /// most that many arrays can be in service concurrently, the rest
+    /// queue FIFO — the classic machine-repairman coupling.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidConfig`] for zero crews (a fleet
+    /// that can never repair anything; omit the limit for an unlimited
+    /// pool instead).
+    pub fn with_repairmen(mut self, repairmen: u32) -> Result<Self> {
+        if repairmen == 0 {
+            return Err(StorageError::InvalidConfig(
+                "fleet needs at least one repair crew \
+                 (omit the limit for an unlimited pool)"
+                    .into(),
+            ));
+        }
+        self.repairmen = Some(repairmen);
+        Ok(self)
+    }
+
+    /// Size of the repair-crew pool; `None` means unlimited.
+    pub fn repairmen(&self) -> Option<u32> {
+        self.repairmen
     }
 
     /// Number of member arrays.
@@ -274,6 +329,45 @@ mod tests {
         // Validation propagates.
         assert!(fleet.datacenter(0.0, 0.1).is_err());
         assert!(fleet.datacenter(1e-6, 1.5).is_err());
+    }
+
+    #[test]
+    fn fleet_disk_population_is_bounded_at_the_exact_boundary() {
+        // MAX_FLEET_DISKS is tighter than MAX_ARRAYS × MAX_DISKS_PER_ARRAY:
+        // 65 536 arrays × 64-disk RAID5(63+1) lands exactly on the bound
+        // and passes; one disk wider per array must fail cleanly.
+        let at_bound = RaidGeometry::raid5(63).unwrap();
+        assert_eq!(
+            u64::from(FleetSpec::MAX_ARRAYS) * u64::from(at_bound.total_disks()),
+            FleetSpec::MAX_FLEET_DISKS
+        );
+        let fleet = FleetSpec::new(FleetSpec::MAX_ARRAYS, at_bound).unwrap();
+        assert_eq!(fleet.total_disks(), FleetSpec::MAX_FLEET_DISKS);
+
+        let over = RaidGeometry::raid5(64).unwrap();
+        let err = FleetSpec::new(FleetSpec::MAX_ARRAYS, over).unwrap_err();
+        assert!(err.to_string().contains("disk population"), "{err}");
+        // Either axis maximum alone is still reachable.
+        assert!(FleetSpec::new(FleetSpec::MAX_ARRAYS, RaidGeometry::raid1_pair()).is_ok());
+        let widest = RaidGeometry::raid5(FleetSpec::MAX_DISKS_PER_ARRAY - 1).unwrap();
+        assert!(FleetSpec::new(4, widest).is_ok());
+    }
+
+    #[test]
+    fn repairmen_pool_validates_and_defaults_to_unlimited() {
+        let geom = RaidGeometry::raid5(3).unwrap();
+        let fleet = FleetSpec::new(8, geom).unwrap();
+        assert_eq!(fleet.repairmen(), None);
+        let limited = fleet.with_repairmen(2).unwrap();
+        assert_eq!(limited.repairmen(), Some(2));
+        // The crew pool does not change the identity of the fleet shape.
+        assert_eq!(limited.arrays(), 8);
+        assert_eq!(limited.geometry(), geom);
+        let err = fleet.with_repairmen(0).unwrap_err();
+        assert!(
+            err.to_string().contains("at least one repair crew"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //! ```
 
 use availsim::core::markov::{GenericKofN, Raid5Conventional, Raid5FailOver};
-use availsim::core::mc::{ConventionalMc, FleetMc, McConfig, McVariance, DEGRADED_BINS};
+use availsim::core::mc::{
+    ConventionalMc, DomainFailures, FleetCoupling, FleetMc, McConfig, McVariance, DEGRADED_BINS,
+};
 use availsim::core::volume::compare_equal_capacity;
 use availsim::core::{nines, ModelParams};
 use availsim::exp::{plan, report, run, spec::Scenario};
-use availsim::hra::Hep;
+use availsim::hra::{DependenceLevel, Hep};
 use availsim::storage::{FleetSpec, RaidGeometry};
 use std::collections::HashMap;
 use std::error::Error;
@@ -103,6 +105,20 @@ fn flag<T: std::str::FromStr>(
             .parse()
             .map_err(|_| format!("invalid value `{v}` for --{key}")),
     }
+}
+
+/// A flag with no default: absent means `None`.
+fn opt_flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, String> {
+    flags
+        .get(key)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("invalid value `{v}` for --{key}"))
+        })
+        .transpose()
 }
 
 /// The CLI's geometry grammar is the campaign spec's grammar (`r1`,
@@ -249,18 +265,44 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let iterations: u64 = flag(flags, "iterations", 500)?;
     let horizon: f64 = flag(flags, "horizon", 87_600.0)?;
     let seed: u64 = flag(flags, "seed", 42u64)?;
+    let repairmen: Option<u32> = opt_flag(flags, "repairmen")?;
+    let dependence = match flags.get("dependence") {
+        None => DependenceLevel::Zero,
+        Some(v) => DependenceLevel::parse(v).ok_or_else(|| {
+            format!("unknown dependence `{v}` (use zero, low, moderate, high, complete)")
+        })?,
+    };
+    let domains = match (
+        opt_flag::<u32>(flags, "domain-arrays")?,
+        opt_flag::<f64>(flags, "domain-rate")?,
+    ) {
+        (None, None) => None,
+        (Some(domain_arrays), Some(rate)) => Some(DomainFailures {
+            domain_arrays,
+            rate,
+        }),
+        _ => return Err("--domain-arrays and --domain-rate must be set together".into()),
+    };
 
-    let spec = FleetSpec::new(arrays, geom)?;
+    let mut spec = FleetSpec::new(arrays, geom)?;
+    if let Some(crews) = repairmen {
+        spec = spec.with_repairmen(crews)?;
+    }
     let params = ModelParams::paper_defaults(geom, lambda, hep)?;
     let dc = spec.datacenter(lambda, hep.value())?;
-    let est = FleetMc::new(spec, params)?.run(&McConfig {
-        iterations,
-        horizon_hours: horizon,
-        seed,
-        confidence: 0.99,
-        threads: 0,
-        variance: McVariance::Naive,
-    })?;
+    let est = FleetMc::new(spec, params)?
+        .with_coupling(FleetCoupling {
+            dependence,
+            domains,
+        })?
+        .run(&McConfig {
+            iterations,
+            horizon_hours: horizon,
+            seed,
+            confidence: 0.99,
+            threads: 0,
+            variance: McVariance::Naive,
+        })?;
 
     println!(
         "fleet {arrays} x {} ({} disks) λ={lambda:.3e} hep={} — {iterations} missions of {horizon} h",
@@ -277,6 +319,22 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         "  human errors           : {:.3}/year (given hep per service action)",
         dc.expected_human_errors_per_year()
     );
+    println!(
+        "  repair crews           : {}",
+        match spec.repairmen() {
+            Some(c) => c.to_string(),
+            None => "unlimited".to_string(),
+        }
+    );
+    if dependence != DependenceLevel::Zero {
+        println!("  operator dependence    : {dependence} (THERP)");
+    }
+    if let Some(d) = domains {
+        println!(
+            "  failure domains        : shelves of {} struck at {:.3e}/h",
+            d.domain_arrays, d.rate
+        );
+    }
     println!("  per-array availability : {}", est.availability);
     println!(
         "  per-array downtime     : {:.4} h/yr ({:.4} nines)",
@@ -295,6 +353,7 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     // The head of the degraded distribution: every bin until the shares
     // become negligible (always at least the 0/1 bins).
     print!("  degraded time share    :");
+    let mut printed = 0;
     for (k, &share) in est.degraded_time_share.iter().enumerate() {
         if k > 1 && share < 1e-6 {
             break;
@@ -305,6 +364,13 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             k.to_string()
         };
         print!(" {label}:{:.4}%", share * 100.0);
+        printed = k + 1;
+    }
+    // The last bin absorbs every k >= 32; surface it even when the
+    // interior bins are empty (e.g. shelf-wide domain outages).
+    let tail = est.degraded_time_share[DEGRADED_BINS - 1];
+    if printed < DEGRADED_BINS && tail >= 1e-6 {
+        print!(" .. {}+:{:.4}%", DEGRADED_BINS - 1, tail * 100.0);
     }
     println!();
     Ok(())
@@ -414,7 +480,9 @@ USAGE:
                     [--variance naive|failure-biasing|splitting]
                     [--bias F] [--levels N] [--effort N]
   availsim fleet    [--arrays N] [--raid r1|r5-K|r6-K] [--lambda F] [--hep F]
-                    [--iterations N] [--horizon F] [--seed N]
+                    [--iterations N] [--horizon F] [--seed N] [--repairmen N]
+                    [--dependence zero|low|moderate|high|complete]
+                    [--domain-arrays N --domain-rate F]
   availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run]
 
 Flags accept both `--flag value` and `--flag=value`; duplicates are errors.
@@ -422,9 +490,12 @@ Flags accept both `--flag value` and `--flag=value`; duplicates are errors.
 `validate --variance failure-biasing` turns on rare-event importance
 sampling, so the cross-check works at paper-grade λ where naive MC would
 observe no failures at all.
-`fleet` simulates N independent arrays as one mission (shared event queue)
-and reports fleet-level availability, annual downtime, and the
-distribution of simultaneously degraded arrays.
+`fleet` simulates N arrays as one mission on a shared event queue and
+reports fleet-level availability, annual downtime, and the distribution of
+simultaneously degraded arrays (tail bin 32+ absorbs every count >= 32).
+Couplings: `--repairmen` caps the shared repair-crew pool (FIFO queue),
+`--dependence` escalates the per-incident HEP with operator workload
+(THERP), and `--domain-arrays`/`--domain-rate` add shelf-wide strikes.
 "
 }
 
@@ -476,6 +547,10 @@ fn main() -> ExitCode {
                 "iterations",
                 "horizon",
                 "seed",
+                "repairmen",
+                "dependence",
+                "domain-arrays",
+                "domain-rate",
             ],
         )
         .map_err(Into::into)

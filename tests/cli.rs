@@ -397,6 +397,111 @@ fn fleet_rejects_bad_configurations() {
     let (ok, _, stderr) = run(&["fleet", "--workers", "2"]);
     assert!(!ok);
     assert!(stderr.contains("unknown flag --workers"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["fleet", "--repairmen", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("at least one repair crew"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["fleet", "--dependence", "severe"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown dependence"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["fleet", "--domain-arrays", "4"]);
+    assert!(!ok);
+    assert!(stderr.contains("must be set together"), "{stderr}");
+
+    let (ok, _, stderr) = run(&[
+        "fleet",
+        "--arrays",
+        "4",
+        "--domain-arrays",
+        "5",
+        "--domain-rate",
+        "1e-4",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("exceeds the fleet"), "{stderr}");
+}
+
+#[test]
+fn fleet_couplings_report_their_settings_and_stay_reproducible() {
+    let args = [
+        "fleet",
+        "--arrays",
+        "16",
+        "--lambda",
+        "1e-4",
+        "--hep",
+        "0.01",
+        "--iterations",
+        "150",
+        "--seed",
+        "11",
+        "--repairmen",
+        "2",
+        "--dependence",
+        "high",
+    ];
+    let (ok, stdout, _) = run(&args);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("repair crews           : 2"), "{stdout}");
+    assert!(
+        stdout.contains("operator dependence    : high (THERP)"),
+        "{stdout}"
+    );
+    let (ok, rerun, _) = run(&args);
+    assert!(ok);
+    assert_eq!(stdout, rerun, "coupled run must be bit-reproducible");
+
+    // Without couplings the report says the pool is unlimited and stays
+    // silent about dependence and domains.
+    let (ok, stdout, _) = run(&["fleet", "--iterations", "20", "--arrays", "4"]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("repair crews           : unlimited"),
+        "{stdout}"
+    );
+    assert!(!stdout.contains("operator dependence"), "{stdout}");
+    assert!(!stdout.contains("failure domains"), "{stdout}");
+}
+
+#[test]
+fn fleet_domain_strikes_surface_the_tail_bin() {
+    // A single shelf covering all 40 arrays: every strike exceeds the
+    // histogram's exact range, so the 32+ tail must be rendered with its
+    // absorbing label rather than as a phantom `k = 32` count.
+    let args = [
+        "fleet",
+        "--arrays",
+        "40",
+        "--lambda",
+        "1e-6",
+        "--iterations",
+        "50",
+        "--horizon",
+        "20000",
+        "--seed",
+        "7",
+        "--domain-arrays",
+        "40",
+        "--domain-rate",
+        "1e-3",
+    ];
+    let (ok, stdout, _) = run(&args);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("failure domains        : shelves of 40 struck at 1.000e-3/h"),
+        "{stdout}"
+    );
+    assert!(stdout.contains(" 32+:"), "{stdout}");
+    assert!(
+        !stdout.contains(" 32:"),
+        "exact-32 label must not appear: {stdout}"
+    );
+    assert!(stdout.contains("peak 40"), "{stdout}");
+    let (ok, rerun, _) = run(&args);
+    assert!(ok);
+    assert_eq!(stdout, rerun, "domain run must be bit-reproducible");
 }
 
 #[test]
@@ -490,6 +595,37 @@ fn batch_rejects_invalid_fleet_specs() {
     let (ok, _, stderr) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
     assert!(!ok);
     assert!(stderr.contains("naive sampling only"), "{stderr}");
+
+    // Degenerate coupling keys are line-numbered parse errors.
+    let spec = write_spec(
+        "fleet-no-crews.campaign",
+        "[campaign]\nname = x\nmodel = mc\n[fleet]\narrays = 4\nrepairmen = 0\n",
+    );
+    let (ok, _, stderr) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("line 6") && stderr.contains("at least one repair crew"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn batch_dry_run_describes_fleet_couplings() {
+    let spec = write_spec(
+        "fleet-coupled.campaign",
+        "[campaign]\nname = coupled\nmodel = mc\n[mc]\niterations = 50\n\
+         [fleet]\narrays = 24\nrepairmen = 3\ndependence = moderate\n\
+         domain_arrays = 8\ndomain_rate = 1e-5\n",
+    );
+    let (ok, stdout, _) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains(
+            "fleet    : 24 arrays per cell, 3 repair crews, \
+             moderate dependence, domains of 8 at 1e-5/h"
+        ),
+        "{stdout}"
+    );
 }
 
 #[test]
