@@ -488,6 +488,84 @@ pub fn render_fleet_repair_json(
     w.finish()
 }
 
+/// One telemetry-overhead measurement pair of the BENCH_7 snapshot: the
+/// same workload timed with the registry disabled and enabled.
+#[derive(Debug, Clone)]
+pub struct TelemetryOverheadRow {
+    /// Engine label, e.g. `"conventional/jump_chain"`.
+    pub name: String,
+    /// Missions simulated in each of the two runs.
+    pub missions: u64,
+    /// Wall-clock seconds with telemetry disabled.
+    pub off_secs: f64,
+    /// Wall-clock seconds with telemetry enabled.
+    pub on_secs: f64,
+    /// Total counter increments the enabled run recorded (a live-ness
+    /// anchor: an "overhead-free" run that counted nothing proves
+    /// nothing).
+    pub counted_events: u64,
+}
+
+impl TelemetryOverheadRow {
+    /// Missions per second with telemetry disabled.
+    pub fn off_missions_per_sec(&self) -> f64 {
+        self.missions as f64 / self.off_secs.max(1e-12)
+    }
+
+    /// Missions per second with telemetry enabled.
+    pub fn on_missions_per_sec(&self) -> f64 {
+        self.missions as f64 / self.on_secs.max(1e-12)
+    }
+
+    /// Enabled throughput over disabled throughput (1.0 = free, lower is
+    /// slower with telemetry on).
+    pub fn on_over_off(&self) -> f64 {
+        self.on_missions_per_sec() / self.off_missions_per_sec().max(1e-12)
+    }
+}
+
+/// Renders the `BENCH_7.json` snapshot: telemetry-off vs telemetry-on
+/// throughput per engine, against the checked-in BENCH_5 jump-chain
+/// baseline, with the ISSUE's <2% overhead budget spelled out.
+pub fn render_telemetry_overhead_json(
+    workload: &str,
+    scale: f64,
+    baseline_jump_chain_missions_per_sec: f64,
+    rows: &[TelemetryOverheadRow],
+) -> String {
+    let mut w = JsonSnapshot::bench("perf_mc_telemetry_overhead", workload, scale);
+    w.str_field(
+        "budget",
+        "disabled registry within 2% of the pre-telemetry build (interleaved A/B); \
+         in-run floors: jump-chain on/off >= 0.95, off >= 85% of the BENCH_5 baseline",
+    );
+    w.raw_field(
+        "baseline_jump_chain_missions_per_sec",
+        &format!("{baseline_jump_chain_missions_per_sec:.1}"),
+    );
+    w.begin_array("engines");
+    for r in rows {
+        w.begin_array_object();
+        w.str_field("name", &r.name)
+            .u64_field("missions", r.missions)
+            .raw_field("off_secs", &format!("{:.6}", r.off_secs))
+            .raw_field("on_secs", &format!("{:.6}", r.on_secs))
+            .raw_field(
+                "off_missions_per_sec",
+                &format!("{:.1}", r.off_missions_per_sec()),
+            )
+            .raw_field(
+                "on_missions_per_sec",
+                &format!("{:.1}", r.on_missions_per_sec()),
+            )
+            .raw_field("on_over_off", &format!("{:.4}", r.on_over_off()))
+            .u64_field("counted_events", r.counted_events);
+        w.end_object();
+    }
+    w.end_array();
+    w.finish()
+}
+
 /// Where the machine-readable bench snapshots (`BENCH_*.json`) are written:
 /// the workspace root by default, or `$AVAILSIM_BENCH_OUT` when set.
 pub fn bench_snapshot_path(file_name: &str) -> std::path::PathBuf {
@@ -722,6 +800,33 @@ mod tests {
             "\"array_missions_per_sec\": 200000.0",
             "\"speedup_vs_bench3_baseline\": 0.20",
             "\"mean_degraded\": 1.0500",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn telemetry_overhead_json_has_stable_machine_readable_shape() {
+        let rows = vec![TelemetryOverheadRow {
+            name: "conventional/jump_chain".into(),
+            missions: 1_000_000,
+            off_secs: 0.1,
+            on_secs: 0.101,
+            counted_events: 12_345_678,
+        }];
+        assert!((rows[0].off_missions_per_sec() - 1e7).abs() < 1e-3);
+        assert!(rows[0].on_over_off() < 1.0 && rows[0].on_over_off() > 0.98);
+        let json = render_telemetry_overhead_json("raid5_3plus1 fig4", 1.0, 11_725_215.8, &rows);
+        for needle in [
+            "\"bench\": \"perf_mc_telemetry_overhead\"",
+            "\"budget\": \"disabled registry within 2% of the pre-telemetry build",
+            "\"baseline_jump_chain_missions_per_sec\": 11725215.8",
+            "\"name\": \"conventional/jump_chain\"",
+            "\"off_missions_per_sec\": 10000000.0",
+            "\"on_over_off\": 0.9901",
+            "\"counted_events\": 12345678",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -55,14 +55,21 @@ impl JsonSnapshot {
     /// Begins the root object of a bench snapshot with the three standard
     /// header fields every `BENCH_*.json` carries.
     pub fn bench(bench: &str, workload: &str, scale: f64) -> Self {
+        let mut w = JsonSnapshot::root();
+        w.str_field("bench", bench);
+        w.str_field("workload", workload);
+        w.raw_field("scale", &json_f64(scale));
+        w
+    }
+
+    /// Begins a bare root object with no bench header — for non-bench
+    /// consumers of the writer (e.g. the CLI's `--metrics` snapshot).
+    pub fn root() -> Self {
         let mut w = JsonSnapshot {
             out: String::new(),
             stack: Vec::new(),
         };
         w.open('{');
-        w.str_field("bench", bench);
-        w.str_field("workload", workload);
-        w.raw_field("scale", &json_f64(scale));
         w
     }
 

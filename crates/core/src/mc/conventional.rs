@@ -21,8 +21,9 @@ use super::{
 use crate::error::{CoreError, Result};
 use crate::markov::WrongReplacementTiming;
 use crate::params::ModelParams;
-use availsim_sim::indexed_queue::IndexedEventQueue;
+use availsim_sim::indexed_queue::{IndexedEventQueue, QueueStats};
 use availsim_sim::rng::SimRng;
+use availsim_sim::telemetry::{Counter, Telemetry};
 use availsim_storage::{DowntimeLog, EventTrace, FailureModel, OutageCause, TraceKind};
 
 /// Operating mode of the simulated array (mirrors the Fig. 2 states).
@@ -142,6 +143,32 @@ impl ConvScratch {
         self.slot_gen.clear();
         self.slot_gen.resize(n, 0);
     }
+
+    /// Cumulative traffic counters of the mission event queue.
+    pub(crate) fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+}
+
+/// Flushes a mission's locally accumulated jump-chain tallies into the
+/// registry — one batched store per mission keeps the hot loop at plain
+/// register increments, and the whole flush sits behind a single
+/// well-predicted branch when telemetry is disabled.
+#[inline]
+fn flush_jump_counters(tele: &mut Telemetry, edges: &[u64; 7], exp_draws: u64, uniform_draws: u64) {
+    if !tele.enabled() {
+        return;
+    }
+    tele.add(Counter::RngExpDraws, exp_draws);
+    tele.add(Counter::RngUniformDraws, uniform_draws);
+    tele.add(Counter::JumpOpToExp, edges[0]);
+    tele.add(Counter::JumpExpToOp, edges[1]);
+    tele.add(Counter::JumpExpToDu, edges[2]);
+    tele.add(Counter::JumpExpToDl, edges[3]);
+    tele.add(Counter::JumpDuToOp, edges[4]);
+    tele.add(Counter::JumpDuToDl, edges[5]);
+    tele.add(Counter::JumpDlToOp, edges[6]);
+    tele.add(Counter::JumpTransitions, edges.iter().sum());
 }
 
 /// The conventional-replacement Monte-Carlo model.
@@ -327,10 +354,14 @@ impl ConventionalMc {
     /// [`McVariance`]).
     pub fn run(&self, config: &McConfig) -> Result<AvailabilityEstimate> {
         let mode = self.resolve_run_mode(config.variance)?;
-        super::run_iterations_with(config, SimWorkspace::new, |ws, i| {
-            let mut rng = SimRng::substream(config.seed, i);
-            self.dispatch(config.horizon_hours, &mut rng, ws, mode)
-        })
+        super::run_iterations_with(
+            config,
+            || SimWorkspace::with_telemetry(config.telemetry),
+            |ws, i| {
+                let mut rng = SimRng::substream(config.seed, i);
+                self.dispatch(config.horizon_hours, &mut rng, ws, mode)
+            },
+        )
     }
 
     /// Runs batches of missions, growing the sample until the availability
@@ -351,7 +382,7 @@ impl ConventionalMc {
             config,
             target_half_width,
             max_iterations,
-            SimWorkspace::new,
+            || SimWorkspace::with_telemetry(config.telemetry),
             |ws, i| {
                 let mut rng = SimRng::substream(config.seed, i);
                 self.dispatch(config.horizon_hours, &mut rng, ws, mode)
@@ -367,10 +398,12 @@ impl ConventionalMc {
         mode: RunMode,
     ) -> IterationOutcome {
         match mode {
-            RunMode::Naive { fast: true } => self.simulate_jump_chain(horizon, rng, &mut ws.log),
+            RunMode::Naive { fast: true } => {
+                self.simulate_jump_chain(horizon, rng, &mut ws.log, &mut ws.telemetry)
+            }
             RunMode::Naive { fast: false } => self.simulate_event_queue(horizon, rng, ws, None),
             RunMode::Biased { bias } => {
-                self.simulate_jump_chain_biased(horizon, bias, rng, &mut ws.log)
+                self.simulate_jump_chain_biased(horizon, bias, rng, &mut ws.log, &mut ws.telemetry)
             }
             RunMode::Split { effort } => self.simulate_split_replication(horizon, effort, rng, ws),
         }
@@ -392,7 +425,7 @@ impl ConventionalMc {
     ) -> IterationOutcome {
         let mut ws = SimWorkspace::new();
         if trace.is_none() && self.resolve_fast_path().unwrap_or(false) {
-            self.simulate_jump_chain(horizon, rng, &mut ws.log)
+            self.simulate_jump_chain(horizon, rng, &mut ws.log, &mut ws.telemetry)
         } else {
             self.simulate_event_queue(horizon, rng, &mut ws, trace)
         }
@@ -414,7 +447,7 @@ impl ConventionalMc {
         ws: &mut SimWorkspace,
     ) -> IterationOutcome {
         if self.resolve_fast_path().unwrap_or(false) {
-            self.simulate_jump_chain(horizon, rng, &mut ws.log)
+            self.simulate_jump_chain(horizon, rng, &mut ws.log, &mut ws.telemetry)
         } else {
             self.simulate_event_queue(horizon, rng, ws, None)
         }
@@ -429,6 +462,7 @@ impl ConventionalMc {
         horizon: f64,
         rng: &mut SimRng,
         log: &mut DowntimeLog,
+        tele: &mut Telemetry,
     ) -> IterationOutcome {
         log.clear();
         let p = &self.params;
@@ -455,6 +489,11 @@ impl ConventionalMc {
         let mut mode = Mode::Op;
         let mut t = 0.0;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
+        // Edge tallies (op→exp, exp→op, exp→du, exp→dl, du→op, du→dl,
+        // dl→op) and draw counts, kept in registers and flushed once per
+        // mission so telemetry never touches the transition loop.
+        let mut edges = [0u64; 7];
+        let (mut exp_draws, mut uniform_draws) = (0u64, 0u64);
 
         loop {
             let total = match mode {
@@ -466,6 +505,7 @@ impl ConventionalMc {
             let Some(dt) = rng.sample_exp(total) else {
                 break; // absorbing state: no enabled exits
             };
+            exp_draws += 1;
             t += dt;
             if t > horizon {
                 break;
@@ -476,44 +516,56 @@ impl ConventionalMc {
             // (zero-rate) final exits — a rate-0 transition must never win
             // (e.g. no DU event may ever fire when hep = 0).
             match mode {
-                Mode::Op => mode = Mode::Exp,
+                Mode::Op => {
+                    mode = Mode::Exp;
+                    edges[0] += 1;
+                }
                 Mode::Exp => {
                     let u = rng.next_f64() * total;
+                    uniform_draws += 1;
                     if u < exp_fail {
                         // Second failure during service: data loss.
                         mode = Mode::Dl;
                         dl_events += 1;
+                        edges[3] += 1;
                         log.begin(t, OutageCause::DataLoss);
                     } else if exp_wrong <= 0.0 || u < exp_fail + exp_repair {
                         mode = Mode::Op;
+                        edges[1] += 1;
                     } else {
                         mode = Mode::Du;
                         du_events += 1;
+                        edges[2] += 1;
                         log.begin(t, OutageCause::HumanError);
                     }
                 }
                 Mode::Du => {
                     let u = rng.next_f64() * total;
+                    uniform_draws += 1;
                     if du_crash <= 0.0 || u < du_recover {
                         mode = Mode::Op;
+                        edges[4] += 1;
                         log.end(t);
                     } else {
                         // The wrongly removed disk crashed: the outage
                         // continues, re-attributed to data loss.
                         mode = Mode::Dl;
                         dl_events += 1;
+                        edges[5] += 1;
                         log.end(t);
                         log.begin(t, OutageCause::DataLoss);
                     }
                 }
                 Mode::Dl => {
                     mode = Mode::Op;
+                    edges[6] += 1;
                     log.end(t);
                 }
             }
         }
 
         log.finalize(horizon);
+        flush_jump_counters(tele, &edges, exp_draws, uniform_draws);
         IterationOutcome {
             downtime_hours: log.total_downtime(),
             du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
@@ -543,7 +595,7 @@ impl ConventionalMc {
         ws: &mut SimWorkspace,
     ) -> IterationOutcome {
         if bias > 0.0 && self.jump_chain_applicable() {
-            self.simulate_jump_chain_biased(horizon, bias, rng, &mut ws.log)
+            self.simulate_jump_chain_biased(horizon, bias, rng, &mut ws.log, &mut ws.telemetry)
         } else {
             self.simulate_once_with(horizon, rng, ws)
         }
@@ -571,6 +623,7 @@ impl ConventionalMc {
         bias: f64,
         rng: &mut SimRng,
         log: &mut DowntimeLog,
+        tele: &mut Telemetry,
     ) -> IterationOutcome {
         log.clear();
         let p = &self.params;
@@ -594,6 +647,8 @@ impl ConventionalMc {
         let mut weight = 1.0f64;
         let mut force_next_failure = true;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
+        let mut edges = [0u64; 7];
+        let (mut exp_draws, mut uniform_draws) = (0u64, 0u64);
 
         loop {
             let total = match mode {
@@ -606,6 +661,7 @@ impl ConventionalMc {
                 force_next_failure = false;
                 match rng.sample_exp_within(total, horizon - t) {
                     Some((dt, p_hit)) => {
+                        exp_draws += 1;
                         weight *= p_hit;
                         dt
                     }
@@ -613,7 +669,10 @@ impl ConventionalMc {
                 }
             } else {
                 match rng.sample_exp(total) {
-                    Some(dt) => dt,
+                    Some(dt) => {
+                        exp_draws += 1;
+                        dt
+                    }
                     None => break, // absorbing state: no enabled exits
                 }
             };
@@ -622,50 +681,64 @@ impl ConventionalMc {
                 break;
             }
             match mode {
-                Mode::Op => mode = Mode::Exp,
+                Mode::Op => {
+                    mode = Mode::Exp;
+                    edges[0] += 1;
+                }
                 Mode::Exp => {
                     // Biased set: the second failure and the wrong pull —
                     // the exits toward the down states.
                     let exits = [(exp_fail, true), (exp_wrong, true), (exp_repair, false)];
                     let (idx, ratio) = biased_pick(rng, &exits, total, bias);
+                    uniform_draws += 1;
                     weight *= ratio;
                     match idx {
                         0 => {
                             mode = Mode::Dl;
                             dl_events += 1;
+                            edges[3] += 1;
                             log.begin(t, OutageCause::DataLoss);
                         }
                         1 => {
                             mode = Mode::Du;
                             du_events += 1;
+                            edges[2] += 1;
                             log.begin(t, OutageCause::HumanError);
                         }
-                        _ => mode = Mode::Op,
+                        _ => {
+                            mode = Mode::Op;
+                            edges[1] += 1;
+                        }
                     }
                 }
                 Mode::Du => {
                     // Biased set: the removed-disk crash (DU → DL).
                     let exits = [(du_crash, true), (du_recover, false)];
                     let (idx, ratio) = biased_pick(rng, &exits, total, bias);
+                    uniform_draws += 1;
                     weight *= ratio;
                     if idx == 0 {
                         mode = Mode::Dl;
                         dl_events += 1;
+                        edges[5] += 1;
                         log.end(t);
                         log.begin(t, OutageCause::DataLoss);
                     } else {
                         mode = Mode::Op;
+                        edges[4] += 1;
                         log.end(t);
                     }
                 }
                 Mode::Dl => {
                     mode = Mode::Op;
+                    edges[6] += 1;
                     log.end(t);
                 }
             }
         }
 
         log.finalize(horizon);
+        flush_jump_counters(tele, &edges, exp_draws, uniform_draws);
         IterationOutcome {
             downtime_hours: log.total_downtime(),
             du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
@@ -746,6 +819,10 @@ impl ConventionalMc {
         ws.log.clear();
         let ConvScratch { queue, slot_gen } = &mut ws.conventional;
         let log = &mut ws.log;
+        let tele = &mut ws.telemetry;
+        // Draw tallies, accumulated locally and flushed once per run (the
+        // queue's own traffic counters live inside `IndexedEventQueue`).
+        let (mut exp_draws, mut ttf_draws) = (0u64, 0u64);
         let mut mode = Mode::Op;
         let mut epoch: u32 = 0;
         let mut failed_slot: Option<usize> = None;
@@ -760,6 +837,7 @@ impl ConventionalMc {
             ($lane:expr, $kind:expr, $inv_rate:expr) => {
                 svc[$lane] = match rng.sample_exp_inv($inv_rate) {
                     Some(dt) => {
+                        exp_draws += 1;
                         enqueue_due!(queue, queue.now() + dt, Ev::Service { kind: $kind, epoch })
                     }
                     None => None,
@@ -785,6 +863,7 @@ impl ConventionalMc {
                 if t <= horizon {
                     $queue.schedule_at(t, $ev).ok()
                 } else {
+                    $queue.note_expired();
                     None
                 }
             }};
@@ -795,6 +874,7 @@ impl ConventionalMc {
                 // Seed all disk clocks.
                 for slot in 0..n {
                     let t = self.failures.sample_ttf(rng);
+                    ttf_draws += 1;
                     let _ = enqueue_due!(
                         queue,
                         t,
@@ -828,7 +908,10 @@ impl ConventionalMc {
                     (1, Service::WrongPull, wrong_inv),
                 ] {
                     svc[lane] = match rng.sample_exp_inv(inv) {
-                        Some(dt) => enqueue_due!(queue, entry.t + dt, Ev::Service { kind, epoch }),
+                        Some(dt) => {
+                            exp_draws += 1;
+                            enqueue_due!(queue, entry.t + dt, Ev::Service { kind, epoch })
+                        }
                         None => None,
                     };
                 }
@@ -853,7 +936,10 @@ impl ConventionalMc {
                 };
                 for &(lane, kind, inv) in services {
                     svc[lane] = match rng.sample_exp_inv(inv) {
-                        Some(dt) => enqueue_due!(queue, entry.t + dt, Ev::Service { kind, epoch }),
+                        Some(dt) => {
+                            exp_draws += 1;
+                            enqueue_due!(queue, entry.t + dt, Ev::Service { kind, epoch })
+                        }
                         None => None,
                     };
                 }
@@ -916,6 +1002,7 @@ impl ConventionalMc {
                             let slot = failed_slot.take().expect("exp implies a failed slot");
                             slot_gen[slot] += 1;
                             let tt = self.failures.sample_ttf(rng);
+                            ttf_draws += 1;
                             let _ = enqueue_due!(
                                 queue,
                                 queue.now() + tt,
@@ -958,6 +1045,7 @@ impl ConventionalMc {
                             for (slot, gen) in slot_gen.iter_mut().enumerate() {
                                 *gen += 1;
                                 let tt = self.failures.sample_ttf(rng);
+                                ttf_draws += 1;
                                 let _ = enqueue_due!(
                                     queue,
                                     queue.now() + tt,
@@ -991,6 +1079,7 @@ impl ConventionalMc {
                             for (slot, gen) in slot_gen.iter_mut().enumerate() {
                                 *gen += 1;
                                 let tt = self.failures.sample_ttf(rng);
+                                ttf_draws += 1;
                                 let _ = enqueue_due!(
                                     queue,
                                     queue.now() + tt,
@@ -1009,6 +1098,10 @@ impl ConventionalMc {
         }
 
         log.finalize(horizon);
+        if tele.enabled() {
+            tele.add(Counter::RngExpDraws, exp_draws);
+            tele.add(Counter::RngLifetimeDraws, ttf_draws);
+        }
         (
             IterationOutcome {
                 downtime_hours: log.total_downtime(),
@@ -1085,6 +1178,13 @@ impl ConventionalMc {
             }
         }
         let p1 = entries.len() as f64 / effort as f64;
+        if ws.telemetry.enabled() {
+            // Every stage-1 trial samples all n disk lifetimes.
+            let n = u64::from(self.params.disks());
+            ws.telemetry.add(Counter::RngLifetimeDraws, effort * n);
+            ws.telemetry
+                .add(Counter::SplitStage1Survivors, entries.len() as u64);
+        }
         if entries.is_empty() {
             return IterationOutcome::default();
         }
@@ -1102,6 +1202,12 @@ impl ConventionalMc {
             }
         }
         let p2 = downs.len() as f64 / effort as f64;
+        if ws.telemetry.enabled() {
+            // One uniform per stage-2 continuation picks the entry state.
+            ws.telemetry.add(Counter::RngUniformDraws, effort);
+            ws.telemetry
+                .add(Counter::SplitStage2Survivors, downs.len() as u64);
+        }
         if downs.is_empty() {
             return IterationOutcome {
                 du_events,
@@ -1122,6 +1228,10 @@ impl ConventionalMc {
             sum_dl += out.dl_downtime_hours;
         }
         let scale = p1 * p2 / effort as f64;
+        if ws.telemetry.enabled() {
+            // One uniform per stage-3 continuation picks the down entry.
+            ws.telemetry.add(Counter::RngUniformDraws, effort);
+        }
         IterationOutcome {
             downtime_hours: scale * sum_dt,
             du_downtime_hours: scale * sum_du,

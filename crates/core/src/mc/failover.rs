@@ -20,8 +20,9 @@ use super::{
 };
 use crate::error::{CoreError, Result};
 use crate::params::ModelParams;
-use availsim_sim::indexed_queue::IndexedEventQueue;
+use availsim_sim::indexed_queue::{IndexedEventQueue, QueueStats};
 use availsim_sim::rng::SimRng;
+use availsim_sim::telemetry::{Counter, Telemetry};
 use availsim_storage::{DowntimeLog, OutageCause};
 
 mod states {
@@ -126,6 +127,29 @@ impl FoScratch {
     pub(crate) fn reset(&mut self) {
         self.queue.clear();
     }
+
+    /// Cumulative traffic counters of the mission event queue.
+    pub(crate) fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+}
+
+/// Flushes a mission's locally accumulated chain tallies into the registry
+/// — one batched store per mission behind a single well-predicted branch,
+/// keeping the transition loop at plain register increments.
+#[inline]
+fn flush_chain_counters(
+    tele: &mut Telemetry,
+    transitions: u64,
+    exp_draws: u64,
+    uniform_draws: u64,
+) {
+    if !tele.enabled() {
+        return;
+    }
+    tele.add(Counter::JumpTransitions, transitions);
+    tele.add(Counter::RngExpDraws, exp_draws);
+    tele.add(Counter::RngUniformDraws, uniform_draws);
 }
 
 /// The automatic fail-over Monte-Carlo model.
@@ -295,21 +319,29 @@ impl FailOverMc {
     pub fn run(&self, config: &McConfig) -> Result<AvailabilityEstimate> {
         let fast = self.fast_path();
         let bias = self.resolve_bias(config.variance)?;
-        super::run_iterations_with(config, SimWorkspace::new, |ws, i| {
-            let mut rng = SimRng::substream(config.seed, i);
-            match bias {
-                Some(bias) => self.simulate_jump_chain_biased(
-                    config.horizon_hours,
-                    bias,
-                    &mut rng,
-                    &mut ws.log,
-                ),
-                None if fast => {
-                    self.simulate_jump_chain(config.horizon_hours, &mut rng, &mut ws.log)
+        super::run_iterations_with(
+            config,
+            || SimWorkspace::with_telemetry(config.telemetry),
+            |ws, i| {
+                let mut rng = SimRng::substream(config.seed, i);
+                match bias {
+                    Some(bias) => self.simulate_jump_chain_biased(
+                        config.horizon_hours,
+                        bias,
+                        &mut rng,
+                        &mut ws.log,
+                        &mut ws.telemetry,
+                    ),
+                    None if fast => self.simulate_jump_chain(
+                        config.horizon_hours,
+                        &mut rng,
+                        &mut ws.log,
+                        &mut ws.telemetry,
+                    ),
+                    None => self.simulate_event_queue(config.horizon_hours, &mut rng, ws),
                 }
-                None => self.simulate_event_queue(config.horizon_hours, &mut rng, ws),
-            }
-        })
+            },
+        )
     }
 
     /// Simulates one mission with a fresh scratch workspace (hot loops
@@ -331,7 +363,7 @@ impl FailOverMc {
         ws: &mut SimWorkspace,
     ) -> IterationOutcome {
         if self.fast_path() {
-            self.simulate_jump_chain(horizon, rng, &mut ws.log)
+            self.simulate_jump_chain(horizon, rng, &mut ws.log, &mut ws.telemetry)
         } else {
             self.simulate_event_queue(horizon, rng, ws)
         }
@@ -345,17 +377,20 @@ impl FailOverMc {
         horizon: f64,
         rng: &mut SimRng,
         log: &mut DowntimeLog,
+        tele: &mut Telemetry,
     ) -> IterationOutcome {
         log.clear();
         let mut mode = Mode::Op;
         let mut t = 0.0;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
+        let (mut transitions, mut exp_draws, mut uniform_draws) = (0u64, 0u64, 0u64);
 
         loop {
             let total = self.table.totals[mode as usize];
             let Some(dt) = rng.sample_exp(total) else {
                 break; // absorbing state: no enabled exits
             };
+            exp_draws += 1;
             t += dt;
             if t > horizon {
                 break;
@@ -364,6 +399,7 @@ impl FailOverMc {
             // leave `u` a hair past the last bucket; the final enabled exit
             // then wins (its upper edge is the total by construction).
             let mut u = rng.next_f64() * total;
+            uniform_draws += 1;
             let mut next = mode;
             for &(rate, to, _) in self.table.exits_of(mode) {
                 if rate <= 0.0 {
@@ -377,9 +413,11 @@ impl FailOverMc {
             }
             account_transition(mode, next, t, log, &mut du_events, &mut dl_events);
             mode = next;
+            transitions += 1;
         }
 
         log.finalize(horizon);
+        flush_chain_counters(tele, transitions, exp_draws, uniform_draws);
         outcome_from(log, du_events, dl_events, 1.0)
     }
 
@@ -395,7 +433,7 @@ impl FailOverMc {
         ws: &mut SimWorkspace,
     ) -> IterationOutcome {
         if bias > 0.0 {
-            self.simulate_jump_chain_biased(horizon, bias, rng, &mut ws.log)
+            self.simulate_jump_chain_biased(horizon, bias, rng, &mut ws.log, &mut ws.telemetry)
         } else {
             self.simulate_once_with(horizon, rng, ws)
         }
@@ -412,6 +450,7 @@ impl FailOverMc {
         bias: f64,
         rng: &mut SimRng,
         log: &mut DowntimeLog,
+        tele: &mut Telemetry,
     ) -> IterationOutcome {
         log.clear();
         let mut mode = Mode::Op;
@@ -419,6 +458,7 @@ impl FailOverMc {
         let mut weight = 1.0f64;
         let mut force_next_failure = true;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
+        let (mut transitions, mut exp_draws, mut uniform_draws) = (0u64, 0u64, 0u64);
 
         loop {
             let total = self.table.totals[mode as usize];
@@ -426,6 +466,7 @@ impl FailOverMc {
                 force_next_failure = false;
                 match rng.sample_exp_within(total, horizon - t) {
                     Some((dt, p_hit)) => {
+                        exp_draws += 1;
                         weight *= p_hit;
                         dt
                     }
@@ -433,7 +474,10 @@ impl FailOverMc {
                 }
             } else {
                 match rng.sample_exp(total) {
-                    Some(dt) => dt,
+                    Some(dt) => {
+                        exp_draws += 1;
+                        dt
+                    }
                     None => break, // absorbing state: no enabled exits
                 }
             };
@@ -450,14 +494,17 @@ impl FailOverMc {
                     flags[k] = (rate, biased);
                 }
                 let (idx, ratio) = biased_pick(rng, &flags[..exits.len()], total, bias);
+                uniform_draws += 1;
                 weight *= ratio;
                 exits[idx].1
             };
             account_transition(mode, next, t, log, &mut du_events, &mut dl_events);
             mode = next;
+            transitions += 1;
         }
 
         log.finalize(horizon);
+        flush_chain_counters(tele, transitions, exp_draws, uniform_draws);
         outcome_from(log, du_events, dl_events, weight)
     }
 
@@ -475,28 +522,36 @@ impl FailOverMc {
         ws.log.clear();
         let queue = &mut ws.failover.queue;
         let log = &mut ws.log;
+        let tele = &mut ws.telemetry;
         let mut mode = Mode::Op;
         let mut epoch = 0u32;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
+        let (mut transitions, mut exp_draws) = (0u64, 0u64);
 
-        let arm =
-            |mode: Mode, epoch: u32, queue: &mut IndexedEventQueue<Jump>, rng: &mut SimRng| {
-                let exits = self.table.exits_of(mode);
-                let invs = self.table.inv_rates_of(mode);
-                for (&(_, to, _), &inv) in exits.iter().zip(invs) {
-                    // The armed draw multiplies by the precomputed 1/rate;
-                    // a delay landing past the horizon can never fire —
-                    // the draw still happens (the stream is the contract),
-                    // but the queue never holds the event.
-                    if let Some(dt) = rng.sample_exp_inv(inv) {
-                        if queue.now() + dt <= horizon {
-                            let _ = queue.schedule(dt, Jump { to, epoch });
-                        }
+        let arm = |mode: Mode,
+                   epoch: u32,
+                   queue: &mut IndexedEventQueue<Jump>,
+                   rng: &mut SimRng,
+                   exp_draws: &mut u64| {
+            let exits = self.table.exits_of(mode);
+            let invs = self.table.inv_rates_of(mode);
+            for (&(_, to, _), &inv) in exits.iter().zip(invs) {
+                // The armed draw multiplies by the precomputed 1/rate;
+                // a delay landing past the horizon can never fire —
+                // the draw still happens (the stream is the contract),
+                // but the queue never holds the event.
+                if let Some(dt) = rng.sample_exp_inv(inv) {
+                    *exp_draws += 1;
+                    if queue.now() + dt <= horizon {
+                        let _ = queue.schedule(dt, Jump { to, epoch });
+                    } else {
+                        queue.note_expired();
                     }
                 }
-            };
+            }
+        };
 
-        arm(mode, epoch, queue, rng);
+        arm(mode, epoch, queue, rng, &mut exp_draws);
         while let Some((t, jump)) = queue.pop_due(horizon) {
             if jump.epoch != epoch {
                 continue;
@@ -510,10 +565,12 @@ impl FailOverMc {
             account_transition(mode, jump.to, t, log, &mut du_events, &mut dl_events);
             mode = jump.to;
             epoch += 1;
-            arm(mode, epoch, queue, rng);
+            transitions += 1;
+            arm(mode, epoch, queue, rng, &mut exp_draws);
         }
 
         log.finalize(horizon);
+        flush_chain_counters(tele, transitions, exp_draws, 0);
         outcome_from(log, du_events, dl_events, 1.0)
     }
 }

@@ -47,15 +47,16 @@
 //!   its own Poisson clock that knocks every member array into the DL
 //!   (restore-from-backup) state at once.
 
-use super::{McConfig, McVariance, SimWorkspace, BLOCK_ITERATIONS, MAX_BLOCKS};
+use super::{McConfig, McVariance, SimWorkspace, TelemetrySource, BLOCK_ITERATIONS, MAX_BLOCKS};
 use crate::error::{CoreError, Result};
 use crate::markov::WrongReplacementTiming;
 use crate::params::ModelParams;
 use availsim_hra::{escalated, DependenceLevel};
-use availsim_sim::indexed_queue::{IndexedEventHandle, IndexedEventQueue};
+use availsim_sim::indexed_queue::{IndexedEventHandle, IndexedEventQueue, QueueStats};
 use availsim_sim::parallel::ordered_parallel_map_with;
 use availsim_sim::rng::SimRng;
 use availsim_sim::stats::{t_interval, ConfidenceInterval, RunningStats};
+use availsim_sim::telemetry::{Counter, CounterSnapshot};
 use availsim_storage::{FailureModel, FleetSpec, HOURS_PER_YEAR};
 use std::collections::VecDeque;
 
@@ -151,6 +152,11 @@ impl FleetScratch {
         self.svc.clear();
         self.svc.resize(arrays, [None, None]);
         self.fifo.clear();
+    }
+
+    /// Cumulative traffic counters of the shared fleet event queue.
+    pub(crate) fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 }
 
@@ -255,6 +261,9 @@ pub struct FleetEstimate {
     pub horizon_hours: f64,
     /// Member arrays per mission.
     pub arrays: u32,
+    /// Engine telemetry counters, merged in block order (all-zero unless
+    /// [`McConfig::telemetry`] is enabled).
+    pub counters: CounterSnapshot,
 }
 
 impl FleetEstimate {
@@ -416,12 +425,13 @@ impl FleetMc {
             dl_events: u64,
             max_degraded: u32,
             hist: [f64; DEGRADED_BINS],
+            counters: CounterSnapshot,
         }
 
         let partials = ordered_parallel_map_with(
             blocks,
             threads,
-            SimWorkspace::new,
+            || SimWorkspace::with_telemetry(config.telemetry),
             |ws, block| {
                 let lo = block * block_size;
                 let hi = (lo + block_size).min(iterations);
@@ -434,6 +444,7 @@ impl FleetMc {
                     dl_events: 0,
                     max_degraded: 0,
                     hist: [0.0; DEGRADED_BINS],
+                    counters: CounterSnapshot::default(),
                 };
                 for i in lo..hi {
                     let mut rng = SimRng::substream(config.seed, i);
@@ -450,6 +461,10 @@ impl FleetMc {
                         *acc += h;
                     }
                 }
+                p.counters = ws.drain_counters();
+                if config.telemetry {
+                    p.counters.add(Counter::Missions, hi - lo);
+                }
                 p
             },
             |_| false,
@@ -460,6 +475,7 @@ impl FleetMc {
         let (mut du_ev, mut dl_ev) = (0u64, 0u64);
         let mut max_degraded = 0u32;
         let mut hist = [0.0; DEGRADED_BINS];
+        let mut counters = CounterSnapshot::default();
         for (_, p) in partials {
             stats.merge(&p.stats);
             du_dt += p.du_dt;
@@ -471,6 +487,7 @@ impl FleetMc {
             for (acc, h) in hist.iter_mut().zip(&p.hist) {
                 *acc += h;
             }
+            counters.merge(&p.counters);
         }
 
         let availability = t_interval(&stats, config.confidence).map_err(CoreError::from)?;
@@ -501,6 +518,7 @@ impl FleetMc {
             iterations,
             horizon_hours: horizon,
             arrays: self.spec.arrays(),
+            counters,
         })
     }
 
@@ -549,6 +567,7 @@ impl FleetMc {
         };
 
         ws.fleet.reset(a, n);
+        let tele = &mut ws.telemetry;
         let FleetScratch {
             queue,
             arrays,
@@ -556,6 +575,10 @@ impl FleetMc {
             svc,
             fifo,
         } = &mut ws.fleet;
+        // Draw and coupling tallies, accumulated locally and flushed once
+        // per mission (queue traffic is counted inside the queue itself).
+        let (mut ttf_draws, mut exp_draws) = (0u64, 0u64);
+        let (mut crew_waits, mut domain_strikes) = (0u64, 0u64);
 
         let mut out = FleetOutcome {
             du_downtime_hours: 0.0,
@@ -580,6 +603,7 @@ impl FleetMc {
         for array in 0..a {
             for slot in 0..n {
                 let t = self.failures.sample_ttf(rng);
+                ttf_draws += 1;
                 if t <= horizon {
                     let _ = queue.schedule_at(
                         t,
@@ -589,6 +613,8 @@ impl FleetMc {
                             gen: 0,
                         },
                     );
+                } else {
+                    queue.note_expired();
                 }
             }
         }
@@ -598,6 +624,7 @@ impl FleetMc {
             let shelves = a.div_ceil(d.domain_arrays as usize);
             for domain in 0..shelves {
                 if let Some(t) = rng.sample_exp_inv(domain_inv) {
+                    exp_draws += 1;
                     if t <= horizon {
                         let _ = queue.schedule_at(
                             t,
@@ -605,6 +632,8 @@ impl FleetMc {
                                 domain: domain as u32,
                             },
                         );
+                    } else {
+                        queue.note_expired();
                     }
                 }
             }
@@ -632,17 +661,25 @@ impl FleetMc {
         macro_rules! arm {
             ($array:expr, $epoch:expr, $lane:expr, $kind:expr, $inv_rate:expr) => {
                 svc[$array as usize][$lane] = match rng.sample_exp_inv($inv_rate) {
-                    Some(dt) if queue.now() + dt <= horizon => queue
-                        .schedule(
-                            dt,
-                            FleetEv::Service {
-                                array: $array,
-                                kind: $kind,
-                                epoch: $epoch,
-                            },
-                        )
-                        .ok(),
-                    _ => None,
+                    Some(dt) => {
+                        exp_draws += 1;
+                        if queue.now() + dt <= horizon {
+                            queue
+                                .schedule(
+                                    dt,
+                                    FleetEv::Service {
+                                        array: $array,
+                                        kind: $kind,
+                                        epoch: $epoch,
+                                    },
+                                )
+                                .ok()
+                        } else {
+                            queue.note_expired();
+                            None
+                        }
+                    }
+                    None => None,
                 };
             };
         }
@@ -658,6 +695,7 @@ impl FleetMc {
                 let idx = $array as usize * n + $slot as usize;
                 slot_gen[idx] += 1;
                 let tt = self.failures.sample_ttf(rng);
+                ttf_draws += 1;
                 if queue.now() + tt <= horizon {
                     let _ = queue.schedule(
                         tt,
@@ -667,6 +705,8 @@ impl FleetMc {
                             gen: slot_gen[idx],
                         },
                     );
+                } else {
+                    queue.note_expired();
                 }
             }};
         }
@@ -758,6 +798,7 @@ impl FleetMc {
                             } else {
                                 st.waiting = true;
                                 fifo.push_back(array);
+                                crew_waits += 1;
                             }
                         }
                         Mode::Exp => {
@@ -865,6 +906,7 @@ impl FleetMc {
                         .domains
                         .expect("domain events only exist when domains are on");
                     accrue!(t);
+                    domain_strikes += 1;
                     let lo = domain as usize * d.domain_arrays as usize;
                     let hi = (lo + d.domain_arrays as usize).min(a);
                     for (hit, st) in arrays.iter_mut().enumerate().take(hi).skip(lo) {
@@ -886,6 +928,7 @@ impl FleetMc {
                                 } else {
                                     st.waiting = true;
                                     fifo.push_back(array);
+                                    crew_waits += 1;
                                 }
                             }
                             Mode::Exp => {
@@ -919,8 +962,11 @@ impl FleetMc {
                     }
                     // Re-arm the shelf clock.
                     if let Some(dt) = rng.sample_exp_inv(domain_inv) {
+                        exp_draws += 1;
                         if queue.now() + dt <= horizon {
                             let _ = queue.schedule(dt, FleetEv::Domain { domain });
+                        } else {
+                            queue.note_expired();
                         }
                     }
                 }
@@ -928,6 +974,12 @@ impl FleetMc {
         }
         accrue!(horizon);
         let _ = t_prev; // final accrual's cursor write is intentionally dead
+        if tele.enabled() {
+            tele.add(Counter::RngLifetimeDraws, ttf_draws);
+            tele.add(Counter::RngExpDraws, exp_draws);
+            tele.add(Counter::FleetCrewWaits, crew_waits);
+            tele.add(Counter::FleetDomainStrikes, domain_strikes);
+        }
         out
     }
 }

@@ -31,8 +31,10 @@ pub use fleet::{
 
 use crate::error::{CoreError, Result};
 use crate::nines;
+use availsim_sim::indexed_queue::QueueStats;
 use availsim_sim::parallel::ordered_parallel_map_with;
 use availsim_sim::stats::{t_interval, ConfidenceInterval, RunningStats};
+use availsim_sim::telemetry::{Counter, CounterSnapshot, Telemetry};
 use availsim_storage::{DowntimeLog, EventTrace};
 
 /// Which per-mission engine a Monte-Carlo model runs.
@@ -274,13 +276,50 @@ pub struct SimWorkspace {
     pub(crate) log: DowntimeLog,
     /// Reusable Fig. 1-style trace buffer (see [`Self::trace_mut`]).
     pub(crate) trace: EventTrace,
+    /// Mask-gated telemetry registry every engine hook reports into
+    /// (disabled — branch-free no-ops — unless built via
+    /// [`Self::with_telemetry`]).
+    pub(crate) telemetry: Telemetry,
+    /// Queue-traffic totals already drained into a snapshot; the next
+    /// [`TelemetrySource::drain_counters`] reports deltas against this.
+    queue_baseline: QueueStats,
 }
 
 impl SimWorkspace {
     /// Creates an empty workspace. Buffers grow on first use and are then
-    /// recycled by every subsequent mission.
+    /// recycled by every subsequent mission. Telemetry is disabled (every
+    /// counter update is a branch-free no-op).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a workspace whose telemetry registry is enabled or disabled
+    /// for its whole lifetime (see [`McConfig::telemetry`]).
+    pub fn with_telemetry(enabled: bool) -> Self {
+        SimWorkspace {
+            telemetry: Telemetry::new(enabled),
+            ..Self::default()
+        }
+    }
+
+    /// Cumulative traffic totals over the workspace's event queues: flow
+    /// counters sum, the depth high-water mark is the maximum (each engine
+    /// drives one queue, so the max is the per-mission peak).
+    fn queue_stats_total(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for s in [
+            self.conventional.queue_stats(),
+            self.failover.queue_stats(),
+            self.fleet.queue_stats(),
+        ] {
+            total.scheduled += s.scheduled;
+            total.fired += s.fired;
+            total.cancelled += s.cancelled;
+            total.expired += s.expired;
+            total.heap_crossings += s.heap_crossings;
+            total.depth_high_water = total.depth_high_water.max(s.depth_high_water);
+        }
+        total
     }
 
     /// Resets every buffer to its just-constructed state while retaining
@@ -296,6 +335,8 @@ impl SimWorkspace {
         self.fleet.reset(0, 0);
         self.log.clear();
         self.trace.clear();
+        let _ = self.telemetry.take();
+        self.queue_baseline = self.queue_stats_total();
     }
 
     /// The reusable trace buffer, for callers that record per-mission
@@ -309,6 +350,48 @@ impl SimWorkspace {
     /// Read access to the trace buffer filled via [`Self::trace_mut`].
     pub fn trace(&self) -> &EventTrace {
         &self.trace
+    }
+}
+
+/// Per-block counter drain, implemented by every workspace type the
+/// iteration runner accepts. The runner drains once per scheduling block
+/// and merges snapshots in block order, so the aggregate is deterministic
+/// at any worker count.
+pub(crate) trait TelemetrySource {
+    /// Takes everything recorded since the previous drain.
+    fn drain_counters(&mut self) -> CounterSnapshot;
+}
+
+impl TelemetrySource for () {
+    fn drain_counters(&mut self) -> CounterSnapshot {
+        CounterSnapshot::default()
+    }
+}
+
+impl TelemetrySource for SimWorkspace {
+    fn drain_counters(&mut self) -> CounterSnapshot {
+        if !self.telemetry.enabled() {
+            return CounterSnapshot::default();
+        }
+        let mut snap = self.telemetry.take();
+        // Queue traffic is tracked inside the queues (always-on, cumulative
+        // across missions); report the delta since the previous drain. The
+        // high-water mark has no meaningful delta — the cumulative maximum
+        // is reported and max-merged, which yields the run-wide maximum
+        // regardless of how blocks were assigned to workers.
+        let totals = self.queue_stats_total();
+        let base = self.queue_baseline;
+        snap.add(Counter::QueueScheduled, totals.scheduled - base.scheduled);
+        snap.add(Counter::QueueFired, totals.fired - base.fired);
+        snap.add(Counter::QueueCancelled, totals.cancelled - base.cancelled);
+        snap.add(Counter::QueueExpired, totals.expired - base.expired);
+        snap.add(
+            Counter::QueueHeapCrossings,
+            totals.heap_crossings - base.heap_crossings,
+        );
+        snap.record_max(Counter::QueueDepthHighWater, totals.depth_high_water);
+        self.queue_baseline = totals;
+        snap
     }
 }
 
@@ -343,6 +426,13 @@ pub struct McConfig {
     /// Variance-reduction scheme (see [`McVariance`]); defaults to
     /// [`McVariance::Naive`].
     pub variance: McVariance,
+    /// Whether engine telemetry is recorded
+    /// ([`AvailabilityEstimate::counters`] /
+    /// [`FleetEstimate::counters`]). Telemetry only counts — it never
+    /// draws from the RNG or reorders events — so enabling it preserves
+    /// bit-identical estimates; disabled (the default), every counter
+    /// update is a branch-free masked no-op with no measurable cost.
+    pub telemetry: bool,
 }
 
 impl Default for McConfig {
@@ -354,6 +444,7 @@ impl Default for McConfig {
             confidence: 0.99,
             threads: 0,
             variance: McVariance::Naive,
+            telemetry: false,
         }
     }
 }
@@ -462,6 +553,10 @@ pub struct AvailabilityEstimate {
     /// complementary importance-sampling diagnostic (a single weight close
     /// to `Σw` means the estimate hinges on one path).
     pub max_weight: f64,
+    /// Deterministic engine counters of the run (all-zero unless
+    /// [`McConfig::telemetry`] was enabled). Merged in block order, so the
+    /// snapshot is identical at any thread count.
+    pub counters: CounterSnapshot,
 }
 
 impl AvailabilityEstimate {
@@ -537,6 +632,7 @@ pub(crate) fn run_to_precision_with<W, I, F>(
     sim: F,
 ) -> Result<AvailabilityEstimate>
 where
+    W: TelemetrySource,
     I: Fn() -> W + Sync,
     F: Fn(&mut W, u64) -> IterationOutcome + Sync,
 {
@@ -697,6 +793,7 @@ pub(crate) fn run_iterations_with<W, I, F>(
     sim: F,
 ) -> Result<AvailabilityEstimate>
 where
+    W: TelemetrySource,
     I: Fn() -> W + Sync,
     F: Fn(&mut W, u64) -> IterationOutcome + Sync,
 {
@@ -716,6 +813,7 @@ where
         weight_sum: f64,
         weight_sq_sum: f64,
         weight_max: f64,
+        counters: CounterSnapshot,
     }
 
     let partials = ordered_parallel_map_with(
@@ -734,6 +832,7 @@ where
                 weight_sum: 0.0,
                 weight_sq_sum: 0.0,
                 weight_max: 0.0,
+                counters: CounterSnapshot::default(),
             };
             for i in lo..hi {
                 let out = sim(ws, i);
@@ -750,6 +849,10 @@ where
                 p.weight_sq_sum += out.weight * out.weight;
                 p.weight_max = p.weight_max.max(out.weight);
             }
+            p.counters = ws.drain_counters();
+            if config.telemetry {
+                p.counters.add(Counter::Missions, hi - lo);
+            }
             p
         },
         |_| false,
@@ -758,6 +861,7 @@ where
     let mut stats = RunningStats::new();
     let (mut downtime, mut du_dt, mut du_ev, mut dl_ev) = (0.0, 0.0, 0u64, 0u64);
     let (mut w_sum, mut w_sq, mut w_max) = (0.0, 0.0, 0.0f64);
+    let mut counters = CounterSnapshot::default();
     for (_, p) in partials {
         stats.merge(&p.stats);
         downtime += p.downtime;
@@ -767,6 +871,7 @@ where
         w_sum += p.weight_sum;
         w_sq += p.weight_sq_sum;
         w_max = w_max.max(p.weight_max);
+        counters.merge(&p.counters);
     }
 
     let availability = t_interval(&stats, config.confidence).map_err(CoreError::from)?;
@@ -790,6 +895,7 @@ where
             0.0
         },
         max_weight: w_max,
+        counters,
     })
 }
 

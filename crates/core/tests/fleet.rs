@@ -300,7 +300,10 @@ fn repair_crew_unlimited_pool_pins_the_pre_coupling_golden_bits() {
     ];
     let mut golden = GOLDEN_SCALARS.to_vec();
     golden.extend_from_slice(&GOLDEN_HIST_HEAD);
-    golden.extend(std::iter::repeat_n(0u64, DEGRADED_BINS - GOLDEN_HIST_HEAD.len()));
+    golden.extend(std::iter::repeat_n(
+        0u64,
+        DEGRADED_BINS - GOLDEN_HIST_HEAD.len(),
+    ));
 
     let p = params(1e-3, 0.02);
     let unlimited = FleetMc::new(spec(8), p).unwrap();

@@ -42,6 +42,7 @@ fn biased_config(iterations: u64, seed: u64) -> McConfig {
         confidence: 0.99,
         threads: 0,
         variance: McVariance::failure_biasing(),
+        telemetry: false,
     }
 }
 
@@ -188,6 +189,7 @@ fn rare_event_schemes_are_bit_identical_across_thread_counts() {
                     levels: 2,
                     effort: 24,
                 },
+                telemetry: false,
             })
             .unwrap()
     };
@@ -247,6 +249,7 @@ fn splitting_ci_covers_exact_ctmc_on_the_event_queue_engine() {
                 levels: 2,
                 effort: 48,
             },
+            telemetry: false,
         })
         .unwrap();
     assert!(est.unavailability() > 0.0);

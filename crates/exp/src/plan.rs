@@ -103,12 +103,12 @@ impl Plan {
         let s = &self.scenario;
         let mut out = String::new();
         let _ = writeln!(out, "campaign {}", s.name);
-        let _ = writeln!(out, "  model    : {}", s.model);
-        let _ = writeln!(out, "  seed     : {}", s.seed);
+        let _ = writeln!(out, "  model     : {}", s.model);
+        let _ = writeln!(out, "  seed      : {}", s.seed);
         if s.model == crate::spec::ModelKind::Mc
             && s.mc.variance != availsim_core::mc::McVariance::Naive
         {
-            let _ = writeln!(out, "  variance : {}", s.mc.variance);
+            let _ = writeln!(out, "  variance  : {}", s.mc.variance);
         }
         if let Some(fleet) = s.fleet {
             let mut line = format!("{} arrays per cell", fleet.arrays);
@@ -121,20 +121,33 @@ impl Plan {
             if let (Some(domain), Some(rate)) = (fleet.domain_arrays, fleet.domain_rate) {
                 let _ = write!(line, ", domains of {domain} at {}/h", format_float(rate));
             }
-            let _ = writeln!(out, "  fleet    : {line}");
+            let _ = writeln!(out, "  fleet     : {line}");
         }
         if let Some(cap) = s.capacity {
-            let _ = writeln!(out, "  capacity : {cap} disk units (volume metrics on)");
+            let _ = writeln!(out, "  capacity  : {cap} disk units (volume metrics on)");
+        }
+        if s.telemetry.enabled() || s.telemetry.progress {
+            let mut line = String::new();
+            if let Some(path) = &s.telemetry.metrics {
+                let _ = write!(line, "metrics -> {path} ({})", s.telemetry.format);
+            }
+            if s.telemetry.progress {
+                if !line.is_empty() {
+                    line.push_str(", ");
+                }
+                line.push_str("progress on");
+            }
+            let _ = writeln!(out, "  telemetry : {line}");
         }
         let _ = writeln!(
             out,
-            "  axes     : raid[{}] x policy[{}] x lambda[{}] x hep[{}]",
+            "  axes      : raid[{}] x policy[{}] x lambda[{}] x hep[{}]",
             s.raid.len(),
             s.effective_policies().len(),
             s.lambda.len(),
             s.hep.len()
         );
-        let _ = writeln!(out, "  cells    : {}", self.cells.len());
+        let _ = writeln!(out, "  cells     : {}", self.cells.len());
         let _ = writeln!(
             out,
             "  {:>5} {:>18} {:<12} {:<12} {:>12} {:>10}",
@@ -226,7 +239,7 @@ mod tests {
         let d1 = plan.describe();
         let d2 = expand(&scenario()).unwrap().describe();
         assert_eq!(d1, d2);
-        assert!(d1.contains("cells    : 8"));
+        assert!(d1.contains("cells     : 8"));
         assert!(d1.contains("RAID5(3+1)"));
         assert!(d1.contains("conventional"));
         assert!(d1.contains("1e-5"));
@@ -242,7 +255,24 @@ mod tests {
         )
         .unwrap();
         let d = expand(&biased).unwrap().describe();
-        assert!(d.contains("  variance : failure-biasing(bias=0.5)"), "{d}");
+        assert!(d.contains("  variance  : failure-biasing(bias=0.5)"), "{d}");
+    }
+
+    #[test]
+    fn describe_shows_the_telemetry_line_only_when_configured() {
+        assert!(!expand(&scenario())
+            .unwrap()
+            .describe()
+            .contains("telemetry"));
+        let s = Scenario::parse(
+            "[campaign]\nname = t\n[telemetry]\nmetrics = m.prom\nformat = prom\nprogress = true\n",
+        )
+        .unwrap();
+        let d = expand(&s).unwrap().describe();
+        assert!(
+            d.contains("  telemetry : metrics -> m.prom (prom), progress on"),
+            "{d}"
+        );
     }
 
     #[test]

@@ -249,11 +249,12 @@ pub fn summary(result: &CampaignResult) -> String {
     let mut out = table.render();
     let _ = writeln!(
         out,
-        "cell time us: mean {:.0}  min {:.0}  max {:.0}  |  wall {} us",
+        "cell time us: mean {:.0}  min {:.0}  max {:.0}  |  wall {} us  |  worker util {:.0}%",
         t.mean(),
         t.min(),
         t.max(),
-        result.wall_micros
+        result.wall_micros,
+        result.worker_utilization() * 100.0
     );
     out
 }
@@ -345,6 +346,10 @@ mod tests {
         assert!(s.contains("time-us"));
         assert!(s.contains("vol-nines"));
         assert!(s.contains("wall"));
+        assert!(s.contains("worker util"));
+        // Utilization is a wall-clock figure: summary only, never CSV/JSON.
+        assert!(!to_csv(&r).contains("util"));
+        assert!(!to_json(&r).contains("util"));
         assert!(s.contains("RAID5(3+1)"));
     }
 

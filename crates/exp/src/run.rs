@@ -19,8 +19,15 @@ use availsim_core::{nines, CoreError, ModelParams};
 use availsim_hra::Hep;
 use availsim_sim::parallel::ordered_parallel_map;
 use availsim_sim::stats::RunningStats;
+use availsim_sim::telemetry::CounterSnapshot;
 use availsim_storage::{FleetSpec, Volume};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Progress sink for [`run_with_progress`]: called once per finished cell
+/// with a preformatted `cell k/N done (U=…, ±…)` line. Called from worker
+/// threads, hence `Sync`; `k` counts completions, not cell indices.
+pub type ProgressSink<'a> = dyn Fn(&str) + Sync + 'a;
 
 /// Runner configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,6 +75,10 @@ pub struct CellResult {
     pub ci_half_width: Option<f64>,
     /// Volume metrics (only when the campaign sets `capacity`).
     pub volume: Option<VolumeMetrics>,
+    /// Engine telemetry counters for this cell (all-zero unless the
+    /// scenario's `[telemetry]` section enables metrics; Markov cells
+    /// report none). Deterministic: depends only on the cell's seed.
+    pub counters: CounterSnapshot,
     /// Wall-clock time this cell took, microseconds. Excluded from the
     /// deterministic CSV/JSON reports; summarised in the text report.
     pub elapsed_micros: u64,
@@ -85,10 +96,26 @@ pub struct CampaignResult {
     pub unavailability_stats: RunningStats,
     /// Welford accumulator over per-cell wall-clock times (microseconds).
     pub timing_stats: RunningStats,
+    /// Campaign-wide telemetry counters, merged in cell-index order
+    /// (bit-reproducible at any worker count).
+    pub counters: CounterSnapshot,
     /// Workers actually used.
     pub workers: usize,
     /// Total wall-clock time of the run, microseconds.
     pub wall_micros: u64,
+}
+
+impl CampaignResult {
+    /// Fraction of the worker pool's combined wall-clock budget spent
+    /// inside cells: `sum(cell micros) ÷ wall micros ÷ workers`. Near 1.0
+    /// means the workers stayed busy; a low value flags load imbalance
+    /// (e.g. one slow cell serialising the campaign). Nondeterministic —
+    /// shown in the text summary only, never in the CSV/JSON reports.
+    pub fn worker_utilization(&self) -> f64 {
+        let busy: f64 = self.cells.iter().map(|c| c.elapsed_micros as f64).sum();
+        let budget = self.wall_micros.max(1) as f64 * self.workers.max(1) as f64;
+        (busy / budget).min(1.0)
+    }
 }
 
 /// Expands nothing — runs an already expanded plan.
@@ -98,16 +125,46 @@ pub struct CampaignResult {
 /// cell also stops workers from claiming further cells, so an early
 /// misconfiguration does not burn the whole campaign's compute first.
 pub fn run(plan: &Plan, config: &RunConfig) -> Result<CampaignResult> {
+    run_with_progress(plan, config, None)
+}
+
+/// [`run`] with a live progress sink: each finished cell emits one
+/// `cell k/N done (U=…, ±…)` line. Progress lines stream in completion
+/// order (racy by design) and never touch the deterministic results —
+/// the sink is for a human watching the campaign, not for reports.
+///
+/// # Errors
+/// As [`run`].
+pub fn run_with_progress(
+    plan: &Plan,
+    config: &RunConfig,
+    progress: Option<&ProgressSink<'_>>,
+) -> Result<CampaignResult> {
     let n = plan.cells.len();
     let workers = config.effective_workers(n);
     let started = Instant::now();
+    let completed = AtomicUsize::new(0);
 
     // Workers claim cells from a shared cursor; results carry their cell
     // index and are reassembled in index order (the determinism contract).
     let collected = ordered_parallel_map(
         n as u64,
         workers,
-        |i| run_cell(&plan.scenario, &plan.cells[i as usize]),
+        |i| {
+            let r = run_cell(&plan.scenario, &plan.cells[i as usize]);
+            if let (Some(sink), Ok(c)) = (progress, r.as_ref()) {
+                let k = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                let ci = c
+                    .ci_half_width
+                    .map(|h| format!(", ±{}", crate::plan::format_float(h)))
+                    .unwrap_or_default();
+                sink(&format!(
+                    "cell {k}/{n} done (U={}{ci})",
+                    crate::plan::format_float(c.unavailability)
+                ));
+            }
+            r
+        },
         Result::is_err,
     );
 
@@ -118,9 +175,11 @@ pub fn run(plan: &Plan, config: &RunConfig) -> Result<CampaignResult> {
 
     let mut unavailability_stats = RunningStats::new();
     let mut timing_stats = RunningStats::new();
+    let mut counters = CounterSnapshot::default();
     for c in &cells {
         unavailability_stats.push(c.unavailability);
         timing_stats.push(c.elapsed_micros as f64);
+        counters.merge(&c.counters);
     }
 
     Ok(CampaignResult {
@@ -128,6 +187,7 @@ pub fn run(plan: &Plan, config: &RunConfig) -> Result<CampaignResult> {
         cells,
         unavailability_stats,
         timing_stats,
+        counters,
         workers,
         wall_micros: started.elapsed().as_micros() as u64,
     })
@@ -146,11 +206,19 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
     let hep = Hep::new(cell.hep).map_err(|e| model(CoreError::Hra(e)))?;
     let params = ModelParams::paper_defaults(cell.raid, cell.lambda, hep).map_err(model)?;
 
-    let (unavailability, mttdl_hours, ci_half_width) = match (scenario.model, cell.policy) {
+    let (unavailability, mttdl_hours, ci_half_width, counters) = match (scenario.model, cell.policy)
+    {
         (ModelKind::Mc, policy) => {
-            let est = mc_estimate(scenario.mc, scenario.fleet, policy, params, cell.seed)
-                .map_err(model)?;
-            (est.0, None, Some(est.1))
+            let est = mc_estimate(
+                scenario.mc,
+                scenario.fleet,
+                policy,
+                params,
+                cell.seed,
+                scenario.telemetry.enabled(),
+            )
+            .map_err(model)?;
+            (est.0, None, Some(est.1), est.2)
         }
         (_, Policy::Failover) => {
             let m = Raid5FailOver::new(params).map_err(model)?;
@@ -159,6 +227,7 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
                 solved.unavailability(),
                 Some(m.mttdl_hours().map_err(model)?),
                 None,
+                CounterSnapshot::default(),
             )
         }
         (ModelKind::GenericKofN, Policy::Conventional) => {
@@ -168,6 +237,7 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
                 solved.unavailability(),
                 Some(m.mttdl_hours().map_err(model)?),
                 None,
+                CounterSnapshot::default(),
             )
         }
         (_, Policy::Conventional) if cell.raid.fault_tolerance() == 1 => {
@@ -177,6 +247,7 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
                 solved.unavailability(),
                 Some(m.mttdl_hours().map_err(model)?),
                 None,
+                CounterSnapshot::default(),
             )
         }
         (_, Policy::Conventional) => {
@@ -186,6 +257,7 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
                 solved.unavailability(),
                 Some(m.mttdl_hours().map_err(model)?),
                 None,
+                CounterSnapshot::default(),
             )
         }
     };
@@ -213,6 +285,7 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
         mttdl_hours,
         ci_half_width,
         volume,
+        counters,
         elapsed_micros: started.elapsed().as_micros() as u64,
     })
 }
@@ -226,7 +299,8 @@ fn mc_estimate(
     policy: Policy,
     params: ModelParams,
     seed: u64,
-) -> availsim_core::Result<(f64, f64)> {
+    telemetry: bool,
+) -> availsim_core::Result<(f64, f64, CounterSnapshot)> {
     let config = McConfig {
         iterations: mc.iterations,
         horizon_hours: mc.horizon_hours,
@@ -234,6 +308,7 @@ fn mc_estimate(
         confidence: mc.confidence,
         threads: 1,
         variance: mc.variance,
+        telemetry,
     };
     if let Some(fleet) = fleet {
         // Scenario validation already restricts fleets to the
@@ -251,13 +326,21 @@ fn mc_estimate(
         let est = FleetMc::new(spec, params)?
             .with_coupling(fleet.coupling())?
             .run(&config)?;
-        return Ok((est.array_unavailability(), est.availability.half_width));
+        return Ok((
+            est.array_unavailability(),
+            est.availability.half_width,
+            est.counters,
+        ));
     }
     let est = match policy {
         Policy::Conventional => ConventionalMc::new(params)?.run(&config)?,
         Policy::Failover => FailOverMc::new(params)?.run(&config)?,
     };
-    Ok((est.unavailability(), est.availability.half_width))
+    Ok((
+        est.unavailability(),
+        est.availability.half_width,
+        est.counters,
+    ))
 }
 
 #[cfg(test)]
@@ -324,6 +407,51 @@ mod tests {
             );
             assert!(a.mttdl_hours.is_none());
         }
+    }
+
+    fn mc_scenario() -> Scenario {
+        Scenario::parse(
+            "[campaign]\nname = m\nseed = 11\nmodel = mc\n[axes]\nlambda = [1e-3, 2e-3]\nhep = [0.01, 0.05]\n[mc]\niterations = 200\nhorizon_hours = 10000\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn telemetry_counters_merge_deterministically_across_workers() {
+        let mut s = mc_scenario();
+        s.telemetry.metrics = Some("m.json".into());
+        let plan = expand(&s).unwrap();
+        let one = run(&plan, &RunConfig { workers: 1 }).unwrap();
+        let four = run(&plan, &RunConfig { workers: 4 }).unwrap();
+        assert!(!one.counters.is_empty(), "mc cells must report counters");
+        assert_eq!(one.counters, four.counters);
+        for (a, b) in one.cells.iter().zip(&four.cells) {
+            assert_eq!(a.counters, b.counters);
+        }
+        // Estimates are bit-identical with telemetry on vs off: counters
+        // never touch the RNG stream.
+        let off = run(&expand(&mc_scenario()).unwrap(), &RunConfig { workers: 1 }).unwrap();
+        assert!(off.counters.is_empty(), "disabled telemetry stays all-zero");
+        for (a, b) in one.cells.iter().zip(&off.cells) {
+            assert_eq!(a.unavailability.to_bits(), b.unavailability.to_bits());
+        }
+    }
+
+    #[test]
+    fn progress_sink_gets_one_line_per_cell_and_utilization_is_sane() {
+        use std::sync::Mutex;
+        let plan = expand(&mc_scenario()).unwrap();
+        let lines = Mutex::new(Vec::new());
+        let sink = |l: &str| lines.lock().unwrap().push(l.to_string());
+        let out = run_with_progress(&plan, &RunConfig { workers: 2 }, Some(&sink)).unwrap();
+        let lines = lines.into_inner().unwrap();
+        assert_eq!(lines.len(), plan.len());
+        for l in &lines {
+            assert!(l.contains("done (U=") && l.contains('±'), "{l}");
+            assert!(l.contains(&format!("/{}", plan.len())), "{l}");
+        }
+        let util = out.worker_utilization();
+        assert!(util > 0.0 && util <= 1.0, "utilization {util}");
     }
 
     #[test]

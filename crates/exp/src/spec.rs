@@ -33,6 +33,11 @@
 //!                                    # moderate | high | complete
 //! domain_arrays = 10                 # optional (set both): shelf size and
 //! domain_rate = 1e-5                 # strike rate of domain failures
+//!
+//! [telemetry]                        # optional; engine observability
+//! metrics = metrics.json             # enables counters, names the snapshot
+//! format = json                      # json | prom (requires `metrics`)
+//! progress = true                    # stream per-cell progress to stderr
 //! ```
 //!
 //! Recognised axes are `lambda` (disk failure rate per hour), `hep`
@@ -247,6 +252,64 @@ impl FleetSettings {
     }
 }
 
+/// Metrics exposition format, from `[telemetry] format =` or the CLI's
+/// `--metrics-format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// A structured JSON snapshot (the default).
+    #[default]
+    Json,
+    /// Prometheus text exposition format.
+    Prometheus,
+}
+
+impl MetricsFormat {
+    /// The spec-file spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricsFormat::Json => "json",
+            MetricsFormat::Prometheus => "prom",
+        }
+    }
+
+    /// Parses the spec/CLI spelling, returning `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "json" => Some(MetricsFormat::Json),
+            "prom" | "prometheus" => Some(MetricsFormat::Prometheus),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MetricsFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The `[telemetry]` section: deterministic engine counters, exposition
+/// format, and live campaign progress. Counter collection is keyed off
+/// `metrics` being set — without a destination the registry stays disabled
+/// and the engines skip all bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetrySettings {
+    /// Metrics snapshot destination (`metrics = path`); `None` disables
+    /// counter collection entirely.
+    pub metrics: Option<String>,
+    /// Exposition format for the snapshot (`format = json | prom`).
+    pub format: MetricsFormat,
+    /// Stream `cell k/N done` lines to stderr as cells finish.
+    pub progress: bool,
+}
+
+impl TelemetrySettings {
+    /// Whether engine counters should be collected.
+    pub fn enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+}
+
 /// A fully described experiment campaign: the model kind, the grid axes,
 /// and the reporting options. Produced by [`Scenario::parse`]; consumed by
 /// [`crate::plan::expand`].
@@ -275,6 +338,9 @@ pub struct Scenario {
     /// The fleet engine's `[fleet]` section; `None` runs the single-array
     /// models.
     pub fleet: Option<FleetSettings>,
+    /// The `[telemetry]` section (engine counters, metrics exposition,
+    /// progress streaming); all off by default.
+    pub telemetry: TelemetrySettings,
 }
 
 impl Default for Scenario {
@@ -291,6 +357,7 @@ impl Default for Scenario {
             policy: Vec::new(),
             mc: McSettings::default(),
             fleet: None,
+            telemetry: TelemetrySettings::default(),
         }
     }
 }
@@ -526,7 +593,7 @@ impl Scenario {
                     .trim()
                     .to_ascii_lowercase();
                 match name.as_str() {
-                    "campaign" | "axes" | "mc" | "fleet" => {
+                    "campaign" | "axes" | "mc" | "fleet" | "telemetry" => {
                         saw_campaign |= name == "campaign";
                         section = Some(name);
                     }
@@ -535,7 +602,7 @@ impl Scenario {
                             line,
                             format!(
                                 "unknown section `[{other}]` \
-                                 (use [campaign], [axes], [mc], [fleet])"
+                                 (use [campaign], [axes], [mc], [fleet], [telemetry])"
                             ),
                         ))
                     }
@@ -578,6 +645,9 @@ impl Scenario {
         let mut bias: Option<(usize, f64)> = None;
         let mut levels: Option<(usize, u64)> = None;
         let mut effort: Option<(usize, u64)> = None;
+        // `format` is checked after the scan: it is an error without a
+        // `metrics` destination, which may appear later in the section.
+        let mut metrics_format: Option<(usize, String)> = None;
 
         for (sec, e) in &entries {
             match (sec.as_str(), e.key.as_str()) {
@@ -739,6 +809,25 @@ impl Scenario {
                         .get_or_insert_with(Default::default)
                         .domain_rate = Some(rate);
                 }
+                ("telemetry", "metrics") => {
+                    scenario.telemetry.metrics = Some(scalar(e)?.to_string());
+                }
+                ("telemetry", "format") => {
+                    metrics_format = Some((e.line, scalar(e)?.to_string()));
+                }
+                ("telemetry", "progress") => {
+                    let raw = scalar(e)?;
+                    scenario.telemetry.progress = match raw {
+                        "true" => true,
+                        "false" => false,
+                        _ => {
+                            return Err(parse_err(
+                                e.line,
+                                format!("`progress` expects true or false, got `{raw}`"),
+                            ))
+                        }
+                    };
+                }
                 (sec, key) => {
                     return Err(parse_err(e.line, format!("unknown key `{key}` in [{sec}]")));
                 }
@@ -746,6 +835,17 @@ impl Scenario {
         }
 
         scenario.mc.variance = combine_variance(variance_name, bias, levels, effort)?;
+        if let Some((line, raw)) = metrics_format {
+            if scenario.telemetry.metrics.is_none() {
+                return Err(parse_err(
+                    line,
+                    "`format` requires a `metrics` destination in [telemetry]",
+                ));
+            }
+            scenario.telemetry.format = MetricsFormat::parse(&raw).ok_or_else(|| {
+                parse_err(line, format!("unknown format `{raw}` (use json, prom)"))
+            })?;
+        }
         scenario.validate()?;
         Ok(scenario)
     }
@@ -1214,6 +1314,41 @@ lambda = 1e-5
         let e = Scenario::parse("[campaign]\nname = f\nmodel = mc\n[fleet]\nrepairmen = 2\n")
             .unwrap_err();
         assert!(e.to_string().contains("at least one array"), "{e}");
+    }
+
+    #[test]
+    fn telemetry_section_parses_and_format_requires_metrics() {
+        let s = Scenario::parse(
+            "[campaign]\nname = t\n[telemetry]\nmetrics = out.prom\nformat = prom\nprogress = true\n",
+        )
+        .unwrap();
+        assert_eq!(s.telemetry.metrics.as_deref(), Some("out.prom"));
+        assert_eq!(s.telemetry.format, MetricsFormat::Prometheus);
+        assert!(s.telemetry.progress);
+        assert!(s.telemetry.enabled());
+
+        // Defaults: everything off, JSON format.
+        let s = Scenario::parse("[campaign]\nname = t\n").unwrap();
+        assert_eq!(s.telemetry, TelemetrySettings::default());
+        assert!(!s.telemetry.enabled());
+
+        // `format` without `metrics` is a line-numbered spec error, even
+        // when `format` appears before a (missing) `metrics` key.
+        let e = Scenario::parse("[campaign]\nname = t\n[telemetry]\nformat = json\n").unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("line 4") && msg.contains("requires a `metrics`"),
+            "{msg}"
+        );
+
+        // Unknown format and non-boolean progress carry their lines.
+        let e =
+            Scenario::parse("[campaign]\nname = t\n[telemetry]\nmetrics = m.json\nformat = xml\n")
+                .unwrap_err();
+        assert!(e.to_string().contains("line 5"), "{e}");
+        let e =
+            Scenario::parse("[campaign]\nname = t\n[telemetry]\nprogress = maybe\n").unwrap_err();
+        assert!(e.to_string().contains("line 4"), "{e}");
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn biased_campaign_parses_to_the_rare_event_mode() {
     let plan = expand(&s).unwrap();
     assert_eq!(plan.len(), 9);
     let d = plan.describe();
-    assert!(d.contains("variance : failure-biasing(bias=0.5)"), "{d}");
+    assert!(d.contains("variance  : failure-biasing(bias=0.5)"), "{d}");
 }
 
 #[test]

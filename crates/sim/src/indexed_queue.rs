@@ -95,6 +95,49 @@ const LINEAR_MAX: usize = 32;
 /// `min_pos` sentinel for an empty queue.
 const NO_MIN: u32 = u32::MAX;
 
+/// Cumulative traffic counters of an [`IndexedEventQueue`], maintained
+/// unconditionally (plain integer adds, negligible next to any queue
+/// operation) and surviving [`IndexedEventQueue::clear`] so one workspace
+/// queue accounts for a whole run of missions.
+///
+/// # Conservation invariant
+///
+/// Every accepted schedule is eventually accounted for exactly once:
+///
+/// ```text
+/// scheduled == fired + cancelled + expired + len()
+/// ```
+///
+/// where [`note_expired`](IndexedEventQueue::note_expired) records a drawn
+/// delay that landed past the simulation horizon and was never enqueued
+/// (it counts into both `scheduled` and `expired`). [`Self::conserves`]
+/// checks the invariant; a property test in
+/// `crates/sim/tests/properties.rs` enforces it under random
+/// schedule/cancel/pop/clear interleavings in both regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Events accepted by `schedule`/`schedule_at`, plus expired draws.
+    pub scheduled: u64,
+    /// Events popped and delivered (`pop` / `pop_due`).
+    pub fired: u64,
+    /// Events removed without firing: `cancel`, `cancel_all`, and entries
+    /// drained by `clear`.
+    pub cancelled: u64,
+    /// Drawn delays past the horizon, never enqueued (`note_expired`).
+    pub expired: u64,
+    /// Linear-to-heap regime crossings (`heapify` invocations).
+    pub heap_crossings: u64,
+    /// High-water mark of simultaneously pending events.
+    pub depth_high_water: u64,
+}
+
+impl QueueStats {
+    /// Checks the conservation invariant against the live queue length.
+    pub fn conserves(&self, pending: usize) -> bool {
+        self.scheduled == self.fired + self.cancelled + self.expired + pending as u64
+    }
+}
+
 /// A time-ordered event queue with stable FIFO tie-breaking, O(1)
 /// small-queue scheduling, and O(log n) in-place cancellation.
 ///
@@ -158,6 +201,9 @@ pub struct IndexedEventQueue<E> {
     /// linear → heap when a schedule exceeds [`LINEAR_MAX`]; only
     /// [`Self::clear`] returns to the linear regime.
     is_heap: bool,
+    /// Cumulative traffic counters (see [`QueueStats`]); survive
+    /// [`Self::clear`].
+    stats: QueueStats,
 }
 
 impl<E> Default for IndexedEventQueue<E> {
@@ -178,6 +224,7 @@ impl<E> IndexedEventQueue<E> {
             now: 0.0,
             min_pos: NO_MIN,
             is_heap: false,
+            stats: QueueStats::default(),
         }
     }
 
@@ -193,6 +240,7 @@ impl<E> IndexedEventQueue<E> {
             now: 0.0,
             min_pos: NO_MIN,
             is_heap: false,
+            stats: QueueStats::default(),
         }
     }
 
@@ -206,6 +254,9 @@ impl<E> IndexedEventQueue<E> {
     /// `false`) and can never cancel, or alias, an event scheduled after
     /// the reset.
     pub fn clear(&mut self) {
+        // Entries wiped without firing count as cancelled, keeping the
+        // conservation invariant across clear cycles.
+        self.stats.cancelled += self.entries.len() as u64;
         self.entries.clear();
         self.slots.clear();
         self.free.clear();
@@ -230,6 +281,22 @@ impl<E> IndexedEventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Cumulative traffic counters since construction (they survive
+    /// [`Self::clear`]).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Records a drawn event delay that landed past the simulation horizon
+    /// and was therefore never enqueued — the engines' sample-then-check
+    /// idiom. Counts into both `scheduled` and `expired` so the
+    /// conservation invariant covers every draw.
+    #[inline]
+    pub fn note_expired(&mut self) {
+        self.stats.scheduled += 1;
+        self.stats.expired += 1;
     }
 
     /// Schedules an event `delay` time units from now.
@@ -279,6 +346,8 @@ impl<E> IndexedEventQueue<E> {
             slot,
             event,
         });
+        self.stats.scheduled += 1;
+        self.stats.depth_high_water = self.stats.depth_high_water.max(self.entries.len() as u64);
         if self.is_heap {
             self.sift_up(pos as usize);
         } else if self.entries.len() <= LINEAR_MAX {
@@ -309,6 +378,7 @@ impl<E> IndexedEventQueue<E> {
             return false;
         }
         let pos = self.slots[slot].pos as usize;
+        self.stats.cancelled += 1;
         self.release_slot(handle.slot);
         if self.is_heap {
             let last = self
@@ -376,6 +446,7 @@ impl<E> IndexedEventQueue<E> {
     /// preserved, so subsequent relative schedules still measure from the
     /// current simulation time.
     pub fn cancel_all(&mut self) {
+        self.stats.cancelled += self.entries.len() as u64;
         for e in self.entries.drain(..) {
             self.slots[e.slot as usize].seq = FREE_SLOT;
             self.free.push(e.slot);
@@ -406,6 +477,7 @@ impl<E> IndexedEventQueue<E> {
             root
         };
         self.release_slot(entry.slot);
+        self.stats.fired += 1;
         self.now = entry.time;
         Some((entry.time, entry.event))
     }
@@ -419,6 +491,7 @@ impl<E> IndexedEventQueue<E> {
             self.slots[self.entries[pos].slot as usize].pos = pos as u32;
         }
         self.release_slot(entry.slot);
+        self.stats.fired += 1;
         self.min_pos = self.scan_min();
         self.now = entry.time;
         (entry.time, entry.event)
@@ -453,6 +526,7 @@ impl<E> IndexedEventQueue<E> {
     /// Establishes the 4-ary heap order over the whole entry array and
     /// enters the heap regime (left only via [`Self::clear`]).
     fn heapify(&mut self) {
+        self.stats.heap_crossings += 1;
         self.is_heap = true;
         self.min_pos = NO_MIN;
         let len = self.entries.len();
@@ -717,6 +791,40 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, live.len());
+    }
+
+    #[test]
+    fn stats_track_traffic_and_conserve_across_clear() {
+        let mut q = IndexedEventQueue::new();
+        let h = q.schedule(1.0, "a").unwrap();
+        q.schedule(2.0, "b").unwrap();
+        q.schedule(3.0, "c").unwrap();
+        q.note_expired(); // a draw past the horizon, never enqueued
+        assert!(q.cancel(h));
+        assert_eq!(q.pop().unwrap().1, "b");
+        let s = q.stats();
+        assert_eq!(s.scheduled, 4);
+        assert_eq!(s.fired, 1);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.expired, 1);
+        assert_eq!(s.depth_high_water, 3);
+        assert_eq!(s.heap_crossings, 0);
+        assert!(s.conserves(q.len()));
+        // `clear` counts the wiped entry as cancelled and keeps the
+        // cumulative totals.
+        q.clear();
+        let s = q.stats();
+        assert_eq!(s.cancelled, 2);
+        assert!(s.conserves(0));
+        // Crossing the linear threshold registers exactly once per cycle.
+        for i in 0..=(LINEAR_MAX as u64) {
+            q.schedule_at(i as f64, "x").unwrap();
+        }
+        assert!(q.is_heap);
+        assert_eq!(q.stats().heap_crossings, 1);
+        assert_eq!(q.stats().depth_high_water, LINEAR_MAX as u64 + 1);
+        q.cancel_all();
+        assert!(q.stats().conserves(q.len()));
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   and goodness-of-fit tests.
 //! * [`rare_event`] — importance sampling with likelihood-ratio weights and
 //!   effective-sample-size diagnostics for the 1e-10 unavailability regime.
+//! * [`telemetry`] — deterministic engine counters (mask-gated, block-merged
+//!   in worker-count-independent order), phase spans, and Prometheus text
+//!   exposition.
 //!
 //! # Examples
 //!
@@ -51,9 +54,10 @@ pub mod parallel;
 pub mod rare_event;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 
 pub use distributions::Lifetime;
 pub use engine::{EventHandle, EventQueue};
 pub use error::{Result, SimError};
-pub use indexed_queue::{IndexedEventHandle, IndexedEventQueue};
+pub use indexed_queue::{IndexedEventHandle, IndexedEventQueue, QueueStats};
 pub use rng::SimRng;

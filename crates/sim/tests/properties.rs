@@ -214,6 +214,89 @@ proptest! {
     }
 
     #[test]
+    fn indexed_queue_stats_conserve_under_random_interleavings(
+        // Same op-selector style as the equivalence test above: schedule
+        // dominates so the queue crosses the linear→heap threshold, with
+        // pops, live/dead cancels, bulk cancels, expired draws, and clears
+        // mixed in. After every step the traffic counters must satisfy
+        // scheduled == fired + cancelled + expired + len().
+        ops in proptest::collection::vec((0u8..100, 0u8..8), 1..400),
+        seed in any::<u64>(),
+    ) {
+        // Two starting fills: empty (linear regime) and past the linear
+        // threshold (heap regime from the first step), so the invariant is
+        // exercised in both regimes on every generated op stream.
+        for preload in [0usize, 40] {
+        let mut q: IndexedEventQueue<u64> = IndexedEventQueue::new();
+        let mut rng = SimRng::seed_from(seed);
+        let mut live = Vec::new();
+        let mut dead = Vec::new();
+        let mut payload = 0u64;
+        for _ in 0..preload {
+            live.push(q.schedule(f64::from(payload as u8), payload).unwrap());
+            payload += 1;
+        }
+        prop_assert_eq!(q.stats().heap_crossings > 0, preload > 32);
+
+        for &(op, t) in &ops {
+            match op {
+                // Schedule (majority share so the heap regime is reached).
+                0..=49 => {
+                    live.push(q.schedule(f64::from(t), payload).unwrap());
+                    payload += 1;
+                }
+                // Pop due / pop.
+                50..=69 => {
+                    if op % 2 == 0 {
+                        let _ = q.pop();
+                    } else {
+                        let _ = q.pop_due(q.now() + f64::from(t));
+                    }
+                }
+                // A drawn delay past the horizon, never enqueued.
+                70..=76 => q.note_expired(),
+                // Cancel a random live handle.
+                77..=86 => {
+                    if !live.is_empty() {
+                        let k = rng.next_bounded(live.len() as u64) as usize;
+                        let h = live.swap_remove(k);
+                        // The handle may have been popped already.
+                        q.cancel(h);
+                        dead.push(h);
+                    }
+                }
+                // Cancel a dead handle: must not perturb the counters.
+                87..=90 => {
+                    if !dead.is_empty() {
+                        let k = rng.next_bounded(dead.len() as u64) as usize;
+                        let before = q.stats();
+                        prop_assert!(!q.cancel(dead[k]));
+                        prop_assert_eq!(before, q.stats());
+                    }
+                }
+                // Bulk cancel (counts every pending entry).
+                91..=94 => {
+                    q.cancel_all();
+                    dead.append(&mut live);
+                }
+                // Clear: wiped entries count as cancelled, totals survive.
+                _ => {
+                    q.clear();
+                    dead.append(&mut live);
+                }
+            }
+            prop_assert!(
+                q.stats().conserves(q.len()),
+                "conservation broken: {:?} with {} pending",
+                q.stats(),
+                q.len()
+            );
+            prop_assert!(q.stats().depth_high_water >= q.len() as u64);
+        }
+        }
+    }
+
+    #[test]
     fn indexed_queue_pop_due_is_peek_compare_pop(
         times in proptest::collection::vec(0u8..16, 1..80),
         horizon in 0u8..16,

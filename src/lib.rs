@@ -14,6 +14,7 @@
 //! | [`hra`] | `availsim-hra` | Human reliability: hep, published bands, HEART, THERP, recovery dynamics |
 //! | [`core`] | `availsim-core` | The paper's models and analyses (Markov + MC, Figs. 4–7, headline tables) |
 //! | [`exp`] | `availsim-exp` | Experiment campaigns: spec files, grid planning, the parallel deterministic batch runner, reports |
+//! | [`bench`] | `availsim-bench` | Shared bench/metrics plumbing: workload scaling, the streaming JSON snapshot writer |
 //!
 //! # Quickstart
 //!
@@ -33,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use availsim_bench as bench;
 pub use availsim_core as core;
 pub use availsim_ctmc as ctmc;
 pub use availsim_exp as exp;

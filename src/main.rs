@@ -9,22 +9,28 @@
 //! availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run]
 //! ```
 
+use availsim::bench::snapshot::JsonSnapshot;
 use availsim::core::markov::{GenericKofN, Raid5Conventional, Raid5FailOver};
 use availsim::core::mc::{
     ConventionalMc, DomainFailures, FleetCoupling, FleetMc, McConfig, McVariance, DEGRADED_BINS,
 };
 use availsim::core::volume::compare_equal_capacity;
 use availsim::core::{nines, ModelParams};
-use availsim::exp::{plan, report, run, spec::Scenario};
+use availsim::exp::spec::{MetricsFormat, Scenario, TelemetrySettings};
+use availsim::exp::{plan, report, run};
 use availsim::hra::{DependenceLevel, Hep};
+use availsim::sim::telemetry::{
+    percentile_u64, write_counters, CounterSnapshot, PhaseSpans, PrometheusWriter,
+};
 use availsim::storage::{FleetSpec, RaidGeometry};
 use std::collections::HashMap;
 use std::error::Error;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 /// Flags that take no value; their presence means `true`.
-const BOOLEAN_FLAGS: &[&str] = &["dry-run"];
+const BOOLEAN_FLAGS: &[&str] = &["dry-run", "progress"];
 
 /// Parsed command line: `--key value` / `--key=value` flags plus bare
 /// positional arguments (only the `batch` subcommand accepts one).
@@ -227,17 +233,23 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let lambda: f64 = flag(flags, "lambda", 1e-3)?;
     let hep = Hep::new(flag(flags, "hep", 0.01)?)?;
     let iterations: u64 = flag(flags, "iterations", 4_000)?;
+    let threads: usize = flag(flags, "threads", 0)?;
+    let tele = parse_telemetry_flags(flags)?;
     let params = ModelParams::raid5_3plus1(lambda, hep)?;
     let markov = Raid5Conventional::new(params)?.solve()?;
     let variance = parse_variance_flags(flags)?;
+    let mut phases = PhaseSpans::new();
+    let started = Instant::now();
     let est = ConventionalMc::new(params)?.run(&McConfig {
         iterations,
         horizon_hours: 87_600.0,
         seed: flag(flags, "seed", 42u64)?,
         confidence: 0.99,
-        threads: 0,
+        threads,
         variance,
+        telemetry: tele.enabled(),
     })?;
+    phases.record("run", started.elapsed().as_micros() as u64);
     println!("markov availability : {:.9}", markov.availability());
     println!("mc availability     : {}", est.availability);
     if !matches!(variance, McVariance::Naive) {
@@ -254,6 +266,17 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             "INCONSISTENT — investigate"
         }
     );
+    write_metrics(
+        &tele,
+        &MetricsReport {
+            command: "validate",
+            counters: &est.counters,
+            threads: threads as u64,
+            phases: &phases,
+            cell_micros: None,
+            utilization: None,
+        },
+    )?;
     Ok(())
 }
 
@@ -265,6 +288,8 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let iterations: u64 = flag(flags, "iterations", 500)?;
     let horizon: f64 = flag(flags, "horizon", 87_600.0)?;
     let seed: u64 = flag(flags, "seed", 42u64)?;
+    let threads: usize = flag(flags, "threads", 0)?;
+    let tele = parse_telemetry_flags(flags)?;
     let repairmen: Option<u32> = opt_flag(flags, "repairmen")?;
     let dependence = match flags.get("dependence") {
         None => DependenceLevel::Zero,
@@ -290,6 +315,8 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     }
     let params = ModelParams::paper_defaults(geom, lambda, hep)?;
     let dc = spec.datacenter(lambda, hep.value())?;
+    let mut phases = PhaseSpans::new();
+    let started = Instant::now();
     let est = FleetMc::new(spec, params)?
         .with_coupling(FleetCoupling {
             dependence,
@@ -300,9 +327,11 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             horizon_hours: horizon,
             seed,
             confidence: 0.99,
-            threads: 0,
+            threads,
             variance: McVariance::Naive,
+            telemetry: tele.enabled(),
         })?;
+    phases.record("run", started.elapsed().as_micros() as u64);
 
     println!(
         "fleet {arrays} x {} ({} disks) λ={lambda:.3e} hep={} — {iterations} missions of {horizon} h",
@@ -373,6 +402,17 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         print!(" .. {}+:{:.4}%", DEGRADED_BINS - 1, tail * 100.0);
     }
     println!();
+    write_metrics(
+        &tele,
+        &MetricsReport {
+            command: "fleet",
+            counters: &est.counters,
+            threads: threads as u64,
+            phases: &phases,
+            cell_micros: None,
+            utilization: None,
+        },
+    )?;
     Ok(())
 }
 
@@ -423,6 +463,138 @@ fn parse_variance_flags(flags: &HashMap<String, String>) -> Result<McVariance, B
     Ok(variance)
 }
 
+/// Parses `--metrics <path>`, `--metrics-format json|prom`, and
+/// `--progress` into the spec layer's [`TelemetrySettings`] — the same
+/// vocabulary as the campaign spec's `[telemetry]` section.
+fn parse_telemetry_flags(
+    flags: &HashMap<String, String>,
+) -> Result<TelemetrySettings, Box<dyn Error>> {
+    let metrics = flags.get("metrics").cloned();
+    let format = match flags.get("metrics-format") {
+        None => MetricsFormat::default(),
+        Some(v) => {
+            if metrics.is_none() {
+                return Err("--metrics-format requires --metrics <path>".into());
+            }
+            MetricsFormat::parse(v).ok_or_else(|| {
+                format!("unknown format `{v}` for --metrics-format (use json, prom)")
+            })?
+        }
+    };
+    Ok(TelemetrySettings {
+        metrics,
+        format,
+        progress: flag(flags, "progress", false)?,
+    })
+}
+
+/// Everything a `--metrics` snapshot reports. The counter snapshot is the
+/// deterministic section (byte-identical at any worker count); the rest
+/// is wall-clock and goes into a clearly-marked nondeterministic section.
+struct MetricsReport<'a> {
+    command: &'static str,
+    counters: &'a CounterSnapshot,
+    /// Requested worker threads (0 = auto). Nondeterministic section: the
+    /// whole point of the block merge is that this does not change bytes.
+    threads: u64,
+    phases: &'a PhaseSpans,
+    /// Per-cell wall times, ascending, microseconds (batch only).
+    cell_micros: Option<&'a [u64]>,
+    /// Worker utilization in [0, 1] (batch only).
+    utilization: Option<f64>,
+}
+
+/// Renders a metrics snapshot in the requested exposition format.
+fn render_metrics(r: &MetricsReport<'_>, format: MetricsFormat) -> String {
+    match format {
+        MetricsFormat::Json => {
+            let mut w = JsonSnapshot::root();
+            w.str_field("tool", "availsim");
+            w.str_field("command", r.command);
+            w.begin_object("deterministic");
+            for (c, v) in r.counters.iter() {
+                w.u64_field(c.name(), v);
+            }
+            w.end_object();
+            w.begin_object("nondeterministic");
+            w.str_field("note", "wall-clock measurements; vary run to run");
+            w.u64_field("threads_requested", r.threads);
+            if !r.phases.is_empty() {
+                w.begin_object("phase_micros");
+                for (phase, micros) in r.phases.iter() {
+                    w.u64_field(phase, micros);
+                }
+                w.end_object();
+            }
+            if let Some(times) = r.cell_micros {
+                w.begin_object("cell_micros");
+                for (key, p) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0), ("max", 100.0)] {
+                    w.u64_field(key, percentile_u64(times, p));
+                }
+                w.end_object();
+            }
+            if let Some(u) = r.utilization {
+                w.f64_field("worker_utilization", u);
+            }
+            w.end_object();
+            w.finish()
+        }
+        MetricsFormat::Prometheus => {
+            let mut w = PrometheusWriter::new();
+            w.comment(&format!(
+                "availsim {} metrics — deterministic section (byte-identical at any worker count)",
+                r.command
+            ));
+            write_counters(&mut w, r.counters);
+            w.comment("nondeterministic section: wall-clock measurements, vary run to run");
+            w.metric_u64(
+                "availsim_threads_requested",
+                "Requested worker threads (0 = auto)",
+                "gauge",
+                r.threads,
+            );
+            for (phase, micros) in r.phases.iter() {
+                w.metric_u64(
+                    &format!("availsim_phase_{phase}_micros"),
+                    "Phase wall time, microseconds",
+                    "gauge",
+                    micros,
+                );
+            }
+            if let Some(times) = r.cell_micros {
+                for (key, p) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0), ("max", 100.0)] {
+                    w.metric_u64(
+                        &format!("availsim_cell_micros_{key}"),
+                        "Per-cell wall time percentile, microseconds",
+                        "gauge",
+                        percentile_u64(times, p),
+                    );
+                }
+            }
+            if let Some(u) = r.utilization {
+                w.gauge_f64(
+                    "availsim_worker_utilization",
+                    "Fraction of the worker pool busy inside cells",
+                    u,
+                );
+            }
+            w.finish()
+        }
+    }
+}
+
+/// Writes the metrics snapshot when `--metrics` (or the spec's
+/// `[telemetry] metrics`) names a destination.
+fn write_metrics(tele: &TelemetrySettings, r: &MetricsReport<'_>) -> Result<(), Box<dyn Error>> {
+    let Some(path) = &tele.metrics else {
+        return Ok(());
+    };
+    let text = render_metrics(r, tele.format);
+    std::fs::write(path, text).map_err(|e| format!("cannot write metrics `{path}`: {e}"))?;
+    eprintln!("wrote metrics {path}");
+    Ok(())
+}
+
 fn cmd_batch(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     let spec_path = parsed
         .positionals
@@ -432,22 +604,54 @@ fn cmd_batch(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         return Err(format!("unexpected extra argument `{extra}`").into());
     }
     let flags = &parsed.flags;
-    check_known(flags, &["workers", "out-dir", "dry-run"])?;
+    check_known(
+        flags,
+        &[
+            "workers",
+            "out-dir",
+            "dry-run",
+            "metrics",
+            "metrics-format",
+            "progress",
+        ],
+    )?;
     let workers: usize = flag(flags, "workers", 0)?;
     let dry_run: bool = flag(flags, "dry-run", false)?;
     let out_dir: String = flag(flags, "out-dir", String::new())?;
+    let cli_tele = parse_telemetry_flags(flags)?;
 
+    let mut phases = PhaseSpans::new();
+    let plan_started = Instant::now();
     let text = std::fs::read_to_string(spec_path)
         .map_err(|e| format!("cannot read `{spec_path}`: {e}"))?;
-    let scenario = Scenario::parse(&text)?;
+    let mut scenario = Scenario::parse(&text)?;
+    // CLI telemetry flags override the spec's `[telemetry]` section.
+    if cli_tele.metrics.is_some() {
+        scenario.telemetry.metrics = cli_tele.metrics;
+        scenario.telemetry.format = cli_tele.format;
+    }
+    scenario.telemetry.progress |= cli_tele.progress;
     let plan = plan::expand(&scenario)?;
+    phases.record("plan", plan_started.elapsed().as_micros() as u64);
 
     if dry_run {
         print!("{}", plan.describe());
         return Ok(());
     }
 
-    let result = run::run(&plan, &run::RunConfig { workers })?;
+    // Progress streams to stderr: stdout stays byte-deterministic for the
+    // CSV/JSON report blocks.
+    let sink = |line: &str| eprintln!("{line}");
+    let progress: Option<&run::ProgressSink<'_>> = if scenario.telemetry.progress {
+        Some(&sink)
+    } else {
+        None
+    };
+    let run_started = Instant::now();
+    let result = run::run_with_progress(&plan, &run::RunConfig { workers }, progress)?;
+    phases.record("run", run_started.elapsed().as_micros() as u64);
+
+    let report_started = Instant::now();
     print!("{}", report::summary(&result));
     let csv = report::to_csv(&result);
     let json = report::to_json(&result);
@@ -466,6 +670,21 @@ fn cmd_batch(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         println!("\nwrote {}", csv_path.display());
         println!("wrote {}", json_path.display());
     }
+    phases.record("report", report_started.elapsed().as_micros() as u64);
+
+    let mut cell_micros: Vec<u64> = result.cells.iter().map(|c| c.elapsed_micros).collect();
+    cell_micros.sort_unstable();
+    write_metrics(
+        &scenario.telemetry,
+        &MetricsReport {
+            command: "batch",
+            counters: &result.counters,
+            threads: workers as u64,
+            phases: &phases,
+            cell_micros: Some(&cell_micros),
+            utilization: Some(result.worker_utilization()),
+        },
+    )?;
     Ok(())
 }
 
@@ -476,17 +695,26 @@ USAGE:
   availsim solve    [--lambda F] [--hep F] [--raid r1|r5-K|r6-K] [--policy conventional|failover]
   availsim sweep    [--hep F] [--from F] [--to F] [--points N]
   availsim compare  [--lambda F] [--capacity N]
-  availsim validate [--lambda F] [--hep F] [--iterations N] [--seed N]
+  availsim validate [--lambda F] [--hep F] [--iterations N] [--seed N] [--threads N]
                     [--variance naive|failure-biasing|splitting]
                     [--bias F] [--levels N] [--effort N]
+                    [--metrics PATH] [--metrics-format json|prom]
   availsim fleet    [--arrays N] [--raid r1|r5-K|r6-K] [--lambda F] [--hep F]
-                    [--iterations N] [--horizon F] [--seed N] [--repairmen N]
-                    [--dependence zero|low|moderate|high|complete]
+                    [--iterations N] [--horizon F] [--seed N] [--threads N]
+                    [--repairmen N] [--dependence zero|low|moderate|high|complete]
                     [--domain-arrays N --domain-rate F]
+                    [--metrics PATH] [--metrics-format json|prom]
   availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run]
+                    [--metrics PATH] [--metrics-format json|prom] [--progress]
 
 Flags accept both `--flag value` and `--flag=value`; duplicates are errors.
 `batch` runs an experiment campaign from a spec file (see examples/specs/).
+`--metrics PATH` enables the deterministic telemetry layer and writes an
+engine-counter snapshot (`--metrics-format prom` for Prometheus text
+exposition); the counters are byte-identical at any worker count, with
+wall-clock figures segregated into a nondeterministic section. `batch
+--progress` streams `cell k/N done` lines to stderr as cells finish; both
+can also come from the spec's [telemetry] section.
 `validate --variance failure-biasing` turns on rare-event importance
 sampling, so the cross-check works at paper-grade λ where naive MC would
 observe no failures at all.
@@ -529,10 +757,13 @@ fn main() -> ExitCode {
                 "hep",
                 "iterations",
                 "seed",
+                "threads",
                 "variance",
                 "bias",
                 "levels",
                 "effort",
+                "metrics",
+                "metrics-format",
             ],
         )
         .map_err(Into::into)
@@ -547,10 +778,13 @@ fn main() -> ExitCode {
                 "iterations",
                 "horizon",
                 "seed",
+                "threads",
                 "repairmen",
                 "dependence",
                 "domain-arrays",
                 "domain-rate",
+                "metrics",
+                "metrics-format",
             ],
         )
         .map_err(Into::into)

@@ -297,9 +297,9 @@ fn batch_dry_run_is_byte_stable_and_matches_the_golden_plan() {
     // Golden pins: grid arithmetic and the derived cell seeds for campaign
     // seed 42. These may only change with an intentional (documented) break
     // of the seed-derivation scheme.
-    assert!(first.contains("cells    : 12"), "{first}");
+    assert!(first.contains("cells     : 12"), "{first}");
     assert!(
-        first.contains("axes     : raid[2] x policy[1] x lambda[2] x hep[3]"),
+        first.contains("axes      : raid[2] x policy[1] x lambda[2] x hep[3]"),
         "{first}"
     );
     assert!(
@@ -329,18 +329,18 @@ fn batch_dry_run_of_the_shipped_biased_campaign_is_byte_stable() {
     assert_eq!(first, second, "dry-run output must be byte-stable");
 
     assert!(first.contains("campaign fig6-raid-biased"), "{first}");
-    assert!(first.contains("  model    : mc"), "{first}");
+    assert!(first.contains("  model     : mc"), "{first}");
     assert!(
-        first.contains("  variance : failure-biasing(bias=0.5)"),
+        first.contains("  variance  : failure-biasing(bias=0.5)"),
         "{first}"
     );
     assert!(
-        first.contains("  capacity : 21 disk units (volume metrics on)"),
+        first.contains("  capacity  : 21 disk units (volume metrics on)"),
         "{first}"
     );
-    assert!(first.contains("cells    : 9"), "{first}");
+    assert!(first.contains("cells     : 9"), "{first}");
     assert!(
-        first.contains("axes     : raid[3] x policy[1] x lambda[1] x hep[3]"),
+        first.contains("axes      : raid[3] x policy[1] x lambda[1] x hep[3]"),
         "{first}"
     );
     // Seed derivation golden pin: campaign seed 42 shares fig6_raid's cell
@@ -517,11 +517,14 @@ fn batch_dry_run_of_the_shipped_fleet_campaign_is_byte_stable() {
     assert_eq!(first, second, "dry-run output must be byte-stable");
 
     assert!(first.contains("campaign fleet-scaling"), "{first}");
-    assert!(first.contains("  model    : mc"), "{first}");
-    assert!(first.contains("  fleet    : 25 arrays per cell"), "{first}");
-    assert!(first.contains("cells    : 2"), "{first}");
+    assert!(first.contains("  model     : mc"), "{first}");
     assert!(
-        first.contains("axes     : raid[1] x policy[1] x lambda[1] x hep[2]"),
+        first.contains("  fleet     : 25 arrays per cell"),
+        "{first}"
+    );
+    assert!(first.contains("cells     : 2"), "{first}");
+    assert!(
+        first.contains("axes      : raid[1] x policy[1] x lambda[1] x hep[2]"),
         "{first}"
     );
     // Seed derivation golden pin: campaign seed 42 shares the other
@@ -621,7 +624,7 @@ fn batch_dry_run_describes_fleet_couplings() {
     assert!(ok, "{stdout}");
     assert!(
         stdout.contains(
-            "fleet    : 24 arrays per cell, 3 repair crews, \
+            "fleet     : 24 arrays per cell, 3 repair crews, \
              moderate dependence, domains of 8 at 1e-5/h"
         ),
         "{stdout}"
@@ -704,6 +707,269 @@ fn non_batch_commands_still_reject_positionals() {
     let (ok, _, stderr) = run(&["compare", "stray"]);
     assert!(!ok);
     assert!(stderr.contains("expected --flag"), "{stderr}");
+}
+
+/// A small Monte-Carlo campaign that exercises the telemetry counters.
+const MC_SPEC: &str = "\
+[campaign]
+name = cli-mc
+seed = 7
+model = mc
+
+[axes]
+raid = [r5-3]
+lambda = [1e-4]
+hep = [0, 0.01]
+
+[mc]
+iterations = 300
+";
+
+/// Extracts the deterministic counter section of a `--metrics` JSON
+/// snapshot (everything from the `deterministic` key up to the
+/// `nondeterministic` key, which holds the wall-clock measurements).
+fn deterministic_section(path: &std::path::Path) -> String {
+    let text = std::fs::read_to_string(path).unwrap();
+    let start = text
+        .find("\"deterministic\"")
+        .expect("deterministic section");
+    let end = text
+        .find("\"nondeterministic\"")
+        .expect("nondeterministic section");
+    text[start..end].to_string()
+}
+
+#[test]
+fn validate_metrics_deterministic_section_is_thread_count_invariant() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let m1 = dir.join("validate-t1.json");
+    let m4 = dir.join("validate-t4.json");
+    let base = ["validate", "--iterations", "800", "--seed", "5"];
+    let (ok, _, stderr) = run(&[
+        &base[..],
+        &["--threads", "1", "--metrics", m1.to_str().unwrap()],
+    ]
+    .concat());
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("wrote metrics"), "{stderr}");
+    let (ok, _, _) = run(&[
+        &base[..],
+        &["--threads", "4", "--metrics", m4.to_str().unwrap()],
+    ]
+    .concat());
+    assert!(ok);
+    let (d1, d4) = (deterministic_section(&m1), deterministic_section(&m4));
+    assert_eq!(d1, d4, "counters must be byte-identical across threads");
+    assert!(d1.contains("\"availsim_missions_total\": 800"), "{d1}");
+    assert!(
+        !d1.contains("\"availsim_jump_transitions_total\": 0"),
+        "jump-chain counters must be live: {d1}"
+    );
+}
+
+#[test]
+fn fleet_metrics_deterministic_section_is_thread_count_invariant() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let m1 = dir.join("fleet-t1.json");
+    let m4 = dir.join("fleet-t4.json");
+    let base = [
+        "fleet",
+        "--arrays",
+        "8",
+        "--lambda",
+        "1e-4",
+        "--iterations",
+        "100",
+        "--seed",
+        "3",
+        "--repairmen",
+        "1",
+    ];
+    let (ok, _, stderr) = run(&[
+        &base[..],
+        &["--threads", "1", "--metrics", m1.to_str().unwrap()],
+    ]
+    .concat());
+    assert!(ok, "{stderr}");
+    let (ok, _, _) = run(&[
+        &base[..],
+        &["--threads", "4", "--metrics", m4.to_str().unwrap()],
+    ]
+    .concat());
+    assert!(ok);
+    let (d1, d4) = (deterministic_section(&m1), deterministic_section(&m4));
+    assert_eq!(d1, d4, "counters must be byte-identical across threads");
+    assert!(d1.contains("\"availsim_missions_total\": 100"), "{d1}");
+    assert!(
+        !d1.contains("\"availsim_queue_scheduled_total\": 0"),
+        "fleet runs must exercise the indexed queue: {d1}"
+    );
+}
+
+#[test]
+fn batch_metrics_snapshot_is_worker_count_invariant() {
+    let spec = write_spec("metrics.campaign", MC_SPEC);
+    let spec = spec.to_str().unwrap();
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let m1 = dir.join("batch-w1.json");
+    let m3 = dir.join("batch-w3.json");
+    let (ok, _, stderr) = run(&[
+        "batch",
+        spec,
+        "--workers=1",
+        "--metrics",
+        m1.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let (ok, _, _) = run(&[
+        "batch",
+        spec,
+        "--workers=3",
+        "--metrics",
+        m3.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let (d1, d3) = (deterministic_section(&m1), deterministic_section(&m3));
+    assert_eq!(d1, d3, "counters must be byte-identical across workers");
+    // Two cells x 300 iterations.
+    assert!(d1.contains("\"availsim_missions_total\": 600"), "{d1}");
+    // The nondeterministic section carries the batch-only extras.
+    let text = std::fs::read_to_string(&m1).unwrap();
+    assert!(text.contains("\"worker_utilization\":"), "{text}");
+    assert!(text.contains("\"cell_micros\":"), "{text}");
+    assert!(text.contains("\"p99\":"), "{text}");
+}
+
+#[test]
+fn metrics_prometheus_format_emits_exposition_text() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let path = dir.join("validate.prom");
+    let (ok, _, stderr) = run(&[
+        "validate",
+        "--iterations",
+        "300",
+        "--metrics",
+        path.to_str().unwrap(),
+        "--metrics-format",
+        "prom",
+    ]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("# HELP availsim_missions_total"), "{text}");
+    assert!(
+        text.contains("# TYPE availsim_missions_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("availsim_missions_total 300"), "{text}");
+    assert!(
+        text.contains("# TYPE availsim_queue_depth_high_water gauge"),
+        "{text}"
+    );
+    assert!(text.contains("deterministic section"), "{text}");
+    assert!(text.contains("nondeterministic section"), "{text}");
+}
+
+#[test]
+fn telemetry_flags_are_rejected_where_unsupported() {
+    for cmd in ["solve", "sweep", "compare"] {
+        let (ok, _, stderr) = run(&[cmd, "--metrics", "/tmp/x.json"]);
+        assert!(!ok, "{cmd} must reject --metrics");
+        assert!(stderr.contains("unknown flag --metrics"), "{cmd}: {stderr}");
+    }
+    // Progress streaming only makes sense for multi-cell campaigns.
+    for cmd in ["validate", "fleet", "solve"] {
+        let (ok, _, stderr) = run(&[cmd, "--progress"]);
+        assert!(!ok, "{cmd} must reject --progress");
+        assert!(
+            stderr.contains("unknown flag --progress"),
+            "{cmd}: {stderr}"
+        );
+    }
+
+    let (ok, _, stderr) = run(&["validate", "--metrics-format", "prom"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires --metrics"), "{stderr}");
+
+    let (ok, _, stderr) = run(&[
+        "validate",
+        "--metrics",
+        "/tmp/x.json",
+        "--metrics-format",
+        "xml",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown format `xml`"), "{stderr}");
+}
+
+#[test]
+fn telemetry_spec_errors_are_line_numbered() {
+    let spec = write_spec(
+        "tele-format.campaign",
+        "[campaign]\nname = t\nmodel = mc\n[telemetry]\nformat = prom\n",
+    );
+    let (ok, _, stderr) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("line 5") && stderr.contains("requires a `metrics` destination"),
+        "{stderr}"
+    );
+
+    let spec = write_spec(
+        "tele-progress.campaign",
+        "[campaign]\nname = t\nmodel = mc\n[telemetry]\nprogress = maybe\n",
+    );
+    let (ok, _, stderr) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("line 5") && stderr.contains("expects true or false"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn batch_dry_run_shows_the_telemetry_line_only_when_configured() {
+    let spec = write_spec("tele-dry.campaign", MC_SPEC);
+    let spec = spec.to_str().unwrap();
+    let (ok, stdout, _) = run(&["batch", spec, "--dry-run"]);
+    assert!(ok);
+    assert!(!stdout.contains("telemetry"), "{stdout}");
+
+    let (ok, stdout, _) = run(&[
+        "batch",
+        spec,
+        "--dry-run",
+        "--metrics",
+        "m.prom",
+        "--metrics-format",
+        "prom",
+        "--progress",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("  telemetry : metrics -> m.prom (prom), progress on"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn batch_progress_streams_cell_lines_to_stderr_only() {
+    let spec = write_spec("progress.campaign", MC_SPEC);
+    let spec = spec.to_str().unwrap();
+    let (ok, plain_out, _) = run(&["batch", spec]);
+    assert!(ok);
+    let (ok, stdout, stderr) = run(&["batch", spec, "--progress"]);
+    assert!(ok, "{stderr}");
+    // The summary header carries wall-clock timing, so compare from the
+    // machine-readable reports down: they must be untouched by --progress.
+    let reports = |s: &str| s[s.find("--- csv ---").expect("csv report")..].to_string();
+    assert_eq!(
+        reports(&stdout),
+        reports(&plain_out),
+        "--progress must not perturb the deterministic stdout report"
+    );
+    let lines: Vec<&str> = stderr.lines().filter(|l| l.contains("done (U=")).collect();
+    assert_eq!(lines.len(), 2, "one progress line per cell: {stderr}");
+    assert!(lines.iter().all(|l| l.contains("/2 done")), "{stderr}");
 }
 
 #[test]

@@ -36,7 +36,7 @@ fn quickstart_reproduces_the_headline_table() {
 fn campaign_example_expands_runs_and_verifies_determinism() {
     let stdout = run_example("campaign");
     assert!(stdout.contains("campaign hep-lambda-surface"), "{stdout}");
-    assert!(stdout.contains("cells    : 12"), "{stdout}");
+    assert!(stdout.contains("cells     : 12"), "{stdout}");
     assert!(stdout.contains("CSV:"), "{stdout}");
     assert!(
         stdout.contains("byte-identical to 1 worker"),
