@@ -11,23 +11,26 @@
 //! to a ±10% relative CI across a λ sweep (naive vs failure biasing) and
 //! writes `BENCH_4.json`. Fleet throughput goes to `BENCH_5.json`
 //! (array-count axis) and `BENCH_6.json` (repair-crew axis, `c ∈ {1, 4, ∞}`
-//! per fleet size). `BENCH_7.json` records the telemetry overhead gate:
+//! per fleet size). `BENCH_8.json` covers the DR-failover axis
+//! (`k ∈ {1, 4, ∞}` slots per fleet size, queue policy) with the credited
+//! unavailability each capacity leaves behind.
+//! `BENCH_7.json` records the telemetry overhead gate:
 //! the same Fig. 4 workload with the counter registry off vs on, asserted
 //! within the 2% budget. Mission volume scales with
 //! `AVAILSIM_BENCH_SCALE` — the checked-in snapshots are taken at scale 1.
 
 use availsim_bench::{
-    bench_scale, bench_snapshot_path, mc_iterations, raid5_params, render_fleet_json,
-    render_fleet_repair_json, render_mc_throughput_json, render_rare_event_json,
-    render_telemetry_overhead_json, FleetRepairRow, FleetScalingRow, McThroughput, RareEventPoint,
-    RareEventRun, TelemetryOverheadRow,
+    bench_scale, bench_snapshot_path, mc_iterations, raid5_params, render_fleet_failover_json,
+    render_fleet_json, render_fleet_repair_json, render_mc_throughput_json, render_rare_event_json,
+    render_telemetry_overhead_json, FleetFailoverRow, FleetRepairRow, FleetScalingRow,
+    McThroughput, RareEventPoint, RareEventRun, TelemetryOverheadRow,
 };
 use availsim_core::markov::Raid5Conventional;
 use availsim_core::mc::{
     ConventionalMc, FailOverMc, FleetMc, McConfig, McEngine, McVariance, SimWorkspace,
 };
 use availsim_sim::rng::SimRng;
-use availsim_storage::FleetSpec;
+use availsim_storage::{FleetFailover, FleetSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -266,6 +269,88 @@ fn fleet_repair_snapshot() {
         &rows,
     );
     let path = bench_snapshot_path("BENCH_6.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => println!("  could not write {}: {e}", path.display()),
+    }
+}
+
+/// Measures fleet throughput across the DR-capacity axis — `k ∈ {1, 4, ∞}`
+/// at each fleet size, queue policy — and writes `BENCH_8.json` with
+/// array-mission speedups against the seed BENCH_3 baseline. The
+/// unlimited rows double as a live check on the ideal-DR fast path: no
+/// extra RNG draws, so credited unavailability must come out exactly 0.
+fn fleet_failover_snapshot() {
+    println!(
+        "perf_mc fleet DR failover — RAID5(3+1) fleets on the Fig. 4 \
+         operating point (lambda={LAMBDA:.0e}, hep={HEP}, \
+         horizon={HORIZON_HOURS}h, threads=1, queue policy)"
+    );
+    let failback_rate = raid5_params(LAMBDA, HEP).disk_change_rate;
+    let mut rows = Vec::new();
+    for &arrays in &[10u32, 100, 1000] {
+        for &capacity in &[Some(1u32), Some(4), None] {
+            let spec = FleetSpec::new(arrays, availsim_storage::RaidGeometry::raid5(3).unwrap())
+                .expect("valid fleet")
+                .with_failover(FleetFailover {
+                    capacity,
+                    policy: availsim_storage::FailoverPolicy::Queue,
+                    failback_rate,
+                })
+                .expect("valid DR site");
+            let mc = FleetMc::new(spec, raid5_params(LAMBDA, HEP)).expect("valid fleet model");
+            let missions = mc_iterations((200_000 / u64::from(arrays)).max(50));
+            let cfg = throughput_config(missions);
+            let warm = throughput_config((missions / 10).max(2));
+            let _ = black_box(mc.run(&warm).unwrap().overall_array_availability);
+            let started = Instant::now();
+            let est = mc.run(&cfg).unwrap();
+            let elapsed = started.elapsed().as_secs_f64();
+            if capacity.is_none() {
+                assert_eq!(
+                    est.credited_array_unavailability(),
+                    0.0,
+                    "ideal DR site must absorb every outage exactly"
+                );
+            }
+            let row = FleetFailoverRow {
+                capacity,
+                row: FleetScalingRow {
+                    arrays,
+                    missions,
+                    elapsed_secs: elapsed,
+                    array_unavailability: est.array_unavailability(),
+                    mean_degraded: est.mean_degraded(),
+                },
+                credited_unavailability: est.credited_array_unavailability(),
+                failovers: est.failovers,
+            };
+            let label = match capacity {
+                Some(k) => k.to_string(),
+                None => "inf".to_string(),
+            };
+            println!(
+                "  A={arrays:<5} k={label:<4} {missions:>8} missions  \
+                 {:>12.0} array-missions/s  (U_array = {:.3e}, U_credited = {:.3e}, \
+                 {} failovers)",
+                row.row.array_missions_per_sec(),
+                row.row.array_unavailability,
+                row.credited_unavailability,
+                row.failovers,
+            );
+            rows.push(row);
+        }
+    }
+    let json = render_fleet_failover_json(
+        &format!(
+            "raid5_3plus1 fig4 fleet DR failover (lambda={LAMBDA:.0e}, hep={HEP}, \
+             horizon_hours={HORIZON_HOURS}, policy=queue)"
+        ),
+        bench_scale(),
+        BENCH3_SEED_EVENT_QUEUE_BASELINE,
+        &rows,
+    );
+    let path = bench_snapshot_path("BENCH_8.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!("  wrote {}", path.display()),
         Err(e) => println!("  could not write {}: {e}", path.display()),
@@ -517,6 +602,7 @@ fn bench(c: &mut Criterion) {
     let engines = throughput_snapshot();
     fleet_snapshot(&engines);
     fleet_repair_snapshot();
+    fleet_failover_snapshot();
     rare_event_snapshot();
     telemetry_overhead_snapshot();
 

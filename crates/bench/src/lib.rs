@@ -488,6 +488,74 @@ pub fn render_fleet_repair_json(
     w.finish()
 }
 
+/// One DR-failover measurement of the BENCH_8 snapshot: a
+/// [`FleetScalingRow`] plus the DR capacity it ran with and the credited
+/// (post-failover) unavailability the run reported.
+#[derive(Debug, Clone)]
+pub struct FleetFailoverRow {
+    /// DR failover slots (`None` = unlimited, the ideal-site limit).
+    pub capacity: Option<u32>,
+    /// The throughput measurement at this capacity.
+    pub row: FleetScalingRow,
+    /// DR-credited per-array unavailability (downtime the site could not
+    /// absorb; exactly 0 in the ideal limit).
+    pub credited_unavailability: f64,
+    /// Fail-over admissions the run recorded (a live-ness anchor: a "fast"
+    /// run that never failed over measures nothing).
+    pub failovers: u64,
+}
+
+/// Renders the `BENCH_8.json` snapshot: fleet throughput across the
+/// DR-capacity × arrays grid, with array-mission speedups against the
+/// BENCH_3 seed baseline and each run's credited unavailability.
+pub fn render_fleet_failover_json(
+    workload: &str,
+    scale: f64,
+    baseline_event_queue_missions_per_sec: f64,
+    rows: &[FleetFailoverRow],
+) -> String {
+    let mut w = JsonSnapshot::bench("perf_mc_fleet_failover", workload, scale);
+    w.raw_field(
+        "baseline_event_queue_missions_per_sec",
+        &format!("{baseline_event_queue_missions_per_sec:.1}"),
+    );
+    w.begin_array("fleet_failover");
+    for r in rows {
+        let capacity = match r.capacity {
+            Some(k) => k.to_string(),
+            None => "\"unlimited\"".to_string(),
+        };
+        w.begin_array_object();
+        w.raw_field("capacity", &capacity)
+            .u64_field("arrays", u64::from(r.row.arrays))
+            .u64_field("missions", r.row.missions)
+            .raw_field("elapsed_secs", &format!("{:.6}", r.row.elapsed_secs))
+            .raw_field(
+                "array_missions_per_sec",
+                &format!("{:.1}", r.row.array_missions_per_sec()),
+            )
+            .raw_field(
+                "speedup_vs_bench3_baseline",
+                &format!(
+                    "{:.2}",
+                    r.row.array_missions_per_sec() / baseline_event_queue_missions_per_sec
+                ),
+            )
+            .raw_field(
+                "array_unavailability",
+                &format!("{:.6e}", r.row.array_unavailability),
+            )
+            .raw_field(
+                "credited_unavailability",
+                &format!("{:.6e}", r.credited_unavailability),
+            )
+            .u64_field("failovers", r.failovers);
+        w.end_object();
+    }
+    w.end_array();
+    w.finish()
+}
+
 /// One telemetry-overhead measurement pair of the BENCH_7 snapshot: the
 /// same workload timed with the registry disabled and enabled.
 #[derive(Debug, Clone)]
@@ -800,6 +868,51 @@ mod tests {
             "\"array_missions_per_sec\": 200000.0",
             "\"speedup_vs_bench3_baseline\": 0.20",
             "\"mean_degraded\": 1.0500",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn fleet_failover_json_has_stable_machine_readable_shape() {
+        let rows = vec![
+            FleetFailoverRow {
+                capacity: Some(1),
+                row: FleetScalingRow {
+                    arrays: 100,
+                    missions: 2_000,
+                    elapsed_secs: 1.0,
+                    array_unavailability: 2.5e-6,
+                    mean_degraded: 0.11,
+                },
+                credited_unavailability: 1.2e-6,
+                failovers: 420,
+            },
+            FleetFailoverRow {
+                capacity: None,
+                row: FleetScalingRow {
+                    arrays: 1000,
+                    missions: 200,
+                    elapsed_secs: 2.0,
+                    array_unavailability: 1.5e-6,
+                    mean_degraded: 1.05,
+                },
+                credited_unavailability: 0.0,
+                failovers: 4_200,
+            },
+        ];
+        let json = render_fleet_failover_json("raid5_3plus1 fig4", 1.0, 1_000_000.0, &rows);
+        for needle in [
+            "\"bench\": \"perf_mc_fleet_failover\"",
+            "\"capacity\": 1",
+            "\"capacity\": \"unlimited\"",
+            "\"arrays\": 1000",
+            "\"array_missions_per_sec\": 200000.0",
+            "\"speedup_vs_bench3_baseline\": 0.20",
+            "\"credited_unavailability\": 0.000000e0",
+            "\"failovers\": 4200",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -75,6 +75,19 @@ mod states {
     }
 }
 
+/// The Fig. 3 switch-back race out of the network-storage serving states,
+/// shared with the fleet engine's DR coupling ([`super::FleetMc`]): a
+/// successful fail-back at `(1 − hep)·φ` races a botched switch-back
+/// (DR-side human error) at `hep·φ`. Returned as reciprocal rates (`∞`
+/// disables a lane, and `sample_exp_inv` then draws nothing) so callers
+/// multiply instead of divide.
+pub(crate) fn failback_race_inv(hep: f64, failback_rate: f64) -> (f64, f64) {
+    (
+        ((1.0 - hep) * failback_rate).recip(),
+        (hep * failback_rate).recip(),
+    )
+}
+
 /// Event payload of the general engine, 8 bytes so a queue entry stays 24
 /// (the per-mission `epoch` guard never approaches `u32::MAX`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

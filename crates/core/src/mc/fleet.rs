@@ -46,7 +46,23 @@
 //!   into consecutive shelves of `domain_arrays` arrays; each shelf has
 //!   its own Poisson clock that knocks every member array into the DL
 //!   (restore-from-backup) state at once.
+//! * **Shared DR site** ([`FleetSpec::with_failover`]): the paper's
+//!   Fig. 3 fail-over target at fleet scale. An array leaving OP requests
+//!   one of `capacity` DR slots; admitted arrays serve degraded from DR
+//!   (their down time is *credited* — see
+//!   [`FleetEstimate::credited_availability`]) and, back in OP, run the
+//!   Fig. 3 switch-back race — successful fail-back at `(1−hep)·φ`
+//!   against a botched, DU-causing switch-back at `hep·φ` — holding the
+//!   slot until the fail-back completes. Arrays beyond capacity queue
+//!   FIFO (or are rejected under the Erlang-loss
+//!   [`FailoverPolicy::Loss`]) and accrue full downtime, which is
+//!   exactly how a domain strike flooring a whole shelf saturates the DR
+//!   site and degrades the fleet gracefully instead of cliff-dropping.
+//!   An unbounded capacity is the ideal-DR limit: every episode is
+//!   absorbed with an instantaneous, error-free switch-back, drawing
+//!   nothing from the RNG — bit-identical to the no-failover engine.
 
+use super::failover::failback_race_inv;
 use super::{McConfig, McVariance, SimWorkspace, TelemetrySource, BLOCK_ITERATIONS, MAX_BLOCKS};
 use crate::error::{CoreError, Result};
 use crate::markov::WrongReplacementTiming;
@@ -57,7 +73,7 @@ use availsim_sim::parallel::ordered_parallel_map_with;
 use availsim_sim::rng::SimRng;
 use availsim_sim::stats::{t_interval, ConfidenceInterval, RunningStats};
 use availsim_sim::telemetry::{Counter, CounterSnapshot};
-use availsim_storage::{FailureModel, FleetSpec, HOURS_PER_YEAR};
+use availsim_storage::{FailoverPolicy, FailureModel, FleetSpec, HOURS_PER_YEAR};
 use std::collections::VecDeque;
 
 /// Operating mode of one member array (the Fig. 2 states).
@@ -86,6 +102,24 @@ enum Service {
     RemovedCrash,
     /// DL → OP at μ_DDF.
     Restore,
+    /// DR switch-back succeeds at (1−hep)·φ: the slot is released.
+    FailbackOk,
+    /// DR switch-back botched at hep·φ (the Fig. 3 DR-side human
+    /// error): the array goes DU while still holding its slot.
+    FailbackSlip,
+}
+
+/// Relationship of one array to the shared DR site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum DrState {
+    /// No slot held, not in line.
+    #[default]
+    None,
+    /// Waiting FIFO for a slot (full downtime accrues meanwhile).
+    Queued,
+    /// Holding a slot: serving degraded from DR while non-OP, failing
+    /// back (switch-back race armed) while OP.
+    Serving,
 }
 
 /// Event payload. `slot` fits a `u8` (per-array disk counts are bounded
@@ -119,6 +153,8 @@ struct ArrayState {
     /// Degraded but queued for a repair crew (no service clocks armed).
     /// Every non-OP array either waits or holds exactly one crew.
     waiting: bool,
+    /// Standing with the shared DR site (always `None` without one).
+    dr: DrState,
 }
 
 /// Reusable scratch of the fleet engine: the shared event queue, the
@@ -138,6 +174,15 @@ pub(crate) struct FleetScratch {
     /// once per degraded episode (it can only return to OP through a
     /// service, which requires the crew it is waiting for).
     fifo: VecDeque<u32>,
+    /// Arrays waiting for a DR slot, FIFO, as `(array, token)` pairs.
+    /// Unlike the crew queue an array *can* leave this line early (by
+    /// repairing to OP while still queued), so entries carry the
+    /// admission token current at enqueue time and stale entries are
+    /// skipped on pop.
+    dr_fifo: VecDeque<(u32, u32)>,
+    /// Per-array DR admission token, bumped whenever the array's queue
+    /// membership is invalidated.
+    dr_token: Vec<u32>,
 }
 
 impl FleetScratch {
@@ -152,6 +197,9 @@ impl FleetScratch {
         self.svc.clear();
         self.svc.resize(arrays, [None, None]);
         self.fifo.clear();
+        self.dr_fifo.clear();
+        self.dr_token.clear();
+        self.dr_token.resize(arrays, 0);
     }
 
     /// Cumulative traffic counters of the shared fleet event queue.
@@ -213,6 +261,28 @@ pub struct FleetOutcome {
     /// (`degraded_hours[DEGRADED_BINS - 1]` absorbs `k >= 32`); sums to
     /// the mission horizon.
     pub degraded_hours: [f64; DEGRADED_BINS],
+    /// Array-downtime hours **not** served from the DR site — what the
+    /// DR coupling cannot credit. Accrued directly (not derived by
+    /// subtraction) so the ideal-DR limit reports an exact zero; equals
+    /// `du + dl` downtime without a DR site.
+    pub uncovered_down_hours: f64,
+    /// Mission time during which at least one array was down **and not
+    /// DR-served**; equals `any_down_hours` without a DR site.
+    pub uncovered_any_down_hours: f64,
+    /// Time spent with exactly `k` DR slots occupied, hours (last bin
+    /// absorbs `k >= 32`); all-zero without a DR site, otherwise sums to
+    /// the mission horizon.
+    pub dr_occupancy_hours: [f64; DEGRADED_BINS],
+    /// Array-hours spent waiting in the DR admission queue.
+    pub dr_queue_wait_hours: f64,
+    /// DR admissions (immediate or from the queue).
+    pub failovers: u64,
+    /// Completed switch-backs from DR to primary.
+    pub failbacks: u64,
+    /// Arrays that found the site full and joined the FIFO queue.
+    pub dr_queue_waits: u64,
+    /// Arrays rejected by a full site under [`FailoverPolicy::Loss`].
+    pub dr_rejections: u64,
 }
 
 impl FleetOutcome {
@@ -220,6 +290,12 @@ impl FleetOutcome {
     /// hours.
     pub fn array_downtime_hours(&self) -> f64 {
         self.du_downtime_hours + self.dl_downtime_hours
+    }
+
+    /// Array-downtime hours after crediting DR-served time — what the
+    /// fleet's users actually lost.
+    pub fn credited_array_downtime_hours(&self) -> f64 {
+        self.uncovered_down_hours
     }
 }
 
@@ -255,6 +331,34 @@ pub struct FleetEstimate {
     pub degraded_time_share: [f64; DEGRADED_BINS],
     /// Peak simultaneously-degraded count across all missions.
     pub max_degraded: u32,
+    /// Student-t interval over per-mission per-array availability **with
+    /// DR credit**: downtime served degraded from the DR site does not
+    /// count against it. Matches [`Self::availability`] (to accumulation
+    /// rounding) without a DR site, and is exactly 1 in the ideal-DR
+    /// limit, where every down hour is covered.
+    pub credited_availability: ConfidenceInterval,
+    /// Overall per-array availability with DR credit (total array-uptime
+    /// plus DR-served time, over total array-time).
+    pub overall_credited_array_availability: f64,
+    /// Fleet availability with DR credit: fraction of time no array was
+    /// down-and-uncovered. Equals [`Self::fleet_availability`] without a
+    /// DR site.
+    pub credited_fleet_availability: f64,
+    /// Time-share distribution of occupied DR slots: entry `k` is the
+    /// fraction of simulated time with exactly `k` slots busy (last
+    /// entry: `>= 32`). All-zero without a DR site, otherwise sums to 1.
+    pub dr_occupancy_share: [f64; DEGRADED_BINS],
+    /// Total array-hours spent waiting in the DR admission queue, across
+    /// all missions.
+    pub dr_queue_wait_hours: f64,
+    /// Total DR admissions across all missions.
+    pub failovers: u64,
+    /// Total completed switch-backs across all missions.
+    pub failbacks: u64,
+    /// Total DR queue joins across all missions.
+    pub dr_queue_waits: u64,
+    /// Total Erlang-loss rejections across all missions.
+    pub dr_rejections: u64,
     /// Number of missions.
     pub iterations: u64,
     /// Mission time per iteration, hours.
@@ -281,6 +385,31 @@ impl FleetEstimate {
             .enumerate()
             .map(|(k, share)| k as f64 * share)
             .sum()
+    }
+
+    /// Per-array unavailability with DR credit.
+    pub fn credited_array_unavailability(&self) -> f64 {
+        1.0 - self.overall_credited_array_availability
+    }
+
+    /// Expected occupied DR slots (mean of the occupancy distribution;
+    /// same overflow-bin caveat as [`Self::mean_degraded`]).
+    pub fn mean_dr_occupancy(&self) -> f64 {
+        self.dr_occupancy_share
+            .iter()
+            .enumerate()
+            .map(|(k, share)| k as f64 * share)
+            .sum()
+    }
+
+    /// Mean time an array that joined the DR queue spent waiting, hours
+    /// (0 when nothing ever queued).
+    pub fn mean_dr_queue_wait_hours(&self) -> f64 {
+        if self.dr_queue_waits == 0 {
+            0.0
+        } else {
+            self.dr_queue_wait_hours / self.dr_queue_waits as f64
+        }
     }
 }
 
@@ -418,13 +547,22 @@ impl FleetMc {
         #[derive(Clone, Copy)]
         struct Partial {
             stats: RunningStats,
+            credited_stats: RunningStats,
             du_dt: f64,
             dl_dt: f64,
             any_down: f64,
+            uncovered: f64,
+            uncovered_any: f64,
+            dr_queue_wait: f64,
             du_events: u64,
             dl_events: u64,
+            failovers: u64,
+            failbacks: u64,
+            dr_queue_waits: u64,
+            dr_rejections: u64,
             max_degraded: u32,
             hist: [f64; DEGRADED_BINS],
+            dr_hist: [f64; DEGRADED_BINS],
             counters: CounterSnapshot,
         }
 
@@ -437,13 +575,22 @@ impl FleetMc {
                 let hi = (lo + block_size).min(iterations);
                 let mut p = Partial {
                     stats: RunningStats::new(),
+                    credited_stats: RunningStats::new(),
                     du_dt: 0.0,
                     dl_dt: 0.0,
                     any_down: 0.0,
+                    uncovered: 0.0,
+                    uncovered_any: 0.0,
+                    dr_queue_wait: 0.0,
                     du_events: 0,
                     dl_events: 0,
+                    failovers: 0,
+                    failbacks: 0,
+                    dr_queue_waits: 0,
+                    dr_rejections: 0,
                     max_degraded: 0,
                     hist: [0.0; DEGRADED_BINS],
+                    dr_hist: [0.0; DEGRADED_BINS],
                     counters: CounterSnapshot::default(),
                 };
                 for i in lo..hi {
@@ -451,13 +598,28 @@ impl FleetMc {
                     let out = self.simulate_once_with(horizon, &mut rng, ws);
                     p.stats
                         .push(1.0 - out.array_downtime_hours() / (arrays * horizon));
+                    // Uncovered downtime is accrued directly, so the
+                    // ideal-DR limit (everything covered) pushes an
+                    // exact 1.0 here every mission.
+                    p.credited_stats
+                        .push(1.0 - out.credited_array_downtime_hours() / (arrays * horizon));
                     p.du_dt += out.du_downtime_hours;
                     p.dl_dt += out.dl_downtime_hours;
                     p.any_down += out.any_down_hours;
+                    p.uncovered += out.uncovered_down_hours;
+                    p.uncovered_any += out.uncovered_any_down_hours;
+                    p.dr_queue_wait += out.dr_queue_wait_hours;
                     p.du_events += out.du_events;
                     p.dl_events += out.dl_events;
+                    p.failovers += out.failovers;
+                    p.failbacks += out.failbacks;
+                    p.dr_queue_waits += out.dr_queue_waits;
+                    p.dr_rejections += out.dr_rejections;
                     p.max_degraded = p.max_degraded.max(out.max_degraded);
                     for (acc, h) in p.hist.iter_mut().zip(&out.degraded_hours) {
+                        *acc += h;
+                    }
+                    for (acc, h) in p.dr_hist.iter_mut().zip(&out.dr_occupancy_hours) {
                         *acc += h;
                     }
                 }
@@ -471,32 +633,56 @@ impl FleetMc {
         );
 
         let mut stats = RunningStats::new();
+        let mut credited_stats = RunningStats::new();
         let (mut du_dt, mut dl_dt, mut any_down) = (0.0, 0.0, 0.0);
+        let (mut uncovered, mut uncovered_any, mut dr_queue_wait) = (0.0, 0.0, 0.0);
         let (mut du_ev, mut dl_ev) = (0u64, 0u64);
+        let (mut failovers, mut failbacks) = (0u64, 0u64);
+        let (mut dr_queue_waits, mut dr_rejections) = (0u64, 0u64);
         let mut max_degraded = 0u32;
         let mut hist = [0.0; DEGRADED_BINS];
+        let mut dr_hist = [0.0; DEGRADED_BINS];
         let mut counters = CounterSnapshot::default();
         for (_, p) in partials {
             stats.merge(&p.stats);
+            credited_stats.merge(&p.credited_stats);
             du_dt += p.du_dt;
             dl_dt += p.dl_dt;
             any_down += p.any_down;
+            uncovered += p.uncovered;
+            uncovered_any += p.uncovered_any;
+            dr_queue_wait += p.dr_queue_wait;
             du_ev += p.du_events;
             dl_ev += p.dl_events;
+            failovers += p.failovers;
+            failbacks += p.failbacks;
+            dr_queue_waits += p.dr_queue_waits;
+            dr_rejections += p.dr_rejections;
             max_degraded = max_degraded.max(p.max_degraded);
             for (acc, h) in hist.iter_mut().zip(&p.hist) {
+                *acc += h;
+            }
+            for (acc, h) in dr_hist.iter_mut().zip(&p.dr_hist) {
                 *acc += h;
             }
             counters.merge(&p.counters);
         }
 
         let availability = t_interval(&stats, config.confidence).map_err(CoreError::from)?;
+        let credited_availability =
+            t_interval(&credited_stats, config.confidence).map_err(CoreError::from)?;
         let total_time = horizon * iterations as f64;
         let downtime = du_dt + dl_dt;
         let array_u = downtime / (arrays * total_time);
+        let credited_u = uncovered / (arrays * total_time);
         let any_down_u = any_down / total_time;
+        let uncovered_any_u = uncovered_any / total_time;
         let mut degraded_time_share = hist;
         for share in &mut degraded_time_share {
+            *share /= total_time;
+        }
+        let mut dr_occupancy_share = dr_hist;
+        for share in &mut dr_occupancy_share {
             *share /= total_time;
         }
         Ok(FleetEstimate {
@@ -515,6 +701,15 @@ impl FleetMc {
             dl_events: dl_ev,
             degraded_time_share,
             max_degraded,
+            credited_availability,
+            overall_credited_array_availability: 1.0 - credited_u,
+            credited_fleet_availability: 1.0 - uncovered_any_u,
+            dr_occupancy_share,
+            dr_queue_wait_hours: dr_queue_wait,
+            failovers,
+            failbacks,
+            dr_queue_waits,
+            dr_rejections,
             iterations,
             horizon_hours: horizon,
             arrays: self.spec.arrays(),
@@ -565,6 +760,27 @@ impl FleetMc {
             Some(d) => d.rate.recip(),
             None => f64::INFINITY,
         };
+        // Shared DR site (Fig. 3 fail-over). The ideal limit (`capacity:
+        // None`) admits everything and fails back instantly without a
+        // switch-back race — no draws, so its stream is bit-identical to
+        // the no-DR engine; only the downtime credit differs.
+        let dr = self.spec.failover();
+        let dr_on = dr.is_some();
+        let dr_ideal = matches!(dr, Some(f) if f.capacity.is_none());
+        let dr_cap = match dr {
+            Some(f) => f.capacity.unwrap_or(u32::MAX),
+            None => 0,
+        };
+        let dr_policy = dr.map(|f| f.policy).unwrap_or_default();
+        let (fb_ok_inv, fb_slip_inv) = match dr {
+            Some(f) if !dr_ideal => failback_race_inv(hep, f.failback_rate),
+            _ => (f64::INFINITY, f64::INFINITY),
+        };
+        let mut dr_busy = 0u32; // slots held (serving or failing back)
+        let mut dr_queued = 0u32; // arrays in the DR FIFO
+        let mut covered = 0u32; // down arrays served from DR
+        let (mut failovers, mut failbacks) = (0u64, 0u64);
+        let (mut dr_queue_waits, mut dr_rejections) = (0u64, 0u64);
 
         ws.fleet.reset(a, n);
         let tele = &mut ws.telemetry;
@@ -574,6 +790,8 @@ impl FleetMc {
             slot_gen,
             svc,
             fifo,
+            dr_fifo,
+            dr_token,
         } = &mut ws.fleet;
         // Draw and coupling tallies, accumulated locally and flushed once
         // per mission (queue traffic is counted inside the queue itself).
@@ -588,6 +806,14 @@ impl FleetMc {
             dl_events: 0,
             max_degraded: 0,
             degraded_hours: [0.0; DEGRADED_BINS],
+            uncovered_down_hours: 0.0,
+            uncovered_any_down_hours: 0.0,
+            dr_occupancy_hours: [0.0; DEGRADED_BINS],
+            dr_queue_wait_hours: 0.0,
+            failovers: 0,
+            failbacks: 0,
+            dr_queue_waits: 0,
+            dr_rejections: 0,
         };
         // Fleet-wide occupancy counters, updated on every transition; the
         // interval between consecutive events is accrued against them.
@@ -653,6 +879,17 @@ impl FleetMc {
                     }
                     if in_du + in_dl > 0 {
                         out.any_down_hours += dt;
+                    }
+                    if in_du + in_dl > covered {
+                        out.uncovered_down_hours += f64::from(in_du + in_dl - covered) * dt;
+                        out.uncovered_any_down_hours += dt;
+                    }
+                    if dr_on {
+                        let bin = (dr_busy as usize).min(DEGRADED_BINS - 1);
+                        out.dr_occupancy_hours[bin] += dt;
+                        if dr_queued > 0 {
+                            out.dr_queue_wait_hours += f64::from(dr_queued) * dt;
+                        }
                     }
                     t_prev = $t;
                 }
@@ -744,9 +981,15 @@ impl FleetMc {
                     Mode::Dl => {
                         arm!($array, $epoch, 0, Service::Restore, restore_inv);
                     }
-                    // A crew is only dispatched to a degraded array, and
-                    // DU is reachable only while already in service.
-                    Mode::Op | Mode::Du => {}
+                    // Reachable only through the DR fail-back slip, which
+                    // can leave a DU array waiting for a crew.
+                    Mode::Du => {
+                        let (_, _, rec) = svc_rates!(not_op - 1);
+                        arm!($array, $epoch, 0, Service::RecoveryOk, rec);
+                        arm!($array, $epoch, 1, Service::RemovedCrash, crash_inv);
+                    }
+                    // A crew is never dispatched to a healthy array.
+                    Mode::Op => {}
                 }
             }};
         }
@@ -773,6 +1016,95 @@ impl FleetMc {
                 }
             }};
         }
+        // An array leaving OP asks the DR site for a slot: admitted if one
+        // is free, queued FIFO or rejected (loss policy) otherwise. An
+        // array re-struck mid fail-back already holds a slot — the
+        // switch-back race is simply voided. Draw-free on every path.
+        macro_rules! dr_request {
+            ($array:expr, $st:expr) => {
+                if dr_on {
+                    match $st.dr {
+                        DrState::Serving => {
+                            cancel_svc!($array, 0);
+                            cancel_svc!($array, 1);
+                        }
+                        DrState::None => {
+                            if dr_busy < dr_cap {
+                                dr_busy += 1;
+                                $st.dr = DrState::Serving;
+                                failovers += 1;
+                            } else if dr_policy == FailoverPolicy::Queue {
+                                $st.dr = DrState::Queued;
+                                dr_token[$array as usize] += 1;
+                                dr_fifo.push_back(($array, dr_token[$array as usize]));
+                                dr_queued += 1;
+                                dr_queue_waits += 1;
+                            } else {
+                                dr_rejections += 1;
+                            }
+                        }
+                        // Queued arrays are non-OP, and every request
+                        // site fires on an array leaving OP.
+                        DrState::Queued => {}
+                    }
+                }
+            };
+        }
+        // Frees one DR slot: hand it to the first still-queued array
+        // (token-guarded — arrays leave the queue early by repairing to
+        // OP), or release it.
+        macro_rules! dr_release {
+            () => {{
+                let mut handed_over = false;
+                while let Some((next, tok)) = dr_fifo.pop_front() {
+                    let ni = next as usize;
+                    if dr_token[ni] != tok {
+                        continue; // left the queue on an earlier return to OP
+                    }
+                    let ns = &mut arrays[ni];
+                    ns.dr = DrState::Serving;
+                    dr_queued -= 1;
+                    failovers += 1;
+                    if matches!(ns.mode, Mode::Du | Mode::Dl) {
+                        covered += 1;
+                    }
+                    handed_over = true;
+                    break;
+                }
+                if !handed_over {
+                    dr_busy -= 1;
+                }
+            }};
+        }
+        // An array returning to OP settles with the DR site: a serving
+        // array starts the Fig. 3 switch-back race (or, in the ideal
+        // limit, fails back instantly and draw-free); a queued array
+        // abandons its place.
+        macro_rules! dr_return {
+            ($array:expr, $epoch:expr) => {
+                if dr_on {
+                    let ai = $array as usize;
+                    match arrays[ai].dr {
+                        DrState::Serving => {
+                            if dr_ideal {
+                                arrays[ai].dr = DrState::None;
+                                failbacks += 1;
+                                dr_busy -= 1;
+                            } else {
+                                arm!($array, $epoch, 0, Service::FailbackOk, fb_ok_inv);
+                                arm!($array, $epoch, 1, Service::FailbackSlip, fb_slip_inv);
+                            }
+                        }
+                        DrState::Queued => {
+                            arrays[ai].dr = DrState::None;
+                            dr_token[ai] += 1;
+                            dr_queued -= 1;
+                        }
+                        DrState::None => {}
+                    }
+                }
+            };
+        }
 
         while let Some((t, ev)) = queue.pop_due(horizon) {
             match ev {
@@ -791,6 +1123,7 @@ impl FleetMc {
                             st.failed_slot = slot;
                             not_op += 1;
                             out.max_degraded = out.max_degraded.max(not_op);
+                            dr_request!(array, st);
                             let epoch = st.epoch;
                             if busy < crew_cap {
                                 busy += 1;
@@ -808,6 +1141,9 @@ impl FleetMc {
                             st.epoch += 1;
                             out.dl_events += 1;
                             in_dl += 1;
+                            if st.dr == DrState::Serving {
+                                covered += 1;
+                            }
                             // The pending service race is void.
                             cancel_svc!(array, 0);
                             cancel_svc!(array, 1);
@@ -841,8 +1177,10 @@ impl FleetMc {
                             svc[array as usize][0] = None;
                             cancel_svc!(array, 1);
                             let slot = st.failed_slot;
+                            let epoch = st.epoch;
                             reseed_slot!(array, slot);
                             release_crew!();
+                            dr_return!(array, epoch);
                         }
                         (Mode::Exp, Service::WrongPull) => {
                             accrue!(t);
@@ -850,6 +1188,9 @@ impl FleetMc {
                             st.epoch += 1;
                             out.du_events += 1;
                             in_du += 1;
+                            if st.dr == DrState::Serving {
+                                covered += 1;
+                            }
                             svc[array as usize][1] = None;
                             cancel_svc!(array, 0);
                             let epoch = st.epoch;
@@ -865,12 +1206,17 @@ impl FleetMc {
                             st.epoch += 1;
                             in_du -= 1;
                             not_op -= 1;
+                            if st.dr == DrState::Serving {
+                                covered -= 1;
+                            }
                             svc[array as usize][0] = None;
                             cancel_svc!(array, 1);
+                            let epoch = st.epoch;
                             for slot in 0..n {
                                 reseed_slot!(array, slot as u8);
                             }
                             release_crew!();
+                            dr_return!(array, epoch);
                         }
                         (Mode::Du, Service::RemovedCrash) => {
                             accrue!(t);
@@ -890,11 +1236,52 @@ impl FleetMc {
                             st.epoch += 1;
                             in_dl -= 1;
                             not_op -= 1;
+                            if st.dr == DrState::Serving {
+                                covered -= 1;
+                            }
                             svc[array as usize][0] = None;
+                            let epoch = st.epoch;
                             for slot in 0..n {
                                 reseed_slot!(array, slot as u8);
                             }
                             release_crew!();
+                            dr_return!(array, epoch);
+                        }
+                        (Mode::Op, Service::FailbackOk) => {
+                            // Clean switch-back: the array drops its DR
+                            // slot, which goes to the next queued array.
+                            accrue!(t);
+                            st.epoch += 1;
+                            st.dr = DrState::None;
+                            svc[array as usize][0] = None;
+                            cancel_svc!(array, 1);
+                            failbacks += 1;
+                            dr_release!();
+                        }
+                        (Mode::Op, Service::FailbackSlip) => {
+                            // Botched switch-back (Fig. 3 DR-side human
+                            // error): the primary goes DU; the array keeps
+                            // its slot and keeps serving from DR while a
+                            // crew recovers the primary.
+                            accrue!(t);
+                            st.mode = Mode::Du;
+                            st.epoch += 1;
+                            out.du_events += 1;
+                            in_du += 1;
+                            not_op += 1;
+                            out.max_degraded = out.max_degraded.max(not_op);
+                            covered += 1; // still Serving by construction
+                            svc[array as usize][1] = None;
+                            cancel_svc!(array, 0);
+                            let epoch = st.epoch;
+                            if busy < crew_cap {
+                                busy += 1;
+                                start_service!(array, epoch, Mode::Du);
+                            } else {
+                                st.waiting = true;
+                                fifo.push_back(array);
+                                crew_waits += 1;
+                            }
                         }
                         // Stale/impossible pair.
                         _ => {}
@@ -921,6 +1308,10 @@ impl FleetMc {
                                 out.max_degraded = out.max_degraded.max(not_op);
                                 in_dl += 1;
                                 out.dl_events += 1;
+                                dr_request!(array, st);
+                                if st.dr == DrState::Serving {
+                                    covered += 1;
+                                }
                                 let epoch = st.epoch;
                                 if busy < crew_cap {
                                     busy += 1;
@@ -936,6 +1327,9 @@ impl FleetMc {
                                 st.epoch += 1;
                                 in_dl += 1;
                                 out.dl_events += 1;
+                                if st.dr == DrState::Serving {
+                                    covered += 1;
+                                }
                                 cancel_svc!(array, 0);
                                 cancel_svc!(array, 1);
                                 if !st.waiting {
@@ -953,10 +1347,13 @@ impl FleetMc {
                                 out.dl_events += 1;
                                 cancel_svc!(array, 0);
                                 cancel_svc!(array, 1);
-                                // DU is reachable only in service, so the
-                                // array always holds a crew here.
-                                let epoch = st.epoch;
-                                arm!(array, epoch, 0, Service::Restore, restore_inv);
+                                if !st.waiting {
+                                    // In service (a fail-back slip can
+                                    // leave DU arrays waiting): the crew
+                                    // on site switches to the restore.
+                                    let epoch = st.epoch;
+                                    arm!(array, epoch, 0, Service::Restore, restore_inv);
+                                }
                             }
                         }
                     }
@@ -974,11 +1371,19 @@ impl FleetMc {
         }
         accrue!(horizon);
         let _ = t_prev; // final accrual's cursor write is intentionally dead
+        out.failovers = failovers;
+        out.failbacks = failbacks;
+        out.dr_queue_waits = dr_queue_waits;
+        out.dr_rejections = dr_rejections;
         if tele.enabled() {
             tele.add(Counter::RngLifetimeDraws, ttf_draws);
             tele.add(Counter::RngExpDraws, exp_draws);
             tele.add(Counter::FleetCrewWaits, crew_waits);
             tele.add(Counter::FleetDomainStrikes, domain_strikes);
+            tele.add(Counter::FleetFailovers, failovers);
+            tele.add(Counter::FleetDrQueueWaits, dr_queue_waits);
+            tele.add(Counter::FleetDrRejections, dr_rejections);
+            tele.add(Counter::FleetFailbacks, failbacks);
         }
         out
     }

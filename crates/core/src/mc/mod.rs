@@ -8,10 +8,13 @@
 //!   the model behind the paper's Fig. 1, Fig. 4, and Fig. 5.
 //! * [`FailOverMc`] — automatic fail-over; an event-driven replay of the
 //!   Fig. 3 chain used to cross-validate it.
-//! * [`FleetMc`] — a whole fleet of independent conventional arrays per
-//!   mission on one shared event queue, reporting fleet-level availability
-//!   and the distribution of simultaneously degraded arrays (the paper's
-//!   datacenter intro arithmetic as a simulated scenario).
+//! * [`FleetMc`] — a whole fleet of conventional arrays per mission on
+//!   one shared event queue, reporting fleet-level availability and the
+//!   distribution of simultaneously degraded arrays (the paper's
+//!   datacenter intro arithmetic as a simulated scenario); optional
+//!   shared-resource couplings — repair crews, operator dependence,
+//!   failure domains, and a bounded Fig. 3 DR site with plain vs
+//!   DR-credited availability books.
 //!
 //! The availability estimator follows the paper: total uptime over total
 //! simulated time, with a Student-t confidence interval over per-iteration

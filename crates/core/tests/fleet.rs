@@ -10,7 +10,7 @@ use availsim_core::mc::{
 use availsim_core::ModelParams;
 use availsim_hra::{DependenceLevel, Hep};
 use availsim_sim::rng::SimRng;
-use availsim_storage::{FailureModel, FleetSpec, RaidGeometry};
+use availsim_storage::{FailoverPolicy, FailureModel, FleetFailover, FleetSpec, RaidGeometry};
 
 fn spec(arrays: u32) -> FleetSpec {
     FleetSpec::new(arrays, RaidGeometry::raid5(3).unwrap()).unwrap()
@@ -274,37 +274,45 @@ fn pin_config(threads: usize) -> McConfig {
     }
 }
 
-#[test]
-fn repair_crew_unlimited_pool_pins_the_pre_coupling_golden_bits() {
-    // Frozen from the pre-coupling `FleetMc` (PR 5): the independent
-    // limit — unlimited crews, zero dependence, no domains — must keep
-    // reproducing these exact bits at any worker count. A pool of
-    // `c = A` crews never binds either, so it pins the same bits.
-    const GOLDEN_SCALARS: [u64; 8] = [
-        0x3fefdf96eabac622, // overall_array_availability
-        0x3fef006aaf848d71, // fleet_availability
-        0x3fefdf96eabac620, // availability.mean
-        0x3f1f39512e1f9183, // availability.half_width
-        0x4053c8233b8091df, // mean_array_downtime_hours
-        0x404157391961ce1b, // annual_array_downtime_hours
-        0x407117dd6cf18e65, // annual_any_down_hours
-        0x3fc4f82731a782d6, // du_downtime_share
-    ];
-    const GOLDEN_HIST_HEAD: [u64; 6] = [
-        0x3fe7e291ad343c7f,
-        0x3fcc7e26fa23ca5f,
-        0x3f9d6159b989cb86,
-        0x3f61f7dfc78dff46,
-        0x3f1ba9d896813645,
-        0x3ec25fa902151d7a,
-    ];
+/// Frozen from the pre-coupling `FleetMc` (PR 5): the independent limit
+/// must keep reproducing these exact bits at any worker count. Pinned by
+/// the unlimited-crew, the slack-pool, and the ideal-DR tests alike.
+const GOLDEN_SCALARS: [u64; 8] = [
+    0x3fefdf96eabac622, // overall_array_availability
+    0x3fef006aaf848d71, // fleet_availability
+    0x3fefdf96eabac620, // availability.mean
+    0x3f1f39512e1f9183, // availability.half_width
+    0x4053c8233b8091df, // mean_array_downtime_hours
+    0x404157391961ce1b, // annual_array_downtime_hours
+    0x407117dd6cf18e65, // annual_any_down_hours
+    0x3fc4f82731a782d6, // du_downtime_share
+];
+const GOLDEN_HIST_HEAD: [u64; 6] = [
+    0x3fe7e291ad343c7f,
+    0x3fcc7e26fa23ca5f,
+    0x3f9d6159b989cb86,
+    0x3f61f7dfc78dff46,
+    0x3f1ba9d896813645,
+    0x3ec25fa902151d7a,
+];
+const GOLDEN_EVENTS: (u64, u64, u32) = (30_569, 4_853, 5);
+
+fn golden_bits() -> Vec<u64> {
     let mut golden = GOLDEN_SCALARS.to_vec();
     golden.extend_from_slice(&GOLDEN_HIST_HEAD);
     golden.extend(std::iter::repeat_n(
         0u64,
         DEGRADED_BINS - GOLDEN_HIST_HEAD.len(),
     ));
+    golden
+}
 
+#[test]
+fn repair_crew_unlimited_pool_pins_the_pre_coupling_golden_bits() {
+    // The independent limit — unlimited crews, zero dependence, no
+    // domains — and a never-binding pool of `c = A` crews pin the
+    // pre-coupling bits.
+    let golden = golden_bits();
     let p = params(1e-3, 0.02);
     let unlimited = FleetMc::new(spec(8), p).unwrap();
     let slack_pool = FleetMc::new(spec(8).with_repairmen(8).unwrap(), p).unwrap();
@@ -313,7 +321,7 @@ fn repair_crew_unlimited_pool_pins_the_pre_coupling_golden_bits() {
             let est = mc.run(&pin_config(threads)).unwrap();
             let (bits, du, dl, maxd) = digest(&est);
             assert_eq!(bits, golden, "threads = {threads}");
-            assert_eq!((du, dl, maxd), (30_569, 4_853, 5), "threads = {threads}");
+            assert_eq!((du, dl, maxd), GOLDEN_EVENTS, "threads = {threads}");
         }
     }
 }
@@ -547,4 +555,409 @@ fn degraded_hours_sum_to_the_horizon_per_mission() {
     let out = mc.simulate_once_with(25_000.0, &mut rng, &mut ws);
     let total: f64 = out.degraded_hours.iter().sum();
     assert!((total - 25_000.0).abs() < 1e-6, "total {total}");
+}
+
+fn failover(capacity: Option<u32>, policy: FailoverPolicy, failback_rate: f64) -> FleetFailover {
+    FleetFailover {
+        capacity,
+        policy,
+        failback_rate,
+    }
+}
+
+#[test]
+fn ideal_dr_site_pins_the_no_failover_golden_bits() {
+    // The `failover_capacity = ∞` limit admits every incident and fails
+    // back instantly without touching the RNG stream, so every plain
+    // estimate bit must reproduce the PR 6 engine exactly — at any
+    // worker count. The only thing that moves is the credit: with every
+    // down hour served from DR, credited unavailability is exactly zero.
+    let golden = golden_bits();
+    let p = params(1e-3, 0.02);
+    let ideal = spec(8)
+        .with_failover(failover(None, FailoverPolicy::Queue, 0.1))
+        .unwrap();
+    let mc = FleetMc::new(ideal, p).unwrap();
+    for threads in [1, 4] {
+        let est = mc.run(&pin_config(threads)).unwrap();
+        let (bits, du, dl, maxd) = digest(&est);
+        assert_eq!(bits, golden, "threads = {threads}");
+        assert_eq!((du, dl, maxd), GOLDEN_EVENTS, "threads = {threads}");
+        assert_eq!(est.overall_credited_array_availability, 1.0);
+        assert_eq!(est.credited_fleet_availability, 1.0);
+        assert_eq!(est.credited_availability.mean, 1.0);
+        assert_eq!(est.credited_availability.half_width, 0.0);
+        assert!(est.failovers > 0);
+        assert!(est.failbacks <= est.failovers);
+        assert_eq!(est.dr_queue_waits, 0);
+        assert_eq!(est.dr_rejections, 0);
+        // Ideal slots are held only while the array is down, so the
+        // occupancy distribution is a proper time-share too.
+        let occ: f64 = est.dr_occupancy_share.iter().sum();
+        assert!((occ - 1.0).abs() < 1e-9, "occupancy shares sum to {occ}");
+    }
+}
+
+#[test]
+fn bounded_failover_keeps_the_thread_bit_identity() {
+    // The determinism contract survives the full DR machinery: bounded
+    // capacity, FIFO queue, switch-back races, and a starved crew pool.
+    let p = params(1e-3, 0.02);
+    let run = |threads| {
+        FleetMc::new(
+            spec(12)
+                .with_repairmen(2)
+                .unwrap()
+                .with_failover(failover(Some(2), FailoverPolicy::Queue, 0.02))
+                .unwrap(),
+            p,
+        )
+        .unwrap()
+        .with_coupling(FleetCoupling {
+            dependence: DependenceLevel::Moderate,
+            domains: Some(DomainFailures {
+                domain_arrays: 4,
+                rate: 1e-4,
+            }),
+        })
+        .unwrap()
+        .run(&pin_config(threads))
+        .unwrap()
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(digest(&one), digest(&four));
+    assert_eq!(
+        one.overall_credited_array_availability.to_bits(),
+        four.overall_credited_array_availability.to_bits()
+    );
+    assert_eq!(
+        one.credited_availability.mean.to_bits(),
+        four.credited_availability.mean.to_bits()
+    );
+    assert_eq!(
+        one.dr_queue_wait_hours.to_bits(),
+        four.dr_queue_wait_hours.to_bits()
+    );
+    for (a, b) in one.dr_occupancy_share.iter().zip(&four.dr_occupancy_share) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(one.failovers, four.failovers);
+    assert_eq!(one.failbacks, four.failbacks);
+    assert_eq!(one.dr_queue_waits, four.dr_queue_waits);
+    assert_eq!(one.dr_rejections, four.dr_rejections);
+    // The scenario actually exercises the coupling.
+    assert!(one.failovers > 0 && one.failbacks > 0 && one.dr_queue_waits > 0);
+    assert_eq!(one.dr_rejections, 0, "queue policy never rejects");
+    assert!(one.credited_array_unavailability() < one.array_unavailability());
+}
+
+/// Exact stationary analysis of the DR-limited fleet in the degenerate
+/// regime (disk/operator physics off, per-array strikes at ν, unlimited
+/// crews restoring at μ, fail-back at φ with hep = 0): a CTMC on
+/// `(s, x, b)` — `s` down arrays holding a DR slot, `x` down arrays
+/// queued (queue policy) or rejected (loss policy), `b` restored arrays
+/// still failing back (each holds a slot). `s + b ≤ k`, `s + x + b ≤ N`.
+struct DrChain {
+    n: u32,
+    k: u32,
+    nu: f64,
+    mu: f64,
+    phi: f64,
+    queue: bool,
+}
+
+impl DrChain {
+    fn states(&self) -> Vec<(u32, u32, u32)> {
+        let mut states = Vec::new();
+        for s in 0..=self.k.min(self.n) {
+            for b in 0..=(self.k - s).min(self.n - s) {
+                for x in 0..=(self.n - s - b) {
+                    // Under the queue policy an array only queues while
+                    // the site is full, and is admitted the instant a
+                    // slot frees — `x > 0` forces `s + b = k`.
+                    if self.queue && x > 0 && s + b != self.k {
+                        continue;
+                    }
+                    states.push((s, x, b));
+                }
+            }
+        }
+        states
+    }
+
+    /// Out-transitions of one state as `(target, rate)` pairs. Strikes
+    /// on already-down arrays are no-ops and omitted.
+    fn transitions(&self, (s, x, b): (u32, u32, u32)) -> Vec<((u32, u32, u32), f64)> {
+        let mut out = Vec::new();
+        let free = (self.n - s - x - b) as f64;
+        if free > 0.0 {
+            // A healthy array is struck: admitted if a slot is free,
+            // queued/rejected otherwise.
+            let target = if s + b < self.k {
+                (s + 1, x, b)
+            } else {
+                (s, x + 1, b)
+            };
+            out.push((target, free * self.nu));
+        }
+        if b > 0 {
+            // A failing-back array is re-struck: it keeps its slot and
+            // goes back to serving from DR.
+            out.push(((s + 1, x, b - 1), f64::from(b) * self.nu));
+            // A fail-back completes: under the queue policy the freed
+            // slot goes straight to the queue head (a down array, which
+            // starts serving); otherwise the slot idles.
+            let target = if self.queue && x > 0 {
+                (s + 1, x - 1, b - 1)
+            } else {
+                (s, x, b - 1)
+            };
+            out.push((target, f64::from(b) * self.phi));
+        }
+        if s > 0 {
+            // A served array is restored: it returns to OP and starts
+            // failing back, still holding its slot.
+            out.push(((s - 1, x, b + 1), f64::from(s) * self.mu));
+        }
+        if x > 0 {
+            // A queued/rejected array is restored: it abandons the DR
+            // site entirely.
+            out.push(((s, x - 1, b), f64::from(x) * self.mu));
+        }
+        out
+    }
+
+    /// Stationary distribution via dense Gaussian elimination on
+    /// `πQ = 0`, `Σπ = 1` (the state space stays well under 200 states
+    /// for the test grid).
+    fn stationary(&self) -> (Vec<(u32, u32, u32)>, Vec<f64>) {
+        let states = self.states();
+        let index: std::collections::HashMap<_, _> = states
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, st)| (st, i))
+            .collect();
+        let m = states.len();
+        // Row i of the linear system is balance for state i; the last
+        // row is replaced by normalisation.
+        let mut a = vec![vec![0.0f64; m + 1]; m];
+        for (j, &st) in states.iter().enumerate() {
+            for (target, rate) in self.transitions(st) {
+                let i = index[&target];
+                a[i][j] += rate; // inflow to `target` from `st`
+                a[j][j] -= rate; // outflow from `st`
+            }
+        }
+        for col in a.last_mut().unwrap().iter_mut().take(m) {
+            *col = 1.0;
+        }
+        a[m - 1][m] = 1.0;
+        // Gaussian elimination with partial pivoting.
+        for col in 0..m {
+            let pivot = (col..m)
+                .max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))
+                .unwrap();
+            a.swap(col, pivot);
+            let diag = a[col][col];
+            assert!(diag.abs() > 1e-12, "singular balance matrix");
+            let pivot_row = a[col].clone();
+            for (row, vals) in a.iter_mut().enumerate() {
+                if row != col && vals[col] != 0.0 {
+                    let factor = vals[col] / diag;
+                    for (t, &p) in vals[col..=m].iter_mut().zip(&pivot_row[col..=m]) {
+                        *t -= factor * p;
+                    }
+                }
+            }
+        }
+        let pi: Vec<f64> = (0..m).map(|i| a[i][m] / a[i][i]).collect();
+        (states, pi)
+    }
+
+    /// `(plain, credited)` exact per-array unavailability: down arrays
+    /// are `s + x`; only the uncredited `x` count against the credit.
+    fn unavailability(&self) -> (f64, f64) {
+        let (states, pi) = self.stationary();
+        let mut down = 0.0;
+        let mut uncovered = 0.0;
+        for (&(s, x, _), &p) in states.iter().zip(&pi) {
+            down += f64::from(s + x) * p;
+            uncovered += f64::from(x) * p;
+        }
+        (down / f64::from(self.n), uncovered / f64::from(self.n))
+    }
+}
+
+#[test]
+fn bounded_dr_capacity_matches_the_exact_markov_chain() {
+    // Same oracle regime as the machine-repairman test — per-array
+    // domain strikes, disk/operator physics off — but with a bounded DR
+    // site in the loop. The MC confidence intervals must cover the
+    // exact chain's plain *and* credited unavailability on every grid
+    // cell, under both admission policies.
+    const N: u32 = 12;
+    const MU: f64 = 0.25;
+    const NU: f64 = 0.01;
+    const PHI: f64 = 0.1;
+    let mut p = params(1e-12, 0.0);
+    p.ddf_recovery_rate = MU;
+    for policy in [FailoverPolicy::Queue, FailoverPolicy::Loss] {
+        for k in [1u32, 2, 4] {
+            let chain = DrChain {
+                n: N,
+                k,
+                nu: NU,
+                mu: MU,
+                phi: PHI,
+                queue: policy == FailoverPolicy::Queue,
+            };
+            let (exact_u, exact_credited_u) = chain.unavailability();
+            let est = FleetMc::new(
+                spec(N)
+                    .with_failover(failover(Some(k), policy, PHI))
+                    .unwrap(),
+                p,
+            )
+            .unwrap()
+            .with_coupling(FleetCoupling {
+                dependence: DependenceLevel::Zero,
+                domains: Some(DomainFailures {
+                    domain_arrays: 1,
+                    rate: NU,
+                }),
+            })
+            .unwrap()
+            .run(&McConfig {
+                iterations: 160,
+                horizon_hours: 30_000.0,
+                seed: 911,
+                confidence: 0.99,
+                threads: 2,
+                ..McConfig::default()
+            })
+            .unwrap();
+            let gap = (est.availability.mean - (1.0 - exact_u)).abs();
+            assert!(
+                gap <= est.availability.half_width,
+                "k = {k}, {policy}: plain mc {} vs exact {:.6} (hw {:.2e})",
+                est.availability,
+                1.0 - exact_u,
+                est.availability.half_width
+            );
+            let credited_gap = (est.credited_availability.mean - (1.0 - exact_credited_u)).abs();
+            assert!(
+                credited_gap <= est.credited_availability.half_width,
+                "k = {k}, {policy}: credited mc {} vs exact {:.6} (hw {:.2e})",
+                est.credited_availability,
+                1.0 - exact_credited_u,
+                est.credited_availability.half_width
+            );
+            match policy {
+                FailoverPolicy::Queue => {
+                    assert!(est.dr_queue_waits > 0 && est.dr_rejections == 0)
+                }
+                FailoverPolicy::Loss => {
+                    assert!(est.dr_rejections > 0 && est.dr_queue_waits == 0)
+                }
+            }
+        }
+    }
+    // The unbounded site is the k → ∞ limit: nothing queues, nothing is
+    // rejected, and the plain answer is the crew-free machine-repairman
+    // closed form.
+    let est = FleetMc::new(
+        spec(N)
+            .with_failover(failover(None, FailoverPolicy::Queue, PHI))
+            .unwrap(),
+        p,
+    )
+    .unwrap()
+    .with_coupling(FleetCoupling {
+        dependence: DependenceLevel::Zero,
+        domains: Some(DomainFailures {
+            domain_arrays: 1,
+            rate: NU,
+        }),
+    })
+    .unwrap()
+    .run(&McConfig {
+        iterations: 160,
+        horizon_hours: 30_000.0,
+        seed: 911,
+        confidence: 0.99,
+        threads: 2,
+        ..McConfig::default()
+    })
+    .unwrap();
+    let exact = machine_repairman_availability(N, None, NU, MU);
+    let gap = (est.availability.mean - exact).abs();
+    assert!(
+        gap <= est.availability.half_width,
+        "k = ∞: mc {} vs exact {exact:.6}",
+        est.availability
+    );
+    assert_eq!(est.overall_credited_array_availability, 1.0);
+    assert_eq!(est.dr_queue_waits, 0);
+    assert_eq!(est.dr_rejections, 0);
+}
+
+#[test]
+fn dr_contention_orders_credited_unavailability_by_capacity() {
+    // More DR slots can only help: credited unavailability must fall
+    // monotonically along k = 1 → 2 → 4 → ∞ in a contended regime, and
+    // the plain estimate must not react to the DR site at all (serving
+    // from DR does not repair anything).
+    const N: u32 = 12;
+    let mut p = params(1e-12, 0.0);
+    p.ddf_recovery_rate = 0.05;
+    let run = |capacity: Option<Option<u32>>| {
+        let mut fleet = spec(N);
+        if let Some(cap) = capacity {
+            fleet = fleet
+                .with_failover(failover(cap, FailoverPolicy::Queue, 0.05))
+                .unwrap();
+        }
+        FleetMc::new(fleet, p)
+            .unwrap()
+            .with_coupling(FleetCoupling {
+                dependence: DependenceLevel::Zero,
+                domains: Some(DomainFailures {
+                    domain_arrays: 1,
+                    rate: 0.02,
+                }),
+            })
+            .unwrap()
+            .run(&quick_config(80))
+            .unwrap()
+    };
+    let none = run(None);
+    let k1 = run(Some(Some(1)));
+    let k2 = run(Some(Some(2)));
+    let k4 = run(Some(Some(4)));
+    let ideal = run(Some(None));
+    // The ideal site draws nothing, so it cannot perturb the physics:
+    // its plain bits are identical to running with no site at all. (A
+    // bounded site arms real switch-back clocks, which legitimately
+    // shift the stream.)
+    assert_eq!(
+        none.overall_array_availability.to_bits(),
+        ideal.overall_array_availability.to_bits()
+    );
+    assert_eq!(none.dl_events, ideal.dl_events);
+    let u = |est: &FleetEstimate| est.credited_array_unavailability();
+    assert!(u(&k1) > u(&k2), "k1 {} vs k2 {}", u(&k1), u(&k2));
+    assert!(u(&k2) > u(&k4), "k2 {} vs k4 {}", u(&k2), u(&k4));
+    assert!(u(&k4) > u(&ideal), "k4 {} vs ideal {}", u(&k4), u(&ideal));
+    assert_eq!(u(&ideal), 0.0);
+    // Serving from DR does not repair anything: the credit can only
+    // discount the plain downtime, never exceed it.
+    for est in [&k1, &k2, &k4] {
+        assert!(u(est) <= est.array_unavailability() + 1e-12);
+    }
+    // Queue pressure shows up in the waiting-time telemetry, and a
+    // one-slot site can never report more than one busy slot.
+    assert!(k1.mean_dr_queue_wait_hours() > 0.0);
+    assert!(k1.mean_dr_occupancy() <= 1.0 + 1e-9);
 }

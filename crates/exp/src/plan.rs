@@ -121,6 +121,19 @@ impl Plan {
             if let (Some(domain), Some(rate)) = (fleet.domain_arrays, fleet.domain_rate) {
                 let _ = write!(line, ", domains of {domain} at {}/h", format_float(rate));
             }
+            if let Some(capacity) = fleet.failover_capacity {
+                match capacity {
+                    None => {
+                        let _ = write!(line, ", DR capacity unlimited");
+                    }
+                    Some(k) => {
+                        let _ = write!(line, ", DR capacity {k} ({})", fleet.failover_policy);
+                    }
+                }
+                if let Some(rate) = fleet.failback_rate {
+                    let _ = write!(line, ", fail-back {}/h", format_float(rate));
+                }
+            }
             let _ = writeln!(out, "  fleet     : {line}");
         }
         if let Some(cap) = s.capacity {
@@ -273,6 +286,32 @@ mod tests {
             d.contains("  telemetry : metrics -> m.prom (prom), progress on"),
             "{d}"
         );
+    }
+
+    #[test]
+    fn describe_appends_the_dr_segment_only_when_configured() {
+        let plain =
+            Scenario::parse("[campaign]\nname = f\nmodel = mc\n[fleet]\narrays = 8\n").unwrap();
+        assert!(!expand(&plain).unwrap().describe().contains("DR"));
+        let bounded = Scenario::parse(
+            "[campaign]\nname = f\nmodel = mc\n[fleet]\narrays = 8\nfailover_capacity = 2\nfailover_policy = loss\nfailback_rate = 0.05\n",
+        )
+        .unwrap();
+        let d = expand(&bounded).unwrap().describe();
+        assert!(
+            d.contains("8 arrays per cell, DR capacity 2 (loss), fail-back 0.05/h"),
+            "{d}"
+        );
+        let ideal = Scenario::parse(
+            "[campaign]\nname = f\nmodel = mc\n[fleet]\narrays = 8\nfailover_capacity = inf\n",
+        )
+        .unwrap();
+        let d = expand(&ideal).unwrap().describe();
+        assert!(
+            d.contains("8 arrays per cell, DR capacity unlimited"),
+            "{d}"
+        );
+        assert!(!d.contains("fail-back"), "{d}");
     }
 
     #[test]

@@ -69,12 +69,39 @@ fn metric_values(result: &CampaignResult, i: usize, m: Metric) -> Vec<String> {
     }
 }
 
-/// Renders the campaign as CSV (deterministic; no timings).
+/// Whether the campaign's fleet has a DR coupling, i.e. whether reports
+/// carry the `credited_unavailability` column.
+fn has_dr_credit(result: &CampaignResult) -> bool {
+    result
+        .scenario
+        .fleet
+        .is_some_and(|f| f.failover_capacity.is_some())
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote, or newline
+/// (error strings are the only fields that can).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders the campaign as CSV (deterministic; no timings). Keep-going
+/// runs append `status`/`error` columns; failed cells keep their axis
+/// columns but leave every metric field empty.
 pub fn to_csv(result: &CampaignResult) -> String {
     let metrics = effective_metrics(result);
     let mut header = vec!["cell", "seed", "raid", "policy", "lambda", "hep"];
     for &m in &metrics {
         header.extend_from_slice(metric_columns(m));
+    }
+    if has_dr_credit(result) {
+        header.push("credited_unavailability");
+    }
+    if result.keep_going {
+        header.extend_from_slice(&["status", "error"]);
     }
     let mut out = String::new();
     let _ = writeln!(out, "{}", header.join(","));
@@ -88,7 +115,22 @@ pub fn to_csv(result: &CampaignResult) -> String {
             format_float(c.cell.hep),
         ];
         for &m in &metrics {
-            row.extend(metric_values(result, i, m));
+            if c.is_failed() {
+                row.extend(vec![String::new(); metric_columns(m).len()]);
+            } else {
+                row.extend(metric_values(result, i, m));
+            }
+        }
+        if has_dr_credit(result) {
+            row.push(
+                c.credited_unavailability
+                    .map(format_float)
+                    .unwrap_or_default(),
+            );
+        }
+        if result.keep_going {
+            row.push(if c.is_failed() { "error" } else { "ok" }.to_string());
+            row.push(csv_field(c.error.as_deref().unwrap_or_default()));
         }
         let _ = writeln!(out, "{}", row.join(","));
     }
@@ -173,6 +215,21 @@ pub fn to_json(result: &CampaignResult) -> String {
             json_opt(c.mttdl_hours),
             json_opt(c.ci_half_width),
         );
+        if has_dr_credit(result) {
+            let _ = write!(
+                out,
+                ", \"credited_unavailability\": {}",
+                json_opt(c.credited_unavailability)
+            );
+        }
+        if result.keep_going {
+            let _ = write!(
+                out,
+                ", \"status\": {}, \"error\": {}",
+                json_string(if c.is_failed() { "error" } else { "ok" }),
+                c.error.as_deref().map_or("null".into(), json_string)
+            );
+        }
         if let Some(v) = c.volume {
             let _ = write!(
                 out,
@@ -190,6 +247,9 @@ pub fn to_json(result: &CampaignResult) -> String {
         out.push('\n');
     }
     out.push_str("  ],\n");
+    if result.keep_going {
+        let _ = writeln!(out, "  \"failed_cells\": {},", result.failed_cells);
+    }
     let u = &result.unavailability_stats;
     let _ = writeln!(
         out,
@@ -232,8 +292,16 @@ pub fn summary(result: &CampaignResult) -> String {
             c.cell.policy.as_str().to_string(),
             format!("{:.3e}", c.cell.lambda),
             format_float(c.cell.hep),
-            format!("{:.4e}", c.unavailability),
-            format!("{:.4}", c.nines),
+            if c.is_failed() {
+                "failed".into()
+            } else {
+                format!("{:.4e}", c.unavailability)
+            },
+            if c.is_failed() {
+                String::new()
+            } else {
+                format!("{:.4}", c.nines)
+            },
         ];
         if volume {
             row.push(
@@ -256,6 +324,13 @@ pub fn summary(result: &CampaignResult) -> String {
         result.wall_micros,
         result.worker_utilization() * 100.0
     );
+    if result.failed_cells > 0 {
+        let _ = writeln!(
+            out,
+            "{} cell(s) failed; see the status/error report columns",
+            result.failed_cells
+        );
+    }
     out
 }
 
@@ -271,7 +346,14 @@ mod tests {
             "[campaign]\nname = rpt\nseed = 2\ncapacity = 21\n[axes]\nraid = [r1, r5-3]\nhep = [0, 0.01]\nlambda = 1e-5\n",
         )
         .unwrap();
-        run(&expand(&s).unwrap(), &RunConfig { workers: 2 }).unwrap()
+        run(
+            &expand(&s).unwrap(),
+            &RunConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -302,8 +384,22 @@ mod tests {
         )
         .unwrap();
         let plan = expand(&s).unwrap();
-        let one = run(&plan, &RunConfig { workers: 1 }).unwrap();
-        let many = run(&plan, &RunConfig { workers: 4 }).unwrap();
+        let one = run(
+            &plan,
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let many = run(
+            &plan,
+            &RunConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(to_csv(&one), to_csv(&many));
         assert_eq!(to_json(&one), to_json(&many));
     }
@@ -359,9 +455,127 @@ mod tests {
             "[campaign]\nname = narrow\nmetrics = [nines]\n[axes]\nraid = r5-3\nlambda = 1e-5\nhep = 0.01\n",
         )
         .unwrap();
-        let r = run(&expand(&s).unwrap(), &RunConfig { workers: 1 }).unwrap();
+        let r = run(
+            &expand(&s).unwrap(),
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let csv = to_csv(&r);
         let header = csv.lines().next().unwrap();
         assert_eq!(header, "cell,seed,raid,policy,lambda,hep,nines");
+    }
+
+    #[test]
+    fn keep_going_reports_mark_exactly_the_failed_cell() {
+        let s = Scenario::parse(
+            "[campaign]\nname = kg\nmodel = markov-failover\n[axes]\nraid = [r5-3, r6-4]\nhep = 0.01\nlambda = 1e-5\n",
+        )
+        .unwrap();
+        let plan = expand(&s).unwrap();
+        let cfg = |workers| RunConfig {
+            workers,
+            keep_going: true,
+        };
+        let one = run(&plan, &cfg(1)).unwrap();
+        let four = run(&plan, &cfg(4)).unwrap();
+        // Deterministic placement: the report bytes are worker-invariant.
+        assert_eq!(to_csv(&one), to_csv(&four));
+        assert_eq!(to_json(&one), to_json(&four));
+
+        let csv = to_csv(&one);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].ends_with(",status,error"), "{}", lines[0]);
+        assert!(lines[1].contains(",ok,"), "{}", lines[1]);
+        assert!(lines[2].contains(",error,"), "{}", lines[2]);
+        // The failed row keeps its axis columns but empties the metrics.
+        assert!(lines[2].starts_with("1,"), "{}", lines[2]);
+        assert!(lines[2].contains(",,"), "{}", lines[2]);
+        for line in &lines[1..] {
+            assert_eq!(
+                split_respecting_quotes(line).len(),
+                lines[0].split(',').count(),
+                "ragged row: {line}"
+            );
+        }
+
+        let json = to_json(&one);
+        assert!(json.contains("\"status\": \"ok\""));
+        assert!(json.contains("\"status\": \"error\""));
+        assert!(json.contains("\"failed_cells\": 1,"));
+        assert_eq!(json.matches("\"error\": null").count(), 1);
+        // Failed metrics serialise as null, never NaN.
+        assert!(!json.contains("NaN"));
+
+        let text = summary(&one);
+        assert!(text.contains("failed"));
+        assert!(text.contains("1 cell(s) failed"));
+
+        // A plain (non-keep-going) campaign keeps its byte-stable layout.
+        let ok = result();
+        assert!(!to_csv(&ok).contains("status"));
+        assert!(!to_json(&ok).contains("\"failed_cells\""));
+    }
+
+    /// Splits a CSV line honouring double-quoted fields (test helper for
+    /// the error column, which may contain commas).
+    fn split_respecting_quotes(line: &str) -> Vec<String> {
+        let mut fields = vec![String::new()];
+        let mut in_quotes = false;
+        for ch in line.chars() {
+            match ch {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => fields.push(String::new()),
+                c => fields.last_mut().unwrap().push(c),
+            }
+        }
+        fields
+    }
+
+    #[test]
+    fn csv_field_quotes_delimiters() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn fleet_failover_campaigns_add_the_credited_column() {
+        let s = Scenario::parse(
+            "[campaign]\nname = dr\nseed = 5\nmodel = mc\n[axes]\nlambda = 1e-4\nhep = 0.02\n[mc]\niterations = 100\nhorizon_hours = 20000\n[fleet]\narrays = 4\nfailover_capacity = inf\n",
+        )
+        .unwrap();
+        let r = run(
+            &expand(&s).unwrap(),
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let csv = to_csv(&r);
+        let header = csv.lines().next().unwrap();
+        assert!(header.ends_with(",credited_unavailability"), "{header}");
+        // Ideal DR: the credited figure is exactly zero.
+        assert!(csv.lines().nth(1).unwrap().ends_with(",0.0"), "{csv}");
+        assert!(to_json(&r).contains("\"credited_unavailability\": 0.0"));
+
+        // Without the coupling neither report mentions the credit.
+        let plain = Scenario::parse(
+            "[campaign]\nname = dr\nseed = 5\nmodel = mc\n[axes]\nlambda = 1e-4\nhep = 0.02\n[mc]\niterations = 100\nhorizon_hours = 20000\n[fleet]\narrays = 4\n",
+        )
+        .unwrap();
+        let r = run(
+            &expand(&plain).unwrap(),
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!to_csv(&r).contains("credited"));
+        assert!(!to_json(&r).contains("credited"));
     }
 }

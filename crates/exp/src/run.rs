@@ -35,6 +35,10 @@ pub struct RunConfig {
     /// Worker threads; `0` (the default) means the machine's available
     /// parallelism. The effective count is clamped to the number of cells.
     pub workers: usize,
+    /// Continue past failing cells instead of aborting the campaign: each
+    /// failure becomes a report row carrying its error string, placed
+    /// deterministically at the cell's index.
+    pub keep_going: bool,
 }
 
 impl RunConfig {
@@ -73,6 +77,10 @@ pub struct CellResult {
     pub mttdl_hours: Option<f64>,
     /// Half-width of the availability confidence interval (MC only).
     pub ci_half_width: Option<f64>,
+    /// DR-credited per-array unavailability: down time not covered by the
+    /// disaster-recovery site. Present only for fleet cells with a
+    /// `failover_capacity` coupling.
+    pub credited_unavailability: Option<f64>,
     /// Volume metrics (only when the campaign sets `capacity`).
     pub volume: Option<VolumeMetrics>,
     /// Engine telemetry counters for this cell (all-zero unless the
@@ -82,6 +90,35 @@ pub struct CellResult {
     /// Wall-clock time this cell took, microseconds. Excluded from the
     /// deterministic CSV/JSON reports; summarised in the text report.
     pub elapsed_micros: u64,
+    /// The cell's error string when it failed under a keep-going run;
+    /// `None` for a successful cell. Failed cells carry NaN metrics and
+    /// are excluded from every campaign aggregate.
+    pub error: Option<String>,
+}
+
+impl CellResult {
+    /// The deterministic placeholder row a failed cell leaves behind under
+    /// `--keep-going`: NaN metrics, zeroed counters, and the error string.
+    fn failed(cell: &Cell, error: String) -> Self {
+        CellResult {
+            cell: cell.clone(),
+            unavailability: f64::NAN,
+            nines: f64::NAN,
+            downtime_min_per_year: f64::NAN,
+            mttdl_hours: None,
+            ci_half_width: None,
+            credited_unavailability: None,
+            volume: None,
+            counters: CounterSnapshot::default(),
+            elapsed_micros: 0,
+            error: Some(error),
+        }
+    }
+
+    /// Whether the cell failed (keep-going runs only).
+    pub fn is_failed(&self) -> bool {
+        self.error.is_some()
+    }
 }
 
 /// Aggregate outcome of a campaign run.
@@ -101,6 +138,13 @@ pub struct CampaignResult {
     pub counters: CounterSnapshot,
     /// Workers actually used.
     pub workers: usize,
+    /// Whether the run continued past failures ([`RunConfig::keep_going`]);
+    /// reports add `status`/`error` columns only for keep-going runs so
+    /// plain campaigns keep their byte-stable layout.
+    pub keep_going: bool,
+    /// Failed cells recorded by a keep-going run; always `0` otherwise
+    /// (a failure aborts the campaign instead).
+    pub failed_cells: usize,
     /// Total wall-clock time of the run, microseconds.
     pub wall_micros: u64,
 }
@@ -124,6 +168,9 @@ impl CampaignResult {
 /// Returns the lowest-indexed failure among the cells that ran; a failing
 /// cell also stops workers from claiming further cells, so an early
 /// misconfiguration does not burn the whole campaign's compute first.
+/// With [`RunConfig::keep_going`] set, cell failures never abort: each
+/// failed cell becomes a placeholder row (NaN metrics, the error string)
+/// at its own index, and the run errs only on campaign-level problems.
 pub fn run(plan: &Plan, config: &RunConfig) -> Result<CampaignResult> {
     run_with_progress(plan, config, None)
 }
@@ -152,31 +199,47 @@ pub fn run_with_progress(
         workers,
         |i| {
             let r = run_cell(&plan.scenario, &plan.cells[i as usize]);
-            if let (Some(sink), Ok(c)) = (progress, r.as_ref()) {
+            if let Some(sink) = progress {
                 let k = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                let ci = c
-                    .ci_half_width
-                    .map(|h| format!(", ±{}", crate::plan::format_float(h)))
-                    .unwrap_or_default();
-                sink(&format!(
-                    "cell {k}/{n} done (U={}{ci})",
-                    crate::plan::format_float(c.unavailability)
-                ));
+                match r.as_ref() {
+                    Ok(c) => {
+                        let ci = c
+                            .ci_half_width
+                            .map(|h| format!(", ±{}", crate::plan::format_float(h)))
+                            .unwrap_or_default();
+                        sink(&format!(
+                            "cell {k}/{n} done (U={}{ci})",
+                            crate::plan::format_float(c.unavailability)
+                        ));
+                    }
+                    Err(e) if config.keep_going => {
+                        sink(&format!("cell {k}/{n} FAILED ({e})"));
+                    }
+                    Err(_) => {}
+                }
             }
             r
         },
-        Result::is_err,
+        |r| !config.keep_going && r.is_err(),
     );
 
     let mut cells = Vec::with_capacity(n);
-    for (_, r) in collected {
-        cells.push(r?);
+    let mut failed_cells = 0usize;
+    for (i, r) in collected {
+        match r {
+            Ok(c) => cells.push(c),
+            Err(e) if config.keep_going => {
+                failed_cells += 1;
+                cells.push(CellResult::failed(&plan.cells[i as usize], e.to_string()));
+            }
+            Err(e) => return Err(e),
+        }
     }
 
     let mut unavailability_stats = RunningStats::new();
     let mut timing_stats = RunningStats::new();
     let mut counters = CounterSnapshot::default();
-    for c in &cells {
+    for c in cells.iter().filter(|c| !c.is_failed()) {
         unavailability_stats.push(c.unavailability);
         timing_stats.push(c.elapsed_micros as f64);
         counters.merge(&c.counters);
@@ -189,6 +252,8 @@ pub fn run_with_progress(
         timing_stats,
         counters,
         workers,
+        keep_going: config.keep_going,
+        failed_cells,
         wall_micros: started.elapsed().as_micros() as u64,
     })
 }
@@ -206,61 +271,65 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
     let hep = Hep::new(cell.hep).map_err(|e| model(CoreError::Hra(e)))?;
     let params = ModelParams::paper_defaults(cell.raid, cell.lambda, hep).map_err(model)?;
 
-    let (unavailability, mttdl_hours, ci_half_width, counters) = match (scenario.model, cell.policy)
-    {
-        (ModelKind::Mc, policy) => {
-            let est = mc_estimate(
-                scenario.mc,
-                scenario.fleet,
-                policy,
-                params,
-                cell.seed,
-                scenario.telemetry.enabled(),
-            )
-            .map_err(model)?;
-            (est.0, None, Some(est.1), est.2)
-        }
-        (_, Policy::Failover) => {
-            let m = Raid5FailOver::new(params).map_err(model)?;
-            let solved = m.solve().map_err(model)?;
-            (
-                solved.unavailability(),
-                Some(m.mttdl_hours().map_err(model)?),
-                None,
-                CounterSnapshot::default(),
-            )
-        }
-        (ModelKind::GenericKofN, Policy::Conventional) => {
-            let m = GenericKofN::new(params).map_err(model)?;
-            let solved = m.solve().map_err(model)?;
-            (
-                solved.unavailability(),
-                Some(m.mttdl_hours().map_err(model)?),
-                None,
-                CounterSnapshot::default(),
-            )
-        }
-        (_, Policy::Conventional) if cell.raid.fault_tolerance() == 1 => {
-            let m = Raid5Conventional::new(params).map_err(model)?;
-            let solved = m.solve().map_err(model)?;
-            (
-                solved.unavailability(),
-                Some(m.mttdl_hours().map_err(model)?),
-                None,
-                CounterSnapshot::default(),
-            )
-        }
-        (_, Policy::Conventional) => {
-            let m = GenericKofN::new(params).map_err(model)?;
-            let solved = m.solve().map_err(model)?;
-            (
-                solved.unavailability(),
-                Some(m.mttdl_hours().map_err(model)?),
-                None,
-                CounterSnapshot::default(),
-            )
-        }
-    };
+    let (unavailability, mttdl_hours, ci_half_width, credited_unavailability, counters) =
+        match (scenario.model, cell.policy) {
+            (ModelKind::Mc, policy) => {
+                let est = mc_estimate(
+                    scenario.mc,
+                    scenario.fleet,
+                    policy,
+                    params,
+                    cell.seed,
+                    scenario.telemetry.enabled(),
+                )
+                .map_err(model)?;
+                (est.0, None, Some(est.1), est.2, est.3)
+            }
+            (_, Policy::Failover) => {
+                let m = Raid5FailOver::new(params).map_err(model)?;
+                let solved = m.solve().map_err(model)?;
+                (
+                    solved.unavailability(),
+                    Some(m.mttdl_hours().map_err(model)?),
+                    None,
+                    None,
+                    CounterSnapshot::default(),
+                )
+            }
+            (ModelKind::GenericKofN, Policy::Conventional) => {
+                let m = GenericKofN::new(params).map_err(model)?;
+                let solved = m.solve().map_err(model)?;
+                (
+                    solved.unavailability(),
+                    Some(m.mttdl_hours().map_err(model)?),
+                    None,
+                    None,
+                    CounterSnapshot::default(),
+                )
+            }
+            (_, Policy::Conventional) if cell.raid.fault_tolerance() == 1 => {
+                let m = Raid5Conventional::new(params).map_err(model)?;
+                let solved = m.solve().map_err(model)?;
+                (
+                    solved.unavailability(),
+                    Some(m.mttdl_hours().map_err(model)?),
+                    None,
+                    None,
+                    CounterSnapshot::default(),
+                )
+            }
+            (_, Policy::Conventional) => {
+                let m = GenericKofN::new(params).map_err(model)?;
+                let solved = m.solve().map_err(model)?;
+                (
+                    solved.unavailability(),
+                    Some(m.mttdl_hours().map_err(model)?),
+                    None,
+                    None,
+                    CounterSnapshot::default(),
+                )
+            }
+        };
 
     let volume = match scenario.capacity {
         Some(cap) => {
@@ -284,15 +353,20 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
         downtime_min_per_year: nines::downtime_minutes_per_year(unavailability),
         mttdl_hours,
         ci_half_width,
+        credited_unavailability,
         volume,
         counters,
         elapsed_micros: started.elapsed().as_micros() as u64,
+        error: None,
     })
 }
 
 /// Runs the Monte-Carlo backend for one cell; single-threaded internally
 /// (campaign parallelism is across cells). With a `[fleet]` section the
-/// cell runs the fleet engine and reports its per-array unavailability.
+/// cell runs the fleet engine and reports its per-array unavailability;
+/// the third slot carries the DR-credited unavailability when the fleet
+/// has a `failover_capacity` coupling (the fail-back rate defaults to the
+/// disk-change rate: switching back is an operator-driven swap action).
 fn mc_estimate(
     mc: McSettings,
     fleet: Option<FleetSettings>,
@@ -300,7 +374,7 @@ fn mc_estimate(
     params: ModelParams,
     seed: u64,
     telemetry: bool,
-) -> availsim_core::Result<(f64, f64, CounterSnapshot)> {
+) -> availsim_core::Result<(f64, f64, Option<f64>, CounterSnapshot)> {
     let config = McConfig {
         iterations: mc.iterations,
         horizon_hours: mc.horizon_hours,
@@ -323,12 +397,17 @@ fn mc_estimate(
             })?;
             spec = spec.with_repairmen(crews).map_err(CoreError::Storage)?;
         }
+        let failover = fleet.failover(params.disk_change_rate);
+        if let Some(f) = failover {
+            spec = spec.with_failover(f).map_err(CoreError::Storage)?;
+        }
         let est = FleetMc::new(spec, params)?
             .with_coupling(fleet.coupling())?
             .run(&config)?;
         return Ok((
             est.array_unavailability(),
             est.availability.half_width,
+            failover.map(|_| est.credited_array_unavailability()),
             est.counters,
         ));
     }
@@ -339,6 +418,7 @@ fn mc_estimate(
     Ok((
         est.unavailability(),
         est.availability.half_width,
+        None,
         est.counters,
     ))
 }
@@ -358,7 +438,14 @@ mod tests {
     #[test]
     fn runs_every_cell_in_order() {
         let plan = expand(&markov_scenario()).unwrap();
-        let out = run(&plan, &RunConfig { workers: 2 }).unwrap();
+        let out = run(
+            &plan,
+            &RunConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(out.cells.len(), 6);
         for (i, c) in out.cells.iter().enumerate() {
             assert_eq!(c.cell.index, i as u64);
@@ -374,8 +461,22 @@ mod tests {
     #[test]
     fn worker_count_does_not_change_any_metric_bit() {
         let plan = expand(&markov_scenario()).unwrap();
-        let one = run(&plan, &RunConfig { workers: 1 }).unwrap();
-        let many = run(&plan, &RunConfig { workers: 3 }).unwrap();
+        let one = run(
+            &plan,
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let many = run(
+            &plan,
+            &RunConfig {
+                workers: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for (a, b) in one.cells.iter().zip(&many.cells) {
             assert_eq!(a.unavailability.to_bits(), b.unavailability.to_bits());
             assert_eq!(a.nines.to_bits(), b.nines.to_bits());
@@ -397,8 +498,22 @@ mod tests {
         )
         .unwrap();
         let plan = expand(&s).unwrap();
-        let one = run(&plan, &RunConfig { workers: 1 }).unwrap();
-        let four = run(&plan, &RunConfig { workers: 4 }).unwrap();
+        let one = run(
+            &plan,
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let four = run(
+            &plan,
+            &RunConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for (a, b) in one.cells.iter().zip(&four.cells) {
             assert_eq!(a.unavailability.to_bits(), b.unavailability.to_bits());
             assert_eq!(
@@ -421,8 +536,22 @@ mod tests {
         let mut s = mc_scenario();
         s.telemetry.metrics = Some("m.json".into());
         let plan = expand(&s).unwrap();
-        let one = run(&plan, &RunConfig { workers: 1 }).unwrap();
-        let four = run(&plan, &RunConfig { workers: 4 }).unwrap();
+        let one = run(
+            &plan,
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let four = run(
+            &plan,
+            &RunConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(!one.counters.is_empty(), "mc cells must report counters");
         assert_eq!(one.counters, four.counters);
         for (a, b) in one.cells.iter().zip(&four.cells) {
@@ -430,7 +559,14 @@ mod tests {
         }
         // Estimates are bit-identical with telemetry on vs off: counters
         // never touch the RNG stream.
-        let off = run(&expand(&mc_scenario()).unwrap(), &RunConfig { workers: 1 }).unwrap();
+        let off = run(
+            &expand(&mc_scenario()).unwrap(),
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(off.counters.is_empty(), "disabled telemetry stays all-zero");
         for (a, b) in one.cells.iter().zip(&off.cells) {
             assert_eq!(a.unavailability.to_bits(), b.unavailability.to_bits());
@@ -443,7 +579,15 @@ mod tests {
         let plan = expand(&mc_scenario()).unwrap();
         let lines = Mutex::new(Vec::new());
         let sink = |l: &str| lines.lock().unwrap().push(l.to_string());
-        let out = run_with_progress(&plan, &RunConfig { workers: 2 }, Some(&sink)).unwrap();
+        let out = run_with_progress(
+            &plan,
+            &RunConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            Some(&sink),
+        )
+        .unwrap();
         let lines = lines.into_inner().unwrap();
         assert_eq!(lines.len(), plan.len());
         for l in &lines {
@@ -456,10 +600,16 @@ mod tests {
 
     #[test]
     fn effective_workers_clamps_to_cells_and_floor_of_one() {
-        let c = RunConfig { workers: 64 };
+        let c = RunConfig {
+            workers: 64,
+            ..Default::default()
+        };
         assert_eq!(c.effective_workers(3), 3);
         assert_eq!(c.effective_workers(0), 1);
-        let auto = RunConfig { workers: 0 };
+        let auto = RunConfig {
+            workers: 0,
+            ..Default::default()
+        };
         assert!(auto.effective_workers(1000) >= 1);
         assert_eq!(RunConfig::default().workers, 0);
     }
@@ -470,7 +620,14 @@ mod tests {
             "[campaign]\nname = f\n[axes]\nraid = r5-3\npolicy = [conventional, failover]\nhep = 0.01\nlambda = 1e-5\n",
         )
         .unwrap();
-        let out = run(&expand(&s).unwrap(), &RunConfig { workers: 1 }).unwrap();
+        let out = run(
+            &expand(&s).unwrap(),
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // Fail-over removes the human-error exposure window, so it must be
         // strictly more available at hep > 0 (the paper's Fig. 7).
         assert!(out.cells[1].unavailability < out.cells[0].unavailability);
@@ -483,7 +640,100 @@ mod tests {
             "[campaign]\nname = bad\nmodel = markov-failover\n[axes]\nraid = r6-4\n",
         )
         .unwrap();
-        let err = run(&expand(&s).unwrap(), &RunConfig { workers: 1 }).unwrap_err();
+        let err = run(
+            &expand(&s).unwrap(),
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
         assert!(err.to_string().starts_with("cell 0"), "{err}");
+    }
+
+    #[test]
+    fn keep_going_records_the_failing_cell_and_continues() {
+        // r6-4 under the Fig. 3 fail-over chain is invalid (ft must be 1),
+        // so exactly cell 1 of this two-cell campaign fails.
+        let s = Scenario::parse(
+            "[campaign]\nname = kg\nmodel = markov-failover\n[axes]\nraid = [r5-3, r6-4]\nhep = 0.01\nlambda = 1e-5\n",
+        )
+        .unwrap();
+        let plan = expand(&s).unwrap();
+        assert!(run(
+            &plan,
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+
+        let cfg = |workers| RunConfig {
+            workers,
+            keep_going: true,
+        };
+        let one = run(&plan, &cfg(1)).unwrap();
+        let four = run(&plan, &cfg(4)).unwrap();
+        for out in [&one, &four] {
+            assert_eq!(out.cells.len(), 2);
+            assert_eq!(out.failed_cells, 1);
+            assert!(!out.cells[0].is_failed());
+            assert!(out.cells[1].is_failed());
+            assert!(out.cells[1].unavailability.is_nan());
+            assert!(
+                out.cells[1].error.as_deref().unwrap().starts_with("cell 1"),
+                "{:?}",
+                out.cells[1].error
+            );
+            // Aggregates skip the failed placeholder row.
+            assert_eq!(out.unavailability_stats.count(), 1);
+        }
+        assert_eq!(
+            one.cells[0].unavailability.to_bits(),
+            four.cells[0].unavailability.to_bits()
+        );
+        assert_eq!(one.cells[1].error, four.cells[1].error);
+    }
+
+    #[test]
+    fn fleet_failover_cells_report_a_credited_column() {
+        let dr = Scenario::parse(
+            "[campaign]\nname = dr\nseed = 7\nmodel = mc\n[axes]\nlambda = 1e-4\nhep = 0.05\n[mc]\niterations = 120\nhorizon_hours = 20000\n[fleet]\narrays = 6\nfailover_capacity = inf\n",
+        )
+        .unwrap();
+        let out = run(
+            &expand(&dr).unwrap(),
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let c = &out.cells[0];
+        // An ideal DR site covers every outage: exactly zero credited
+        // unavailability, not merely a small one.
+        assert_eq!(c.credited_unavailability, Some(0.0));
+        assert!(c.unavailability > 0.0);
+
+        // Without the coupling there is no credited column, and the ideal
+        // site draws nothing, so the plain estimate is bit-identical.
+        let plain = Scenario::parse(
+            "[campaign]\nname = dr\nseed = 7\nmodel = mc\n[axes]\nlambda = 1e-4\nhep = 0.05\n[mc]\niterations = 120\nhorizon_hours = 20000\n[fleet]\narrays = 6\n",
+        )
+        .unwrap();
+        let base = run(
+            &expand(&plain).unwrap(),
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(base.cells[0].credited_unavailability, None);
+        assert_eq!(
+            base.cells[0].unavailability.to_bits(),
+            c.unavailability.to_bits()
+        );
     }
 }

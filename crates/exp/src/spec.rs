@@ -33,6 +33,11 @@
 //!                                    # moderate | high | complete
 //! domain_arrays = 10                 # optional (set both): shelf size and
 //! domain_rate = 1e-5                 # strike rate of domain failures
+//! failover_capacity = 4              # optional: shared DR site slots
+//!                                    # (`inf` = ideal unbounded site)
+//! failover_policy = queue            # full-site admission: queue | loss
+//! failback_rate = 0.01               # optional switch-back rate per hour
+//!                                    # (defaults to the disk-change rate)
 //!
 //! [telemetry]                        # optional; engine observability
 //! metrics = metrics.json             # enables counters, names the snapshot
@@ -48,7 +53,7 @@
 use crate::error::{ExpError, Result};
 use availsim_core::mc::{DomainFailures, FleetCoupling, McVariance};
 use availsim_hra::{DependenceLevel, Hep};
-use availsim_storage::{FleetSpec, RaidGeometry};
+use availsim_storage::{FailoverPolicy, FleetFailover, FleetSpec, RaidGeometry};
 use std::fmt;
 
 /// Which solver backend evaluates each cell.
@@ -221,6 +226,15 @@ pub struct FleetSettings {
     pub domain_arrays: Option<u64>,
     /// Domain strike rate per hour (`domain_rate`).
     pub domain_rate: Option<f64>,
+    /// Shared DR site slots (`failover_capacity = k | inf`): `None` is no
+    /// DR site, `Some(None)` the ideal unbounded site.
+    pub failover_capacity: Option<Option<u64>>,
+    /// Full-site admission policy (`failover_policy = queue | loss`).
+    pub failover_policy: FailoverPolicy,
+    /// Switch-back rate per hour (`failback_rate`); `None` defaults to
+    /// the model's disk-change rate at run time (switching service back
+    /// is an operator-driven maintenance action like a disk swap).
+    pub failback_rate: Option<f64>,
 }
 
 impl Default for FleetSettings {
@@ -231,6 +245,9 @@ impl Default for FleetSettings {
             dependence: DependenceLevel::Zero,
             domain_arrays: None,
             domain_rate: None,
+            failover_capacity: None,
+            failover_policy: FailoverPolicy::Queue,
+            failback_rate: None,
         }
     }
 }
@@ -249,6 +266,16 @@ impl FleetSettings {
             dependence: self.dependence,
             domains,
         }
+    }
+
+    /// The DR fail-over configuration, if a `failover_capacity` was given;
+    /// `default_failback_rate` fills an omitted `failback_rate`.
+    pub fn failover(&self, default_failback_rate: f64) -> Option<FleetFailover> {
+        self.failover_capacity.map(|capacity| FleetFailover {
+            capacity: capacity.map(|v| u32::try_from(v).unwrap_or(u32::MAX)),
+            policy: self.failover_policy,
+            failback_rate: self.failback_rate.unwrap_or(default_failback_rate),
+        })
     }
 }
 
@@ -648,6 +675,12 @@ impl Scenario {
         // `format` is checked after the scan: it is an error without a
         // `metrics` destination, which may appear later in the section.
         let mut metrics_format: Option<(usize, String)> = None;
+        // The failover keys are cross-checked after the scan (they need
+        // `arrays`, and the tuning keys need `failover_capacity`, either
+        // of which may appear later in the section).
+        let mut failover_capacity: Option<(usize, Option<u64>)> = None;
+        let mut failover_policy: Option<(usize, FailoverPolicy)> = None;
+        let mut failback_rate: Option<(usize, f64)> = None;
 
         for (sec, e) in &entries {
             match (sec.as_str(), e.key.as_str()) {
@@ -809,6 +842,49 @@ impl Scenario {
                         .get_or_insert_with(Default::default)
                         .domain_rate = Some(rate);
                 }
+                ("fleet", "failover_capacity") => {
+                    let raw = scalar(e)?;
+                    let cap = if raw == "inf" {
+                        None
+                    } else {
+                        let v = parse_u64(e.line, "failover_capacity", raw)?;
+                        if v == 0 {
+                            return Err(parse_err(
+                                e.line,
+                                "DR site needs at least one failover slot \
+                                 (use `inf` for an ideal site, or omit the key for none)",
+                            ));
+                        }
+                        if u32::try_from(v).is_err() {
+                            return Err(parse_err(
+                                e.line,
+                                format!("failover_capacity {v} is too large"),
+                            ));
+                        }
+                        Some(v)
+                    };
+                    failover_capacity = Some((e.line, cap));
+                }
+                ("fleet", "failover_policy") => {
+                    let raw = scalar(e)?;
+                    let policy = FailoverPolicy::parse(raw).ok_or_else(|| {
+                        parse_err(
+                            e.line,
+                            format!("unknown failover policy `{raw}` (use queue, loss)"),
+                        )
+                    })?;
+                    failover_policy = Some((e.line, policy));
+                }
+                ("fleet", "failback_rate") => {
+                    let rate = parse_f64(e.line, "failback_rate", scalar(e)?)?;
+                    if !(rate.is_finite() && rate > 0.0) {
+                        return Err(parse_err(
+                            e.line,
+                            format!("fail-back rate must be positive and finite, got {rate}"),
+                        ));
+                    }
+                    failback_rate = Some((e.line, rate));
+                }
                 ("telemetry", "metrics") => {
                     scenario.telemetry.metrics = Some(scalar(e)?.to_string());
                 }
@@ -845,6 +921,36 @@ impl Scenario {
             scenario.telemetry.format = MetricsFormat::parse(&raw).ok_or_else(|| {
                 parse_err(line, format!("unknown format `{raw}` (use json, prom)"))
             })?;
+        }
+        if let Some((line, cap)) = failover_capacity {
+            let fleet = scenario.fleet.get_or_insert_with(Default::default);
+            if fleet.arrays == 0 {
+                return Err(parse_err(
+                    line,
+                    "`failover_capacity` requires `arrays` in [fleet]",
+                ));
+            }
+            fleet.failover_capacity = Some(cap);
+            if let Some((_, policy)) = failover_policy {
+                fleet.failover_policy = policy;
+            }
+            if let Some((_, rate)) = failback_rate {
+                fleet.failback_rate = Some(rate);
+            }
+        } else {
+            let orphan = [
+                failover_policy.map(|(l, _)| (l, "failover_policy")),
+                failback_rate.map(|(l, _)| (l, "failback_rate")),
+            ]
+            .into_iter()
+            .flatten()
+            .next();
+            if let Some((l, key)) = orphan {
+                return Err(parse_err(
+                    l,
+                    format!("`{key}` requires a `failover_capacity` key in [fleet]"),
+                ));
+            }
         }
         scenario.validate()?;
         Ok(scenario)
@@ -963,6 +1069,23 @@ impl Scenario {
                     })?;
                     spec.with_repairmen(crews)
                         .map_err(|e| ExpError::InvalidSpec(e.to_string()))?;
+                }
+                if let Some(capacity) = fleet.failover_capacity {
+                    if let Some(v) = capacity {
+                        u32::try_from(v).map_err(|_| {
+                            ExpError::InvalidSpec(format!(
+                                "fleet failover_capacity {v} is too large"
+                            ))
+                        })?;
+                    }
+                    // An omitted failback_rate is filled per cell at run
+                    // time; a valid placeholder validates the rest.
+                    spec.with_failover(FleetFailover {
+                        capacity: capacity.map(|v| u32::try_from(v).unwrap_or(u32::MAX)),
+                        policy: fleet.failover_policy,
+                        failback_rate: fleet.failback_rate.unwrap_or(1.0),
+                    })
+                    .map_err(|e| ExpError::InvalidSpec(e.to_string()))?;
                 }
             }
             match (fleet.domain_arrays, fleet.domain_rate) {
@@ -1314,6 +1437,94 @@ lambda = 1e-5
         let e = Scenario::parse("[campaign]\nname = f\nmodel = mc\n[fleet]\nrepairmen = 2\n")
             .unwrap_err();
         assert!(e.to_string().contains("at least one array"), "{e}");
+    }
+
+    #[test]
+    fn failover_keys_parse_and_cross_checks_name_their_line() {
+        let s = Scenario::parse(
+            "[campaign]\nname = f\nmodel = mc\n[fleet]\narrays = 40\n\
+             failover_capacity = 4\nfailover_policy = loss\nfailback_rate = 0.01\n",
+        )
+        .unwrap();
+        let fleet = s.fleet.unwrap();
+        assert_eq!(fleet.failover_capacity, Some(Some(4)));
+        assert_eq!(fleet.failover_policy, FailoverPolicy::Loss);
+        assert_eq!(fleet.failback_rate, Some(0.01));
+        let failover = fleet.failover(0.25).unwrap();
+        assert_eq!(failover.capacity, Some(4));
+        assert_eq!(failover.policy, FailoverPolicy::Loss);
+        assert_eq!(failover.failback_rate, 0.01);
+
+        // `inf` is the ideal unbounded site; an omitted failback_rate
+        // takes the caller's default.
+        let s = Scenario::parse(
+            "[campaign]\nname = f\nmodel = mc\n[fleet]\narrays = 8\nfailover_capacity = inf\n",
+        )
+        .unwrap();
+        let fleet = s.fleet.unwrap();
+        assert_eq!(fleet.failover_capacity, Some(None));
+        assert_eq!(fleet.failover_policy, FailoverPolicy::Queue);
+        let failover = fleet.failover(0.25).unwrap();
+        assert_eq!(failover.capacity, None);
+        assert_eq!(failover.failback_rate, 0.25);
+
+        // No failover keys at all: no DR site.
+        let s = Scenario::parse("[campaign]\nname = f\nmodel = mc\n[fleet]\narrays = 8\n").unwrap();
+        assert_eq!(s.fleet.unwrap().failover(0.25), None);
+
+        // Degenerate values are line-numbered parse errors.
+        let cases = [
+            ("failover_capacity = 0", "line 5", "at least one failover"),
+            ("failover_capacity = 99999999999", "line 5", "is too large"),
+            ("failover_capacity = many", "line 5", "unsigned integer"),
+            (
+                "failover_policy = drop",
+                "line 5",
+                "unknown failover policy",
+            ),
+            ("failback_rate = 0", "line 5", "must be positive"),
+            ("failback_rate = -0.1", "line 5", "must be positive"),
+        ];
+        for (bad, line, needle) in cases {
+            let e = Scenario::parse(&format!(
+                "[campaign]\nname = f\nmodel = mc\n[fleet]\n{bad}\n"
+            ))
+            .unwrap_err();
+            let msg = e.to_string();
+            assert!(msg.contains(line) && msg.contains(needle), "{bad}: {msg}");
+        }
+
+        // A failover key without `arrays` blames its own line, even with
+        // `arrays` appearing nowhere in the section.
+        let e =
+            Scenario::parse("[campaign]\nname = f\nmodel = mc\n[fleet]\nfailover_capacity = 4\n")
+                .unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("line 5") && msg.contains("requires `arrays`"),
+            "{msg}"
+        );
+
+        // Tuning keys without a `failover_capacity` blame their line, in
+        // either key order.
+        let e = Scenario::parse(
+            "[campaign]\nname = f\nmodel = mc\n[fleet]\narrays = 8\nfailover_policy = queue\n",
+        )
+        .unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("line 6") && msg.contains("requires a `failover_capacity`"),
+            "{msg}"
+        );
+        let e = Scenario::parse(
+            "[campaign]\nname = f\nmodel = mc\n[fleet]\nfailback_rate = 0.1\narrays = 8\n",
+        )
+        .unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("line 5") && msg.contains("requires a `failover_capacity`"),
+            "{msg}"
+        );
     }
 
     #[test]

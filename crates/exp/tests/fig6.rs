@@ -21,7 +21,14 @@ fn fig6_campaign_matches_compare_equal_capacity() {
     let scenario = Scenario::parse(&fig6_spec()).unwrap();
     let plan = expand(&scenario).unwrap();
     assert_eq!(plan.len(), 9);
-    let result = run(&plan, &RunConfig { workers: 0 }).unwrap();
+    let result = run(
+        &plan,
+        &RunConfig {
+            workers: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
 
     // Canonical cell order: raid (outer) x hep (inner); geometry i at hep j
     // is cell 3*i + j.

@@ -64,8 +64,8 @@ proptest! {
     #[test]
     fn reports_are_worker_count_invariant(s in arb_scenario()) {
         let plan = expand(&s).unwrap();
-        let one = run(&plan, &RunConfig { workers: 1 }).unwrap();
-        let many = run(&plan, &RunConfig { workers: 4 }).unwrap();
+        let one = run(&plan, &RunConfig { workers: 1, ..Default::default() }).unwrap();
+        let many = run(&plan, &RunConfig { workers: 4, ..Default::default() }).unwrap();
         prop_assert_eq!(report::to_csv(&one), report::to_csv(&many));
         prop_assert_eq!(report::to_json(&one), report::to_json(&many));
     }

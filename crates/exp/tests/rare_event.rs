@@ -46,10 +46,20 @@ fn biased_unavailability_columns_agree_with_naive_mc_and_the_exact_chain() {
 
     let biased = run(
         &expand(&biased_scenario).unwrap(),
-        &RunConfig { workers: 0 },
+        &RunConfig {
+            workers: 0,
+            ..Default::default()
+        },
     )
     .unwrap();
-    let naive = run(&expand(&naive_scenario).unwrap(), &RunConfig { workers: 0 }).unwrap();
+    let naive = run(
+        &expand(&naive_scenario).unwrap(),
+        &RunConfig {
+            workers: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
 
     for (b, n) in biased.cells.iter().zip(&naive.cells) {
         assert_eq!(b.cell.index, n.cell.index);
@@ -104,8 +114,22 @@ fn biased_unavailability_columns_agree_with_naive_mc_and_the_exact_chain() {
 fn biased_campaign_reports_are_worker_count_invariant() {
     let scenario = Scenario::parse(&biased_spec()).unwrap();
     let plan = expand(&scenario).unwrap();
-    let one = run(&plan, &RunConfig { workers: 1 }).unwrap();
-    let four = run(&plan, &RunConfig { workers: 4 }).unwrap();
+    let one = run(
+        &plan,
+        &RunConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let four = run(
+        &plan,
+        &RunConfig {
+            workers: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(report::to_csv(&one), report::to_csv(&four));
     assert_eq!(report::to_json(&one), report::to_json(&four));
 }

@@ -3,8 +3,8 @@
 //!
 //! Every engine layer reports into a per-worker [`Telemetry`] registry —
 //! indexed-queue traffic, RNG draws by distribution, jump-chain
-//! transitions by edge, fleet crew-queue waits and domain strikes,
-//! splitting stage survival. The registry is **mask-gated**: a disabled
+//! transitions by edge, fleet crew-queue waits, domain strikes and DR
+//! fail-over traffic, splitting stage survival. The registry is **mask-gated**: a disabled
 //! registry turns every update into `counts[i] += n & 0`, a branch-free
 //! no-op that costs nothing measurable on the hot paths (gated in
 //! `perf_mc`, recorded in `BENCH_7.json`).
@@ -44,7 +44,7 @@
 //! ```
 
 /// Number of distinct counters in the registry.
-pub const COUNTERS: usize = 22;
+pub const COUNTERS: usize = 26;
 
 /// The deterministic engine counters, one registry slot each.
 ///
@@ -99,6 +99,14 @@ pub enum Counter {
     FleetCrewWaits,
     /// Fleet domain (whole-shelf) knockout strikes.
     FleetDomainStrikes,
+    /// Fleet arrays admitted to the shared DR site (fail-overs).
+    FleetFailovers,
+    /// Fleet arrays that found the DR site full and queued FIFO.
+    FleetDrQueueWaits,
+    /// Fleet arrays rejected by a full DR site (Erlang-loss policy).
+    FleetDrRejections,
+    /// Fleet arrays switched back from DR to their primary (fail-backs).
+    FleetFailbacks,
     /// Splitting stage-1 survivors (missions reaching a first failure).
     SplitStage1Survivors,
     /// Splitting stage-2 survivors (clones reaching a down state).
@@ -137,6 +145,10 @@ impl Counter {
         Counter::JumpTransitions,
         Counter::FleetCrewWaits,
         Counter::FleetDomainStrikes,
+        Counter::FleetFailovers,
+        Counter::FleetDrQueueWaits,
+        Counter::FleetDrRejections,
+        Counter::FleetFailbacks,
         Counter::SplitStage1Survivors,
         Counter::SplitStage2Survivors,
     ];
@@ -164,6 +176,10 @@ impl Counter {
             Counter::JumpTransitions => "availsim_jump_transitions_total",
             Counter::FleetCrewWaits => "availsim_fleet_crew_waits_total",
             Counter::FleetDomainStrikes => "availsim_fleet_domain_strikes_total",
+            Counter::FleetFailovers => "availsim_fleet_failovers_total",
+            Counter::FleetDrQueueWaits => "availsim_fleet_dr_queue_waits_total",
+            Counter::FleetDrRejections => "availsim_fleet_dr_rejections_total",
+            Counter::FleetFailbacks => "availsim_fleet_failbacks_total",
             Counter::SplitStage1Survivors => "availsim_split_stage1_survivors_total",
             Counter::SplitStage2Survivors => "availsim_split_stage2_survivors_total",
         }
@@ -188,7 +204,12 @@ impl Counter {
             | Counter::JumpDuToDl
             | Counter::JumpDlToOp
             | Counter::JumpTransitions => "jump-chain",
-            Counter::FleetCrewWaits | Counter::FleetDomainStrikes => "fleet",
+            Counter::FleetCrewWaits
+            | Counter::FleetDomainStrikes
+            | Counter::FleetFailovers
+            | Counter::FleetDrQueueWaits
+            | Counter::FleetDrRejections
+            | Counter::FleetFailbacks => "fleet",
             Counter::SplitStage1Survivors | Counter::SplitStage2Survivors => "rare-event",
         }
     }
@@ -216,6 +237,10 @@ impl Counter {
             Counter::JumpTransitions => "Jump-chain transitions over all engines and edges",
             Counter::FleetCrewWaits => "Fleet arrays that waited for a repair crew",
             Counter::FleetDomainStrikes => "Fleet domain (whole-shelf) knockout strikes",
+            Counter::FleetFailovers => "Fleet arrays admitted to the shared DR site",
+            Counter::FleetDrQueueWaits => "Fleet arrays that queued for a full DR site",
+            Counter::FleetDrRejections => "Fleet arrays rejected by a full DR site (loss policy)",
+            Counter::FleetFailbacks => "Fleet arrays switched back from DR to primary",
             Counter::SplitStage1Survivors => "Splitting missions reaching a first failure",
             Counter::SplitStage2Survivors => "Splitting clones reaching a down state",
         }

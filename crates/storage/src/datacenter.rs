@@ -30,11 +30,66 @@ pub const HOURS_PER_YEAR: f64 = 8766.0;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetSpec {
     arrays: u32,
     geometry: RaidGeometry,
     repairmen: Option<u32>,
+    failover: Option<FleetFailover>,
+}
+
+/// Admission discipline of the shared DR site when every slot is busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailoverPolicy {
+    /// Wait FIFO for a slot to free up — the machine-repairman discipline
+    /// the repair-crew pool already uses.
+    #[default]
+    Queue,
+    /// Reject outright (the Erlang-loss discipline): the array rides out
+    /// the rest of the episode on full downtime.
+    Loss,
+}
+
+impl FailoverPolicy {
+    /// Canonical lowercase spelling, as accepted by specs and the CLI.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailoverPolicy::Queue => "queue",
+            FailoverPolicy::Loss => "loss",
+        }
+    }
+
+    /// Parses the canonical spelling; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "queue" => Some(FailoverPolicy::Queue),
+            "loss" => Some(FailoverPolicy::Loss),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FailoverPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A shared disaster-recovery site: the paper's Fig. 3 fail-over target,
+/// sized for a whole fleet. An array leaving OP requests one of
+/// `capacity` DR slots; admitted arrays serve degraded from DR and hold
+/// the slot through their fail-back, everyone else follows `policy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetFailover {
+    /// Concurrent DR admissions; `None` is the ideal-DR limit — an
+    /// unbounded site that absorbs every episode with an instantaneous,
+    /// error-free switch-back.
+    pub capacity: Option<u32>,
+    /// What happens to an array that finds every slot busy.
+    pub policy: FailoverPolicy,
+    /// Fail-back (switch-back to primary) rate per hour, the Fig. 3
+    /// `μ_ch` exit of the network-storage serving state.
+    pub failback_rate: f64,
 }
 
 impl FleetSpec {
@@ -101,6 +156,7 @@ impl FleetSpec {
             arrays,
             geometry,
             repairmen: None,
+            failover: None,
         })
     }
 
@@ -124,9 +180,40 @@ impl FleetSpec {
         Ok(self)
     }
 
+    /// Couples the fleet to a shared DR site: arrays leaving OP fail over
+    /// into one of `failover.capacity` slots (or queue / are rejected per
+    /// `failover.policy`) and fail back at `failover.failback_rate`.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidConfig`] for a zero-slot site (omit
+    /// the coupling for no DR site, or use an unbounded capacity for the
+    /// ideal-DR limit) or a non-positive/non-finite fail-back rate.
+    pub fn with_failover(mut self, failover: FleetFailover) -> Result<Self> {
+        if failover.capacity == Some(0) {
+            return Err(StorageError::InvalidConfig(
+                "DR site needs at least one failover slot \
+                 (omit the coupling for no DR site)"
+                    .into(),
+            ));
+        }
+        if !(failover.failback_rate.is_finite() && failover.failback_rate > 0.0) {
+            return Err(StorageError::InvalidConfig(format!(
+                "fail-back rate must be positive and finite, got {}",
+                failover.failback_rate
+            )));
+        }
+        self.failover = Some(failover);
+        Ok(self)
+    }
+
     /// Size of the repair-crew pool; `None` means unlimited.
     pub fn repairmen(&self) -> Option<u32> {
         self.repairmen
+    }
+
+    /// The shared DR site, if the fleet has one.
+    pub fn failover(&self) -> Option<FleetFailover> {
+        self.failover
     }
 
     /// Number of member arrays.
@@ -368,6 +455,59 @@ mod tests {
             err.to_string().contains("at least one repair crew"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn failover_site_validates_and_defaults_to_none() {
+        let geom = RaidGeometry::raid5(3).unwrap();
+        let fleet = FleetSpec::new(8, geom).unwrap();
+        assert_eq!(fleet.failover(), None);
+        let dr = FleetFailover {
+            capacity: Some(2),
+            policy: FailoverPolicy::Queue,
+            failback_rate: 0.5,
+        };
+        let coupled = fleet.with_failover(dr).unwrap();
+        assert_eq!(coupled.failover(), Some(dr));
+        // The DR site does not change the identity of the fleet shape.
+        assert_eq!(coupled.arrays(), 8);
+        assert_eq!(coupled.repairmen(), None);
+        // The ideal-DR limit is an unbounded capacity, not zero slots.
+        assert!(fleet
+            .with_failover(FleetFailover {
+                capacity: None,
+                ..dr
+            })
+            .is_ok());
+        let err = fleet
+            .with_failover(FleetFailover {
+                capacity: Some(0),
+                ..dr
+            })
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("at least one failover slot"),
+            "{err}"
+        );
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = fleet
+                .with_failover(FleetFailover {
+                    failback_rate: bad,
+                    ..dr
+                })
+                .unwrap_err();
+            assert!(err.to_string().contains("fail-back rate"), "{err}");
+        }
+    }
+
+    #[test]
+    fn failover_policy_round_trips_its_spellings() {
+        for policy in [FailoverPolicy::Queue, FailoverPolicy::Loss] {
+            assert_eq!(FailoverPolicy::parse(policy.as_str()), Some(policy));
+            assert_eq!(policy.to_string(), policy.as_str());
+        }
+        assert_eq!(FailoverPolicy::parse("drop"), None);
+        assert_eq!(FailoverPolicy::default(), FailoverPolicy::Queue);
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod trace;
 mod volume;
 
 pub use array::{ArrayStatus, DiskArray};
-pub use datacenter::{DatacenterModel, FleetSpec, HOURS_PER_YEAR};
+pub use datacenter::{DatacenterModel, FailoverPolicy, FleetFailover, FleetSpec, HOURS_PER_YEAR};
 pub use disk::{Disk, DiskState};
 pub use error::{Result, StorageError};
 pub use events::StorageEvent;

@@ -36,7 +36,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     let plan = plan::expand(&scenario)?;
     println!("{}", plan.describe());
 
-    let result = run::run(&plan, &run::RunConfig { workers })?;
+    let result = run::run(
+        &plan,
+        &run::RunConfig {
+            workers,
+            ..Default::default()
+        },
+    )?;
     print!("{}", report::summary(&result));
 
     println!("\nCSV:");
@@ -44,7 +50,13 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // The same campaign at one worker is bit-identical — the runner's
     // determinism contract.
-    let single = run::run(&plan, &run::RunConfig { workers: 1 })?;
+    let single = run::run(
+        &plan,
+        &run::RunConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    )?;
     assert_eq!(report::to_csv(&result), report::to_csv(&single));
     println!(
         "\nverified: {}-worker run is byte-identical to 1 worker",

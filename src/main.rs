@@ -6,7 +6,8 @@
 //! availsim compare  [--lambda 1e-5] [--capacity 21]
 //! availsim validate [--lambda 1e-3] [--hep 0.01] [--iterations 4000]
 //! availsim fleet    [--arrays N] [--raid r5-3] [--lambda F] [--hep F] [--iterations N]
-//! availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run]
+//!                   [--failover-capacity N|inf] [--failover-policy queue|loss]
+//! availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run] [--keep-going]
 //! ```
 
 use availsim::bench::snapshot::JsonSnapshot;
@@ -22,7 +23,7 @@ use availsim::hra::{DependenceLevel, Hep};
 use availsim::sim::telemetry::{
     percentile_u64, write_counters, CounterSnapshot, PhaseSpans, PrometheusWriter,
 };
-use availsim::storage::{FleetSpec, RaidGeometry};
+use availsim::storage::{FailoverPolicy, FleetFailover, FleetSpec, RaidGeometry};
 use std::collections::HashMap;
 use std::error::Error;
 use std::path::Path;
@@ -30,7 +31,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 /// Flags that take no value; their presence means `true`.
-const BOOLEAN_FLAGS: &[&str] = &["dry-run", "progress"];
+const BOOLEAN_FLAGS: &[&str] = &["dry-run", "progress", "keep-going"];
 
 /// Parsed command line: `--key value` / `--key=value` flags plus bare
 /// positional arguments (only the `batch` subcommand accepts one).
@@ -308,12 +309,46 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         }),
         _ => return Err("--domain-arrays and --domain-rate must be set together".into()),
     };
+    let failover = match flags.get("failover-capacity") {
+        None => {
+            for k in ["failover-policy", "failback-rate"] {
+                if flags.contains_key(k) {
+                    return Err(format!("--{k} requires --failover-capacity").into());
+                }
+            }
+            None
+        }
+        Some(v) => {
+            let capacity = if v == "inf" {
+                None
+            } else {
+                Some(v.parse::<u32>().map_err(|_| {
+                    format!("invalid value `{v}` for --failover-capacity (use a count or `inf`)")
+                })?)
+            };
+            let policy = match flags.get("failover-policy") {
+                None => FailoverPolicy::default(),
+                Some(p) => FailoverPolicy::parse(p)
+                    .ok_or_else(|| format!("unknown failover policy `{p}` (use queue, loss)"))?,
+            };
+            Some((capacity, policy, opt_flag::<f64>(flags, "failback-rate")?))
+        }
+    };
 
     let mut spec = FleetSpec::new(arrays, geom)?;
     if let Some(crews) = repairmen {
         spec = spec.with_repairmen(crews)?;
     }
     let params = ModelParams::paper_defaults(geom, lambda, hep)?;
+    if let Some((capacity, policy, rate)) = failover {
+        // The fail-back default is the disk-change rate: switching back to
+        // the primary is an operator-driven maintenance action.
+        spec = spec.with_failover(FleetFailover {
+            capacity,
+            policy,
+            failback_rate: rate.unwrap_or(params.disk_change_rate),
+        })?;
+    }
     let dc = spec.datacenter(lambda, hep.value())?;
     let mut phases = PhaseSpans::new();
     let started = Instant::now();
@@ -364,6 +399,15 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             d.domain_arrays, d.rate
         );
     }
+    if let Some(f) = spec.failover() {
+        match f.capacity {
+            None => println!("  DR failover            : unlimited slots (ideal site)"),
+            Some(k) => println!(
+                "  DR failover            : {k} slots ({} policy), fail-back {:.3e}/h",
+                f.policy, f.failback_rate
+            ),
+        }
+    }
     println!("  per-array availability : {}", est.availability);
     println!(
         "  per-array downtime     : {:.4} h/yr ({:.4} nines)",
@@ -374,6 +418,23 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         "  any-array-down         : {:.4} h/yr (fleet availability {:.9})",
         est.annual_any_down_hours, est.fleet_availability
     );
+    if spec.failover().is_some() {
+        println!("  DR-credited avail      : {}", est.credited_availability);
+        println!(
+            "  DR-credited fleet      : {:.9} (uncovered unavailability {:.4e})",
+            est.credited_fleet_availability,
+            est.credited_array_unavailability()
+        );
+        println!(
+            "  DR site                : mean occupancy {:.4}, queue wait {:.4} array-h/mission",
+            est.mean_dr_occupancy(),
+            est.mean_dr_queue_wait_hours()
+        );
+        println!(
+            "  DR events              : {} failovers, {} failbacks, {} queue waits, {} rejections",
+            est.failovers, est.failbacks, est.dr_queue_waits, est.dr_rejections
+        );
+    }
     println!(
         "  simultaneous degraded  : mean {:.4}, peak {}",
         est.mean_degraded(),
@@ -610,12 +671,14 @@ fn cmd_batch(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             "workers",
             "out-dir",
             "dry-run",
+            "keep-going",
             "metrics",
             "metrics-format",
             "progress",
         ],
     )?;
     let workers: usize = flag(flags, "workers", 0)?;
+    let keep_going: bool = flag(flags, "keep-going", false)?;
     let dry_run: bool = flag(flags, "dry-run", false)?;
     let out_dir: String = flag(flags, "out-dir", String::new())?;
     let cli_tele = parse_telemetry_flags(flags)?;
@@ -648,7 +711,14 @@ fn cmd_batch(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         None
     };
     let run_started = Instant::now();
-    let result = run::run_with_progress(&plan, &run::RunConfig { workers }, progress)?;
+    let result = run::run_with_progress(
+        &plan,
+        &run::RunConfig {
+            workers,
+            keep_going,
+        },
+        progress,
+    )?;
     phases.record("run", run_started.elapsed().as_micros() as u64);
 
     let report_started = Instant::now();
@@ -703,8 +773,10 @@ USAGE:
                     [--iterations N] [--horizon F] [--seed N] [--threads N]
                     [--repairmen N] [--dependence zero|low|moderate|high|complete]
                     [--domain-arrays N --domain-rate F]
+                    [--failover-capacity N|inf] [--failover-policy queue|loss]
+                    [--failback-rate F]
                     [--metrics PATH] [--metrics-format json|prom]
-  availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run]
+  availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run] [--keep-going]
                     [--metrics PATH] [--metrics-format json|prom] [--progress]
 
 Flags accept both `--flag value` and `--flag=value`; duplicates are errors.
@@ -724,6 +796,13 @@ simultaneously degraded arrays (tail bin 32+ absorbs every count >= 32).
 Couplings: `--repairmen` caps the shared repair-crew pool (FIFO queue),
 `--dependence` escalates the per-incident HEP with operator workload
 (THERP), and `--domain-arrays`/`--domain-rate` add shelf-wide strikes.
+`--failover-capacity` adds a shared disaster-recovery site with that many
+slots (`inf` = ideal site): arrays that leave service fail over and serve
+degraded from DR; beyond capacity they queue FIFO (`--failover-policy
+loss` rejects instead, Erlang-loss style). `--failback-rate` tunes the
+switch-back rate (default: the disk-change rate). `batch --keep-going`
+continues past failing cells and marks them in status/error report
+columns instead of aborting the campaign.
 "
 }
 
@@ -783,6 +862,9 @@ fn main() -> ExitCode {
                 "dependence",
                 "domain-arrays",
                 "domain-rate",
+                "failover-capacity",
+                "failover-policy",
+                "failback-rate",
                 "metrics",
                 "metrics-format",
             ],

@@ -973,6 +973,304 @@ fn batch_progress_streams_cell_lines_to_stderr_only() {
 }
 
 #[test]
+fn fleet_failover_reports_dr_metrics_and_stays_reproducible() {
+    let args = [
+        "fleet",
+        "--arrays",
+        "12",
+        "--lambda",
+        "1e-4",
+        "--hep",
+        "0.01",
+        "--iterations",
+        "150",
+        "--seed",
+        "13",
+        "--failover-capacity",
+        "2",
+        "--failover-policy",
+        "loss",
+        "--failback-rate",
+        "0.05",
+    ];
+    let (ok, stdout, _) = run(&args);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("DR failover            : 2 slots (loss policy), fail-back 5.000e-2/h"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("DR-credited avail"), "{stdout}");
+    assert!(stdout.contains("DR site"), "{stdout}");
+    assert!(stdout.contains("failovers"), "{stdout}");
+    let (ok, rerun, _) = run(&args);
+    assert!(ok);
+    assert_eq!(stdout, rerun, "DR run must be bit-reproducible");
+
+    // The ideal site covers everything: credited availability is exactly 1.
+    let (ok, stdout, _) = run(&[
+        "fleet",
+        "--arrays",
+        "8",
+        "--lambda",
+        "1e-4",
+        "--iterations",
+        "80",
+        "--failover-capacity",
+        "inf",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("DR failover            : unlimited slots (ideal site)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("uncovered unavailability 0.0000e0"),
+        "{stdout}"
+    );
+
+    // Without the flags the report stays silent about DR.
+    let (ok, stdout, _) = run(&["fleet", "--iterations", "20", "--arrays", "4"]);
+    assert!(ok);
+    assert!(!stdout.contains("DR"), "{stdout}");
+}
+
+#[test]
+fn fleet_failover_flags_are_validated() {
+    let (ok, _, stderr) = run(&["fleet", "--failover-policy", "loss"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--failover-policy requires --failover-capacity"),
+        "{stderr}"
+    );
+
+    let (ok, _, stderr) = run(&["fleet", "--failback-rate", "0.1"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--failback-rate requires --failover-capacity"),
+        "{stderr}"
+    );
+
+    let (ok, _, stderr) = run(&["fleet", "--failover-capacity", "many"]);
+    assert!(!ok);
+    assert!(stderr.contains("use a count or `inf`"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["fleet", "--failover-capacity", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("at least one failover slot"), "{stderr}");
+
+    let (ok, _, stderr) = run(&[
+        "fleet",
+        "--failover-capacity",
+        "2",
+        "--failover-policy",
+        "teleport",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("unknown failover policy `teleport` (use queue, loss)"),
+        "{stderr}"
+    );
+
+    let (ok, _, stderr) = run(&["fleet", "--failover-capacity", "2", "--failback-rate", "-1"]);
+    assert!(!ok);
+    assert!(stderr.contains("fail-back rate"), "{stderr}");
+}
+
+#[test]
+fn failover_and_keep_going_flags_are_rejected_where_unsupported() {
+    // DR failover belongs to the fleet engine only.
+    for cmd in ["solve", "validate", "batch"] {
+        let spec = write_spec("no-dr.campaign", SURFACE_SPEC);
+        let args: Vec<&str> = if cmd == "batch" {
+            vec![cmd, spec.to_str().unwrap(), "--failover-capacity", "2"]
+        } else {
+            vec![cmd, "--failover-capacity", "2"]
+        };
+        let (ok, _, stderr) = run(&args);
+        assert!(!ok, "{cmd} must reject --failover-capacity");
+        assert!(
+            stderr.contains("unknown flag --failover-capacity"),
+            "{cmd}: {stderr}"
+        );
+    }
+    // Continue-on-error is a campaign concept; single runs just fail.
+    for cmd in ["solve", "validate", "fleet"] {
+        let (ok, _, stderr) = run(&[cmd, "--keep-going"]);
+        assert!(!ok, "{cmd} must reject --keep-going");
+        assert!(
+            stderr.contains("unknown flag --keep-going"),
+            "{cmd}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn batch_failover_spec_errors_name_their_line() {
+    // DR keys without a fleet size blame the failover_capacity line.
+    let spec = write_spec(
+        "dr-no-arrays.campaign",
+        "[campaign]\nname = x\nmodel = mc\n[fleet]\nfailover_capacity = 2\n",
+    );
+    let (ok, _, stderr) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("line 5") && stderr.contains("requires `arrays`"),
+        "{stderr}"
+    );
+
+    // A policy without a capacity blames the policy's own line.
+    let spec = write_spec(
+        "dr-orphan-policy.campaign",
+        "[campaign]\nname = x\nmodel = mc\n[fleet]\narrays = 8\nfailover_policy = loss\n",
+    );
+    let (ok, _, stderr) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("line 6") && stderr.contains("requires a `failover_capacity` key"),
+        "{stderr}"
+    );
+
+    // Zero slots is a value error on the capacity line.
+    let spec = write_spec(
+        "dr-zero.campaign",
+        "[campaign]\nname = x\nmodel = mc\n[fleet]\narrays = 8\nfailover_capacity = 0\n",
+    );
+    let (ok, _, stderr) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("line 6") && stderr.contains("at least one failover slot"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn batch_dry_run_of_the_shipped_failover_campaign_is_byte_stable() {
+    let spec = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/specs/fleet_failover.campaign"
+    );
+    let (ok, first, _) = run(&["batch", spec, "--dry-run"]);
+    assert!(ok, "{first}");
+    let (ok, second, _) = run(&["batch", "--dry-run", spec]);
+    assert!(ok);
+    assert_eq!(first, second, "dry-run output must be byte-stable");
+
+    assert!(first.contains("campaign fleet-failover"), "{first}");
+    assert!(
+        first.contains(
+            "fleet     : 16 arrays per cell, 2 repair crews, \
+             DR capacity 2 (queue), fail-back 0.25/h"
+        ),
+        "{first}"
+    );
+    assert!(first.contains("cells     : 2"), "{first}");
+    // Seed derivation golden pin shared by every campaign at seed 42.
+    assert!(
+        first.contains("0xab4c4adfbb450230"),
+        "cell 0 seed drifted:\n{first}"
+    );
+}
+
+#[test]
+fn batch_runs_the_failover_campaign_and_reports_the_credit() {
+    let spec = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/specs/fleet_failover.campaign"
+    );
+    let (ok, stdout, stderr) = run(&["batch", spec]);
+    assert!(ok, "{stdout}\n{stderr}");
+    let header = stdout
+        .lines()
+        .find(|l| l.starts_with("cell,"))
+        .expect("csv header");
+    assert!(header.ends_with(",credited_unavailability"), "{header}");
+    // The DR credit can only help: credited <= plain on every row.
+    for line in stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("cell,"))
+        .skip(1)
+        .take(2)
+    {
+        let cols: Vec<&str> = line.split(',').collect();
+        let plain: f64 = cols[6].parse().expect("unavailability");
+        let credited: f64 = cols[cols.len() - 1].parse().expect("credited");
+        assert!(credited <= plain, "{line}");
+    }
+    assert!(stdout.contains("\"credited_unavailability\":"), "{stdout}");
+}
+
+/// A campaign where exactly one of the two cells fails: RAID6 under the
+/// Fig. 3 fail-over chain is invalid (fault tolerance must be 1).
+const KEEP_GOING_SPEC: &str = "\
+[campaign]
+name = kg
+seed = 42
+model = markov-failover
+
+[axes]
+raid = [r5-3, r6-4]
+hep = 0.01
+lambda = 1e-5
+";
+
+#[test]
+fn batch_keep_going_completes_with_a_deterministic_failure_row() {
+    let spec = write_spec("keep-going.campaign", KEEP_GOING_SPEC);
+    let spec = spec.to_str().unwrap();
+
+    // Without the flag the campaign aborts on the bad cell.
+    let (ok, _, stderr) = run(&["batch", spec]);
+    assert!(!ok);
+    assert!(stderr.contains("cell 1"), "{stderr}");
+
+    let (ok, stdout, _) = run(&["batch", spec, "--keep-going"]);
+    assert!(ok, "{stdout}");
+    let header = stdout
+        .lines()
+        .find(|l| l.starts_with("cell,"))
+        .expect("csv header");
+    assert!(header.ends_with(",status,error"), "{header}");
+    let rows: Vec<&str> = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("cell,"))
+        .skip(1)
+        .take(2)
+        .collect();
+    assert!(rows[0].contains(",ok,"), "{}", rows[0]);
+    assert!(rows[1].contains(",error,"), "{}", rows[1]);
+    assert!(stdout.contains("\"failed_cells\": 1"), "{stdout}");
+    assert!(stdout.contains("1 cell(s) failed"), "{stdout}");
+
+    // Deterministic placement: report files are worker-count invariant.
+    let dir1 = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("kg-w1");
+    let dir3 = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("kg-w3");
+    let (ok, _, _) = run(&[
+        "batch",
+        spec,
+        "--keep-going",
+        "--workers=1",
+        "--out-dir",
+        dir1.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let (ok, _, _) = run(&[
+        "batch",
+        spec,
+        "--keep-going",
+        "--workers=3",
+        "--out-dir",
+        dir3.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    for file in ["kg.csv", "kg.json"] {
+        let a = std::fs::read(dir1.join(file)).unwrap();
+        let b = std::fs::read(dir3.join(file)).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "{file} must be byte-identical across worker counts");
+    }
+}
+
+#[test]
 fn help_flag_aliases_work() {
     for alias in ["--help", "-h"] {
         let (ok, stdout, _) = run(&[alias]);
