@@ -16,21 +16,26 @@
 //! unavailability each capacity leaves behind.
 //! `BENCH_7.json` records the telemetry overhead gate:
 //! the same Fig. 4 workload with the counter registry off vs on, asserted
-//! within the 2% budget. Mission volume scales with
+//! within the 2% budget. `BENCH_9.json` records the data-loss tier
+//! overhead gate: the same workload with no scrubbing model vs a live
+//! one, after asserting that a zero-rate model is a bit-exact no-op.
+//! Mission volume scales with
 //! `AVAILSIM_BENCH_SCALE` — the checked-in snapshots are taken at scale 1.
 
 use availsim_bench::{
-    bench_scale, bench_snapshot_path, mc_iterations, raid5_params, render_fleet_failover_json,
-    render_fleet_json, render_fleet_repair_json, render_mc_throughput_json, render_rare_event_json,
-    render_telemetry_overhead_json, FleetFailoverRow, FleetRepairRow, FleetScalingRow,
-    McThroughput, RareEventPoint, RareEventRun, TelemetryOverheadRow,
+    bench_scale, bench_snapshot_path, mc_iterations, raid5_params, render_data_loss_overhead_json,
+    render_fleet_failover_json, render_fleet_json, render_fleet_repair_json,
+    render_mc_throughput_json, render_rare_event_json, render_telemetry_overhead_json,
+    DataLossOverheadRow, FleetFailoverRow, FleetRepairRow, FleetScalingRow, McThroughput,
+    RareEventPoint, RareEventRun, TelemetryOverheadRow,
 };
 use availsim_core::markov::Raid5Conventional;
 use availsim_core::mc::{
     ConventionalMc, FailOverMc, FleetMc, McConfig, McEngine, McVariance, SimWorkspace,
 };
 use availsim_sim::rng::SimRng;
-use availsim_storage::{FleetFailover, FleetSpec};
+use availsim_sim::telemetry::Counter;
+use availsim_storage::{FleetFailover, FleetSpec, ScrubbingModel};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -499,6 +504,157 @@ fn telemetry_overhead_snapshot() {
     }
 }
 
+/// The scrubbing model of the BENCH_9 data-loss rows: one LSE per 10⁴
+/// disk-hours, fortnightly scrubs — a ≈4.9% per-rebuild failure
+/// probability on the Fig. 4 geometry, so tens of thousands of Bernoulli
+/// draws land in the timed runs.
+const LSE_RATE: f64 = 1e-4;
+const SCRUB_INTERVAL_HOURS: f64 = 336.0;
+
+/// Times the Fig. 4 workload without a scrubbing model vs with the live
+/// BENCH_9 model, writes `BENCH_9.json`, and enforces the data-loss
+/// overhead budget. The sharp contract is bit-exactness, not timing: a
+/// zero-rate scrubbing model must reproduce the no-scrubbing run bit for
+/// bit (the LSE branch draws nothing when `p = 0`), so attaching the
+/// tier costs exactly nothing until it is live. The timed pair then
+/// bounds what a *live* rate costs — one extra uniform per rebuild —
+/// with the same noise allowances as the telemetry gate, and the
+/// telemetry counters anchor the run: a "fast" LSE run that never hit a
+/// latent sector error measures nothing.
+fn data_loss_overhead_snapshot() {
+    let off_params = raid5_params(LAMBDA, HEP);
+    let zero_params = off_params
+        .with_scrubbing(ScrubbingModel::new(0.0, SCRUB_INTERVAL_HOURS).expect("valid model"));
+    let on_params = off_params
+        .with_scrubbing(ScrubbingModel::new(LSE_RATE, SCRUB_INTERVAL_HOURS).expect("valid model"));
+    // Floor the volume so reduced-scale CI runs still time something
+    // longer than scheduler jitter.
+    let iterations = mc_iterations(300_000).max(50_000);
+    let cfg = throughput_config(iterations);
+    let counted_cfg = McConfig {
+        telemetry: true,
+        ..throughput_config(iterations)
+    };
+    let warm = throughput_config((iterations / 10).max(2));
+    println!(
+        "perf_mc data-loss overhead — RAID5(3+1) Fig. 4 workload \
+         (lambda={LAMBDA:.0e}, hep={HEP}, horizon={HORIZON_HOURS}h, threads=1, \
+         lse_rate={LSE_RATE:.0e}/disk-h, scrub every {SCRUB_INTERVAL_HOURS}h)"
+    );
+
+    let mut rows = Vec::new();
+    for (name, engine) in [
+        ("conventional/jump_chain", McEngine::JumpChain),
+        ("conventional/event_queue", McEngine::EventQueue),
+    ] {
+        let off = ConventionalMc::new(off_params).unwrap().with_engine(engine);
+        let zero = ConventionalMc::new(zero_params)
+            .unwrap()
+            .with_engine(engine);
+        let on = ConventionalMc::new(on_params).unwrap().with_engine(engine);
+        let _ = black_box(off.run(&warm).unwrap().overall_availability);
+        let _ = black_box(on.run(&warm).unwrap().overall_availability);
+        let (off_secs, on_secs) = paired_best_elapsed(
+            || off.run(&cfg).unwrap().overall_availability,
+            || on.run(&cfg).unwrap().overall_availability,
+            7,
+        );
+
+        let off_est = off.run(&cfg).unwrap();
+        let zero_est = zero.run(&cfg).unwrap();
+        assert_eq!(
+            off_est.overall_availability.to_bits(),
+            zero_est.overall_availability.to_bits(),
+            "{name}: a zero-rate scrubbing model must be a bit-exact no-op"
+        );
+        assert_eq!(
+            off_est.p_data_loss.mean.to_bits(),
+            zero_est.p_data_loss.mean.to_bits(),
+            "{name}: zero-rate scrubbing must not move the loss estimator"
+        );
+        // Telemetry never touches the RNG stream, so the counted run sees
+        // the same missions the timed LSE-on run did.
+        let on_est = on.run(&counted_cfg).unwrap();
+        let lse_hits = on_est.counters.get(Counter::RebuildLseHits);
+        let loss_events = on_est.counters.get(Counter::DataLossEvents);
+        assert!(
+            lse_hits > 0,
+            "{name}: live LSE run never hit a latent sector error — \
+             the rebuild Bernoulli is not being drawn"
+        );
+        assert!(
+            loss_events >= lse_hits,
+            "{name}: every rebuild LSE hit must land in DL \
+             ({loss_events} < {lse_hits})"
+        );
+        assert!(
+            on_est.p_data_loss.mean > off_est.p_data_loss.mean,
+            "{name}: live LSE must raise the loss probability"
+        );
+
+        let row = DataLossOverheadRow {
+            name: name.to_string(),
+            missions: iterations,
+            off_secs,
+            on_secs,
+            rebuild_lse_hits: lse_hits,
+            p_data_loss: on_est.p_data_loss.mean,
+        };
+        println!(
+            "  {name:<28} off {:>12.0} missions/s  on {:>12.0} missions/s  \
+             ratio {:.4}  ({lse_hits} LSE hits, p_loss = {:.3e})",
+            row.off_missions_per_sec(),
+            row.on_missions_per_sec(),
+            row.on_over_off(),
+            row.p_data_loss,
+        );
+        rows.push(row);
+    }
+
+    // Same gate shape as the telemetry snapshot but a looser floor: a
+    // live rate does real work — one uniform per rebuild plus the split
+    // exit-rate bookkeeping — measured at ~7% on the jump chain (ratio
+    // 0.93 full scale), where telemetry's masked counters cost ~2%. The
+    // 0.85 floor catches the regressions that matter (a Bernoulli drawn
+    // on *every* jump rather than per rebuild lands near 0.5) while
+    // riding out best-of-7 jitter; the absolute floor allows cross-day
+    // machine drift.
+    let jump = &rows[0];
+    let ratio = jump.on_over_off();
+    if bench_scale() >= 1.0 {
+        assert!(
+            ratio >= 0.85,
+            "data-loss overhead gate: on/off throughput ratio {ratio:.4} < 0.85"
+        );
+        assert!(
+            jump.off_missions_per_sec() >= 0.85 * BENCH5_SEED_JUMP_CHAIN_BASELINE,
+            "LSE-off jump chain {:.0} missions/s fell more than 15% below \
+             the BENCH_5 baseline {BENCH5_SEED_JUMP_CHAIN_BASELINE:.0}",
+            jump.off_missions_per_sec()
+        );
+    } else {
+        assert!(
+            ratio >= 0.75,
+            "data-loss overhead gate (reduced scale): ratio {ratio:.4} < 0.75"
+        );
+    }
+
+    let json = render_data_loss_overhead_json(
+        &format!(
+            "raid5_3plus1 fig4 (lambda={LAMBDA:.0e}, hep={HEP}, horizon_hours={HORIZON_HOURS}, \
+             lse_rate={LSE_RATE:.0e}, scrub_interval_hours={SCRUB_INTERVAL_HOURS})"
+        ),
+        bench_scale(),
+        BENCH5_SEED_JUMP_CHAIN_BASELINE,
+        &rows,
+    );
+    let path = bench_snapshot_path("BENCH_9.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => println!("  could not write {}: {e}", path.display()),
+    }
+}
+
 /// Runs one scheme's precision loop and records the budget it needed.
 fn measure_to_precision(
     mc: &ConventionalMc,
@@ -605,6 +761,7 @@ fn bench(c: &mut Criterion) {
     fleet_failover_snapshot();
     rare_event_snapshot();
     telemetry_overhead_snapshot();
+    data_loss_overhead_snapshot();
 
     let params = raid5_params(LAMBDA, HEP);
 

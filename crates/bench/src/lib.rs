@@ -634,6 +634,89 @@ pub fn render_telemetry_overhead_json(
     w.finish()
 }
 
+/// One data-loss-tier measurement pair of the BENCH_9 snapshot: the same
+/// workload timed without a scrubbing model and with a live one attached.
+#[derive(Debug, Clone)]
+pub struct DataLossOverheadRow {
+    /// Engine label, e.g. `"conventional/jump_chain"`.
+    pub name: String,
+    /// Missions simulated in each of the two runs.
+    pub missions: u64,
+    /// Wall-clock seconds with no scrubbing model (LSE off).
+    pub off_secs: f64,
+    /// Wall-clock seconds with the live scrubbing model (LSE on).
+    pub on_secs: f64,
+    /// Rebuilds of the LSE-on run that hit a latent sector error (a
+    /// live-ness anchor: an "overhead-free" run that never drew the
+    /// rebuild Bernoulli proves nothing).
+    pub rebuild_lse_hits: u64,
+    /// The LSE-on run's `p_data_loss` midpoint (physical anchor for the
+    /// row).
+    pub p_data_loss: f64,
+}
+
+impl DataLossOverheadRow {
+    /// Missions per second with LSE off.
+    pub fn off_missions_per_sec(&self) -> f64 {
+        self.missions as f64 / self.off_secs.max(1e-12)
+    }
+
+    /// Missions per second with LSE on.
+    pub fn on_missions_per_sec(&self) -> f64 {
+        self.missions as f64 / self.on_secs.max(1e-12)
+    }
+
+    /// LSE-on throughput over LSE-off throughput (1.0 = free, lower is
+    /// slower with the data-loss tier live).
+    pub fn on_over_off(&self) -> f64 {
+        self.on_missions_per_sec() / self.off_missions_per_sec().max(1e-12)
+    }
+}
+
+/// Renders the `BENCH_9.json` snapshot: LSE-off vs LSE-on throughput per
+/// engine, against the checked-in BENCH_5 jump-chain baseline, with the
+/// zero-rate bit-identity contract spelled out.
+pub fn render_data_loss_overhead_json(
+    workload: &str,
+    scale: f64,
+    baseline_jump_chain_missions_per_sec: f64,
+    rows: &[DataLossOverheadRow],
+) -> String {
+    let mut w = JsonSnapshot::bench("perf_mc_data_loss_overhead", workload, scale);
+    w.str_field(
+        "budget",
+        "zero-rate scrubbing is bit-identical to no scrubbing (asserted in-run); \
+         live-rate floors: jump-chain on/off >= 0.85 at full scale (0.75 reduced), \
+         off >= 85% of the BENCH_5 baseline",
+    );
+    w.raw_field(
+        "baseline_jump_chain_missions_per_sec",
+        &format!("{baseline_jump_chain_missions_per_sec:.1}"),
+    );
+    w.begin_array("engines");
+    for r in rows {
+        w.begin_array_object();
+        w.str_field("name", &r.name)
+            .u64_field("missions", r.missions)
+            .raw_field("off_secs", &format!("{:.6}", r.off_secs))
+            .raw_field("on_secs", &format!("{:.6}", r.on_secs))
+            .raw_field(
+                "off_missions_per_sec",
+                &format!("{:.1}", r.off_missions_per_sec()),
+            )
+            .raw_field(
+                "on_missions_per_sec",
+                &format!("{:.1}", r.on_missions_per_sec()),
+            )
+            .raw_field("on_over_off", &format!("{:.4}", r.on_over_off()))
+            .u64_field("rebuild_lse_hits", r.rebuild_lse_hits)
+            .raw_field("p_data_loss", &format!("{:.6e}", r.p_data_loss));
+        w.end_object();
+    }
+    w.end_array();
+    w.finish()
+}
+
 /// Where the machine-readable bench snapshots (`BENCH_*.json`) are written:
 /// the workspace root by default, or `$AVAILSIM_BENCH_OUT` when set.
 pub fn bench_snapshot_path(file_name: &str) -> std::path::PathBuf {
@@ -940,6 +1023,35 @@ mod tests {
             "\"off_missions_per_sec\": 10000000.0",
             "\"on_over_off\": 0.9901",
             "\"counted_events\": 12345678",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn data_loss_overhead_json_has_stable_machine_readable_shape() {
+        let rows = vec![DataLossOverheadRow {
+            name: "conventional/jump_chain".into(),
+            missions: 1_000_000,
+            off_secs: 0.1,
+            on_secs: 0.102,
+            rebuild_lse_hits: 420,
+            p_data_loss: 4.2e-4,
+        }];
+        assert!((rows[0].off_missions_per_sec() - 1e7).abs() < 1e-3);
+        assert!(rows[0].on_over_off() < 1.0 && rows[0].on_over_off() > 0.97);
+        let json = render_data_loss_overhead_json("raid5_3plus1 fig4", 1.0, 11_725_215.8, &rows);
+        for needle in [
+            "\"bench\": \"perf_mc_data_loss_overhead\"",
+            "\"budget\": \"zero-rate scrubbing is bit-identical to no scrubbing",
+            "\"baseline_jump_chain_missions_per_sec\": 11725215.8",
+            "\"name\": \"conventional/jump_chain\"",
+            "\"off_missions_per_sec\": 10000000.0",
+            "\"on_over_off\": 0.9804",
+            "\"rebuild_lse_hits\": 420",
+            "\"p_data_loss\": 4.200000e-4",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -77,6 +77,14 @@ impl Raid5FailOver {
                 "hep must be below 1 for a repairable model".into(),
             ));
         }
+        if params.rebuild_lse_probability() > 0.0 {
+            return Err(CoreError::InvalidParameter(
+                "the Fig. 3 chain does not support LSE-aware rebuilds; \
+                 remove the scrubbing model (or set `lse_rate = 0`), or use \
+                 the generic k+m chain / the Monte-Carlo engines"
+                    .into(),
+            ));
+        }
         Ok(Raid5FailOver { params })
     }
 

@@ -40,6 +40,11 @@ pub struct GenericKofN {
 impl GenericKofN {
     /// Creates the model for any geometry with `m >= 1`.
     ///
+    /// An attached [`ModelParams::with_scrubbing`] model seeds the
+    /// rebuild-LSE branch (the exact-chain counterpart of the Monte-Carlo
+    /// engines' Bernoulli on rebuild completion);
+    /// [`Self::with_rebuild_failure_probability`] overrides it.
+    ///
     /// # Errors
     /// Returns [`CoreError::InvalidParameter`] for zero-redundancy
     /// geometries or `hep = 1`.
@@ -58,7 +63,7 @@ impl GenericKofN {
         Ok(GenericKofN {
             params,
             recovery_completes_repair: true,
-            rebuild_failure_probability: 0.0,
+            rebuild_failure_probability: params.rebuild_lse_probability(),
         })
     }
 
@@ -363,6 +368,21 @@ mod tests {
         assert_eq!(parse_label("F1W2"), Some((1, 2)));
         assert_eq!(parse_label("F10W0"), Some((10, 0)));
         assert_eq!(parse_label("DL"), None);
+    }
+
+    #[test]
+    fn scrubbing_params_seed_the_lse_branch() {
+        use availsim_storage::ScrubbingModel;
+        let m = ScrubbingModel::new(1e-4, 336.0).unwrap();
+        let p = params(RaidGeometry::raid5(3).unwrap(), 1e-6, 0.01).with_scrubbing(m);
+        let seeded = GenericKofN::new(p).unwrap();
+        let explicit = GenericKofN::new(params(RaidGeometry::raid5(3).unwrap(), 1e-6, 0.01))
+            .unwrap()
+            .with_rebuild_failure_probability(p.rebuild_lse_probability());
+        assert_eq!(
+            seeded.solve().unwrap().unavailability().to_bits(),
+            explicit.solve().unwrap().unavailability().to_bits()
+        );
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! DL  --μ_DDF-->            OP     (restore from backup)
 //! ```
 //!
+//! With an attached [`availsim_storage::ScrubbingModel`] the rebuild
+//! completion is split by the per-rebuild LSE-hit probability `ue`: the
+//! `EXP → OP` rate thins to `(1−hep)·(1−ue)·μ_DF` and the lost mass
+//! `(1−hep)·ue·μ_DF` joins the `EXP → DL` rate — a rebuild that reads an
+//! unreadable sector loses data instead of completing. At `ue = 0` the
+//! chain is bit-exact with the unsplit one.
+//!
 //! The figure's `hep·μ_he` self-loop on `DU` (a failed recovery retry) is a
 //! CTMC no-op; it appears here as the thinning of the recovery rate to
 //! `(1−hep)·μ_he`, exactly as the paper's residual terms imply.
@@ -145,6 +152,14 @@ impl Raid5Conventional {
         let p = &self.params;
         let n = f64::from(p.disks());
         let hep = p.hep.value();
+        // An attached scrubbing model splits the rebuild completion by the
+        // per-rebuild LSE-hit probability `ue`: the reads of the surviving
+        // disks hit a latent sector error with probability `ue`, losing
+        // data instead of returning to OP — the exact-chain twin of the
+        // Monte-Carlo engines' Bernoulli on rebuild completion. At ue = 0
+        // the arithmetic is bit-exact with the unsplit rates (`·1.0` and
+        // `+ 0.0` are identities on finite positive rates).
+        let ue = p.rebuild_lse_probability();
 
         let mut b = CtmcBuilder::new();
         let op = b.state(STATE_OP)?;
@@ -153,8 +168,12 @@ impl Raid5Conventional {
         let dl = b.state(STATE_DL)?;
 
         b.transition(op, exp, n * p.disk_failure_rate)?;
-        b.transition(exp, dl, (n - 1.0) * p.disk_failure_rate)?;
-        b.transition(exp, op, (1.0 - hep) * p.disk_repair_rate)?;
+        b.transition(
+            exp,
+            dl,
+            (n - 1.0) * p.disk_failure_rate + (1.0 - hep) * ue * p.disk_repair_rate,
+        )?;
+        b.transition(exp, op, (1.0 - hep) * (1.0 - ue) * p.disk_repair_rate)?;
         b.transition(exp, du, self.wrong_replacement_rate())?;
         b.transition(du, op, (1.0 - hep) * p.human_recovery_rate)?;
         b.transition(du, dl, p.removed_crash_rate)?;
@@ -302,6 +321,39 @@ mod tests {
     fn hep_one_rejected() {
         let params = ModelParams::raid5_3plus1(1e-6, Hep::new(1.0).unwrap()).unwrap();
         assert!(Raid5Conventional::new(params).is_err());
+    }
+
+    #[test]
+    fn live_lse_model_rejected_by_fig3_but_split_into_fig2() {
+        use crate::markov::Raid5FailOver;
+        use availsim_storage::ScrubbingModel;
+        let live = ModelParams::raid5_3plus1(1e-6, Hep::new(0.01).unwrap())
+            .unwrap()
+            .with_scrubbing(ScrubbingModel::new(1e-4, 336.0).unwrap());
+        // Fig. 3 has no rebuild-completion edge to split; it must reject.
+        let err = Raid5FailOver::new(live).unwrap_err().to_string();
+        assert!(err.contains("LSE-aware rebuilds"), "{err}");
+        // Fig. 2 accepts, keeps the four-state shape, and routes the lost
+        // rebuild mass to DL: unavailability rises, MTTDL shrinks.
+        let lossy = Raid5Conventional::new(live).unwrap();
+        assert_eq!(lossy.build_chain().unwrap().num_transitions(), 7);
+        let base = Raid5Conventional::new(
+            ModelParams::raid5_3plus1(1e-6, Hep::new(0.01).unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert!(lossy.solve().unwrap().unavailability() > base.solve().unwrap().unavailability());
+        assert!(lossy.mttdl_hours().unwrap() < base.mttdl_hours().unwrap());
+        // A zero-rate model is a bitwise no-op on Fig. 2 and stays accepted
+        // on Fig. 3.
+        let zero = ModelParams::raid5_3plus1(1e-6, Hep::new(0.01).unwrap())
+            .unwrap()
+            .with_scrubbing(ScrubbingModel::new(0.0, 336.0).unwrap());
+        let zeroed = Raid5Conventional::new(zero).unwrap();
+        assert_eq!(
+            zeroed.solve().unwrap().unavailability().to_bits(),
+            base.solve().unwrap().unavailability().to_bits()
+        );
+        assert!(Raid5FailOver::new(zero).is_ok());
     }
 
     #[test]

@@ -155,7 +155,13 @@ impl ConvScratch {
 /// register increments, and the whole flush sits behind a single
 /// well-predicted branch when telemetry is disabled.
 #[inline]
-fn flush_jump_counters(tele: &mut Telemetry, edges: &[u64; 7], exp_draws: u64, uniform_draws: u64) {
+fn flush_jump_counters(
+    tele: &mut Telemetry,
+    edges: &[u64; 7],
+    lse_hits: u64,
+    exp_draws: u64,
+    uniform_draws: u64,
+) {
     if !tele.enabled() {
         return;
     }
@@ -169,6 +175,10 @@ fn flush_jump_counters(tele: &mut Telemetry, edges: &[u64; 7], exp_draws: u64, u
     tele.add(Counter::JumpDuToDl, edges[5]);
     tele.add(Counter::JumpDlToOp, edges[6]);
     tele.add(Counter::JumpTransitions, edges.iter().sum());
+    // LSE-failed rebuilds are EXP → DL edges too (tagged separately);
+    // every DL entry of the chain is an exp→dl or du→dl edge.
+    tele.add(Counter::RebuildLseHits, lse_hits);
+    tele.add(Counter::DataLossEvents, edges[3] + edges[5]);
 }
 
 /// The conventional-replacement Monte-Carlo model.
@@ -354,14 +364,16 @@ impl ConventionalMc {
     /// [`McVariance`]).
     pub fn run(&self, config: &McConfig) -> Result<AvailabilityEstimate> {
         let mode = self.resolve_run_mode(config.variance)?;
-        super::run_iterations_with(
+        let mut est = super::run_iterations_with(
             config,
             || SimWorkspace::with_telemetry(config.telemetry),
             |ws, i| {
                 let mut rng = SimRng::substream(config.seed, i);
                 self.dispatch(config.horizon_hours, &mut rng, ws, mode)
             },
-        )
+        )?;
+        est.normalize_nomdl(f64::from(self.params.geometry.usable_capacity()));
+        Ok(est)
     }
 
     /// Runs batches of missions, growing the sample until the availability
@@ -378,7 +390,7 @@ impl ConventionalMc {
         max_iterations: u64,
     ) -> Result<AvailabilityEstimate> {
         let mode = self.resolve_run_mode(config.variance)?;
-        super::run_to_precision_with(
+        let mut est = super::run_to_precision_with(
             config,
             target_half_width,
             max_iterations,
@@ -387,7 +399,9 @@ impl ConventionalMc {
                 let mut rng = SimRng::substream(config.seed, i);
                 self.dispatch(config.horizon_hours, &mut rng, ws, mode)
             },
-        )
+        )?;
+        est.normalize_nomdl(f64::from(self.params.geometry.usable_capacity()));
+        Ok(est)
     }
 
     fn dispatch(
@@ -478,9 +492,21 @@ impl ConventionalMc {
         // survivors race the two service outcomes; disk renewal on every
         // return to OP matches the general engine's regenerative resampling
         // because the exponential is memoryless.
+        //
+        // With an LSE model attached, a rebuild completion splits by the
+        // per-rebuild LSE-hit probability `ue`: rate (1−hep)·(1−ue)·μ_DF
+        // returns to OP, rate (1−hep)·ue·μ_DF lost data during the rebuild
+        // reads (exactly the split the generic exact chain applies through
+        // `with_rebuild_failure_probability`). At ue = 0 the arithmetic is
+        // bit-exact with the unsplit rates — `(1−hep)·1.0` and `x + 0.0`
+        // are identities — and the zero-rate LSE exit is fenced off below,
+        // so an LSE-free run consumes the identical RNG stream and returns
+        // identical bits.
+        let ue = p.rebuild_lse_probability();
         let op_fail = n * lam;
         let exp_fail = (n - 1.0) * lam;
-        let exp_repair = (1.0 - hep) * p.disk_repair_rate;
+        let exp_repair = (1.0 - hep) * (1.0 - ue) * p.disk_repair_rate;
+        let exp_lse = (1.0 - hep) * ue * p.disk_repair_rate;
         let exp_wrong = self.wrong_pull_rate();
         let du_recover = (1.0 - hep) * p.human_recovery_rate;
         let du_crash = p.removed_crash_rate;
@@ -489,16 +515,18 @@ impl ConventionalMc {
         let mut mode = Mode::Op;
         let mut t = 0.0;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
+        let mut first_loss = f64::INFINITY;
         // Edge tallies (op→exp, exp→op, exp→du, exp→dl, du→op, du→dl,
         // dl→op) and draw counts, kept in registers and flushed once per
         // mission so telemetry never touches the transition loop.
         let mut edges = [0u64; 7];
+        let mut lse_hits = 0u64;
         let (mut exp_draws, mut uniform_draws) = (0u64, 0u64);
 
         loop {
             let total = match mode {
                 Mode::Op => op_fail,
-                Mode::Exp => exp_fail + exp_repair + exp_wrong,
+                Mode::Exp => exp_fail + exp_repair + exp_wrong + exp_lse,
                 Mode::Du => du_recover + du_crash,
                 Mode::Dl => dl_restore,
             };
@@ -528,15 +556,27 @@ impl ConventionalMc {
                         mode = Mode::Dl;
                         dl_events += 1;
                         edges[3] += 1;
+                        first_loss = first_loss.min(t);
                         log.begin(t, OutageCause::DataLoss);
-                    } else if exp_wrong <= 0.0 || u < exp_fail + exp_repair {
+                    } else if (exp_wrong <= 0.0 && exp_lse <= 0.0) || u < exp_fail + exp_repair {
                         mode = Mode::Op;
                         edges[1] += 1;
-                    } else {
+                    } else if exp_lse <= 0.0
+                        || (exp_wrong > 0.0 && u < exp_fail + exp_repair + exp_wrong)
+                    {
                         mode = Mode::Du;
                         du_events += 1;
                         edges[2] += 1;
                         log.begin(t, OutageCause::HumanError);
+                    } else {
+                        // Rebuild completed but a read of a surviving disk
+                        // hit a latent sector error: data loss.
+                        mode = Mode::Dl;
+                        dl_events += 1;
+                        edges[3] += 1;
+                        lse_hits += 1;
+                        first_loss = first_loss.min(t);
+                        log.begin(t, OutageCause::DataLoss);
                     }
                 }
                 Mode::Du => {
@@ -552,6 +592,7 @@ impl ConventionalMc {
                         mode = Mode::Dl;
                         dl_events += 1;
                         edges[5] += 1;
+                        first_loss = first_loss.min(t);
                         log.end(t);
                         log.begin(t, OutageCause::DataLoss);
                     }
@@ -565,13 +606,14 @@ impl ConventionalMc {
         }
 
         log.finalize(horizon);
-        flush_jump_counters(tele, &edges, exp_draws, uniform_draws);
+        flush_jump_counters(tele, &edges, lse_hits, exp_draws, uniform_draws);
         IterationOutcome {
             downtime_hours: log.total_downtime(),
             du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
             dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
             du_events,
             dl_events,
+            first_loss_hours: first_loss,
             weight: 1.0,
         }
     }
@@ -634,9 +676,13 @@ impl ConventionalMc {
         };
         let hep = p.hep.value();
 
+        // Same LSE rebuild split (and ue = 0 bit-identity argument) as the
+        // naive jump chain.
+        let ue = p.rebuild_lse_probability();
         let op_fail = n * lam;
         let exp_fail = (n - 1.0) * lam;
-        let exp_repair = (1.0 - hep) * p.disk_repair_rate;
+        let exp_repair = (1.0 - hep) * (1.0 - ue) * p.disk_repair_rate;
+        let exp_lse = (1.0 - hep) * ue * p.disk_repair_rate;
         let exp_wrong = self.wrong_pull_rate();
         let du_recover = (1.0 - hep) * p.human_recovery_rate;
         let du_crash = p.removed_crash_rate;
@@ -647,13 +693,15 @@ impl ConventionalMc {
         let mut weight = 1.0f64;
         let mut force_next_failure = true;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
+        let mut first_loss = f64::INFINITY;
         let mut edges = [0u64; 7];
+        let mut lse_hits = 0u64;
         let (mut exp_draws, mut uniform_draws) = (0u64, 0u64);
 
         loop {
             let total = match mode {
                 Mode::Op => op_fail,
-                Mode::Exp => exp_fail + exp_repair + exp_wrong,
+                Mode::Exp => exp_fail + exp_repair + exp_wrong + exp_lse,
                 Mode::Du => du_recover + du_crash,
                 Mode::Dl => dl_restore,
             };
@@ -686,9 +734,16 @@ impl ConventionalMc {
                     edges[0] += 1;
                 }
                 Mode::Exp => {
-                    // Biased set: the second failure and the wrong pull —
-                    // the exits toward the down states.
-                    let exits = [(exp_fail, true), (exp_wrong, true), (exp_repair, false)];
+                    // Biased set: the second failure, the wrong pull, and
+                    // the LSE-failed rebuild — the exits toward the down
+                    // states. `biased_pick` ignores zero-rate members, so
+                    // the appended LSE exit changes nothing at ue = 0.
+                    let exits = [
+                        (exp_fail, true),
+                        (exp_wrong, true),
+                        (exp_repair, false),
+                        (exp_lse, true),
+                    ];
                     let (idx, ratio) = biased_pick(rng, &exits, total, bias);
                     uniform_draws += 1;
                     weight *= ratio;
@@ -697,6 +752,7 @@ impl ConventionalMc {
                             mode = Mode::Dl;
                             dl_events += 1;
                             edges[3] += 1;
+                            first_loss = first_loss.min(t);
                             log.begin(t, OutageCause::DataLoss);
                         }
                         1 => {
@@ -704,6 +760,14 @@ impl ConventionalMc {
                             du_events += 1;
                             edges[2] += 1;
                             log.begin(t, OutageCause::HumanError);
+                        }
+                        3 => {
+                            mode = Mode::Dl;
+                            dl_events += 1;
+                            edges[3] += 1;
+                            lse_hits += 1;
+                            first_loss = first_loss.min(t);
+                            log.begin(t, OutageCause::DataLoss);
                         }
                         _ => {
                             mode = Mode::Op;
@@ -721,6 +785,7 @@ impl ConventionalMc {
                         mode = Mode::Dl;
                         dl_events += 1;
                         edges[5] += 1;
+                        first_loss = first_loss.min(t);
                         log.end(t);
                         log.begin(t, OutageCause::DataLoss);
                     } else {
@@ -738,13 +803,14 @@ impl ConventionalMc {
         }
 
         log.finalize(horizon);
-        flush_jump_counters(tele, &edges, exp_draws, uniform_draws);
+        flush_jump_counters(tele, &edges, lse_hits, exp_draws, uniform_draws);
         IterationOutcome {
             downtime_hours: log.total_downtime(),
             du_downtime_hours: log.downtime_by_cause(OutageCause::HumanError),
             dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
             du_events,
             dl_events,
+            first_loss_hours: first_loss,
             weight,
         }
     }
@@ -814,6 +880,11 @@ impl ConventionalMc {
         let recover_inv = ((1.0 - hep) * p.human_recovery_rate).recip();
         let crash_inv = p.removed_crash_rate.recip();
         let restore_inv = p.ddf_recovery_rate.recip();
+        // Per-rebuild LSE-hit probability. Strictly zero (and drawing no
+        // randomness) when no scrubbing model is attached, so LSE-free
+        // missions consume the identical RNG stream as before the feature
+        // existed.
+        let p_lse = p.rebuild_lse_probability();
 
         ws.conventional.reset(n);
         ws.log.clear();
@@ -822,11 +893,13 @@ impl ConventionalMc {
         let tele = &mut ws.telemetry;
         // Draw tallies, accumulated locally and flushed once per run (the
         // queue's own traffic counters live inside `IndexedEventQueue`).
-        let (mut exp_draws, mut ttf_draws) = (0u64, 0u64);
+        let (mut exp_draws, mut ttf_draws, mut uniform_draws) = (0u64, 0u64, 0u64);
         let mut mode = Mode::Op;
         let mut epoch: u32 = 0;
         let mut failed_slot: Option<usize> = None;
         let (mut du_events, mut dl_events) = (0u64, 0u64);
+        let mut lse_hits = 0u64;
+        let mut first_loss = f64::INFINITY;
         let mut down_entry: Option<DownEntry> = None;
         // Pending service events of the current state, by race lane
         // (0 = the recovery-flavoured exit, 1 = the failure-flavoured one);
@@ -924,6 +997,7 @@ impl ConventionalMc {
                 epoch = 1;
                 let services: &[(usize, Service, f64)] = if entry.data_loss {
                     mode = Mode::Dl;
+                    first_loss = first_loss.min(entry.t);
                     log.begin(entry.t, OutageCause::DataLoss);
                     &[(0, Service::Restore, restore_inv)]
                 } else {
@@ -968,6 +1042,7 @@ impl ConventionalMc {
                             // service race is void.
                             mode = Mode::Dl;
                             dl_events += 1;
+                            first_loss = first_loss.min(t);
                             epoch += 1;
                             cancel_service!(0);
                             cancel_service!(1);
@@ -994,24 +1069,51 @@ impl ConventionalMc {
                     }
                     match (mode, kind) {
                         (Mode::Exp, Service::RepairOk) => {
-                            // Replacement + rebuild done: back to OP.
-                            mode = Mode::Op;
                             epoch += 1;
                             svc[0] = None;
                             cancel_service!(1);
-                            let slot = failed_slot.take().expect("exp implies a failed slot");
-                            slot_gen[slot] += 1;
-                            let tt = self.failures.sample_ttf(rng);
-                            ttf_draws += 1;
-                            let _ = enqueue_due!(
-                                queue,
-                                queue.now() + tt,
-                                Ev::Fail {
-                                    slot: slot as u16,
-                                    gen: slot_gen[slot],
+                            // With an LSE model attached, one Bernoulli
+                            // decides whether the rebuild's reads of the
+                            // surviving disks hit a latent error (data
+                            // loss) or the array returns to OP. No model →
+                            // no draw.
+                            let lse_hit = p_lse > 0.0 && {
+                                uniform_draws += 1;
+                                rng.next_f64() < p_lse
+                            };
+                            if lse_hit {
+                                mode = Mode::Dl;
+                                dl_events += 1;
+                                lse_hits += 1;
+                                first_loss = first_loss.min(t);
+                                log.begin(t, OutageCause::DataLoss);
+                                trace.record(t, TraceKind::RebuildLse);
+                                trace.record(t, TraceKind::DataLoss);
+                                if stop_at_down {
+                                    down_entry = Some(DownEntry { t, data_loss: true });
+                                    break;
                                 }
-                            );
-                            trace.record(t, TraceKind::RepairComplete { disk: slot as u32 });
+                                // `failed_slot` stays set; the restore
+                                // handler renews every slot on the way
+                                // back to OP.
+                                arm_service!(0, Service::Restore, restore_inv);
+                            } else {
+                                // Replacement + rebuild done: back to OP.
+                                mode = Mode::Op;
+                                let slot = failed_slot.take().expect("exp implies a failed slot");
+                                slot_gen[slot] += 1;
+                                let tt = self.failures.sample_ttf(rng);
+                                ttf_draws += 1;
+                                let _ = enqueue_due!(
+                                    queue,
+                                    queue.now() + tt,
+                                    Ev::Fail {
+                                        slot: slot as u16,
+                                        gen: slot_gen[slot],
+                                    }
+                                );
+                                trace.record(t, TraceKind::RepairComplete { disk: slot as u32 });
+                            }
                         }
                         (Mode::Exp, Service::WrongPull) => {
                             mode = Mode::Du;
@@ -1059,6 +1161,7 @@ impl ConventionalMc {
                         (Mode::Du, Service::RemovedCrash) => {
                             mode = Mode::Dl;
                             dl_events += 1;
+                            first_loss = first_loss.min(t);
                             epoch += 1;
                             svc[1] = None;
                             cancel_service!(0);
@@ -1101,6 +1204,9 @@ impl ConventionalMc {
         if tele.enabled() {
             tele.add(Counter::RngExpDraws, exp_draws);
             tele.add(Counter::RngLifetimeDraws, ttf_draws);
+            tele.add(Counter::RngUniformDraws, uniform_draws);
+            tele.add(Counter::RebuildLseHits, lse_hits);
+            tele.add(Counter::DataLossEvents, dl_events);
         }
         (
             IterationOutcome {
@@ -1109,6 +1215,7 @@ impl ConventionalMc {
                 dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
                 du_events,
                 dl_events,
+                first_loss_hours: first_loss,
                 weight: 1.0,
             },
             down_entry,
@@ -1238,6 +1345,11 @@ impl ConventionalMc {
             dl_downtime_hours: scale * sum_dl,
             du_events,
             dl_events,
+            // A splitting replication estimates downtime from conditioned
+            // partial trials; it has no unweighted per-mission loss
+            // indicator, so it reports "no loss observed" by contract
+            // (see `IterationOutcome::first_loss_hours`).
+            first_loss_hours: f64::INFINITY,
             weight: 1.0,
         }
     }
@@ -1642,6 +1754,123 @@ mod tests {
             naive.availability,
             split.availability
         );
+    }
+
+    #[test]
+    fn zero_lse_rate_is_bitwise_identical_to_no_scrubbing_model() {
+        // An attached scrubbing model with lse_rate = 0 must not perturb a
+        // single RNG draw or result bit on any engine or variance scheme —
+        // the "disabled features draw nothing" contract.
+        let base = params(1e-3, 0.02);
+        let with_zero =
+            base.with_scrubbing(availsim_storage::ScrubbingModel::new(0.0, 336.0).unwrap());
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let a = ConventionalMc::new(base)
+                .unwrap()
+                .with_engine(engine)
+                .run(&quick_config(300))
+                .unwrap();
+            let b = ConventionalMc::new(with_zero)
+                .unwrap()
+                .with_engine(engine)
+                .run(&quick_config(300))
+                .unwrap();
+            assert_eq!(
+                a.overall_availability.to_bits(),
+                b.overall_availability.to_bits(),
+                "{engine:?}"
+            );
+            assert_eq!(
+                a.availability.half_width.to_bits(),
+                b.availability.half_width.to_bits(),
+                "{engine:?}"
+            );
+            assert_eq!(a.dl_events, b.dl_events, "{engine:?}");
+            assert_eq!(a.loss_missions, b.loss_missions, "{engine:?}");
+            assert_eq!(a.nomdl_per_tb.to_bits(), b.nomdl_per_tb.to_bits());
+        }
+        // Same for failure biasing (the 4th biased exit is fenced at 0).
+        let cfg = McConfig {
+            variance: McVariance::failure_biasing(),
+            ..quick_config(300)
+        };
+        let a = ConventionalMc::new(base).unwrap().run(&cfg).unwrap();
+        let b = ConventionalMc::new(with_zero).unwrap().run(&cfg).unwrap();
+        assert_eq!(
+            a.overall_availability.to_bits(),
+            b.overall_availability.to_bits()
+        );
+        assert_eq!(a.max_weight.to_bits(), b.max_weight.to_bits());
+    }
+
+    #[test]
+    fn lse_exposure_produces_rebuild_losses_on_both_engines() {
+        // A deliberately hostile scrub policy: ~39% of rebuilds hit an LSE.
+        let scrub = availsim_storage::ScrubbingModel::new(1e-3, 1_000.0).unwrap();
+        let p = params(1e-3, 0.0).with_scrubbing(scrub);
+        assert!(p.rebuild_lse_probability() > 0.3);
+        let mut cfg = quick_config(400);
+        cfg.telemetry = true;
+        for engine in [McEngine::JumpChain, McEngine::EventQueue] {
+            let est = ConventionalMc::new(p)
+                .unwrap()
+                .with_engine(engine)
+                .run(&cfg)
+                .unwrap();
+            assert!(est.loss_missions > 0, "{engine:?}");
+            assert!(est.p_data_loss.mean > 0.0, "{engine:?}");
+            assert!(est.nomdl_per_tb > 0.0, "{engine:?}");
+            let mttfl = est.mean_time_to_first_loss_hours.expect("losses occurred");
+            assert!(mttfl > 0.0 && mttfl < cfg.horizon_hours, "{engine:?}");
+            use availsim_sim::telemetry::Counter;
+            let hits = est.counters.get(Counter::RebuildLseHits);
+            let dl = est.counters.get(Counter::DataLossEvents);
+            assert!(hits > 0, "{engine:?}");
+            assert_eq!(dl, est.dl_events, "{engine:?}");
+            assert!(hits <= dl, "{engine:?}");
+            // More loss than the LSE-free model: every hit is extra DL.
+            let base = ConventionalMc::new(params(1e-3, 0.0))
+                .unwrap()
+                .with_engine(engine)
+                .run(&cfg)
+                .unwrap();
+            assert!(est.dl_events > base.dl_events, "{engine:?}");
+            assert_eq!(base.counters.get(Counter::RebuildLseHits), 0);
+        }
+    }
+
+    #[test]
+    fn lse_first_loss_time_is_the_earliest_dl_entry() {
+        // Single traced mission with heavy LSE exposure: the outcome's
+        // first-loss time must match the first DATA LOSS outage start.
+        let scrub = availsim_storage::ScrubbingModel::new(1e-2, 1_000.0).unwrap();
+        let p = params(2e-3, 0.0).with_scrubbing(scrub);
+        let mc = ConventionalMc::new(p).unwrap();
+        let mut ws = SimWorkspace::new();
+        let mut found = false;
+        for seed in 0..50u64 {
+            let mut rng = SimRng::seed_from(seed);
+            let out = mc.simulate_once_with(50_000.0, &mut rng, &mut ws);
+            if out.first_loss_hours.is_finite() {
+                found = true;
+                let first_dl = ws
+                    .log
+                    .outages()
+                    .iter()
+                    .filter(|o| o.cause == OutageCause::DataLoss)
+                    .map(|o| o.start)
+                    .fold(f64::INFINITY, f64::min);
+                assert_eq!(out.first_loss_hours.to_bits(), first_dl.to_bits());
+                assert!(out.dl_events > 0);
+            } else {
+                assert_eq!(
+                    ws.log.count_by_cause(OutageCause::DataLoss),
+                    0,
+                    "seed {seed}"
+                );
+            }
+        }
+        assert!(found, "no mission lost data despite heavy LSE exposure");
     }
 
     #[test]

@@ -177,9 +177,21 @@ impl FailOverMc {
     /// Creates the model.
     ///
     /// # Errors
-    /// Propagates parameter validation errors.
+    /// Propagates parameter validation errors. A live LSE/scrubbing model
+    /// is rejected: the Fig. 3 chain has no rebuild-completion data-loss
+    /// branch, and silently ignoring the exposure would overstate
+    /// availability (a zero-rate model is accepted — it is numerically
+    /// off).
     pub fn new(params: ModelParams) -> Result<Self> {
         params.validate()?;
+        if params.rebuild_lse_probability() > 0.0 {
+            return Err(CoreError::InvalidParameter(
+                "the fail-over model does not support LSE-aware rebuilds; \
+                 remove the scrubbing model (or set `lse_rate = 0`), or use \
+                 the conventional/fleet Monte-Carlo engines"
+                    .into(),
+            ));
+        }
         let mut mc = FailOverMc {
             params,
             engine: McEngine::Auto,
@@ -638,6 +650,15 @@ fn outcome_from(
         dl_downtime_hours: log.downtime_by_cause(OutageCause::DataLoss),
         du_events,
         dl_events,
+        // First entry into a data-loss state (the chain logs every DL
+        // entry as a DataLoss outage, including down-to-down
+        // re-attributions at the same instant).
+        first_loss_hours: log
+            .outages()
+            .iter()
+            .filter(|o| o.cause == OutageCause::DataLoss)
+            .map(|o| o.start)
+            .fold(f64::INFINITY, f64::min),
         weight,
     }
 }
@@ -723,6 +744,17 @@ mod tests {
             }
             assert!((total - mc.table.totals[mode as usize]).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn live_lse_model_is_rejected_at_construction() {
+        use availsim_storage::ScrubbingModel;
+        let p = params(1e-4, 0.01).with_scrubbing(ScrubbingModel::new(1e-4, 336.0).unwrap());
+        let err = FailOverMc::new(p).unwrap_err().to_string();
+        assert!(err.contains("LSE-aware rebuilds"), "{err}");
+        // A zero-rate model is numerically off and stays accepted.
+        let z = params(1e-4, 0.01).with_scrubbing(ScrubbingModel::new(0.0, 336.0).unwrap());
+        assert!(FailOverMc::new(z).is_ok());
     }
 
     #[test]

@@ -71,7 +71,7 @@ use availsim_hra::{escalated, DependenceLevel};
 use availsim_sim::indexed_queue::{IndexedEventHandle, IndexedEventQueue, QueueStats};
 use availsim_sim::parallel::ordered_parallel_map_with;
 use availsim_sim::rng::SimRng;
-use availsim_sim::stats::{t_interval, ConfidenceInterval, RunningStats};
+use availsim_sim::stats::{t_interval, wilson_interval, ConfidenceInterval, RunningStats};
 use availsim_sim::telemetry::{Counter, CounterSnapshot};
 use availsim_storage::{FailoverPolicy, FailureModel, FleetSpec, HOURS_PER_YEAR};
 use std::collections::VecDeque;
@@ -254,6 +254,9 @@ pub struct FleetOutcome {
     /// Data-loss events across the fleet. A domain strike contributes one
     /// event per member array it takes down.
     pub dl_events: u64,
+    /// Mission time of the first DL entry of **any** member array, hours
+    /// ([`f64::INFINITY`] when no array ever lost data).
+    pub first_loss_hours: f64,
     /// Peak number of simultaneously degraded (not fully operational)
     /// arrays observed during the mission.
     pub max_degraded: u32,
@@ -325,6 +328,20 @@ pub struct FleetEstimate {
     pub du_events: u64,
     /// Total DL events across all missions.
     pub dl_events: u64,
+    /// Wilson interval over the per-mission data-loss indicator: the
+    /// probability that at least one member array enters DL during a
+    /// mission (second disk failure, removed-disk crash, domain strike,
+    /// or an LSE-failed rebuild).
+    pub p_data_loss: ConfidenceInterval,
+    /// NOMDL: expected data-loss events per mission, normalized by the
+    /// fleet's usable capacity ([`FleetSpec::usable_capacity`], in disk
+    /// units).
+    pub nomdl_per_tb: f64,
+    /// Mean mission time of the first fleet-wide DL entry, hours, over
+    /// the missions that lost data (`None` when none did).
+    pub mean_time_to_first_loss_hours: Option<f64>,
+    /// Missions in which at least one array entered DL.
+    pub loss_missions: u64,
     /// Time-share distribution of simultaneously degraded arrays: entry
     /// `k` is the fraction of simulated time with exactly `k` arrays not
     /// fully operational (last entry: `>= 32`). Sums to 1.
@@ -556,6 +573,8 @@ impl FleetMc {
             dr_queue_wait: f64,
             du_events: u64,
             dl_events: u64,
+            loss_missions: u64,
+            first_loss_sum: f64,
             failovers: u64,
             failbacks: u64,
             dr_queue_waits: u64,
@@ -584,6 +603,8 @@ impl FleetMc {
                     dr_queue_wait: 0.0,
                     du_events: 0,
                     dl_events: 0,
+                    loss_missions: 0,
+                    first_loss_sum: 0.0,
                     failovers: 0,
                     failbacks: 0,
                     dr_queue_waits: 0,
@@ -611,6 +632,10 @@ impl FleetMc {
                     p.dr_queue_wait += out.dr_queue_wait_hours;
                     p.du_events += out.du_events;
                     p.dl_events += out.dl_events;
+                    if out.first_loss_hours.is_finite() {
+                        p.loss_missions += 1;
+                        p.first_loss_sum += out.first_loss_hours;
+                    }
                     p.failovers += out.failovers;
                     p.failbacks += out.failbacks;
                     p.dr_queue_waits += out.dr_queue_waits;
@@ -637,6 +662,7 @@ impl FleetMc {
         let (mut du_dt, mut dl_dt, mut any_down) = (0.0, 0.0, 0.0);
         let (mut uncovered, mut uncovered_any, mut dr_queue_wait) = (0.0, 0.0, 0.0);
         let (mut du_ev, mut dl_ev) = (0u64, 0u64);
+        let (mut loss_missions, mut first_loss_sum) = (0u64, 0.0f64);
         let (mut failovers, mut failbacks) = (0u64, 0u64);
         let (mut dr_queue_waits, mut dr_rejections) = (0u64, 0u64);
         let mut max_degraded = 0u32;
@@ -654,6 +680,8 @@ impl FleetMc {
             dr_queue_wait += p.dr_queue_wait;
             du_ev += p.du_events;
             dl_ev += p.dl_events;
+            loss_missions += p.loss_missions;
+            first_loss_sum += p.first_loss_sum;
             failovers += p.failovers;
             failbacks += p.failbacks;
             dr_queue_waits += p.dr_queue_waits;
@@ -671,6 +699,8 @@ impl FleetMc {
         let availability = t_interval(&stats, config.confidence).map_err(CoreError::from)?;
         let credited_availability =
             t_interval(&credited_stats, config.confidence).map_err(CoreError::from)?;
+        let p_data_loss = wilson_interval(loss_missions, iterations, config.confidence)
+            .map_err(CoreError::from)?;
         let total_time = horizon * iterations as f64;
         let downtime = du_dt + dl_dt;
         let array_u = downtime / (arrays * total_time);
@@ -699,6 +729,14 @@ impl FleetMc {
             },
             du_events: du_ev,
             dl_events: dl_ev,
+            p_data_loss,
+            nomdl_per_tb: dl_ev as f64 / iterations as f64 / self.spec.usable_capacity() as f64,
+            mean_time_to_first_loss_hours: if loss_missions > 0 {
+                Some(first_loss_sum / loss_missions as f64)
+            } else {
+                None
+            },
+            loss_missions,
             degraded_time_share,
             max_degraded,
             credited_availability,
@@ -797,6 +835,11 @@ impl FleetMc {
         // per mission (queue traffic is counted inside the queue itself).
         let (mut ttf_draws, mut exp_draws) = (0u64, 0u64);
         let (mut crew_waits, mut domain_strikes) = (0u64, 0u64);
+        // Rebuild-LSE exposure: a completed rebuild loses data with this
+        // probability. Zero keeps the mission draw-free on that branch
+        // (the Bernoulli uniform is only drawn when the rate is live).
+        let p_lse = p.rebuild_lse_probability();
+        let (mut uniform_draws, mut lse_hits) = (0u64, 0u64);
 
         let mut out = FleetOutcome {
             du_downtime_hours: 0.0,
@@ -804,6 +847,7 @@ impl FleetMc {
             any_down_hours: 0.0,
             du_events: 0,
             dl_events: 0,
+            first_loss_hours: f64::INFINITY,
             max_degraded: 0,
             degraded_hours: [0.0; DEGRADED_BINS],
             uncovered_down_hours: 0.0,
@@ -1140,6 +1184,7 @@ impl FleetMc {
                             st.mode = Mode::Dl;
                             st.epoch += 1;
                             out.dl_events += 1;
+                            out.first_loss_hours = out.first_loss_hours.min(t);
                             in_dl += 1;
                             if st.dr == DrState::Serving {
                                 covered += 1;
@@ -1171,16 +1216,43 @@ impl FleetMc {
                     match (st.mode, kind) {
                         (Mode::Exp, Service::RepairOk) => {
                             accrue!(t);
-                            st.mode = Mode::Op;
                             st.epoch += 1;
-                            not_op -= 1;
                             svc[array as usize][0] = None;
                             cancel_svc!(array, 1);
-                            let slot = st.failed_slot;
-                            let epoch = st.epoch;
-                            reseed_slot!(array, slot);
-                            release_crew!();
-                            dr_return!(array, epoch);
+                            // A completed rebuild read every surviving
+                            // disk; with a scrubbing model attached it hit
+                            // a latent sector error with probability
+                            // `p_lse` and actually lost data. The uniform
+                            // is drawn only when the rate is live, so the
+                            // `p_lse = 0` stream is bit-identical.
+                            let lse_hit = p_lse > 0.0 && {
+                                uniform_draws += 1;
+                                rng.next_f64() < p_lse
+                            };
+                            if lse_hit {
+                                st.mode = Mode::Dl;
+                                out.dl_events += 1;
+                                out.first_loss_hours = out.first_loss_hours.min(t);
+                                lse_hits += 1;
+                                in_dl += 1;
+                                if st.dr == DrState::Serving {
+                                    covered += 1;
+                                }
+                                // RepairOk only fires on an in-service
+                                // array, so the crew is on site and
+                                // switches to the restore; `not_op` is
+                                // unchanged (still degraded).
+                                let epoch = st.epoch;
+                                arm!(array, epoch, 0, Service::Restore, restore_inv);
+                            } else {
+                                st.mode = Mode::Op;
+                                not_op -= 1;
+                                let slot = st.failed_slot;
+                                let epoch = st.epoch;
+                                reseed_slot!(array, slot);
+                                release_crew!();
+                                dr_return!(array, epoch);
+                            }
                         }
                         (Mode::Exp, Service::WrongPull) => {
                             accrue!(t);
@@ -1223,6 +1295,7 @@ impl FleetMc {
                             st.mode = Mode::Dl;
                             st.epoch += 1;
                             out.dl_events += 1;
+                            out.first_loss_hours = out.first_loss_hours.min(t);
                             in_du -= 1;
                             in_dl += 1;
                             svc[array as usize][1] = None;
@@ -1308,6 +1381,7 @@ impl FleetMc {
                                 out.max_degraded = out.max_degraded.max(not_op);
                                 in_dl += 1;
                                 out.dl_events += 1;
+                                out.first_loss_hours = out.first_loss_hours.min(t);
                                 dr_request!(array, st);
                                 if st.dr == DrState::Serving {
                                     covered += 1;
@@ -1327,6 +1401,7 @@ impl FleetMc {
                                 st.epoch += 1;
                                 in_dl += 1;
                                 out.dl_events += 1;
+                                out.first_loss_hours = out.first_loss_hours.min(t);
                                 if st.dr == DrState::Serving {
                                     covered += 1;
                                 }
@@ -1345,6 +1420,7 @@ impl FleetMc {
                                 in_du -= 1;
                                 in_dl += 1;
                                 out.dl_events += 1;
+                                out.first_loss_hours = out.first_loss_hours.min(t);
                                 cancel_svc!(array, 0);
                                 cancel_svc!(array, 1);
                                 if !st.waiting {
@@ -1378,6 +1454,9 @@ impl FleetMc {
         if tele.enabled() {
             tele.add(Counter::RngLifetimeDraws, ttf_draws);
             tele.add(Counter::RngExpDraws, exp_draws);
+            tele.add(Counter::RngUniformDraws, uniform_draws);
+            tele.add(Counter::RebuildLseHits, lse_hits);
+            tele.add(Counter::DataLossEvents, out.dl_events);
             tele.add(Counter::FleetCrewWaits, crew_waits);
             tele.add(Counter::FleetDomainStrikes, domain_strikes);
             tele.add(Counter::FleetFailovers, failovers);

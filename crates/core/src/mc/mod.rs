@@ -36,7 +36,7 @@ use crate::error::{CoreError, Result};
 use crate::nines;
 use availsim_sim::indexed_queue::QueueStats;
 use availsim_sim::parallel::ordered_parallel_map_with;
-use availsim_sim::stats::{t_interval, ConfidenceInterval, RunningStats};
+use availsim_sim::stats::{t_interval, wilson_interval, ConfidenceInterval, RunningStats};
 use availsim_sim::telemetry::{Counter, CounterSnapshot, Telemetry};
 use availsim_storage::{DowntimeLog, EventTrace};
 
@@ -499,6 +499,14 @@ pub struct IterationOutcome {
     pub du_events: u64,
     /// Number of data-loss events.
     pub dl_events: u64,
+    /// Time of the mission's **first** data-loss event, hours —
+    /// [`f64::INFINITY`] when the mission never lost data (the loss
+    /// *indicator* is `first_loss_hours.is_finite()`). Splitting
+    /// replications report `INFINITY`: their partial trials estimate
+    /// downtime, not an unweighted per-mission loss indicator, so the
+    /// loss metrics are only meaningful under naive sampling and failure
+    /// biasing.
+    pub first_loss_hours: f64,
     /// Likelihood-ratio weight of the mission: the nominal-model probability
     /// density of the sampled path over the proposal's. Exactly `1.0` for
     /// naive sampling and for splitting replications (which weight
@@ -515,6 +523,7 @@ impl Default for IterationOutcome {
             dl_downtime_hours: 0.0,
             du_events: 0,
             dl_events: 0,
+            first_loss_hours: f64::INFINITY,
             weight: 1.0,
         }
     }
@@ -543,6 +552,26 @@ pub struct AvailabilityEstimate {
     /// Total DL events across all simulated paths (same caveat as
     /// [`Self::du_events`]).
     pub dl_events: u64,
+    /// Probability that a mission loses data at least once within the
+    /// horizon — the fraction of missions whose
+    /// [`IterationOutcome::first_loss_hours`] was finite, with a Wilson
+    /// score interval at [`McConfig::confidence`]. The count is
+    /// **unweighted**: under variance reduction this is a proposal-path
+    /// diagnostic, not an unbiased nominal-model estimate (the weighted
+    /// downtime fields carry those).
+    pub p_data_loss: ConfidenceInterval,
+    /// NOMDL: expected data-loss events per mission, normalized by the
+    /// array's usable capacity ([`availsim_storage::RaidGeometry::usable_capacity`],
+    /// in capacity units ≙ TB) — the journal extension's "normalized
+    /// magnitude of data loss" estimator, weighted so it stays unbiased
+    /// under failure biasing.
+    pub nomdl_per_tb: f64,
+    /// Mean time to the *first* data loss over the missions that lost
+    /// data, hours; `None` when no mission lost data.
+    pub mean_time_to_first_loss_hours: Option<f64>,
+    /// Number of missions that lost data at least once (the numerator of
+    /// [`Self::p_data_loss`]).
+    pub loss_missions: u64,
     /// Number of iterations.
     pub iterations: u64,
     /// Mission time per iteration, hours.
@@ -566,6 +595,14 @@ impl AvailabilityEstimate {
     /// Unavailability of the point estimator.
     pub fn unavailability(&self) -> f64 {
         1.0 - self.overall_availability
+    }
+
+    /// Divides the NOMDL numerator (loss events per mission) by the
+    /// geometry's usable capacity. The iteration runner is
+    /// geometry-agnostic, so the engines apply the normalization after
+    /// aggregation.
+    pub(crate) fn normalize_nomdl(&mut self, usable_capacity_tb: f64) {
+        self.nomdl_per_tb /= usable_capacity_tb;
     }
 
     /// Availability in nines (from the overall estimator).
@@ -813,6 +850,9 @@ where
         du_downtime: f64,
         du_events: u64,
         dl_events: u64,
+        loss_missions: u64,
+        first_loss_sum: f64,
+        loss_magnitude: f64,
         weight_sum: f64,
         weight_sq_sum: f64,
         weight_max: f64,
@@ -832,6 +872,9 @@ where
                 du_downtime: 0.0,
                 du_events: 0,
                 dl_events: 0,
+                loss_missions: 0,
+                first_loss_sum: 0.0,
+                loss_magnitude: 0.0,
                 weight_sum: 0.0,
                 weight_sq_sum: 0.0,
                 weight_max: 0.0,
@@ -848,6 +891,11 @@ where
                 p.du_downtime += out.weight * out.du_downtime_hours;
                 p.du_events += out.du_events;
                 p.dl_events += out.dl_events;
+                if out.first_loss_hours.is_finite() {
+                    p.loss_missions += 1;
+                    p.first_loss_sum += out.first_loss_hours;
+                }
+                p.loss_magnitude += out.weight * out.dl_events as f64;
                 p.weight_sum += out.weight;
                 p.weight_sq_sum += out.weight * out.weight;
                 p.weight_max = p.weight_max.max(out.weight);
@@ -863,6 +911,7 @@ where
 
     let mut stats = RunningStats::new();
     let (mut downtime, mut du_dt, mut du_ev, mut dl_ev) = (0.0, 0.0, 0u64, 0u64);
+    let (mut loss_missions, mut first_loss_sum, mut loss_magnitude) = (0u64, 0.0, 0.0);
     let (mut w_sum, mut w_sq, mut w_max) = (0.0, 0.0, 0.0f64);
     let mut counters = CounterSnapshot::default();
     for (_, p) in partials {
@@ -871,6 +920,9 @@ where
         du_dt += p.du_downtime;
         du_ev += p.du_events;
         dl_ev += p.dl_events;
+        loss_missions += p.loss_missions;
+        first_loss_sum += p.first_loss_sum;
+        loss_magnitude += p.loss_magnitude;
         w_sum += p.weight_sum;
         w_sq += p.weight_sq_sum;
         w_max = w_max.max(p.weight_max);
@@ -878,6 +930,8 @@ where
     }
 
     let availability = t_interval(&stats, config.confidence).map_err(CoreError::from)?;
+    let p_data_loss =
+        wilson_interval(loss_missions, iterations, config.confidence).map_err(CoreError::from)?;
     let total_time = config.horizon_hours * iterations as f64;
     Ok(AvailabilityEstimate {
         availability,
@@ -890,6 +944,16 @@ where
         },
         du_events: du_ev,
         dl_events: dl_ev,
+        p_data_loss,
+        // Per-capacity normalization is the engine's job (the runner never
+        // sees the geometry): see `AvailabilityEstimate::normalize_nomdl`.
+        nomdl_per_tb: loss_magnitude / iterations as f64,
+        mean_time_to_first_loss_hours: if loss_missions > 0 {
+            Some(first_loss_sum / loss_missions as f64)
+        } else {
+            None
+        },
+        loss_missions,
         iterations,
         horizon_hours: config.horizon_hours,
         effective_sample_size: if w_sq > 0.0 {
@@ -980,6 +1044,7 @@ mod tests {
             dl_downtime_hours: (i % 10) as f64 / 2.0,
             du_events: i % 3,
             dl_events: i % 2,
+            first_loss_hours: if i % 2 == 1 { 50.0 } else { f64::INFINITY },
             weight: 1.0,
         };
         let mk = |threads| McConfig {
@@ -998,6 +1063,17 @@ mod tests {
         );
         assert_eq!(one.du_events, many.du_events);
         assert!((one.availability.mean - many.availability.mean).abs() < 1e-12);
+        // Loss metrics obey the same block-order merge contract.
+        assert_eq!(one.loss_missions, many.loss_missions);
+        assert_eq!(
+            one.p_data_loss.mean.to_bits(),
+            many.p_data_loss.mean.to_bits()
+        );
+        assert_eq!(one.nomdl_per_tb.to_bits(), many.nomdl_per_tb.to_bits());
+        assert_eq!(
+            one.mean_time_to_first_loss_hours.unwrap().to_bits(),
+            many.mean_time_to_first_loss_hours.unwrap().to_bits()
+        );
     }
 
     #[test]
@@ -1119,6 +1195,7 @@ mod tests {
             dl_downtime_hours: 0.0,
             du_events: 1,
             dl_events: 0,
+            first_loss_hours: f64::INFINITY,
             weight: 1.0,
         };
         let cfg = McConfig {
@@ -1139,6 +1216,51 @@ mod tests {
         // Naive weights: ESS equals the sample size, max weight is one.
         assert!((est.effective_sample_size - 100.0).abs() < 1e-9);
         assert_eq!(est.max_weight, 1.0);
+        // No mission lost data: the Wilson center shrinks toward z²/2/(n+z²)
+        // rather than 0, but the interval must cover 0.
+        assert_eq!(est.loss_missions, 0);
+        assert!(est.p_data_loss.mean <= est.p_data_loss.half_width);
+        assert_eq!(est.nomdl_per_tb, 0.0);
+        assert!(est.mean_time_to_first_loss_hours.is_none());
+    }
+
+    #[test]
+    fn loss_estimators_aggregate_indicator_time_and_magnitude() {
+        // Every 4th mission loses data at t = 10 h with 2 loss events.
+        let sim = |i: u64| {
+            if i.is_multiple_of(4) {
+                IterationOutcome {
+                    downtime_hours: 5.0,
+                    dl_downtime_hours: 5.0,
+                    dl_events: 2,
+                    first_loss_hours: 10.0,
+                    ..IterationOutcome::default()
+                }
+            } else {
+                IterationOutcome::default()
+            }
+        };
+        let cfg = McConfig {
+            iterations: 400,
+            horizon_hours: 100.0,
+            seed: 0,
+            confidence: 0.95,
+            threads: 2,
+            ..McConfig::default()
+        };
+        let est = run_iterations(&cfg, sim).unwrap();
+        assert_eq!(est.loss_missions, 100);
+        assert!((est.p_data_loss.mean - 0.25).abs() < 0.01); // Wilson shrinks slightly
+        assert!(est.p_data_loss.half_width > 0.0);
+        // Wilson interval covers the empirical fraction.
+        assert!((0.25f64 - est.p_data_loss.mean).abs() <= est.p_data_loss.half_width);
+        // 2 events × 100 missions / 400 iterations, per capacity unit.
+        assert!((est.nomdl_per_tb - 0.5).abs() < 1e-12);
+        assert_eq!(est.mean_time_to_first_loss_hours, Some(10.0));
+        // Engine-side capacity normalization divides the magnitude.
+        let mut e2 = est.clone();
+        e2.normalize_nomdl(4.0);
+        assert!((e2.nomdl_per_tb - 0.125).abs() < 1e-12);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::error::{CoreError, Result};
 use availsim_hra::Hep;
-use availsim_storage::{RaidGeometry, ServiceRates};
+use availsim_storage::{RaidGeometry, ScrubbingModel, ServiceRates};
 
 /// Parameters of an availability model for one RAID array.
 ///
@@ -36,6 +36,10 @@ pub struct ModelParams {
     pub removed_crash_rate: f64,
     /// Human-error probability per service action.
     pub hep: Hep,
+    /// Latent-sector-error exposure during rebuilds (`None` disables the
+    /// data-loss branch on rebuild completion entirely — engines must not
+    /// draw any extra randomness in that case).
+    pub scrubbing: Option<ScrubbingModel>,
 }
 
 impl ModelParams {
@@ -60,6 +64,7 @@ impl ModelParams {
             disk_change_rate: rates.disk_change,
             removed_crash_rate: rates.removed_disk_crash,
             hep,
+            scrubbing: None,
         };
         p.validate()?;
         Ok(p)
@@ -87,6 +92,24 @@ impl ModelParams {
     pub fn with_hep(mut self, hep: Hep) -> Self {
         self.hep = hep;
         self
+    }
+
+    /// Returns a copy with an LSE/scrubbing exposure model, enabling the
+    /// rebuild-failure data-loss branch in engines that support it.
+    pub fn with_scrubbing(mut self, scrubbing: ScrubbingModel) -> Self {
+        self.scrubbing = Some(scrubbing);
+        self
+    }
+
+    /// Probability that a completed rebuild actually lost data to a latent
+    /// sector error, given this array's read width (`total_disks − 1`
+    /// surviving disks feed a conventional rebuild). Zero when no scrubbing
+    /// model is attached or its LSE rate is zero.
+    pub fn rebuild_lse_probability(&self) -> f64 {
+        match self.scrubbing {
+            Some(m) => m.rebuild_failure_probability(self.geometry.total_disks() - 1),
+            None => 0.0,
+        }
     }
 
     /// Returns a copy with a different failure rate.
@@ -163,6 +186,22 @@ mod tests {
         let q = p.with_hep(Hep::new(0.01).unwrap());
         assert_eq!(q.disk_failure_rate, 1e-6);
         assert!((q.hep.value() - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scrubbing_defaults_off_and_threads_through() {
+        let p = ModelParams::raid5_3plus1(1e-6, Hep::ZERO).unwrap();
+        assert!(p.scrubbing.is_none());
+        assert_eq!(p.rebuild_lse_probability(), 0.0);
+        let m = ScrubbingModel::new(1e-6, 336.0).unwrap();
+        let q = p.with_scrubbing(m);
+        // A 3+1 rebuild reads the 3 surviving disks.
+        let expected = m.rebuild_failure_probability(3);
+        assert_eq!(q.rebuild_lse_probability(), expected);
+        assert!(expected > 0.0);
+        // An attached model with zero LSE rate is still "off" numerically.
+        let z = p.with_scrubbing(ScrubbingModel::new(0.0, 336.0).unwrap());
+        assert_eq!(z.rebuild_lse_probability(), 0.0);
     }
 
     #[test]

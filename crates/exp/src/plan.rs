@@ -139,6 +139,19 @@ impl Plan {
         if let Some(cap) = s.capacity {
             let _ = writeln!(out, "  capacity  : {cap} disk units (volume metrics on)");
         }
+        if let Some(lse) = s.lse {
+            let _ = writeln!(
+                out,
+                "  lse       : rate {}/disk-h, scrub every {} h{}",
+                format_float(lse.lse_rate),
+                format_float(lse.scrub_interval_hours),
+                if lse.is_live() {
+                    ""
+                } else {
+                    " (inert: rate 0)"
+                }
+            );
+        }
         if s.telemetry.enabled() || s.telemetry.progress {
             let mut line = String::new();
             if let Some(path) = &s.telemetry.metrics {
@@ -286,6 +299,27 @@ mod tests {
             d.contains("  telemetry : metrics -> m.prom (prom), progress on"),
             "{d}"
         );
+    }
+
+    #[test]
+    fn describe_shows_the_lse_line_only_when_configured() {
+        assert!(!expand(&scenario()).unwrap().describe().contains("lse"));
+        let live = Scenario::parse(
+            "[campaign]\nname = l\nmodel = mc\n[lse]\nlse_rate = 1e-4\nscrub_interval = 336\n",
+        )
+        .unwrap();
+        let d = expand(&live).unwrap().describe();
+        assert!(
+            d.contains("  lse       : rate 0.0001/disk-h, scrub every 336.0 h"),
+            "{d}"
+        );
+        assert!(!d.contains("inert"), "{d}");
+        let inert = Scenario::parse(
+            "[campaign]\nname = l\nmodel = mc\n[lse]\nlse_rate = 0\nscrub_interval = 336\n",
+        )
+        .unwrap();
+        let d = expand(&inert).unwrap().describe();
+        assert!(d.contains("(inert: rate 0)"), "{d}");
     }
 
     #[test]

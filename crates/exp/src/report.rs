@@ -78,6 +78,14 @@ fn has_dr_credit(result: &CampaignResult) -> bool {
         .is_some_and(|f| f.failover_capacity.is_some())
 }
 
+/// Whether the campaign carries the data-loss tier, i.e. whether reports
+/// add the `p_data_loss`/`nomdl_per_tb` columns. Only the MC engines
+/// estimate the loss metrics; Markov cells of an `[lse]` campaign fold
+/// the LSE exposure into their ordinary unavailability/MTTDL columns.
+fn has_loss_columns(result: &CampaignResult) -> bool {
+    result.scenario.lse.is_some() && result.scenario.model == ModelKind::Mc
+}
+
 /// Quotes a CSV field when it contains a delimiter, quote, or newline
 /// (error strings are the only fields that can).
 fn csv_field(s: &str) -> String {
@@ -99,6 +107,9 @@ pub fn to_csv(result: &CampaignResult) -> String {
     }
     if has_dr_credit(result) {
         header.push("credited_unavailability");
+    }
+    if has_loss_columns(result) {
+        header.extend_from_slice(&["p_data_loss", "nomdl_per_tb"]);
     }
     if result.keep_going {
         header.extend_from_slice(&["status", "error"]);
@@ -127,6 +138,10 @@ pub fn to_csv(result: &CampaignResult) -> String {
                     .map(format_float)
                     .unwrap_or_default(),
             );
+        }
+        if has_loss_columns(result) {
+            row.push(c.p_data_loss.map(format_float).unwrap_or_default());
+            row.push(c.nomdl_per_tb.map(format_float).unwrap_or_default());
         }
         if result.keep_going {
             row.push(if c.is_failed() { "error" } else { "ok" }.to_string());
@@ -220,6 +235,14 @@ pub fn to_json(result: &CampaignResult) -> String {
                 out,
                 ", \"credited_unavailability\": {}",
                 json_opt(c.credited_unavailability)
+            );
+        }
+        if has_loss_columns(result) {
+            let _ = write!(
+                out,
+                ", \"p_data_loss\": {}, \"nomdl_per_tb\": {}",
+                json_opt(c.p_data_loss),
+                json_opt(c.nomdl_per_tb)
             );
         }
         if result.keep_going {
@@ -539,6 +562,58 @@ mod tests {
         assert_eq!(csv_field("plain"), "plain");
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn lse_campaigns_add_the_loss_columns() {
+        let s = Scenario::parse(
+            "[campaign]\nname = loss\nseed = 11\nmodel = mc\n[axes]\nlambda = 5e-4\nhep = 0.01\nraid = r5-3\n[mc]\niterations = 400\nhorizon_hours = 20000\n[lse]\nlse_rate = 1e-4\nscrub_interval = 672\n",
+        )
+        .unwrap();
+        let r = run(
+            &expand(&s).unwrap(),
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let csv = to_csv(&r);
+        let header = csv.lines().next().unwrap();
+        assert!(header.ends_with(",p_data_loss,nomdl_per_tb"), "{header}");
+        // A hot cell (λ = 5e-4, 28-day scrubs) loses data in some missions:
+        // both loss fields are populated and positive.
+        let row = csv.lines().nth(1).unwrap();
+        let fields: Vec<&str> = row.split(',').collect();
+        let p: f64 = fields[fields.len() - 2].parse().unwrap();
+        let nomdl: f64 = fields[fields.len() - 1].parse().unwrap();
+        assert!(p > 0.0 && p < 1.0, "{row}");
+        assert!(nomdl > 0.0, "{row}");
+        let json = to_json(&r);
+        assert!(json.contains("\"p_data_loss\": "));
+        assert!(json.contains("\"nomdl_per_tb\": "));
+
+        // A Markov cell of an [lse] campaign folds the exposure into its
+        // ordinary columns — no loss columns appear.
+        let markov = Scenario::parse(
+            "[campaign]\nname = loss\nseed = 11\nmodel = markov-conventional\n[axes]\nlambda = 5e-4\nhep = 0.01\nraid = r5-3\n[lse]\nlse_rate = 1e-4\nscrub_interval = 672\n",
+        )
+        .unwrap();
+        let r = run(
+            &expand(&markov).unwrap(),
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!to_csv(&r).contains("p_data_loss"));
+        assert!(!to_json(&r).contains("p_data_loss"));
+
+        // And a plain campaign keeps its byte-stable layout.
+        let ok = result();
+        assert!(!to_csv(&ok).contains("p_data_loss"));
+        assert!(!to_json(&ok).contains("nomdl"));
     }
 
     #[test]

@@ -81,6 +81,13 @@ pub struct CellResult {
     /// disaster-recovery site. Present only for fleet cells with a
     /// `failover_capacity` coupling.
     pub credited_unavailability: Option<f64>,
+    /// Fraction of missions that lost data within the horizon. Present
+    /// only for MC cells of an `[lse]` campaign.
+    pub p_data_loss: Option<f64>,
+    /// NOMDL: data-loss events per mission, normalized by the cell's
+    /// usable capacity (capacity units ≙ TB). Present only for MC cells
+    /// of an `[lse]` campaign.
+    pub nomdl_per_tb: Option<f64>,
     /// Volume metrics (only when the campaign sets `capacity`).
     pub volume: Option<VolumeMetrics>,
     /// Engine telemetry counters for this cell (all-zero unless the
@@ -108,6 +115,8 @@ impl CellResult {
             mttdl_hours: None,
             ci_half_width: None,
             credited_unavailability: None,
+            p_data_loss: None,
+            nomdl_per_tb: None,
             volume: None,
             counters: CounterSnapshot::default(),
             elapsed_micros: 0,
@@ -269,9 +278,15 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
         source: e,
     };
     let hep = Hep::new(cell.hep).map_err(|e| model(CoreError::Hra(e)))?;
-    let params = ModelParams::paper_defaults(cell.raid, cell.lambda, hep).map_err(model)?;
+    let mut params = ModelParams::paper_defaults(cell.raid, cell.lambda, hep).map_err(model)?;
+    if let Some(lse) = scenario.lse {
+        // Scenario validation already restricts live rates to the MC
+        // engines and the generic chain; a zero rate is a bit-identical
+        // no-op everywhere.
+        params = params.with_scrubbing(lse.model());
+    }
 
-    let (unavailability, mttdl_hours, ci_half_width, credited_unavailability, counters) =
+    let (unavailability, mttdl_hours, ci_half_width, credited_unavailability, loss, counters) =
         match (scenario.model, cell.policy) {
             (ModelKind::Mc, policy) => {
                 let est = mc_estimate(
@@ -283,7 +298,10 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
                     scenario.telemetry.enabled(),
                 )
                 .map_err(model)?;
-                (est.0, None, Some(est.1), est.2, est.3)
+                // The loss columns report only under an [lse] section so
+                // plain campaigns keep their byte-stable layout.
+                let loss = scenario.lse.map(|_| est.3);
+                (est.0, None, Some(est.1), est.2, loss, est.4)
             }
             (_, Policy::Failover) => {
                 let m = Raid5FailOver::new(params).map_err(model)?;
@@ -291,6 +309,7 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
                 (
                     solved.unavailability(),
                     Some(m.mttdl_hours().map_err(model)?),
+                    None,
                     None,
                     None,
                     CounterSnapshot::default(),
@@ -304,6 +323,7 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
                     Some(m.mttdl_hours().map_err(model)?),
                     None,
                     None,
+                    None,
                     CounterSnapshot::default(),
                 )
             }
@@ -315,6 +335,7 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
                     Some(m.mttdl_hours().map_err(model)?),
                     None,
                     None,
+                    None,
                     CounterSnapshot::default(),
                 )
             }
@@ -324,6 +345,7 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
                 (
                     solved.unavailability(),
                     Some(m.mttdl_hours().map_err(model)?),
+                    None,
                     None,
                     None,
                     CounterSnapshot::default(),
@@ -354,6 +376,8 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
         mttdl_hours,
         ci_half_width,
         credited_unavailability,
+        p_data_loss: loss.map(|(p, _)| p),
+        nomdl_per_tb: loss.map(|(_, n)| n),
         volume,
         counters,
         elapsed_micros: started.elapsed().as_micros() as u64,
@@ -365,8 +389,12 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
 /// (campaign parallelism is across cells). With a `[fleet]` section the
 /// cell runs the fleet engine and reports its per-array unavailability;
 /// the third slot carries the DR-credited unavailability when the fleet
-/// has a `failover_capacity` coupling (the fail-back rate defaults to the
+/// has a `failover_capacity` coupling; the fourth slot is the
+/// `(p_data_loss, nomdl_per_tb)` pair, which [`run_cell`] surfaces only
+/// under an `[lse]` section (the fail-back rate defaults to the
 /// disk-change rate: switching back is an operator-driven swap action).
+type McCellEstimate = (f64, f64, Option<f64>, (f64, f64), CounterSnapshot);
+
 fn mc_estimate(
     mc: McSettings,
     fleet: Option<FleetSettings>,
@@ -374,7 +402,7 @@ fn mc_estimate(
     params: ModelParams,
     seed: u64,
     telemetry: bool,
-) -> availsim_core::Result<(f64, f64, Option<f64>, CounterSnapshot)> {
+) -> availsim_core::Result<McCellEstimate> {
     let config = McConfig {
         iterations: mc.iterations,
         horizon_hours: mc.horizon_hours,
@@ -408,6 +436,7 @@ fn mc_estimate(
             est.array_unavailability(),
             est.availability.half_width,
             failover.map(|_| est.credited_array_unavailability()),
+            (est.p_data_loss.mean, est.nomdl_per_tb),
             est.counters,
         ));
     }
@@ -419,6 +448,7 @@ fn mc_estimate(
         est.unavailability(),
         est.availability.half_width,
         None,
+        (est.p_data_loss.mean, est.nomdl_per_tb),
         est.counters,
     ))
 }

@@ -39,6 +39,11 @@
 //! failback_rate = 0.01               # optional switch-back rate per hour
 //!                                    # (defaults to the disk-change rate)
 //!
+//! [lse]                              # optional; data-loss tier
+//! lse_rate = 1e-4                    # latent-sector-error rate per
+//!                                    # disk-hour (0 = bit-identical noop)
+//! scrub_interval = 336               # scrub period in hours
+//!
 //! [telemetry]                        # optional; engine observability
 //! metrics = metrics.json             # enables counters, names the snapshot
 //! format = json                      # json | prom (requires `metrics`)
@@ -53,7 +58,7 @@
 use crate::error::{ExpError, Result};
 use availsim_core::mc::{DomainFailures, FleetCoupling, McVariance};
 use availsim_hra::{DependenceLevel, Hep};
-use availsim_storage::{FailoverPolicy, FleetFailover, FleetSpec, RaidGeometry};
+use availsim_storage::{FailoverPolicy, FleetFailover, FleetSpec, RaidGeometry, ScrubbingModel};
 use std::fmt;
 
 /// Which solver backend evaluates each cell.
@@ -279,6 +284,36 @@ impl FleetSettings {
     }
 }
 
+/// The `[lse]` section: latent-sector-error exposure for the data-loss
+/// tier. Rides into [`availsim_core::ModelParams::with_scrubbing`] on every
+/// cell, turning on LSE-aware rebuilds (and the `p_data_loss` / `nomdl`
+/// report columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LseSettings {
+    /// LSE arrival rate per disk, per hour (`lse_rate = 1e-4`). A rate of
+    /// exactly `0` is a bit-identical no-op — the engines draw nothing.
+    pub lse_rate: f64,
+    /// Scrub period in hours (`scrub_interval = 336`).
+    pub scrub_interval_hours: f64,
+}
+
+impl LseSettings {
+    /// The exposure model these settings describe. Infallible: the parser
+    /// and [`Scenario::validate`] enforce [`ScrubbingModel::new`]'s
+    /// invariants before a campaign runs.
+    pub fn model(&self) -> ScrubbingModel {
+        ScrubbingModel {
+            lse_rate: self.lse_rate,
+            scrub_interval_hours: self.scrub_interval_hours,
+        }
+    }
+
+    /// Whether the section actually changes the engines (`lse_rate > 0`).
+    pub fn is_live(&self) -> bool {
+        self.lse_rate > 0.0
+    }
+}
+
 /// Metrics exposition format, from `[telemetry] format =` or the CLI's
 /// `--metrics-format`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -365,6 +400,8 @@ pub struct Scenario {
     /// The fleet engine's `[fleet]` section; `None` runs the single-array
     /// models.
     pub fleet: Option<FleetSettings>,
+    /// The `[lse]` section; `None` leaves rebuilds LSE-free.
+    pub lse: Option<LseSettings>,
     /// The `[telemetry]` section (engine counters, metrics exposition,
     /// progress streaming); all off by default.
     pub telemetry: TelemetrySettings,
@@ -384,6 +421,7 @@ impl Default for Scenario {
             policy: Vec::new(),
             mc: McSettings::default(),
             fleet: None,
+            lse: None,
             telemetry: TelemetrySettings::default(),
         }
     }
@@ -620,7 +658,7 @@ impl Scenario {
                     .trim()
                     .to_ascii_lowercase();
                 match name.as_str() {
-                    "campaign" | "axes" | "mc" | "fleet" | "telemetry" => {
+                    "campaign" | "axes" | "mc" | "fleet" | "lse" | "telemetry" => {
                         saw_campaign |= name == "campaign";
                         section = Some(name);
                     }
@@ -629,7 +667,7 @@ impl Scenario {
                             line,
                             format!(
                                 "unknown section `[{other}]` \
-                                 (use [campaign], [axes], [mc], [fleet], [telemetry])"
+                                 (use [campaign], [axes], [mc], [fleet], [lse], [telemetry])"
                             ),
                         ))
                     }
@@ -681,6 +719,11 @@ impl Scenario {
         let mut failover_capacity: Option<(usize, Option<u64>)> = None;
         let mut failover_policy: Option<(usize, FailoverPolicy)> = None;
         let mut failback_rate: Option<(usize, f64)> = None;
+        // The [lse] keys are cross-checked after the scan: they must come
+        // as a pair, and a live rate needs a model with LSE-aware rebuilds
+        // (which may be declared after the section).
+        let mut lse_rate: Option<(usize, f64)> = None;
+        let mut scrub_interval: Option<(usize, f64)> = None;
 
         for (sec, e) in &entries {
             match (sec.as_str(), e.key.as_str()) {
@@ -885,6 +928,26 @@ impl Scenario {
                     }
                     failback_rate = Some((e.line, rate));
                 }
+                ("lse", "lse_rate") => {
+                    let rate = parse_f64(e.line, "lse_rate", scalar(e)?)?;
+                    if rate < 0.0 {
+                        return Err(parse_err(
+                            e.line,
+                            format!("LSE rate must be nonnegative, got {rate}"),
+                        ));
+                    }
+                    lse_rate = Some((e.line, rate));
+                }
+                ("lse", "scrub_interval") => {
+                    let hours = parse_f64(e.line, "scrub_interval", scalar(e)?)?;
+                    if hours <= 0.0 {
+                        return Err(parse_err(
+                            e.line,
+                            format!("scrub interval must be positive, got {hours}"),
+                        ));
+                    }
+                    scrub_interval = Some((e.line, hours));
+                }
                 ("telemetry", "metrics") => {
                     scenario.telemetry.metrics = Some(scalar(e)?.to_string());
                 }
@@ -949,6 +1012,29 @@ impl Scenario {
                 return Err(parse_err(
                     l,
                     format!("`{key}` requires a `failover_capacity` key in [fleet]"),
+                ));
+            }
+        }
+        match (lse_rate, scrub_interval) {
+            (None, None) => {}
+            (Some((rate_line, rate)), Some((_, hours))) => {
+                scenario.lse = Some(LseSettings {
+                    lse_rate: rate,
+                    scrub_interval_hours: hours,
+                });
+                // A live rate needs an engine with LSE-aware rebuilds; the
+                // Fig. 3 chain and the fail-over engine reject latent
+                // sector errors rather than silently ignore them.
+                if rate > 0.0 {
+                    if let Some(problem) = scenario.lse_support_problem() {
+                        return Err(parse_err(rate_line, problem));
+                    }
+                }
+            }
+            (Some((line, _)), None) | (None, Some((line, _))) => {
+                return Err(parse_err(
+                    line,
+                    "`lse_rate` and `scrub_interval` must be set together in [lse]",
                 ));
             }
         }
@@ -1105,7 +1191,44 @@ impl Scenario {
                 }
             }
         }
+        if let Some(lse) = self.lse {
+            // Re-check the invariants for hand-built scenarios (the parser
+            // reports the same problems with line numbers).
+            ScrubbingModel::new(lse.lse_rate, lse.scrub_interval_hours)
+                .map_err(|e| ExpError::InvalidSpec(e.to_string()))?;
+            if lse.is_live() {
+                if let Some(problem) = self.lse_support_problem() {
+                    return Err(ExpError::InvalidSpec(problem));
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Why a **live** `[lse]` section cannot run under this scenario's
+    /// model/policy combination, or `None` when every cell supports
+    /// LSE-aware rebuilds. The Fig. 3 exact chain and the fail-over MC
+    /// engine reject latent sector errors at construction; catching the
+    /// combination here turns a per-cell run failure into an up-front
+    /// spec error.
+    fn lse_support_problem(&self) -> Option<String> {
+        if self.model == ModelKind::MarkovFailover {
+            return Some(
+                "model `markov-failover` does not support LSE-aware rebuilds \
+                 (the Fig. 3 chain has no rebuild completion to split; \
+                 pick another model, or set `lse_rate = 0`)"
+                    .into(),
+            );
+        }
+        if self.effective_policies().contains(&Policy::Failover) {
+            return Some(
+                "the failover policy does not support LSE-aware rebuilds \
+                 (restrict the `policy` axis to conventional, or set \
+                 `lse_rate = 0`)"
+                    .into(),
+            );
+        }
+        None
     }
 
     /// The policies the grid will iterate over: the explicit `policy` axis,
@@ -1525,6 +1648,85 @@ lambda = 1e-5
             msg.contains("line 5") && msg.contains("requires a `failover_capacity`"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn lse_section_parses_and_gates_on_supporting_models() {
+        let s = Scenario::parse(
+            "[campaign]\nname = l\nmodel = mc\n[lse]\nlse_rate = 1e-4\nscrub_interval = 336\n",
+        )
+        .unwrap();
+        let lse = s.lse.unwrap();
+        assert_eq!(lse.lse_rate, 1e-4);
+        assert_eq!(lse.scrub_interval_hours, 336.0);
+        assert!(lse.is_live());
+        assert_eq!(lse.model(), ScrubbingModel::new(1e-4, 336.0).unwrap());
+
+        // No [lse] section: None.
+        let s = Scenario::parse("[campaign]\nname = l\nmodel = mc\n").unwrap();
+        assert_eq!(s.lse, None);
+
+        // The generic chain and the Fig. 2 exact chain honour scrubbing;
+        // the Fig. 3 chain (and the fail-over policy below) rejects a live
+        // rate with the offending line — a zero rate is a bit-identical
+        // no-op and passes anywhere.
+        for model in ["generic-k-of-n", "markov-conventional"] {
+            assert!(Scenario::parse(&format!(
+                "[campaign]\nname = l\nmodel = {model}\n[lse]\nlse_rate = 1e-4\nscrub_interval = 336\n"
+            ))
+            .is_ok());
+        }
+        let e = Scenario::parse(
+            "[campaign]\nname = l\nmodel = markov-failover\n[lse]\nlse_rate = 1e-4\nscrub_interval = 336\n"
+        )
+        .unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("line 5") && msg.contains("LSE-aware rebuilds"),
+            "{msg}"
+        );
+        assert!(Scenario::parse(
+            "[campaign]\nname = l\nmodel = markov-failover\n[lse]\nlse_rate = 0\nscrub_interval = 336\n"
+        )
+        .is_ok());
+        let e = Scenario::parse(
+            "[campaign]\nname = l\nmodel = mc\n[axes]\npolicy = [failover]\n\
+             [lse]\nlse_rate = 1e-4\nscrub_interval = 336\n",
+        )
+        .unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("line 7") && msg.contains("failover policy"),
+            "{msg}"
+        );
+
+        // The keys come as a pair, and degenerate values blame their line.
+        let cases = [
+            ("lse_rate = 1e-4", "line 5", "must be set together"),
+            ("scrub_interval = 336", "line 5", "must be set together"),
+            (
+                "lse_rate = -1\nscrub_interval = 336",
+                "line 5",
+                "nonnegative",
+            ),
+            (
+                "lse_rate = 1e-4\nscrub_interval = 0",
+                "line 6",
+                "must be positive",
+            ),
+            (
+                "lse_rate = 1e-4\nscrub_interval = -24",
+                "line 6",
+                "must be positive",
+            ),
+            ("exposure = 3", "line 5", "unknown key"),
+        ];
+        for (bad, line, needle) in cases {
+            let e = Scenario::parse(&format!("[campaign]\nname = l\nmodel = mc\n[lse]\n{bad}\n"))
+                .unwrap_err();
+            let msg = e.to_string();
+            assert!(msg.contains(line) && msg.contains(needle), "{bad}: {msg}");
+        }
     }
 
     #[test]

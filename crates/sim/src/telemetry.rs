@@ -44,7 +44,7 @@
 //! ```
 
 /// Number of distinct counters in the registry.
-pub const COUNTERS: usize = 26;
+pub const COUNTERS: usize = 28;
 
 /// The deterministic engine counters, one registry slot each.
 ///
@@ -111,6 +111,12 @@ pub enum Counter {
     SplitStage1Survivors,
     /// Splitting stage-2 survivors (clones reaching a down state).
     SplitStage2Survivors,
+    /// Rebuild completions that hit a latent sector error and lost data
+    /// instead of returning the array to service.
+    RebuildLseHits,
+    /// Data-loss (DL) entries across all engines — redundancy-exhausting
+    /// failures, removed-disk crashes, and LSE-failed rebuilds.
+    DataLossEvents,
 }
 
 /// How a counter merges across block snapshots.
@@ -151,6 +157,8 @@ impl Counter {
         Counter::FleetFailbacks,
         Counter::SplitStage1Survivors,
         Counter::SplitStage2Survivors,
+        Counter::RebuildLseHits,
+        Counter::DataLossEvents,
     ];
 
     /// The exposition metric name (also the JSON snapshot key).
@@ -182,6 +190,8 @@ impl Counter {
             Counter::FleetFailbacks => "availsim_fleet_failbacks_total",
             Counter::SplitStage1Survivors => "availsim_split_stage1_survivors_total",
             Counter::SplitStage2Survivors => "availsim_split_stage2_survivors_total",
+            Counter::RebuildLseHits => "availsim_rebuild_lse_hits_total",
+            Counter::DataLossEvents => "availsim_data_loss_events_total",
         }
     }
 
@@ -211,6 +221,7 @@ impl Counter {
             | Counter::FleetDrRejections
             | Counter::FleetFailbacks => "fleet",
             Counter::SplitStage1Survivors | Counter::SplitStage2Survivors => "rare-event",
+            Counter::RebuildLseHits | Counter::DataLossEvents => "data-loss",
         }
     }
 
@@ -243,6 +254,8 @@ impl Counter {
             Counter::FleetFailbacks => "Fleet arrays switched back from DR to primary",
             Counter::SplitStage1Survivors => "Splitting missions reaching a first failure",
             Counter::SplitStage2Survivors => "Splitting clones reaching a down state",
+            Counter::RebuildLseHits => "Rebuilds that hit a latent sector error (data loss)",
+            Counter::DataLossEvents => "Data-loss (DL) entries across all engines",
         }
     }
 

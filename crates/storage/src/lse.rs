@@ -77,8 +77,10 @@ impl ScrubbingModel {
     /// probability below `target` for the given read width.
     ///
     /// # Errors
-    /// Returns [`StorageError::InvalidConfig`] for a target outside `(0, 1)`
-    /// or a zero LSE rate (any interval works — there is nothing to scrub).
+    /// Returns [`StorageError::InvalidConfig`] for a target outside `(0, 1)`,
+    /// a zero LSE rate (any interval works — there is nothing to scrub), or
+    /// a zero read width (a rebuild that reads no disks cannot hit an LSE,
+    /// so no finite interval is "required").
     pub fn required_scrub_interval(
         lse_rate: f64,
         surviving_disks: u32,
@@ -93,6 +95,13 @@ impl ScrubbingModel {
             return Err(StorageError::InvalidConfig(format!(
                 "LSE rate must be positive to size a scrub interval, got {lse_rate}"
             )));
+        }
+        if surviving_disks == 0 {
+            return Err(StorageError::InvalidConfig(
+                "rebuild read width must be at least one disk to size a \
+                 scrub interval, got 0"
+                    .into(),
+            ));
         }
         // Invert 1 − exp(−d·λ·T/2) = target.
         let mean = -(-target).ln_1p();
@@ -145,6 +154,17 @@ mod tests {
         assert!((m.rebuild_failure_probability(7) - target).abs() < 1e-12);
         assert!(ScrubbingModel::required_scrub_interval(lse_rate, 7, 0.0).is_err());
         assert!(ScrubbingModel::required_scrub_interval(0.0, 7, 0.5).is_err());
+    }
+
+    #[test]
+    fn zero_width_interval_sizing_is_rejected() {
+        // Regression: `surviving_disks = 0` used to divide by zero and
+        // return an infinite "required" interval instead of an error.
+        let err = ScrubbingModel::required_scrub_interval(1e-6, 0, 0.01).unwrap_err();
+        assert!(err.to_string().contains("at least one disk"), "{err}");
+        // The smallest valid width still yields a finite interval.
+        let t = ScrubbingModel::required_scrub_interval(1e-6, 1, 0.01).unwrap();
+        assert!(t.is_finite() && t > 0.0);
     }
 
     #[test]

@@ -300,6 +300,66 @@ mod tests {
     }
 
     #[test]
+    fn raid6_minimum_width() {
+        // k = 2 is the smallest RAID6 (2+2); k = 1 would be a mirror in
+        // disguise and is rejected like k = 0.
+        assert!(RaidGeometry::raid6(1).is_err());
+        let g = RaidGeometry::raid6(2).unwrap();
+        assert_eq!(g.total_disks(), 4);
+        assert_eq!(g.fault_tolerance(), 2);
+        assert_eq!(g.usable_capacity(), 2);
+        assert_eq!(g.label(), "RAID6(2+2)");
+        assert!((g.effective_replication_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn array_counts_reject_rounding_and_survive_u64_extremes() {
+        let r6 = RaidGeometry::raid6(4).unwrap();
+        // Non-multiples are a hard error, never silently rounded.
+        for bad in [1u64, 3, 5, 7, 4 * 1_000 + 1] {
+            assert!(r6.arrays_for_usable_capacity(bad).is_err(), "{bad}");
+        }
+        assert_eq!(r6.arrays_for_usable_capacity(4_000).unwrap(), 1_000);
+        // u64 extremes: the widest multiple of 4 representable does not
+        // overflow the division, and u64::MAX (≡ 3 mod 4) is a clean
+        // mismatch error rather than a wrap.
+        let widest = u64::MAX - 3; // largest multiple of 4
+        assert_eq!(r6.arrays_for_usable_capacity(widest).unwrap(), widest / 4);
+        assert!(r6.arrays_for_usable_capacity(u64::MAX).is_err());
+        // A single-unit geometry maps capacity 1:1 even at the extreme.
+        let r1 = RaidGeometry::raid1_pair();
+        assert_eq!(r1.arrays_for_usable_capacity(u64::MAX).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn erf_is_consistent_across_constructors() {
+        // ERF must always equal total/data no matter which constructor
+        // built the geometry — including the fixed raid1_pair vs the
+        // general mirror, and raid0's degenerate 1.0.
+        let geoms = [
+            RaidGeometry::raid0(5).unwrap(),
+            RaidGeometry::raid1_pair(),
+            RaidGeometry::raid1_mirror(2).unwrap(),
+            RaidGeometry::raid1_mirror(4).unwrap(),
+            RaidGeometry::raid5(2).unwrap(),
+            RaidGeometry::raid5(7).unwrap(),
+            RaidGeometry::raid6(2).unwrap(),
+            RaidGeometry::raid6(10).unwrap(),
+        ];
+        for g in geoms {
+            let expect = f64::from(g.total_disks()) / f64::from(g.data_disks());
+            assert_eq!(g.effective_replication_factor(), expect, "{g}");
+            assert_eq!(g.usable_capacity(), g.data_disks(), "{g}");
+            assert_eq!(g.total_disks() - g.fault_tolerance(), g.data_disks(), "{g}");
+        }
+        // The two ways of building a plain mirror pair agree exactly.
+        assert_eq!(
+            RaidGeometry::raid1_pair(),
+            RaidGeometry::raid1_mirror(2).unwrap()
+        );
+    }
+
+    #[test]
     fn three_way_mirror() {
         let m = RaidGeometry::raid1_mirror(3).unwrap();
         assert_eq!(m.total_disks(), 3);

@@ -32,6 +32,9 @@ pub enum TraceKind {
     RemovedDiskCrashed,
     /// Data-loss event (more failures than redundancy).
     DataLoss,
+    /// A rebuild read hit a latent sector error on a surviving disk, so
+    /// the reconstruction failed and data was lost.
+    RebuildLse,
     /// Data-unavailability event (human error made data unreachable).
     DataUnavailable,
     /// Restore from backup completed.
@@ -50,7 +53,8 @@ impl fmt::Display for TraceKind {
             }
             TraceKind::WrongReplacementUndone => f.write_str("wrong replacement undone"),
             TraceKind::RemovedDiskCrashed => f.write_str("removed disk crashed"),
-            TraceKind::DataLoss => f.write_str("DATA LOSS (double disk failure)"),
+            TraceKind::DataLoss => f.write_str("DATA LOSS (redundancy exhausted)"),
+            TraceKind::RebuildLse => f.write_str("rebuild hit a latent sector error"),
             TraceKind::DataUnavailable => f.write_str("DATA UNAVAILABLE (human error)"),
             TraceKind::BackupRestoreComplete => f.write_str("backup restore complete"),
             TraceKind::SpareRebuildComplete => f.write_str("spare rebuild complete"),
@@ -124,7 +128,10 @@ impl EventTrace {
 /// Why the subsystem was down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OutageCause {
-    /// Data loss — double disk failure (paper `DL`).
+    /// Data loss — more concurrent failures than the geometry's redundancy
+    /// tolerates, or a rebuild lost data to a latent sector error
+    /// (paper `DL`). The count needed is `fault_tolerance() + 1`, not a
+    /// literal "double" failure — mirrors and RAID6 survive two.
     DataLoss,
     /// Data unavailability — human error (paper `DU`).
     HumanError,
@@ -247,6 +254,19 @@ mod tests {
         let s = t.render();
         assert!(s.contains("disk 1 failed"));
         assert!(s.contains("100.0 h"));
+    }
+
+    #[test]
+    fn data_loss_label_is_geometry_agnostic() {
+        // Regression: the label used to say "(double disk failure)", which
+        // is wrong for RAID6 and mirrors where loss needs
+        // `fault_tolerance() + 1` concurrent failures — and for LSE-induced
+        // rebuild failures, which involve only one whole-disk failure.
+        let label = TraceKind::DataLoss.to_string();
+        assert!(!label.contains("double"), "{label}");
+        assert!(label.contains("DATA LOSS"), "{label}");
+        let lse = TraceKind::RebuildLse.to_string();
+        assert!(lse.contains("latent sector error"), "{lse}");
     }
 
     #[test]

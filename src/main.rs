@@ -23,7 +23,7 @@ use availsim::hra::{DependenceLevel, Hep};
 use availsim::sim::telemetry::{
     percentile_u64, write_counters, CounterSnapshot, PhaseSpans, PrometheusWriter,
 };
-use availsim::storage::{FailoverPolicy, FleetFailover, FleetSpec, RaidGeometry};
+use availsim::storage::{FailoverPolicy, FleetFailover, FleetSpec, RaidGeometry, ScrubbingModel};
 use std::collections::HashMap;
 use std::error::Error;
 use std::path::Path;
@@ -236,7 +236,14 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let iterations: u64 = flag(flags, "iterations", 4_000)?;
     let threads: usize = flag(flags, "threads", 0)?;
     let tele = parse_telemetry_flags(flags)?;
-    let params = ModelParams::raid5_3plus1(lambda, hep)?;
+    let lse = parse_lse_flags(flags)?;
+    let mut params = ModelParams::raid5_3plus1(lambda, hep)?;
+    if let Some(scrub) = lse {
+        // The Fig. 2 exact chain splits the rebuild completion by the same
+        // LSE probability the MC engines draw, so the cross-check below
+        // covers the data-loss tier too.
+        params = params.with_scrubbing(scrub);
+    }
     let markov = Raid5Conventional::new(params)?.solve()?;
     let variance = parse_variance_flags(flags)?;
     let mut phases = PhaseSpans::new();
@@ -267,6 +274,17 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             "INCONSISTENT — investigate"
         }
     );
+    if lse.is_some() {
+        println!("p(data loss)        : {}", est.p_data_loss);
+        println!(
+            "nomdl               : {:.4e} events/TB-mission",
+            est.nomdl_per_tb
+        );
+        match est.mean_time_to_first_loss_hours {
+            Some(t) => println!("mean 1st loss       : {t:.0} h"),
+            None => println!("mean 1st loss       : none observed"),
+        }
+    }
     write_metrics(
         &tele,
         &MetricsReport {
@@ -291,6 +309,7 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let seed: u64 = flag(flags, "seed", 42u64)?;
     let threads: usize = flag(flags, "threads", 0)?;
     let tele = parse_telemetry_flags(flags)?;
+    let lse = parse_lse_flags(flags)?;
     let repairmen: Option<u32> = opt_flag(flags, "repairmen")?;
     let dependence = match flags.get("dependence") {
         None => DependenceLevel::Zero,
@@ -339,7 +358,10 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     if let Some(crews) = repairmen {
         spec = spec.with_repairmen(crews)?;
     }
-    let params = ModelParams::paper_defaults(geom, lambda, hep)?;
+    let mut params = ModelParams::paper_defaults(geom, lambda, hep)?;
+    if let Some(scrub) = lse {
+        params = params.with_scrubbing(scrub);
+    }
     if let Some((capacity, policy, rate)) = failover {
         // The fail-back default is the disk-change rate: switching back to
         // the primary is an operator-driven maintenance action.
@@ -399,6 +421,12 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             d.domain_arrays, d.rate
         );
     }
+    if let Some(s) = lse {
+        println!(
+            "  lse scrubbing          : rate {:.3e}/disk-h, scrub every {} h",
+            s.lse_rate, s.scrub_interval_hours
+        );
+    }
     if let Some(f) = spec.failover() {
         match f.capacity {
             None => println!("  DR failover            : unlimited slots (ideal site)"),
@@ -434,6 +462,17 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             "  DR events              : {} failovers, {} failbacks, {} queue waits, {} rejections",
             est.failovers, est.failbacks, est.dr_queue_waits, est.dr_rejections
         );
+    }
+    if lse.is_some() {
+        println!("  p(data loss)           : {}", est.p_data_loss);
+        println!(
+            "  nomdl                  : {:.4e} events/TB-mission",
+            est.nomdl_per_tb
+        );
+        match est.mean_time_to_first_loss_hours {
+            Some(t) => println!("  mean time to 1st loss  : {t:.0} h"),
+            None => println!("  mean time to 1st loss  : none observed"),
+        }
     }
     println!(
         "  simultaneous degraded  : mean {:.4}, peak {}",
@@ -522,6 +561,22 @@ fn parse_variance_flags(flags: &HashMap<String, String>) -> Result<McVariance, B
         }
     };
     Ok(variance)
+}
+
+/// Parses the `--lse-rate F --scrub-interval H` pair into an optional
+/// scrubbing model — the same vocabulary (and pair-together rule) as the
+/// campaign spec's `[lse]` section.
+fn parse_lse_flags(
+    flags: &HashMap<String, String>,
+) -> Result<Option<ScrubbingModel>, Box<dyn Error>> {
+    match (
+        opt_flag::<f64>(flags, "lse-rate")?,
+        opt_flag::<f64>(flags, "scrub-interval")?,
+    ) {
+        (None, None) => Ok(None),
+        (Some(rate), Some(hours)) => Ok(Some(ScrubbingModel::new(rate, hours)?)),
+        _ => Err("--lse-rate and --scrub-interval must be set together".into()),
+    }
 }
 
 /// Parses `--metrics <path>`, `--metrics-format json|prom`, and
@@ -768,6 +823,7 @@ USAGE:
   availsim validate [--lambda F] [--hep F] [--iterations N] [--seed N] [--threads N]
                     [--variance naive|failure-biasing|splitting]
                     [--bias F] [--levels N] [--effort N]
+                    [--lse-rate F --scrub-interval H]
                     [--metrics PATH] [--metrics-format json|prom]
   availsim fleet    [--arrays N] [--raid r1|r5-K|r6-K] [--lambda F] [--hep F]
                     [--iterations N] [--horizon F] [--seed N] [--threads N]
@@ -775,6 +831,7 @@ USAGE:
                     [--domain-arrays N --domain-rate F]
                     [--failover-capacity N|inf] [--failover-policy queue|loss]
                     [--failback-rate F]
+                    [--lse-rate F --scrub-interval H]
                     [--metrics PATH] [--metrics-format json|prom]
   availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run] [--keep-going]
                     [--metrics PATH] [--metrics-format json|prom] [--progress]
@@ -803,6 +860,13 @@ loss` rejects instead, Erlang-loss style). `--failback-rate` tunes the
 switch-back rate (default: the disk-change rate). `batch --keep-going`
 continues past failing cells and marks them in status/error report
 columns instead of aborting the campaign.
+`--lse-rate F --scrub-interval H` (a pair) attach the latent-sector-error
+scrubbing model: every rebuild completion risks reading an unreadable
+sector, routing the mission to data loss. `validate` and `fleet` then
+report p(data loss), NOMDL (loss events per usable-capacity unit and
+mission), and the mean time to first loss; a campaign spec's [lse]
+section does the same for `batch` and adds the p_data_loss/nomdl_per_tb
+report columns.
 "
 }
 
@@ -841,6 +905,8 @@ fn main() -> ExitCode {
                 "bias",
                 "levels",
                 "effort",
+                "lse-rate",
+                "scrub-interval",
                 "metrics",
                 "metrics-format",
             ],
@@ -865,6 +931,8 @@ fn main() -> ExitCode {
                 "failover-capacity",
                 "failover-policy",
                 "failback-rate",
+                "lse-rate",
+                "scrub-interval",
                 "metrics",
                 "metrics-format",
             ],

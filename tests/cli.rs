@@ -566,6 +566,128 @@ fn batch_runs_the_fleet_campaign_end_to_end() {
 }
 
 #[test]
+fn batch_dry_run_of_the_shipped_dataloss_campaign_is_byte_stable() {
+    let spec = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/specs/raid_dataloss.campaign"
+    );
+    let (ok, first, _) = run(&["batch", spec, "--dry-run"]);
+    assert!(ok, "{first}");
+    let (ok, second, _) = run(&["batch", "--dry-run", spec]);
+    assert!(ok);
+    assert_eq!(first, second, "dry-run output must be byte-stable");
+
+    assert!(first.contains("campaign raid-dataloss"), "{first}");
+    assert!(first.contains("  model     : mc"), "{first}");
+    assert!(
+        first.contains("  lse       : rate 0.0001/disk-h, scrub every 672.0 h"),
+        "{first}"
+    );
+    assert!(first.contains("cells     : 4"), "{first}");
+    // Seed derivation golden pin: campaign seed 42 shares the other
+    // shipped campaigns' cell-0 seed (same scheme, same index).
+    assert!(
+        first.contains("0xab4c4adfbb450230"),
+        "cell 0 seed drifted:\n{first}"
+    );
+}
+
+#[test]
+fn batch_runs_the_dataloss_campaign_end_to_end() {
+    let spec = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/specs/raid_dataloss.campaign"
+    );
+    let (ok, stdout, stderr) = run(&["batch", spec]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("campaign raid-dataloss"), "{stdout}");
+    let csv: Vec<&str> = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("cell,"))
+        .take(5)
+        .collect();
+    assert_eq!(csv.len(), 5, "{stdout}");
+    assert!(csv[0].ends_with(",p_data_loss,nomdl_per_tb"), "{}", csv[0]);
+    // λ = 5e-4 rebuilds five times as often as λ = 1e-4, so its missions
+    // must lose data more often (cells 0/1 are λ=1e-4, cells 2/3 5e-4).
+    let p_of = |line: &str| {
+        let f: Vec<&str> = line.split(',').collect();
+        f[f.len() - 2].parse::<f64>().expect("p_data_loss column")
+    };
+    assert!(p_of(csv[3]) > p_of(csv[1]), "{csv:?}");
+    assert!(stdout.contains("\"p_data_loss\": "), "{stdout}");
+    assert!(stdout.contains("\"nomdl_per_tb\": "), "{stdout}");
+}
+
+#[test]
+fn validate_and_fleet_report_the_data_loss_tier() {
+    let (ok, stdout, _) = run(&[
+        "validate",
+        "--lambda",
+        "1e-3",
+        "--iterations",
+        "400",
+        "--lse-rate",
+        "1e-4",
+        "--scrub-interval",
+        "336",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("p(data loss)"), "{stdout}");
+    assert!(stdout.contains("nomdl"), "{stdout}");
+    // The Fig. 2 chain splits its rebuild completion by the same LSE
+    // probability, so the exact-vs-MC verdict still holds with LSE on.
+    assert!(stdout.contains("consistent"), "{stdout}");
+
+    let (ok, stdout, _) = run(&[
+        "fleet",
+        "--arrays",
+        "4",
+        "--lambda",
+        "1e-3",
+        "--iterations",
+        "100",
+        "--horizon",
+        "20000",
+        "--lse-rate",
+        "1e-3",
+        "--scrub-interval",
+        "1000",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("lse scrubbing"), "{stdout}");
+    assert!(stdout.contains("p(data loss)"), "{stdout}");
+    assert!(stdout.contains("mean time to 1st loss"), "{stdout}");
+
+    // Without the flags the loss lines stay out of the output.
+    let (ok, stdout, _) = run(&["validate", "--iterations", "200"]);
+    assert!(ok);
+    assert!(!stdout.contains("p(data loss)"), "{stdout}");
+}
+
+#[test]
+fn lse_flags_are_paired_and_validated() {
+    for cmd in ["validate", "fleet"] {
+        let (ok, _, stderr) = run(&[cmd, "--lse-rate", "1e-4"]);
+        assert!(!ok);
+        assert!(stderr.contains("must be set together"), "{cmd}: {stderr}");
+        let (ok, _, stderr) = run(&[cmd, "--scrub-interval", "336"]);
+        assert!(!ok);
+        assert!(stderr.contains("must be set together"), "{cmd}: {stderr}");
+    }
+    let (ok, _, stderr) = run(&["validate", "--lse-rate", "-1", "--scrub-interval", "336"]);
+    assert!(!ok);
+    assert!(stderr.contains("nonnegative"), "{stderr}");
+    let (ok, _, stderr) = run(&["validate", "--lse-rate", "1e-4", "--scrub-interval", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("must be positive"), "{stderr}");
+    // Subcommands without the data-loss tier reject the flags loudly.
+    let (ok, _, stderr) = run(&["solve", "--lse-rate", "1e-4", "--scrub-interval", "336"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag --lse-rate"), "{stderr}");
+}
+
+#[test]
 fn batch_rejects_invalid_fleet_specs() {
     let spec = write_spec(
         "fleet-markov.campaign",
