@@ -20,6 +20,16 @@ pub enum CoreError {
     Storage(StorageError),
     /// The HRA substrate rejected a quantity.
     Hra(HraError),
+    /// A cooperative deadline or cancellation tripped before the run
+    /// finished. Carries how far the run got, for diagnostics only — the
+    /// partial work is discarded, never reported as an estimate, so a
+    /// timed-out query has exactly one observable outcome.
+    DeadlineExpired {
+        /// Iterations fully completed before the cancellation was observed.
+        completed: u64,
+        /// Iterations the run was asked for.
+        requested: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +40,13 @@ impl fmt::Display for CoreError {
             CoreError::Sim(e) => write!(f, "simulator: {e}"),
             CoreError::Storage(e) => write!(f, "storage model: {e}"),
             CoreError::Hra(e) => write!(f, "hra model: {e}"),
+            CoreError::DeadlineExpired {
+                completed,
+                requested,
+            } => write!(
+                f,
+                "deadline expired: run cancelled after {completed} of {requested} iterations"
+            ),
         }
     }
 }
@@ -37,7 +54,7 @@ impl fmt::Display for CoreError {
 impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CoreError::InvalidParameter(_) => None,
+            CoreError::InvalidParameter(_) | CoreError::DeadlineExpired { .. } => None,
             CoreError::Ctmc(e) => Some(e),
             CoreError::Sim(e) => Some(e),
             CoreError::Storage(e) => Some(e),

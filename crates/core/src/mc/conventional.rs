@@ -363,9 +363,26 @@ impl ConventionalMc {
     /// engine/variance combinations that cannot work (see
     /// [`McVariance`]).
     pub fn run(&self, config: &McConfig) -> Result<AvailabilityEstimate> {
+        self.run_with_cancel(config, None)
+    }
+
+    /// [`run`](Self::run) plus an optional cooperative
+    /// [`CancelToken`](availsim_sim::parallel::CancelToken): a tripped
+    /// deadline or explicit cancel stops the block scheduler and returns
+    /// [`CoreError::DeadlineExpired`] instead of an estimate. Uncancelled
+    /// runs are bit-identical to [`run`](Self::run).
+    ///
+    /// # Errors
+    /// As [`run`](Self::run), plus `DeadlineExpired` on cancellation.
+    pub fn run_with_cancel(
+        &self,
+        config: &McConfig,
+        cancel: Option<&availsim_sim::parallel::CancelToken>,
+    ) -> Result<AvailabilityEstimate> {
         let mode = self.resolve_run_mode(config.variance)?;
-        let mut est = super::run_iterations_with(
+        let mut est = super::run_iterations_cancellable(
             config,
+            cancel,
             || SimWorkspace::with_telemetry(config.telemetry),
             |ws, i| {
                 let mut rng = SimRng::substream(config.seed, i);

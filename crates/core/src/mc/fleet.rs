@@ -69,7 +69,7 @@ use crate::markov::WrongReplacementTiming;
 use crate::params::ModelParams;
 use availsim_hra::{escalated, DependenceLevel};
 use availsim_sim::indexed_queue::{IndexedEventHandle, IndexedEventQueue, QueueStats};
-use availsim_sim::parallel::ordered_parallel_map_with;
+use availsim_sim::parallel::ordered_parallel_map_cancellable;
 use availsim_sim::rng::SimRng;
 use availsim_sim::stats::{t_interval, wilson_interval, ConfidenceInterval, RunningStats};
 use availsim_sim::telemetry::{Counter, CounterSnapshot};
@@ -546,6 +546,24 @@ impl FleetMc {
     /// fleet missions aggregate many arrays, so outages are *common* at
     /// fleet scale and [`McVariance::Naive`] is the meaningful sampler.
     pub fn run(&self, config: &McConfig) -> Result<FleetEstimate> {
+        self.run_with_cancel(config, None)
+    }
+
+    /// [`run`](Self::run) plus an optional cooperative
+    /// [`CancelToken`](availsim_sim::parallel::CancelToken): a tripped
+    /// deadline or explicit cancel stops the block scheduler and returns
+    /// [`CoreError::DeadlineExpired`](crate::CoreError::DeadlineExpired)
+    /// instead of an estimate (partial fleet aggregates would be
+    /// timing-dependent). Uncancelled runs are bit-identical to
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    /// As [`run`](Self::run), plus `DeadlineExpired` on cancellation.
+    pub fn run_with_cancel(
+        &self,
+        config: &McConfig,
+        cancel: Option<&availsim_sim::parallel::CancelToken>,
+    ) -> Result<FleetEstimate> {
         config.validate()?;
         if config.variance != McVariance::Naive {
             return Err(CoreError::InvalidParameter(format!(
@@ -585,7 +603,7 @@ impl FleetMc {
             counters: CounterSnapshot,
         }
 
-        let partials = ordered_parallel_map_with(
+        let partials = ordered_parallel_map_cancellable(
             blocks,
             threads,
             || SimWorkspace::with_telemetry(config.telemetry),
@@ -655,7 +673,21 @@ impl FleetMc {
                 p
             },
             |_| false,
+            cancel,
         );
+
+        if (partials.len() as u64) < blocks {
+            // Claims are sequential, so the claimed set is exactly blocks
+            // 0..len; the partial aggregate is discarded (see the doc).
+            let completed = partials
+                .iter()
+                .map(|(b, _)| (b * block_size + block_size).min(iterations) - b * block_size)
+                .sum();
+            return Err(CoreError::DeadlineExpired {
+                completed,
+                requested: iterations,
+            });
+        }
 
         let mut stats = RunningStats::new();
         let mut credited_stats = RunningStats::new();

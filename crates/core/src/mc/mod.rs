@@ -35,7 +35,7 @@ pub use fleet::{
 use crate::error::{CoreError, Result};
 use crate::nines;
 use availsim_sim::indexed_queue::QueueStats;
-use availsim_sim::parallel::ordered_parallel_map_with;
+use availsim_sim::parallel::{ordered_parallel_map_cancellable, CancelToken};
 use availsim_sim::stats::{t_interval, wilson_interval, ConfidenceInterval, RunningStats};
 use availsim_sim::telemetry::{Counter, CounterSnapshot, Telemetry};
 use availsim_storage::{DowntimeLog, EventTrace};
@@ -662,12 +662,41 @@ const MIN_PILOT_ITERATIONS: u64 = 32;
 /// is non-degenerate — but never past `max_iterations`, which stays a hard
 /// budget.
 ///
-/// Like [`run_iterations_with`], each worker thread builds its scratch via
+/// Like [`run_iterations_cancellable`], each worker thread builds its
+/// scratch via
 /// `make_ws` once per batch and reuses it across all missions it claims.
 pub(crate) fn run_to_precision_with<W, I, F>(
     config: &McConfig,
     target_half_width: f64,
     max_iterations: u64,
+    make_ws: I,
+    sim: F,
+) -> Result<AvailabilityEstimate>
+where
+    W: TelemetrySource,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, u64) -> IterationOutcome + Sync,
+{
+    run_to_precision_cancellable(
+        config,
+        target_half_width,
+        max_iterations,
+        None,
+        make_ws,
+        sim,
+    )
+}
+
+/// [`run_to_precision_with`] plus an optional cooperative [`CancelToken`],
+/// threaded into every growth batch. A tripped token surfaces as
+/// [`CoreError::DeadlineExpired`] from the in-flight batch; earlier
+/// *completed* batches are not reported (the precision loop restarts from
+/// iteration 0 each round, so there is no meaningful partial to salvage).
+pub(crate) fn run_to_precision_cancellable<W, I, F>(
+    config: &McConfig,
+    target_half_width: f64,
+    max_iterations: u64,
+    cancel: Option<&CancelToken>,
     make_ws: I,
     sim: F,
 ) -> Result<AvailabilityEstimate>
@@ -693,7 +722,7 @@ where
             iterations: total,
             ..*config
         };
-        let est = run_iterations_with(&cfg, &make_ws, &sim)?;
+        let est = run_iterations_cancellable(&cfg, cancel, &make_ws, &sim)?;
         // A zero-width interval is *degenerate*, not converged: every
         // sample was identical — typically a rare-event run whose batch
         // observed no failure at all. Declaring victory there would report
@@ -804,14 +833,15 @@ const BLOCK_ITERATIONS: u64 = 256;
 const MAX_BLOCKS: u64 = 4096;
 
 /// Runs `config.iterations` missions of `sim` in parallel and aggregates —
-/// the workspace-free convenience wrapper over [`run_iterations_with`],
-/// kept for runner-level tests that need no scratch state.
+/// the workspace-free convenience wrapper over
+/// [`run_iterations_cancellable`], kept for runner-level tests that need no
+/// scratch state.
 #[cfg(test)]
 pub(crate) fn run_iterations<F>(config: &McConfig, sim: F) -> Result<AvailabilityEstimate>
 where
     F: Fn(u64) -> IterationOutcome + Sync,
 {
-    run_iterations_with(config, || (), |_, i| sim(i))
+    run_iterations_cancellable(config, None, || (), |_, i| sim(i))
 }
 
 /// Runs `config.iterations` missions of `sim` in parallel and aggregates.
@@ -827,8 +857,21 @@ where
 /// Threads claim fixed-size blocks of iterations from a shared cursor, so
 /// load balances dynamically; block partials are reassembled and merged in
 /// block order, so the aggregate is bit-identical at any thread count.
-pub(crate) fn run_iterations_with<W, I, F>(
+///
+/// `cancel`, when present, is a cooperative [`CancelToken`] (deadline
+/// and/or explicit cancellation); pass `None` for the plain
+/// run-to-completion behaviour every engine had before deadlines existed.
+/// The token is polled once per claimed scheduling block (≥
+/// [`BLOCK_ITERATIONS`] missions), so cancellation latency is bounded by
+/// one block's runtime and the per-mission hot path is untouched. When the
+/// token trips before every block completes the partial work is
+/// **discarded** and [`CoreError::DeadlineExpired`] is returned: a partial
+/// aggregate would depend on wall-clock timing, and the estimator's
+/// bit-identity contract (same config + seed → same bytes) must also hold
+/// for what a caller may cache.
+pub(crate) fn run_iterations_cancellable<W, I, F>(
     config: &McConfig,
+    cancel: Option<&CancelToken>,
     make_ws: I,
     sim: F,
 ) -> Result<AvailabilityEstimate>
@@ -859,7 +902,7 @@ where
         counters: CounterSnapshot,
     }
 
-    let partials = ordered_parallel_map_with(
+    let partials = ordered_parallel_map_cancellable(
         blocks,
         threads,
         make_ws,
@@ -907,7 +950,22 @@ where
             p
         },
         |_| false,
+        cancel,
     );
+
+    if (partials.len() as u64) < blocks {
+        // Cancelled runs report the completed prefix (block claims are
+        // sequential, so the claimed set is exactly blocks 0..len) and
+        // discard the partial aggregate — see the doc comment above.
+        let completed = partials
+            .iter()
+            .map(|(b, _)| (b * block_size + block_size).min(iterations) - b * block_size)
+            .sum();
+        return Err(CoreError::DeadlineExpired {
+            completed,
+            requested: iterations,
+        });
+    }
 
     let mut stats = RunningStats::new();
     let (mut downtime, mut du_dt, mut du_ev, mut dl_ev) = (0.0, 0.0, 0u64, 0u64);

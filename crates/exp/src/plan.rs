@@ -110,6 +110,15 @@ impl Plan {
         {
             let _ = writeln!(out, "  variance  : {}", s.mc.variance);
         }
+        // Default (1) is silent so existing campaigns keep their bytes.
+        if s.model == crate::spec::ModelKind::Mc && s.mc.threads != 1 {
+            let line = if s.mc.threads == 0 {
+                "auto (machine parallelism)".to_string()
+            } else {
+                s.mc.threads.to_string()
+            };
+            let _ = writeln!(out, "  threads   : {line}");
+        }
         if let Some(fleet) = s.fleet {
             let mut line = format!("{} arrays per cell", fleet.arrays);
             if let Some(crews) = fleet.repairmen {

@@ -4,9 +4,10 @@
 //!
 //! Worker threads pull cells from a shared atomic cursor, so *which* thread
 //! executes a cell is racy — but every cell's result depends only on the
-//! cell itself (its own derived seed; Monte-Carlo cells run single-threaded
-//! internally), and partial results are reassembled **by cell index** before
-//! any aggregation. The merged Welford accumulators and every reported
+//! cell itself (its own derived seed; Monte-Carlo cells default to
+//! single-threaded internally, and `[mc] threads` is a pure speed knob:
+//! estimates are bit-identical at any count), and partial results are
+//! reassembled **by cell index** before any aggregation. The merged Welford accumulators and every reported
 //! metric are therefore bit-identical for 1 worker and N workers. Only the
 //! wall-clock timings differ between runs.
 
@@ -17,7 +18,7 @@ use availsim_core::markov::{GenericKofN, Raid5Conventional, Raid5FailOver};
 use availsim_core::mc::{ConventionalMc, FailOverMc, FleetMc, McConfig};
 use availsim_core::{nines, CoreError, ModelParams};
 use availsim_hra::Hep;
-use availsim_sim::parallel::ordered_parallel_map;
+use availsim_sim::parallel::{ordered_parallel_map_cancellable, CancelToken};
 use availsim_sim::stats::RunningStats;
 use availsim_sim::telemetry::CounterSnapshot;
 use availsim_storage::{FleetSpec, Volume};
@@ -196,6 +197,28 @@ pub fn run_with_progress(
     config: &RunConfig,
     progress: Option<&ProgressSink<'_>>,
 ) -> Result<CampaignResult> {
+    run_cancellable(plan, config, progress, None)
+}
+
+/// [`run_with_progress`] plus an optional cooperative
+/// [`CancelToken`](availsim_sim::parallel::CancelToken).
+///
+/// The token is polled at two granularities: workers stop claiming new
+/// cells once it trips, and it is threaded into each Monte-Carlo cell's
+/// block scheduler so even a single long cell is cut short within one
+/// scheduling block. A cancelled campaign returns [`ExpError::Cancelled`]
+/// (or the in-flight cell's deadline error under `!keep_going`) and
+/// discards partial results — a run never reports a timing-dependent
+/// subset of its cells as if it were the campaign.
+///
+/// # Errors
+/// As [`run`], plus [`ExpError::Cancelled`] when the token trips.
+pub fn run_cancellable(
+    plan: &Plan,
+    config: &RunConfig,
+    progress: Option<&ProgressSink<'_>>,
+    cancel: Option<&CancelToken>,
+) -> Result<CampaignResult> {
     let n = plan.cells.len();
     let workers = config.effective_workers(n);
     let started = Instant::now();
@@ -203,11 +226,12 @@ pub fn run_with_progress(
 
     // Workers claim cells from a shared cursor; results carry their cell
     // index and are reassembled in index order (the determinism contract).
-    let collected = ordered_parallel_map(
+    let collected = ordered_parallel_map_cancellable(
         n as u64,
         workers,
-        |i| {
-            let r = run_cell(&plan.scenario, &plan.cells[i as usize]);
+        || (),
+        |(), i| {
+            let r = run_cell_cancellable(&plan.scenario, &plan.cells[i as usize], cancel);
             if let Some(sink) = progress {
                 let k = completed.fetch_add(1, Ordering::Relaxed) + 1;
                 match r.as_ref() {
@@ -230,10 +254,12 @@ pub fn run_with_progress(
             r
         },
         |r| !config.keep_going && r.is_err(),
+        cancel,
     );
 
     let mut cells = Vec::with_capacity(n);
     let mut failed_cells = 0usize;
+    let collected_count = collected.len();
     for (i, r) in collected {
         match r {
             Ok(c) => cells.push(c),
@@ -243,6 +269,11 @@ pub fn run_with_progress(
             }
             Err(e) => return Err(e),
         }
+    }
+    if collected_count < n {
+        // The cancel token stopped workers from claiming every cell; the
+        // completed prefix is discarded (see the doc comment above).
+        return Err(ExpError::Cancelled);
     }
 
     let mut unavailability_stats = RunningStats::new();
@@ -272,6 +303,21 @@ pub fn run_with_progress(
 /// # Errors
 /// Wraps model failures in [`ExpError::Model`] with the cell index.
 pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
+    run_cell_cancellable(scenario, cell, None)
+}
+
+/// [`run_cell`] plus an optional cooperative cancel token threaded into the
+/// Monte-Carlo block scheduler (Markov cells solve in microseconds and are
+/// not interruptible). A tripped token surfaces as [`ExpError::Model`]
+/// wrapping [`CoreError::DeadlineExpired`].
+///
+/// # Errors
+/// As [`run_cell`], plus the deadline error on cancellation.
+pub fn run_cell_cancellable(
+    scenario: &Scenario,
+    cell: &Cell,
+    cancel: Option<&CancelToken>,
+) -> Result<CellResult> {
     let started = Instant::now();
     let model = |e: CoreError| ExpError::Model {
         cell: cell.index,
@@ -296,6 +342,7 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
                     params,
                     cell.seed,
                     scenario.telemetry.enabled(),
+                    cancel,
                 )
                 .map_err(model)?;
                 // The loss columns report only under an [lse] section so
@@ -386,7 +433,8 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell) -> Result<CellResult> {
 }
 
 /// Runs the Monte-Carlo backend for one cell; single-threaded internally
-/// (campaign parallelism is across cells). With a `[fleet]` section the
+/// by default (campaign parallelism is across cells; `[mc] threads`
+/// overrides, bit-identically). With a `[fleet]` section the
 /// cell runs the fleet engine and reports its per-array unavailability;
 /// the third slot carries the DR-credited unavailability when the fleet
 /// has a `failover_capacity` coupling; the fourth slot is the
@@ -402,13 +450,17 @@ fn mc_estimate(
     params: ModelParams,
     seed: u64,
     telemetry: bool,
+    cancel: Option<&CancelToken>,
 ) -> availsim_core::Result<McCellEstimate> {
     let config = McConfig {
         iterations: mc.iterations,
         horizon_hours: mc.horizon_hours,
         seed,
         confidence: mc.confidence,
-        threads: 1,
+        // `[mc] threads` (default 1: campaign parallelism is across
+        // cells). Thread count never changes a result bit, so this is a
+        // speed knob only; 0 means the machine's available parallelism.
+        threads: mc.threads,
         variance: mc.variance,
         telemetry,
     };
@@ -431,7 +483,7 @@ fn mc_estimate(
         }
         let est = FleetMc::new(spec, params)?
             .with_coupling(fleet.coupling())?
-            .run(&config)?;
+            .run_with_cancel(&config, cancel)?;
         return Ok((
             est.array_unavailability(),
             est.availability.half_width,
@@ -441,8 +493,8 @@ fn mc_estimate(
         ));
     }
     let est = match policy {
-        Policy::Conventional => ConventionalMc::new(params)?.run(&config)?,
-        Policy::Failover => FailOverMc::new(params)?.run(&config)?,
+        Policy::Conventional => ConventionalMc::new(params)?.run_with_cancel(&config, cancel)?,
+        Policy::Failover => FailOverMc::new(params)?.run_with_cancel(&config, cancel)?,
     };
     Ok((
         est.unavailability(),
@@ -724,6 +776,101 @@ mod tests {
             four.cells[0].unavailability.to_bits()
         );
         assert_eq!(one.cells[1].error, four.cells[1].error);
+    }
+
+    #[test]
+    fn pre_cancelled_campaign_returns_cancelled_and_no_partial_result() {
+        let plan = expand(&mc_scenario()).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = run_cancellable(
+            &plan,
+            &RunConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            None,
+            Some(&token),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExpError::Cancelled), "{err}");
+        assert!(err.to_string().contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_the_cell_deadline_error() {
+        // A deadline already in the past trips inside the first claimed
+        // cell's block scheduler (cells are claimed before the outer poll
+        // can observe the token again with one worker and one cell).
+        let s = Scenario::parse(
+            "[campaign]\nname = d\nseed = 5\nmodel = mc\n[axes]\nlambda = 1e-3\nhep = 0.01\n[mc]\niterations = 100000\nhorizon_hours = 10000\n",
+        )
+        .unwrap();
+        let plan = expand(&s).unwrap();
+        let token =
+            CancelToken::with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        let err = run_cancellable(
+            &plan,
+            &RunConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            None,
+            Some(&token),
+        )
+        .unwrap_err();
+        match &err {
+            ExpError::Cancelled => {}
+            ExpError::Model { source, .. } => {
+                assert!(matches!(source, CoreError::DeadlineExpired { .. }), "{err}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn uncancelled_token_changes_no_result_bit() {
+        let plan = expand(&mc_scenario()).unwrap();
+        let cfg = RunConfig {
+            workers: 2,
+            ..Default::default()
+        };
+        let plain = run(&plan, &cfg).unwrap();
+        let token =
+            CancelToken::with_deadline(Instant::now() + std::time::Duration::from_secs(600));
+        let with_token = run_cancellable(&plan, &cfg, None, Some(&token)).unwrap();
+        for (a, b) in plain.cells.iter().zip(&with_token.cells) {
+            assert_eq!(a.unavailability.to_bits(), b.unavailability.to_bits());
+        }
+    }
+
+    #[test]
+    fn mc_threads_setting_is_a_pure_speed_knob() {
+        // `[mc] threads`: 1, an explicit count, and the documented auto
+        // spelling (0) all produce bit-identical cells.
+        let spec = |threads: &str| {
+            Scenario::parse(&format!(
+                "[campaign]\nname = t\nseed = 11\nmodel = mc\n[axes]\nlambda = 1e-3\nhep = 0.01\n[mc]\niterations = 600\nhorizon_hours = 10000\nthreads = {threads}\n",
+            ))
+            .unwrap()
+        };
+        let run_one = |threads: &str| {
+            let plan = expand(&spec(threads)).unwrap();
+            run(
+                &plan,
+                &RunConfig {
+                    workers: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .cells[0]
+                .unavailability
+                .to_bits()
+        };
+        let one = run_one("1");
+        assert_eq!(one, run_one("4"));
+        assert_eq!(one, run_one("0"), "threads = 0 is auto, same bits");
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! variance = failure-biasing         # naive | failure-biasing | splitting
 //! bias = 0.5                         # optional, failure-biasing only
 //! # levels = 2 / effort = 64         # optional, splitting only
+//! threads = 1                        # per-cell MC threads; 0 = auto
+//!                                    # (machine parallelism); speed only,
+//!                                    # results are bit-identical
 //!
 //! [fleet]                            # optional; requires model = mc
 //! arrays = 100                       # arrays per cell: each mission
@@ -204,6 +207,11 @@ pub struct McSettings {
     /// keys). Rides into [`availsim_core::mc::McConfig::variance`]
     /// unchanged.
     pub variance: McVariance,
+    /// Threads per Monte-Carlo cell (`threads = N`; `0` means **auto**,
+    /// the machine's available parallelism). Defaults to 1: campaign
+    /// parallelism is across cells. A pure speed knob — the estimators
+    /// are bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for McSettings {
@@ -213,6 +221,7 @@ impl Default for McSettings {
             horizon_hours: 87_600.0,
             confidence: 0.99,
             variance: McVariance::Naive,
+            threads: 1,
         }
     }
 }
@@ -822,6 +831,14 @@ impl Scenario {
                 ("mc", "effort") => {
                     effort = Some((e.line, parse_u64(e.line, "effort", scalar(e)?)?));
                 }
+                ("mc", "threads") => {
+                    // 0 is the documented "auto" spelling (machine
+                    // parallelism) — the same contract as `--threads 0`.
+                    let threads = parse_u64(e.line, "threads", scalar(e)?)?;
+                    scenario.mc.threads = usize::try_from(threads).map_err(|_| {
+                        parse_err(e.line, format!("mc threads {threads} is too large"))
+                    })?;
+                }
                 ("fleet", "arrays") => {
                     let arrays = parse_u64(e.line, "arrays", scalar(e)?)?;
                     if arrays == 0 {
@@ -1392,9 +1409,27 @@ lambda = 1e-5
         assert_eq!(s.mc.horizon_hours, 1000.0);
         assert_eq!(s.mc.confidence, 0.9);
         assert_eq!(s.mc.variance, McVariance::Naive);
+        assert_eq!(s.mc.threads, 1, "threads defaults to 1");
         assert!(
             Scenario::parse("[campaign]\nname = m\nmodel = mc\n[mc]\niterations = 1\n").is_err()
         );
+    }
+
+    #[test]
+    fn mc_threads_parses_explicit_auto_and_rejects_junk_with_line() {
+        let base = "[campaign]\nname = t\nmodel = mc\n[mc]\n";
+        let s = Scenario::parse(&format!("{base}threads = 4\n")).unwrap();
+        assert_eq!(s.mc.threads, 4);
+        // 0 is the documented auto spelling, not an error.
+        let s = Scenario::parse(&format!("{base}threads = 0\n")).unwrap();
+        assert_eq!(s.mc.threads, 0);
+        // Junk values fail loudly with the offending line number
+        // (`threads = x` is line 5 of the assembled spec).
+        let err = Scenario::parse(&format!("{base}threads = lots\n")).unwrap_err();
+        assert!(err.to_string().contains("line 5"), "{err}");
+        assert!(err.to_string().contains("threads"), "{err}");
+        let err = Scenario::parse(&format!("{base}threads = -2\n")).unwrap_err();
+        assert!(err.to_string().contains("line 5"), "{err}");
     }
 
     #[test]

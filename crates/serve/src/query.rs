@@ -1,0 +1,430 @@
+//! Query parsing, validation, and the canonical cache key.
+//!
+//! A query is one availability question: geometry, rates, policy, and —
+//! for Monte-Carlo — the estimator settings and seed. The wire format is a
+//! flat JSON object with strict unknown-key rejection (a typo must be a
+//! `400`, not a silently different model).
+//!
+//! # The canonical key
+//!
+//! [`Query::canonical_key`] serialises exactly the fields that can change
+//! an estimate bit: model, policy, geometry, λ/HEP (as `f64` bit
+//! patterns), seed, iterations/horizon/confidence, the variance-reduction
+//! scheme, and the `[lse]` / `[fleet]` couplings. The determinism
+//! contracts make everything else — thread count, deadline — a pure
+//! presentation knob, so those fields are deliberately **absent**: two
+//! queries that differ only in them share one cache line and one byte-
+//! identical answer.
+
+use crate::json::Json;
+use availsim_core::mc::McVariance;
+use availsim_exp::spec::{
+    parse_geometry_label, FleetSettings, LseSettings, McSettings, ModelKind, Policy, Scenario,
+    TelemetrySettings,
+};
+use availsim_hra::DependenceLevel;
+use availsim_storage::{FailoverPolicy, RaidGeometry};
+
+/// One parsed availability query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Solver backend (`"model"`; default `markov-conventional`).
+    pub model: ModelKind,
+    /// Replacement discipline (`"policy"`; defaults to the model's).
+    pub policy: Policy,
+    /// RAID geometry (`"raid"`, e.g. `"r5-7"`).
+    pub raid: RaidGeometry,
+    /// Disk failure rate λ per hour (`"lambda"`).
+    pub lambda: f64,
+    /// Human error probability (`"hep"`).
+    pub hep: f64,
+    /// Monte-Carlo seed (`"seed"`; default 0, exact models ignore it).
+    pub seed: u64,
+    /// Monte-Carlo settings (`"iterations"` / `"horizon_hours"` /
+    /// `"confidence"` / `"variance"` + tuning, `"threads"`).
+    pub mc: McSettings,
+    /// Latent-sector-error exposure (`"lse"` object), if any.
+    pub lse: Option<LseSettings>,
+    /// Fleet couplings (`"fleet"` object), if any.
+    pub fleet: Option<FleetSettings>,
+    /// Per-request deadline in milliseconds (`"deadline_ms"`).
+    /// Presentation-only: absent from the canonical key.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query {
+            model: ModelKind::MarkovConventional,
+            policy: Policy::Conventional,
+            raid: parse_geometry_label("r5-3").expect("r5-3 is valid"),
+            lambda: 1e-6,
+            hep: 0.0,
+            seed: 0,
+            mc: McSettings::default(),
+            lse: None,
+            fleet: None,
+            deadline_ms: None,
+        }
+    }
+}
+
+fn need_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.as_f64()
+        .ok_or_else(|| format!("`{key}` must be a number"))
+}
+
+fn need_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.as_u64()
+        .ok_or_else(|| format!("`{key}` must be a non-negative integer"))
+}
+
+fn need_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    v.as_str()
+        .ok_or_else(|| format!("`{key}` must be a string"))
+}
+
+impl Query {
+    /// Parses a query from its JSON wire form.
+    ///
+    /// # Errors
+    /// A client-facing message naming the offending key: unknown keys,
+    /// wrong types, and out-of-vocabulary spellings are all rejected.
+    pub fn from_json(doc: &Json) -> Result<Query, String> {
+        let entries = doc
+            .entries()
+            .ok_or_else(|| "query body must be a JSON object".to_string())?;
+        let mut q = Query::default();
+        let mut explicit_policy = None;
+        let mut variance = "naive".to_string();
+        let mut bias = None;
+        let mut levels = None;
+        let mut effort = None;
+        for (key, value) in entries {
+            match key.as_str() {
+                "model" => {
+                    let s = need_str(value, key)?;
+                    q.model = match s {
+                        "markov-conventional" => ModelKind::MarkovConventional,
+                        "markov-failover" => ModelKind::MarkovFailover,
+                        "generic-k-of-n" => ModelKind::GenericKofN,
+                        "mc" => ModelKind::Mc,
+                        other => return Err(format!("unknown model `{other}`")),
+                    };
+                }
+                "policy" => {
+                    let s = need_str(value, key)?;
+                    explicit_policy = Some(match s {
+                        "conventional" => Policy::Conventional,
+                        "failover" => Policy::Failover,
+                        other => return Err(format!("unknown policy `{other}`")),
+                    });
+                }
+                "raid" => q.raid = parse_geometry_label(need_str(value, key)?)?,
+                "lambda" => q.lambda = need_f64(value, key)?,
+                "hep" => q.hep = need_f64(value, key)?,
+                "seed" => q.seed = need_u64(value, key)?,
+                "iterations" => q.mc.iterations = need_u64(value, key)?,
+                "horizon_hours" => q.mc.horizon_hours = need_f64(value, key)?,
+                "confidence" => q.mc.confidence = need_f64(value, key)?,
+                "variance" => variance = need_str(value, key)?.to_string(),
+                "bias" => bias = Some(need_f64(value, key)?),
+                "levels" => {
+                    let v = need_u64(value, key)?;
+                    levels =
+                        Some(u32::try_from(v).map_err(|_| format!("`levels` {v} is too large"))?);
+                }
+                "effort" => effort = Some(need_u64(value, key)?),
+                "threads" => {
+                    // 0 is the documented "auto" spelling — the same
+                    // contract as `--threads 0` and `[mc] threads = 0`.
+                    let v = need_u64(value, key)?;
+                    q.mc.threads =
+                        usize::try_from(v).map_err(|_| format!("`threads` {v} is too large"))?;
+                }
+                "deadline_ms" => q.deadline_ms = Some(need_u64(value, key)?),
+                "lse" => q.lse = Some(parse_lse(value)?),
+                "fleet" => q.fleet = Some(parse_fleet(value)?),
+                other => return Err(format!("unknown key `{other}`")),
+            }
+        }
+        q.mc.variance = match variance.as_str() {
+            "naive" => {
+                if bias.is_some() || levels.is_some() || effort.is_some() {
+                    return Err("`bias`/`levels`/`effort` require a non-naive variance".into());
+                }
+                McVariance::Naive
+            }
+            "failure-biasing" => McVariance::FailureBiasing {
+                bias: bias.unwrap_or(McVariance::DEFAULT_BIAS),
+            },
+            "splitting" => McVariance::Splitting {
+                levels: levels.unwrap_or(McVariance::DEFAULT_LEVELS),
+                effort: effort.unwrap_or(McVariance::DEFAULT_EFFORT),
+            },
+            other => return Err(format!("unknown variance `{other}`")),
+        };
+        q.policy = explicit_policy.unwrap_or_else(|| q.model.default_policy());
+        Ok(q)
+    }
+
+    /// Whether the query solves an exact CTMC (cheap, bypasses the MC
+    /// job queue entirely).
+    pub fn is_exact(&self) -> bool {
+        self.model != ModelKind::Mc
+    }
+
+    /// The single-cell scenario this query describes, with engine
+    /// telemetry enabled so every answer carries its counters.
+    pub fn to_scenario(&self) -> Scenario {
+        Scenario {
+            name: "serve".into(),
+            seed: self.seed,
+            model: self.model,
+            lambda: vec![self.lambda],
+            hep: vec![self.hep],
+            raid: vec![self.raid],
+            policy: vec![self.policy],
+            mc: self.mc,
+            fleet: self.fleet,
+            lse: self.lse,
+            telemetry: TelemetrySettings {
+                metrics: Some("serve".into()),
+                ..TelemetrySettings::default()
+            },
+            ..Scenario::default()
+        }
+    }
+
+    /// Serialises every estimator-relevant field (and nothing else) into
+    /// a canonical string. Floats are encoded as their IEEE-754 bit
+    /// patterns, so `1e-5` and `0.00001` collide exactly when the bits do.
+    pub fn canonical_key(&self) -> String {
+        let f = |v: f64| format!("{:016x}", v.to_bits());
+        let variance = match self.mc.variance {
+            McVariance::Naive => "naive".to_string(),
+            McVariance::FailureBiasing { bias } => format!("fb:{}", f(bias)),
+            McVariance::Splitting { levels, effort } => format!("split:{levels}:{effort}"),
+        };
+        let lse = match self.lse {
+            Some(l) => format!("{}:{}", f(l.lse_rate), f(l.scrub_interval_hours)),
+            None => "-".to_string(),
+        };
+        let fleet = match &self.fleet {
+            Some(fl) => {
+                let opt = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+                let cap = match fl.failover_capacity {
+                    None => "-".to_string(),
+                    Some(None) => "inf".to_string(),
+                    Some(Some(k)) => k.to_string(),
+                };
+                format!(
+                    "{}:{}:{}:{}:{}:{}:{}:{}",
+                    fl.arrays,
+                    opt(fl.repairmen),
+                    fl.dependence.name(),
+                    opt(fl.domain_arrays),
+                    fl.domain_rate.map_or("-".to_string(), f),
+                    cap,
+                    fl.failover_policy.as_str(),
+                    fl.failback_rate.map_or("-".to_string(), f),
+                )
+            }
+            None => "-".to_string(),
+        };
+        format!(
+            "model={};policy={};raid={};lambda={};hep={};seed={};iter={};horizon={};conf={};var={};lse={};fleet={}",
+            self.model.as_str(),
+            self.policy.as_str(),
+            self.raid.label(),
+            f(self.lambda),
+            f(self.hep),
+            self.seed,
+            self.mc.iterations,
+            f(self.mc.horizon_hours),
+            f(self.mc.confidence),
+            variance,
+            lse,
+            fleet,
+        )
+    }
+
+    /// FNV-1a 64 over the canonical key — the cache hash clients see in
+    /// the response's `key` field.
+    pub fn canonical_hash(&self) -> u64 {
+        fnv1a(self.canonical_key().as_bytes())
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty for a cache whose
+/// correctness never rests on the hash (lookups compare full keys).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn parse_lse(value: &Json) -> Result<LseSettings, String> {
+    let entries = value
+        .entries()
+        .ok_or_else(|| "`lse` must be an object".to_string())?;
+    let mut lse = LseSettings {
+        lse_rate: 0.0,
+        scrub_interval_hours: 0.0,
+    };
+    let (mut saw_rate, mut saw_interval) = (false, false);
+    for (key, v) in entries {
+        match key.as_str() {
+            "lse_rate" => {
+                lse.lse_rate = need_f64(v, key)?;
+                saw_rate = true;
+            }
+            "scrub_interval_hours" => {
+                lse.scrub_interval_hours = need_f64(v, key)?;
+                saw_interval = true;
+            }
+            other => return Err(format!("unknown key `lse.{other}`")),
+        }
+    }
+    if !saw_rate || !saw_interval {
+        return Err("`lse` requires `lse_rate` and `scrub_interval_hours`".into());
+    }
+    Ok(lse)
+}
+
+fn parse_fleet(value: &Json) -> Result<FleetSettings, String> {
+    let entries = value
+        .entries()
+        .ok_or_else(|| "`fleet` must be an object".to_string())?;
+    let mut fleet = FleetSettings::default();
+    for (key, v) in entries {
+        match key.as_str() {
+            "arrays" => fleet.arrays = need_u64(v, key)?,
+            "repairmen" => fleet.repairmen = Some(need_u64(v, key)?),
+            "dependence" => {
+                let s = need_str(v, key)?;
+                fleet.dependence =
+                    DependenceLevel::parse(s).ok_or_else(|| format!("unknown dependence `{s}`"))?;
+            }
+            "domain_arrays" => fleet.domain_arrays = Some(need_u64(v, key)?),
+            "domain_rate" => fleet.domain_rate = Some(need_f64(v, key)?),
+            "failover_capacity" => {
+                fleet.failover_capacity = Some(match v {
+                    Json::Str(s) if s == "inf" => None,
+                    other => Some(need_u64(other, key)?),
+                });
+            }
+            "failover_policy" => {
+                let s = need_str(v, key)?;
+                fleet.failover_policy = FailoverPolicy::parse(s)
+                    .ok_or_else(|| format!("unknown failover_policy `{s}`"))?;
+            }
+            "failback_rate" => fleet.failback_rate = Some(need_f64(v, key)?),
+            other => return Err(format!("unknown key `fleet.{other}`")),
+        }
+    }
+    if fleet.arrays == 0 {
+        return Err("`fleet` requires `arrays` >= 1".into());
+    }
+    Ok(fleet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(doc: &str) -> Result<Query, String> {
+        Query::from_json(&Json::parse(doc).map_err(|e| e.to_string())?)
+    }
+
+    #[test]
+    fn parses_a_minimal_exact_query() {
+        let q = parse(r#"{"raid": "r5-7", "lambda": 1e-5, "hep": 0.01}"#).unwrap();
+        assert!(q.is_exact());
+        assert_eq!(q.model, ModelKind::MarkovConventional);
+        assert_eq!(q.policy, Policy::Conventional);
+        assert_eq!(q.raid.label(), "RAID5(7+1)");
+        assert_eq!(q.lambda, 1e-5);
+    }
+
+    #[test]
+    fn model_defaults_its_policy_but_explicit_wins() {
+        let q = parse(r#"{"model": "markov-failover"}"#).unwrap();
+        assert_eq!(q.policy, Policy::Failover);
+        let q = parse(r#"{"model": "mc", "policy": "failover"}"#).unwrap();
+        assert_eq!(q.policy, Policy::Failover);
+        assert!(!q.is_exact());
+    }
+
+    #[test]
+    fn rejects_unknown_and_mistyped_keys() {
+        assert!(parse(r#"{"lambda": "fast"}"#)
+            .unwrap_err()
+            .contains("lambda"));
+        assert!(parse(r#"{"lambdaa": 1e-5}"#)
+            .unwrap_err()
+            .contains("lambdaa"));
+        assert!(parse(r#"{"seed": -1}"#).is_err());
+        assert!(parse(r#"{"raid": "r9-3"}"#).is_err());
+        assert!(parse(r#"{"fleet": {"arrays": 4, "turbo": 1}}"#)
+            .unwrap_err()
+            .contains("fleet.turbo"));
+        assert!(parse(r#"[1, 2]"#).unwrap_err().contains("object"));
+    }
+
+    #[test]
+    fn variance_tuning_keys_require_their_scheme() {
+        let q = parse(r#"{"model": "mc", "variance": "failure-biasing"}"#).unwrap();
+        assert_eq!(
+            q.mc.variance,
+            McVariance::FailureBiasing {
+                bias: McVariance::DEFAULT_BIAS
+            }
+        );
+        assert!(parse(r#"{"model": "mc", "bias": 0.5}"#).is_err());
+        let q = parse(r#"{"model": "mc", "variance": "splitting", "effort": 7}"#).unwrap();
+        assert!(matches!(
+            q.mc.variance,
+            McVariance::Splitting { effort: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn presentation_fields_do_not_touch_the_key() {
+        let base = parse(r#"{"model": "mc", "raid": "r5-3", "lambda": 1e-4, "seed": 9}"#).unwrap();
+        let dressed = parse(
+            r#"{"model": "mc", "raid": "r5-3", "lambda": 1e-4, "seed": 9,
+                "threads": 8, "deadline_ms": 250}"#,
+        )
+        .unwrap();
+        assert_eq!(base.canonical_key(), dressed.canonical_key());
+        assert_eq!(base.canonical_hash(), dressed.canonical_hash());
+    }
+
+    #[test]
+    fn estimator_fields_each_move_the_key() {
+        let base = parse(r#"{"model": "mc", "raid": "r5-3", "lambda": 1e-4, "seed": 9}"#).unwrap();
+        for variant in [
+            r#"{"model": "mc", "raid": "r5-3", "lambda": 2e-4, "seed": 9}"#,
+            r#"{"model": "mc", "raid": "r5-7", "lambda": 1e-4, "seed": 9}"#,
+            r#"{"model": "mc", "raid": "r5-3", "lambda": 1e-4, "seed": 10}"#,
+            r#"{"model": "mc", "raid": "r5-3", "lambda": 1e-4, "seed": 9, "variance": "failure-biasing"}"#,
+            r#"{"model": "mc", "raid": "r5-3", "lambda": 1e-4, "seed": 9, "lse": {"lse_rate": 1e-4, "scrub_interval_hours": 336}}"#,
+            r#"{"model": "mc", "raid": "r5-3", "lambda": 1e-4, "seed": 9, "fleet": {"arrays": 4}}"#,
+        ] {
+            let q = parse(variant).unwrap();
+            assert_ne!(base.canonical_key(), q.canonical_key(), "{variant}");
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_the_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

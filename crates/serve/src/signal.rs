@@ -1,0 +1,79 @@
+//! SIGTERM / SIGINT → a stop flag the accept loop polls.
+//!
+//! The crate forbids unsafe code except in this one tiny, auditable
+//! module: installing a signal handler needs the libc `signal` symbol
+//! (which std already links), and the handler body does the only thing
+//! that is async-signal-safe — a relaxed atomic store. The server's
+//! accept loop polls the flag and turns it into a graceful drain.
+
+use std::sync::atomic::AtomicBool;
+
+/// Set once a termination signal arrives.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide stop flag; hand it to [`crate::server::Server::run`].
+pub fn stop_flag() -> &'static AtomicBool {
+    &STOP
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::STOP;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    #[allow(unsafe_code)]
+    mod ffi {
+        extern "C" {
+            pub fn signal(signum: i32, handler: usize) -> usize;
+        }
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        STOP.store(true, Ordering::Relaxed);
+    }
+
+    /// Installs the SIGTERM/SIGINT handlers.
+    #[allow(unsafe_code)]
+    pub fn install() {
+        // SAFETY: `signal` is the C standard library's handler
+        // registration; the handler is an `extern "C" fn(i32)` that only
+        // performs an atomic store, which is async-signal-safe.
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            ffi::signal(SIGTERM, handler);
+            ffi::signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op on non-unix targets: the stop flag can still be set
+    /// programmatically.
+    pub fn install() {}
+}
+
+/// Installs termination handlers (SIGTERM and SIGINT on unix; a no-op
+/// elsewhere). Idempotent.
+pub fn install_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn flag_starts_clear_and_handlers_install() {
+        install_handlers();
+        // The flag may have been set by a test harness signal; all we can
+        // assert portably is that installation does not set it by itself
+        // and the flag is reachable.
+        let _ = stop_flag().load(Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for cache-key canonicalization: the key must quotient
+//! the query space exactly by the determinism contract. Presentation-only
+//! fields (threads, deadline) never move the key; every estimator-relevant
+//! field — rates, seed, variance mode, scrubbing, fleet coupling — does.
+
+use availsim_core::mc::McVariance;
+use availsim_exp::spec::{parse_geometry_label, FleetSettings, LseSettings, ModelKind};
+use availsim_serve::Query;
+use proptest::prelude::*;
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let lambda = prop_oneof![Just(1e-5), Just(2e-5), Just(1e-4), Just(1e-3)];
+    let hep = prop_oneof![Just(0.0), Just(0.01), Just(0.1)];
+    let raid = prop_oneof![Just("r1"), Just("r5-3"), Just("r5-7"), Just("r6-4")];
+    let variance = prop_oneof![
+        Just(McVariance::Naive),
+        Just(McVariance::FailureBiasing { bias: 0.5 }),
+        Just(McVariance::Splitting {
+            levels: 2,
+            effort: 64
+        }),
+    ];
+    let lse = prop_oneof![
+        Just(None),
+        Just(Some(LseSettings {
+            lse_rate: 1e-4,
+            scrub_interval_hours: 336.0
+        })),
+    ];
+    let fleet_arrays = prop_oneof![Just(0u64), Just(2), Just(8)];
+    (
+        (lambda, hep, raid, any::<u64>()),
+        (variance, lse, fleet_arrays),
+    )
+        .prop_map(
+            |((lambda, hep, raid, seed), (variance, lse, fleet_arrays))| {
+                let mut q = Query {
+                    model: ModelKind::Mc,
+                    lambda,
+                    hep,
+                    seed,
+                    raid: parse_geometry_label(raid).unwrap(),
+                    lse,
+                    ..Query::default()
+                };
+                q.mc.variance = variance;
+                if fleet_arrays > 0 {
+                    q.fleet = Some(FleetSettings {
+                        arrays: fleet_arrays,
+                        ..FleetSettings::default()
+                    });
+                }
+                q
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Thread count and deadline are pure presentation: any values hash
+    /// to the same key as none at all.
+    #[test]
+    fn presentation_fields_never_move_the_key(
+        q in arb_query(),
+        threads in 0usize..16,
+        deadline in prop_oneof![Just(None), Just(Some(1u64)), Just(Some(60_000u64))],
+    ) {
+        let mut dressed = q.clone();
+        dressed.mc.threads = threads;
+        dressed.deadline_ms = deadline;
+        prop_assert_eq!(q.canonical_key(), dressed.canonical_key());
+        prop_assert_eq!(q.canonical_hash(), dressed.canonical_hash());
+    }
+
+    /// Every estimator-relevant field moves the key when it changes.
+    #[test]
+    fn estimator_fields_each_move_the_key(q in arb_query()) {
+        let base = q.canonical_key();
+
+        let mut rate = q.clone();
+        rate.lambda *= 1.5;
+        prop_assert_ne!(&base, &rate.canonical_key());
+
+        let mut hep = q.clone();
+        hep.hep += 0.003;
+        prop_assert_ne!(&base, &hep.canonical_key());
+
+        let mut seed = q.clone();
+        seed.seed = seed.seed.wrapping_add(1);
+        prop_assert_ne!(&base, &seed.canonical_key());
+
+        let mut iters = q.clone();
+        iters.mc.iterations += 1;
+        prop_assert_ne!(&base, &iters.canonical_key());
+
+        let mut variance = q.clone();
+        variance.mc.variance = match q.mc.variance {
+            McVariance::Naive => McVariance::FailureBiasing { bias: 0.5 },
+            _ => McVariance::Naive,
+        };
+        prop_assert_ne!(&base, &variance.canonical_key());
+
+        let mut scrub = q.clone();
+        scrub.lse = Some(match q.lse {
+            None => LseSettings { lse_rate: 1e-4, scrub_interval_hours: 336.0 },
+            Some(l) => LseSettings { lse_rate: l.lse_rate * 2.0, ..l },
+        });
+        prop_assert_ne!(&base, &scrub.canonical_key());
+
+        let mut fleet = q.clone();
+        fleet.fleet = Some(match q.fleet {
+            None => FleetSettings { arrays: 4, ..FleetSettings::default() },
+            Some(f) => FleetSettings { arrays: f.arrays + 1, ..f },
+        });
+        prop_assert_ne!(&base, &fleet.canonical_key());
+    }
+
+    /// The key is a pure function: recomputing it never yields new bytes,
+    /// and the hash is a pure function of the key.
+    #[test]
+    fn key_and_hash_are_stable(q in arb_query()) {
+        prop_assert_eq!(q.canonical_key(), q.clone().canonical_key());
+        prop_assert_eq!(
+            q.canonical_hash(),
+            availsim_serve::query::fnv1a(q.canonical_key().as_bytes())
+        );
+    }
+}

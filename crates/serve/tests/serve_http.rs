@@ -1,0 +1,329 @@
+//! End-to-end tests of `availsim serve` over real sockets: raw
+//! `TcpStream` clients against an ephemeral-port server, covering the
+//! whole overload contract — concurrency, cache-hit byte-identity,
+//! admission-control shedding, deadline expiry, and graceful drain.
+
+use availsim_serve::{ServeConfig, Server};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Starts a server; returns its address, the stop flag, and the join
+/// handle (which yields whether drain finished within budget).
+fn start(config: ServeConfig) -> (SocketAddr, Arc<AtomicBool>, thread::JoinHandle<bool>) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = thread::spawn(move || server.run(&flag).expect("accept loop"));
+    (addr, stop, handle)
+}
+
+/// A parsed response: status, headers (lowercased names), body.
+struct Reply {
+    status: u16,
+    headers: HashMap<String, String>,
+    body: String,
+}
+
+/// One raw HTTP/1.1 exchange.
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: availsim\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response framing");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .unwrap()
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .unwrap();
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn query(addr: SocketAddr, body: &str) -> Reply {
+    request(addr, "POST", "/v1/query", body)
+}
+
+/// Stops the server and joins the accept loop.
+fn stop_and_join(stop: &AtomicBool, handle: thread::JoinHandle<bool>) -> bool {
+    stop.store(true, Ordering::Relaxed);
+    handle.join().expect("server thread")
+}
+
+#[test]
+fn health_metrics_and_routing() {
+    let (addr, stop, handle) = start(ServeConfig::default());
+
+    let health = request(addr, "GET", "/health", "");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "{\"status\":\"ok\"}");
+
+    let metrics = request(addr, "GET", "/metrics", "");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("availsim_serve_requests_total"));
+    assert!(metrics.body.contains("availsim_serve_queue_depth"));
+    assert!(metrics
+        .body
+        .contains("# TYPE availsim_serve_sheds_total counter"));
+
+    assert_eq!(request(addr, "GET", "/nope", "").status, 404);
+    assert_eq!(request(addr, "POST", "/health", "").status, 405);
+    assert_eq!(request(addr, "GET", "/v1/query", "").status, 405);
+
+    stop_and_join(&stop, handle);
+}
+
+#[test]
+fn exact_queries_answer_inline_with_every_error_mapped() {
+    let (addr, stop, handle) = start(ServeConfig {
+        max_body_bytes: 512,
+        ..ServeConfig::default()
+    });
+
+    // A good exact query.
+    let ok = query(addr, r#"{"raid": "r5-7", "lambda": 1e-5, "hep": 0.01}"#);
+    assert_eq!(ok.status, 200);
+    assert!(ok.body.contains("\"unavailability\":"), "{}", ok.body);
+    assert!(ok.body.contains("\"mttdl_hours\":"), "{}", ok.body);
+    assert_eq!(ok.headers.get("x-availsim-cache").unwrap(), "miss");
+
+    // 400: malformed JSON, unknown keys, bad model combinations.
+    assert_eq!(query(addr, "{not json").status, 400);
+    let unknown = query(addr, r#"{"lambdaa": 1e-5}"#);
+    assert_eq!(unknown.status, 400);
+    assert!(unknown.body.contains("lambdaa"), "{}", unknown.body);
+    assert_eq!(
+        query(addr, r#"{"fleet": {"arrays": 4}, "raid": "r5-3"}"#).status,
+        400,
+        "fleet without model=mc is a spec error"
+    );
+
+    // 413: body over the configured cap.
+    let huge = format!("{{\"raid\": \"r5-3\", \"hep\": 0.0{}}}", " ".repeat(600));
+    assert_eq!(query(addr, &huge).status, 413);
+
+    // 500: the model rejects the combination at run time (the Fig. 3
+    // chain requires single-fault tolerance).
+    let engine = query(addr, r#"{"model": "markov-failover", "raid": "r6-4"}"#);
+    assert_eq!(engine.status, 500);
+    assert!(engine.body.contains("error"), "{}", engine.body);
+
+    stop_and_join(&stop, handle);
+}
+
+#[test]
+fn cache_replay_is_byte_identical_and_thread_invariant() {
+    let (addr, stop, handle) = start(ServeConfig::default());
+    let mc = r#"{"model": "mc", "raid": "r5-3", "lambda": 1e-3, "hep": 0.01,
+                 "iterations": 300, "horizon_hours": 10000, "seed": 42}"#;
+
+    let first = query(addr, mc);
+    assert_eq!(first.status, 200);
+    assert_eq!(first.headers.get("x-availsim-cache").unwrap(), "miss");
+    assert!(first.body.contains("\"ci_half_width\":"), "{}", first.body);
+
+    let second = query(addr, mc);
+    assert_eq!(second.status, 200);
+    assert_eq!(second.headers.get("x-availsim-cache").unwrap(), "hit");
+    assert_eq!(first.body, second.body, "replay must be byte-identical");
+
+    // Presentation-only fields (threads, deadline) hit the same cache
+    // line: the determinism contract makes them invisible to the key.
+    let dressed = r#"{"model": "mc", "raid": "r5-3", "lambda": 1e-3, "hep": 0.01,
+                      "iterations": 300, "horizon_hours": 10000, "seed": 42,
+                      "threads": 4, "deadline_ms": 60000}"#;
+    let third = query(addr, dressed);
+    assert_eq!(third.headers.get("x-availsim-cache").unwrap(), "hit");
+    assert_eq!(first.body, third.body);
+
+    // A different seed is a different key.
+    let other = r#"{"model": "mc", "raid": "r5-3", "lambda": 1e-3, "hep": 0.01,
+                    "iterations": 300, "horizon_hours": 10000, "seed": 43}"#;
+    let fourth = query(addr, other);
+    assert_eq!(fourth.headers.get("x-availsim-cache").unwrap(), "miss");
+    assert_ne!(first.body, fourth.body);
+
+    // The registry saw exactly one cache hit per replay.
+    let metrics = request(addr, "GET", "/metrics", "");
+    assert!(
+        metrics.body.contains("availsim_serve_cache_hits_total 2"),
+        "{}",
+        metrics.body
+    );
+
+    stop_and_join(&stop, handle);
+}
+
+#[test]
+fn expired_deadlines_answer_a_fixed_408_body() {
+    let (addr, stop, handle) = start(ServeConfig::default());
+    // Far more iterations than 1 ms allows; the cooperative token trips
+    // inside the block scheduler and the partial work is discarded.
+    let slow = r#"{"model": "mc", "raid": "r5-3", "lambda": 1e-3, "hep": 0.01,
+                   "iterations": 50000000, "horizon_hours": 100000, "seed": 7,
+                   "deadline_ms": 1}"#;
+    let a = query(addr, slow);
+    let b = query(addr, slow);
+    assert_eq!(a.status, 408);
+    assert_eq!(a.body, "{\"error\":\"deadline expired\"}");
+    assert_eq!(b.status, 408);
+    assert_eq!(a.body, b.body, "timeouts are deterministic bytes");
+
+    // Timeouts are never cached: nothing to replay.
+    let metrics = request(addr, "GET", "/metrics", "");
+    assert!(
+        metrics.body.contains("availsim_serve_cache_hits_total 0"),
+        "{}",
+        metrics.body
+    );
+    assert!(
+        !metrics
+            .body
+            .contains("availsim_serve_deadline_expiries_total 0"),
+        "expiries must be counted: {}",
+        metrics.body
+    );
+
+    stop_and_join(&stop, handle);
+}
+
+#[test]
+fn synthetic_flood_sheds_deterministically_and_never_hangs() {
+    // One worker and a two-slot queue: of n >> q simultaneous MC
+    // queries, at most a few are admitted; the rest must shed with
+    // 503 + Retry-After. Every client gets exactly one terminal answer.
+    let (addr, stop, handle) = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..ServeConfig::default()
+    });
+
+    let n = 16;
+    let barrier = Arc::new(Barrier::new(n));
+    let clients: Vec<_> = (0..n)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let body = format!(
+                    "{{\"model\": \"mc\", \"raid\": \"r5-3\", \"lambda\": 1e-3, \
+                     \"hep\": 0.01, \"iterations\": 4000, \"horizon_hours\": 10000, \
+                     \"seed\": {i}, \"deadline_ms\": 30000}}"
+                );
+                barrier.wait();
+                query(addr, &body)
+            })
+        })
+        .collect();
+
+    let replies: Vec<Reply> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let mut sheds = 0;
+    for reply in &replies {
+        assert!(
+            matches!(reply.status, 200 | 408 | 503),
+            "unexpected status {} ({})",
+            reply.status,
+            reply.body
+        );
+        if reply.status == 503 {
+            sheds += 1;
+            assert_eq!(
+                reply.headers.get("retry-after").map(String::as_str),
+                Some("1"),
+                "every shed names a retry hint"
+            );
+        }
+    }
+    assert!(sheds >= 1, "a 2-slot queue must shed under 16-way flood");
+    assert!(
+        replies.iter().any(|r| r.status == 200),
+        "admitted jobs complete"
+    );
+
+    let metrics = request(addr, "GET", "/metrics", "");
+    assert!(
+        metrics.body.contains("availsim_serve_sheds_total"),
+        "{}",
+        metrics.body
+    );
+
+    stop_and_join(&stop, handle);
+}
+
+#[test]
+fn drain_mid_flood_answers_every_client_within_budget() {
+    let (addr, stop, handle) = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 8,
+        drain_ms: 300,
+        ..ServeConfig::default()
+    });
+
+    // Slow jobs, no deadlines: only the drain can end them early.
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            thread::spawn(move || {
+                let body = format!(
+                    "{{\"model\": \"mc\", \"raid\": \"r5-3\", \"lambda\": 1e-3, \
+                     \"hep\": 0.01, \"iterations\": 50000000, \
+                     \"horizon_hours\": 100000, \"seed\": {i}}}"
+                );
+                query(addr, &body)
+            })
+        })
+        .collect();
+
+    // Let the flood land, then pull the plug.
+    thread::sleep(Duration::from_millis(100));
+    let begun = Instant::now();
+    stop.store(true, Ordering::Relaxed);
+    let drained_clean = handle.join().expect("server thread");
+    // In-flight 50M-iteration jobs cannot finish in 300 ms, so the drain
+    // must have escalated to cooperative cancellation — and still
+    // returned promptly (budget + cancellation window + slack).
+    assert!(!drained_clean, "jobs this slow cannot drain cleanly");
+    assert!(
+        begun.elapsed() < Duration::from_secs(30),
+        "drain must be bounded, took {:?}",
+        begun.elapsed()
+    );
+
+    // Every client still got exactly one deterministic answer: 200 if it
+    // finished, 503 if the drain cancelled or rejected it.
+    for client in clients {
+        let reply = client.join().unwrap();
+        assert!(
+            matches!(reply.status, 200 | 503),
+            "unexpected status {} ({})",
+            reply.status,
+            reply.body
+        );
+        if reply.status == 503 {
+            assert!(reply.headers.contains_key("retry-after"));
+        }
+    }
+}

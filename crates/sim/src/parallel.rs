@@ -9,6 +9,62 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cooperative cancellation / deadline budget shared between a controller
+/// and the workers of an [`ordered_parallel_map_cancellable`] run.
+///
+/// A token trips in one of two ways: explicitly via [`CancelToken::cancel`]
+/// (e.g. a server draining on shutdown), or implicitly when the optional
+/// wall-clock deadline passes. Workers poll [`CancelToken::is_cancelled`]
+/// once per *claimed item* — items are whole Monte-Carlo blocks or campaign
+/// cells, so the poll is off the hot per-event path. Cancellation stops the
+/// claiming of **new** items; items already claimed still finish, so every
+/// value that is returned was computed completely and deterministically.
+///
+/// Cloning is cheap (an [`Arc`] bump); clones observe the same flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never expires on its own; only [`cancel`](Self::cancel)
+    /// trips it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that trips automatically once `deadline` passes (and can
+    /// still be tripped earlier via [`cancel`](Self::cancel)).
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// The wall-clock deadline, if one was set.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Trips the token: all clones observe cancellation from now on.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
 
 /// Resolves a requested worker count: an explicit count is used as-is;
 /// `0` (auto) becomes the machine's [`std::thread::available_parallelism`]
@@ -77,6 +133,32 @@ where
     F: Fn(&mut S, u64) -> T + Sync,
     A: Fn(&T) -> bool + Sync,
 {
+    ordered_parallel_map_cancellable(items, workers, init, f, abort_after, None)
+}
+
+/// [`ordered_parallel_map_with`] plus an optional [`CancelToken`] consulted
+/// before each item claim.
+///
+/// When the token trips (explicit cancel or deadline), workers stop claiming
+/// new items exactly like `abort_after` — in-flight items finish and are
+/// returned. The caller distinguishes a cancelled run from a complete one by
+/// `result.len() < items`: every returned value is still fully computed, in
+/// index order, and bit-identical to what an uncancelled run would have
+/// produced for that index at any worker count.
+pub fn ordered_parallel_map_cancellable<S, T, I, F, A>(
+    items: u64,
+    workers: usize,
+    init: I,
+    f: F,
+    abort_after: A,
+    cancel: Option<&CancelToken>,
+) -> Vec<(u64, T)>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> T + Sync,
+    A: Fn(&T) -> bool + Sync,
+{
     let workers = workers.clamp(1, usize::try_from(items).unwrap_or(usize::MAX).max(1));
     let cursor = AtomicU64::new(0);
     let aborted = AtomicBool::new(false);
@@ -89,7 +171,9 @@ where
                     let mut state = init();
                     let mut local = Vec::new();
                     loop {
-                        if aborted.load(Ordering::Relaxed) {
+                        if aborted.load(Ordering::Relaxed)
+                            || cancel.is_some_and(CancelToken::is_cancelled)
+                        {
                             break;
                         }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -209,5 +293,66 @@ mod tests {
     fn without_abort_partial_results_never_happen() {
         let out = ordered_parallel_map(257, 8, |i| i % 7, |_| false);
         assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn cancel_token_defaults_to_live_and_trips_on_cancel() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(token.deadline().is_none());
+        let clone = token.clone();
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled(), "clones share the flag");
+    }
+
+    #[test]
+    fn cancel_token_trips_once_deadline_passes() {
+        let future =
+            CancelToken::with_deadline(Instant::now() + std::time::Duration::from_secs(60));
+        assert!(!future.is_cancelled());
+        let past = CancelToken::with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        assert!(past.is_cancelled());
+    }
+
+    #[test]
+    fn pre_cancelled_token_claims_no_items() {
+        let token = CancelToken::new();
+        token.cancel();
+        let out =
+            ordered_parallel_map_cancellable(1_000, 4, || (), |(), i| i, |_| false, Some(&token));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cancel_mid_run_stops_claiming_but_returns_complete_prefix_values() {
+        let token = CancelToken::new();
+        let out = ordered_parallel_map_cancellable(
+            1_000_000,
+            2,
+            || (),
+            |(), i| {
+                if i == 5 {
+                    token.cancel();
+                }
+                i * 2
+            },
+            |_| false,
+            Some(&token),
+        );
+        // Item 5 itself completed (cancellation never truncates a claimed
+        // item) and far fewer than a million items ran afterwards.
+        assert!(out.iter().any(|&(i, v)| i == 5 && v == 10));
+        assert!(out.len() < 1_000_000);
+        // Every returned value is the fully computed value for its index.
+        for (i, v) in &out {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn none_token_is_equivalent_to_uncancellable_run() {
+        let out = ordered_parallel_map_cancellable(64, 3, || (), |(), i| i + 1, |_| false, None);
+        assert_eq!(out.len(), 64);
     }
 }

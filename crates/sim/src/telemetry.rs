@@ -44,7 +44,7 @@
 //! ```
 
 /// Number of distinct counters in the registry.
-pub const COUNTERS: usize = 28;
+pub const COUNTERS: usize = 33;
 
 /// The deterministic engine counters, one registry slot each.
 ///
@@ -117,6 +117,16 @@ pub enum Counter {
     /// Data-loss (DL) entries across all engines — redundancy-exhausting
     /// failures, removed-disk crashes, and LSE-failed rebuilds.
     DataLossEvents,
+    /// HTTP requests received by `availsim serve` (all endpoints).
+    ServeRequests,
+    /// Serve queries answered from the canonical-hash result cache.
+    ServeCacheHits,
+    /// Serve requests shed by admission control (`503 + Retry-After`).
+    ServeSheds,
+    /// Serve jobs that hit their deadline and returned a timeout error.
+    ServeDeadlineExpiries,
+    /// High-water mark of simultaneously queued serve jobs (max-merged).
+    ServeQueueDepthHighWater,
 }
 
 /// How a counter merges across block snapshots.
@@ -159,6 +169,11 @@ impl Counter {
         Counter::SplitStage2Survivors,
         Counter::RebuildLseHits,
         Counter::DataLossEvents,
+        Counter::ServeRequests,
+        Counter::ServeCacheHits,
+        Counter::ServeSheds,
+        Counter::ServeDeadlineExpiries,
+        Counter::ServeQueueDepthHighWater,
     ];
 
     /// The exposition metric name (also the JSON snapshot key).
@@ -192,6 +207,11 @@ impl Counter {
             Counter::SplitStage2Survivors => "availsim_split_stage2_survivors_total",
             Counter::RebuildLseHits => "availsim_rebuild_lse_hits_total",
             Counter::DataLossEvents => "availsim_data_loss_events_total",
+            Counter::ServeRequests => "availsim_serve_requests_total",
+            Counter::ServeCacheHits => "availsim_serve_cache_hits_total",
+            Counter::ServeSheds => "availsim_serve_sheds_total",
+            Counter::ServeDeadlineExpiries => "availsim_serve_deadline_expiries_total",
+            Counter::ServeQueueDepthHighWater => "availsim_serve_queue_depth_high_water",
         }
     }
 
@@ -222,6 +242,11 @@ impl Counter {
             | Counter::FleetFailbacks => "fleet",
             Counter::SplitStage1Survivors | Counter::SplitStage2Survivors => "rare-event",
             Counter::RebuildLseHits | Counter::DataLossEvents => "data-loss",
+            Counter::ServeRequests
+            | Counter::ServeCacheHits
+            | Counter::ServeSheds
+            | Counter::ServeDeadlineExpiries
+            | Counter::ServeQueueDepthHighWater => "serve",
         }
     }
 
@@ -256,13 +281,18 @@ impl Counter {
             Counter::SplitStage2Survivors => "Splitting clones reaching a down state",
             Counter::RebuildLseHits => "Rebuilds that hit a latent sector error (data loss)",
             Counter::DataLossEvents => "Data-loss (DL) entries across all engines",
+            Counter::ServeRequests => "HTTP requests received by availsim serve",
+            Counter::ServeCacheHits => "Serve queries answered from the result cache",
+            Counter::ServeSheds => "Serve requests shed by admission control",
+            Counter::ServeDeadlineExpiries => "Serve jobs that expired at their deadline",
+            Counter::ServeQueueDepthHighWater => "High-water mark of queued serve jobs",
         }
     }
 
     /// How the counter merges across block snapshots.
     pub fn merge_kind(self) -> MergeKind {
         match self {
-            Counter::QueueDepthHighWater => MergeKind::Max,
+            Counter::QueueDepthHighWater | Counter::ServeQueueDepthHighWater => MergeKind::Max,
             _ => MergeKind::Sum,
         }
     }
@@ -337,9 +367,18 @@ impl Telemetry {
 /// Snapshots merge associatively (sum / max per [`Counter::merge_kind`]),
 /// so folding per-block snapshots **in block order** yields the same
 /// bytes at any worker count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterSnapshot {
     counts: [u64; COUNTERS],
+}
+
+// Manual impl: the std `Default` derive for arrays stops at 32 elements.
+impl Default for CounterSnapshot {
+    fn default() -> Self {
+        Self {
+            counts: [0; COUNTERS],
+        }
+    }
 }
 
 impl CounterSnapshot {
@@ -609,6 +648,57 @@ mod tests {
                 "malformed line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn serve_counter_group_exposes_and_merges_like_its_layer_mates() {
+        // The serve layer rides the same registry contracts as the
+        // engines: flows sum, the queue high-water maxes, and every name
+        // reaches the exposition with the right TYPE.
+        let mut a = CounterSnapshot::default();
+        a.add(Counter::ServeRequests, 10);
+        a.add(Counter::ServeSheds, 2);
+        a.record_max(Counter::ServeQueueDepthHighWater, 4);
+        let mut b = CounterSnapshot::default();
+        b.add(Counter::ServeRequests, 5);
+        b.add(Counter::ServeCacheHits, 3);
+        b.record_max(Counter::ServeQueueDepthHighWater, 9);
+        let mut merged = CounterSnapshot::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.get(Counter::ServeRequests), 15);
+        assert_eq!(merged.get(Counter::ServeSheds), 2);
+        assert_eq!(merged.get(Counter::ServeCacheHits), 3);
+        assert_eq!(merged.get(Counter::ServeQueueDepthHighWater), 9);
+
+        let mut w = PrometheusWriter::new();
+        write_counters(&mut w, &merged);
+        let text = w.finish();
+        for c in [
+            Counter::ServeRequests,
+            Counter::ServeCacheHits,
+            Counter::ServeSheds,
+            Counter::ServeDeadlineExpiries,
+        ] {
+            assert_eq!(c.layer(), "serve");
+            assert!(
+                text.contains(&format!("# TYPE {} counter\n", c.name())),
+                "{text}"
+            );
+        }
+        assert_eq!(Counter::ServeQueueDepthHighWater.layer(), "serve");
+        assert!(
+            text.contains("# TYPE availsim_serve_queue_depth_high_water gauge\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\navailsim_serve_requests_total 15\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\navailsim_serve_queue_depth_high_water 9\n"),
+            "{text}"
+        );
     }
 
     #[test]

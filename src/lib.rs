@@ -14,6 +14,7 @@
 //! | [`hra`] | `availsim-hra` | Human reliability: hep, published bands, HEART, THERP, recovery dynamics |
 //! | [`core`] | `availsim-core` | The paper's models and analyses (Markov + MC, Figs. 4–7, headline tables) |
 //! | [`exp`] | `availsim-exp` | Experiment campaigns: spec files, grid planning, the parallel deterministic batch runner, reports |
+//! | [`serve`] | `availsim-serve` | The availability service: HTTP/1.1 daemon, result cache, admission control, deadlines, graceful drain |
 //! | [`bench`] | `availsim-bench` | Shared bench/metrics plumbing: workload scaling, the streaming JSON snapshot writer |
 //!
 //! # Quickstart
@@ -39,5 +40,6 @@ pub use availsim_core as core;
 pub use availsim_ctmc as ctmc;
 pub use availsim_exp as exp;
 pub use availsim_hra as hra;
+pub use availsim_serve as serve;
 pub use availsim_sim as sim;
 pub use availsim_storage as storage;

@@ -8,6 +8,8 @@
 //! availsim fleet    [--arrays N] [--raid r5-3] [--lambda F] [--hep F] [--iterations N]
 //!                   [--failover-capacity N|inf] [--failover-policy queue|loss]
 //! availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run] [--keep-going]
+//! availsim serve    [--port N] [--workers N] [--queue-capacity N]
+//!                   [--default-deadline-ms N] [--drain-ms N] [--cache-capacity N]
 //! ```
 
 use availsim::bench::snapshot::JsonSnapshot;
@@ -813,6 +815,38 @@ fn cmd_batch(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let config = availsim::serve::ServeConfig {
+        port: flag(flags, "port", 0u16)?,
+        workers: flag(flags, "workers", 0usize)?,
+        queue_capacity: flag(flags, "queue-capacity", 64usize)?,
+        default_deadline_ms: flag(flags, "default-deadline-ms", 0u64)?,
+        drain_ms: flag(flags, "drain-ms", 2_000u64)?,
+        cache_capacity: flag(flags, "cache-capacity", 1_024usize)?,
+        ..availsim::serve::ServeConfig::default()
+    };
+    if config.queue_capacity == 0 {
+        return Err("--queue-capacity must be at least 1".into());
+    }
+    // Install the handlers before binding so a SIGTERM racing startup
+    // still drains instead of killing the process mid-accept.
+    availsim::serve::signal::install_handlers();
+    let server = availsim::serve::Server::bind(config)?;
+    println!("listening on http://{}", server.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    let drained_clean = server.run(availsim::serve::signal::stop_flag())?;
+    eprintln!(
+        "drained {}",
+        if drained_clean {
+            "clean"
+        } else {
+            "with cooperative cancellation"
+        }
+    );
+    Ok(())
+}
+
 fn usage() -> &'static str {
     "availsim — human-error-aware storage availability (DATE'17 reproduction)
 
@@ -835,8 +869,16 @@ USAGE:
                     [--metrics PATH] [--metrics-format json|prom]
   availsim batch    <spec-file> [--workers N] [--out-dir DIR] [--dry-run] [--keep-going]
                     [--metrics PATH] [--metrics-format json|prom] [--progress]
+  availsim serve    [--port N] [--workers N] [--queue-capacity N]
+                    [--default-deadline-ms N] [--drain-ms N] [--cache-capacity N]
+  availsim --version | -V
 
 Flags accept both `--flag value` and `--flag=value`; duplicates are errors.
+`--threads 0` and `--workers 0` (the defaults) mean **auto**: use the
+machine's available parallelism. Any other value pins the pool size; the
+estimates are byte-identical either way (the block merge is
+thread-count-invariant), so `0` is always safe. The campaign spec spells
+it `[mc] threads = 0` with the same meaning.
 `batch` runs an experiment campaign from a spec file (see examples/specs/).
 `--metrics PATH` enables the deterministic telemetry layer and writes an
 engine-counter snapshot (`--metrics-format prom` for Prometheus text
@@ -860,6 +902,13 @@ loss` rejects instead, Erlang-loss style). `--failback-rate` tunes the
 switch-back rate (default: the disk-change rate). `batch --keep-going`
 continues past failing cells and marks them in status/error report
 columns instead of aborting the campaign.
+`serve` runs an overload-safe HTTP availability service on 127.0.0.1
+(`--port 0` picks an ephemeral port): POST /v1/query answers one
+estimate per request, exact CTMC queries inline, Monte-Carlo queries
+through a bounded queue with admission control (full queue answers 503 +
+Retry-After), per-request deadlines (expired answers a fixed 408), a
+canonical-key result cache (replays are byte-identical), GET /health and
+GET /metrics, and graceful drain on SIGTERM within `--drain-ms`.
 `--lse-rate F --scrub-interval H` (a pair) attach the latent-sector-error
 scrubbing model: every rebuild completion risks reading an unreadable
 sector, routing the mission to data loss. `validate` and `fleet` then
@@ -940,8 +989,25 @@ fn main() -> ExitCode {
         .map_err(Into::into)
         .and_then(cmd_fleet),
         "batch" => cmd_batch(&parsed),
+        "serve" => flags_only(
+            &parsed,
+            &[
+                "port",
+                "workers",
+                "queue-capacity",
+                "default-deadline-ms",
+                "drain-ms",
+                "cache-capacity",
+            ],
+        )
+        .map_err(Into::into)
+        .and_then(cmd_serve),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
+            Ok(())
+        }
+        "version" | "--version" | "-V" => {
+            println!("availsim {}", env!("CARGO_PKG_VERSION"));
             Ok(())
         }
         other => Err(format!("unknown command `{other}`").into()),

@@ -1399,5 +1399,130 @@ fn help_flag_aliases_work() {
         assert!(ok, "{alias} must exit 0");
         assert!(stdout.contains("USAGE"), "{stdout}");
         assert!(stdout.contains("batch"), "{stdout}");
+        assert!(stdout.contains("serve"), "{stdout}");
     }
+}
+
+#[test]
+fn version_aliases_print_the_crate_version_and_exit_zero() {
+    let golden = format!("availsim {}\n", env!("CARGO_PKG_VERSION"));
+    for alias in ["--version", "-V", "version"] {
+        let (ok, stdout, stderr) = run(&[alias]);
+        assert!(ok, "{alias} must exit 0: {stderr}");
+        assert_eq!(stdout, golden, "{alias} golden drifted");
+        assert!(stderr.is_empty(), "{alias} must not write stderr: {stderr}");
+    }
+}
+
+#[test]
+fn threads_zero_is_auto_and_keeps_the_estimate_bytes() {
+    // `--threads 0` (the default, documented "auto") must run and answer
+    // the exact same bytes as a pinned pool: the block merge makes thread
+    // count pure presentation.
+    let base = ["validate", "--iterations", "600", "--seed", "4"];
+    let (ok, auto_out, _) = run(&[&base[..], &["--threads", "0"]].concat());
+    assert!(ok, "{auto_out}");
+    let (ok, pinned_out, _) = run(&[&base[..], &["--threads", "3"]].concat());
+    assert!(ok);
+    assert_eq!(auto_out, pinned_out, "--threads 0 must not move the bytes");
+}
+
+#[test]
+fn workers_zero_is_auto_for_batch_and_the_spec_spells_it_threads() {
+    // `batch --workers 0` (auto) matches a pinned worker pool…
+    let spec = write_spec("auto-workers.campaign", MC_SPEC);
+    let spec = spec.to_str().unwrap();
+    let (ok, auto_out, _) = run(&["batch", spec, "--workers=0"]);
+    assert!(ok, "{auto_out}");
+    let (ok, pinned_out, _) = run(&["batch", spec, "--workers=2"]);
+    assert!(ok);
+    let reports = |s: &str| s[s.find("--- csv ---").expect("csv report")..].to_string();
+    assert_eq!(
+        reports(&auto_out),
+        reports(&pinned_out),
+        "--workers 0 must not move the report bytes"
+    );
+
+    // …and the campaign spec's `[mc] threads = 0` names the same contract
+    // in the dry-run plan.
+    let spec = write_spec(
+        "auto-threads.campaign",
+        "[campaign]\nname = auto\nmodel = mc\n[mc]\niterations = 50\nthreads = 0\n",
+    );
+    let (ok, stdout, _) = run(&["batch", spec.to_str().unwrap(), "--dry-run"]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("threads   : auto (machine parallelism)"),
+        "{stdout}"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_drains_on_sigterm_and_exits_zero() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::process::{Command, Stdio};
+    use std::time::{Duration, Instant};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_availsim"))
+        .args(["serve", "--port", "0", "--drain-ms", "500"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // The startup line is flushed before the accept loop starts; once it
+    // arrives, the signal handlers are installed and the port is bound.
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout pipe"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("startup line");
+    assert!(line.starts_with("listening on http://127.0.0.1:"), "{line}");
+
+    let ok = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM")
+        .success();
+    assert!(ok, "kill -TERM failed");
+
+    // An idle server must drain well inside the budget and exit 0.
+    let begun = Instant::now();
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            begun.elapsed() < Duration::from_secs(30),
+            "serve did not exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "SIGTERM must exit 0, got {status:?}");
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr pipe")
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(stderr.contains("drained clean"), "{stderr}");
+}
+
+#[test]
+fn serve_flags_are_validated_without_binding() {
+    let (ok, _, stderr) = run(&["serve", "--port", "not-a-port"]);
+    assert!(!ok);
+    assert!(stderr.contains("invalid value"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["serve", "--queue-capacity", "0"]);
+    assert!(!ok, "a zero-slot queue can admit nothing");
+    assert!(stderr.contains("at least 1"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["serve", "--threads", "2"]);
+    assert!(!ok, "serve spells its pool --workers");
+    assert!(stderr.contains("unknown flag --threads"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["serve", "stray"]);
+    assert!(!ok);
+    assert!(stderr.contains("expected --flag"), "{stderr}");
 }
